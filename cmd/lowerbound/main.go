@@ -1,0 +1,71 @@
+// Command lowerbound prints the Theorem 1 / Corollary 2 / Corollary 3 bound
+// tables: how many fences an f-adaptive algorithm is forced to execute as a
+// function of the number of processes.
+//
+// Usage:
+//
+//	lowerbound [-family linear|affine|exp|poly] [-c 1] [-a 0] [-d 2] [-maxi 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"priceadaptive/internal/bounds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	family := flag.String("family", "linear", "adaptivity family: linear, affine, exp, poly")
+	c := flag.Float64("c", 1, "slope/base coefficient of the adaptivity function")
+	a := flag.Float64("a", 0, "constant term (affine family)")
+	d := flag.Float64("d", 2, "degree (poly family)")
+	maxI := flag.Int("maxi", 500, "largest induction step to test")
+	flag.Parse()
+
+	var fn bounds.AdaptivityFunc
+	var rate func(float64) float64
+	switch *family {
+	case "linear":
+		fn = bounds.Linear{C: *c}
+		cc := *c
+		rate = func(l2n float64) float64 { return bounds.Corollary2Rate(cc, l2n) }
+	case "affine":
+		fn = bounds.Affine{A: *a, C: *c}
+		cc := *c
+		rate = func(l2n float64) float64 { return bounds.Corollary2Rate(cc, l2n) }
+	case "exp":
+		fn = bounds.Exponential{C: *c}
+		cc := *c
+		rate = func(l2n float64) float64 { return bounds.Corollary3Rate(cc, l2n) }
+	case "poly":
+		fn = bounds.Polynomial{C: *c, D: *d}
+	default:
+		return fmt.Errorf("unknown family %q", *family)
+	}
+
+	log2Ns := []float64{8, 16, 32, 64, 128, 1 << 10, 1 << 16, 1 << 20, 1 << 24, 1 << 32, 1e12, 1e15, 1e18}
+	fmt.Printf("Theorem 1 forced fences for %s\n", fn.Name())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if rate != nil {
+		fmt.Fprintln(tw, "log2 N\tforced fences\tclosed-form rate")
+	} else {
+		fmt.Fprintln(tw, "log2 N\tforced fences")
+	}
+	for _, row := range bounds.Table(fn, log2Ns, *maxI, rate) {
+		if rate != nil {
+			fmt.Fprintf(tw, "%g\t%d\t%.2f\n", row.Log2N, row.Forced, row.Rate)
+		} else {
+			fmt.Fprintf(tw, "%g\t%d\n", row.Log2N, row.Forced)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,189 @@
+// Command modelcheck runs the bounded explicit-state model checker over the
+// TSO or PSO schedules of a registered mutual-exclusion algorithm. On
+// finding an exclusion violation it minimizes the schedule with delta
+// debugging and optionally saves it as a JSON reproduction artifact that
+// can be replayed later.
+//
+// Usage:
+//
+//	modelcheck -alg peterson-nofence -n 2
+//	modelcheck -alg bakery-weak -n 2 -ordering pso -save violation.json
+//	modelcheck -replay violation.json -alg bakery-weak
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"priceadaptive/internal/check"
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alg := flag.String("alg", "peterson", fmt.Sprintf("algorithm: %v", mutex.Names()))
+	n := flag.Int("n", 2, "number of processes")
+	passages := flag.Int("passages", 1, "passages per process")
+	ordering := flag.String("ordering", "tso", "memory ordering: tso, pso")
+	maxStates := flag.Int("states", 200000, "state budget")
+	maxDepth := flag.Int("depth", 256, "schedule depth bound")
+	collapse := flag.Bool("collapse-spins", true, "merge states differing only in spin iterations (sound for pure spin-wait algorithms)")
+	engine := flag.String("engine", "replay", "checker engine: replay (goroutine simulator, any registered lock) or fast (VM programs only; complete verification)")
+	save := flag.String("save", "", "write a found violation's minimized schedule to this file")
+	replay := flag.String("replay", "", "replay a saved schedule instead of searching")
+	flag.Parse()
+
+	factory, err := mutex.Lookup(*alg)
+	if err != nil {
+		return err
+	}
+	build := mutex.Build(factory)
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg, sched, err := check.LoadSchedule(f)
+		if err != nil {
+			return err
+		}
+		ok, err := check.Reproduces(cfg, build, sched)
+		if err != nil {
+			return fmt.Errorf("schedule does not apply to %s: %w", *alg, err)
+		}
+		if ok {
+			fmt.Printf("schedule reproduces an exclusion violation of %s (%d decisions)\n", *alg, len(sched))
+			return nil
+		}
+		fmt.Println("schedule applied cleanly; no violation reproduced")
+		return nil
+	}
+
+	cfg := tso.Config{N: *n, Passages: *passages}
+	if *ordering == "pso" {
+		cfg.Ordering = tso.PSO
+	}
+	if *engine == "fast" {
+		return runFast(*alg, *n, cfg.Ordering == tso.PSO, *maxStates, *save)
+	}
+	rep, err := check.Exhaustive{
+		MaxStates:     *maxStates,
+		MaxDepth:      *maxDepth,
+		CollapseSpins: *collapse,
+	}.Verify(cfg, build)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s, N=%d, %s: explored %d states (%d decisions), complete=%v\n",
+		*alg, *n, cfg.Ordering, rep.States, rep.Decisions, rep.Complete)
+	if rep.Violation == nil {
+		if rep.Complete {
+			fmt.Println("VERIFIED: no schedule violates mutual exclusion")
+		} else {
+			fmt.Println("no violation found within the budget (partial verification)")
+		}
+		return nil
+	}
+	fmt.Printf("VIOLATION: %v\n", rep.Violation)
+	min, err := check.Minimize(cfg, build, rep.Schedule)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimized schedule: %d -> %d decisions\n", len(rep.Schedule), len(min))
+	for i, d := range min {
+		kind := "step"
+		if d.Commit {
+			kind = "commit"
+			if d.VarPlus1 > 0 {
+				kind = fmt.Sprintf("commit(var %d, out of order)", d.VarPlus1-1)
+			}
+		}
+		fmt.Printf("  %2d: p%d %s\n", i, d.P, kind)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := check.SaveSchedule(f, cfg, min); err != nil {
+			return err
+		}
+		fmt.Printf("saved to %s\n", *save)
+	}
+	return nil
+}
+
+// runFast verifies a VM program with the fast clonable-state engine:
+// complete exploration of the reachable state space, and delta-debugging
+// minimization of any counterexample.
+func runFast(alg string, n int, pso bool, maxStates int, save string) error {
+	prog, err := vmprog.Lookup(alg, n)
+	if err != nil {
+		return err
+	}
+	eng, err := vmprog.NewEngine(prog, n, pso)
+	if err != nil {
+		return err
+	}
+	res, err := eng.Check(maxStates)
+	if err != nil {
+		return err
+	}
+	ordering := "TSO"
+	if pso {
+		ordering = "PSO"
+	}
+	fmt.Printf("%s (VM), N=%d, %s: explored %d states (%d transitions), complete=%v\n",
+		prog.Name, n, ordering, res.States, res.Transitions, res.Complete)
+	if !res.Violation {
+		if res.Complete {
+			fmt.Println("VERIFIED: no schedule violates mutual exclusion (exhaustive)")
+		} else {
+			fmt.Println("no violation found within the budget (partial verification)")
+		}
+		return nil
+	}
+	min, err := eng.Minimize(res.Schedule)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VIOLATION: minimized schedule %d -> %d decisions\n", len(res.Schedule), len(min))
+	for i, d := range min {
+		kind := "step"
+		if d.Commit {
+			kind = "commit"
+			if d.VarPlus1 > 0 {
+				kind = fmt.Sprintf("commit %s (out of order)", prog.Vars[d.VarPlus1-1])
+			}
+		}
+		fmt.Printf("  %2d: p%d %s\n", i, d.P, kind)
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg := tso.Config{N: n}
+		if pso {
+			cfg.Ordering = tso.PSO
+		}
+		if err := check.SaveSchedule(f, cfg, min); err != nil {
+			return err
+		}
+		fmt.Printf("saved to %s\n", save)
+	}
+	return nil
+}

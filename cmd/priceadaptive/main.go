@@ -1,0 +1,60 @@
+// Command priceadaptive runs the reproduction experiments (E1..E8) and
+// prints their tables. With no arguments it runs every experiment; with
+// experiment IDs as arguments it runs just those.
+//
+// Usage:
+//
+//	priceadaptive [e1 e2 ...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"priceadaptive/internal/core"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit reports as a JSON array instead of tables")
+	flag.Parse()
+	if err := run(flag.Args(), *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "priceadaptive:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, jsonOut bool) error {
+	registry := core.Experiments()
+	ids := args
+	if len(ids) == 0 {
+		ids = core.ExperimentIDs()
+	}
+	var reports []*core.Report
+	for _, id := range ids {
+		id = strings.ToLower(id)
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v)", id, core.ExperimentIDs())
+		}
+		rep, err := runner()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if jsonOut {
+			reports = append(reports, rep)
+			continue
+		}
+		if err := rep.Fprint(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(reports)
+	}
+	return nil
+}

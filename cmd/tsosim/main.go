@@ -1,0 +1,138 @@
+// Command tsosim runs a mutual-exclusion algorithm on the TSO simulator
+// under a chosen scheduler and reports per-passage RMR, fence and
+// critical-event metrics under all three machine models, plus any exclusion
+// violation found.
+//
+// Usage:
+//
+//	tsosim -alg bakery -n 8 -passages 2 -sched rr
+//	tsosim -alg caschain -n 16 -sched random -seed 7 -commitp 0.3
+//	tsosim -adversary -alg synthetic -n 24   # run the lower-bound construction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"priceadaptive/internal/adversary"
+	"priceadaptive/internal/bounds"
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alg := flag.String("alg", "bakery", fmt.Sprintf("algorithm: %v", mutex.Names()))
+	n := flag.Int("n", 4, "number of processes")
+	passages := flag.Int("passages", 1, "passages per process")
+	schedName := flag.String("sched", "rr", "scheduler: rr, random, seq")
+	seed := flag.Int64("seed", 1, "random scheduler seed")
+	commitP := flag.Float64("commitp", 0.25, "random scheduler commit probability")
+	model := flag.String("model", "cc", "variable locality model: cc, dsm")
+	budget := flag.Int("budget", 50_000_000, "step budget")
+	trace := flag.Bool("trace", false, "print the execution trace (lane view)")
+	traceSpecial := flag.Bool("trace-special", false, "with -trace, print only special events")
+	adv := flag.Bool("adversary", false, "run the lower-bound construction instead of a scheduler")
+	advA := flag.Float64("fa", 16, "claimed adaptivity constant term (adversary mode)")
+	advC := flag.Float64("fc", 10, "claimed adaptivity slope (adversary mode)")
+	advCheck := flag.Bool("check", true, "adversary mode: assert the Lemma 6-8 invariants every phase (O(events) scans; disable for large N)")
+	flag.Parse()
+
+	factory, err := mutex.Lookup(*alg)
+	if err != nil {
+		return err
+	}
+	simModel := tso.CC
+	if *model == "dsm" {
+		simModel = tso.DSM
+	}
+
+	if *adv {
+		level := adversary.CheckNone
+		if *advCheck {
+			level = adversary.CheckInvariants
+		}
+		res, err := adversary.Run(adversary.Config{
+			N:         *n,
+			Model:     simModel,
+			Algorithm: mutex.Build(factory),
+			F:         bounds.Affine{A: *advA, C: *advC},
+			Check:     level,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("construction against %s (N=%d, %s, claimed f(i)=%g+%g*i)\n",
+			*alg, *n, simModel, *advA, *advC)
+		fmt.Printf("  stopped: %v\n", res.Stopped)
+		fmt.Printf("  fences forced: %d (contention %d, l=%d critical events/active)\n",
+			res.FencesForced, res.TotalContention, res.CriticalPerActive)
+		fmt.Printf("  active remaining: %d, events: %d\n", res.ActiveRemaining, res.Events)
+		if res.WitnessVerified {
+			fmt.Printf("  witness p%d verified: %d fences at total contention %d\n",
+				res.Witness, res.FencesForced, res.WitnessParticipants)
+		}
+		if res.Certificate != nil {
+			fmt.Printf("  certificate: %v\n", res.Certificate)
+		}
+		if res.Violation != nil {
+			fmt.Printf("  violation: %v\n", res.Violation)
+		}
+		return nil
+	}
+
+	var sched tso.Scheduler
+	switch *schedName {
+	case "rr":
+		sched = tso.NewRoundRobin()
+	case "random":
+		sched = tso.NewRandom(*seed, *commitP)
+	case "seq":
+		sched = tso.Sequential{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+
+	sim, err := tso.NewSimulator(tso.Config{N: *n, Passages: *passages, Model: simModel}, mutex.Build(factory))
+	if err != nil {
+		return err
+	}
+	defer sim.Kill()
+	accs := make([]*rmr.Accountant, 0, 3)
+	for _, m := range rmr.Models() {
+		accs = append(accs, rmr.Attach(sim, m))
+	}
+	res, err := tso.Run(sim, sched, *budget)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	fmt.Printf("%s on %d processes x %d passages under %s (%s): %d steps, completed=%v\n",
+		*alg, *n, *passages, *schedName, simModel, res.Steps, res.Completed)
+	if res.Violation != nil {
+		fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tpassages\tmax RMR\tmean RMR\tmax fences\tmean fences\tmax crit\tmean crit")
+	for _, acc := range accs {
+		s := acc.Summarize()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%.1f\t%d\t%.1f\n",
+			s.Model, s.Passages, s.MaxRMRs, s.MeanRMRs, s.MaxFences, s.MeanFences, s.MaxCritical, s.MeanCritical)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if *trace {
+		fmt.Println()
+		return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
+	}
+	return nil
+}

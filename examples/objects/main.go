@@ -1,0 +1,90 @@
+// Objects: the Section 5 story end to end. Build counters from queues,
+// stacks and a lock-free Treiber stack, stack Algorithm 1 (a one-time mutex)
+// on top of each, and measure that every passage costs exactly one object
+// operation plus a constant - the reduction that transfers the paper's fence
+// lower bound from locks to counters, stacks and queues.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/objects"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+func main() {
+	const n = 6
+	backends := []struct {
+		name  string
+		build tso.Build
+	}{
+		{"counter = CAS retry loop", func(s *tso.Simulator) (tso.Program, error) {
+			l := objects.NewOneTimeMutex(s.Memory(), n, objects.NewCASCounter(s.Memory()))
+			return passage(l), nil
+		}},
+		{"counter = bakery-locked cell", func(s *tso.Simulator) (tso.Program, error) {
+			c, err := objects.NewLockedCounter(s.Memory(), n, mutex.NewBakery)
+			if err != nil {
+				return nil, err
+			}
+			return passage(objects.NewOneTimeMutex(s.Memory(), n, c)), nil
+		}},
+		{"counter = dequeue from queue<0..n>", func(s *tso.Simulator) (tso.Program, error) {
+			l, err := objects.OneTimeFromQueue(s.Memory(), n, mutex.NewTAS)
+			if err != nil {
+				return nil, err
+			}
+			return passage(l), nil
+		}},
+		{"counter = pop from lock-free Treiber stack", func(s *tso.Simulator) (tso.Program, error) {
+			l, err := objects.OneTimeFromTreiber(s.Memory(), n)
+			if err != nil {
+				return nil, err
+			}
+			return passage(l), nil
+		}},
+	}
+
+	fmt.Printf("Algorithm 1 (one-time mutex from a counter), %d processes:\n\n", n)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "counter backend\tmax fences/passage\tmean\tmax RMRs\texclusion")
+	for _, b := range backends {
+		sim, err := tso.NewSimulator(tso.Config{N: n}, b.build)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := rmr.Attach(sim, rmr.ModelCCWriteBack)
+		res, err := tso.Run(sim, tso.NewRoundRobin(), 50_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "held"
+		if res.Violation != nil {
+			status = "VIOLATED"
+		}
+		s := acc.Summarize()
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%s\n", b.name, s.MaxFences, s.MeanFences, s.MaxRMRs, status)
+		sim.Kill()
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Each passage performs exactly one fetch&increment (one dequeue / one")
+	fmt.Println("pop) plus O(1) extra fences - Lemma 9. Any fence lower bound for")
+	fmt.Println("one-time mutual exclusion therefore applies to these objects too,")
+	fmt.Println("which is how Corollary 1 reaches counters, stacks and queues.")
+}
+
+func passage(l mutex.Lock) tso.Program {
+	return func(p *tso.Proc) {
+		l.Lock(p)
+		p.CS()
+		l.Unlock(p)
+	}
+}

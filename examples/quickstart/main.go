@@ -1,0 +1,54 @@
+// Quickstart: run a mutual-exclusion lock and a shared counter on the TSO
+// simulator and print per-passage cost metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/objects"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+func main() {
+	const n = 4
+
+	// Build a simulation of n processes, each performing two passages
+	// through a bakery-protected counter increment.
+	var counter objects.Counter
+	sim, err := tso.NewSimulator(tso.Config{N: n, Passages: 2, AllowConcurrentCS: true},
+		func(s *tso.Simulator) (tso.Program, error) {
+			c, err := objects.NewLockedCounter(s.Memory(), n, mutex.NewBakery)
+			if err != nil {
+				return nil, err
+			}
+			counter = c
+			return func(p *tso.Proc) {
+				prev := c.FetchIncrement(p)
+				fmt.Printf("p%d incremented the counter: %d -> %d\n", p.ID(), prev, prev+1)
+				p.CS()
+			}, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Kill()
+
+	// Attach an RMR accountant and drive the simulation with a seeded
+	// random scheduler (the adversary that decides when buffered writes
+	// commit).
+	acc := rmr.Attach(sim, rmr.ModelCCWriteBack)
+	res, err := tso.Run(sim, tso.NewRandom(42, 0.25), 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted=%v steps=%d violations=%v\n", res.Completed, res.Steps, res.Violation)
+	s := acc.Summarize()
+	fmt.Printf("counter %q: %d passages, mean %.1f RMRs and %.1f fences per passage\n",
+		counter.Name(), s.Passages, s.MeanRMRs, s.MeanFences)
+	fmt.Println("\nThe bakery lock pays 3 fences per passage at any contention -")
+	fmt.Println("the flat fence profile the paper proves adaptive algorithms cannot have.")
+}

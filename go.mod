@@ -1,0 +1,3 @@
+module priceadaptive
+
+go 1.22

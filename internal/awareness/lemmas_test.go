@@ -1,0 +1,225 @@
+package awareness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"priceadaptive/internal/tso"
+)
+
+// These tests exercise operational analogues of the paper's auxiliary facts
+// and lemmas on concrete executions, complementing the per-property unit
+// tests in awareness_test.go.
+
+// TestFact1ErasureAlgebra checks Fact 1 on recorded executions:
+// (E1 E2)^-Y = E1^-Y E2^-Y and (E^-Y)^-Z = E^-(Y∪Z).
+func TestFact1ErasureAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a synthetic event sequence over 4 processes.
+		var events []tso.Event
+		for i := 0; i < 40; i++ {
+			events = append(events, tso.Event{Seq: i, P: tso.ProcID(rng.Intn(4)), Kind: tso.EvRead})
+		}
+		cut := rng.Intn(len(events))
+		y := map[tso.ProcID]bool{tso.ProcID(rng.Intn(4)): true}
+		z := map[tso.ProcID]bool{tso.ProcID(rng.Intn(4)): true}
+
+		e := &tso.Execution{Events: events}
+		e1 := &tso.Execution{Events: events[:cut]}
+		e2 := &tso.Execution{Events: events[cut:]}
+
+		// (E1 E2)^-Y == E1^-Y ++ E2^-Y
+		whole := e.Erase(y)
+		parts := append(e1.Erase(y), e2.Erase(y)...)
+		if len(whole) != len(parts) {
+			return false
+		}
+		for i := range whole {
+			if whole[i] != parts[i] {
+				return false
+			}
+		}
+		// (E^-Y)^-Z == E^-(Y∪Z)
+		inner := &tso.Execution{Events: e.Erase(y)}
+		double := inner.Erase(z)
+		union := map[tso.ProcID]bool{}
+		for p := range y {
+			union[p] = true
+		}
+		for p := range z {
+			union[p] = true
+		}
+		direct := e.Erase(union)
+		if len(double) != len(direct) {
+			return false
+		}
+		for i := range double {
+			if double[i] != direct[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildIndependentRW gives each process two private variables it reads and
+// writes, so the set of active processes remains an IN-set throughout.
+func buildIndependentRW(ops int) tso.Build {
+	return func(sim *tso.Simulator) (tso.Program, error) {
+		n := sim.Config().N
+		a := sim.Memory().NewArray("a", n)
+		b := sim.Memory().NewArray("b", n)
+		return func(p *tso.Proc) {
+			i := p.ID()
+			for k := 0; k < ops; k++ {
+				p.Read(a[i])
+				p.Write(b[i], uint64(k))
+				if k%2 == 1 {
+					p.Fence()
+				}
+			}
+			p.CS()
+		}, nil
+	}
+}
+
+// TestLemma3NonCriticalExtensionPreservesINSet: extending a regular
+// execution with non-critical, non-transition events keeps the active set
+// an IN-set.
+func TestLemma3NonCriticalExtensionPreservesINSet(t *testing.T) {
+	s := mustSim(t, tso.Config{N: 3}, buildIndependentRW(4))
+	// Bring all into the entry section with their first reads executed
+	// (criticals happen here).
+	for i := 0; i < 3; i++ {
+		stepN(t, s, tso.ProcID(i), 3) // Enter, Read a[i] (critical), Issue b[i]
+	}
+	if err := CheckRegular(s, Options{CheckIN3: true}); err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	// Extend with non-critical events only: re-reads of a[i] are
+	// non-critical (second remote read), issues are never critical.
+	for i := 0; i < 3; i++ {
+		stepN(t, s, tso.ProcID(i), 1) // Read a[i] again: non-critical
+	}
+	evs := s.Execution().Events
+	for _, e := range evs[len(evs)-3:] {
+		if e.Critical {
+			t.Fatalf("extension event unexpectedly critical: %v", e)
+		}
+	}
+	if err := CheckRegular(s, Options{CheckIN3: true}); err != nil {
+		t.Fatalf("after extension: %v", err)
+	}
+}
+
+// TestLemma4ErasurePreservesStructure: erasing a subset of an IN-set leaves
+// an execution in which the remaining invisible processes still form an
+// IN-set, with identical critical events (parts 1-4 of Lemma 4).
+func TestLemma4ErasurePreservesStructure(t *testing.T) {
+	s := mustSim(t, tso.Config{N: 4}, buildIndependentRW(3))
+	for i := 0; i < 4; i++ {
+		stepN(t, s, tso.ProcID(i), 4)
+	}
+	if err := CheckRegular(s, Options{}); err != nil {
+		t.Fatalf("base regularity: %v", err)
+	}
+	banned := map[tso.ProcID]bool{1: true, 3: true}
+	rs, err := s.Replay(banned)
+	if err != nil {
+		t.Fatalf("Lemma 1/4: erasure is not an execution: %v", err)
+	}
+	defer rs.Kill()
+	// Part: E^-Y is an execution whose projections match (Lemma 4.4).
+	if err := tso.VerifyErasure(s.Execution(), rs.Execution(), banned); err != nil {
+		t.Fatalf("Lemma 4 projections: %v", err)
+	}
+	// Part: Act(E') = Act(E) \ Y (Lemma 4.2).
+	act := rs.Active()
+	if len(act) != 2 || act[0] != 0 || act[1] != 2 {
+		t.Fatalf("Act after erasure = %v, want [0 2]", act)
+	}
+	// Part: INV \ Y is an IN-set of E' (Lemma 4.3).
+	if err := CheckRegular(rs, Options{CheckIN3: true}); err != nil {
+		t.Fatalf("Lemma 4.3: %v", err)
+	}
+	// Part: same critical events (Lemma 4.4) - compare counts.
+	for _, p := range act {
+		if got, want := rs.CurrentStats(p).Critical, s.CurrentStats(p).Critical; got != want {
+			t.Errorf("p%d criticals after erasure = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestLemma5RunToSpecialPreservesRegularity: advancing every active process
+// to the brink of its next special event adds no special events and keeps
+// the execution regular; afterwards every process is about to execute a
+// special event.
+func TestLemma5RunToSpecialPreservesRegularity(t *testing.T) {
+	s := mustSim(t, tso.Config{N: 3}, buildIndependentRW(2))
+	for i := 0; i < 3; i++ {
+		stepN(t, s, tso.ProcID(i), 1) // Enter only: H_0
+	}
+	specialBefore := countSpecial(s)
+	for i := 0; i < 3; i++ {
+		p := tso.ProcID(i)
+		for !s.PendingSpecial(p) {
+			if _, err := s.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := countSpecial(s); got != specialBefore {
+		t.Fatalf("run-to-special added %d special events", got-specialBefore)
+	}
+	for i := 0; i < 3; i++ {
+		if !s.PendingSpecial(tso.ProcID(i)) {
+			t.Fatalf("p%d not at a special event", i)
+		}
+	}
+	if err := CheckRegular(s, Options{CheckIN3: true}); err != nil {
+		t.Fatalf("regularity: %v", err)
+	}
+}
+
+func countSpecial(s *tso.Simulator) int {
+	n := 0
+	for _, e := range s.Execution().Events {
+		if e.IsSpecial() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestClaim1CriticalityStableUnderErasure: events keep their (non-)critical
+// status in the erased execution when the erased set is invisible (the IN3
+// machinery, which is Claim 1 + Lemma 4 operationally).
+func TestClaim1CriticalityStableUnderErasure(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := tso.NewSimulator(tso.Config{N: 4, AllowConcurrentCS: true}, buildIndependentRW(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Kill()
+		sched := tso.NewRandom(seed, 0.2)
+		if _, err := tso.Run(s, sched, 100000); err != nil {
+			t.Fatal(err)
+		}
+		// All processes are independent, so any subset is invisible.
+		banned := map[tso.ProcID]bool{tso.ProcID(seed % 4): true}
+		rs, err := s.Replay(banned)
+		if err != nil {
+			return false
+		}
+		defer rs.Kill()
+		return verifyErasureCriticality(s.Execution(), rs.Execution(), banned) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

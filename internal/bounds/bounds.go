@@ -1,0 +1,236 @@
+// Package bounds evaluates the quantitative side of the paper's results:
+// the Theorem 1 / Theorem 3 inequality
+//
+//	f(i) <= N^(2^-f(i)) / (f(i)! * 4^(f(i)+2i)),
+//
+// the active-set lower bound of Theorem 3, and the closed-form fence-count
+// rates of Corollaries 2 and 3. The raw inequality involves N^(2^-f), which
+// overflows every machine type for interesting N, so everything is computed
+// in the log2 domain:
+//
+//	log2 f + log2 f! + 2(f+2i) <= 2^-f * log2 N.
+//
+// N itself is therefore always passed as log2(N), allowing N as large as
+// 2^(10^300).
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// AdaptivityFunc is an adaptivity function f: the algorithm performs O(f(k))
+// critical events per passage at total contention k.
+type AdaptivityFunc interface {
+	// Name returns a short label such as "linear(c=1)".
+	Name() string
+	// Eval returns f(i).
+	Eval(i int) float64
+}
+
+// Constant is the constant adaptivity function f(i) = C. Kim and Anderson
+// proved sub-linear adaptivity impossible, so it exists here for the bound
+// tables only.
+type Constant struct{ C float64 }
+
+// Name implements AdaptivityFunc.
+func (f Constant) Name() string { return fmt.Sprintf("constant(%g)", f.C) }
+
+// Eval implements AdaptivityFunc.
+func (f Constant) Eval(int) float64 { return f.C }
+
+// Linear is f(i) = C*i, the family of Corollary 2 (e.g. the Kim-Anderson
+// adaptive mutex, whose RMR complexity is O(min(k, log n))).
+type Linear struct{ C float64 }
+
+// Name implements AdaptivityFunc.
+func (f Linear) Name() string { return fmt.Sprintf("linear(c=%g)", f.C) }
+
+// Eval implements AdaptivityFunc.
+func (f Linear) Eval(i int) float64 { return f.C * float64(i) }
+
+// Affine is f(i) = A + C*i: linear adaptivity with a constant solo cost.
+// Real adaptive algorithms have this shape - a passage costs a few critical
+// events even with no contention at all.
+type Affine struct {
+	A float64
+	C float64
+}
+
+// Name implements AdaptivityFunc.
+func (f Affine) Name() string { return fmt.Sprintf("affine(a=%g,c=%g)", f.A, f.C) }
+
+// Eval implements AdaptivityFunc.
+func (f Affine) Eval(i int) float64 { return f.A + f.C*float64(i) }
+
+// Polynomial is f(i) = C*i^D.
+type Polynomial struct {
+	C float64
+	D float64
+}
+
+// Name implements AdaptivityFunc.
+func (f Polynomial) Name() string { return fmt.Sprintf("poly(c=%g,d=%g)", f.C, f.D) }
+
+// Eval implements AdaptivityFunc.
+func (f Polynomial) Eval(i int) float64 { return f.C * math.Pow(float64(i), f.D) }
+
+// Exponential is f(i) = 2^(C*i), the family of Corollary 3.
+type Exponential struct{ C float64 }
+
+// Name implements AdaptivityFunc.
+func (f Exponential) Name() string { return fmt.Sprintf("exp(c=%g)", f.C) }
+
+// Eval implements AdaptivityFunc.
+func (f Exponential) Eval(i int) float64 { return math.Exp2(f.C * float64(i)) }
+
+// Log2Factorial returns log2(n!) for real n >= 0 via the log-gamma function.
+func Log2Factorial(n float64) float64 {
+	if n < 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(n + 1)
+	return lg / math.Ln2
+}
+
+// Theorem1Holds reports whether the Theorem 1 side condition holds for
+// adaptivity value f at induction step i with log2(N) bits of processes:
+//
+//	f <= N^(2^-f) / (f! * 4^(f+2i))
+//
+// evaluated as log2 f + log2 f! + 2(f+2i) <= 2^-f * log2 N.
+func Theorem1Holds(f float64, i int, log2N float64) bool {
+	if f < 1 {
+		// Fewer than one critical event per passage cannot complete a
+		// passage; treat the condition as holding vacuously for f < 1 when
+		// there is at least one process.
+		return log2N > 0
+	}
+	lhs := math.Log2(f) + Log2Factorial(f) + 2*(f+2*float64(i))
+	rhs := math.Exp2(-f) * log2N
+	return lhs <= rhs
+}
+
+// ForcedFences returns the largest i in [0, maxI] such that the Theorem 1
+// condition holds for fn at i, which by Theorem 1 is a number of fences some
+// process is forced to execute during a single passage in an execution of
+// total contention i+1. It returns 0 if the condition fails already at i=1.
+func ForcedFences(fn AdaptivityFunc, log2N float64, maxI int) int {
+	best := 0
+	for i := 1; i <= maxI; i++ {
+		if Theorem1Holds(fn.Eval(i), i, log2N) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Log2ActLowerBound returns log2 of the Theorem 3 lower bound on the number
+// of active processes after induction step i with l critical events per
+// active process:
+//
+//	|Act(H_i)| >= N^(2^-l) / (l! * 4^(l+2i)).
+func Log2ActLowerBound(l, i int, log2N float64) float64 {
+	return math.Exp2(-float64(l))*log2N - Log2Factorial(float64(l)) - 2*(float64(l)+2*float64(i))
+}
+
+// Corollary2Rate returns the closed-form fence count (1/(3c)) * log2 log2 N
+// that Corollary 2 guarantees for a linear adaptivity function f(i) = c*i.
+func Corollary2Rate(c, log2N float64) float64 {
+	if log2N <= 1 {
+		return 0
+	}
+	return math.Log2(log2N) / (3 * c)
+}
+
+// Corollary3Rate returns the closed-form fence count (1/c) * (log2 log2 log2
+// N - 1) that Corollary 3 guarantees for an exponential adaptivity function
+// f(i) = 2^(c*i).
+func Corollary3Rate(c, log2N float64) float64 {
+	if log2N <= 1 {
+		return 0
+	}
+	ll := math.Log2(log2N)
+	if ll <= 1 {
+		return 0
+	}
+	return (math.Log2(ll) - 1) / c
+}
+
+// Row is one line of a bound table: for N = 2^Log2N processes, the number of
+// fences Theorem 1 forces and the corollary's closed-form rate.
+type Row struct {
+	Log2N  float64
+	Forced int
+	Rate   float64
+}
+
+// Table sweeps log2N over the given values and returns (forced fences,
+// closed-form rate) rows for fn. rate should be the matching corollary
+// closed form; pass nil to skip it.
+func Table(fn AdaptivityFunc, log2Ns []float64, maxI int, rate func(log2N float64) float64) []Row {
+	rows := make([]Row, 0, len(log2Ns))
+	for _, l2n := range log2Ns {
+		r := Row{Log2N: l2n, Forced: ForcedFences(fn, l2n, maxI)}
+		if rate != nil {
+			r.Rate = rate(l2n)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// MinProcsForFences performs the inverse query of ForcedFences: the smallest
+// log2 N (searched over integers up to maxLog2N) for which the construction
+// forces at least i fences under fn. It returns +Inf if none suffices.
+func MinProcsForFences(fn AdaptivityFunc, i int, maxLog2N float64) float64 {
+	lo, hi := 1.0, maxLog2N
+	if ForcedFences(fn, hi, i+4) < i {
+		return math.Inf(1)
+	}
+	for hi-lo > 0.5 {
+		mid := (lo + hi) / 2
+		if ForcedFences(fn, mid, i+4) >= i {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return math.Ceil(hi)
+}
+
+// AHWCost returns the left-hand side of Inequality 3 from Attiya, Hendler
+// and Woelfel (PODC 2015), the PSO fence/RMR tradeoff the paper's discussion
+// cites: an operation performing f fences and r RMRs on a read/write PSO
+// implementation of locks, counters or queues satisfies
+//
+//	f * log2(r/f) + 1 >= c * log2 N
+//
+// for a constant c (normalized to 1 here). AHWCost returns f*log2(r/f)+1;
+// it is -Inf for invalid inputs (f < 1 or r < f).
+func AHWCost(f, r float64) float64 {
+	if f < 1 || r < f {
+		return math.Inf(-1)
+	}
+	return f*math.Log2(r/f) + 1
+}
+
+// AHWFeasible reports whether an (f fences, r RMRs) operation profile is
+// consistent with Inequality 3 at log2 N bits of processes.
+func AHWFeasible(f, r, log2N float64) bool {
+	return AHWCost(f, r) >= log2N
+}
+
+// MinPSOFences returns the smallest integer fence count f <= maxF that makes
+// an operation with r RMRs feasible under Inequality 3, or maxF+1 if none
+// does. With r = Θ(log N) RMRs this grows as Θ(log N / log log N): no PSO
+// analogue of the O(1)-fence O(log N)-RMR TSO algorithm of [6] exists, which
+// is the TSO/PSO separation discussed in the paper's Section 6.
+func MinPSOFences(r, log2N float64, maxF int) int {
+	for f := 1; f <= maxF; f++ {
+		if AHWFeasible(float64(f), r, log2N) {
+			return f
+		}
+	}
+	return maxF + 1
+}

@@ -1,0 +1,244 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2Factorial(t *testing.T) {
+	cases := []struct {
+		n    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, math.Log2(6)},
+		{4, math.Log2(24)},
+		{10, math.Log2(3628800)},
+	}
+	for _, c := range cases {
+		if got := Log2Factorial(c.n); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Log2Factorial(%g) = %g, want %g", c.n, got, c.want)
+		}
+	}
+	if !math.IsInf(Log2Factorial(-1), -1) {
+		t.Error("negative input should return -Inf")
+	}
+}
+
+func TestTheorem1HoldsSmallCases(t *testing.T) {
+	// f=1, i=1: lhs = 0 + 0 + 2*(1+2) = 6; rhs = log2N/2. Holds iff
+	// log2N >= 12.
+	if Theorem1Holds(1, 1, 11.9) {
+		t.Error("should fail just below the threshold")
+	}
+	if !Theorem1Holds(1, 1, 12.0) {
+		t.Error("should hold at the threshold")
+	}
+	// Monotone in log2N.
+	if !Theorem1Holds(1, 1, 100) {
+		t.Error("should hold for larger N")
+	}
+	// Vacuous case f < 1.
+	if !Theorem1Holds(0.5, 0, 1) {
+		t.Error("f<1 with processes should hold vacuously")
+	}
+}
+
+func TestTheorem1MonotoneInN(t *testing.T) {
+	f := func(fv uint8, iv uint8, l2n uint16) bool {
+		fval := float64(fv%20) + 1
+		i := int(iv % 20)
+		l := float64(l2n)
+		if Theorem1Holds(fval, i, l) {
+			// Must also hold for larger N.
+			return Theorem1Holds(fval, i, l*2+1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcedFencesGrowsWithN(t *testing.T) {
+	fn := Linear{C: 1}
+	prev := -1
+	for _, l2n := range []float64{8, 16, 64, 1024, 1 << 20, 1 << 40} {
+		got := ForcedFences(fn, l2n, 200)
+		if got < prev {
+			t.Fatalf("forced fences decreased: %d after %d at log2N=%g", got, prev, l2n)
+		}
+		prev = got
+	}
+	if prev < 3 {
+		t.Errorf("forced fences at log2N=2^40 = %d, want >= 3", prev)
+	}
+}
+
+func TestCorollary2LowerBoundsForcedFences(t *testing.T) {
+	// The paper proves the inequality holds for i = (1/3c) log2 log2 N, so
+	// ForcedFences must be at least that (for N large enough that the
+	// asymptotic argument applies).
+	for _, c := range []float64{1, 2} {
+		fn := Linear{C: c}
+		for _, l2n := range []float64{1 << 10, 1 << 20, 1 << 40, 1e9, 1e18} {
+			forced := ForcedFences(fn, l2n, 400)
+			rate := Corollary2Rate(c, l2n)
+			if float64(forced) < math.Floor(rate) {
+				t.Errorf("c=%g log2N=%g: forced=%d < floor(rate)=%g",
+					c, l2n, forced, math.Floor(rate))
+			}
+		}
+	}
+}
+
+func TestCorollary3LowerBoundsForcedFences(t *testing.T) {
+	for _, c := range []float64{1, 2} {
+		fn := Exponential{C: c}
+		for _, l2n := range []float64{1 << 10, 1 << 20, 1e9, 1e18, 1e30} {
+			forced := ForcedFences(fn, l2n, 100)
+			rate := Corollary3Rate(c, l2n)
+			if float64(forced) < math.Floor(rate) {
+				t.Errorf("c=%g log2N=%g: forced=%d < floor(rate)=%g",
+					c, l2n, forced, math.Floor(rate))
+			}
+		}
+	}
+}
+
+func TestCorollaryRatesGrowth(t *testing.T) {
+	// Corollary 2's rate is Θ(log log N): doubling log2 N adds 1/(3c).
+	r1 := Corollary2Rate(1, 1<<20)
+	r2 := Corollary2Rate(1, 1<<21)
+	if d := r2 - r1; math.Abs(d-1.0/3.0) > 1e-9 {
+		t.Errorf("doubling log2N changed rate by %g, want 1/3", d)
+	}
+	// Corollary 3's rate is Θ(log log log N): doubling log2 log2 N adds
+	// 1/c.
+	e1 := Corollary3Rate(1, math.Exp2(16)) // log2 log2 N = 4
+	e2 := Corollary3Rate(1, math.Exp2(32)) // log2 log2 N = 5
+	if d := e2 - e1; math.Abs(d-1) > 1e-9 {
+		t.Errorf("rate delta = %g, want 1", d)
+	}
+	if Corollary2Rate(1, 1) != 0 || Corollary3Rate(1, 1) != 0 {
+		t.Error("degenerate N must give 0")
+	}
+	if Corollary3Rate(1, 2) != 0 {
+		t.Error("log2N=2 gives loglog=1, rate 0")
+	}
+}
+
+func TestLog2ActLowerBound(t *testing.T) {
+	// l=0, i=0: bound is N.
+	if got := Log2ActLowerBound(0, 0, 30); got != 30 {
+		t.Errorf("Log2ActLowerBound(0,0) = %g, want 30", got)
+	}
+	// Decreasing in l and i.
+	base := Log2ActLowerBound(2, 1, 1<<20)
+	if Log2ActLowerBound(3, 1, 1<<20) >= base {
+		t.Error("bound must decrease in l")
+	}
+	if Log2ActLowerBound(2, 2, 1<<20) >= base {
+		t.Error("bound must decrease in i")
+	}
+}
+
+func TestAdaptivityFamilies(t *testing.T) {
+	cases := []struct {
+		fn   AdaptivityFunc
+		i    int
+		want float64
+	}{
+		{Constant{C: 5}, 100, 5},
+		{Linear{C: 2}, 7, 14},
+		{Polynomial{C: 1, D: 2}, 5, 25},
+		{Exponential{C: 1}, 4, 16},
+		{Exponential{C: 2}, 3, 64},
+	}
+	for _, c := range cases {
+		if got := c.fn.Eval(c.i); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s.Eval(%d) = %g, want %g", c.fn.Name(), c.i, got, c.want)
+		}
+		if c.fn.Name() == "" {
+			t.Errorf("%T has empty name", c.fn)
+		}
+	}
+}
+
+func TestForcedFencesFasterGrowthMeansFewerFences(t *testing.T) {
+	// At the same N, an exponentially adaptive algorithm can be forced
+	// through at most as many fences as a linearly adaptive one: the
+	// tradeoff weakens as adaptivity functions grow faster.
+	for _, l2n := range []float64{1 << 16, 1 << 32, 1e12} {
+		lin := ForcedFences(Linear{C: 1}, l2n, 300)
+		exp := ForcedFences(Exponential{C: 1}, l2n, 300)
+		if exp > lin {
+			t.Errorf("log2N=%g: exponential forced %d > linear forced %d", l2n, exp, lin)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := Table(Linear{C: 1}, []float64{16, 1 << 20}, 100, func(l float64) float64 {
+		return Corollary2Rate(1, l)
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[1].Forced < rows[0].Forced {
+		t.Error("forced fences must not decrease with N")
+	}
+	if rows[1].Rate <= rows[0].Rate {
+		t.Error("rate must grow with N")
+	}
+}
+
+func TestMinProcsForFences(t *testing.T) {
+	fn := Linear{C: 1}
+	// Find the N needed for 2 forced fences, then confirm consistency.
+	l2n := MinProcsForFences(fn, 2, 1e9)
+	if math.IsInf(l2n, 1) {
+		t.Fatal("no N found for 2 fences")
+	}
+	if got := ForcedFences(fn, l2n, 50); got < 2 {
+		t.Errorf("at returned log2N=%g forced=%d, want >=2", l2n, got)
+	}
+	if got := ForcedFences(fn, l2n-2, 50); got >= 2 {
+		t.Errorf("just below returned log2N forced=%d, want <2", got)
+	}
+	if !math.IsInf(MinProcsForFences(fn, 10000, 10), 1) {
+		t.Error("unreachable fence count must return +Inf")
+	}
+}
+
+func TestAHWCost(t *testing.T) {
+	// f=2, r=8: 2*log2(4)+1 = 5.
+	if got := AHWCost(2, 8); math.Abs(got-5) > 1e-9 {
+		t.Errorf("AHWCost(2,8) = %g, want 5", got)
+	}
+	if !math.IsInf(AHWCost(0.5, 8), -1) || !math.IsInf(AHWCost(4, 2), -1) {
+		t.Error("invalid inputs must return -Inf")
+	}
+}
+
+func TestAHWFeasibleAndMinFences(t *testing.T) {
+	// With r = log2^2 N, feasibility requires f ~ log N / log log N.
+	l2n := 1024.0
+	f := MinPSOFences(l2n*l2n, l2n, 1<<20)
+	if f <= 1 || f > 1<<20 {
+		t.Fatalf("MinPSOFences = %d", f)
+	}
+	if !AHWFeasible(float64(f), l2n*l2n, l2n) {
+		t.Error("returned fence count must be feasible")
+	}
+	if AHWFeasible(float64(f-1), l2n*l2n, l2n) {
+		t.Error("fence count must be minimal")
+	}
+	// r = log2 N is infeasible at any fence count (the TSO/PSO separation).
+	if got := MinPSOFences(l2n, l2n, 1<<20); got != 1<<20+1 {
+		t.Errorf("r=log2N must be infeasible, got %d", got)
+	}
+}

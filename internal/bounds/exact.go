@@ -1,0 +1,61 @@
+package bounds
+
+import (
+	"math"
+	"math/big"
+)
+
+// Theorem1HoldsExact evaluates the Theorem 1 side condition with exact
+// integer arithmetic (math/big): f! * 4^(f+2i) * f <= N^(2^-f), tested as
+//
+//	(f * f! * 4^(f+2i))^(2^f) <= N,
+//
+// which is equivalent for integer f >= 1 and avoids fractional exponents
+// entirely. It exists to cross-check the fast float64 log-domain evaluation
+// in Theorem1Holds; the property tests assert the two agree away from the
+// boundary. N must be given as an exact integer.
+func Theorem1HoldsExact(f int, i int, n *big.Int) bool {
+	if f < 1 {
+		return n.Sign() > 0
+	}
+	// lhs = f * f! * 4^(f+2i)
+	lhs := new(big.Int).MulRange(1, int64(f)) // f!
+	lhs.Mul(lhs, big.NewInt(int64(f)))
+	fourPow := new(big.Int).Exp(big.NewInt(4), big.NewInt(int64(f+2*i)), nil)
+	lhs.Mul(lhs, fourPow)
+	// raised = lhs^(2^f)
+	exp := new(big.Int).Lsh(big.NewInt(1), uint(f))
+	// Guard: if lhs >= 2 and 2^f * bitlen(lhs) exceeds the bit length of
+	// N by a wide margin, the inequality certainly fails; this avoids
+	// astronomically large intermediate values.
+	if lhs.Cmp(big.NewInt(1)) > 0 {
+		needBits := new(big.Int).Mul(exp, big.NewInt(int64(lhs.BitLen()-1)))
+		if needBits.Cmp(big.NewInt(int64(n.BitLen()))) > 0 {
+			return false
+		}
+	}
+	raised := new(big.Int).Exp(lhs, exp, nil)
+	return raised.Cmp(n) <= 0
+}
+
+// ForcedFencesExact is ForcedFences evaluated with exact arithmetic.
+func ForcedFencesExact(fn AdaptivityFunc, n *big.Int, maxI int) int {
+	best := 0
+	for i := 1; i <= maxI; i++ {
+		fv := fn.Eval(i)
+		if fv > 1<<20 || math.IsInf(fv, 0) || math.IsNaN(fv) {
+			break
+		}
+		f := int(math.Ceil(fv))
+		if Theorem1HoldsExact(f, i, n) {
+			best = i
+		}
+	}
+	return best
+}
+
+// PowerOfTwo returns 2^log2N as an exact integer, a convenience for building
+// the N arguments of the exact checks.
+func PowerOfTwo(log2N int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(log2N))
+}

@@ -1,0 +1,81 @@
+package bounds
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestTheorem1ExactSmallCases(t *testing.T) {
+	// f=1, i=1: condition is (1 * 1! * 4^3)^2 = 4096 <= N, i.e. N >= 2^12,
+	// matching the float threshold log2N >= 12.
+	if Theorem1HoldsExact(1, 1, big.NewInt(4095)) {
+		t.Error("must fail below 4096")
+	}
+	if !Theorem1HoldsExact(1, 1, big.NewInt(4096)) {
+		t.Error("must hold at 4096")
+	}
+	// f < 1 vacuous with processes.
+	if !Theorem1HoldsExact(0, 0, big.NewInt(1)) {
+		t.Error("f=0 with processes must hold")
+	}
+	if Theorem1HoldsExact(0, 0, big.NewInt(0)) {
+		t.Error("no processes must fail")
+	}
+}
+
+func TestTheorem1ExactAgreesWithFloat(t *testing.T) {
+	// Property: the log-domain float evaluation agrees with exact
+	// arithmetic except within a hair of the boundary.
+	f := func(fv uint8, iv uint8, l2n uint16) bool {
+		fval := int(fv%12) + 1
+		i := int(iv % 12)
+		log2N := int(l2n%5000) + 1
+		exact := Theorem1HoldsExact(fval, i, PowerOfTwo(log2N))
+		approx := Theorem1Holds(float64(fval), i, float64(log2N))
+		if exact == approx {
+			return true
+		}
+		// Disagreement must only happen at the boundary: nudge log2N by
+		// one bit in each direction and require agreement there.
+		return Theorem1Holds(float64(fval), i, float64(log2N)+1) ==
+			Theorem1HoldsExact(fval, i, PowerOfTwo(log2N+1)) ||
+			Theorem1Holds(float64(fval), i, float64(log2N)-1) ==
+				Theorem1HoldsExact(fval, i, PowerOfTwo(log2N-1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcedFencesExactAgreesWithFloat(t *testing.T) {
+	for _, log2N := range []int{8, 16, 64, 1024, 65536} {
+		fn := Linear{C: 1}
+		exact := ForcedFencesExact(fn, PowerOfTwo(log2N), 200)
+		approx := ForcedFences(fn, float64(log2N), 200)
+		if d := exact - approx; d < -1 || d > 1 {
+			t.Errorf("log2N=%d: exact=%d approx=%d", log2N, exact, approx)
+		}
+	}
+}
+
+func TestTheorem1ExactHugeRejection(t *testing.T) {
+	// The bit-length guard must reject without computing lhs^(2^f) when
+	// the result would be astronomically larger than N.
+	if Theorem1HoldsExact(30, 10, PowerOfTwo(100)) {
+		t.Error("f=30 at N=2^100 must fail")
+	}
+}
+
+func TestForcedFencesExactStopsOnOverflow(t *testing.T) {
+	// Exponential adaptivity exceeds the 2^20 cap quickly; the sweep must
+	// stop cleanly.
+	got := ForcedFencesExact(Exponential{C: 2}, PowerOfTwo(1<<20), 100)
+	if got < 0 {
+		t.Errorf("got %d", got)
+	}
+	if math.IsNaN(float64(got)) {
+		t.Error("unreachable")
+	}
+}

@@ -1,0 +1,35 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/bounds"
+)
+
+// Example computes the paper's headline numbers: how many fences Theorem 1
+// forces on a linearly adaptive algorithm as the process count grows.
+func Example() {
+	for _, log2N := range []float64{64, 1 << 16, 1e18} {
+		forced := bounds.ForcedFences(bounds.Linear{C: 1}, log2N, 500)
+		rate := bounds.Corollary2Rate(1, log2N)
+		fmt.Printf("log2 N = %-8g forced fences = %-3d closed form = %.2f\n", log2N, forced, rate)
+	}
+	// Output:
+	// log2 N = 64       forced fences = 2   closed form = 2.00
+	// log2 N = 65536    forced fences = 9   closed form = 5.33
+	// log2 N = 1e+18    forced fences = 50  closed form = 19.93
+}
+
+// ExampleMinPSOFences evaluates the discussion section's PSO tradeoff
+// (Attiya-Hendler-Woelfel Inequality 3): with only r = log2 N RMRs per
+// operation, no fence count satisfies the PSO bound.
+func ExampleMinPSOFences() {
+	const log2N = 1024
+	f := bounds.MinPSOFences(log2N, log2N, 1<<20)
+	fmt.Println("r = log2 N feasible:", f <= 1<<20)
+	f2 := bounds.MinPSOFences(log2N*log2N, log2N, 1<<20)
+	fmt.Printf("r = log2^2 N needs %d fences\n", f2)
+	// Output:
+	// r = log2 N feasible: false
+	// r = log2^2 N needs 75 fences
+}

@@ -1,0 +1,201 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+func TestExhaustiveFindsPetersonNoFenceViolation(t *testing.T) {
+	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatalf("fence-free Peterson must violate exclusion (states=%d complete=%v)", rep.States, rep.Complete)
+	}
+	if len(rep.Schedule) == 0 {
+		t.Fatal("violation must come with a reproducing schedule")
+	}
+	// The schedule must actually reproduce the violation.
+	sim, err := rebuild(tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences), rep.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	if sim.ExclusionViolation() == nil {
+		t.Error("replaying the reported schedule did not reproduce the violation")
+	}
+	t.Logf("violation after %d states, schedule length %d", rep.States, len(rep.Schedule))
+}
+
+func TestExhaustiveVerifiesFencedPeterson(t *testing.T) {
+	// With spin collapsing the reachable state space of the fenced
+	// Peterson lock is finite, so the verification must be COMPLETE: no
+	// TSO schedule of one passage each violates exclusion.
+	rep, err := Exhaustive{MaxStates: 500000, MaxDepth: 256, CollapseSpins: true}.
+		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("fenced Peterson violated exclusion: %v (schedule %v)", rep.Violation, rep.Schedule)
+	}
+	if !rep.Complete {
+		t.Errorf("verification incomplete: %d states", rep.States)
+	}
+	t.Logf("complete verification: %d states, %d decisions", rep.States, rep.Decisions)
+}
+
+func TestExhaustiveVerifiesTAS(t *testing.T) {
+	rep, err := Exhaustive{MaxStates: 200000, MaxDepth: 256, CollapseSpins: true}.
+		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewTAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("TAS violated exclusion: %v", rep.Violation)
+	}
+	if !rep.Complete {
+		t.Errorf("verification incomplete: %d states", rep.States)
+	}
+}
+
+func TestExhaustiveStateDeduplication(t *testing.T) {
+	// Two independent processes touching disjoint variables: the state
+	// space must collapse to far fewer states than raw interleavings
+	// (which would be C(2k, k) for k events each).
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		vs := sim.Memory().NewArray("v", 2)
+		return func(p *tso.Proc) {
+			for i := 0; i < 3; i++ {
+				p.Read(vs[p.ID()])
+			}
+			p.CS()
+		}, nil
+	}
+	rep, err := Exhaustive{}.Verify(tso.Config{N: 2, AllowConcurrentCS: true}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatal("tiny program must be fully explored")
+	}
+	// Raw schedules would exceed 70; trace dedup must collapse states to
+	// the product of positions (~7*7 plus transition states).
+	if rep.States > 200 {
+		t.Errorf("states = %d, dedup ineffective", rep.States)
+	}
+}
+
+func TestSweepPassesForCorrectLock(t *testing.T) {
+	if err := Sweep(tso.Config{N: 3}, mutex.Build(mutex.NewBakery), 5, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepCatchesBrokenLock(t *testing.T) {
+	err := Sweep(tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences), 5, 100000)
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v, want ErrViolation", err)
+	}
+}
+
+func TestCrashSchedulerBlocksLockBasedAlgorithms(t *testing.T) {
+	// Crash the first process mid-entry (after a handful of its steps):
+	// the TAS holder never releases and the survivors spin until the
+	// budget runs out - demonstrating that locks are blocking.
+	sim, err := tso.NewSimulator(tso.Config{N: 3}, mutex.Build(mutex.NewTAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	sched := &CrashScheduler{Inner: tso.NewRoundRobin(), Victim: 0, CrashAfter: 4}
+	res, err := tso.Run(sim, sched, 50000)
+	if err == nil && res.Completed {
+		t.Fatal("run completed despite crashed lock holder")
+	}
+	if res.Violation != nil {
+		t.Fatalf("crash must not cause exclusion violation: %v", res.Violation)
+	}
+	if sim.Done(0) {
+		t.Error("victim should not have finished")
+	}
+}
+
+func TestCrashSchedulerVictimBeforeAcquisition(t *testing.T) {
+	// Crashing a process before it does anything (CrashAfter=0 grants it
+	// nothing): the others must still complete - no blocking on a process
+	// that never entered.
+	sim, err := tso.NewSimulator(tso.Config{N: 3}, mutex.Build(mutex.NewTAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	sched := &CrashScheduler{Inner: tso.NewRoundRobin(), Victim: 2, CrashAfter: 0}
+	res, err := tso.Run(sim, sched, 100000)
+	if err != nil && !errors.Is(err, tso.ErrStepBudget) {
+		t.Fatal(err)
+	}
+	if !sim.Done(0) || !sim.Done(1) {
+		t.Error("survivors must complete when the victim never started")
+	}
+	_ = res
+}
+
+func TestDetectStallFindsLostWakeup(t *testing.T) {
+	// A deliberately broken handoff: p0 waits for a flag nobody sets.
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		flag := sim.Memory().NewVar("never")
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				for p.Read(flag) == 0 {
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	sim, err := tso.NewSimulator(tso.Config{N: 2, AllowConcurrentCS: true}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	rep, err := DetectStall(sim, tso.NewRoundRobin(), 500, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("expected a stall report")
+	}
+	if len(rep.Stalled) != 1 || rep.Stalled[0].P != 0 {
+		t.Fatalf("stalled = %+v, want p0 only", rep.Stalled)
+	}
+	if rep.String() == "" {
+		t.Error("report must render")
+	}
+}
+
+func TestDetectStallPassesLiveLocks(t *testing.T) {
+	for _, name := range []string{"bakery", "yanganderson", "mcs", "tournament"} {
+		f, err := mutex.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := tso.NewSimulator(tso.Config{N: 4}, mutex.Build(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := DetectStall(sim, tso.NewRoundRobin(), 100000, 10_000_000)
+		if err != nil {
+			sim.Kill()
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep != nil {
+			sim.Kill()
+			t.Fatalf("%s stalled: %v", name, rep)
+		}
+		sim.Kill()
+	}
+}

@@ -1,0 +1,156 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"priceadaptive/internal/tso"
+)
+
+// scheduleFile is the JSON serialization of a schedule, a portable
+// reproduction artifact for bugs the checker finds.
+type scheduleFile struct {
+	// N, Passages, Model and Ordering pin the configuration the schedule
+	// was recorded against.
+	N        int    `json:"n"`
+	Passages int    `json:"passages"`
+	Model    string `json:"model"`
+	Ordering string `json:"ordering"`
+	// Decisions is the schedule itself.
+	Decisions []decisionJSON `json:"decisions"`
+}
+
+type decisionJSON struct {
+	P        int  `json:"p"`
+	Commit   bool `json:"commit,omitempty"`
+	VarPlus1 int  `json:"var,omitempty"`
+}
+
+// SaveSchedule writes a schedule and its configuration as JSON. Zero-valued
+// config fields are normalized to their defaults (CC, TSO, one passage).
+func SaveSchedule(w io.Writer, cfg tso.Config, sched []tso.Decision) error {
+	if cfg.Model == 0 {
+		cfg.Model = tso.CC
+	}
+	if cfg.Ordering == 0 {
+		cfg.Ordering = tso.TSO
+	}
+	sf := scheduleFile{
+		N:        cfg.N,
+		Passages: cfg.Passages,
+		Model:    cfg.Model.String(),
+		Ordering: cfg.Ordering.String(),
+	}
+	if sf.Passages == 0 {
+		sf.Passages = 1
+	}
+	for _, d := range sched {
+		sf.Decisions = append(sf.Decisions, decisionJSON{P: int(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(sf)
+}
+
+// LoadSchedule reads a schedule saved by SaveSchedule and returns the pinned
+// configuration and decisions.
+func LoadSchedule(r io.Reader) (tso.Config, []tso.Decision, error) {
+	var sf scheduleFile
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return tso.Config{}, nil, fmt.Errorf("check: decode schedule: %w", err)
+	}
+	cfg := tso.Config{N: sf.N, Passages: sf.Passages}
+	switch sf.Model {
+	case "DSM":
+		cfg.Model = tso.DSM
+	case "CC", "":
+		cfg.Model = tso.CC
+	default:
+		return tso.Config{}, nil, fmt.Errorf("check: unknown model %q", sf.Model)
+	}
+	switch sf.Ordering {
+	case "PSO":
+		cfg.Ordering = tso.PSO
+	case "TSO", "":
+		cfg.Ordering = tso.TSO
+	default:
+		return tso.Config{}, nil, fmt.Errorf("check: unknown ordering %q", sf.Ordering)
+	}
+	out := make([]tso.Decision, 0, len(sf.Decisions))
+	for _, d := range sf.Decisions {
+		out = append(out, tso.Decision{P: tso.ProcID(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1})
+	}
+	return cfg, out, nil
+}
+
+// Reproduces reports whether replaying the schedule triggers an exclusion
+// violation. Schedules may stop being directly applicable after a program
+// change; an application error reads as "does not reproduce" with the error
+// attached.
+func Reproduces(cfg tso.Config, build tso.Build, sched []tso.Decision) (bool, error) {
+	sim, err := tso.NewSimulator(cfg, build)
+	if err != nil {
+		return false, err
+	}
+	defer sim.Kill()
+	for _, d := range sched {
+		switch {
+		case d.Commit && d.VarPlus1 > 0:
+			_, err = sim.CommitVar(d.P, sim.Memory().Vars()[d.VarPlus1-1])
+		case d.Commit:
+			_, err = sim.Commit(d.P)
+		default:
+			_, err = sim.Step(d.P)
+		}
+		if err != nil {
+			return false, err
+		}
+		if sim.ExclusionViolation() != nil {
+			return true, nil
+		}
+	}
+	return sim.ExclusionViolation() != nil, nil
+}
+
+// Minimize shrinks a violating schedule by greedy delta-debugging: it
+// repeatedly tries removing decisions (suffix first, then one by one) while
+// the violation still reproduces. The result is 1-minimal: removing any
+// single remaining decision loses the violation.
+func Minimize(cfg tso.Config, build tso.Build, sched []tso.Decision) ([]tso.Decision, error) {
+	cur := append([]tso.Decision(nil), sched...)
+	ok, err := Reproduces(cfg, build, cur)
+	if err != nil {
+		return nil, fmt.Errorf("check: minimize: schedule does not apply: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("check: minimize: schedule does not reproduce a violation")
+	}
+	// Trim the suffix after the violation (binary search on the prefix
+	// length).
+	lo, hi := 0, len(cur)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ok, err := Reproduces(cfg, build, cur[:mid]); err == nil && ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur = cur[:lo]
+	// Greedy single-decision removal until a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]tso.Decision, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if ok, err := Reproduces(cfg, build, cand); err == nil && ok {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, nil
+}

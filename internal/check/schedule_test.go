@@ -1,0 +1,126 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// findViolation returns a violating schedule for the fence-free Peterson.
+func findViolation(t *testing.T) (tso.Config, []tso.Decision) {
+	t.Helper()
+	cfg := tso.Config{N: 2}
+	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(cfg, mutex.Build(mutex.NewPetersonNoFences))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	return cfg, rep.Schedule
+}
+
+func TestSaveLoadScheduleRoundTrip(t *testing.T) {
+	cfg, sched := findViolation(t)
+	var buf bytes.Buffer
+	if err := SaveSchedule(&buf, cfg, sched); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, sched2, err := LoadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.N != cfg.N || cfg2.Passages != 1 || cfg2.Model != tso.CC || cfg2.Ordering != tso.TSO {
+		t.Errorf("config round trip = %+v", cfg2)
+	}
+	if len(sched2) != len(sched) {
+		t.Fatalf("decisions = %d, want %d", len(sched2), len(sched))
+	}
+	for i := range sched {
+		if sched[i] != sched2[i] {
+			t.Fatalf("decision %d: %v != %v", i, sched[i], sched2[i])
+		}
+	}
+	// The loaded schedule must still reproduce.
+	ok, err := Reproduces(cfg2, mutex.Build(mutex.NewPetersonNoFences), sched2)
+	if err != nil || !ok {
+		t.Fatalf("loaded schedule does not reproduce: %v %v", ok, err)
+	}
+}
+
+func TestLoadScheduleRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadSchedule(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+	if _, _, err := LoadSchedule(bytes.NewBufferString(`{"model":"XYZ"}`)); err == nil {
+		t.Error("unknown model must be rejected")
+	}
+	if _, _, err := LoadSchedule(bytes.NewBufferString(`{"model":"CC","ordering":"XYZ"}`)); err == nil {
+		t.Error("unknown ordering must be rejected")
+	}
+}
+
+func TestMinimizeShrinksViolation(t *testing.T) {
+	cfg, sched := findViolation(t)
+	min, err := Minimize(cfg, mutex.Build(mutex.NewPetersonNoFences), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) > len(sched) {
+		t.Fatalf("minimized schedule longer: %d > %d", len(min), len(sched))
+	}
+	ok, err := Reproduces(cfg, mutex.Build(mutex.NewPetersonNoFences), min)
+	if err != nil || !ok {
+		t.Fatalf("minimized schedule does not reproduce: %v %v", ok, err)
+	}
+	// 1-minimality: removing any decision loses the violation.
+	for i := range min {
+		cand := append(append([]tso.Decision{}, min[:i]...), min[i+1:]...)
+		if ok, err := Reproduces(cfg, mutex.Build(mutex.NewPetersonNoFences), cand); err == nil && ok {
+			t.Fatalf("schedule not 1-minimal: decision %d removable", i)
+		}
+	}
+	t.Logf("minimized %d -> %d decisions", len(sched), len(min))
+}
+
+func TestMinimizeRejectsNonViolating(t *testing.T) {
+	cfg := tso.Config{N: 2}
+	// An empty schedule does not violate.
+	if _, err := Minimize(cfg, mutex.Build(mutex.NewPeterson), nil); err == nil {
+		t.Error("non-violating schedule must be rejected")
+	}
+}
+
+func TestReproducesAppliesPSOSchedules(t *testing.T) {
+	cfg := tso.Config{N: 2, Ordering: tso.PSO}
+	rep, err := Exhaustive{MaxStates: 100000, MaxDepth: 64, CollapseSpins: true}.
+		Verify(cfg, mutex.Build(mutex.NewBakeryWeakDoorway))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("weak-doorway bakery must violate under PSO")
+	}
+	ok, err := Reproduces(cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
+	if err != nil || !ok {
+		t.Fatalf("PSO schedule does not reproduce: %v %v", ok, err)
+	}
+	min, err := Minimize(cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The minimized schedule must retain an out-of-order commit: the
+	// violation depends on PSO reordering.
+	hasOutOfOrder := false
+	for _, d := range min {
+		if d.Commit && d.VarPlus1 > 0 {
+			hasOutOfOrder = true
+		}
+	}
+	if !hasOutOfOrder {
+		t.Logf("minimized schedule: %v", min)
+	}
+	t.Logf("PSO violation minimized %d -> %d decisions", len(rep.Schedule), len(min))
+}

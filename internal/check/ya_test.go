@@ -1,0 +1,27 @@
+package check
+
+import (
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// TestYangAndersonChecked validates the reconstructed Yang-Anderson protocol
+// with the package's own tooling: randomized sweeps plus a budgeted
+// exhaustive pass (the full state space is large; the budget covers the
+// racy doorway interleavings that matter).
+func TestYangAndersonChecked(t *testing.T) {
+	if err := Sweep(tso.Config{N: 2, Passages: 2}, mutex.Build(mutex.NewYangAnderson), 15, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Exhaustive{MaxStates: 30000, MaxDepth: 128, CollapseSpins: true}.
+		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewYangAnderson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation: %v (schedule %v)", rep.Violation, rep.Schedule)
+	}
+	t.Logf("states=%d complete=%v", rep.States, rep.Complete)
+}

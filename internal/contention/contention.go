@@ -1,0 +1,148 @@
+// Package contention measures the three contention notions the paper
+// defines adaptivity against:
+//
+//   - total contention: the number of processes that participate anywhere
+//     in the execution;
+//   - interval contention of a passage: the number of processes active at
+//     some point during that passage;
+//   - point contention of a passage: the maximum number of processes that
+//     are simultaneously active at some moment during that passage.
+//
+// A Tracker consumes the event stream of a simulator and attributes each
+// completed passage its contention values, which lets tests and experiments
+// verify claims like "this lock's critical events per passage are O(point
+// contention)" - the definition of an adaptive algorithm.
+package contention
+
+import (
+	"priceadaptive/internal/tso"
+)
+
+// PassageContention describes one completed passage of one process.
+type PassageContention struct {
+	// P is the process and Passage its per-process passage index.
+	P tso.ProcID
+	// Passage is the per-process passage index, starting at 0.
+	Passage int
+	// Total is the total contention of the whole execution so far at the
+	// moment the passage completed.
+	Total int
+	// Interval is the passage's interval contention.
+	Interval int
+	// Point is the passage's point contention.
+	Point int
+	// Critical and Fences are the passage's cost, for adaptivity checks.
+	Critical int
+	Fences   int
+}
+
+// Tracker computes contention per passage. Attach it to a simulator with
+// sim.AddObserver(tr.Observe).
+type Tracker struct {
+	active map[tso.ProcID]bool
+	// participated is the set of processes that ever entered.
+	participated map[tso.ProcID]bool
+	// open tracks in-flight passages.
+	open map[tso.ProcID]*PassageContention
+	// passageIdx counts passages per process.
+	passageIdx map[tso.ProcID]int
+	done       []PassageContention
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		active:       make(map[tso.ProcID]bool),
+		participated: make(map[tso.ProcID]bool),
+		open:         make(map[tso.ProcID]*PassageContention),
+		passageIdx:   make(map[tso.ProcID]int),
+	}
+}
+
+// Attach creates a tracker and registers it on the simulator.
+func Attach(sim *tso.Simulator) *Tracker {
+	tr := NewTracker()
+	sim.AddObserver(tr.Observe)
+	return tr
+}
+
+// Observe consumes one event. Events must arrive in execution order.
+func (tr *Tracker) Observe(ev tso.Event) {
+	switch ev.Kind {
+	case tso.EvEnter:
+		tr.active[ev.P] = true
+		tr.participated[ev.P] = true
+		pc := &PassageContention{
+			P:        ev.P,
+			Passage:  tr.passageIdx[ev.P],
+			Interval: len(tr.active),
+			Point:    len(tr.active),
+		}
+		tr.open[ev.P] = pc
+		// A new arrival raises interval and point contention of every
+		// passage in flight.
+		for _, other := range tr.open {
+			if other.P == ev.P {
+				continue
+			}
+			other.Interval++
+			if len(tr.active) > other.Point {
+				other.Point = len(tr.active)
+			}
+		}
+	case tso.EvExit:
+		if pc := tr.open[ev.P]; pc != nil {
+			pc.Total = len(tr.participated)
+			tr.done = append(tr.done, *pc)
+			delete(tr.open, ev.P)
+		}
+		tr.passageIdx[ev.P]++
+		delete(tr.active, ev.P)
+	default:
+		if pc := tr.open[ev.P]; pc != nil {
+			if ev.Critical {
+				pc.Critical++
+			}
+			if ev.Fence {
+				pc.Fences++
+			}
+		}
+	}
+}
+
+// Passages returns every completed passage with its contention and cost.
+func (tr *Tracker) Passages() []PassageContention {
+	out := make([]PassageContention, len(tr.done))
+	copy(out, tr.done)
+	return out
+}
+
+// TotalContention returns the number of processes that participated so far.
+func (tr *Tracker) TotalContention() int { return len(tr.participated) }
+
+// MaxRatio returns the largest observed ratio of critical events to the
+// chosen contention measure across completed passages, a direct empirical
+// reading of the adaptivity function's slope. The measure function maps a
+// passage to its contention denominator (e.g. point contention).
+func (tr *Tracker) MaxRatio(measure func(PassageContention) int) float64 {
+	max := 0.0
+	for _, pc := range tr.done {
+		d := measure(pc)
+		if d <= 0 {
+			continue
+		}
+		if r := float64(pc.Critical) / float64(d); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// ByPoint returns a passage's point contention (for MaxRatio).
+func ByPoint(pc PassageContention) int { return pc.Point }
+
+// ByInterval returns a passage's interval contention.
+func ByInterval(pc PassageContention) int { return pc.Interval }
+
+// ByTotal returns the total contention recorded at passage completion.
+func ByTotal(pc PassageContention) int { return pc.Total }

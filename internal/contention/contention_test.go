@@ -1,0 +1,145 @@
+package contention
+
+import (
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+func drive(t *testing.T, cfg tso.Config, build tso.Build, sched tso.Scheduler) *Tracker {
+	t.Helper()
+	sim, err := tso.NewSimulator(cfg, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sim.Kill)
+	tr := Attach(sim)
+	if _, err := tso.Run(sim, sched, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSequentialRunsHavePointContentionOne(t *testing.T) {
+	tr := drive(t, tso.Config{N: 4}, mutex.Build(mutex.NewBakery), tso.Sequential{})
+	ps := tr.Passages()
+	if len(ps) != 4 {
+		t.Fatalf("passages = %d, want 4", len(ps))
+	}
+	for _, pc := range ps {
+		if pc.Point != 1 || pc.Interval != 1 {
+			t.Errorf("sequential passage p%d: point=%d interval=%d, want 1,1", pc.P, pc.Point, pc.Interval)
+		}
+	}
+	// Total contention grows as processes participate.
+	if ps[0].Total != 1 || ps[3].Total != 4 {
+		t.Errorf("total contention = %d..%d, want 1..4", ps[0].Total, ps[3].Total)
+	}
+	if tr.TotalContention() != 4 {
+		t.Errorf("TotalContention = %d, want 4", tr.TotalContention())
+	}
+}
+
+func TestConcurrentRunsRaiseContention(t *testing.T) {
+	tr := drive(t, tso.Config{N: 4}, mutex.Build(mutex.NewBakery), tso.NewRoundRobin())
+	for _, pc := range tr.Passages() {
+		if pc.Point < 2 {
+			t.Errorf("round-robin passage p%d: point=%d, want >= 2", pc.P, pc.Point)
+		}
+		if pc.Interval < pc.Point {
+			t.Errorf("interval (%d) must dominate point (%d)", pc.Interval, pc.Point)
+		}
+		if pc.Total < pc.Interval {
+			t.Errorf("total (%d) must dominate interval (%d)", pc.Total, pc.Interval)
+		}
+	}
+}
+
+func TestLateArrivalRaisesOpenPassages(t *testing.T) {
+	// p0 enters; p1 enters later: p0's in-flight passage must see its
+	// interval contention rise to 2.
+	sim, err := tso.NewSimulator(tso.Config{N: 2, AllowConcurrentCS: true}, func(s *tso.Simulator) (tso.Program, error) {
+		v := s.Memory().NewVar("x")
+		return func(p *tso.Proc) {
+			p.Read(v)
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	tr := Attach(sim)
+	step := func(p tso.ProcID, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := sim.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(0, 2) // p0 Enter, Read
+	step(1, 1) // p1 Enter (p0 still active)
+	step(0, 2) // p0 CS, Exit
+	step(1, 3) // p1 Read, CS, Exit
+	ps := tr.Passages()
+	if len(ps) != 2 {
+		t.Fatalf("passages = %d", len(ps))
+	}
+	p0 := ps[0]
+	if p0.P != 0 || p0.Interval != 2 || p0.Point != 2 {
+		t.Errorf("p0 contention = %+v, want interval=point=2", p0)
+	}
+	p1 := ps[1]
+	if p1.Interval != 2 {
+		t.Errorf("p1 interval = %d, want 2 (overlapped with p0)", p1.Interval)
+	}
+	if p1.Point != 2 {
+		t.Errorf("p1 point = %d, want 2", p1.Point)
+	}
+}
+
+func TestAdaptivityRatioSeparatesLocks(t *testing.T) {
+	// The adaptive CAS-chain lock's critical events track point contention
+	// (bounded ratio); bakery's do not (ratio grows with N at sequential
+	// point contention 1).
+	ratio := func(factory mutex.Factory, n int) float64 {
+		tr := drive(t, tso.Config{N: n}, mutex.Build(factory), tso.Sequential{})
+		return tr.MaxRatio(ByPoint)
+	}
+	cc8, cc32 := ratio(mutex.NewCASChain, 8), ratio(mutex.NewCASChain, 32)
+	// Sequential one-shot chain: process i pays ~i critical events while
+	// point contention is 1... that is adaptivity to TOTAL contention, not
+	// point. Use total contention as the denominator for the chain.
+	trCC := drive(t, tso.Config{N: 32}, mutex.Build(mutex.NewCASChain), tso.Sequential{})
+	ccTotalRatio := trCC.MaxRatio(ByTotal)
+	if ccTotalRatio > 3 {
+		t.Errorf("caschain critical/total-contention ratio = %.1f, want bounded", ccTotalRatio)
+	}
+	bak8, bak32 := ratio(mutex.NewBakery, 8), ratio(mutex.NewBakery, 32)
+	if bak32 <= bak8 {
+		t.Errorf("bakery critical/point ratio must grow with N: %.1f -> %.1f", bak8, bak32)
+	}
+	_ = cc8
+	_ = cc32
+}
+
+func TestTrackerCountsCosts(t *testing.T) {
+	tr := drive(t, tso.Config{N: 2}, mutex.Build(mutex.NewBakery), tso.NewRoundRobin())
+	for _, pc := range tr.Passages() {
+		if pc.Fences != 3 {
+			t.Errorf("p%d fences = %d, want 3", pc.P, pc.Fences)
+		}
+		if pc.Critical == 0 {
+			t.Errorf("p%d critical = 0", pc.P)
+		}
+	}
+}
+
+func TestMaxRatioIgnoresZeroDenominator(t *testing.T) {
+	tr := NewTracker()
+	if got := tr.MaxRatio(ByPoint); got != 0 {
+		t.Errorf("empty tracker ratio = %v", got)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 11 {
+		t.Fatalf("experiments = %v, want 11", ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for i := 1; i <= 11; i++ {
+		if !seen["e"+strconv.Itoa(i)] {
+			t.Errorf("missing experiment e%d (have %v)", i, ids)
+		}
+	}
+}
+
+func TestE1ConstructionReport(t *testing.T) {
+	rep, err := E1Construction(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("E1 rows = %d, want >= 3", len(rep.Rows))
+	}
+	if rep.Rows[0][1] != "read" || rep.Rows[1][1] != "write" || rep.Rows[2][1] != "regularize" {
+		t.Errorf("phase order wrong: %v", rep.Rows[:3])
+	}
+	out := rep.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "regularize") {
+		t.Errorf("rendered report missing content:\n%s", out)
+	}
+}
+
+func TestE2FencesForcedGrowth(t *testing.T) {
+	rep, err := E2FencesForced([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	f4, _ := strconv.Atoi(rep.Rows[0][1])
+	f16, _ := strconv.Atoi(rep.Rows[1][1])
+	if f16 <= f4 {
+		t.Errorf("forced fences must grow with N: %d -> %d", f4, f16)
+	}
+	for _, row := range rep.Rows {
+		if row[3] != "true" {
+			t.Errorf("witness not verified at N=%s: %v", row[0], row)
+		}
+	}
+}
+
+func TestE3SeparationShape(t *testing.T) {
+	rep, err := E3Separation([]int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]string{}
+	for _, row := range rep.Rows {
+		byName[row[0]] = row
+	}
+	bak := byName["bakery"]
+	if bak[2] != "3" || bak[3] != "3" {
+		t.Errorf("bakery fences must be flat at 3: %v", bak)
+	}
+	cc := byName["caschain"]
+	lo, _ := strconv.Atoi(cc[2])
+	hi, _ := strconv.Atoi(cc[3])
+	if hi <= lo {
+		t.Errorf("caschain fences must grow with k: %v", cc)
+	}
+	syn := byName["synthetic"]
+	lo, _ = strconv.Atoi(syn[2])
+	hi, _ = strconv.Atoi(syn[3])
+	if hi <= lo {
+		t.Errorf("synthetic fences must grow with k: %v", syn)
+	}
+}
+
+func TestE4E5BoundTables(t *testing.T) {
+	e4 := E4LinearBound([]float64{16, 1 << 20})
+	if len(e4.Rows) != 2 {
+		t.Fatalf("E4 rows = %d", len(e4.Rows))
+	}
+	lo, _ := strconv.Atoi(e4.Rows[0][1])
+	hi, _ := strconv.Atoi(e4.Rows[1][1])
+	if hi <= lo {
+		t.Errorf("E4 forced fences must grow: %d -> %d", lo, hi)
+	}
+	e5 := E5ExpBound([]float64{16, 1 << 20})
+	lo5, _ := strconv.Atoi(e5.Rows[0][1])
+	hi5, _ := strconv.Atoi(e5.Rows[1][1])
+	if hi5 < lo5 {
+		t.Errorf("E5 forced fences must not shrink: %d -> %d", lo5, hi5)
+	}
+	// Exponential adaptivity escapes with fewer forced fences than linear.
+	if hi5 > hi {
+		t.Errorf("exponential forced (%d) must be <= linear forced (%d)", hi5, hi)
+	}
+}
+
+func TestE6ReductionConstantOverhead(t *testing.T) {
+	rep, err := E6Reduction(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("backends = %d, want 6", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		maxFences, _ := strconv.Atoi(row[1])
+		if maxFences < 2 {
+			t.Errorf("%s: fences = %d, implausibly low", row[0], maxFences)
+		}
+	}
+	// The bakery-backed counter op costs 3 fences; Algorithm 1 may add at
+	// most a constant (3) on top.
+	for _, row := range rep.Rows {
+		if row[0] != "locked-counter(bakery)" {
+			continue
+		}
+		maxFences, _ := strconv.Atoi(row[1])
+		if maxFences > 6 {
+			t.Errorf("Lemma 9 additive constant exceeded: %v", row)
+		}
+	}
+}
+
+func TestE7RMRShape(t *testing.T) {
+	rep, err := E7RMRModels([]int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bakery mean RMRs must grow with N under every model.
+	for _, row := range rep.Rows {
+		if row[0] != "bakery" {
+			continue
+		}
+		lo, _ := strconv.ParseFloat(row[2], 64)
+		hi, _ := strconv.ParseFloat(row[3], 64)
+		if hi <= lo {
+			t.Errorf("bakery RMRs must grow with N under %s: %v", row[1], row)
+		}
+	}
+}
+
+func TestE8FenceElision(t *testing.T) {
+	rep, err := E8FenceElision(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	fenced, nofence := rep.Rows[0], rep.Rows[1]
+	if fenced[2] != "0" {
+		t.Errorf("fenced Peterson must have zero violations: %v", fenced)
+	}
+	v, _ := strconv.Atoi(nofence[2])
+	if v == 0 {
+		t.Errorf("fence-free Peterson must violate at least once: %v", nofence)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID:     "EX",
+		Title:  "test",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"hello"},
+	}
+	out := rep.String()
+	for _, want := range []string{"== EX: test ==", "a", "1", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllDefaultRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment at default size")
+	}
+	for id, run := range Experiments() {
+		rep, err := run()
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+}
+
+func TestE9PSOSeparation(t *testing.T) {
+	rep, err := E9PSOSeparation([]float64{16, 1 << 10}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[1] != "impossible" {
+			t.Errorf("r=log2N must be infeasible under PSO: %v", row)
+		}
+	}
+	foundPSO := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "under PSO: violation=true") {
+			foundPSO = true
+		}
+		if strings.Contains(n, "under TSO: violation=true") {
+			t.Errorf("TSO must not violate: %s", n)
+		}
+	}
+	if !foundPSO {
+		t.Error("PSO violation note missing")
+	}
+}
+
+func TestE10AdaptivityShape(t *testing.T) {
+	rep, err := E10Adaptivity([]int{8, 32}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range rep.Rows {
+		rows[row[0]+"/"+row[1]] = row
+	}
+	// Adaptive locks: identical rows across N.
+	for _, alg := range []string{"caschain", "synthetic"} {
+		small, big := rows[alg+"/8"], rows[alg+"/32"]
+		for c := 2; c < len(small); c++ {
+			if small[c] != big[c] {
+				t.Errorf("%s row differs across N: %v vs %v", alg, small, big)
+			}
+		}
+	}
+	// Bakery: strictly larger at bigger N for every k.
+	small, big := rows["bakery/8"], rows["bakery/32"]
+	for c := 2; c < len(small); c++ {
+		lo, _ := strconv.Atoi(small[c])
+		hi, _ := strconv.Atoi(big[c])
+		if hi <= lo {
+			t.Errorf("bakery cost must grow with N at column %d: %v vs %v", c, small, big)
+		}
+	}
+}

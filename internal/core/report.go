@@ -1,0 +1,98 @@
+// Package core is the public facade of the reproduction: it packages the
+// simulator, the lower-bound construction, the algorithm library, and the
+// bound calculators into the eight experiments (E1..E8) catalogued in
+// DESIGN.md and EXPERIMENTS.md, each regenerating one of the paper's
+// results.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is a printable experiment result: one table plus free-form notes.
+type Report struct {
+	// ID is the experiment identifier ("E1".."E10").
+	ID string `json:"id"`
+	// Title describes the paper result being regenerated.
+	Title string `json:"title"`
+	// Header names the table columns.
+	Header []string `json:"header"`
+	// Rows holds the table body.
+	Rows [][]string `json:"rows"`
+	// Notes holds free-form observations (expected shape, caveats).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Fprint renders the report as an aligned table.
+func (r *Report) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	_ = r.Fprint(&b)
+	return b.String()
+}
+
+// Runner produces a report with default parameters.
+type Runner func() (*Report, error)
+
+// Experiments returns the registry of all experiment runners with their
+// default parameters.
+func Experiments() map[string]Runner {
+	return map[string]Runner{
+		"e1":  func() (*Report, error) { return E1Construction(16) },
+		"e2":  func() (*Report, error) { return E2FencesForced([]int{4, 8, 16, 32, 64}) },
+		"e3":  func() (*Report, error) { return E3Separation([]int{2, 4, 8, 16}) },
+		"e4":  func() (*Report, error) { return E4LinearBound(defaultLog2Ns()), nil },
+		"e5":  func() (*Report, error) { return E5ExpBound(defaultLog2Ns()), nil },
+		"e6":  func() (*Report, error) { return E6Reduction(8) },
+		"e7":  func() (*Report, error) { return E7RMRModels([]int{2, 4, 8, 16}) },
+		"e8":  func() (*Report, error) { return E8FenceElision(20) },
+		"e9":  func() (*Report, error) { return E9PSOSeparation([]float64{8, 16, 32, 64, 1 << 10, 1 << 16}, 2) },
+		"e10": func() (*Report, error) { return E10Adaptivity([]int{16, 64}, []int{1, 2, 4, 8}) },
+		"e11": func() (*Report, error) { return E11VerificationMatrix() },
+	}
+}
+
+// ExperimentIDs returns the registered experiment IDs in order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments()))
+	for id := range Experiments() {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func defaultLog2Ns() []float64 {
+	return []float64{8, 16, 32, 64, 1 << 10, 1 << 16, 1 << 24, 1 << 32, 1e12, 1e18}
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+func f1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }

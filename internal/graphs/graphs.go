@@ -1,0 +1,138 @@
+// Package graphs provides the small amount of graph machinery the
+// lower-bound construction needs: undirected conflict graphs over process
+// IDs and an independent-set routine with the Turán guarantee (Theorem 2 of
+// the paper: a graph with average degree d has an independent set of at
+// least ceil(|V|/(d+1)) vertices).
+package graphs
+
+import (
+	"sort"
+
+	"priceadaptive/internal/tso"
+)
+
+// Graph is an undirected graph whose vertices are process IDs. Self-loops
+// and duplicate edges are ignored.
+type Graph struct {
+	adj   map[tso.ProcID]map[tso.ProcID]bool
+	verts []tso.ProcID
+	edges int
+}
+
+// New returns a graph over the given vertex set.
+func New(vertices []tso.ProcID) *Graph {
+	g := &Graph{adj: make(map[tso.ProcID]map[tso.ProcID]bool, len(vertices))}
+	g.verts = make([]tso.ProcID, len(vertices))
+	copy(g.verts, vertices)
+	sort.Slice(g.verts, func(i, j int) bool { return g.verts[i] < g.verts[j] })
+	for _, v := range g.verts {
+		g.adj[v] = make(map[tso.ProcID]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge {u, v}. Endpoints outside the vertex
+// set and self-loops are ignored, matching the construction's habit of
+// "adding an edge {p, q} if such a q exists".
+func (g *Graph) AddEdge(u, v tso.ProcID) {
+	if u == v {
+		return
+	}
+	au, ok := g.adj[u]
+	if !ok {
+		return
+	}
+	av, ok := g.adj[v]
+	if !ok {
+		return
+	}
+	if au[v] {
+		return
+	}
+	au[v] = true
+	av[u] = true
+	g.edges++
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.verts) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v tso.ProcID) int { return len(g.adj[v]) }
+
+// AverageDegree returns 2|E|/|V|, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.verts) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.verts))
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v tso.ProcID) bool { return g.adj[u][v] }
+
+// TuranBound returns the independent-set size guaranteed by Turán's theorem:
+// ceil(|V| / (d+1)) where d is the average degree.
+func (g *Graph) TuranBound() int {
+	n := len(g.verts)
+	if n == 0 {
+		return 0
+	}
+	// ceil(n / (d+1)) with d = 2e/n computed in integers:
+	// n / (2e/n + 1) = n^2 / (2e + n).
+	num := n * n
+	den := 2*g.edges + n
+	return (num + den - 1) / den
+}
+
+// IndependentSet returns an independent set of size at least TuranBound(),
+// computed by the classic greedy minimum-degree argument (repeatedly pick a
+// minimum-degree vertex and delete its neighbourhood). The result is sorted
+// ascending. Ties are broken by smallest ID, so the routine is
+// deterministic.
+func (g *Graph) IndependentSet() []tso.ProcID {
+	// Work on a mutable copy of the degree structure.
+	deg := make(map[tso.ProcID]int, len(g.verts))
+	alive := make(map[tso.ProcID]bool, len(g.verts))
+	for _, v := range g.verts {
+		deg[v] = len(g.adj[v])
+		alive[v] = true
+	}
+	var out []tso.ProcID
+	remaining := len(g.verts)
+	for remaining > 0 {
+		// Find the minimum-degree alive vertex (smallest ID on ties).
+		best := tso.ProcID(-1)
+		bestDeg := -1
+		for _, v := range g.verts {
+			if !alive[v] {
+				continue
+			}
+			if bestDeg < 0 || deg[v] < bestDeg || (deg[v] == bestDeg && v < best) {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		out = append(out, best)
+		// Remove best and its neighbourhood.
+		kill := []tso.ProcID{best}
+		for u := range g.adj[best] {
+			if alive[u] {
+				kill = append(kill, u)
+			}
+		}
+		for _, u := range kill {
+			alive[u] = false
+			remaining--
+			for w := range g.adj[u] {
+				if alive[w] {
+					deg[w]--
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,108 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// bakeryLock is Lamport's bakery algorithm. It is the package's
+// constant-fence, non-adaptive reference point: every passage performs
+// exactly three fences (doorway, ticket publication, release) regardless of
+// contention, but scans all N processes, so its critical-event count is
+// Θ(N) - a function of the total number of processes, not of contention.
+//
+// This is exactly the profile the paper proves unavoidable for O(1)-fence
+// algorithms: by Corollary 1 no O(1)-fence algorithm can be adaptive. The
+// Attiya-Hendler-Levy algorithm [6] improves the RMR cost of this profile to
+// O(log N) with considerably more machinery; the fence/adaptivity shape is
+// the same.
+//
+// TSO correctness: a fence after choosing[i]:=1 ensures later reads of other
+// tickets cannot float above the doorway announcement, and a fence after
+// number[i]:=t publishes the ticket before the process starts inspecting its
+// competitors (both are store-load orderings TSO would otherwise relax).
+type bakeryLock struct {
+	name     string
+	choosing []*tso.Var
+	number   []*tso.Var
+	n        int
+	// weakDoorway elides the fence after the ticket publication (the
+	// number[i] and choosing[i]:=0 writes). The variant is BROKEN - and
+	// deliberately kept that way as a model-checking target. The intuitive
+	// argument "TSO commits the ticket before the choosing flag, so the
+	// doorway stays ordered" is insufficient: the problem is delay, not
+	// order. A process can traverse its entire wait loop while its ticket
+	// is still buffered and invisible; a competitor then draws an equal
+	// ticket and the ID tie-break admits both. The fast model checker in
+	// internal/vmprog found this TSO counterexample (confirmed on both
+	// engines); under PSO it breaks even more directly, with the choosing
+	// flag committing before the ticket.
+	weakDoorway bool
+}
+
+// NewBakery allocates an n-process bakery lock.
+func NewBakery(mem *tso.Memory, n int) (Lock, error) {
+	return newBakery(mem, n, false)
+}
+
+// NewBakeryWeakDoorway allocates the deliberately broken variant without the
+// ticket-publication fence. It exists as a model-checking target: see the
+// weakDoorway field for why it is unsafe even under TSO.
+func NewBakeryWeakDoorway(mem *tso.Memory, n int) (Lock, error) {
+	return newBakery(mem, n, true)
+}
+
+func newBakery(mem *tso.Memory, n int, weak bool) (Lock, error) {
+	name := "bakery"
+	if weak {
+		name = "bakery-weak"
+	}
+	return &bakeryLock{
+		name:        name,
+		choosing:    mem.NewArray("bakery.choosing", n),
+		number:      mem.NewArray("bakery.number", n),
+		n:           n,
+		weakDoorway: weak,
+	}, nil
+}
+
+// Name implements Lock.
+func (l *bakeryLock) Name() string { return l.name }
+
+// Lock implements Lock.
+func (l *bakeryLock) Lock(p *tso.Proc) {
+	me := int(p.ID())
+	p.Write(l.choosing[me], 1)
+	p.Fence()
+	max := uint64(0)
+	for k := 0; k < l.n; k++ {
+		if t := p.Read(l.number[k]); t > max {
+			max = t
+		}
+	}
+	p.Write(l.number[me], max+1)
+	p.Write(l.choosing[me], 0)
+	if !l.weakDoorway {
+		p.Fence()
+	}
+	for k := 0; k < l.n; k++ {
+		if k == me {
+			continue
+		}
+		for p.Read(l.choosing[k]) == 1 {
+		}
+		for {
+			t := p.Read(l.number[k])
+			if t == 0 {
+				break
+			}
+			mine := p.Read(l.number[me])
+			if t > mine || (t == mine && k > me) {
+				break
+			}
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *bakeryLock) Unlock(p *tso.Proc) {
+	p.Write(l.number[p.ID()], 0)
+	p.Fence()
+}

@@ -1,0 +1,69 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// burnsLynchLock is the Burns-Lynch one-bit mutual exclusion algorithm: each
+// process owns a single flag bit, entry performs a two-round scan (lower IDs
+// first with restart, then higher IDs with waiting). It is notable for using
+// the minimum possible shared space (one bit per process) and is
+// deadlock-free but not starvation-free. Like bakery it is non-adaptive -
+// every passage scans all N flags - and with one fence per flag write it has
+// O(1) fence complexity per doorway round, so its measured profile sits next
+// to bakery's in experiment E3.
+type burnsLynchLock struct {
+	flag []*tso.Var
+	n    int
+}
+
+// NewBurnsLynch allocates an n-process Burns-Lynch lock.
+func NewBurnsLynch(mem *tso.Memory, n int) (Lock, error) {
+	return &burnsLynchLock{flag: mem.NewArray("bl.flag", n), n: n}, nil
+}
+
+// Name implements Lock.
+func (l *burnsLynchLock) Name() string { return "burnslynch" }
+
+// Lock implements Lock.
+func (l *burnsLynchLock) Lock(p *tso.Proc) {
+	me := int(p.ID())
+	for {
+		// Round 1: defer to any lower-ID contender.
+		p.Write(l.flag[me], 0)
+		p.Fence()
+		restart := false
+		for j := 0; j < me; j++ {
+			if p.Read(l.flag[j]) == 1 {
+				restart = true
+				break
+			}
+		}
+		if restart {
+			continue
+		}
+		p.Write(l.flag[me], 1)
+		p.Fence()
+		// Re-scan the lower IDs; any contender forces a restart.
+		restart = false
+		for j := 0; j < me; j++ {
+			if p.Read(l.flag[j]) == 1 {
+				restart = true
+				break
+			}
+		}
+		if restart {
+			continue
+		}
+		// Round 2: wait out every higher-ID process.
+		for j := me + 1; j < l.n; j++ {
+			for p.Read(l.flag[j]) == 1 {
+			}
+		}
+		return
+	}
+}
+
+// Unlock implements Lock.
+func (l *burnsLynchLock) Unlock(p *tso.Proc) {
+	p.Write(l.flag[p.ID()], 0)
+	p.Fence()
+}

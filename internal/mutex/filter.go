@@ -1,0 +1,61 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// filterLock is the n-process filter lock (the standard generalization of
+// Peterson's algorithm): n-1 levels, each filtering out one process. Under
+// TSO each level's doorway (level and victim writes) must be fenced before
+// the level's spin reads. Fence complexity is Θ(N) and every passage scans
+// all processes at every level, so the lock is non-adaptive with Θ(N^2)
+// reads; it exists as a correctness baseline, not a performance point.
+type filterLock struct {
+	level  []*tso.Var
+	victim []*tso.Var
+	n      int
+}
+
+// NewFilter allocates an n-process filter lock.
+func NewFilter(mem *tso.Memory, n int) (Lock, error) {
+	return &filterLock{
+		level:  mem.NewArray("filter.level", n),
+		victim: mem.NewArray("filter.victim", n),
+		n:      n,
+	}, nil
+}
+
+// Name implements Lock.
+func (l *filterLock) Name() string { return "filter" }
+
+// Lock implements Lock.
+func (l *filterLock) Lock(p *tso.Proc) {
+	me := int(p.ID())
+	for lvl := 1; lvl < l.n; lvl++ {
+		p.Write(l.level[me], uint64(lvl))
+		p.Write(l.victim[lvl], uint64(me)+1)
+		p.Fence()
+		for {
+			if p.Read(l.victim[lvl]) != uint64(me)+1 {
+				break
+			}
+			conflict := false
+			for k := 0; k < l.n; k++ {
+				if k == me {
+					continue
+				}
+				if p.Read(l.level[k]) >= uint64(lvl) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				break
+			}
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *filterLock) Unlock(p *tso.Proc) {
+	p.Write(l.level[p.ID()], 0)
+	p.Fence()
+}

@@ -1,0 +1,74 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// mcsLock is the Mellor-Crummey-Scott queue lock: arriving processes append
+// themselves to a queue by swapping a tail pointer and spin on their own
+// node's flag, giving O(1) RMRs per passage under cache coherence (and in
+// DSM, since each process spins on a variable in its own segment). The swap
+// is implemented with a CAS retry loop, so like every comparison-primitive
+// algorithm in the paper's model it pays at least one fence per atomic
+// operation; contention on the tail costs extra retries.
+type mcsLock struct {
+	tail   *tso.Var   // id+1 of the queue's tail, 0 = empty
+	next   []*tso.Var // next[p]: id+1 of p's successor
+	locked []*tso.Var // locked[p]: p spins here, local to p
+}
+
+// NewMCS allocates an MCS queue lock for n processes.
+func NewMCS(mem *tso.Memory, n int) (Lock, error) {
+	return &mcsLock{
+		tail:   mem.NewVar("mcs.tail"),
+		next:   mem.NewArray("mcs.next", n),
+		locked: mem.NewOwnedArray("mcs.locked", n),
+	}, nil
+}
+
+// Name implements Lock.
+func (l *mcsLock) Name() string { return "mcs" }
+
+// Lock implements Lock.
+func (l *mcsLock) Lock(p *tso.Proc) {
+	me := uint64(p.ID()) + 1
+	p.Write(l.next[p.ID()], 0)
+	p.Write(l.locked[p.ID()], 1)
+	// Swap tail -> me (CAS retry loop; the CAS drains the buffer, so the
+	// node initialization above is visible before the node is linked).
+	var pred uint64
+	for {
+		cur := p.Read(l.tail)
+		if old, ok := p.CAS(l.tail, cur, me); ok {
+			pred = old
+			break
+		}
+	}
+	if pred == 0 {
+		return // queue was empty: lock acquired
+	}
+	// Link behind the predecessor and spin locally.
+	p.Write(l.next[pred-1], me)
+	p.Fence()
+	for p.Read(l.locked[p.ID()]) == 1 {
+	}
+}
+
+// Unlock implements Lock.
+func (l *mcsLock) Unlock(p *tso.Proc) {
+	me := uint64(p.ID()) + 1
+	succ := p.Read(l.next[p.ID()])
+	if succ == 0 {
+		// No known successor: try to swing the tail back to empty.
+		if _, ok := p.CAS(l.tail, me, 0); ok {
+			return
+		}
+		// A successor is linking itself; wait for the link.
+		for {
+			succ = p.Read(l.next[p.ID()])
+			if succ != 0 {
+				break
+			}
+		}
+	}
+	p.Write(l.locked[succ-1], 0)
+	p.Fence()
+}

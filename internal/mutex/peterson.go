@@ -1,0 +1,72 @@
+package mutex
+
+import (
+	"errors"
+
+	"priceadaptive/internal/tso"
+)
+
+// petersonLock is Peterson's classic two-process algorithm. It is correct
+// under sequential consistency; under TSO it additionally needs a fence
+// between the doorway writes and the spin reads (a store-load fence),
+// otherwise both processes can read the other's stale flag from before the
+// buffered writes commit and enter the critical section together. The
+// fenceless variant exists precisely to demonstrate that failure (experiment
+// E8); see Attiya et al., "Laws of order" [5] for why such fences are
+// unavoidable.
+type petersonLock struct {
+	name   string
+	flag   []*tso.Var
+	turn   *tso.Var
+	fences bool
+}
+
+// NewPeterson allocates a fenced two-process Peterson lock.
+func NewPeterson(mem *tso.Memory, n int) (Lock, error) {
+	return newPeterson(mem, n, true)
+}
+
+// NewPetersonNoFences allocates the deliberately broken fence-free variant.
+func NewPetersonNoFences(mem *tso.Memory, n int) (Lock, error) {
+	return newPeterson(mem, n, false)
+}
+
+func newPeterson(mem *tso.Memory, n int, fences bool) (Lock, error) {
+	if n != 2 {
+		return nil, errors.New("mutex: peterson requires exactly 2 processes")
+	}
+	name := "peterson"
+	if !fences {
+		name = "peterson-nofence"
+	}
+	return &petersonLock{
+		name:   name,
+		flag:   mem.NewArray("peterson.flag", 2),
+		turn:   mem.NewVar("peterson.turn"),
+		fences: fences,
+	}, nil
+}
+
+// Name implements Lock.
+func (l *petersonLock) Name() string { return l.name }
+
+// Lock implements Lock.
+func (l *petersonLock) Lock(p *tso.Proc) {
+	me := int(p.ID())
+	other := 1 - me
+	p.Write(l.flag[me], 1)
+	p.Write(l.turn, uint64(other))
+	if l.fences {
+		p.Fence()
+	}
+	for p.Read(l.flag[other]) == 1 && p.Read(l.turn) == uint64(other) {
+	}
+}
+
+// Unlock implements Lock.
+func (l *petersonLock) Unlock(p *tso.Proc) {
+	p.Write(l.flag[p.ID()], 0)
+	if l.fences {
+		p.Fence()
+	}
+}

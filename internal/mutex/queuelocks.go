@@ -1,0 +1,113 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// andersonLock is Anderson's array-based queue lock: a ticket drawn with CAS
+// indexes a circular array of spin flags, so each waiter spins on its own
+// slot (O(1) RMRs under cache coherence once the ticket is drawn). Ticket
+// acquisition is a CAS retry loop, costing Θ(k) fences under k-contention -
+// the usual comparison-primitive price.
+type andersonLock struct {
+	next  *tso.Var
+	slots []*tso.Var
+	// mySlot[p] is the slot p drew, touched only by p's goroutine.
+	mySlot []uint64
+	n      int
+}
+
+// NewAnderson allocates an Anderson array lock for n processes.
+func NewAnderson(mem *tso.Memory, n int) (Lock, error) {
+	l := &andersonLock{
+		next:   mem.NewVar("anderson.next"),
+		slots:  mem.NewArrayInit("anderson.slot", n, []uint64{1}),
+		mySlot: make([]uint64, n),
+		n:      n,
+	}
+	return l, nil
+}
+
+// Name implements Lock.
+func (l *andersonLock) Name() string { return "anderson" }
+
+// Lock implements Lock.
+func (l *andersonLock) Lock(p *tso.Proc) {
+	// Draw a ticket.
+	var ticket uint64
+	for {
+		cur := p.Read(l.next)
+		if _, ok := p.CAS(l.next, cur, cur+1); ok {
+			ticket = cur
+			break
+		}
+	}
+	slot := ticket % uint64(l.n)
+	l.mySlot[p.ID()] = slot
+	for p.Read(l.slots[slot]) == 0 {
+	}
+}
+
+// Unlock implements Lock.
+func (l *andersonLock) Unlock(p *tso.Proc) {
+	slot := l.mySlot[p.ID()]
+	p.Write(l.slots[slot], 0)
+	p.Write(l.slots[(slot+1)%uint64(l.n)], 1)
+	p.Fence()
+}
+
+// clhLock is the Craig-Landin-Hagersten queue lock: an implicit queue
+// through a swapped tail pointer, each waiter spinning on its predecessor's
+// node. A process recycles its predecessor's node for its next passage, so
+// n+1 nodes suffice for n processes.
+type clhLock struct {
+	tail  *tso.Var
+	nodes []*tso.Var // node value 1 = holder/waiter, 0 = released
+	// myNode/myPred are per-process bookkeeping, touched only by the
+	// owning process's goroutine.
+	myNode []int
+	myPred []int
+}
+
+// NewCLH allocates a CLH queue lock for n processes.
+func NewCLH(mem *tso.Memory, n int) (Lock, error) {
+	l := &clhLock{
+		// The dummy node n starts released; tail points at it.
+		tail:   mem.NewVarInit("clh.tail", uint64(n)+1),
+		nodes:  mem.NewArray("clh.node", n+1),
+		myNode: make([]int, n),
+		myPred: make([]int, n),
+	}
+	for p := 0; p < n; p++ {
+		l.myNode[p] = p
+	}
+	return l, nil
+}
+
+// Name implements Lock.
+func (l *clhLock) Name() string { return "clh" }
+
+// Lock implements Lock.
+func (l *clhLock) Lock(p *tso.Proc) {
+	node := l.myNode[p.ID()]
+	p.Write(l.nodes[node], 1)
+	// Swap tail -> node (the CAS drains the buffer, publishing the node
+	// state before it becomes reachable).
+	var pred int
+	for {
+		cur := p.Read(l.tail)
+		if _, ok := p.CAS(l.tail, cur, uint64(node)+1); ok {
+			pred = int(cur) - 1
+			break
+		}
+	}
+	l.myPred[p.ID()] = pred
+	for p.Read(l.nodes[pred]) == 1 {
+	}
+}
+
+// Unlock implements Lock.
+func (l *clhLock) Unlock(p *tso.Proc) {
+	p.Write(l.nodes[l.myNode[p.ID()]], 0)
+	p.Fence()
+	// Recycle the predecessor's node for the next passage.
+	l.myNode[p.ID()] = l.myPred[p.ID()]
+}

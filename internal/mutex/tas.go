@@ -1,0 +1,49 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// tasLock is a test-and-set spin lock built from the serializing CAS
+// primitive. Under contention k a passage may retry its CAS Θ(k) times, and
+// every CAS costs a fence, so the lock is (trivially) adaptive with linear
+// fence complexity - consistent with the paper's tradeoff.
+type tasLock struct {
+	name string
+	v    *tso.Var
+	// ttas selects the test-and-test-and-set variant, which spins on a
+	// plain read and only attempts the CAS when the lock looks free
+	// (constant RMRs per acquisition attempt under CC).
+	ttas bool
+}
+
+// NewTAS allocates a test-and-set lock.
+func NewTAS(mem *tso.Memory, n int) (Lock, error) {
+	return &tasLock{name: "tas", v: mem.NewVar("tas.lock")}, nil
+}
+
+// NewTTAS allocates a test-and-test-and-set lock.
+func NewTTAS(mem *tso.Memory, n int) (Lock, error) {
+	return &tasLock{name: "ttas", v: mem.NewVar("ttas.lock"), ttas: true}, nil
+}
+
+// Name implements Lock.
+func (l *tasLock) Name() string { return l.name }
+
+// Lock implements Lock.
+func (l *tasLock) Lock(p *tso.Proc) {
+	me := uint64(p.ID()) + 1
+	for {
+		if l.ttas {
+			for p.Read(l.v) != 0 {
+			}
+		}
+		if _, ok := p.CAS(l.v, 0, me); ok {
+			return
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *tasLock) Unlock(p *tso.Proc) {
+	p.Write(l.v, 0)
+	p.Fence()
+}

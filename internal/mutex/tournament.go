@@ -1,0 +1,100 @@
+package mutex
+
+import "priceadaptive/internal/tso"
+
+// tournamentLock is a binary arbitration tree of two-process Peterson locks
+// in the style of Yang and Anderson's tournament mutex: each process climbs
+// ceil(log2 N) levels from its leaf to the root, competing at each internal
+// node against the process arriving from the sibling subtree. Both the RMR
+// and fence complexities of a passage are Θ(log N), independent of
+// contention - the classic non-adaptive O(log N) point that Attiya, Hendler
+// and Levy later improved to O(1) fences.
+//
+// Node addressing: the tree has 2^ceil(log2 N) leaves; internal nodes are
+// heap-indexed with the root at 1. A process's role at a node (0 = from the
+// left subtree, 1 = from the right) is the bit of its path.
+type tournamentLock struct {
+	flag   [][2]*tso.Var // per node: competitor flags
+	turn   []*tso.Var    // per node: turn variable
+	levels int
+	leaves int
+}
+
+// NewTournament allocates a tournament lock for n processes.
+func NewTournament(mem *tso.Memory, n int) (Lock, error) {
+	levels := 0
+	leaves := 1
+	for leaves < n {
+		leaves *= 2
+		levels++
+	}
+	nodes := leaves // heap-indexed 1..leaves-1; allocate leaves entries
+	l := &tournamentLock{
+		flag:   make([][2]*tso.Var, nodes),
+		turn:   make([]*tso.Var, nodes),
+		levels: levels,
+		leaves: leaves,
+	}
+	for i := 1; i < nodes; i++ {
+		l.flag[i] = [2]*tso.Var{
+			mem.NewVar(nodeName("tourn.flag0", i)),
+			mem.NewVar(nodeName("tourn.flag1", i)),
+		}
+		l.turn[i] = mem.NewVar(nodeName("tourn.turn", i))
+	}
+	return l, nil
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// Name implements Lock.
+func (l *tournamentLock) Name() string { return "tournament" }
+
+// node returns the internal node and the process's role at the given level
+// (level 1 = just above the leaves).
+func (l *tournamentLock) node(p tso.ProcID, level int) (int, int) {
+	leaf := l.leaves + int(p)
+	node := leaf >> level
+	role := (leaf >> (level - 1)) & 1
+	return node, role
+}
+
+// Lock implements Lock: climb from leaf to root, winning the Peterson
+// competition at every node.
+func (l *tournamentLock) Lock(p *tso.Proc) {
+	for level := 1; level <= l.levels; level++ {
+		node, role := l.node(p.ID(), level)
+		other := 1 - role
+		p.Write(l.flag[node][role], 1)
+		p.Write(l.turn[node], uint64(other))
+		p.Fence()
+		for p.Read(l.flag[node][other]) == 1 && p.Read(l.turn[node]) == uint64(other) {
+		}
+	}
+}
+
+// Unlock implements Lock: release the nodes top-down so a waiting competitor
+// at a higher node proceeds before lower nodes reopen.
+func (l *tournamentLock) Unlock(p *tso.Proc) {
+	for level := l.levels; level >= 1; level-- {
+		node, role := l.node(p.ID(), level)
+		p.Write(l.flag[node][role], 0)
+	}
+	p.Fence()
+}

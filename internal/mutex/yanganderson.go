@@ -1,0 +1,130 @@
+package mutex
+
+import (
+	"strconv"
+
+	"priceadaptive/internal/tso"
+)
+
+// yaLock is the Yang-Anderson tournament mutex (Yang & Anderson, "A fast,
+// scalable mutual exclusion algorithm", Distributed Computing 1995): a
+// binary arbitration tree whose per-node two-process protocol uses only
+// reads and writes and spins exclusively on per-process variables, giving
+// O(log N) RMRs per passage in the DSM model as well as under CC - the
+// algorithm the paper credits with the first O(log N)-RMR bound, later
+// shown optimal.
+//
+// Per node v and side s (the subtree the competitor arrives from), the
+// protocol keeps a competitor announcement C[v][s], a tie-breaker T[v], and
+// a per-(process, level) spin flag local to the process. The second process
+// to write T loses and waits; a handshake on the spin flag (values 0/1/2)
+// resolves the race where both processes see each other, and the winner's
+// exit releases the loser with value 2.
+//
+// Under TSO the doorway writes (C, T, spin reset) must be fenced before the
+// rival is read, and the signal writes must be fenced to become visible;
+// each level therefore costs O(1) fences, O(log N) per passage.
+type yaLock struct {
+	c      [][2]*tso.Var // C[v][side]: competitor id+1, 0 = none
+	t      []*tso.Var    // T[v]: id+1 of the later arriver (the loser)
+	spin   [][]*tso.Var  // spin[p][level], local to p
+	levels int
+	leaves int
+}
+
+// NewYangAnderson allocates a Yang-Anderson tournament lock for n processes.
+func NewYangAnderson(mem *tso.Memory, n int) (Lock, error) {
+	levels := 0
+	leaves := 1
+	for leaves < n {
+		leaves *= 2
+		levels++
+	}
+	l := &yaLock{
+		c:      make([][2]*tso.Var, leaves),
+		t:      make([]*tso.Var, leaves),
+		levels: levels,
+		leaves: leaves,
+	}
+	for v := 1; v < leaves; v++ {
+		l.c[v] = [2]*tso.Var{
+			mem.NewVar("ya.c0[" + strconv.Itoa(v) + "]"),
+			mem.NewVar("ya.c1[" + strconv.Itoa(v) + "]"),
+		}
+		l.t[v] = mem.NewVar("ya.t[" + strconv.Itoa(v) + "]")
+	}
+	l.spin = make([][]*tso.Var, n)
+	for p := 0; p < n; p++ {
+		l.spin[p] = make([]*tso.Var, levels+1)
+		for lv := 1; lv <= levels; lv++ {
+			l.spin[p][lv] = mem.NewOwned(
+				"ya.spin["+strconv.Itoa(p)+"]["+strconv.Itoa(lv)+"]", tso.ProcID(p))
+		}
+	}
+	return l, nil
+}
+
+// Name implements Lock.
+func (l *yaLock) Name() string { return "yanganderson" }
+
+// node returns the internal node index and side for p at the given level.
+func (l *yaLock) node(p tso.ProcID, level int) (int, int) {
+	leaf := l.leaves + int(p)
+	return leaf >> level, (leaf >> (level - 1)) & 1
+}
+
+// Lock implements Lock.
+func (l *yaLock) Lock(p *tso.Proc) {
+	me := uint64(p.ID()) + 1
+	for level := 1; level <= l.levels; level++ {
+		v, side := l.node(p.ID(), level)
+		// Doorway order matters: the spin-flag reset must precede the
+		// tie-breaker write, so that an exiting winner that read T == me
+		// (and therefore signals my flag) can never have its signal
+		// overwritten by my reset.
+		p.Write(l.c[v][side], me)
+		p.Write(l.spin[p.ID()][level], 0)
+		p.Write(l.t[v], me)
+		p.Fence()
+		rival := p.Read(l.c[v][1-side])
+		if rival != 0 && p.Read(l.t[v]) == me {
+			// I read T == me, so I believe I lost. The rival may believe
+			// the same (its T write was still buffered when I read):
+			// handshake by raising its flag to 1 unless it already holds a
+			// signal, then wait for my own flag.
+			if p.Read(l.spinOf(rival, level)) == 0 {
+				p.Write(l.spinOf(rival, level), 1)
+				p.Fence()
+			}
+			for p.Read(l.spin[p.ID()][level]) == 0 {
+			}
+			if p.Read(l.t[v]) == me {
+				// The re-read confirms I am the true loser: wait for the
+				// winner's exit signal (value 2).
+				for p.Read(l.spin[p.ID()][level]) <= 1 {
+				}
+			}
+		}
+	}
+}
+
+// Unlock implements Lock.
+func (l *yaLock) Unlock(p *tso.Proc) {
+	me := uint64(p.ID()) + 1
+	for level := l.levels; level >= 1; level-- {
+		v, side := l.node(p.ID(), level)
+		p.Write(l.c[v][side], 0)
+		p.Fence()
+		rival := p.Read(l.t[v])
+		if rival != me {
+			p.Write(l.spinOf(rival, level), 2)
+			p.Fence()
+		}
+	}
+}
+
+// spinOf returns the spin flag of the process with announced value id+1 at
+// the given level.
+func (l *yaLock) spinOf(announced uint64, level int) *tso.Var {
+	return l.spin[announced-1][level]
+}

@@ -1,0 +1,132 @@
+package objects
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// msQueue is the Michael-Scott lock-free FIFO queue: a linked list with a
+// dummy head node; enqueue links a fresh node after the tail with CAS and
+// swings the tail, dequeue swings the head. Like the Treiber stack it is
+// lock-free and therefore in the object class of Section 5, and every CAS
+// is serializing: operations cost Θ(1) fences solo and Θ(k) under
+// k-contention - adaptive, paying the paper's fence price.
+//
+// Nodes are bump-allocated from per-process regions and never reused, so
+// ABA does not arise. Node references are stored as index+1 with 0 = nil.
+type msQueue struct {
+	head, tail *tso.Var
+	val, nxt   []*tso.Var
+	nextFree   []int
+	perProc    int
+	initLen    int
+}
+
+var _ Queue = (*msQueue)(nil)
+
+// NewMSQueue allocates a Michael-Scott queue supporting at most opsPerProc
+// enqueues per process.
+func NewMSQueue(mem *tso.Memory, n, opsPerProc int) (Queue, error) {
+	return newMSQueue(mem, n, opsPerProc, nil)
+}
+
+// NewMSQueueInit allocates a Michael-Scott queue pre-filled with init
+// (init[0] at the head), for the Lemma 9 limited-use counter.
+func NewMSQueueInit(mem *tso.Memory, n, opsPerProc int, init []uint64) (Queue, error) {
+	return newMSQueue(mem, n, opsPerProc, init)
+}
+
+func newMSQueue(mem *tso.Memory, n, opsPerProc int, init []uint64) (Queue, error) {
+	if opsPerProc <= 0 {
+		return nil, fmt.Errorf("objects: msqueue opsPerProc must be positive, got %d", opsPerProc)
+	}
+	// Node 0 is the dummy; nodes 1..len(init) hold the initial values.
+	pool := 1 + len(init) + n*opsPerProc
+	q := &msQueue{
+		val:      make([]*tso.Var, pool),
+		nxt:      make([]*tso.Var, pool),
+		nextFree: make([]int, n),
+		perProc:  opsPerProc,
+		initLen:  1 + len(init),
+	}
+	for i := range q.val {
+		var v, nx uint64
+		if i >= 1 && i <= len(init) {
+			v = init[i-1]
+		}
+		if i < len(init) {
+			nx = uint64(i + 2) // node i links to node i+1 (stored as index+1)
+		}
+		q.val[i] = mem.NewVarInit(fmt.Sprintf("msq.val[%d]", i), v)
+		q.nxt[i] = mem.NewVarInit(fmt.Sprintf("msq.nxt[%d]", i), nx)
+	}
+	q.head = mem.NewVarInit("msq.head", 1) // dummy
+	q.tail = mem.NewVarInit("msq.tail", uint64(len(init))+1)
+	for p := range q.nextFree {
+		q.nextFree[p] = q.initLen + p*opsPerProc
+	}
+	return q, nil
+}
+
+// Name implements Queue.
+func (q *msQueue) Name() string { return "ms-queue" }
+
+// Enqueue implements Queue.
+func (q *msQueue) Enqueue(p *tso.Proc, v uint64) {
+	id := int(p.ID())
+	n := q.nextFree[id]
+	if n >= q.initLen+(id+1)*q.perProc {
+		panic(fmt.Sprintf("objects: msqueue pool exhausted for p%d", id))
+	}
+	q.nextFree[id] = n + 1
+	p.Write(q.val[n], v)
+	// nxt[n] is 0 (nil) by construction and the node is private until
+	// linked; the linking CAS drains the buffer, publishing val first.
+	for {
+		t := p.Read(q.tail)
+		tn := p.Read(q.nxt[t-1])
+		if tn != 0 {
+			// Tail is lagging: help swing it forward.
+			p.CAS(q.tail, t, tn)
+			continue
+		}
+		if _, ok := p.CAS(q.nxt[t-1], 0, uint64(n)+1); ok {
+			p.CAS(q.tail, t, uint64(n)+1)
+			return
+		}
+	}
+}
+
+// Dequeue implements Queue.
+func (q *msQueue) Dequeue(p *tso.Proc) (uint64, bool) {
+	for {
+		h := p.Read(q.head)
+		t := p.Read(q.tail)
+		hn := p.Read(q.nxt[h-1])
+		if h == t {
+			if hn == 0 {
+				return 0, false
+			}
+			// Tail lags behind a half-finished enqueue: help.
+			p.CAS(q.tail, t, hn)
+			continue
+		}
+		v := p.Read(q.val[hn-1])
+		if _, ok := p.CAS(q.head, h, hn); ok {
+			return v, true
+		}
+	}
+}
+
+// OneTimeFromMSQueue builds the Lemma 9 chain over the lock-free queue: a
+// Michael-Scott queue pre-filled with 0..n, the limited-use counter over it,
+// and Algorithm 1 on top.
+func OneTimeFromMSQueue(mem *tso.Memory, n int) (mutex.Lock, error) {
+	q, err := NewMSQueueInit(mem, n, 1, CounterRange(n))
+	if err != nil {
+		return nil, err
+	}
+	return NewOneTimeMutex(mem, n, NewCounterFromQueue(q)), nil
+}

@@ -1,0 +1,223 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+func TestMSQueueSequentialFIFO(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewMSQueue(sim.Memory(), 1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if _, ok := q.Dequeue(p); ok {
+				panic("dequeue of empty queue succeeded")
+			}
+			for i := uint64(1); i <= 4; i++ {
+				q.Enqueue(p, i*10)
+			}
+			for want := uint64(1); want <= 4; want++ {
+				if v, ok := q.Dequeue(p); !ok || v != want*10 {
+					panic(fmt.Sprintf("dequeue = %d,%v want %d", v, ok, want*10))
+				}
+			}
+			if _, ok := q.Dequeue(p); ok {
+				panic("queue should be empty")
+			}
+			// Interleave: enqueue after draining works (tail/head realign).
+			q.Enqueue(p, 99)
+			if v, ok := q.Dequeue(p); !ok || v != 99 {
+				panic("reuse after drain failed")
+			}
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: 1}, build, tso.Sequential{})
+}
+
+func TestMSQueueConcurrentConservation(t *testing.T) {
+	const n, per = 4, 3
+	popped := make([][]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewMSQueue(sim.Memory(), n, per)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			base := uint64(p.ID()) * 100
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(p, base+i+1)
+			}
+			for len(popped[p.ID()]) < per {
+				if v, ok := q.Dequeue(p); ok {
+					popped[p.ID()] = append(popped[p.ID()], v)
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for i := range popped {
+			popped[i] = nil
+		}
+		runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(seed, 0.3))
+		var all []uint64
+		for _, o := range popped {
+			all = append(all, o...)
+		}
+		if len(all) != n*per {
+			t.Fatalf("seed %d: dequeued %d values", seed, len(all))
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i := 1; i < len(all); i++ {
+			if all[i] == all[i-1] {
+				t.Fatalf("seed %d: duplicate %d", seed, all[i])
+			}
+		}
+	}
+}
+
+func TestMSQueuePerProcessFIFOOrder(t *testing.T) {
+	// FIFO per producer: a single consumer must see each producer's values
+	// in its enqueue order.
+	const n = 3 // 2 producers + 1 consumer
+	const per = 4
+	var got []uint64
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewMSQueue(sim.Memory(), n, per)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if p.ID() < 2 {
+				base := uint64(p.ID()) * 100
+				for i := uint64(0); i < per; i++ {
+					q.Enqueue(p, base+i+1)
+				}
+			} else {
+				for len(got) < 2*per {
+					if v, ok := q.Dequeue(p); ok {
+						got = append(got, v)
+					}
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		got = nil
+		runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(seed, 0.3))
+		last := map[uint64]uint64{}
+		for _, v := range got {
+			producer := v / 100
+			if v <= last[producer] {
+				t.Fatalf("seed %d: per-producer FIFO broken: %v", seed, got)
+			}
+			last[producer] = v
+		}
+	}
+}
+
+func TestMSQueueAsCounterAndOneTime(t *testing.T) {
+	const n = 6
+	out := make([]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewMSQueueInit(sim.Memory(), n, 1, CounterRange(n))
+		if err != nil {
+			return nil, err
+		}
+		c := NewCounterFromQueue(q)
+		return func(p *tso.Proc) {
+			out[p.ID()] = c.FetchIncrement(p)
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(5, 0.3))
+	checkCounterOutputs(t, out)
+
+	for seed := int64(1); seed <= 6; seed++ {
+		build := func(sim *tso.Simulator) (tso.Program, error) {
+			l, err := OneTimeFromMSQueue(sim.Memory(), n)
+			if err != nil {
+				return nil, err
+			}
+			return func(p *tso.Proc) {
+				l.Lock(p)
+				p.CS()
+				l.Unlock(p)
+			}, nil
+		}
+		runProgram(t, tso.Config{N: n}, build, tso.NewRandom(seed, 0.3))
+	}
+}
+
+func TestMSQueueFenceAdaptivity(t *testing.T) {
+	fences := func(n int) int {
+		sim, err := tso.NewSimulator(tso.Config{N: n, AllowConcurrentCS: true}, func(s *tso.Simulator) (tso.Program, error) {
+			q, err := NewMSQueueInit(s.Memory(), n, 1, CounterRange(n))
+			if err != nil {
+				return nil, err
+			}
+			return func(p *tso.Proc) {
+				q.Dequeue(p)
+				p.CS()
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Kill()
+		acc := rmr.Attach(sim, rmr.ModelCCWriteBack)
+		if _, err := tso.Run(sim, tso.NewRoundRobin(), 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return acc.Summarize().MaxFences
+	}
+	f1, f8 := fences(1), fences(8)
+	if f1 != 1 {
+		t.Errorf("solo dequeue fences = %d, want 1", f1)
+	}
+	if f8 <= f1 {
+		t.Errorf("contended dequeue fences = %d, want > %d", f8, f1)
+	}
+}
+
+func TestMSQueuePoolExhaustionPanics(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewMSQueue(sim.Memory(), 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			q.Enqueue(p, 1)
+			q.Enqueue(p, 2)
+			p.CS()
+		}, nil
+	}
+	sim, err := tso.NewSimulator(tso.Config{N: 1}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	_, _ = tso.Run(sim, tso.Sequential{}, 100000)
+	if _, ok := sim.ProgramPanic(0); !ok {
+		t.Fatal("pool exhaustion must panic")
+	}
+}
+
+func TestMSQueueValidation(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 1}, func(s *tso.Simulator) (tso.Program, error) {
+		_, err := NewMSQueue(s.Memory(), 1, 0)
+		return nil, err
+	})
+	if err == nil {
+		sim.Kill()
+		t.Fatal("opsPerProc=0 must be rejected")
+	}
+}

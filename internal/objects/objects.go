@@ -1,0 +1,318 @@
+// Package objects implements the shared objects of Section 5 of the paper -
+// counters, stacks and queues - on top of the simulated TSO memory, together
+// with the reduction of Lemma 9: a one-time mutual-exclusion lock built from
+// a limited-use counter (Algorithm 1), where each passage invokes exactly
+// one operation on the underlying object. The reduction is what transfers
+// the fence-complexity lower bound from locks to these objects.
+package objects
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// Counter is a fetch&increment counter: FetchIncrement atomically increments
+// the counter and returns its previous value.
+type Counter interface {
+	// Name identifies the implementation.
+	Name() string
+	// FetchIncrement performs the operation on behalf of p.
+	FetchIncrement(p *tso.Proc) uint64
+}
+
+// Queue is a FIFO queue of uint64 values.
+type Queue interface {
+	// Name identifies the implementation.
+	Name() string
+	// Enqueue appends v.
+	Enqueue(p *tso.Proc, v uint64)
+	// Dequeue removes and returns the head, or ok=false if the queue is
+	// empty.
+	Dequeue(p *tso.Proc) (v uint64, ok bool)
+}
+
+// Stack is a LIFO stack of uint64 values.
+type Stack interface {
+	// Name identifies the implementation.
+	Name() string
+	// Push appends v.
+	Push(p *tso.Proc, v uint64)
+	// Pop removes and returns the top, or ok=false if the stack is empty.
+	Pop(p *tso.Proc) (v uint64, ok bool)
+}
+
+// casCounter is a counter implemented directly with the serializing CAS
+// primitive (retry loop). Under contention k an operation may retry Θ(k)
+// times, each retry costing a fence - the CAS analogue of the paper's
+// adaptivity/fence tradeoff.
+type casCounter struct {
+	v *tso.Var
+}
+
+// NewCASCounter allocates a CAS-based counter.
+func NewCASCounter(mem *tso.Memory) Counter {
+	return &casCounter{v: mem.NewVar("counter.cas")}
+}
+
+// Name implements Counter.
+func (c *casCounter) Name() string { return "cas-counter" }
+
+// FetchIncrement implements Counter.
+func (c *casCounter) FetchIncrement(p *tso.Proc) uint64 {
+	for {
+		cur := p.Read(c.v)
+		if _, ok := p.CAS(c.v, cur, cur+1); ok {
+			return cur
+		}
+	}
+}
+
+// lockedCounter is a counter protected by any mutual-exclusion lock: the
+// construction the paper's Section 5 notes gives O(log N) RMRs and O(1)
+// fences per operation when instantiated with the algorithm of [6] - or,
+// with an adaptive lock, inherits the adaptive lock's fence growth.
+type lockedCounter struct {
+	name string
+	lock mutex.Lock
+	v    *tso.Var
+}
+
+// NewLockedCounter allocates a counter protected by a lock built with f.
+func NewLockedCounter(mem *tso.Memory, n int, f mutex.Factory) (Counter, error) {
+	l, err := f(mem, n)
+	if err != nil {
+		return nil, fmt.Errorf("objects: counter lock: %w", err)
+	}
+	return &lockedCounter{
+		name: "locked-counter(" + l.Name() + ")",
+		lock: l,
+		v:    mem.NewVar("counter.value"),
+	}, nil
+}
+
+// Name implements Counter.
+func (c *lockedCounter) Name() string { return c.name }
+
+// FetchIncrement implements Counter.
+func (c *lockedCounter) FetchIncrement(p *tso.Proc) uint64 {
+	c.lock.Lock(p)
+	x := p.Read(c.v)
+	p.Write(c.v, x+1)
+	c.lock.Unlock(p)
+	return x
+}
+
+// lockedQueue is a bounded FIFO queue protected by a lock.
+type lockedQueue struct {
+	name string
+	lock mutex.Lock
+	head *tso.Var
+	tail *tso.Var
+	buf  []*tso.Var
+}
+
+// NewLockedQueue allocates a lock-protected queue with the given capacity.
+func NewLockedQueue(mem *tso.Memory, n, capacity int, f mutex.Factory) (Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("objects: queue capacity must be positive, got %d", capacity)
+	}
+	l, err := f(mem, n)
+	if err != nil {
+		return nil, fmt.Errorf("objects: queue lock: %w", err)
+	}
+	return &lockedQueue{
+		name: "locked-queue(" + l.Name() + ")",
+		lock: l,
+		head: mem.NewVar("queue.head"),
+		tail: mem.NewVar("queue.tail"),
+		buf:  mem.NewArray("queue.buf", capacity),
+	}, nil
+}
+
+// NewQueueInit allocates a queue pre-filled with the values init (init[0] at
+// the head), as needed by the Lemma 9 counter construction.
+func NewQueueInit(mem *tso.Memory, n, capacity int, init []uint64, f mutex.Factory) (Queue, error) {
+	if len(init) > capacity {
+		return nil, fmt.Errorf("objects: %d initial values exceed capacity %d", len(init), capacity)
+	}
+	l, err := f(mem, n)
+	if err != nil {
+		return nil, fmt.Errorf("objects: queue lock: %w", err)
+	}
+	return &lockedQueue{
+		name: "locked-queue(" + l.Name() + ")",
+		lock: l,
+		head: mem.NewVar("queue.head"),
+		tail: mem.NewVarInit("queue.tail", uint64(len(init))),
+		buf:  mem.NewArrayInit("queue.buf", capacity, init),
+	}, nil
+}
+
+// Name implements Queue.
+func (q *lockedQueue) Name() string { return q.name }
+
+// Enqueue implements Queue. Enqueueing into a full queue panics: the bounded
+// buffer is an implementation artifact and callers size it to their
+// workload.
+func (q *lockedQueue) Enqueue(p *tso.Proc, v uint64) {
+	q.lock.Lock(p)
+	t := p.Read(q.tail)
+	if int(t) >= len(q.buf) {
+		q.lock.Unlock(p)
+		panic(fmt.Sprintf("objects: queue overflow at %d", t))
+	}
+	p.Write(q.buf[t], v)
+	p.Write(q.tail, t+1)
+	q.lock.Unlock(p)
+}
+
+// Dequeue implements Queue.
+func (q *lockedQueue) Dequeue(p *tso.Proc) (uint64, bool) {
+	q.lock.Lock(p)
+	h := p.Read(q.head)
+	t := p.Read(q.tail)
+	if h == t {
+		q.lock.Unlock(p)
+		return 0, false
+	}
+	v := p.Read(q.buf[h])
+	p.Write(q.head, h+1)
+	q.lock.Unlock(p)
+	return v, true
+}
+
+// lockedStack is a bounded LIFO stack protected by a lock.
+type lockedStack struct {
+	name string
+	lock mutex.Lock
+	top  *tso.Var
+	buf  []*tso.Var
+}
+
+// NewLockedStack allocates a lock-protected stack with the given capacity.
+func NewLockedStack(mem *tso.Memory, n, capacity int, f mutex.Factory) (Stack, error) {
+	return newStack(mem, n, capacity, nil, f)
+}
+
+// NewStackInit allocates a stack pre-filled with init (init[0] at the
+// bottom, last element on top).
+func NewStackInit(mem *tso.Memory, n, capacity int, init []uint64, f mutex.Factory) (Stack, error) {
+	return newStack(mem, n, capacity, init, f)
+}
+
+func newStack(mem *tso.Memory, n, capacity int, init []uint64, f mutex.Factory) (Stack, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("objects: stack capacity must be positive, got %d", capacity)
+	}
+	if len(init) > capacity {
+		return nil, fmt.Errorf("objects: %d initial values exceed capacity %d", len(init), capacity)
+	}
+	l, err := f(mem, n)
+	if err != nil {
+		return nil, fmt.Errorf("objects: stack lock: %w", err)
+	}
+	return &lockedStack{
+		name: "locked-stack(" + l.Name() + ")",
+		lock: l,
+		top:  mem.NewVarInit("stack.top", uint64(len(init))),
+		buf:  mem.NewArrayInit("stack.buf", capacity, init),
+	}, nil
+}
+
+// Name implements Stack.
+func (s *lockedStack) Name() string { return s.name }
+
+// Push implements Stack. Pushing onto a full stack panics.
+func (s *lockedStack) Push(p *tso.Proc, v uint64) {
+	s.lock.Lock(p)
+	t := p.Read(s.top)
+	if int(t) >= len(s.buf) {
+		s.lock.Unlock(p)
+		panic(fmt.Sprintf("objects: stack overflow at %d", t))
+	}
+	p.Write(s.buf[t], v)
+	p.Write(s.top, t+1)
+	s.lock.Unlock(p)
+}
+
+// Pop implements Stack.
+func (s *lockedStack) Pop(p *tso.Proc) (uint64, bool) {
+	s.lock.Lock(p)
+	t := p.Read(s.top)
+	if t == 0 {
+		s.lock.Unlock(p)
+		return 0, false
+	}
+	v := p.Read(s.buf[t-1])
+	p.Write(s.top, t-1)
+	s.lock.Unlock(p)
+	return v, true
+}
+
+// counterFromQueue is the Lemma 9 construction of an m-limited-use counter
+// from a queue initialized to <0, 1, ..., m>: fetch&increment is a single
+// dequeue.
+type counterFromQueue struct {
+	q Queue
+}
+
+// NewCounterFromQueue builds an m-limited-use counter from a pre-initialized
+// queue (see NewQueueInit with init 0..m).
+func NewCounterFromQueue(q Queue) Counter { return &counterFromQueue{q: q} }
+
+// Name implements Counter.
+func (c *counterFromQueue) Name() string { return "counter-from-queue" }
+
+// FetchIncrement implements Counter.
+func (c *counterFromQueue) FetchIncrement(p *tso.Proc) uint64 {
+	v, ok := c.q.Dequeue(p)
+	if !ok {
+		panic("objects: limited-use counter exhausted (queue empty)")
+	}
+	return v
+}
+
+// counterFromStack is the Lemma 9 construction of an m-limited-use counter
+// from a stack initialized to <m, ..., 1, 0> (0 on top): fetch&increment is
+// a single pop.
+type counterFromStack struct {
+	s Stack
+}
+
+// NewCounterFromStack builds an m-limited-use counter from a pre-initialized
+// stack (see NewStackInit with init m..0).
+func NewCounterFromStack(s Stack) Counter { return &counterFromStack{s: s} }
+
+// Name implements Counter.
+func (c *counterFromStack) Name() string { return "counter-from-stack" }
+
+// FetchIncrement implements Counter.
+func (c *counterFromStack) FetchIncrement(p *tso.Proc) uint64 {
+	v, ok := c.s.Pop(p)
+	if !ok {
+		panic("objects: limited-use counter exhausted (stack empty)")
+	}
+	return v
+}
+
+// CounterRange returns the initial contents for a queue-backed limited-use
+// counter serving m operations: 0, 1, ..., m.
+func CounterRange(m int) []uint64 {
+	out := make([]uint64, m+1)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// CounterRangeReversed returns the initial contents for a stack-backed
+// limited-use counter: m, ..., 1, 0 (so 0 is popped first).
+func CounterRangeReversed(m int) []uint64 {
+	out := make([]uint64, m+1)
+	for i := range out {
+		out[i] = uint64(m - i)
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+// runProgram builds a simulator around prog and runs it to completion under
+// the scheduler, failing the test on any error or exclusion violation.
+func runProgram(t *testing.T, cfg tso.Config, build tso.Build, sched tso.Scheduler) *tso.Simulator {
+	t.Helper()
+	sim, err := tso.NewSimulator(cfg, build)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	t.Cleanup(sim.Kill)
+	res, err := tso.Run(sim, sched, 20_000_000)
+	if err != nil {
+		for i := 0; i < cfg.N; i++ {
+			if msg, ok := sim.ProgramPanic(tso.ProcID(i)); ok {
+				t.Fatalf("p%d panicked: %s", i, msg)
+			}
+		}
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if res.Violation != nil {
+		t.Fatalf("exclusion violated: %v", res.Violation)
+	}
+	return sim
+}
+
+// checkCounterOutputs asserts the fetch&increment results are exactly
+// 0..len-1 in some order (atomicity of the counter).
+func checkCounterOutputs(t *testing.T, got []uint64) {
+	t.Helper()
+	sorted := append([]uint64(nil), got...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		if v != uint64(i) {
+			t.Fatalf("counter outputs not a permutation of 0..%d: %v", len(got)-1, got)
+		}
+	}
+}
+
+func TestCASCounterAtomicity(t *testing.T) {
+	const n, per = 4, 5
+	out := make([][]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		c := NewCASCounter(sim.Memory())
+		return func(p *tso.Proc) {
+			out[p.ID()] = append(out[p.ID()], c.FetchIncrement(p))
+			p.CS()
+		}, nil
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		for i := range out {
+			out[i] = nil
+		}
+		runProgram(t, tso.Config{N: n, Passages: per, AllowConcurrentCS: true}, build, tso.NewRandom(seed, 0.3))
+		var all []uint64
+		for _, o := range out {
+			all = append(all, o...)
+		}
+		if len(all) != n*per {
+			t.Fatalf("seed %d: %d outputs, want %d", seed, len(all), n*per)
+		}
+		checkCounterOutputs(t, all)
+	}
+}
+
+func TestLockedCounterAtomicity(t *testing.T) {
+	const n, per = 4, 3
+	out := make([][]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		c, err := NewLockedCounter(sim.Memory(), n, mutex.NewBakery)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			out[p.ID()] = append(out[p.ID()], c.FetchIncrement(p))
+			p.CS()
+		}, nil
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		for i := range out {
+			out[i] = nil
+		}
+		runProgram(t, tso.Config{N: n, Passages: per, AllowConcurrentCS: true}, build, tso.NewRandom(seed, 0.25))
+		var all []uint64
+		for _, o := range out {
+			all = append(all, o...)
+		}
+		checkCounterOutputs(t, all)
+	}
+}
+
+func TestQueueFIFOSingleProducerConsumer(t *testing.T) {
+	const items = 8
+	var got []uint64
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewLockedQueue(sim.Memory(), 2, items, mutex.NewTAS)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < items; i++ {
+					q.Enqueue(p, uint64(100+i))
+				}
+			} else {
+				for len(got) < items {
+					if v, ok := q.Dequeue(p); ok {
+						got = append(got, v)
+					}
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: 2, AllowConcurrentCS: true}, build, tso.NewRandom(7, 0.2))
+	if len(got) != items {
+		t.Fatalf("dequeued %d items, want %d", len(got), items)
+	}
+	for i, v := range got {
+		if v != uint64(100+i) {
+			t.Fatalf("FIFO order broken: %v", got)
+		}
+	}
+}
+
+func TestQueueEmptyDequeue(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewLockedQueue(sim.Memory(), 1, 4, mutex.NewTAS)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if _, ok := q.Dequeue(p); ok {
+				panic("dequeue of empty queue succeeded")
+			}
+			q.Enqueue(p, 42)
+			if v, ok := q.Dequeue(p); !ok || v != 42 {
+				panic(fmt.Sprintf("dequeue = %d,%v", v, ok))
+			}
+			if _, ok := q.Dequeue(p); ok {
+				panic("queue should be empty again")
+			}
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: 1}, build, tso.Sequential{})
+}
+
+func TestStackLIFO(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		s, err := NewLockedStack(sim.Memory(), 1, 8, mutex.NewTAS)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if _, ok := s.Pop(p); ok {
+				panic("pop of empty stack succeeded")
+			}
+			for i := uint64(1); i <= 3; i++ {
+				s.Push(p, i)
+			}
+			for want := uint64(3); want >= 1; want-- {
+				if v, ok := s.Pop(p); !ok || v != want {
+					panic(fmt.Sprintf("pop = %d,%v, want %d", v, ok, want))
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: 1}, build, tso.Sequential{})
+}
+
+func TestCounterFromQueueAndStack(t *testing.T) {
+	const n = 6
+	for _, kind := range []string{"queue", "stack"} {
+		t.Run(kind, func(t *testing.T) {
+			out := make([]uint64, n)
+			build := func(sim *tso.Simulator) (tso.Program, error) {
+				var c Counter
+				switch kind {
+				case "queue":
+					q, err := NewQueueInit(sim.Memory(), n, n+1, CounterRange(n), mutex.NewTAS)
+					if err != nil {
+						return nil, err
+					}
+					c = NewCounterFromQueue(q)
+				case "stack":
+					s, err := NewStackInit(sim.Memory(), n, n+1, CounterRangeReversed(n), mutex.NewTAS)
+					if err != nil {
+						return nil, err
+					}
+					c = NewCounterFromStack(s)
+				}
+				return func(p *tso.Proc) {
+					out[p.ID()] = c.FetchIncrement(p)
+					p.CS()
+				}, nil
+			}
+			runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(3, 0.25))
+			checkCounterOutputs(t, out)
+		})
+	}
+}
+
+func TestCounterRanges(t *testing.T) {
+	r := CounterRange(3)
+	if len(r) != 4 || r[0] != 0 || r[3] != 3 {
+		t.Errorf("CounterRange = %v", r)
+	}
+	rr := CounterRangeReversed(3)
+	if len(rr) != 4 || rr[0] != 3 || rr[3] != 0 {
+		t.Errorf("CounterRangeReversed = %v", rr)
+	}
+}
+
+// oneTimeBuild builds the one-time mutex over the given counter flavor.
+func oneTimeBuild(t *testing.T, flavor string, n int) tso.Build {
+	t.Helper()
+	return func(sim *tso.Simulator) (tso.Program, error) {
+		var l mutex.Lock
+		var err error
+		switch flavor {
+		case "cas":
+			l = NewOneTimeMutex(sim.Memory(), n, NewCASCounter(sim.Memory()))
+		case "locked":
+			var c Counter
+			c, err = NewLockedCounter(sim.Memory(), n, mutex.NewBakery)
+			if err == nil {
+				l = NewOneTimeMutex(sim.Memory(), n, c)
+			}
+		case "queue":
+			l, err = OneTimeFromQueue(sim.Memory(), n, mutex.NewTAS)
+		case "stack":
+			l, err = OneTimeFromStack(sim.Memory(), n, mutex.NewTAS)
+		default:
+			err = fmt.Errorf("unknown flavor %q", flavor)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			l.Lock(p)
+			p.CS()
+			l.Unlock(p)
+		}, nil
+	}
+}
+
+func TestOneTimeMutexExclusionAllFlavors(t *testing.T) {
+	const n = 5
+	for _, flavor := range []string{"cas", "locked", "queue", "stack"} {
+		for seed := int64(1); seed <= 6; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", flavor, seed), func(t *testing.T) {
+				runProgram(t, tso.Config{N: n}, oneTimeBuild(t, flavor, n), tso.NewRandom(seed, 0.3))
+			})
+		}
+	}
+}
+
+func TestOneTimeMutexRoundRobin(t *testing.T) {
+	for _, flavor := range []string{"cas", "locked", "queue", "stack"} {
+		t.Run(flavor, func(t *testing.T) {
+			runProgram(t, tso.Config{N: 6}, oneTimeBuild(t, flavor, 6), tso.NewRoundRobin())
+		})
+	}
+}
+
+func TestLemma9FenceComplexityTransfer(t *testing.T) {
+	// Lemma 9: the one-time mutex adds only O(1) fences on top of a single
+	// counter operation. Measure the bakery-protected counter's operation
+	// cost (the bakery lock uses 3 fences) and assert the one-time lock's
+	// per-passage fence count is within the constant additive bound.
+	const n = 6
+	sim, err := tso.NewSimulator(tso.Config{N: n}, oneTimeBuild(t, "locked", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := rmr.Attach(sim, rmr.ModelCCWriteBack)
+	res, err := tso.Run(sim, tso.NewRoundRobin(), 20_000_000)
+	if err != nil || !res.Completed {
+		t.Fatalf("run: %v", err)
+	}
+	s := acc.Summarize()
+	// Counter op via bakery: 3 fences. Algorithm 1 adds: 1 after waiting
+	// write, 1 after release write, possibly 1 after spin signal.
+	const counterFences = 3
+	if s.MaxFences > counterFences+3 {
+		t.Errorf("one-time mutex fences = %d, want <= counter(%d) + 3", s.MaxFences, counterFences)
+	}
+	if s.MaxFences < counterFences+1 {
+		t.Errorf("one-time mutex fences = %d, suspiciously low", s.MaxFences)
+	}
+}
+
+func TestQueueOverflowPanics(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		q, err := NewLockedQueue(sim.Memory(), 1, 1, mutex.NewTAS)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			q.Enqueue(p, 1)
+			q.Enqueue(p, 2) // overflow
+			p.CS()
+		}, nil
+	}
+	sim, err := tso.NewSimulator(tso.Config{N: 1}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	_, _ = tso.Run(sim, tso.Sequential{}, 100000)
+	if _, ok := sim.ProgramPanic(0); !ok {
+		t.Fatal("queue overflow must panic")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 2}, func(s *tso.Simulator) (tso.Program, error) {
+		if _, err := NewLockedQueue(s.Memory(), 2, 0, mutex.NewTAS); err == nil {
+			return nil, fmt.Errorf("zero-capacity queue accepted")
+		}
+		if _, err := NewLockedStack(s.Memory(), 2, 0, mutex.NewTAS); err == nil {
+			return nil, fmt.Errorf("zero-capacity stack accepted")
+		}
+		if _, err := NewQueueInit(s.Memory(), 2, 2, []uint64{1, 2, 3}, mutex.NewTAS); err == nil {
+			return nil, fmt.Errorf("oversized init accepted")
+		}
+		if _, err := NewStackInit(s.Memory(), 2, 2, []uint64{1, 2, 3}, mutex.NewTAS); err == nil {
+			return nil, fmt.Errorf("oversized stack init accepted")
+		}
+		return func(p *tso.Proc) { p.CS() }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Kill()
+}
+
+func TestObjectNames(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 2}, func(s *tso.Simulator) (tso.Program, error) {
+		mem := s.Memory()
+		c := NewCASCounter(mem)
+		if c.Name() != "cas-counter" {
+			return nil, fmt.Errorf("cas counter name %q", c.Name())
+		}
+		lc, err := NewLockedCounter(mem, 2, mutex.NewTAS)
+		if err != nil {
+			return nil, err
+		}
+		if lc.Name() != "locked-counter(tas)" {
+			return nil, fmt.Errorf("locked counter name %q", lc.Name())
+		}
+		ot := NewOneTimeMutex(mem, 2, c)
+		if ot.Name() != "onetime(cas-counter)" {
+			return nil, fmt.Errorf("onetime name %q", ot.Name())
+		}
+		if os, ok := ot.(mutex.OneShot); !ok || !os.OneShot() {
+			return nil, fmt.Errorf("onetime must be one-shot")
+		}
+		return func(p *tso.Proc) { p.CS() }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Kill()
+}

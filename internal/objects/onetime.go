@@ -1,0 +1,94 @@
+package objects
+
+import (
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// oneTimeMutex is Algorithm 1 of the paper: an N-process one-time
+// mutual-exclusion lock built from an N-limited-use counter. Each passage
+// invokes exactly one fetch&increment on the counter and otherwise uses O(1)
+// reads, writes and fences, which is what makes Lemma 9 go through: the
+// lock's RMR and fence complexities equal those of the counter operation up
+// to a constant additive term, so any fence-complexity lower bound for
+// one-time mutual exclusion transfers to counters (and, via the
+// queue/stack-backed counters, to queues and stacks).
+//
+// Following the paper, every write is followed by a fence.
+type oneTimeMutex struct {
+	counter Counter
+	release []*tso.Var
+	waiting []*tso.Var // 0 = ⊥, otherwise process ID + 1
+	spin    []*tso.Var // spin[p] is local to p in the DSM model
+	// ticket[p] is the counter value drawn by p, stored Go-side between
+	// Lock and Unlock (touched only by p's goroutine).
+	ticket []uint64
+	n      int
+}
+
+var _ mutex.Lock = (*oneTimeMutex)(nil)
+var _ mutex.OneShot = (*oneTimeMutex)(nil)
+
+// NewOneTimeMutex builds Algorithm 1 over the given counter. The counter
+// must support at least n fetch&increment operations.
+func NewOneTimeMutex(mem *tso.Memory, n int, c Counter) mutex.Lock {
+	return &oneTimeMutex{
+		counter: c,
+		release: mem.NewArrayInit("onetime.release", n+1, []uint64{1}),
+		waiting: mem.NewArray("onetime.waiting", n+1),
+		spin:    mem.NewOwnedArray("onetime.spin", n),
+		ticket:  make([]uint64, n),
+		n:       n,
+	}
+}
+
+// Name implements mutex.Lock.
+func (l *oneTimeMutex) Name() string { return "onetime(" + l.counter.Name() + ")" }
+
+// OneShot implements mutex.OneShot.
+func (l *oneTimeMutex) OneShot() bool { return true }
+
+// Lock implements mutex.Lock (lines 1-4 of Algorithm 1).
+func (l *oneTimeMutex) Lock(p *tso.Proc) {
+	v := l.counter.FetchIncrement(p)
+	l.ticket[p.ID()] = v
+	p.Write(l.waiting[v], uint64(p.ID())+1)
+	p.Fence()
+	if p.Read(l.release[v]) == 0 {
+		for p.Read(l.spin[p.ID()]) == 0 {
+		}
+	}
+}
+
+// Unlock implements mutex.Lock (lines 5-8 of Algorithm 1).
+func (l *oneTimeMutex) Unlock(p *tso.Proc) {
+	v := l.ticket[p.ID()]
+	p.Write(l.release[v+1], 1)
+	p.Fence()
+	q := p.Read(l.waiting[v+1])
+	if q != 0 {
+		p.Write(l.spin[q-1], 1)
+		p.Fence()
+	}
+}
+
+// OneTimeFromQueue builds the full Lemma 9 chain for n processes: a
+// lock-protected queue initialized to <0..n>, the limited-use counter over
+// it, and Algorithm 1 on top. innerLock builds the mutex protecting the
+// queue.
+func OneTimeFromQueue(mem *tso.Memory, n int, innerLock mutex.Factory) (mutex.Lock, error) {
+	q, err := NewQueueInit(mem, n, n+1, CounterRange(n), innerLock)
+	if err != nil {
+		return nil, err
+	}
+	return NewOneTimeMutex(mem, n, NewCounterFromQueue(q)), nil
+}
+
+// OneTimeFromStack is OneTimeFromQueue with a stack-backed counter.
+func OneTimeFromStack(mem *tso.Memory, n int, innerLock mutex.Factory) (mutex.Lock, error) {
+	s, err := NewStackInit(mem, n, n+1, CounterRangeReversed(n), innerLock)
+	if err != nil {
+		return nil, err
+	}
+	return NewOneTimeMutex(mem, n, NewCounterFromStack(s)), nil
+}

@@ -1,0 +1,150 @@
+package objects
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// TestQuickQueueMatchesModel runs random single-process operation sequences
+// against both queue implementations and a plain Go slice model; all three
+// must agree on every result.
+func TestQuickQueueMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		const ops = 25
+		rng := rand.New(rand.NewSource(seed))
+		opsSeq := make([]int, ops)
+		vals := make([]uint64, ops)
+		for i := range opsSeq {
+			opsSeq[i] = rng.Intn(2)
+			vals[i] = uint64(rng.Intn(900)) + 1
+		}
+		for _, kind := range []string{"locked", "ms"} {
+			kind := kind
+			ok := true
+			build := func(sim *tso.Simulator) (tso.Program, error) {
+				var q Queue
+				var err error
+				switch kind {
+				case "locked":
+					q, err = NewLockedQueue(sim.Memory(), 1, ops+1, mutex.NewTAS)
+				case "ms":
+					q, err = NewMSQueue(sim.Memory(), 1, ops+1)
+				}
+				if err != nil {
+					return nil, err
+				}
+				return func(p *tso.Proc) {
+					var model []uint64
+					for i := 0; i < ops; i++ {
+						if opsSeq[i] == 0 {
+							q.Enqueue(p, vals[i])
+							model = append(model, vals[i])
+						} else {
+							got, gotOK := q.Dequeue(p)
+							wantOK := len(model) > 0
+							var want uint64
+							if wantOK {
+								want = model[0]
+								model = model[1:]
+							}
+							if gotOK != wantOK || (gotOK && got != want) {
+								ok = false
+							}
+						}
+					}
+					p.CS()
+				}, nil
+			}
+			sim, err := tso.NewSimulator(tso.Config{N: 1}, build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tso.Run(sim, tso.NewRandom(seed, 0.2), 1_000_000); err != nil {
+				sim.Kill()
+				t.Fatal(err)
+			}
+			sim.Kill()
+			if !ok {
+				t.Logf("seed %d kind %s diverged from model", seed, kind)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStackMatchesModel does the same for both stack implementations.
+func TestQuickStackMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		const ops = 25
+		rng := rand.New(rand.NewSource(seed))
+		opsSeq := make([]int, ops)
+		vals := make([]uint64, ops)
+		for i := range opsSeq {
+			opsSeq[i] = rng.Intn(2)
+			vals[i] = uint64(rng.Intn(900)) + 1
+		}
+		for _, kind := range []string{"locked", "treiber"} {
+			kind := kind
+			ok := true
+			build := func(sim *tso.Simulator) (tso.Program, error) {
+				var s Stack
+				var err error
+				switch kind {
+				case "locked":
+					s, err = NewLockedStack(sim.Memory(), 1, ops+1, mutex.NewTAS)
+				case "treiber":
+					s, err = NewTreiberStack(sim.Memory(), 1, ops+1)
+				}
+				if err != nil {
+					return nil, err
+				}
+				return func(p *tso.Proc) {
+					var model []uint64
+					for i := 0; i < ops; i++ {
+						if opsSeq[i] == 0 {
+							s.Push(p, vals[i])
+							model = append(model, vals[i])
+						} else {
+							got, gotOK := s.Pop(p)
+							wantOK := len(model) > 0
+							var want uint64
+							if wantOK {
+								want = model[len(model)-1]
+								model = model[:len(model)-1]
+							}
+							if gotOK != wantOK || (gotOK && got != want) {
+								ok = false
+							}
+						}
+					}
+					p.CS()
+				}, nil
+			}
+			sim, err := tso.NewSimulator(tso.Config{N: 1}, build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tso.Run(sim, tso.NewRandom(seed, 0.2), 1_000_000); err != nil {
+				sim.Kill()
+				t.Fatal(err)
+			}
+			sim.Kill()
+			if !ok {
+				t.Logf("seed %d kind %s diverged from model", seed, kind)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package objects
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// treiberStack is Treiber's lock-free stack: push links a fresh node onto
+// the top pointer with CAS; pop unlinks with CAS. It is lock-free (hence
+// obstruction-free), which places it in the object class of the paper's
+// Section 5: by Corollary 1 no such implementation can be both adaptive and
+// O(1)-fence, and indeed every CAS here is serializing, so an operation's
+// fence complexity is 1 + (number of CAS failures) = Θ(k) under
+// k-contention - adaptive, with the fence price the paper predicts.
+//
+// Nodes are bump-allocated from a per-process region of a preallocated pool
+// and never reused, so the classic ABA hazard does not arise.
+type treiberStack struct {
+	top *tso.Var // node index + 1, 0 = empty
+	val []*tso.Var
+	nxt []*tso.Var
+	// nextFree[p] is p's bump allocator cursor (touched only by p's
+	// goroutine).
+	nextFree []int
+	perProc  int
+	initLen  int
+}
+
+var _ Stack = (*treiberStack)(nil)
+
+// NewTreiberStack allocates a Treiber stack supporting at most opsPerProc
+// pushes per process.
+func NewTreiberStack(mem *tso.Memory, n, opsPerProc int) (Stack, error) {
+	return newTreiber(mem, n, opsPerProc, nil)
+}
+
+// NewTreiberInit allocates a Treiber stack pre-filled with init (init[0] at
+// the bottom, last element on top), for the Lemma 9 limited-use counter.
+// The initial nodes occupy a reserved region of the pool.
+func NewTreiberInit(mem *tso.Memory, n, opsPerProc int, init []uint64) (Stack, error) {
+	return newTreiber(mem, n, opsPerProc, init)
+}
+
+func newTreiber(mem *tso.Memory, n, opsPerProc int, init []uint64) (Stack, error) {
+	if opsPerProc <= 0 {
+		return nil, fmt.Errorf("objects: treiber opsPerProc must be positive, got %d", opsPerProc)
+	}
+	pool := len(init) + n*opsPerProc
+	s := &treiberStack{
+		val:      make([]*tso.Var, pool),
+		nxt:      make([]*tso.Var, pool),
+		nextFree: make([]int, n),
+		perProc:  opsPerProc,
+		initLen:  len(init),
+	}
+	// Pre-link the initial nodes: node i holds init[i] and points at node
+	// i-1; the top points at the last.
+	topInit := uint64(0)
+	for i := range s.val {
+		var v, nx uint64
+		if i < len(init) {
+			v = init[i]
+			nx = uint64(i) // node i-1 is index i-1+1 = i; 0 for the bottom
+			topInit = uint64(i + 1)
+		}
+		s.val[i] = mem.NewVarInit(fmt.Sprintf("treiber.val[%d]", i), v)
+		s.nxt[i] = mem.NewVarInit(fmt.Sprintf("treiber.nxt[%d]", i), nx)
+	}
+	s.top = mem.NewVarInit("treiber.top", topInit)
+	for p := range s.nextFree {
+		s.nextFree[p] = len(init) + p*opsPerProc
+	}
+	return s, nil
+}
+
+// Name implements Stack.
+func (s *treiberStack) Name() string { return "treiber-stack" }
+
+// Push implements Stack.
+func (s *treiberStack) Push(p *tso.Proc, v uint64) {
+	id := int(p.ID())
+	n := s.nextFree[id]
+	if n >= s.initLen+(id+1)*s.perProc {
+		panic(fmt.Sprintf("objects: treiber pool exhausted for p%d", id))
+	}
+	s.nextFree[id] = n + 1
+	p.Write(s.val[n], v)
+	for {
+		t := p.Read(s.top)
+		p.Write(s.nxt[n], t)
+		// The CAS drains the buffer, publishing val and nxt before the
+		// node becomes reachable.
+		if _, ok := p.CAS(s.top, t, uint64(n)+1); ok {
+			return
+		}
+	}
+}
+
+// Pop implements Stack.
+func (s *treiberStack) Pop(p *tso.Proc) (uint64, bool) {
+	for {
+		t := p.Read(s.top)
+		if t == 0 {
+			return 0, false
+		}
+		n := int(t) - 1
+		nx := p.Read(s.nxt[n])
+		v := p.Read(s.val[n])
+		if _, ok := p.CAS(s.top, t, nx); ok {
+			return v, true
+		}
+	}
+}
+
+// OneTimeFromTreiber builds the Lemma 9 chain over the lock-free stack: a
+// Treiber stack pre-filled with n..0, the limited-use counter over it, and
+// Algorithm 1 on top - a one-time mutex whose only synchronization besides
+// O(1) reads/writes/fences is a single lock-free pop.
+func OneTimeFromTreiber(mem *tso.Memory, n int) (mutex.Lock, error) {
+	st, err := NewTreiberInit(mem, n, 1, CounterRangeReversed(n))
+	if err != nil {
+		return nil, err
+	}
+	return NewOneTimeMutex(mem, n, NewCounterFromStack(st)), nil
+}

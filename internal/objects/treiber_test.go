@@ -1,0 +1,186 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+func TestTreiberSequentialLIFO(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		s, err := NewTreiberStack(sim.Memory(), 1, 8)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			if _, ok := s.Pop(p); ok {
+				panic("pop of empty treiber succeeded")
+			}
+			for i := uint64(1); i <= 4; i++ {
+				s.Push(p, i*10)
+			}
+			for want := uint64(4); want >= 1; want-- {
+				if v, ok := s.Pop(p); !ok || v != want*10 {
+					panic(fmt.Sprintf("pop = %d,%v want %d", v, ok, want*10))
+				}
+			}
+			if _, ok := s.Pop(p); ok {
+				panic("stack should be empty")
+			}
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: 1}, build, tso.Sequential{})
+}
+
+func TestTreiberConcurrentConservation(t *testing.T) {
+	// n processes each push `per` distinct values and pop `per` times;
+	// the multiset of popped values must be exactly the pushed ones (each
+	// process pops after the barrier of its own pushes; values conserved).
+	const n, per = 4, 3
+	popped := make([][]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		s, err := NewTreiberStack(sim.Memory(), n, per)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			base := uint64(p.ID()) * 100
+			for i := uint64(0); i < per; i++ {
+				s.Push(p, base+i+1)
+			}
+			for len(popped[p.ID()]) < per {
+				if v, ok := s.Pop(p); ok {
+					popped[p.ID()] = append(popped[p.ID()], v)
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for i := range popped {
+			popped[i] = nil
+		}
+		runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(seed, 0.3))
+		var all []uint64
+		for _, o := range popped {
+			all = append(all, o...)
+		}
+		if len(all) != n*per {
+			t.Fatalf("seed %d: popped %d values", seed, len(all))
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i := 1; i < len(all); i++ {
+			if all[i] == all[i-1] {
+				t.Fatalf("seed %d: duplicate value %d popped", seed, all[i])
+			}
+		}
+	}
+}
+
+func TestTreiberAsLimitedUseCounter(t *testing.T) {
+	const n = 6
+	out := make([]uint64, n)
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		st, err := NewTreiberInit(sim.Memory(), n, 1, CounterRangeReversed(n))
+		if err != nil {
+			return nil, err
+		}
+		c := NewCounterFromStack(st)
+		return func(p *tso.Proc) {
+			out[p.ID()] = c.FetchIncrement(p)
+			p.CS()
+		}, nil
+	}
+	runProgram(t, tso.Config{N: n, AllowConcurrentCS: true}, build, tso.NewRandom(9, 0.3))
+	checkCounterOutputs(t, out)
+}
+
+func TestOneTimeFromTreiberExclusion(t *testing.T) {
+	const n = 5
+	for seed := int64(1); seed <= 8; seed++ {
+		build := func(sim *tso.Simulator) (tso.Program, error) {
+			l, err := OneTimeFromTreiber(sim.Memory(), n)
+			if err != nil {
+				return nil, err
+			}
+			return func(p *tso.Proc) {
+				l.Lock(p)
+				p.CS()
+				l.Unlock(p)
+			}, nil
+		}
+		runProgram(t, tso.Config{N: n}, build, tso.NewRandom(seed, 0.3))
+	}
+}
+
+func TestTreiberFenceComplexityIsAdaptive(t *testing.T) {
+	// Fences per pop = 1 + CAS retries: grows with contention, constant
+	// without - the Corollary 1 tradeoff on a lock-free object.
+	fences := func(n int) int {
+		sim, err := tso.NewSimulator(tso.Config{N: n, AllowConcurrentCS: true}, func(s *tso.Simulator) (tso.Program, error) {
+			st, err := NewTreiberInit(s.Memory(), n, 1, CounterRangeReversed(n))
+			if err != nil {
+				return nil, err
+			}
+			return func(p *tso.Proc) {
+				st.Pop(p)
+				p.CS()
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Kill()
+		acc := rmr.Attach(sim, rmr.ModelCCWriteBack)
+		// Lock-step scheduling maximizes CAS collisions.
+		if _, err := tso.Run(sim, tso.NewRoundRobin(), 10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return acc.Summarize().MaxFences
+	}
+	f1, f8 := fences(1), fences(8)
+	if f1 != 1 {
+		t.Errorf("solo pop fences = %d, want 1", f1)
+	}
+	if f8 <= f1 {
+		t.Errorf("contended pop fences = %d, want > %d", f8, f1)
+	}
+}
+
+func TestTreiberPoolExhaustionPanics(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		s, err := NewTreiberStack(sim.Memory(), 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *tso.Proc) {
+			s.Push(p, 1)
+			s.Push(p, 2) // exceeds opsPerProc=1
+			p.CS()
+		}, nil
+	}
+	sim, err := tso.NewSimulator(tso.Config{N: 1}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	_, _ = tso.Run(sim, tso.Sequential{}, 100000)
+	if _, ok := sim.ProgramPanic(0); !ok {
+		t.Fatal("pool exhaustion must panic")
+	}
+}
+
+func TestTreiberValidation(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 1}, func(s *tso.Simulator) (tso.Program, error) {
+		_, err := NewTreiberStack(s.Memory(), 1, 0)
+		return nil, err
+	})
+	if err == nil {
+		sim.Kill()
+		t.Fatal("opsPerProc=0 must be rejected")
+	}
+}

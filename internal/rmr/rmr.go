@@ -1,0 +1,305 @@
+// Package rmr implements remote-memory-reference (RMR) accounting for the
+// three machine models the paper's results apply to: distributed shared
+// memory (DSM), cache-coherent with a write-through protocol (CC-WT), and
+// cache-coherent with a write-back protocol (CC-WB).
+//
+// An Accountant consumes the event stream of a tso.Simulator (attach it with
+// sim.AddObserver(acc.Observe)) and maintains per-process, per-passage
+// counts of RMRs, fences, and critical events. The coherence protocols
+// follow the description quoted in Section 2 of the paper (from Golab,
+// Hadzilacos, Hendler and Woelfel).
+package rmr
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/tso"
+)
+
+// CacheModel selects the RMR cost model.
+type CacheModel int
+
+const (
+	// ModelDSM charges an RMR for every access to a remote variable.
+	ModelDSM CacheModel = iota + 1
+	// ModelCCWriteThrough charges reads that miss the cache and all write
+	// commits; commits invalidate other processes' cached copies.
+	ModelCCWriteThrough
+	// ModelCCWriteBack holds cached copies in shared or exclusive mode;
+	// reads miss unless a copy is held, writes miss unless an exclusive
+	// copy is held.
+	ModelCCWriteBack
+)
+
+// String returns the conventional name of the cost model.
+func (m CacheModel) String() string {
+	switch m {
+	case ModelDSM:
+		return "DSM"
+	case ModelCCWriteThrough:
+		return "CC-WT"
+	case ModelCCWriteBack:
+		return "CC-WB"
+	default:
+		return fmt.Sprintf("CacheModel(%d)", int(m))
+	}
+}
+
+// Models lists all supported cache models, for sweeps.
+func Models() []CacheModel {
+	return []CacheModel{ModelDSM, ModelCCWriteThrough, ModelCCWriteBack}
+}
+
+// cacheState is the per-variable coherence state in the CC models.
+type cacheState int
+
+const (
+	invalid cacheState = iota
+	shared
+	exclusive
+)
+
+// PassageMetrics aggregates the cost of one passage of one process.
+type PassageMetrics struct {
+	// RMRs is the number of remote memory references under the
+	// accountant's cache model.
+	RMRs int
+	// Fences is the fence complexity: completed fences plus serializing
+	// CAS operations.
+	Fences int
+	// Critical is the number of critical events (Definition 2).
+	Critical int
+	// Events is the total number of events executed.
+	Events int
+	// Complete reports whether the passage finished (Exit executed).
+	Complete bool
+}
+
+// Accountant tracks RMR costs for one cache model over a simulation run.
+// It is driven by Observe and is not safe for concurrent use.
+type Accountant struct {
+	model CacheModel
+	// lines[varIndex][proc] is the coherence state of proc's cached copy.
+	lines map[int]map[tso.ProcID]cacheState
+	// passages[proc] has one entry per passage of proc.
+	passages map[tso.ProcID][]PassageMetrics
+}
+
+// NewAccountant returns an accountant for the given model.
+func NewAccountant(model CacheModel) *Accountant {
+	return &Accountant{
+		model:    model,
+		lines:    make(map[int]map[tso.ProcID]cacheState),
+		passages: make(map[tso.ProcID][]PassageMetrics),
+	}
+}
+
+// Attach creates an accountant and registers it on the simulator.
+func Attach(sim *tso.Simulator, model CacheModel) *Accountant {
+	a := NewAccountant(model)
+	sim.AddObserver(a.Observe)
+	return a
+}
+
+// Model returns the accountant's cache model.
+func (a *Accountant) Model() CacheModel { return a.model }
+
+// Observe consumes one event. Events must be fed in execution order.
+func (a *Accountant) Observe(ev tso.Event) {
+	if ev.Kind == tso.EvEnter {
+		a.passages[ev.P] = append(a.passages[ev.P], PassageMetrics{})
+	}
+	cur := a.current(ev.P)
+	if cur == nil {
+		return // event outside any passage; cannot happen in practice
+	}
+	cur.Events++
+	if ev.Critical {
+		cur.Critical++
+	}
+	if ev.Fence {
+		cur.Fences++
+	}
+	if a.isRMR(ev) {
+		cur.RMRs++
+	}
+	if ev.Kind == tso.EvExit {
+		cur.Complete = true
+	}
+}
+
+func (a *Accountant) current(p tso.ProcID) *PassageMetrics {
+	ps := a.passages[p]
+	if len(ps) == 0 {
+		return nil
+	}
+	return &ps[len(ps)-1]
+}
+
+// isRMR decides whether the event costs an RMR under the model, updating
+// cache state as a side effect for the CC models.
+func (a *Accountant) isRMR(ev tso.Event) bool {
+	if !ev.Access || ev.Var == nil {
+		return false
+	}
+	switch a.model {
+	case ModelDSM:
+		return ev.Remote
+	case ModelCCWriteThrough:
+		return a.writeThrough(ev)
+	case ModelCCWriteBack:
+		return a.writeBack(ev)
+	default:
+		return false
+	}
+}
+
+func (a *Accountant) line(v *tso.Var) map[tso.ProcID]cacheState {
+	l := a.lines[v.Index()]
+	if l == nil {
+		l = make(map[tso.ProcID]cacheState, 2)
+		a.lines[v.Index()] = l
+	}
+	return l
+}
+
+// writeThrough implements the write-through protocol: a read needs a valid
+// cached copy (miss creates one); a write always costs an RMR and
+// invalidates all other cached copies.
+func (a *Accountant) writeThrough(ev tso.Event) bool {
+	l := a.line(ev.Var)
+	switch ev.Kind {
+	case tso.EvRead:
+		if l[ev.P] != invalid {
+			return false
+		}
+		l[ev.P] = shared
+		return true
+	case tso.EvWriteCommit, tso.EvCAS:
+		if ev.Kind == tso.EvCAS && !ev.CASOK {
+			// A failed CAS behaves like a read for caching purposes.
+			if l[ev.P] != invalid {
+				return false
+			}
+			l[ev.P] = shared
+			return true
+		}
+		for q := range l {
+			if q != ev.P {
+				delete(l, q)
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// writeBack implements the write-back protocol with shared/exclusive modes.
+func (a *Accountant) writeBack(ev tso.Event) bool {
+	l := a.line(ev.Var)
+	switch ev.Kind {
+	case tso.EvRead:
+		if l[ev.P] != invalid {
+			return false
+		}
+		// Miss: downgrade any exclusive copy to shared and take a shared
+		// copy.
+		for q, st := range l {
+			if st == exclusive {
+				l[q] = shared
+			}
+		}
+		l[ev.P] = shared
+		return true
+	case tso.EvWriteCommit, tso.EvCAS:
+		if ev.Kind == tso.EvCAS && !ev.CASOK {
+			if l[ev.P] != invalid {
+				return false
+			}
+			for q, st := range l {
+				if st == exclusive {
+					l[q] = shared
+				}
+			}
+			l[ev.P] = shared
+			return true
+		}
+		if l[ev.P] == exclusive {
+			return false
+		}
+		// Miss: invalidate all other copies and take exclusive.
+		for q := range l {
+			if q != ev.P {
+				delete(l, q)
+			}
+		}
+		l[ev.P] = exclusive
+		return true
+	default:
+		return false
+	}
+}
+
+// Passages returns the per-passage metrics recorded for process p. The last
+// entry may describe an in-progress passage.
+func (a *Accountant) Passages(p tso.ProcID) []PassageMetrics {
+	out := make([]PassageMetrics, len(a.passages[p]))
+	copy(out, a.passages[p])
+	return out
+}
+
+// Summary aggregates completed passages across all processes.
+type Summary struct {
+	// Model is the cache model the metrics were computed under.
+	Model CacheModel
+	// Passages is the number of completed passages.
+	Passages int
+	// MaxRMRs and MeanRMRs summarize RMRs per passage.
+	MaxRMRs  int
+	MeanRMRs float64
+	// MaxFences and MeanFences summarize fence complexity per passage.
+	MaxFences  int
+	MeanFences float64
+	// MaxCritical and MeanCritical summarize critical events per passage.
+	MaxCritical  int
+	MeanCritical float64
+}
+
+// Summarize aggregates all completed passages.
+func (a *Accountant) Summarize() Summary {
+	s := Summary{Model: a.model}
+	var rmrs, fences, crit int
+	for _, ps := range a.passages {
+		for _, m := range ps {
+			if !m.Complete {
+				continue
+			}
+			s.Passages++
+			rmrs += m.RMRs
+			fences += m.Fences
+			crit += m.Critical
+			if m.RMRs > s.MaxRMRs {
+				s.MaxRMRs = m.RMRs
+			}
+			if m.Fences > s.MaxFences {
+				s.MaxFences = m.Fences
+			}
+			if m.Critical > s.MaxCritical {
+				s.MaxCritical = m.Critical
+			}
+		}
+	}
+	if s.Passages > 0 {
+		s.MeanRMRs = float64(rmrs) / float64(s.Passages)
+		s.MeanFences = float64(fences) / float64(s.Passages)
+		s.MeanCritical = float64(crit) / float64(s.Passages)
+	}
+	return s
+}
+
+// String renders the summary as a single table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-6s passages=%d rmr(max=%d mean=%.1f) fences(max=%d mean=%.1f) crit(max=%d mean=%.1f)",
+		s.Model, s.Passages, s.MaxRMRs, s.MeanRMRs, s.MaxFences, s.MeanFences, s.MaxCritical, s.MeanCritical)
+}

@@ -1,0 +1,396 @@
+package rmr
+
+import (
+	"testing"
+
+	"priceadaptive/internal/tso"
+)
+
+func TestModelsStrings(t *testing.T) {
+	if ModelDSM.String() != "DSM" || ModelCCWriteThrough.String() != "CC-WT" || ModelCCWriteBack.String() != "CC-WB" {
+		t.Error("model names wrong")
+	}
+	if len(Models()) != 3 {
+		t.Error("Models() must list 3 models")
+	}
+}
+
+func TestDSMChargesRemoteAccessesOnly(t *testing.T) {
+	var mine, theirs *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 2, Model: tso.DSM}, func(s *tso.Simulator) (tso.Program, error) {
+		mine = s.Memory().NewOwned("mine", 0)
+		theirs = s.Memory().NewOwned("theirs", 1)
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				p.Read(mine)   // local: free
+				p.Read(theirs) // remote: 1 RMR
+				p.Write(mine, 1)
+				p.Write(theirs, 2)
+				p.Fence() // commits: local free, remote 1 RMR
+			}
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelDSM)
+	for !sim.Done(0) {
+		if _, err := sim.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := acc.Passages(0)[0]
+	if got.RMRs != 2 {
+		t.Errorf("DSM RMRs = %d, want 2", got.RMRs)
+	}
+	if got.Fences != 1 {
+		t.Errorf("fences = %d, want 1", got.Fences)
+	}
+}
+
+func TestWriteThroughReadCachingAndInvalidation(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 2, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVar("v")
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				p.Read(v) // miss: RMR, caches copy
+				p.Read(v) // hit: free
+				p.CS()
+				return
+			}
+			p.Write(v, 1)
+			p.Fence() // commit: RMR, invalidates p0's copy
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelCCWriteThrough)
+	// p0: Enter, Read, Read.
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := acc.Passages(0)[0].RMRs; got != 1 {
+		t.Fatalf("p0 RMRs after cached re-read = %d, want 1", got)
+	}
+	// p1 commits, invalidating p0's copy.
+	for i := 0; i < 5; i++ {
+		if _, err := sim.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := acc.Passages(1)[0].RMRs; got != 1 {
+		t.Fatalf("p1 RMRs = %d, want 1 (write-through commit)", got)
+	}
+	// A fresh simulator can't re-read; instead verify the line state via a
+	// second read by p0 in the same run: we stopped p0 before CS, so its
+	// program has pending CS. Re-reading isn't possible here; assert the
+	// internal line state instead.
+	l := acc.lines[v.Index()]
+	if _, ok := l[0]; ok {
+		t.Error("p0's cached copy must be invalidated by p1's commit")
+	}
+	if st := l[1]; st != invalid {
+		// Write-through does not grant the writer a copy it didn't have.
+		t.Errorf("p1 line state = %v, want invalid", st)
+	}
+}
+
+func TestWriteThroughRereadAfterInvalidationCostsRMR(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 2, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVar("v")
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				p.Read(v)
+				p.Read(v) // will be re-executed after invalidation? No - single program.
+				p.Read(v)
+			} else {
+				p.Write(v, 1)
+				p.Fence()
+			}
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelCCWriteThrough)
+	step := func(p tso.ProcID, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := sim.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(0, 2) // Enter, Read (miss)
+	step(0, 1) // Read (hit)
+	step(1, 5) // p1 full fence: invalidates
+	step(0, 1) // Read (miss again)
+	if got := acc.Passages(0)[0].RMRs; got != 2 {
+		t.Errorf("p0 RMRs = %d, want 2 (miss, hit, invalidated, miss)", got)
+	}
+}
+
+func TestWriteBackExclusiveWriteIsFree(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 1, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVar("v")
+		return func(p *tso.Proc) {
+			p.Write(v, 1)
+			p.Fence() // first commit: RMR, takes exclusive
+			p.Write(v, 2)
+			p.Fence() // second commit: exclusive held, free
+			p.Read(v) // exclusive copy: free
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelCCWriteBack)
+	for !sim.Done(0) {
+		if _, err := sim.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := acc.Passages(0)[0].RMRs; got != 1 {
+		t.Errorf("WB RMRs = %d, want 1", got)
+	}
+}
+
+func TestWriteBackReadDowngradesExclusive(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 2, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVar("v")
+		return func(p *tso.Proc) {
+			if p.ID() == 0 {
+				p.Write(v, 1)
+				p.Fence() // exclusive
+				p.Write(v, 2)
+				p.Fence() // would be free... unless downgraded in between
+			} else {
+				p.Read(v)
+			}
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelCCWriteBack)
+	step := func(p tso.ProcID, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := sim.Step(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(0, 5) // p0 commits v=1, holds exclusive
+	step(1, 2) // p1 reads: RMR, downgrades p0 to shared
+	step(0, 4) // p0 commits v=2: shared -> RMR again, invalidates p1
+	p0 := acc.Passages(0)[0]
+	p1 := acc.Passages(1)[0]
+	if p0.RMRs != 2 {
+		t.Errorf("p0 WB RMRs = %d, want 2 (downgraded between writes)", p0.RMRs)
+	}
+	if p1.RMRs != 1 {
+		t.Errorf("p1 WB RMRs = %d, want 1", p1.RMRs)
+	}
+}
+
+func TestFailedCASBehavesLikeRead(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 2, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVarInit("v", 5)
+		return func(p *tso.Proc) {
+			p.CAS(v, 99, 1) // fails: v holds 5
+			p.CAS(v, 98, 1) // fails again: cached
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	wt := Attach(sim, ModelCCWriteThrough)
+	wb := Attach(sim, ModelCCWriteBack)
+	for !sim.Done(0) {
+		if _, err := sim.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wt.Passages(0)[0].RMRs; got != 1 {
+		t.Errorf("WT failed-CAS RMRs = %d, want 1", got)
+	}
+	if got := wb.Passages(0)[0].RMRs; got != 1 {
+		t.Errorf("WB failed-CAS RMRs = %d, want 1", got)
+	}
+	// Both CAS attempts still count toward fence complexity.
+	if got := wt.Passages(0)[0].Fences; got != 2 {
+		t.Errorf("fences = %d, want 2", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var v *tso.Var
+	sim, err := tso.NewSimulator(tso.Config{N: 3, Passages: 2, Model: tso.CC}, func(s *tso.Simulator) (tso.Program, error) {
+		v = s.Memory().NewVar("v")
+		return func(p *tso.Proc) {
+			p.Read(v)
+			p.Write(v, uint64(p.ID()))
+			p.Fence()
+			p.CS()
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelDSM)
+	if _, err := tso.Run(sim, tso.NewRoundRobin(), 100000); err != nil {
+		t.Fatal(err)
+	}
+	s := acc.Summarize()
+	if s.Passages != 6 {
+		t.Fatalf("passages = %d, want 6", s.Passages)
+	}
+	if s.MeanFences != 1 || s.MaxFences != 1 {
+		t.Errorf("fences mean=%v max=%v, want 1,1", s.MeanFences, s.MaxFences)
+	}
+	if s.MaxRMRs < 1 {
+		t.Errorf("max RMRs = %d, want >= 1", s.MaxRMRs)
+	}
+	if s.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestObserveIgnoresNonAccessEvents(t *testing.T) {
+	acc := NewAccountant(ModelCCWriteBack)
+	acc.Observe(tso.Event{P: 0, Kind: tso.EvEnter})
+	acc.Observe(tso.Event{P: 0, Kind: tso.EvWriteIssue}) // no Var access
+	acc.Observe(tso.Event{P: 0, Kind: tso.EvBeginFence})
+	acc.Observe(tso.Event{P: 0, Kind: tso.EvEndFence, Fence: true})
+	got := acc.Passages(0)[0]
+	if got.RMRs != 0 {
+		t.Errorf("RMRs = %d, want 0", got.RMRs)
+	}
+	if got.Fences != 1 {
+		t.Errorf("fences = %d, want 1", got.Fences)
+	}
+	if got.Events != 4 {
+		t.Errorf("events = %d, want 4", got.Events)
+	}
+}
+
+// TestPaperClaimCriticalAtMostTwiceRMRs checks the Section 2 argument the
+// paper uses to replace RMRs with critical events: "since the first write is
+// always an RMR, at least half of all critical events are RMRs", i.e.
+// critical events <= 2 * RMRs per passage under both CC protocols.
+func TestPaperClaimCriticalAtMostTwiceRMRs(t *testing.T) {
+	rand := func(seed int64) tso.Build {
+		return func(sim *tso.Simulator) (tso.Program, error) {
+			vars := sim.Memory().NewArray("v", 4)
+			return func(p *tso.Proc) {
+				x := uint64(seed) + uint64(p.ID())*2654435761
+				for i := 0; i < 20; i++ {
+					x = x*6364136223846793005 + 1442695040888963407
+					v := vars[int(x>>33)%len(vars)]
+					switch (x >> 13) % 4 {
+					case 0, 1:
+						p.Read(v)
+					case 2:
+						p.Write(v, x%100)
+					case 3:
+						p.Fence()
+					}
+				}
+				p.CS()
+			}, nil
+		}
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, model := range []CacheModel{ModelCCWriteThrough, ModelCCWriteBack} {
+			sim, err := tso.NewSimulator(tso.Config{N: 3, AllowConcurrentCS: true}, rand(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := Attach(sim, model)
+			if _, err := tso.Run(sim, tso.NewRandom(seed, 0.3), 1_000_000); err != nil {
+				sim.Kill()
+				t.Fatal(err)
+			}
+			for p := 0; p < 3; p++ {
+				for i, ps := range acc.Passages(tso.ProcID(p)) {
+					if ps.Critical > 2*ps.RMRs {
+						t.Errorf("seed %d %v p%d passage %d: critical=%d > 2*RMRs=%d",
+							seed, model, p, i, ps.Critical, 2*ps.RMRs)
+					}
+				}
+			}
+			sim.Kill()
+		}
+	}
+}
+
+// TestWriteBackSingleExclusiveHolder checks the coherence invariant: at any
+// time at most one process holds a cache line in exclusive mode, and if one
+// does, nobody else holds a copy at all.
+func TestWriteBackSingleExclusiveHolder(t *testing.T) {
+	build := func(sim *tso.Simulator) (tso.Program, error) {
+		vars := sim.Memory().NewArray("v", 3)
+		return func(p *tso.Proc) {
+			for i := 0; i < 10; i++ {
+				v := vars[(int(p.ID())+i)%3]
+				if i%3 == 0 {
+					p.Write(v, uint64(i))
+					p.Fence()
+				} else {
+					p.Read(v)
+				}
+			}
+			p.CS()
+		}, nil
+	}
+	sim, err := tso.NewSimulator(tso.Config{N: 4, AllowConcurrentCS: true}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	acc := Attach(sim, ModelCCWriteBack)
+	bad := false
+	sim.AddObserver(func(ev tso.Event) {
+		for _, line := range acc.lines {
+			excl := 0
+			holders := 0
+			for _, st := range line {
+				holders++
+				if st == exclusive {
+					excl++
+				}
+			}
+			if excl > 1 || (excl == 1 && holders > 1) {
+				bad = true
+			}
+		}
+	})
+	if _, err := tso.Run(sim, tso.NewRandom(3, 0.3), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Error("write-back coherence invariant violated")
+	}
+}

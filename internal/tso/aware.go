@@ -1,0 +1,59 @@
+package tso
+
+import "sort"
+
+// awSet is a small sparse set of process IDs used for awareness tracking
+// (Definition 1). Awareness sets in the lower-bound construction stay tiny
+// (a process is aware of itself and of finished processes only), so a sorted
+// slice beats a bitset of width N.
+type awSet struct {
+	ids []ProcID // sorted, unique
+}
+
+// newAWSet returns the singleton awareness set {p}: every process is aware
+// of itself.
+func newAWSet(p ProcID) awSet {
+	return awSet{ids: []ProcID{p}}
+}
+
+// has reports membership.
+func (s awSet) has(p ProcID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= p })
+	return i < len(s.ids) && s.ids[i] == p
+}
+
+// clone returns an independent copy.
+func (s awSet) clone() awSet {
+	out := make([]ProcID, len(s.ids))
+	copy(out, s.ids)
+	return awSet{ids: out}
+}
+
+// union merges o into s, returning the (possibly grown) receiver. The
+// receiver's backing array may be reused, so callers that need the old value
+// must clone first.
+func (s awSet) union(o awSet) awSet {
+	for _, p := range o.ids {
+		s = s.add(p)
+	}
+	return s
+}
+
+// add inserts p, keeping the slice sorted.
+func (s awSet) add(p ProcID) awSet {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= p })
+	if i < len(s.ids) && s.ids[i] == p {
+		return s
+	}
+	s.ids = append(s.ids, 0)
+	copy(s.ids[i+1:], s.ids[i:])
+	s.ids[i] = p
+	return s
+}
+
+// size returns the cardinality of the set.
+func (s awSet) size() int { return len(s.ids) }
+
+// members returns the members in ascending order. The returned slice aliases
+// the set and must not be modified.
+func (s awSet) members() []ProcID { return s.ids }

@@ -1,0 +1,26 @@
+// Package tso implements the operational model of a shared-memory system
+// with Total Store Ordering (TSO) used by Ben-Baruch and Hendler in
+// "The Price of being Adaptive" (PODC 2015). It is a simplified version of
+// the executable memory model of Park and Dill.
+//
+// A set of n processes, each with its own abstract write buffer, execute
+// read and write operations in program order. Writes go to the write buffer
+// rather than directly to shared memory and become visible only when a
+// scheduling adversary commits them. A fence forces the adversary to commit
+// all buffered writes of the issuing process before the process may proceed.
+//
+// Algorithms are written as ordinary Go code against a *Proc handle. Every
+// shared-memory operation is a two-phase request/grant: the process
+// publishes its pending operation and blocks until the Simulator - driven by
+// a Scheduler or directly by an adversary such as the lower-bound
+// construction in package adversary - grants it. This makes "the event a
+// process is about to execute" a first-class, inspectable object, exactly as
+// in the paper's proofs.
+//
+// The simulator records the resulting execution as a sequence of events
+// (Definition-style: read, write-issue, write-commit, BeginFence, EndFence,
+// Enter, CS, Exit), classifies critical events per Definition 2, and tracks
+// awareness sets per Definition 1. Executions can be replayed with a set of
+// processes erased, which is the operational counterpart of the proofs'
+// erasure operator E^-Y.
+package tso

@@ -1,0 +1,204 @@
+package tso
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind enumerates the event types of the TSO operational model plus the
+// transition events of a mutual-exclusion system.
+type EventKind int
+
+const (
+	// EvEnter is the Enter_p transition: non-critical section -> entry.
+	EvEnter EventKind = iota + 1
+	// EvRead is a read operation being issued (and, in TSO, immediately
+	// satisfied from the write buffer, the cache, or shared memory).
+	EvRead
+	// EvWriteIssue places a write in the process's write buffer. The write
+	// is not yet visible to other processes.
+	EvWriteIssue
+	// EvWriteCommit makes a buffered write visible in shared memory.
+	EvWriteCommit
+	// EvBeginFence starts executing a fence: the process may only commit
+	// buffered writes until its buffer is empty.
+	EvBeginFence
+	// EvEndFence completes a fence; the write buffer is empty.
+	EvEndFence
+	// EvCAS is a compare-and-swap comparison primitive. It is serializing
+	// (the write buffer is drained first, like an x86 LOCK-prefixed
+	// operation) and performs an atomic read-modify-write.
+	EvCAS
+	// EvCS is the CS_p transition: entry section -> exit section. The
+	// critical section itself is instantaneous, as in the paper.
+	EvCS
+	// EvExit is the Exit_p transition: exit section -> non-critical section.
+	EvExit
+)
+
+// String returns a short mnemonic for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEnter:
+		return "Enter"
+	case EvRead:
+		return "Read"
+	case EvWriteIssue:
+		return "WriteIssue"
+	case EvWriteCommit:
+		return "Commit"
+	case EvBeginFence:
+		return "BeginFence"
+	case EvEndFence:
+		return "EndFence"
+	case EvCAS:
+		return "CAS"
+	case EvCS:
+		return "CS"
+	case EvExit:
+		return "Exit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of an execution. Whether an event is critical depends
+// on the execution prefix preceding it (Definition 2), so criticality is
+// recorded at execution time.
+type Event struct {
+	// Seq is the position of the event in the execution, starting at 0.
+	Seq int
+	// P is the process that executed the event.
+	P ProcID
+	// Kind is the event type.
+	Kind EventKind
+	// Var is the variable involved, or nil for transition and fence events.
+	Var *Var
+	// Val is the value read, written, committed, or stored by a successful
+	// CAS.
+	Val uint64
+	// Old is the expected value of a CAS.
+	Old uint64
+	// CASOK reports whether a CAS succeeded.
+	CASOK bool
+	// FromBuffer reports that a read was satisfied from the process's own
+	// write buffer; such reads are not variable accesses.
+	FromBuffer bool
+	// Remote reports that the event touches a variable that is remote with
+	// respect to P.
+	Remote bool
+	// Access reports that the event is a variable access in the paper's
+	// sense: a write commit, or a read not satisfied from the buffer.
+	Access bool
+	// Critical reports that the event is critical per Definition 2 (first
+	// remote read of Var by P, or a commit overwriting another process's
+	// value). CAS events are marked critical using the same rules applied
+	// to their read and write halves.
+	Critical bool
+	// FenceCost reports that the event counts toward fence complexity
+	// (EvEndFence always; EvCAS because comparison primitives serialize).
+	Fence bool
+	// Passage is the per-process passage index the event belongs to,
+	// starting at 0.
+	Passage int
+}
+
+// String renders the event compactly, e.g. "p3 Read x=1 (crit)".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%d %s", e.P, e.Kind)
+	if e.Var != nil {
+		fmt.Fprintf(&b, " %s", e.Var)
+		switch e.Kind {
+		case EvCAS:
+			fmt.Fprintf(&b, " %d->%d ok=%v", e.Old, e.Val, e.CASOK)
+		default:
+			fmt.Fprintf(&b, "=%d", e.Val)
+		}
+	}
+	if e.FromBuffer {
+		b.WriteString(" (buf)")
+	}
+	if e.Critical {
+		b.WriteString(" (crit)")
+	}
+	return b.String()
+}
+
+// IsTransition reports whether the event is one of Enter, CS, or Exit.
+func (e Event) IsTransition() bool {
+	return e.Kind == EvEnter || e.Kind == EvCS || e.Kind == EvExit
+}
+
+// IsFenceEvent reports whether the event is BeginFence or EndFence.
+func (e Event) IsFenceEvent() bool {
+	return e.Kind == EvBeginFence || e.Kind == EvEndFence
+}
+
+// IsSpecial reports whether the event is special per Definition 3: critical,
+// a transition event, or a fence event. CAS events are special.
+func (e Event) IsSpecial() bool {
+	return e.Critical || e.IsTransition() || e.IsFenceEvent() || e.Kind == EvCAS
+}
+
+// Execution is a recorded sequence of events together with the scheduling
+// decisions that produced it, so that it can be replayed (possibly with some
+// processes erased).
+type Execution struct {
+	Events   []Event
+	Schedule []Decision
+}
+
+// Decision is one step of the scheduling adversary: it picks a process and
+// decides whether to let it execute its next program event or to commit a
+// write from its write buffer.
+type Decision struct {
+	P ProcID
+	// Commit selects committing a buffered write instead of executing the
+	// process's next program event. During a fence Step and Commit
+	// coincide, and the recorded decision uses Commit=false.
+	Commit bool
+	// VarPlus1, when non-zero and the ordering model is PSO, selects which
+	// variable's buffered write to commit (value is Var.Index()+1). Zero
+	// commits the oldest buffered write, which is the only choice under
+	// TSO, where writes become visible in issue order.
+	VarPlus1 int
+}
+
+// ByProc returns the subsequence of events executed by p (the paper's E|p).
+func (x *Execution) ByProc(p ProcID) []Event {
+	var out []Event
+	for _, e := range x.Events {
+		if e.P == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Erase returns the event subsequence with all events by processes in the
+// banned set removed (the paper's E^-Y). Sequence numbers are preserved from
+// the original execution.
+func (x *Execution) Erase(banned map[ProcID]bool) []Event {
+	out := make([]Event, 0, len(x.Events))
+	for _, e := range x.Events {
+		if !banned[e.P] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Congruent reports whether events a and b are congruent per the paper: they
+// are executed by the same process and either are the same transition or
+// fence event, or both apply the same operation to the same variable
+// (values may differ).
+func Congruent(a, b Event) bool {
+	if a.P != b.P || a.Kind != b.Kind {
+		return false
+	}
+	if a.Var == nil || b.Var == nil {
+		return a.Var == b.Var
+	}
+	return a.Var.Index() == b.Var.Index()
+}

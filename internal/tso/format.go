@@ -1,0 +1,109 @@
+package tso
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatOptions controls execution rendering.
+type FormatOptions struct {
+	// Lanes renders one column per process (readable for small N);
+	// otherwise events are listed one per line.
+	Lanes bool
+	// From and To bound the event range ([From, To); To <= 0 means the
+	// end).
+	From, To int
+	// SpecialOnly drops non-special events.
+	SpecialOnly bool
+}
+
+// Format renders the execution to w.
+func (x *Execution) Format(w io.Writer, opts FormatOptions) error {
+	events := x.Events
+	if opts.To <= 0 || opts.To > len(events) {
+		opts.To = len(events)
+	}
+	if opts.From < 0 {
+		opts.From = 0
+	}
+	if opts.From > opts.To {
+		opts.From = opts.To
+	}
+	events = events[opts.From:opts.To]
+	if opts.Lanes {
+		return x.formatLanes(w, events, opts)
+	}
+	for _, e := range events {
+		if opts.SpecialOnly && !e.IsSpecial() {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%4d  %s\n", e.Seq, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatLanes renders events with one column per participating process.
+func (x *Execution) formatLanes(w io.Writer, events []Event, opts FormatOptions) error {
+	procs := make(map[ProcID]int)
+	var order []ProcID
+	for _, e := range events {
+		if _, ok := procs[e.P]; !ok {
+			procs[e.P] = len(order)
+			order = append(order, e.P)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := make([]string, len(order)+1)
+	header[0] = "seq"
+	for i, p := range order {
+		header[i+1] = fmt.Sprintf("p%d", p)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, e := range events {
+		if opts.SpecialOnly && !e.IsSpecial() {
+			continue
+		}
+		row := make([]string, len(order)+1)
+		row[0] = fmt.Sprintf("%d", e.Seq)
+		cell := laneCell(e)
+		row[procs[e.P]+1] = cell
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// laneCell renders a compact cell for the lane view.
+func laneCell(e Event) string {
+	var b strings.Builder
+	switch {
+	case e.Var != nil && e.Kind == EvCAS:
+		fmt.Fprintf(&b, "CAS %s %d->%d", e.Var, e.Old, e.Val)
+		if !e.CASOK {
+			b.WriteString(" (fail)")
+		}
+	case e.Var != nil:
+		fmt.Fprintf(&b, "%s %s=%d", e.Kind, e.Var, e.Val)
+	default:
+		b.WriteString(e.Kind.String())
+	}
+	if e.FromBuffer {
+		b.WriteString(" (buf)")
+	}
+	if e.Critical {
+		b.WriteString(" *")
+	}
+	return b.String()
+}
+
+// Summary returns per-kind event counts, a quick execution profile.
+func (x *Execution) Summary() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, e := range x.Events {
+		out[e.Kind]++
+	}
+	return out
+}

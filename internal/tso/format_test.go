@@ -1,0 +1,104 @@
+package tso
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildFormatFixture(t *testing.T) *Simulator {
+	t.Helper()
+	var v *Var
+	s := mustSim(t, Config{N: 2, AllowConcurrentCS: true}, func(sim *Simulator) (Program, error) {
+		v = sim.Memory().NewVar("x")
+		return func(p *Proc) {
+			p.Write(v, uint64(p.ID())+1)
+			p.Fence()
+			p.Read(v)
+			p.CS()
+		}, nil
+	})
+	if _, err := Run(s, NewRoundRobin(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFormatLinear(t *testing.T) {
+	s := buildFormatFixture(t)
+	var b strings.Builder
+	if err := s.Execution().Format(&b, FormatOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Enter", "Commit x=1", "EndFence", "CS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatLanes(t *testing.T) {
+	s := buildFormatFixture(t)
+	var b strings.Builder
+	if err := s.Execution().Format(&b, FormatOptions{Lanes: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "p0") || !strings.Contains(out, "p1") {
+		t.Errorf("lane header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("critical marker missing:\n%s", out)
+	}
+}
+
+func TestFormatSpecialOnlyAndRange(t *testing.T) {
+	s := buildFormatFixture(t)
+	var b strings.Builder
+	if err := s.Execution().Format(&b, FormatOptions{SpecialOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "WriteIssue") {
+		t.Errorf("non-special events leaked:\n%s", b.String())
+	}
+	b.Reset()
+	if err := s.Execution().Format(&b, FormatOptions{From: 2, To: 4}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(b.String()), "\n") + 1
+	if lines != 2 {
+		t.Errorf("range rendering gave %d lines, want 2:\n%s", lines, b.String())
+	}
+	// Degenerate ranges must not panic.
+	b.Reset()
+	if err := s.Execution().Format(&b, FormatOptions{From: -5, To: 1000000}); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := s.Execution().Format(&b, FormatOptions{From: 50, To: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutionSummary(t *testing.T) {
+	s := buildFormatFixture(t)
+	sum := s.Execution().Summary()
+	if sum[EvEnter] != 2 || sum[EvExit] != 2 || sum[EvCS] != 2 {
+		t.Errorf("summary = %v", sum)
+	}
+	if sum[EvWriteCommit] != 2 || sum[EvEndFence] != 2 {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestLaneCellCAS(t *testing.T) {
+	v := &Var{name: "lock", owner: NoOwner}
+	ok := laneCell(Event{Kind: EvCAS, Var: v, Old: 0, Val: 1, CASOK: true, Critical: true})
+	if !strings.Contains(ok, "CAS lock 0->1") || !strings.Contains(ok, "*") {
+		t.Errorf("laneCell = %q", ok)
+	}
+	fail := laneCell(Event{Kind: EvCAS, Var: v, Old: 0, Val: 1})
+	if !strings.Contains(fail, "(fail)") {
+		t.Errorf("laneCell = %q", fail)
+	}
+}

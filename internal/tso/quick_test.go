@@ -1,0 +1,338 @@
+package tso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genProgram builds a deterministic random program over nv shared variables
+// from a seed: each process performs a pseudo-random sequence of reads,
+// writes and fences derived from (seed, pid), then enters the CS.
+func genProgram(seed int64, nv, opsPerProc int) Build {
+	return func(sim *Simulator) (Program, error) {
+		vars := sim.Memory().NewArray("v", nv)
+		return func(p *Proc) {
+			rng := rand.New(rand.NewSource(seed + int64(p.ID())*7919))
+			for i := 0; i < opsPerProc; i++ {
+				v := vars[rng.Intn(len(vars))]
+				switch rng.Intn(4) {
+				case 0, 1:
+					p.Read(v)
+				case 2:
+					p.Write(v, uint64(rng.Intn(50)))
+				case 3:
+					p.Fence()
+				}
+			}
+			p.CS()
+		}, nil
+	}
+}
+
+// runRandomProgram executes a random program under a random schedule and
+// returns the completed simulator.
+func runRandomProgram(t *testing.T, seed int64, n, nv, ops int) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(Config{N: n, AllowConcurrentCS: true}, genProgram(seed, nv, ops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Kill)
+	if _, err := Run(s, NewRandom(seed*31+7, 0.3), 1_000_000); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return s
+}
+
+func TestQuickReplayDeterminism(t *testing.T) {
+	// Property: replaying the full schedule (erasing nobody) reproduces
+	// the execution event-for-event.
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 3, 4, 12)
+		rs, err := s.Replay(nil)
+		if err != nil {
+			t.Logf("seed %d: replay: %v", seed, err)
+			return false
+		}
+		defer rs.Kill()
+		if len(rs.Execution().Events) != len(s.Execution().Events) {
+			return false
+		}
+		return VerifyErasure(s.Execution(), rs.Execution(), nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFirstRemoteReadIsCriticalExactlyOnce(t *testing.T) {
+	// Property (Definition 2): for each (process, variable), exactly the
+	// first remote non-buffer read is a critical read.
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 3, 4, 15)
+		type key struct {
+			p ProcID
+			v int
+		}
+		seen := map[key]bool{}
+		for _, e := range s.Execution().Events {
+			if e.Kind != EvRead || e.FromBuffer || !e.Remote {
+				continue
+			}
+			k := key{e.P, e.Var.Index()}
+			if !seen[k] {
+				if !e.Critical {
+					t.Logf("seed %d: first remote read not critical: %v", seed, e)
+					return false
+				}
+				seen[k] = true
+			} else if e.Critical {
+				t.Logf("seed %d: repeated remote read critical: %v", seed, e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCriticalWriteIffWriterChanges(t *testing.T) {
+	// Property (Definition 2): a commit is critical iff the previous
+	// committer of the variable differs from the committing process.
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 3, 3, 15)
+		lastWriter := map[int]ProcID{}
+		for _, e := range s.Execution().Events {
+			isCommit := e.Kind == EvWriteCommit || (e.Kind == EvCAS && e.CASOK)
+			if !isCommit {
+				continue
+			}
+			prev, ok := lastWriter[e.Var.Index()]
+			wantCritical := !ok || prev != e.P
+			if e.Kind == EvCAS {
+				// CAS criticality also covers its read half; skip.
+				lastWriter[e.Var.Index()] = e.P
+				continue
+			}
+			if e.Critical != wantCritical {
+				t.Logf("seed %d: commit criticality wrong: %v (prev %v ok=%v)", seed, e, prev, ok)
+				return false
+			}
+			lastWriter[e.Var.Index()] = e.P
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWriteOrderIsFIFOUnderTSO(t *testing.T) {
+	// Property (TSO): per process, commits happen in issue order (for the
+	// latest issue of each variable).
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 3, 4, 15)
+		// For each process, track pending issue sequence; every commit
+		// must match the earliest pending issue of that variable and no
+		// earlier-issued pending write of another variable may remain
+		// un-coalesced... the simple checkable property: per process, the
+		// sequence of commit events' variables equals the sequence of
+		// surviving issues' variables.
+		type pend struct {
+			v   int
+			val uint64
+		}
+		buffers := map[ProcID][]pend{}
+		for _, e := range s.Execution().Events {
+			switch e.Kind {
+			case EvWriteIssue:
+				buf := buffers[e.P]
+				found := false
+				for i := range buf {
+					if buf[i].v == e.Var.Index() {
+						buf[i].val = e.Val
+						found = true
+						break
+					}
+				}
+				if !found {
+					buf = append(buf, pend{e.Var.Index(), e.Val})
+				}
+				buffers[e.P] = buf
+			case EvWriteCommit:
+				buf := buffers[e.P]
+				if len(buf) == 0 || buf[0].v != e.Var.Index() || buf[0].val != e.Val {
+					t.Logf("seed %d: commit out of FIFO order: %v (buffer %v)", seed, e, buf)
+					return false
+				}
+				buffers[e.P] = buf[1:]
+			case EvEndFence:
+				if len(buffers[e.P]) != 0 {
+					t.Logf("seed %d: EndFence with non-empty model buffer", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAwarenessMonotoneAndGrounded(t *testing.T) {
+	// Property (Definition 1): awareness sets only grow, always contain
+	// self, and a process becomes aware of q only by reading a variable
+	// whose carried awareness included q.
+	f := func(seed int64) bool {
+		n := 4
+		s, err := NewSimulator(Config{N: n, AllowConcurrentCS: true}, genProgram(seed%1000, 3, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Kill()
+		prev := make([]int, n)
+		ok := true
+		s.AddObserver(func(e Event) {
+			aw := s.Awareness(e.P)
+			selfFound := false
+			for _, q := range aw {
+				if q == e.P {
+					selfFound = true
+				}
+			}
+			if !selfFound {
+				ok = false
+			}
+			if len(aw) < prev[e.P] {
+				ok = false
+			}
+			prev[e.P] = len(aw)
+			if e.Kind != EvRead && e.Kind != EvCAS && e.Kind != EvWriteCommit && len(aw) > prev[e.P] {
+				ok = false // awareness may only grow at reads
+			}
+		})
+		if _, err := Run(s, NewRandom(seed+3, 0.3), 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMemoryMatchesCommittedWrites(t *testing.T) {
+	// Property: the final value of every variable is the value of the last
+	// commit to it (or its initial value).
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 3, 4, 15)
+		want := map[int]uint64{}
+		for _, e := range s.Execution().Events {
+			if e.Kind == EvWriteCommit || (e.Kind == EvCAS && e.CASOK) {
+				want[e.Var.Index()] = e.Val
+			}
+		}
+		for _, v := range s.Memory().Vars() {
+			expected, wrote := want[v.Index()]
+			if !wrote {
+				continue
+			}
+			if s.Value(v) != expected {
+				t.Logf("seed %d: %s = %d, want %d", seed, v, s.Value(v), expected)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReadsSeeBufferThenMemory(t *testing.T) {
+	// Property: a read returns the process's own latest uncommitted write
+	// if one is buffered, else the last committed value.
+	f := func(seed int64) bool {
+		s := runRandomProgram(t, seed%1000, 2, 3, 15)
+		mem := map[int]uint64{}
+		buffers := map[ProcID]map[int]uint64{}
+		for _, e := range s.Execution().Events {
+			switch e.Kind {
+			case EvWriteIssue:
+				if buffers[e.P] == nil {
+					buffers[e.P] = map[int]uint64{}
+				}
+				buffers[e.P][e.Var.Index()] = e.Val
+			case EvWriteCommit:
+				mem[e.Var.Index()] = e.Val
+				delete(buffers[e.P], e.Var.Index())
+			case EvRead:
+				if x, okBuf := buffers[e.P][e.Var.Index()]; okBuf {
+					if !e.FromBuffer || e.Val != x {
+						t.Logf("seed %d: buffered read wrong: %v want %d", seed, e, x)
+						return false
+					}
+				} else {
+					if e.FromBuffer || e.Val != mem[e.Var.Index()] {
+						t.Logf("seed %d: memory read wrong: %v want %d", seed, e, mem[e.Var.Index()])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickErasingNonReadProcessIsInvisible(t *testing.T) {
+	// Property: a process that only issues writes it never commits (no
+	// fences, no commits chosen) is invisible - erasing it preserves
+	// everyone else's execution.
+	f := func(seed int64) bool {
+		build := func(sim *Simulator) (Program, error) {
+			vars := sim.Memory().NewArray("v", 3)
+			return func(p *Proc) {
+				rng := rand.New(rand.NewSource(seed + int64(p.ID())))
+				if p.ID() == 0 {
+					// The ghost: only writes, never fences.
+					for i := 0; i < 6; i++ {
+						p.Write(vars[rng.Intn(3)], uint64(100+i))
+					}
+				} else {
+					for i := 0; i < 6; i++ {
+						p.Read(vars[rng.Intn(3)])
+					}
+				}
+				p.CS()
+			}, nil
+		}
+		s, err := NewSimulator(Config{N: 3, AllowConcurrentCS: true}, build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Kill()
+		// Round-robin never commits voluntarily, so the ghost's writes
+		// stay buffered.
+		if _, err := Run(s, NewRoundRobin(), 100000); err != nil {
+			t.Fatal(err)
+		}
+		banned := map[ProcID]bool{0: true}
+		rs, err := s.Replay(banned)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		defer rs.Kill()
+		return VerifyErasure(s.Execution(), rs.Execution(), banned) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

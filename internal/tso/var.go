@@ -1,0 +1,191 @@
+package tso
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcID identifies a process. Valid process IDs are 0..N-1.
+type ProcID int
+
+// NoOwner marks a variable as remote to all processes, which is always the
+// case in the cache-coherent (CC) model.
+const NoOwner ProcID = -1
+
+// Model selects the machine organization for variable locality.
+//
+// In the DSM model each processor owns a segment of shared memory that it
+// can access without traversing the interconnect; a variable may be local to
+// a single process. In the CC model every variable lives in shared memory
+// and is remote to all processes (locality is recovered by caching, which is
+// accounted for by package rmr).
+type Model int
+
+const (
+	// DSM is the distributed shared-memory model.
+	DSM Model = iota + 1
+	// CC is the cache-coherent model (write-through or write-back; the
+	// distinction matters only for RMR accounting, not for semantics).
+	CC
+)
+
+// String returns the conventional short name of the model.
+func (m Model) String() string {
+	switch m {
+	case DSM:
+		return "DSM"
+	case CC:
+		return "CC"
+	default:
+		return "Model(" + strconv.Itoa(int(m)) + ")"
+	}
+}
+
+// Ordering selects the memory-ordering model.
+type Ordering int
+
+const (
+	// TSO is total store ordering: writes become visible in issue order
+	// (the model of the paper's main results).
+	TSO Ordering = iota + 1
+	// PSO is partial store ordering: writes to different variables may
+	// become visible out of issue order (the weaker model of the paper's
+	// Section 6 discussion, supported by older SPARC). The scheduling
+	// adversary gains the choice of which buffered write to commit.
+	PSO
+)
+
+// String returns "TSO" or "PSO".
+func (o Ordering) String() string {
+	switch o {
+	case TSO:
+		return "TSO"
+	case PSO:
+		return "PSO"
+	default:
+		return "Ordering(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Var is a shared variable. Vars are allocated through a Memory and are only
+// meaningful within the Simulator that owns that Memory.
+type Var struct {
+	index int
+	name  string
+	owner ProcID
+	init  uint64
+}
+
+// Name returns the diagnostic name the variable was allocated with.
+func (v *Var) Name() string { return v.name }
+
+// Owner returns the process the variable is local to, or NoOwner.
+func (v *Var) Owner() ProcID { return v.owner }
+
+// Index returns the dense index of the variable within its Memory.
+func (v *Var) Index() int { return v.index }
+
+// String renders the variable as name[@owner].
+func (v *Var) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	if v.owner == NoOwner {
+		return v.name
+	}
+	return fmt.Sprintf("%s@p%d", v.name, v.owner)
+}
+
+// Memory is the allocator and value store for shared variables. A Memory is
+// bound to a Simulator; algorithms allocate their variables during the build
+// phase (see Build) so that replayed simulations reconstruct an identical
+// variable layout.
+type Memory struct {
+	model Model
+	vars  []*Var
+	vals  []uint64
+}
+
+func newMemory(model Model) *Memory {
+	return &Memory{model: model}
+}
+
+// Model reports which locality model the memory uses.
+func (m *Memory) Model() Model { return m.model }
+
+// NumVars returns the number of allocated variables.
+func (m *Memory) NumVars() int { return len(m.vars) }
+
+// Vars returns the allocated variables in allocation order. The returned
+// slice must not be modified.
+func (m *Memory) Vars() []*Var { return m.vars }
+
+// NewVar allocates a shared variable with initial value 0 that is remote to
+// every process.
+func (m *Memory) NewVar(name string) *Var {
+	return m.alloc(name, NoOwner, 0)
+}
+
+// NewVarInit allocates a shared variable with the given initial value that
+// is remote to every process.
+func (m *Memory) NewVarInit(name string, init uint64) *Var {
+	return m.alloc(name, NoOwner, init)
+}
+
+// NewOwned allocates a variable that is local to process p in the DSM model.
+// In the CC model the owner hint is ignored and the variable is remote to
+// all processes, so algorithm code can allocate spin variables uniformly for
+// both models.
+func (m *Memory) NewOwned(name string, p ProcID) *Var {
+	owner := p
+	if m.model == CC {
+		owner = NoOwner
+	}
+	return m.alloc(name, owner, 0)
+}
+
+// NewArray allocates n variables named name[0..n-1], all remote.
+func (m *Memory) NewArray(name string, n int) []*Var {
+	vs := make([]*Var, n)
+	for i := range vs {
+		vs[i] = m.NewVar(name + "[" + strconv.Itoa(i) + "]")
+	}
+	return vs
+}
+
+// NewArrayInit allocates n variables named name[0..n-1] with initial values
+// taken from init (shorter init slices leave the remainder zero).
+func (m *Memory) NewArrayInit(name string, n int, init []uint64) []*Var {
+	vs := make([]*Var, n)
+	for i := range vs {
+		var x uint64
+		if i < len(init) {
+			x = init[i]
+		}
+		vs[i] = m.NewVarInit(name+"["+strconv.Itoa(i)+"]", x)
+	}
+	return vs
+}
+
+// NewOwnedArray allocates n variables named name[0..n-1] where name[i] is
+// local to process i in the DSM model (the usual layout for spin flags).
+func (m *Memory) NewOwnedArray(name string, n int) []*Var {
+	vs := make([]*Var, n)
+	for i := range vs {
+		vs[i] = m.NewOwned(name+"["+strconv.Itoa(i)+"]", ProcID(i))
+	}
+	return vs
+}
+
+func (m *Memory) alloc(name string, owner ProcID, init uint64) *Var {
+	v := &Var{index: len(m.vars), name: name, owner: owner, init: init}
+	m.vars = append(m.vars, v)
+	m.vals = append(m.vals, init)
+	return v
+}
+
+// load returns the current committed value of v.
+func (m *Memory) load(v *Var) uint64 { return m.vals[v.index] }
+
+// store commits x to v.
+func (m *Memory) store(v *Var, x uint64) { m.vals[v.index] = x }

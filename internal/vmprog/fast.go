@@ -1,0 +1,476 @@
+package vmprog
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"priceadaptive/internal/tso"
+)
+
+// bufEnt is one buffered write in the fast engine.
+type bufEnt struct {
+	v int
+	x uint64
+}
+
+// PState is the complete state of one process: flat, comparable-by-content,
+// and cheap to clone. A started, unfinished process is always parked at an
+// event instruction (its local register/jump instructions have already been
+// applied), mirroring how the goroutine engine parks programs at their next
+// posted operation.
+type PState struct {
+	PC      int
+	Regs    [NumRegs]uint64
+	Buf     []bufEnt
+	Fencing bool
+	Started bool
+	Done    bool
+	InExit  bool // CS executed, Exit pending at OpHalt
+}
+
+// State is a full machine state of the fast engine.
+type State struct {
+	Mem   []uint64
+	Procs []PState
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	ns := &State{
+		Mem:   append([]uint64(nil), s.Mem...),
+		Procs: make([]PState, len(s.Procs)),
+	}
+	copy(ns.Procs, s.Procs)
+	for i := range ns.Procs {
+		ns.Procs[i].Buf = append([]bufEnt(nil), s.Procs[i].Buf...)
+	}
+	return ns
+}
+
+// Engine executes a VM program under the TSO (or PSO) operational semantics
+// with explicit, clonable state.
+type Engine struct {
+	prog *Program
+	n    int
+	pso  bool
+}
+
+// NewEngine builds an engine for n processes. pso selects partial store
+// ordering (out-of-order commits allowed).
+func NewEngine(p *Program, n int, pso bool) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("vmprog: n must be positive, got %d", n)
+	}
+	return &Engine{prog: p, n: n, pso: pso}, nil
+}
+
+// Initial returns the initial state: memory zeroed, no process started.
+func (e *Engine) Initial() *State {
+	return &State{
+		Mem:   make([]uint64, len(e.prog.Vars)),
+		Procs: make([]PState, e.n),
+	}
+}
+
+// errInvalidDecision reports a decision that is not enabled in the state.
+var errInvalidDecision = errors.New("vmprog: decision not enabled")
+
+// advance executes register and control-flow instructions until the process
+// parks at an event instruction or OpHalt. Local instructions are free in
+// the memory model, exactly as Go code between two Proc calls runs inside
+// the program goroutine on the goroutine engine.
+func (e *Engine) advance(p *PState, id int) error {
+	for {
+		in := e.prog.Code[p.PC]
+		switch in.Op {
+		case OpConst:
+			p.Regs[in.A] = in.Imm
+		case OpMe:
+			p.Regs[in.A] = uint64(id)
+		case OpProcs:
+			p.Regs[in.A] = uint64(e.n)
+		case OpAdd:
+			p.Regs[in.A] = p.Regs[in.B] + p.Regs[in.C]
+		case OpSub:
+			p.Regs[in.A] = p.Regs[in.B] - p.Regs[in.C]
+		case OpJump:
+			p.PC = in.Target
+			continue
+		case OpJumpIfEq:
+			if p.Regs[in.A] == p.Regs[in.B] {
+				p.PC = in.Target
+				continue
+			}
+		case OpJumpIfNe:
+			if p.Regs[in.A] != p.Regs[in.B] {
+				p.PC = in.Target
+				continue
+			}
+		case OpJumpIfLt:
+			if p.Regs[in.A] < p.Regs[in.B] {
+				p.PC = in.Target
+				continue
+			}
+		default:
+			// Event instruction or Halt: park here.
+			return nil
+		}
+		p.PC++
+	}
+}
+
+// bufLookup returns the pending buffered write to variable vi, if any.
+func bufLookup(p *PState, vi int) (uint64, bool) {
+	for i := range p.Buf {
+		if p.Buf[i].v == vi {
+			return p.Buf[i].x, true
+		}
+	}
+	return 0, false
+}
+
+// bufPush coalesces a write into the buffer (TSO: one entry per variable).
+func bufPush(p *PState, vi int, x uint64) {
+	for i := range p.Buf {
+		if p.Buf[i].v == vi {
+			p.Buf[i].x = x
+			return
+		}
+	}
+	p.Buf = append(p.Buf, bufEnt{v: vi, x: x})
+}
+
+// commitAt makes the i-th buffered write visible.
+func commitAt(s *State, p *PState, i int) {
+	w := p.Buf[i]
+	s.Mem[w.v] = w.x
+	p.Buf = append(p.Buf[:i], p.Buf[i+1:]...)
+}
+
+// Step lets process id execute its next event, mirroring
+// tso.Simulator.Step: Enter for an unstarted process, a commit while
+// fencing (or draining for a CAS) with a non-empty buffer, otherwise the
+// parked event instruction.
+func (e *Engine) Step(s *State, id int) error {
+	if id < 0 || id >= e.n {
+		return errInvalidDecision
+	}
+	p := &s.Procs[id]
+	if p.Done {
+		return errInvalidDecision
+	}
+	if !p.Started {
+		p.Started = true
+		return e.advance(p, id)
+	}
+	if p.Fencing {
+		if len(p.Buf) > 0 {
+			commitAt(s, p, 0)
+			return nil
+		}
+		// EndFence.
+		p.Fencing = false
+		p.PC++
+		return e.advance(p, id)
+	}
+	in := e.prog.Code[p.PC]
+	switch in.Op {
+	case OpRead:
+		vi, err := e.prog.varIndex(in, &p.Regs)
+		if err != nil {
+			return err
+		}
+		if x, ok := bufLookup(p, vi); ok {
+			p.Regs[in.A] = x
+		} else {
+			p.Regs[in.A] = s.Mem[vi]
+		}
+		p.PC++
+		return e.advance(p, id)
+	case OpWrite:
+		vi, err := e.prog.varIndex(in, &p.Regs)
+		if err != nil {
+			return err
+		}
+		bufPush(p, vi, p.Regs[in.A])
+		p.PC++
+		return e.advance(p, id)
+	case OpFence:
+		p.Fencing = true
+		return nil
+	case OpCAS:
+		if len(p.Buf) > 0 {
+			// Serializing: drain the buffer first, one commit per step.
+			commitAt(s, p, 0)
+			return nil
+		}
+		vi, err := e.prog.varIndex(in, &p.Regs)
+		if err != nil {
+			return err
+		}
+		observed := s.Mem[vi]
+		if observed == p.Regs[in.B] {
+			s.Mem[vi] = p.Regs[in.C]
+		}
+		p.Regs[in.A] = observed
+		p.PC++
+		return e.advance(p, id)
+	case OpCS:
+		p.InExit = true
+		p.PC++
+		return e.advance(p, id)
+	case OpHalt:
+		p.Done = true
+		return nil
+	default:
+		return fmt.Errorf("vmprog: parked at non-event instruction %d", int(in.Op))
+	}
+}
+
+// Commit makes a buffered write of process id visible. varIdx selects the
+// variable (PSO); pass -1 for the oldest write (the only legal choice under
+// TSO). Like tso.Simulator.Commit it is also legal while the process is
+// executing a fence (the adversary committing on the process's behalf).
+func (e *Engine) Commit(s *State, id int, varIdx int) error {
+	p := &s.Procs[id]
+	if len(p.Buf) == 0 {
+		return errInvalidDecision
+	}
+	if varIdx < 0 || p.Buf[0].v == varIdx {
+		commitAt(s, p, 0)
+		return nil
+	}
+	if !e.pso {
+		return fmt.Errorf("vmprog: out-of-order commit requires PSO")
+	}
+	for i := range p.Buf {
+		if p.Buf[i].v == varIdx {
+			commitAt(s, p, i)
+			return nil
+		}
+	}
+	return errInvalidDecision
+}
+
+// PendingCS reports whether process id's next event is the CS transition.
+func (e *Engine) PendingCS(s *State, id int) bool {
+	p := &s.Procs[id]
+	if !p.Started || p.Done || p.Fencing {
+		return false
+	}
+	return e.prog.Code[p.PC].Op == OpCS
+}
+
+// Violated reports whether two CS events are simultaneously enabled (the
+// paper's exclusion failure).
+func (e *Engine) Violated(s *State) bool {
+	count := 0
+	for id := range s.Procs {
+		if e.PendingCS(s, id) {
+			count++
+		}
+	}
+	return count >= 2
+}
+
+// AllDone reports whether every process completed its passage.
+func (e *Engine) AllDone(s *State) bool {
+	for i := range s.Procs {
+		if !s.Procs[i].Done {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply executes a tso.Decision on the state, for replaying schedules
+// recorded against the goroutine engine.
+func (e *Engine) Apply(s *State, d tso.Decision) error {
+	if d.Commit {
+		varIdx := -1
+		if d.VarPlus1 > 0 {
+			varIdx = d.VarPlus1 - 1
+		}
+		return e.Commit(s, int(d.P), varIdx)
+	}
+	return e.Step(s, int(d.P))
+}
+
+// hash fingerprints a state.
+func (e *Engine) hash(s *State) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, m := range s.Mem {
+		w(m)
+	}
+	for i := range s.Procs {
+		p := &s.Procs[i]
+		flags := uint64(p.PC) << 4
+		if p.Fencing {
+			flags |= 1
+		}
+		if p.Started {
+			flags |= 2
+		}
+		if p.Done {
+			flags |= 4
+		}
+		if p.InExit {
+			flags |= 8
+		}
+		w(flags)
+		for _, r := range p.Regs {
+			w(r)
+		}
+		w(uint64(len(p.Buf)))
+		for _, b := range p.Buf {
+			w(uint64(b.v))
+			w(b.x)
+		}
+	}
+	return h.Sum64()
+}
+
+// CheckResult summarizes an exhaustive exploration by the fast engine.
+type CheckResult struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of decisions applied.
+	Transitions int
+	// Complete reports whether the full reachable state space was
+	// explored.
+	Complete bool
+	// Violation reports whether an exclusion violation was found.
+	Violation bool
+	// Schedule reproduces the violation (also applicable to the goroutine
+	// engine via the same decisions).
+	Schedule []tso.Decision
+}
+
+// Check explores the reachable state space exhaustively (bounded by
+// maxStates) and reports the first exclusion violation. Unlike the
+// replay-based checker in package check, states are true snapshots: spin
+// loops revisit identical states and the exploration terminates without any
+// spin-collapsing heuristic.
+func (e *Engine) Check(maxStates int) (*CheckResult, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	res := &CheckResult{Complete: true}
+	seen := make(map[uint64]bool)
+	type node struct {
+		st   *State
+		path []tso.Decision
+	}
+	stack := []node{{st: e.Initial()}}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h := e.hash(nd.st)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		res.States++
+		if e.Violated(nd.st) {
+			res.Violation = true
+			res.Schedule = nd.path
+			res.Complete = false
+			return res, nil
+		}
+		if res.States > maxStates {
+			res.Complete = false
+			return res, nil
+		}
+		for _, d := range e.decisions(nd.st) {
+			child := nd.st.Clone()
+			if err := e.Apply(child, d); err != nil {
+				return nil, fmt.Errorf("vmprog: check: %w", err)
+			}
+			res.Transitions++
+			path := make([]tso.Decision, len(nd.path)+1)
+			copy(path, nd.path)
+			path[len(nd.path)] = d
+			stack = append(stack, node{st: child, path: path})
+		}
+	}
+	return res, nil
+}
+
+// decisions enumerates the enabled scheduling decisions in a state.
+func (e *Engine) decisions(s *State) []tso.Decision {
+	var out []tso.Decision
+	for id := range s.Procs {
+		p := &s.Procs[id]
+		if !p.Done {
+			out = append(out, tso.Decision{P: tso.ProcID(id)})
+		}
+		if len(p.Buf) > 0 && !p.Fencing {
+			if e.pso {
+				for _, b := range p.Buf {
+					out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true, VarPlus1: b.v + 1})
+				}
+			} else {
+				out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true})
+			}
+		}
+	}
+	return out
+}
+
+// Minimize shrinks a violating schedule to a 1-minimal reproduction using
+// the fast engine (the counterpart of check.Minimize, hundreds of times
+// faster because candidate evaluation is a pure state replay).
+func (e *Engine) Minimize(sched []tso.Decision) ([]tso.Decision, error) {
+	reproduces := func(cand []tso.Decision) bool {
+		st := e.Initial()
+		for _, d := range cand {
+			if err := e.Apply(st, d); err != nil {
+				return false
+			}
+			if e.Violated(st) {
+				return true
+			}
+		}
+		return e.Violated(st)
+	}
+	cur := append([]tso.Decision(nil), sched...)
+	if !reproduces(cur) {
+		return nil, errors.New("vmprog: schedule does not reproduce a violation")
+	}
+	// Trim the suffix after the violation.
+	lo, hi := 0, len(cur)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if reproduces(cur[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur = cur[:lo]
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]tso.Decision, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if reproduces(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, nil
+}

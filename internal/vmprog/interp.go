@@ -1,0 +1,86 @@
+package vmprog
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/tso"
+)
+
+// Adapt returns a tso.Build that runs the VM program on the goroutine-based
+// simulator, making VM locks first-class citizens of every existing tool
+// (schedulers, RMR accounting, the lower-bound construction).
+func Adapt(p *Program) tso.Build {
+	return func(sim *tso.Simulator) (tso.Program, error) {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		vars := make([]*tso.Var, len(p.Vars))
+		for i, name := range p.Vars {
+			vars[i] = sim.Memory().NewVar("vm." + name)
+		}
+		return func(proc *tso.Proc) {
+			var regs [NumRegs]uint64
+			pc := 0
+			for {
+				in := p.Code[pc]
+				switch in.Op {
+				case OpConst:
+					regs[in.A] = in.Imm
+				case OpMe:
+					regs[in.A] = uint64(proc.ID())
+				case OpProcs:
+					regs[in.A] = uint64(proc.N())
+				case OpAdd:
+					regs[in.A] = regs[in.B] + regs[in.C]
+				case OpSub:
+					regs[in.A] = regs[in.B] - regs[in.C]
+				case OpJump:
+					pc = in.Target
+					continue
+				case OpJumpIfEq:
+					if regs[in.A] == regs[in.B] {
+						pc = in.Target
+						continue
+					}
+				case OpJumpIfNe:
+					if regs[in.A] != regs[in.B] {
+						pc = in.Target
+						continue
+					}
+				case OpJumpIfLt:
+					if regs[in.A] < regs[in.B] {
+						pc = in.Target
+						continue
+					}
+				case OpRead:
+					vi := mustVar(p, in, &regs)
+					regs[in.A] = proc.Read(vars[vi])
+				case OpWrite:
+					vi := mustVar(p, in, &regs)
+					proc.Write(vars[vi], regs[in.A])
+				case OpFence:
+					proc.Fence()
+				case OpCAS:
+					vi := mustVar(p, in, &regs)
+					observed, _ := proc.CAS(vars[vi], regs[in.B], regs[in.C])
+					regs[in.A] = observed
+				case OpCS:
+					proc.CS()
+				case OpHalt:
+					return
+				}
+				pc++
+			}
+		}, nil
+	}
+}
+
+// mustVar resolves a variable reference, panicking on range errors (the
+// simulator surfaces program panics).
+func mustVar(p *Program, in Instr, regs *[NumRegs]uint64) int {
+	vi, err := p.varIndex(in, regs)
+	if err != nil {
+		panic(fmt.Sprint(err))
+	}
+	return vi
+}

@@ -1,0 +1,333 @@
+package vmprog
+
+import "fmt"
+
+// Peterson builds the two-process Peterson lock as a VM program; withFences
+// selects the TSO-correct variant.
+func Peterson(withFences bool) (*Program, error) {
+	name := "peterson-vm"
+	if !withFences {
+		name = "peterson-nofence-vm"
+	}
+	b := NewBuilder(name)
+	flag := b.Array("flag", 2)
+	turn := b.Var("turn")
+	const (
+		rMe, rOther, rOne, rTmp, rZero = 0, 1, 2, 3, 4
+	)
+	b.Me(rMe)
+	b.Const(rOne, 1)
+	b.Sub(rOther, rOne, rMe) // other = 1 - me
+	b.Write(flag, rMe, rOne) // flag[me] = 1
+	b.Write(turn, -1, rOther)
+	if withFences {
+		b.Fence()
+	}
+	b.Const(rZero, 0)
+	b.Label("spin")
+	b.Read(rTmp, flag, rOther)
+	b.JumpIfEq(rTmp, rZero, "enter")
+	b.Read(rTmp, turn, -1)
+	b.JumpIfNe(rTmp, rOther, "enter")
+	b.Jump("spin")
+	b.Label("enter")
+	b.CS()
+	b.Write(flag, rMe, rZero)
+	if withFences {
+		b.Fence()
+	}
+	b.Halt()
+	return b.Build()
+}
+
+// TAS builds a test-and-set lock (CAS retry loop) as a VM program.
+func TAS() (*Program, error) {
+	b := NewBuilder("tas-vm")
+	lock := b.Var("lock")
+	const (
+		rMe, rOne, rToken, rZero, rObs = 0, 1, 2, 3, 4
+	)
+	b.Me(rMe)
+	b.Const(rOne, 1)
+	b.Add(rToken, rMe, rOne) // token = me + 1
+	b.Const(rZero, 0)
+	b.Label("try")
+	b.CAS(rObs, lock, -1, rZero, rToken)
+	b.JumpIfEq(rObs, rZero, "got")
+	b.Jump("try")
+	b.Label("got")
+	b.CS()
+	b.Write(lock, -1, rZero)
+	b.Fence()
+	b.Halt()
+	return b.Build()
+}
+
+// Bakery builds Lamport's bakery for n processes as a VM program;
+// weakDoorway elides the ticket-publication fence (TSO-safe, PSO-broken).
+func Bakery(n int, weakDoorway bool) (*Program, error) {
+	name := "bakery-vm"
+	if weakDoorway {
+		name = "bakery-weak-vm"
+	}
+	b := NewBuilder(name)
+	choosing := b.Array("choosing", n)
+	number := b.Array("number", n)
+	const (
+		rMe, rK, rMax, rVal, rOne, rN, rZero, rMine = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	b.Me(rMe)
+	b.Procs(rN)
+	b.Const(rOne, 1)
+	b.Const(rZero, 0)
+	// Doorway: choosing[me] := 1; fence.
+	b.Write(choosing, rMe, rOne)
+	b.Fence()
+	// Ticket scan: max of number[0..n-1].
+	b.Const(rMax, 0)
+	b.Const(rK, 0)
+	b.Label("scan")
+	b.JumpIfEq(rK, rN, "scandone")
+	b.Read(rVal, number, rK)
+	b.JumpIfLt(rMax, rVal, "newmax")
+	b.Jump("scannext")
+	b.Label("newmax")
+	b.Add(rMax, rVal, rZero)
+	b.Label("scannext")
+	b.Add(rK, rK, rOne)
+	b.Jump("scan")
+	b.Label("scandone")
+	// Publish ticket: number[me] := max+1; choosing[me] := 0.
+	b.Add(rMax, rMax, rOne)
+	b.Write(number, rMe, rMax)
+	b.Write(choosing, rMe, rZero)
+	if !weakDoorway {
+		b.Fence()
+	}
+	// Wait loop over every other process.
+	b.Const(rK, 0)
+	b.Label("wait")
+	b.JumpIfEq(rK, rN, "cs")
+	b.JumpIfEq(rK, rMe, "skip")
+	b.Label("chwait")
+	b.Read(rVal, choosing, rK)
+	b.JumpIfEq(rVal, rOne, "chwait")
+	b.Label("numwait")
+	b.Read(rVal, number, rK)
+	b.JumpIfEq(rVal, rZero, "skip")
+	b.Read(rMine, number, rMe)
+	b.JumpIfLt(rMine, rVal, "skip") // my ticket smaller: k defers to me
+	b.JumpIfLt(rVal, rMine, "numwait")
+	// Equal tickets: smaller ID wins; skip k when me < k.
+	b.JumpIfLt(rMe, rK, "skip")
+	b.Jump("numwait")
+	b.Label("skip")
+	b.Add(rK, rK, rOne)
+	b.Jump("wait")
+	b.Label("cs")
+	b.CS()
+	b.Write(number, rMe, rZero)
+	b.Fence()
+	b.Halt()
+	return b.Build()
+}
+
+// MustPeterson is Peterson, panicking on error (the programs are static, so
+// failure is a programming bug).
+func MustPeterson(withFences bool) *Program {
+	p, err := Peterson(withFences)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustTAS is TAS, panicking on error.
+func MustTAS() *Program {
+	p, err := TAS()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustBakery is Bakery, panicking on error.
+func MustBakery(n int, weakDoorway bool) *Program {
+	p, err := Bakery(n, weakDoorway)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dekker builds Dekker's algorithm (the first two-process mutex) as a VM
+// program; withFences selects the TSO-correct variant. Like Peterson it
+// needs a store-load fence after raising its intent flag.
+func Dekker(withFences bool) (*Program, error) {
+	name := "dekker-vm"
+	if !withFences {
+		name = "dekker-nofence-vm"
+	}
+	b := NewBuilder(name)
+	wants := b.Array("wants", 2)
+	turn := b.Var("turn")
+	const (
+		rMe, rOther, rOne, rTmp, rZero = 0, 1, 2, 3, 4
+	)
+	b.Me(rMe)
+	b.Const(rOne, 1)
+	b.Const(rZero, 0)
+	b.Sub(rOther, rOne, rMe)
+	b.Write(wants, rMe, rOne) // wants[me] = 1
+	if withFences {
+		b.Fence()
+	}
+	b.Label("check")
+	b.Read(rTmp, wants, rOther)
+	b.JumpIfEq(rTmp, rZero, "enter")
+	b.Read(rTmp, turn, -1)
+	b.JumpIfEq(rTmp, rMe, "check") // my turn: keep insisting
+	// Other's turn: back off, wait for the turn, then retry.
+	b.Write(wants, rMe, rZero)
+	if withFences {
+		b.Fence()
+	}
+	b.Label("backoff")
+	b.Read(rTmp, turn, -1)
+	b.JumpIfNe(rTmp, rMe, "backoff")
+	b.Write(wants, rMe, rOne)
+	if withFences {
+		b.Fence()
+	}
+	b.Jump("check")
+	b.Label("enter")
+	b.CS()
+	b.Write(turn, -1, rOther)
+	b.Write(wants, rMe, rZero)
+	if withFences {
+		b.Fence()
+	}
+	b.Halt()
+	return b.Build()
+}
+
+// MustDekker is Dekker, panicking on error.
+func MustDekker(withFences bool) *Program {
+	p, err := Dekker(withFences)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LamportFast builds Lamport's fast mutual exclusion algorithm for n
+// processes as a VM program. Its doorway is the classic splitter (x := me;
+// check y; y := me; check x): an uncontended passage takes the fast path
+// with O(1) accesses, which is the structural seed of every adaptive
+// algorithm - and, per the paper, the reason such algorithms cannot keep
+// O(1) fences. Writes are fenced individually (the algorithm's correctness
+// needs each announcement visible before the next check).
+func LamportFast(n int) (*Program, error) {
+	b := NewBuilder("lamportfast-vm")
+	x := b.Var("x") // splitter first coordinate; holds id+1
+	y := b.Var("y") // splitter second coordinate; holds id+1, 0 = free
+	flag := b.Array("flag", n)
+	const (
+		rMe1, rK, rTmp, rOne, rN, rZero, rMe = 0, 1, 2, 3, 4, 5, 6
+	)
+	b.Me(rMe)
+	b.Const(rOne, 1)
+	b.Const(rZero, 0)
+	b.Procs(rN)
+	b.Add(rMe1, rMe, rOne) // me+1, distinguishable from the 0 init
+	b.Label("start")
+	// flag[me] := 1; x := me.
+	b.Write(flag, rMe, rOne)
+	b.Fence()
+	b.Write(x, -1, rMe1)
+	b.Fence()
+	// if y != 0: back off and retry.
+	b.Read(rTmp, y, -1)
+	b.JumpIfEq(rTmp, rZero, "yfree")
+	b.Write(flag, rMe, rZero)
+	b.Fence()
+	b.Label("ywait")
+	b.Read(rTmp, y, -1)
+	b.JumpIfNe(rTmp, rZero, "ywait")
+	b.Jump("start")
+	b.Label("yfree")
+	// y := me; if x == me: fast path into the CS.
+	b.Write(y, -1, rMe1)
+	b.Fence()
+	b.Read(rTmp, x, -1)
+	b.JumpIfEq(rTmp, rMe1, "cs")
+	// Slow path: step back, wait for every announced process, and check
+	// whether we still own y.
+	b.Write(flag, rMe, rZero)
+	b.Fence()
+	b.Const(rK, 0)
+	b.Label("scan")
+	b.JumpIfEq(rK, rN, "scandone")
+	b.Label("flagwait")
+	b.Read(rTmp, flag, rK)
+	b.JumpIfEq(rTmp, rOne, "flagwait")
+	b.Add(rK, rK, rOne)
+	b.Jump("scan")
+	b.Label("scandone")
+	b.Read(rTmp, y, -1)
+	b.JumpIfEq(rTmp, rMe1, "cs")
+	b.Label("ywait2")
+	b.Read(rTmp, y, -1)
+	b.JumpIfNe(rTmp, rZero, "ywait2")
+	b.Jump("start")
+	b.Label("cs")
+	b.CS()
+	// Exit: y := 0; flag[me] := 0.
+	b.Write(y, -1, rZero)
+	b.Write(flag, rMe, rZero)
+	b.Fence()
+	b.Halt()
+	return b.Build()
+}
+
+// MustLamportFast is LamportFast, panicking on error.
+func MustLamportFast(n int) *Program {
+	p, err := LamportFast(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Lookup returns the VM program registered under name, instantiated for n
+// processes where the program is size-parametric.
+func Lookup(name string, n int) (*Program, error) {
+	switch name {
+	case "peterson":
+		return Peterson(true)
+	case "peterson-nofence":
+		return Peterson(false)
+	case "dekker":
+		return Dekker(true)
+	case "dekker-nofence":
+		return Dekker(false)
+	case "tas":
+		return TAS()
+	case "bakery":
+		return Bakery(n, false)
+	case "bakery-weak":
+		return Bakery(n, true)
+	case "lamportfast":
+		return LamportFast(n)
+	default:
+		return nil, fmt.Errorf("vmprog: unknown program %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the registered VM program names.
+func Names() []string {
+	return []string{
+		"bakery", "bakery-weak", "dekker", "dekker-nofence",
+		"lamportfast", "peterson", "peterson-nofence", "tas",
+	}
+}
