@@ -6,6 +6,7 @@
 package priceadaptive_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -28,7 +29,7 @@ func BenchmarkE1Construction(b *testing.B) {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			var forced int
 			for i := 0; i < b.N; i++ {
-				res, err := adversary.Run(adversary.Config{
+				res, err := adversary.Run(context.Background(), adversary.Config{
 					N:         n,
 					Algorithm: mutex.Build(mutex.NewSynthetic),
 					F:         bounds.Affine{A: 16, C: 10},
@@ -50,7 +51,7 @@ func BenchmarkE2FencesForced(b *testing.B) {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
 			var forced int
 			for i := 0; i < b.N; i++ {
-				res, err := adversary.Run(adversary.Config{
+				res, err := adversary.Run(context.Background(), adversary.Config{
 					N:         n,
 					Algorithm: mutex.Build(mutex.NewSynthetic),
 					F:         bounds.Affine{A: 16, C: 10},
@@ -133,7 +134,7 @@ func BenchmarkE5ExpBound(b *testing.B) {
 // counter costs one counter operation plus O(1) fences.
 func BenchmarkE6Reduction(b *testing.B) {
 	rep := func() *core.Report {
-		r, err := core.E6Reduction(8)
+		r, err := core.E6Reduction(context.Background(), 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +294,7 @@ func BenchmarkBoundsForcedFences(b *testing.B) {
 func BenchmarkModelChecker(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep, err := check.Exhaustive{CollapseSpins: true, MaxStates: 500000, MaxDepth: 256}.
-			Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
+			Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,13 +310,13 @@ func BenchmarkModelChecker(b *testing.B) {
 func BenchmarkViolationMinimization(b *testing.B) {
 	cfg := tso.Config{N: 2, Ordering: tso.PSO}
 	rep, err := check.Exhaustive{CollapseSpins: true, MaxStates: 300000, MaxDepth: 256}.
-		Verify(cfg, mutex.Build(mutex.NewBakeryWeakDoorway))
+		Verify(context.Background(), cfg, mutex.Build(mutex.NewBakeryWeakDoorway))
 	if err != nil || rep.Violation == nil {
 		b.Fatalf("no violation: %v", err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		min, err := check.Minimize(cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
+		min, err := check.Minimize(context.Background(), cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -327,7 +328,7 @@ func BenchmarkViolationMinimization(b *testing.B) {
 // adaptive CAS-chain lock.
 func BenchmarkE10Adaptivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := core.E10Adaptivity([]int{16, 64}, []int{1, 4, 8})
+		rep, err := core.E10Adaptivity(context.Background(), []int{16, 64}, []int{1, 4, 8})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,7 +378,7 @@ func BenchmarkFastVsReplayChecker(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := eng.Check(0)
+			res, err := eng.Check(context.Background(), 0)
 			if err != nil || !res.Complete || res.Violation {
 				b.Fatalf("%v %+v", err, res)
 			}
@@ -387,7 +388,7 @@ func BenchmarkFastVsReplayChecker(b *testing.B) {
 	b.Run("replay-based", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rep, err := check.Exhaustive{CollapseSpins: true, MaxStates: 500000, MaxDepth: 256}.
-				Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
+				Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
 			if err != nil || !rep.Complete || rep.Violation != nil {
 				b.Fatalf("%v %+v", err, rep)
 			}
@@ -399,7 +400,7 @@ func BenchmarkFastVsReplayChecker(b *testing.B) {
 // BenchmarkE11VerificationMatrix measures the full verification matrix.
 func BenchmarkE11VerificationMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := core.E11VerificationMatrix()
+		rep, err := core.E11VerificationMatrix(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"priceadaptive/internal/check"
 	"priceadaptive/internal/mutex"
@@ -40,7 +42,16 @@ func run() error {
 	engine := flag.String("engine", "replay", "checker engine: replay (goroutine simulator, any registered lock) or fast (VM programs only; complete verification)")
 	save := flag.String("save", "", "write a found violation's minimized schedule to this file")
 	replay := flag.String("replay", "", "replay a saved schedule instead of searching")
+	timeout := flag.Duration("timeout", 0, "abort the search after this wall-clock time (0 = no limit); Ctrl-C also cancels")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	factory, err := mutex.Lookup(*alg)
 	if err != nil {
@@ -75,14 +86,17 @@ func run() error {
 		cfg.Ordering = tso.PSO
 	}
 	if *engine == "fast" {
-		return runFast(*alg, *n, cfg.Ordering == tso.PSO, *maxStates, *save)
+		return runFast(ctx, *alg, *n, cfg.Ordering == tso.PSO, *maxStates, *save)
 	}
 	rep, err := check.Exhaustive{
 		MaxStates:     *maxStates,
 		MaxDepth:      *maxDepth,
 		CollapseSpins: *collapse,
-	}.Verify(cfg, build)
+	}.Verify(ctx, cfg, build)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("search aborted: %w", err)
+		}
 		return err
 	}
 	fmt.Printf("%s, N=%d, %s: explored %d states (%d decisions), complete=%v\n",
@@ -96,7 +110,7 @@ func run() error {
 		return nil
 	}
 	fmt.Printf("VIOLATION: %v\n", rep.Violation)
-	min, err := check.Minimize(cfg, build, rep.Schedule)
+	min, err := check.Minimize(ctx, cfg, build, rep.Schedule)
 	if err != nil {
 		return err
 	}
@@ -128,7 +142,7 @@ func run() error {
 // runFast verifies a VM program with the fast clonable-state engine:
 // complete exploration of the reachable state space, and delta-debugging
 // minimization of any counterexample.
-func runFast(alg string, n int, pso bool, maxStates int, save string) error {
+func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, save string) error {
 	prog, err := vmprog.Lookup(alg, n)
 	if err != nil {
 		return err
@@ -137,7 +151,7 @@ func runFast(alg string, n int, pso bool, maxStates int, save string) error {
 	if err != nil {
 		return err
 	}
-	res, err := eng.Check(maxStates)
+	res, err := eng.Check(ctx, maxStates)
 	if err != nil {
 		return err
 	}

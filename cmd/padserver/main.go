@@ -1,0 +1,95 @@
+// Command padserver is the long-running experiment job-queue service: it
+// executes the E1..E11 experiment runners and bounded model-check runs on a
+// parallel worker pool, persists every job spec, status transition and
+// result artifact to a content-addressed on-disk store, and serves the queue
+// over HTTP/JSON.
+//
+// Identical submissions (same kind, params and code version) are served from
+// the artifact cache without re-running. On startup the store is rescanned:
+// jobs left queued or running by a crashed or killed process are re-queued,
+// and orphaned artifact directories are reconciled.
+//
+// Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, DELETE /jobs/{id},
+// GET /healthz, GET /metrics. See the README for an example curl session.
+//
+// Usage:
+//
+//	padserver [-addr :8080] [-data padserver-data] [-parallel N] [-timeout 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"priceadaptive/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "padserver-data", "artifact-store directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+	timeout := flag.Duration("timeout", 0, "default per-job execution timeout (0 = unbounded; specs may set their own)")
+	flag.Parse()
+	if err := run(*addr, *data, *parallel, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "padserver:", err)
+		os.Exit(1)
+	}
+}
+
+// newQueue opens the store and assembles the recovered, registered queue;
+// shared with the integration test.
+func newQueue(data string, parallel int, timeout time.Duration) (*jobs.Queue, error) {
+	store, err := jobs.Open(data)
+	if err != nil {
+		return nil, err
+	}
+	q := jobs.New(store, jobs.Options{Workers: parallel, DefaultTimeout: timeout})
+	jobs.RegisterBuiltins(q)
+	requeued, err := q.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if requeued > 0 {
+		log.Printf("recovered %d interrupted job(s) from %s", requeued, data)
+	}
+	return q, nil
+}
+
+func run(addr, data string, parallel int, timeout time.Duration) error {
+	q, err := newQueue(data, parallel, timeout)
+	if err != nil {
+		return err
+	}
+	q.Start()
+
+	srv := &http.Server{Addr: addr, Handler: jobs.NewHandler(q)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("padserver: %d workers, store %s, listening on %s", q.Workers(), data, addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("padserver: shutting down (in-flight jobs finish; queued jobs recover on next start)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	q.Close()
+	return nil
+}

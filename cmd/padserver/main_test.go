@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/jobs"
+)
+
+// startServer assembles the same queue+handler stack main serves, on an
+// httptest listener, with an extra blocking kind for cancellation tests.
+func startServer(t *testing.T, dir string) (*httptest.Server, *jobs.Queue) {
+	t.Helper()
+	q, err := newQueue(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	q.Start()
+	srv := httptest.NewServer(jobs.NewHandler(q))
+	t.Cleanup(func() {
+		srv.Close()
+		q.Close()
+	})
+	return srv, q
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type jobReply struct {
+	jobs.Status
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func pollUntil(t *testing.T, url string, want func(jobReply) bool) jobReply {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var jr jobReply
+		if code := doJSON(t, http.MethodGet, url, nil, &jr); code != http.StatusOK {
+			t.Fatalf("GET %s: %d", url, code)
+		}
+		if want(jr) {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poll %s: stuck at %s (%s)", url, jr.State, jr.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerSubmitPollResult drives the full happy path over HTTP: submit an
+// experiment, poll to completion, read the report artifact, and hit the
+// cache on an identical resubmission.
+func TestServerSubmitPollResult(t *testing.T) {
+	srv, _ := startServer(t, t.TempDir())
+	spec := jobs.Spec{Kind: jobs.KindExperiment, Params: json.RawMessage(`{"id":"e4"}`)}
+
+	var sub jobReply
+	if code := doJSON(t, http.MethodPost, srv.URL+"/jobs", spec, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	if sub.Cached || sub.ID == "" {
+		t.Fatalf("fresh submit: %+v", sub)
+	}
+
+	jr := pollUntil(t, srv.URL+"/jobs/"+sub.ID, func(j jobReply) bool { return j.State.Terminal() })
+	if jr.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", jr.State, jr.Error)
+	}
+	var rep struct {
+		ID   string     `json:"id"`
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(jr.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E4" || len(rep.Rows) == 0 {
+		t.Errorf("result artifact: id=%q rows=%d", rep.ID, len(rep.Rows))
+	}
+
+	// Identical resubmission (different whitespace): served from cache.
+	var again jobReply
+	code := doJSON(t, http.MethodPost, srv.URL+"/jobs",
+		jobs.Spec{Kind: jobs.KindExperiment, Params: json.RawMessage(` {"id": "e4"} `)}, &again)
+	if code != http.StatusOK || !again.Cached || again.ID != sub.ID {
+		t.Fatalf("resubmit: code=%d cached=%v id=%s want %s", code, again.Cached, again.ID, sub.ID)
+	}
+
+	var metrics struct {
+		CacheHits int     `json:"cache_hits"`
+		Rate      float64 `json:"cache_hit_rate"`
+		Kinds     map[string]struct {
+			Runs int `json:"runs"`
+		} `json:"kinds"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/metrics", nil, &metrics); code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	if metrics.CacheHits != 1 || metrics.Rate == 0 {
+		t.Errorf("metrics: %+v", metrics)
+	}
+	if metrics.Kinds[jobs.KindExperiment].Runs != 1 {
+		t.Errorf("experiment runs: %+v", metrics.Kinds)
+	}
+
+	var list struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/jobs?state=done", nil, &list); code != http.StatusOK {
+		t.Fatalf("GET /jobs: %d", code)
+	}
+	if len(list.Jobs) != 1 {
+		t.Errorf("list: %+v", list.Jobs)
+	}
+}
+
+// TestServerCancelMidRun cancels a running job over HTTP and asserts the
+// terminal state.
+func TestServerCancelMidRun(t *testing.T) {
+	srv, _ := startServer(t, t.TempDir())
+	var sub jobReply
+	if code := doJSON(t, http.MethodPost, srv.URL+"/jobs", jobs.Spec{Kind: "block"}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	url := srv.URL + "/jobs/" + sub.ID
+	pollUntil(t, url, func(j jobReply) bool { return j.State == jobs.StateRunning })
+	if code := doJSON(t, http.MethodDelete, url, nil, nil); code != http.StatusOK {
+		t.Fatalf("DELETE: %d", code)
+	}
+	jr := pollUntil(t, url, func(j jobReply) bool { return j.State.Terminal() })
+	if jr.State != jobs.StateCancelled {
+		t.Errorf("cancelled job ended %s", jr.State)
+	}
+	// Cancelling a terminal job conflicts; a missing one 404s.
+	if code := doJSON(t, http.MethodDelete, url, nil, nil); code != http.StatusConflict {
+		t.Errorf("double cancel: %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, srv.URL+"/jobs/doesnotexist", nil, nil); code != http.StatusNotFound {
+		t.Errorf("cancel missing: %d", code)
+	}
+}
+
+// TestServerModelCheckJob runs a modelcheck job end to end: the fence-free
+// Peterson lock must be refuted with a minimized counterexample schedule.
+func TestServerModelCheckJob(t *testing.T) {
+	srv, _ := startServer(t, t.TempDir())
+	params, _ := json.Marshal(jobs.ModelCheckParams{Alg: "peterson-nofence", Engine: "fast"})
+	var sub jobReply
+	if code := doJSON(t, http.MethodPost, srv.URL+"/jobs", jobs.Spec{Kind: jobs.KindModelCheck, Params: params}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	jr := pollUntil(t, srv.URL+"/jobs/"+sub.ID, func(j jobReply) bool { return j.State.Terminal() })
+	if jr.State != jobs.StateDone {
+		t.Fatalf("modelcheck job: %s (%s)", jr.State, jr.Error)
+	}
+	var res jobs.ModelCheckResult
+	if err := json.Unmarshal(jr.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated || len(res.Schedule) == 0 || res.MinimizedFrom < len(res.Schedule) {
+		t.Errorf("peterson-nofence verdict: %+v", res)
+	}
+}
+
+// TestServerHealthz checks liveness and the restart-recovery path through
+// newQueue: a server restarted over a store with an interrupted job picks it
+// up and finishes it.
+func TestServerHealthz(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := startServer(t, dir)
+	var ok map[string]bool
+	if code := doJSON(t, http.MethodGet, srv.URL+"/healthz", nil, &ok); code != http.StatusOK || !ok["ok"] {
+		t.Fatalf("healthz: %d %v", code, ok)
+	}
+}
+
+// TestServerRestartRecovery writes an interrupted experiment job into the
+// store (as a crashed server would leave it) and asserts that booting the
+// padserver stack over that store re-queues and completes it.
+func TestServerRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := jobs.Spec{Kind: jobs.KindExperiment, Params: json.RawMessage(`{"id":"e5"}`)}
+	id, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutStatus(id, jobs.Status{
+		ID: id, Kind: spec.Kind, State: jobs.StateRunning,
+		CreatedAt: time.Now().UTC(), StartedAt: time.Now().UTC(), Attempts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _ := startServer(t, dir)
+	jr := pollUntil(t, fmt.Sprintf("%s/jobs/%s", srv.URL, id), func(j jobReply) bool { return j.State.Terminal() })
+	if jr.State != jobs.StateDone {
+		t.Fatalf("recovered job: %s (%s)", jr.State, jr.Error)
+	}
+	if jr.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", jr.Attempts)
+	}
+}

@@ -1,60 +1,130 @@
-// Command priceadaptive runs the reproduction experiments (E1..E8) and
+// Command priceadaptive runs the reproduction experiments (E1..E11) and
 // prints their tables. With no arguments it runs every experiment; with
 // experiment IDs as arguments it runs just those.
 //
+// Experiments execute through the same job queue that powers cmd/padserver:
+// -parallel fans them out over a worker pool, and -cache points the queue's
+// content-addressed artifact store at a persistent directory so re-runs of
+// unchanged experiments are served from disk.
+//
 // Usage:
 //
-//	priceadaptive [e1 e2 ...]
+//	priceadaptive [-json] [-parallel N] [-cache DIR] [e1 e2 ...]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"priceadaptive/internal/core"
+	"priceadaptive/internal/jobs"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit reports as a JSON array instead of tables")
+	jsonOut := flag.Bool("json", false, "emit the experiment set and reports as one JSON object instead of tables")
+	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
+	cache := flag.String("cache", "", "persistent artifact-store directory (empty = fresh temp store, no caching across runs)")
 	flag.Parse()
-	if err := run(flag.Args(), *jsonOut); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, flag.Args(), *jsonOut, *parallel, *cache, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "priceadaptive:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, jsonOut bool) error {
+// jsonOutput is the -json payload: the experiment set actually run, in run
+// order, plus their reports.
+type jsonOutput struct {
+	Experiments []string       `json:"experiments"`
+	Reports     []*core.Report `json:"reports"`
+}
+
+func run(ctx context.Context, args []string, jsonOut bool, parallel int, cache string, w io.Writer) error {
 	registry := core.Experiments()
 	ids := args
 	if len(ids) == 0 {
 		ids = core.ExperimentIDs()
 	}
-	var reports []*core.Report
-	for _, id := range ids {
-		id = strings.ToLower(id)
-		runner, ok := registry[id]
-		if !ok {
+	for i, id := range ids {
+		ids[i] = strings.ToLower(id)
+		if _, ok := registry[ids[i]]; !ok {
 			return fmt.Errorf("unknown experiment %q (have %v)", id, core.ExperimentIDs())
 		}
-		rep, err := runner()
+	}
+
+	dir := cache
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "priceadaptive-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := jobs.Open(dir)
+	if err != nil {
+		return err
+	}
+	q := jobs.New(store, jobs.Options{Workers: parallel})
+	jobs.RegisterBuiltins(q)
+	if _, err := q.Recover(); err != nil {
+		return err
+	}
+	q.Start()
+	defer q.Close()
+
+	// Submit everything up front so the pool can run ahead, then collect in
+	// the requested order: output is byte-identical (modulo timing fields)
+	// for any -parallel value.
+	jobIDs := make([]string, len(ids))
+	for i, id := range ids {
+		params, err := json.Marshal(jobs.ExperimentParams{ID: id})
+		if err != nil {
+			return err
+		}
+		st, _, err := q.Submit(jobs.Spec{Kind: jobs.KindExperiment, Params: params})
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		jobIDs[i] = st.ID
+	}
+
+	out := jsonOutput{Experiments: ids}
+	for i, id := range ids {
+		st, err := q.Wait(ctx, jobIDs[i])
+		if err != nil {
+			return err
+		}
+		if st.State != jobs.StateDone {
+			return fmt.Errorf("%s: job %s: %s", id, st.State, st.Error)
+		}
+		raw, err := q.Result(jobIDs[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		var rep core.Report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("%s: decode report: %w", id, err)
+		}
 		if jsonOut {
-			reports = append(reports, rep)
+			out.Reports = append(out.Reports, &rep)
 			continue
 		}
-		if err := rep.Fprint(os.Stdout); err != nil {
+		if err := rep.Fprint(w); err != nil {
 			return err
 		}
 	}
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
-		return enc.Encode(reports)
+		return enc.Encode(out)
 	}
 	return nil
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 
 	"priceadaptive/internal/adversary"
@@ -45,7 +47,16 @@ func run() error {
 	advA := flag.Float64("fa", 16, "claimed adaptivity constant term (adversary mode)")
 	advC := flag.Float64("fc", 10, "claimed adaptivity slope (adversary mode)")
 	advCheck := flag.Bool("check", true, "adversary mode: assert the Lemma 6-8 invariants every phase (O(events) scans; disable for large N)")
+	timeout := flag.Duration("timeout", 0, "adversary mode: abort the construction after this wall-clock time (0 = no limit); Ctrl-C also cancels")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	factory, err := mutex.Lookup(*alg)
 	if err != nil {
@@ -61,7 +72,7 @@ func run() error {
 		if *advCheck {
 			level = adversary.CheckInvariants
 		}
-		res, err := adversary.Run(adversary.Config{
+		res, err := adversary.Run(ctx, adversary.Config{
 			N:         *n,
 			Model:     simModel,
 			Algorithm: mutex.Build(factory),

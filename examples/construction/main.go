@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 }
 
 func drive(factory mutex.Factory, n int) {
-	res, err := adversary.Run(adversary.Config{
+	res, err := adversary.Run(context.Background(), adversary.Config{
 		N:         n,
 		Algorithm: mutex.Build(factory),
 		F:         bounds.Affine{A: 16, C: 10},

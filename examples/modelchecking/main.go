@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,8 +19,7 @@ func main() {
 	// 1. The replay-based checker (goroutine engine): complete verification
 	// of every reachable TSO state of a fenced Peterson passage.
 	fmt.Println("1. fenced Peterson, TSO, goroutine-engine checker:")
-	rep, err := check.Exhaustive{CollapseSpins: true, MaxStates: 500000, MaxDepth: 256}.
-		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
+	rep, err := check.Exhaustive{CollapseSpins: true, MaxStates: 500000, MaxDepth: 256}.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tsoRes, err := tsoEng.Check(0)
+	tsoRes, err := tsoEng.Check(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	psoRes, err := psoEng.Check(0)
+	psoRes, err := psoEng.Check(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	weakRes, err := weakEng.Check(0)
+	weakRes, err := weakEng.Check(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,6 +33,7 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -196,9 +197,10 @@ var (
 )
 
 // Run executes the construction and returns its Result. The returned error
-// is non-nil only for configuration or internal failures; algorithmic
-// outcomes (certificates, violations) are reported in the Result.
-func Run(cfg Config) (*Result, error) {
+// is non-nil only for configuration or internal failures, or the context's
+// error when ctx is cancelled between induction steps; algorithmic outcomes
+// (certificates, violations) are reported in the Result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("adversary: need at least 2 processes, got %d", cfg.N)
 	}
@@ -222,6 +224,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.ctx = ctx
 	defer st.sim.Kill()
 	return st.run()
 }

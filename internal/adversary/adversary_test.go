@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"testing"
 
 	"priceadaptive/internal/bounds"
@@ -10,10 +11,10 @@ import (
 )
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := Run(Config{N: 1}); err == nil {
+	if _, err := Run(context.Background(), Config{N: 1}); err == nil {
 		t.Error("N=1 must be rejected")
 	}
-	if _, err := Run(Config{N: 4}); err == nil {
+	if _, err := Run(context.Background(), Config{N: 4}); err == nil {
 		t.Error("missing Algorithm must be rejected")
 	}
 }
@@ -21,7 +22,7 @@ func TestConfigValidation(t *testing.T) {
 func TestConstructionForcesFencesOnSyntheticLock(t *testing.T) {
 	// The synthetic lock is adaptive and read/write-only: the construction
 	// must force fences, one per induction step (Theorem 1's conclusion).
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         12,
 		Algorithm: mutex.Build(mutex.NewSynthetic),
 		F:         bounds.Affine{A: 16, C: 10},
@@ -52,7 +53,7 @@ func TestConstructionForcesFencesOnSyntheticLock(t *testing.T) {
 
 func TestConstructionFencesGrowWithN(t *testing.T) {
 	forced := func(n int) int {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			N:         n,
 			Algorithm: mutex.Build(mutex.NewSynthetic),
 			F:         bounds.Affine{A: 16, C: 10},
@@ -76,7 +77,7 @@ func TestConstructionCertifiesBakeryNonAdaptive(t *testing.T) {
 	// Bakery scans all N processes per passage: against a linear
 	// adaptivity claim with small N-independent budget, the construction
 	// must produce a non-adaptivity certificate.
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         16,
 		Algorithm: mutex.Build(mutex.NewBakery),
 		F:         bounds.Linear{C: 1},
@@ -102,7 +103,7 @@ func TestConstructionCertifiesBakeryNonAdaptive(t *testing.T) {
 }
 
 func TestConstructionRejectsCASAlgorithms(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         4,
 		Algorithm: mutex.Build(mutex.NewCASChain),
 		F:         bounds.Linear{C: 2},
@@ -119,7 +120,7 @@ func TestConstructionDetectsExclusionViolation(t *testing.T) {
 	broken := func(sim *tso.Simulator) (tso.Program, error) {
 		return func(p *tso.Proc) { p.CS() }, nil
 	}
-	res, err := Run(Config{N: 4, Algorithm: broken, F: bounds.Linear{C: 1}})
+	res, err := Run(context.Background(), Config{N: 4, Algorithm: broken, F: bounds.Linear{C: 1}})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -140,7 +141,7 @@ func TestConstructionDetectsNonObstructionFreedom(t *testing.T) {
 			p.CS()
 		}, nil
 	}
-	res, err := Run(Config{N: 3, Algorithm: stuck, F: bounds.Linear{C: 2}, SoloBudget: 500})
+	res, err := Run(context.Background(), Config{N: 3, Algorithm: stuck, F: bounds.Linear{C: 2}, SoloBudget: 500})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -150,7 +151,7 @@ func TestConstructionDetectsNonObstructionFreedom(t *testing.T) {
 }
 
 func TestConstructionMaxInductionCap(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:            10,
 		Algorithm:    mutex.Build(mutex.NewSynthetic),
 		F:            bounds.Affine{A: 16, C: 10},
@@ -168,7 +169,7 @@ func TestConstructionMaxInductionCap(t *testing.T) {
 }
 
 func TestPhaseRecordsShape(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:            8,
 		Algorithm:    mutex.Build(mutex.NewSynthetic),
 		F:            bounds.Affine{A: 16, C: 10},
@@ -204,7 +205,7 @@ func TestStopReasonStrings(t *testing.T) {
 }
 
 func TestConstructionDSMModel(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         8,
 		Model:     tso.DSM,
 		Algorithm: mutex.Build(mutex.NewSynthetic),
@@ -238,7 +239,7 @@ func TestConstructionCertifiesAllNonAdaptiveReadWriteLocks(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := Run(Config{
+			res, err := Run(context.Background(), Config{
 				N:         tc.n,
 				Algorithm: mutex.Build(tc.factory),
 				F:         bounds.Linear{C: 1},
@@ -262,7 +263,7 @@ func TestConstructionSyntheticWithFullChecksAtLargerN(t *testing.T) {
 	if testing.Short() {
 		t.Skip("heavier invariant checking")
 	}
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         20,
 		Algorithm: mutex.Build(mutex.NewSynthetic),
 		F:         bounds.Affine{A: 16, C: 10},
@@ -287,7 +288,7 @@ func TestConstructionAgainstVMPrograms(t *testing.T) {
 	// VM lock programs are first-class victims: the construction drives
 	// the adapted bakery VM program to a non-adaptivity certificate just
 	// like its native Go twin.
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         10,
 		Algorithm: vmprog.Adapt(vmprog.MustBakery(10, false)),
 		F:         bounds.Linear{C: 1},
@@ -303,7 +304,7 @@ func TestConstructionAgainstVMPrograms(t *testing.T) {
 }
 
 func TestConstructionCertifiesBurnsLynch(t *testing.T) {
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         10,
 		Algorithm: mutex.Build(mutex.NewBurnsLynch),
 		F:         bounds.Linear{C: 1},
@@ -321,7 +322,7 @@ func TestWitnessExtractionVerified(t *testing.T) {
 	// The final step of Theorem 1's proof: the extracted witness execution
 	// must have total contention FencesForced+1 with the witness having
 	// completed FencesForced fences mid-passage.
-	res, err := Run(Config{
+	res, err := Run(context.Background(), Config{
 		N:         14,
 		Algorithm: mutex.Build(mutex.NewSynthetic),
 		F:         bounds.Affine{A: 16, C: 10},

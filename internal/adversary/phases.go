@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,7 @@ func (e *stopError) Error() string { return "adversary: stopped: " + e.reason.St
 
 // state carries the construction through its phases.
 type state struct {
+	ctx context.Context
 	cfg Config
 	sim *tso.Simulator
 	// act is the current active (and invisible) set, sorted ascending.
@@ -70,6 +72,9 @@ func newState(cfg Config) (*state, error) {
 func (st *state) run() (*Result, error) {
 	err := func() error {
 		for i := 0; ; i++ {
+			if err := st.ctx.Err(); err != nil {
+				return err
+			}
 			if len(st.act) == 0 {
 				return &stopError{reason: StopActiveExhausted}
 			}

@@ -13,6 +13,7 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -57,8 +58,9 @@ type Exhaustive struct {
 // iterative-deepening depth-first search with trace deduplication, so
 // shallow violations are found before deep spin paths are chased. It stops
 // at the first exclusion violation, when the state space is exhausted within
-// MaxDepth, or when the state budget is hit.
-func (e Exhaustive) Verify(cfg tso.Config, build tso.Build) (*ExhaustiveReport, error) {
+// MaxDepth, when the state budget is hit, or when ctx is cancelled or times
+// out (in which case the context's error is returned).
+func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build) (*ExhaustiveReport, error) {
 	if e.MaxStates <= 0 {
 		e.MaxStates = 100000
 	}
@@ -72,10 +74,13 @@ func (e Exhaustive) Verify(cfg tso.Config, build tso.Build) (*ExhaustiveReport, 
 	// just past one limit but get buried under an exploding subtree at the
 	// next power of two.
 	for limit := 16; ; limit = limit * 3 / 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if limit > e.MaxDepth {
 			limit = e.MaxDepth
 		}
-		it := &iteration{cfg: cfg, build: build, rep: rep, limit: limit, maxStates: e.MaxStates, collapse: e.CollapseSpins, seen: make(map[uint64]bool)}
+		it := &iteration{ctx: ctx, cfg: cfg, build: build, rep: rep, limit: limit, maxStates: e.MaxStates, collapse: e.CollapseSpins, seen: make(map[uint64]bool)}
 		sim, err := tso.NewSimulator(cfg, build)
 		if err != nil {
 			return nil, err
@@ -111,6 +116,7 @@ func (e Exhaustive) Verify(cfg tso.Config, build tso.Build) (*ExhaustiveReport, 
 
 // iteration is one depth-limited pass of the iterative-deepening search.
 type iteration struct {
+	ctx       context.Context
 	cfg       tso.Config
 	build     tso.Build
 	rep       *ExhaustiveReport
@@ -120,9 +126,17 @@ type iteration struct {
 	seen      map[uint64]bool
 	states    int
 	pruned    bool
+	// polls counts dfs entries so the context is polled every few hundred
+	// nodes instead of on each one.
+	polls int
 }
 
 func (it *iteration) dfs(sim *tso.Simulator, depth int) (*tso.Simulator, error) {
+	if it.polls++; it.polls&0xff == 0 {
+		if err := it.ctx.Err(); err != nil {
+			return sim, err
+		}
+	}
 	if v := sim.ExclusionViolation(); v != nil {
 		it.rep.Violation = v
 		it.rep.Schedule = append([]tso.Decision(nil), sim.Execution().Schedule...)
@@ -281,8 +295,9 @@ var ErrViolation = errors.New("check: exclusion violated")
 
 // Sweep runs the program under R random schedules (seeds 1..R) plus
 // round-robin and sequential, returning ErrViolation (wrapped with the
-// schedule detail) on the first violation.
-func Sweep(cfg tso.Config, build tso.Build, seeds int, budget int) error {
+// schedule detail) on the first violation. Cancelling ctx stops the sweep
+// between schedules.
+func Sweep(ctx context.Context, cfg tso.Config, build tso.Build, seeds int, budget int) error {
 	scheds := []struct {
 		name  string
 		sched tso.Scheduler
@@ -297,6 +312,9 @@ func Sweep(cfg tso.Config, build tso.Build, seeds int, budget int) error {
 		}{fmt.Sprintf("random(seed=%d)", s), tso.NewRandom(int64(s), 0.3)})
 	}
 	for _, sc := range scheds {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sim, err := tso.NewSimulator(cfg, build)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestExhaustiveFindsPetersonNoFenceViolation(t *testing.T) {
-	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences))
+	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,8 +36,7 @@ func TestExhaustiveVerifiesFencedPeterson(t *testing.T) {
 	// With spin collapsing the reachable state space of the fenced
 	// Peterson lock is finite, so the verification must be COMPLETE: no
 	// TSO schedule of one passage each violates exclusion.
-	rep, err := Exhaustive{MaxStates: 500000, MaxDepth: 256, CollapseSpins: true}.
-		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
+	rep, err := Exhaustive{MaxStates: 500000, MaxDepth: 256, CollapseSpins: true}.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPeterson))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +50,7 @@ func TestExhaustiveVerifiesFencedPeterson(t *testing.T) {
 }
 
 func TestExhaustiveVerifiesTAS(t *testing.T) {
-	rep, err := Exhaustive{MaxStates: 200000, MaxDepth: 256, CollapseSpins: true}.
-		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewTAS))
+	rep, err := Exhaustive{MaxStates: 200000, MaxDepth: 256, CollapseSpins: true}.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewTAS))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +75,7 @@ func TestExhaustiveStateDeduplication(t *testing.T) {
 			p.CS()
 		}, nil
 	}
-	rep, err := Exhaustive{}.Verify(tso.Config{N: 2, AllowConcurrentCS: true}, build)
+	rep, err := Exhaustive{}.Verify(context.Background(), tso.Config{N: 2, AllowConcurrentCS: true}, build)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,13 +90,13 @@ func TestExhaustiveStateDeduplication(t *testing.T) {
 }
 
 func TestSweepPassesForCorrectLock(t *testing.T) {
-	if err := Sweep(tso.Config{N: 3}, mutex.Build(mutex.NewBakery), 5, 2_000_000); err != nil {
+	if err := Sweep(context.Background(), tso.Config{N: 3}, mutex.Build(mutex.NewBakery), 5, 2_000_000); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSweepCatchesBrokenLock(t *testing.T) {
-	err := Sweep(tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences), 5, 100000)
+	err := Sweep(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences), 5, 100000)
 	if !errors.Is(err, ErrViolation) {
 		t.Fatalf("err = %v, want ErrViolation", err)
 	}

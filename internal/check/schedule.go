@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -116,8 +117,9 @@ func Reproduces(cfg tso.Config, build tso.Build, sched []tso.Decision) (bool, er
 // Minimize shrinks a violating schedule by greedy delta-debugging: it
 // repeatedly tries removing decisions (suffix first, then one by one) while
 // the violation still reproduces. The result is 1-minimal: removing any
-// single remaining decision loses the violation.
-func Minimize(cfg tso.Config, build tso.Build, sched []tso.Decision) ([]tso.Decision, error) {
+// single remaining decision loses the violation. Cancelling ctx aborts the
+// search between candidate replays.
+func Minimize(ctx context.Context, cfg tso.Config, build tso.Build, sched []tso.Decision) ([]tso.Decision, error) {
 	cur := append([]tso.Decision(nil), sched...)
 	ok, err := Reproduces(cfg, build, cur)
 	if err != nil {
@@ -142,6 +144,9 @@ func Minimize(cfg tso.Config, build tso.Build, sched []tso.Decision) ([]tso.Deci
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(cur); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cand := make([]tso.Decision, 0, len(cur)-1)
 			cand = append(cand, cur[:i]...)
 			cand = append(cand, cur[i+1:]...)

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"bytes"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func findViolation(t *testing.T) (tso.Config, []tso.Decision) {
 	t.Helper()
 	cfg := tso.Config{N: 2}
-	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(cfg, mutex.Build(mutex.NewPetersonNoFences))
+	rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.Verify(context.Background(), cfg, mutex.Build(mutex.NewPetersonNoFences))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestLoadScheduleRejectsGarbage(t *testing.T) {
 
 func TestMinimizeShrinksViolation(t *testing.T) {
 	cfg, sched := findViolation(t)
-	min, err := Minimize(cfg, mutex.Build(mutex.NewPetersonNoFences), sched)
+	min, err := Minimize(context.Background(), cfg, mutex.Build(mutex.NewPetersonNoFences), sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMinimizeShrinksViolation(t *testing.T) {
 func TestMinimizeRejectsNonViolating(t *testing.T) {
 	cfg := tso.Config{N: 2}
 	// An empty schedule does not violate.
-	if _, err := Minimize(cfg, mutex.Build(mutex.NewPeterson), nil); err == nil {
+	if _, err := Minimize(context.Background(), cfg, mutex.Build(mutex.NewPeterson), nil); err == nil {
 		t.Error("non-violating schedule must be rejected")
 	}
 }
@@ -96,7 +97,7 @@ func TestMinimizeRejectsNonViolating(t *testing.T) {
 func TestReproducesAppliesPSOSchedules(t *testing.T) {
 	cfg := tso.Config{N: 2, Ordering: tso.PSO}
 	rep, err := Exhaustive{MaxStates: 100000, MaxDepth: 64, CollapseSpins: true}.
-		Verify(cfg, mutex.Build(mutex.NewBakeryWeakDoorway))
+		Verify(context.Background(), cfg, mutex.Build(mutex.NewBakeryWeakDoorway))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestReproducesAppliesPSOSchedules(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("PSO schedule does not reproduce: %v %v", ok, err)
 	}
-	min, err := Minimize(cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
+	min, err := Minimize(context.Background(), cfg, mutex.Build(mutex.NewBakeryWeakDoorway), rep.Schedule)
 	if err != nil {
 		t.Fatal(err)
 	}

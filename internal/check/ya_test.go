@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"testing"
 
 	"priceadaptive/internal/mutex"
@@ -12,11 +13,10 @@ import (
 // exhaustive pass (the full state space is large; the budget covers the
 // racy doorway interleavings that matter).
 func TestYangAndersonChecked(t *testing.T) {
-	if err := Sweep(tso.Config{N: 2, Passages: 2}, mutex.Build(mutex.NewYangAnderson), 15, 1_000_000); err != nil {
+	if err := Sweep(context.Background(), tso.Config{N: 2, Passages: 2}, mutex.Build(mutex.NewYangAnderson), 15, 1_000_000); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Exhaustive{MaxStates: 30000, MaxDepth: 128, CollapseSpins: true}.
-		Verify(tso.Config{N: 2}, mutex.Build(mutex.NewYangAnderson))
+	rep, err := Exhaustive{MaxStates: 30000, MaxDepth: 128, CollapseSpins: true}.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewYangAnderson))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestExperimentRegistry(t *testing.T) {
 }
 
 func TestE1ConstructionReport(t *testing.T) {
-	rep, err := E1Construction(10)
+	rep, err := E1Construction(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestE1ConstructionReport(t *testing.T) {
 }
 
 func TestE2FencesForcedGrowth(t *testing.T) {
-	rep, err := E2FencesForced([]int{4, 16})
+	rep, err := E2FencesForced(context.Background(), []int{4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestE2FencesForcedGrowth(t *testing.T) {
 }
 
 func TestE3SeparationShape(t *testing.T) {
-	rep, err := E3Separation([]int{2, 8})
+	rep, err := E3Separation(context.Background(), []int{2, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestE4E5BoundTables(t *testing.T) {
 }
 
 func TestE6ReductionConstantOverhead(t *testing.T) {
-	rep, err := E6Reduction(6)
+	rep, err := E6Reduction(context.Background(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestE6ReductionConstantOverhead(t *testing.T) {
 }
 
 func TestE7RMRShape(t *testing.T) {
-	rep, err := E7RMRModels([]int{2, 8})
+	rep, err := E7RMRModels(context.Background(), []int{2, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestE7RMRShape(t *testing.T) {
 }
 
 func TestE8FenceElision(t *testing.T) {
-	rep, err := E8FenceElision(10)
+	rep, err := E8FenceElision(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestAllDefaultRunnersSmoke(t *testing.T) {
 		t.Skip("runs every experiment at default size")
 	}
 	for id, run := range Experiments() {
-		rep, err := run()
+		rep, err := run(context.Background())
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue
@@ -204,7 +205,7 @@ func TestAllDefaultRunnersSmoke(t *testing.T) {
 }
 
 func TestE9PSOSeparation(t *testing.T) {
-	rep, err := E9PSOSeparation([]float64{16, 1 << 10}, 2)
+	rep, err := E9PSOSeparation(context.Background(), []float64{16, 1 << 10}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestE9PSOSeparation(t *testing.T) {
 }
 
 func TestE10AdaptivityShape(t *testing.T) {
-	rep, err := E10Adaptivity([]int{8, 32}, []int{1, 4})
+	rep, err := E10Adaptivity(context.Background(), []int{8, 32}, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,8 +25,8 @@ func victimF() bounds.AdaptivityFunc { return bounds.Affine{A: 16, C: 10} }
 // construction, with per-phase active-set sizes, iteration counts
 // (the paper's s, t, m) and erasures, running against the adaptive
 // read/write lock.
-func E1Construction(n int) (*Report, error) {
-	res, err := adversary.Run(adversary.Config{
+func E1Construction(ctx context.Context, n int) (*Report, error) {
+	res, err := adversary.Run(ctx, adversary.Config{
 		N:         n,
 		Algorithm: mutex.Build(mutex.NewSynthetic),
 		F:         victimF(),
@@ -56,14 +57,14 @@ func E1Construction(n int) (*Report, error) {
 // E2FencesForced regenerates the content of Theorem 1 / Theorem 3: for
 // growing N, the number of fences the construction forces on the adaptive
 // victim, alongside the Theorem 3 lower bound on the surviving active set.
-func E2FencesForced(ns []int) (*Report, error) {
+func E2FencesForced(ctx context.Context, ns []int) (*Report, error) {
 	rep := &Report{
 		ID:     "E2",
 		Title:  "fences forced by the construction vs N (Theorem 1), victim=synthetic",
 		Header: []string{"N", "fences forced", "witness contention", "witness verified", "l_i (crit/active)", "|Act| remaining", "log2 Thm3 bound", "stop"},
 	}
 	for _, n := range ns {
-		res, err := adversary.Run(adversary.Config{
+		res, err := adversary.Run(ctx, adversary.Config{
 			N:         n,
 			Algorithm: mutex.Build(mutex.NewSynthetic),
 			F:         victimF(),
@@ -92,7 +93,7 @@ func E2FencesForced(ns []int) (*Report, error) {
 // fence complexity per passage as a function of contention k for the
 // adaptive locks (growing) versus the non-adaptive constant-fence lock
 // (flat) versus the Θ(log N) tournament.
-func E3Separation(ks []int) (*Report, error) {
+func E3Separation(ctx context.Context, ks []int) (*Report, error) {
 	rep := &Report{
 		ID:     "E3",
 		Title:  "fences/passage vs contention k (Corollary 1 separation)",
@@ -114,6 +115,9 @@ func E3Separation(ks []int) (*Report, error) {
 	for _, c := range cases {
 		row := []string{c.name, c.profile}
 		for _, k := range ks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sim, err := tso.NewSimulator(tso.Config{N: k}, mutex.Build(c.factory))
 			if err != nil {
 				return nil, fmt.Errorf("core: E3 %s k=%d: %w", c.name, k, err)
@@ -175,7 +179,7 @@ func boundReport(id, title string, fn bounds.AdaptivityFunc, log2Ns []float64, r
 // (Algorithm 1) has the fence and RMR complexity of a single counter
 // operation plus a constant, for each counter backend (direct CAS, locked,
 // queue-backed, stack-backed).
-func E6Reduction(n int) (*Report, error) {
+func E6Reduction(ctx context.Context, n int) (*Report, error) {
 	rep := &Report{
 		ID:     "E6",
 		Title:  fmt.Sprintf("Lemma 9 / Algorithm 1: one-time mutex from counter/queue/stack, N=%d", n),
@@ -226,6 +230,9 @@ func E6Reduction(n int) (*Report, error) {
 		}},
 	}
 	for _, b := range backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sim, err := tso.NewSimulator(tso.Config{N: n}, b.build)
 		if err != nil {
 			return nil, fmt.Errorf("core: E6 %s: %w", b.name, err)
@@ -259,7 +266,7 @@ func passage(l mutex.Lock) tso.Program {
 // E7RMRModels regenerates the Section 2 cost-model comparison: RMRs per
 // passage for representative locks under DSM, CC write-through and CC
 // write-back.
-func E7RMRModels(ns []int) (*Report, error) {
+func E7RMRModels(ctx context.Context, ns []int) (*Report, error) {
 	rep := &Report{
 		ID:     "E7",
 		Title:  "RMRs/passage across machine models (Section 2)",
@@ -280,6 +287,9 @@ func E7RMRModels(ns []int) (*Report, error) {
 		for _, model := range rmr.Models() {
 			row := []string{a.name, model.String()}
 			for _, n := range ns {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				simModel := tso.CC
 				if model == rmr.ModelDSM {
 					simModel = tso.DSM
@@ -310,7 +320,7 @@ func E7RMRModels(ns []int) (*Report, error) {
 // unavoidable): Peterson's algorithm with its fences elided violates mutual
 // exclusion under TSO, while the fenced version survives the same
 // schedules.
-func E8FenceElision(seeds int) (*Report, error) {
+func E8FenceElision(ctx context.Context, seeds int) (*Report, error) {
 	rep := &Report{
 		ID:     "E8",
 		Title:  "fence elision breaks Peterson under TSO ([5], laws of order)",
@@ -334,6 +344,9 @@ func E8FenceElision(seeds int) (*Report, error) {
 		}
 		sim.Kill()
 		for seed := int64(1); seed <= int64(seeds); seed++ {
+			if err := ctx.Err(); err != nil {
+				return violations, first, err
+			}
 			sim, err := tso.NewSimulator(tso.Config{N: 2, Passages: 2}, mutex.Build(factory))
 			if err != nil {
 				return violations, first, err
@@ -386,7 +399,7 @@ func E8FenceElision(seeds int) (*Report, error) {
 //     verified exclusion-safe under every TSO schedule by the bounded model
 //     checker, and broken by a PSO schedule that commits the choosing flag
 //     before the ticket.
-func E9PSOSeparation(log2Ns []float64, n int) (*Report, error) {
+func E9PSOSeparation(ctx context.Context, log2Ns []float64, n int) (*Report, error) {
 	rep := &Report{
 		ID:     "E9",
 		Title:  "TSO vs PSO separation (Section 6 discussion, Inequality 3)",
@@ -421,7 +434,7 @@ func E9PSOSeparation(log2Ns []float64, n int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	tsoRes, err := tsoEng.Check(0)
+	tsoRes, err := tsoEng.Check(ctx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: E9 TSO check: %w", err)
 	}
@@ -429,7 +442,7 @@ func E9PSOSeparation(log2Ns []float64, n int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	psoRes, err := psoEng.Check(0)
+	psoRes, err := psoEng.Check(ctx, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: E9 PSO check: %w", err)
 	}
@@ -458,7 +471,7 @@ func E9PSOSeparation(log2Ns []float64, n int) (*Report, error) {
 // and each participant count k, only k of the N processes run; the table
 // reports the maximum critical events of any passage. Adaptive rows must be
 // identical across N; non-adaptive rows grow with N.
-func E10Adaptivity(ns []int, ks []int) (*Report, error) {
+func E10Adaptivity(ctx context.Context, ns []int, ks []int) (*Report, error) {
 	rep := &Report{
 		ID:     "E10",
 		Title:  "measured adaptivity functions (Definitions, Section 1/2)",
@@ -484,7 +497,7 @@ func E10Adaptivity(ns []int, ks []int) (*Report, error) {
 					row = append(row, "-")
 					continue
 				}
-				crit, err := maxCriticalWithParticipants(a.factory, n, k)
+				crit, err := maxCriticalWithParticipants(ctx, a.factory, n, k)
 				if err != nil {
 					return nil, fmt.Errorf("core: E10 %s n=%d k=%d: %w", a.name, n, k, err)
 				}
@@ -503,7 +516,7 @@ func E10Adaptivity(ns []int, ks []int) (*Report, error) {
 // maxCriticalWithParticipants runs processes 0..k-1 of an N-process lock in
 // lock-step until all complete and returns the max critical events of any
 // passage.
-func maxCriticalWithParticipants(f mutex.Factory, n, k int) (int, error) {
+func maxCriticalWithParticipants(ctx context.Context, f mutex.Factory, n, k int) (int, error) {
 	sim, err := tso.NewSimulator(tso.Config{N: n}, mutex.Build(f))
 	if err != nil {
 		return 0, err
@@ -513,6 +526,11 @@ func maxCriticalWithParticipants(f mutex.Factory, n, k int) (int, error) {
 	for guard := 0; ; guard++ {
 		if guard > 100_000_000 {
 			return 0, fmt.Errorf("lock-step run did not finish")
+		}
+		if guard&0xffff == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 		}
 		progressed := false
 		for id := tso.ProcID(0); id < tso.ProcID(k); id++ {
@@ -547,7 +565,7 @@ func maxCriticalWithParticipants(f mutex.Factory, n, k int) (int, error) {
 // repository's verification record: which algorithms are exclusion-safe
 // under which ordering, each verdict either an exhaustive proof over the
 // full reachable state space or a concrete counterexample schedule.
-func E11VerificationMatrix() (*Report, error) {
+func E11VerificationMatrix(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:     "E11",
 		Title:  "model-checking verification matrix (fast VM engine, N=2, one passage)",
@@ -573,7 +591,7 @@ func E11VerificationMatrix() (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: E11 %s: %w", p.Name, err)
 			}
-			res, err := eng.Check(4_000_000)
+			res, err := eng.Check(ctx, 4_000_000)
 			if err != nil {
 				return nil, fmt.Errorf("core: E11 %s/%s: %w", p.Name, ordering, err)
 			}

@@ -1,21 +1,22 @@
 // Package core is the public facade of the reproduction: it packages the
 // simulator, the lower-bound construction, the algorithm library, and the
-// bound calculators into the eight experiments (E1..E8) catalogued in
-// DESIGN.md and EXPERIMENTS.md, each regenerating one of the paper's
-// results.
+// bound calculators into the experiments (E1..E11) catalogued in DESIGN.md
+// and EXPERIMENTS.md, each regenerating one of the paper's results.
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"text/tabwriter"
+	"time"
 )
 
 // Report is a printable experiment result: one table plus free-form notes.
 type Report struct {
-	// ID is the experiment identifier ("E1".."E10").
+	// ID is the experiment identifier ("E1".."E11").
 	ID string `json:"id"`
 	// Title describes the paper result being regenerated.
 	Title string `json:"title"`
@@ -25,6 +26,12 @@ type Report struct {
 	Rows [][]string `json:"rows"`
 	// Notes holds free-form observations (expected shape, caveats).
 	Notes []string `json:"notes,omitempty"`
+	// StartedAt is the wall-clock time the runner began (UTC), and Duration
+	// its elapsed run time in nanoseconds. Both are populated by the
+	// registry wrappers returned from Experiments, not by direct calls to
+	// the experiment functions.
+	StartedAt time.Time     `json:"started_at,omitempty"`
+	Duration  time.Duration `json:"duration_ns,omitempty"`
 }
 
 // Fprint renders the report as an aligned table.
@@ -45,6 +52,11 @@ func (r *Report) Fprint(w io.Writer) error {
 			return err
 		}
 	}
+	if r.Duration > 0 {
+		if _, err := fmt.Fprintf(w, "took: %s\n", r.Duration.Round(10*time.Microsecond)); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
 }
@@ -56,24 +68,42 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Runner produces a report with default parameters.
-type Runner func() (*Report, error)
+// Runner produces a report with default parameters. The context cancels or
+// bounds the run: runners poll it at their loop boundaries and return its
+// error once it fires.
+type Runner func(ctx context.Context) (*Report, error)
 
 // Experiments returns the registry of all experiment runners with their
-// default parameters.
+// default parameters. Each runner stamps StartedAt and Duration on the
+// report it returns.
 func Experiments() map[string]Runner {
 	return map[string]Runner{
-		"e1":  func() (*Report, error) { return E1Construction(16) },
-		"e2":  func() (*Report, error) { return E2FencesForced([]int{4, 8, 16, 32, 64}) },
-		"e3":  func() (*Report, error) { return E3Separation([]int{2, 4, 8, 16}) },
-		"e4":  func() (*Report, error) { return E4LinearBound(defaultLog2Ns()), nil },
-		"e5":  func() (*Report, error) { return E5ExpBound(defaultLog2Ns()), nil },
-		"e6":  func() (*Report, error) { return E6Reduction(8) },
-		"e7":  func() (*Report, error) { return E7RMRModels([]int{2, 4, 8, 16}) },
-		"e8":  func() (*Report, error) { return E8FenceElision(20) },
-		"e9":  func() (*Report, error) { return E9PSOSeparation([]float64{8, 16, 32, 64, 1 << 10, 1 << 16}, 2) },
-		"e10": func() (*Report, error) { return E10Adaptivity([]int{16, 64}, []int{1, 2, 4, 8}) },
-		"e11": func() (*Report, error) { return E11VerificationMatrix() },
+		"e1":  timed(func(ctx context.Context) (*Report, error) { return E1Construction(ctx, 16) }),
+		"e2":  timed(func(ctx context.Context) (*Report, error) { return E2FencesForced(ctx, []int{4, 8, 16, 32, 64}) }),
+		"e3":  timed(func(ctx context.Context) (*Report, error) { return E3Separation(ctx, []int{2, 4, 8, 16}) }),
+		"e4":  timed(func(ctx context.Context) (*Report, error) { return E4LinearBound(defaultLog2Ns()), nil }),
+		"e5":  timed(func(ctx context.Context) (*Report, error) { return E5ExpBound(defaultLog2Ns()), nil }),
+		"e6":  timed(func(ctx context.Context) (*Report, error) { return E6Reduction(ctx, 8) }),
+		"e7":  timed(func(ctx context.Context) (*Report, error) { return E7RMRModels(ctx, []int{2, 4, 8, 16}) }),
+		"e8":  timed(func(ctx context.Context) (*Report, error) { return E8FenceElision(ctx, 20) }),
+		"e9": timed(func(ctx context.Context) (*Report, error) {
+			return E9PSOSeparation(ctx, []float64{8, 16, 32, 64, 1 << 10, 1 << 16}, 2)
+		}),
+		"e10": timed(func(ctx context.Context) (*Report, error) { return E10Adaptivity(ctx, []int{16, 64}, []int{1, 2, 4, 8}) }),
+		"e11": timed(func(ctx context.Context) (*Report, error) { return E11VerificationMatrix(ctx) }),
+	}
+}
+
+// timed wraps a runner so the report records when it ran and for how long.
+func timed(r Runner) Runner {
+	return func(ctx context.Context) (*Report, error) {
+		start := time.Now()
+		rep, err := r(ctx)
+		if err == nil && rep != nil {
+			rep.StartedAt = start.UTC()
+			rep.Duration = time.Since(start)
+		}
+		return rep, err
 	}
 }
 

@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler exposes a Queue over HTTP/JSON:
+//
+//	POST   /jobs       submit a Spec; 200 + status (cached=true) on a cache
+//	                   hit, 202 + status otherwise
+//	GET    /jobs       list statuses; ?kind= and ?state= filter
+//	GET    /jobs/{id}  status, plus the result artifact once done
+//	DELETE /jobs/{id}  cancel (queued: immediate; running: via its context)
+//	GET    /healthz    liveness
+//	GET    /metrics    MetricsSnapshot (plain JSON, expvar-style)
+func NewHandler(q *Queue) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, cached, err := q.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		code := http.StatusAccepted
+		if cached {
+			code = http.StatusOK
+		}
+		writeHTTPJSON(w, code, submitResponse{Status: st, Cached: cached})
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		state := State(r.URL.Query().Get("state"))
+		writeHTTPJSON(w, http.StatusOK, listResponse{Jobs: q.List(kind, state)})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st, err := q.Get(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		resp := jobResponse{Status: st}
+		if st.State == StateDone {
+			if raw, err := q.Result(id); err == nil {
+				resp.Result = raw
+			}
+		}
+		writeHTTPJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		err := q.Cancel(id)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			httpError(w, http.StatusNotFound, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		st, _ := q.Get(id)
+		writeHTTPJSON(w, http.StatusOK, jobResponse{Status: st})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeHTTPJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeHTTPJSON(w, http.StatusOK, q.Metrics())
+	})
+	return mux
+}
+
+type submitResponse struct {
+	Status
+	// Cached reports that the job's artifact already existed and nothing was
+	// (re)queued.
+	Cached bool `json:"cached"`
+}
+
+type jobResponse struct {
+	Status
+	// Result is the artifact, present once State == done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+type listResponse struct {
+	Jobs []Status `json:"jobs"`
+}
+
+func writeHTTPJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeHTTPJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,189 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"priceadaptive/internal/check"
+	"priceadaptive/internal/core"
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+// Built-in job kinds.
+const (
+	// KindExperiment runs one registered E1..E11 experiment and stores its
+	// core.Report as the artifact.
+	KindExperiment = "experiment"
+	// KindModelCheck runs a bounded model-check of a registered lock (replay
+	// engine) or VM program (fast engine) and stores the verdict plus the
+	// minimized counterexample schedule, if any.
+	KindModelCheck = "modelcheck"
+)
+
+// RegisterBuiltins installs the repository's job kinds on q: the experiment
+// runners and the bounded model checkers. Both cmd/padserver and
+// cmd/priceadaptive call this, so the server and the CLI execute identical
+// code paths.
+func RegisterBuiltins(q *Queue) {
+	q.Register(KindExperiment, runExperiment)
+	q.Register(KindModelCheck, runModelCheck)
+}
+
+// ExperimentParams selects one experiment by registry id ("e1".."e11").
+type ExperimentParams struct {
+	ID string `json:"id"`
+}
+
+func runExperiment(ctx context.Context, params json.RawMessage) (any, error) {
+	var p ExperimentParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("experiment params: %w", err)
+	}
+	id := strings.ToLower(p.ID)
+	runner, ok := core.Experiments()[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (have %v)", p.ID, core.ExperimentIDs())
+	}
+	return runner(ctx)
+}
+
+// ModelCheckParams configures a bounded model-check run.
+type ModelCheckParams struct {
+	// Alg names a registered mutex algorithm (replay engine) or VM program
+	// (fast engine).
+	Alg string `json:"alg"`
+	// N is the process count (default 2); Passages the passages per process
+	// (default 1, replay engine only).
+	N        int `json:"n,omitempty"`
+	Passages int `json:"passages,omitempty"`
+	// Ordering is "tso" (default) or "pso".
+	Ordering string `json:"ordering,omitempty"`
+	// Engine is "replay" (default; goroutine simulator, any registered
+	// lock) or "fast" (VM programs; complete verification).
+	Engine string `json:"engine,omitempty"`
+	// MaxStates / MaxDepth bound the search (0 = engine defaults).
+	MaxStates int `json:"max_states,omitempty"`
+	MaxDepth  int `json:"max_depth,omitempty"`
+	// CollapseSpins merges states differing only in spin iterations
+	// (replay engine; sound for pure spin-wait locks).
+	CollapseSpins bool `json:"collapse_spins,omitempty"`
+}
+
+// MCDecision is one scheduling decision of a counterexample schedule, in the
+// same encoding as check.SaveSchedule ("var" holds VarPlus1).
+type MCDecision struct {
+	P        int  `json:"p"`
+	Commit   bool `json:"commit,omitempty"`
+	VarPlus1 int  `json:"var,omitempty"`
+}
+
+// ModelCheckResult is the persisted artifact of a modelcheck job.
+type ModelCheckResult struct {
+	Alg      string `json:"alg"`
+	Engine   string `json:"engine"`
+	Ordering string `json:"ordering"`
+	N        int    `json:"n"`
+	Passages int    `json:"passages,omitempty"`
+	// States / Decisions measure the exploration; Complete reports whether
+	// the reachable state space was exhausted within the bounds.
+	States    int  `json:"states"`
+	Decisions int  `json:"decisions"`
+	Complete  bool `json:"complete"`
+	// Violated reports an exclusion violation; Schedule is its minimized
+	// reproduction and MinimizedFrom the pre-minimization length.
+	Violated      bool         `json:"violated"`
+	Schedule      []MCDecision `json:"schedule,omitempty"`
+	MinimizedFrom int          `json:"minimized_from,omitempty"`
+}
+
+func runModelCheck(ctx context.Context, params json.RawMessage) (any, error) {
+	var p ModelCheckParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("modelcheck params: %w", err)
+	}
+	if p.N <= 0 {
+		p.N = 2
+	}
+	if p.Ordering == "" {
+		p.Ordering = "tso"
+	}
+	if p.Engine == "" {
+		p.Engine = "replay"
+	}
+	pso := false
+	switch p.Ordering {
+	case "tso":
+	case "pso":
+		pso = true
+	default:
+		return nil, fmt.Errorf("unknown ordering %q", p.Ordering)
+	}
+	res := &ModelCheckResult{Alg: p.Alg, Engine: p.Engine, Ordering: p.Ordering, N: p.N, Passages: p.Passages}
+	switch p.Engine {
+	case "fast":
+		prog, err := vmprog.Lookup(p.Alg, p.N)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := vmprog.NewEngine(prog, p.N, pso)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := eng.Check(ctx, p.MaxStates)
+		if err != nil {
+			return nil, err
+		}
+		res.States, res.Decisions, res.Complete, res.Violated = rep.States, rep.Transitions, rep.Complete, rep.Violation
+		if rep.Violation {
+			min, err := eng.Minimize(rep.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			res.MinimizedFrom = len(rep.Schedule)
+			res.Schedule = toMCDecisions(min)
+		}
+	case "replay":
+		factory, err := mutex.Lookup(p.Alg)
+		if err != nil {
+			return nil, err
+		}
+		build := mutex.Build(factory)
+		cfg := tso.Config{N: p.N, Passages: p.Passages}
+		if pso {
+			cfg.Ordering = tso.PSO
+		}
+		rep, err := check.Exhaustive{
+			MaxStates:     p.MaxStates,
+			MaxDepth:      p.MaxDepth,
+			CollapseSpins: p.CollapseSpins,
+		}.Verify(ctx, cfg, build)
+		if err != nil {
+			return nil, err
+		}
+		res.States, res.Decisions, res.Complete = rep.States, rep.Decisions, rep.Complete
+		if rep.Violation != nil {
+			res.Violated = true
+			min, err := check.Minimize(ctx, cfg, build, rep.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			res.MinimizedFrom = len(rep.Schedule)
+			res.Schedule = toMCDecisions(min)
+		}
+	default:
+		return nil, fmt.Errorf("unknown engine %q", p.Engine)
+	}
+	return res, nil
+}
+
+func toMCDecisions(sched []tso.Decision) []MCDecision {
+	out := make([]MCDecision, len(sched))
+	for i, d := range sched {
+		out[i] = MCDecision{P: int(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// metrics accumulates queue-level counters. All fields are guarded by mu;
+// snapshots are cheap (the maps are tiny: one entry per job kind).
+type metrics struct {
+	mu        sync.Mutex
+	started   time.Time
+	submitted int64
+	deduped   int64
+	cacheHits int64
+	requeued  int64
+	completed int64
+	failed    int64
+	cancelled int64
+	busy      time.Duration
+	perKind   map[string]*kindCounters
+}
+
+type kindCounters struct {
+	runs     int64
+	failures int64
+	total    time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), perKind: make(map[string]*kindCounters)}
+}
+
+func (m *metrics) kind(kind string) *kindCounters {
+	kc := m.perKind[kind]
+	if kc == nil {
+		kc = &kindCounters{}
+		m.perKind[kind] = kc
+	}
+	return kc
+}
+
+func (m *metrics) add(f func(*metrics)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f(m)
+}
+
+// KindMetrics is the per-kind slice of a metrics snapshot.
+type KindMetrics struct {
+	// Runs counts completed worker executions (successful or not).
+	Runs int64 `json:"runs"`
+	// Failures counts runs that ended in a failed state.
+	Failures int64 `json:"failures"`
+	// TotalDurationMS and MeanDurationMS aggregate wall-clock run time.
+	TotalDurationMS float64 `json:"total_duration_ms"`
+	MeanDurationMS  float64 `json:"mean_duration_ms"`
+}
+
+// MetricsSnapshot is the plain-JSON payload served at GET /metrics.
+type MetricsSnapshot struct {
+	// UptimeSec is seconds since the queue started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Workers is the pool size; QueueDepth and Running are instantaneous.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// Submitted counts accepted submissions; Deduped of those joined an
+	// already queued/running job, CacheHits were served from the artifact
+	// store without running.
+	Submitted int64 `json:"submitted"`
+	Deduped   int64 `json:"deduped"`
+	CacheHits int64 `json:"cache_hits"`
+	// CacheHitRate is CacheHits / Submitted (0 when nothing submitted).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Requeued counts jobs re-queued by crash recovery.
+	Requeued int64 `json:"requeued"`
+	// Completed / Failed / Cancelled count terminal transitions.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// WorkerUtilization is busy worker-seconds over available
+	// worker-seconds since start.
+	WorkerUtilization float64 `json:"worker_utilization"`
+	// Kinds breaks runs down per job kind.
+	Kinds map[string]KindMetrics `json:"kinds"`
+}
+
+func (m *metrics) snapshot(workers, depth, running int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := time.Since(m.started)
+	snap := MetricsSnapshot{
+		UptimeSec:  up.Seconds(),
+		Workers:    workers,
+		QueueDepth: depth,
+		Running:    running,
+		Submitted:  m.submitted,
+		Deduped:    m.deduped,
+		CacheHits:  m.cacheHits,
+		Requeued:   m.requeued,
+		Completed:  m.completed,
+		Failed:     m.failed,
+		Cancelled:  m.cancelled,
+		Kinds:      make(map[string]KindMetrics, len(m.perKind)),
+	}
+	if m.submitted > 0 {
+		snap.CacheHitRate = float64(m.cacheHits) / float64(m.submitted)
+	}
+	if avail := up.Seconds() * float64(workers); avail > 0 {
+		snap.WorkerUtilization = m.busy.Seconds() / avail
+	}
+	for kind, kc := range m.perKind {
+		km := KindMetrics{
+			Runs:            kc.runs,
+			Failures:        kc.failures,
+			TotalDurationMS: float64(kc.total.Milliseconds()),
+		}
+		if kc.runs > 0 {
+			km.MeanDurationMS = km.TotalDurationMS / float64(kc.runs)
+		}
+		snap.Kinds[kind] = km
+	}
+	return snap
+}

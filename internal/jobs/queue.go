@@ -1,0 +1,486 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Runner executes one job kind. The returned value is marshaled to JSON and
+// persisted as the job's result artifact. Runners must honor ctx: a
+// cancelled or expired context means the job was cancelled or timed out and
+// the runner should return promptly (typically with ctx.Err()).
+type Runner func(ctx context.Context, params json.RawMessage) (any, error)
+
+// Options configures a Queue.
+type Options struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// DefaultTimeout bounds jobs whose spec carries no timeout; 0 means
+	// unbounded.
+	DefaultTimeout time.Duration
+}
+
+// Queue executes registered job kinds on a bounded worker pool, persisting
+// every transition to its Store. See the package comment for the lifecycle.
+type Queue struct {
+	store *Store
+	opts  Options
+	m     *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	kinds   map[string]Runner
+	jobs    map[string]*job
+	fifo    []string
+	running int
+	started bool
+	closed  bool
+	crashed bool
+	wg      sync.WaitGroup
+}
+
+// job is the in-memory view of one queue entry.
+type job struct {
+	spec   Spec
+	status Status
+	// result caches the artifact once done (lazily loaded from the store
+	// for recovered jobs).
+	result json.RawMessage
+	// cancelRequested marks a user cancellation; cancel is non-nil while a
+	// worker is executing the job.
+	cancelRequested bool
+	cancel          context.CancelFunc
+	// done is closed when the job reaches a terminal state (and replaced on
+	// resubmission of a failed/cancelled job).
+	done chan struct{}
+}
+
+// New creates a queue over store. Register kinds and call Recover before
+// Start.
+func New(store *Store, opts Options) *Queue {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		store:      store,
+		opts:       opts,
+		m:          newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		kinds:      make(map[string]Runner),
+		jobs:       make(map[string]*job),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Workers returns the pool size.
+func (q *Queue) Workers() int { return q.opts.Workers }
+
+// Register installs the runner for a job kind. Must be called before Start.
+func (q *Queue) Register(kind string, r Runner) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.kinds[kind] = r
+}
+
+// Recover rescans the store after a restart: every persisted job is loaded
+// into memory, jobs left queued or running by the previous process are
+// re-queued, done jobs whose result artifact is missing are re-queued too,
+// and orphaned directories / temp files are removed. It returns the number
+// of re-queued jobs. Call before Start.
+func (q *Queue) Recover() (requeued int, err error) {
+	entries, orphans, err := q.store.Scan()
+	if err != nil {
+		return 0, fmt.Errorf("jobs: recover: %w", err)
+	}
+	q.store.Reconcile(orphans)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range entries {
+		if _, ok := q.jobs[e.ID]; ok {
+			continue
+		}
+		j := &job{spec: e.Spec, status: e.Status, done: make(chan struct{})}
+		resultMissing := false
+		if e.Status.State == StateDone {
+			if _, rerr := q.store.GetResult(e.ID); rerr != nil {
+				resultMissing = true
+			}
+		}
+		switch {
+		case e.Status.State == StateQueued, e.Status.State == StateRunning, resultMissing:
+			j.status.State = StateQueued
+			if err := q.store.PutStatus(e.ID, j.status); err != nil {
+				return requeued, err
+			}
+			q.fifo = append(q.fifo, e.ID)
+			requeued++
+			q.m.add(func(m *metrics) { m.requeued++ })
+		default:
+			close(j.done)
+		}
+		q.jobs[e.ID] = j
+	}
+	return requeued, nil
+}
+
+// Start spawns the worker pool.
+func (q *Queue) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started || q.closed {
+		return
+	}
+	q.started = true
+	for i := 0; i < q.opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// Close stops the pool gracefully: in-flight jobs run to completion, jobs
+// still queued stay persisted as queued (a later Recover picks them up).
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wg.Wait()
+	q.baseCancel()
+}
+
+// crash simulates an unclean process death (tests only): workers abort
+// without persisting any further transition, leaving the store exactly as a
+// killed process would.
+func (q *Queue) crash() {
+	q.mu.Lock()
+	q.closed = true
+	q.crashed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.baseCancel()
+	q.wg.Wait()
+}
+
+// Submit enqueues a spec. If an identical job (same content address) already
+// completed, its persisted status is returned with cached=true and nothing
+// runs; if it is already queued or running, the submission joins it. A
+// failed or cancelled job is re-queued for a fresh attempt.
+func (q *Queue) Submit(spec Spec) (Status, bool, error) {
+	id, err := spec.ID()
+	if err != nil {
+		return Status{}, false, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Status{}, false, errors.New("jobs: queue closed")
+	}
+	if q.kinds[spec.Kind] == nil {
+		return Status{}, false, fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+	}
+	q.m.add(func(m *metrics) { m.submitted++ })
+	if j, ok := q.jobs[id]; ok {
+		switch j.status.State {
+		case StateDone:
+			q.m.add(func(m *metrics) { m.cacheHits++ })
+			return j.status, true, nil
+		case StateFailed, StateCancelled:
+			j.cancelRequested = false
+			j.status.State = StateQueued
+			j.status.Error = ""
+			j.done = make(chan struct{})
+			if err := q.store.PutStatus(id, j.status); err != nil {
+				return Status{}, false, err
+			}
+			q.fifo = append(q.fifo, id)
+			q.cond.Signal()
+			return j.status, false, nil
+		default:
+			q.m.add(func(m *metrics) { m.deduped++ })
+			return j.status, false, nil
+		}
+	}
+	j := &job{
+		spec: spec,
+		status: Status{
+			ID:        id,
+			Kind:      spec.Kind,
+			State:     StateQueued,
+			CreatedAt: time.Now().UTC(),
+		},
+		done: make(chan struct{}),
+	}
+	if err := q.store.PutSpec(id, spec); err != nil {
+		return Status{}, false, err
+	}
+	if err := q.store.PutStatus(id, j.status); err != nil {
+		return Status{}, false, err
+	}
+	q.jobs[id] = j
+	q.fifo = append(q.fifo, id)
+	q.cond.Signal()
+	return j.status, false, nil
+}
+
+// Get returns a job's current status.
+func (q *Queue) Get(id string) (Status, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.status, nil
+}
+
+// Result returns the result artifact of a done job.
+func (q *Queue) Result(id string) (json.RawMessage, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.status.State != StateDone {
+		return nil, fmt.Errorf("jobs: %s is %s, no result", id, j.status.State)
+	}
+	if j.result == nil {
+		raw, err := q.store.GetResult(id)
+		if err != nil {
+			return nil, err
+		}
+		j.result = raw
+	}
+	return j.result, nil
+}
+
+// List returns the statuses of every known job, optionally filtered by kind
+// and/or state, ordered by creation time then id.
+func (q *Queue) List(kind string, state State) []Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Status, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		if kind != "" && j.status.Kind != kind {
+			continue
+		}
+		if state != "" && j.status.State != state {
+			continue
+		}
+		out = append(out, j.status)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].CreatedAt.Equal(out[k].CreatedAt) {
+			return out[i].CreatedAt.Before(out[k].CreatedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel cancels a job: a queued job transitions to cancelled immediately, a
+// running job has its context cancelled (the worker records the terminal
+// state when the runner returns).
+func (q *Queue) Cancel(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch j.status.State {
+	case StateQueued:
+		j.cancelRequested = true
+		j.status.State = StateCancelled
+		j.status.FinishedAt = time.Now().UTC()
+		if err := q.store.PutStatus(id, j.status); err != nil {
+			return err
+		}
+		close(j.done)
+		q.m.add(func(m *metrics) { m.cancelled++ })
+		return nil
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobs: %s already %s", id, j.status.State)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires) and
+// returns its final status.
+func (q *Queue) Wait(ctx context.Context, id string) (Status, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Status{}, ErrNotFound
+	}
+	done := j.done
+	q.mu.Unlock()
+	select {
+	case <-done:
+		return q.Get(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.fifo)
+}
+
+// Metrics snapshots the queue's counters.
+func (q *Queue) Metrics() MetricsSnapshot {
+	q.mu.Lock()
+	depth, running := len(q.fifo), q.running
+	q.mu.Unlock()
+	return q.m.snapshot(q.opts.Workers, depth, running)
+}
+
+// worker pulls jobs off the fifo until the queue closes. Jobs left in the
+// fifo at close stay persisted as queued for the next Recover.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		j, ctx, cancel := q.next()
+		if j == nil {
+			return
+		}
+		q.run(j, ctx, cancel)
+	}
+}
+
+// next claims the oldest queued job, transitions it to running and returns
+// it with its execution context. Returns nil when the queue is closed.
+func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for len(q.fifo) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			return nil, nil, nil
+		}
+		id := q.fifo[0]
+		q.fifo = q.fifo[1:]
+		j := q.jobs[id]
+		if j == nil || j.status.State != StateQueued {
+			continue // cancelled (or otherwise resolved) while queued
+		}
+		timeout := q.opts.DefaultTimeout
+		if j.spec.TimeoutSec > 0 {
+			timeout = time.Duration(j.spec.TimeoutSec * float64(time.Second))
+		}
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(q.baseCtx, timeout)
+		} else {
+			ctx, cancel = context.WithCancel(q.baseCtx)
+		}
+		j.cancel = cancel
+		j.status.State = StateRunning
+		j.status.StartedAt = time.Now().UTC()
+		j.status.Attempts++
+		q.running++
+		// Persist the transition while holding the claim; a crash after
+		// this write is exactly what Recover's running->queued path heals.
+		if err := q.store.PutStatus(id, j.status); err != nil {
+			j.status.State = StateFailed
+			j.status.Error = err.Error()
+			j.status.FinishedAt = time.Now().UTC()
+			q.running--
+			cancel()
+			j.cancel = nil
+			close(j.done)
+			continue
+		}
+		return j, ctx, cancel
+	}
+}
+
+// run executes a claimed job and records its terminal transition.
+func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
+	defer cancel()
+	runner := q.kinds[j.spec.Kind]
+	start := time.Now()
+	var res any
+	var err error
+	if runner == nil {
+		err = fmt.Errorf("jobs: kind %q not registered (recovered job?)", j.spec.Kind)
+	} else {
+		res, err = runner(ctx, j.spec.Params)
+	}
+	dur := time.Since(start)
+
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.MarshalIndent(res, "", " ")
+		if err != nil {
+			err = fmt.Errorf("jobs: marshal result: %w", err)
+		}
+	}
+	if err == nil {
+		if perr := q.store.PutResult(j.status.ID, append(raw, '\n')); perr != nil {
+			err = fmt.Errorf("jobs: persist result: %w", perr)
+		}
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.crashed {
+		return // simulated hard kill: no further persistence
+	}
+	q.running--
+	j.cancel = nil
+	j.status.FinishedAt = time.Now().UTC()
+	j.status.Duration = dur
+	switch {
+	case err == nil:
+		j.status.State = StateDone
+		j.status.Error = ""
+		j.result = raw
+		q.m.add(func(m *metrics) { m.completed++ })
+	case j.cancelRequested || errors.Is(err, context.Canceled):
+		j.status.State = StateCancelled
+		j.status.Error = err.Error()
+		q.m.add(func(m *metrics) { m.cancelled++ })
+	default:
+		j.status.State = StateFailed
+		j.status.Error = err.Error()
+		q.m.add(func(m *metrics) { m.failed++ })
+	}
+	q.m.add(func(m *metrics) {
+		m.busy += dur
+		kc := m.kind(j.spec.Kind)
+		kc.runs++
+		kc.total += dur
+		if j.status.State == StateFailed {
+			kc.failures++
+		}
+	})
+	// Best-effort: a failed status write leaves the job running on disk,
+	// which a later Recover re-queues — safe either way.
+	_ = q.store.PutStatus(j.status.ID, j.status)
+	close(j.done)
+}

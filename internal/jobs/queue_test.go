@@ -1,0 +1,399 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestQueue(t *testing.T, dir string, opts Options) (*Queue, *Store) {
+	t.Helper()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(store, opts), store
+}
+
+func waitDone(t *testing.T, q *Queue, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := q.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return st
+}
+
+// TestPoolConcurrency drives 32 concurrently submitted jobs through a pool
+// of 4 workers and asserts that every job completes with the right result
+// and that no more than 4 ever run at once.
+func TestPoolConcurrency(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 4})
+	var cur, peak atomic.Int64
+	q.Register("echo", func(ctx context.Context, params json.RawMessage) (any, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		cur.Add(-1)
+		var p struct{ I int }
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return map[string]int{"i": p.I * 10}, nil
+	})
+	q.Start()
+	defer q.Close()
+
+	const n = 32
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, cached, err := q.Submit(Spec{Kind: "echo", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if cached {
+				errs[i] = fmt.Errorf("fresh job %d reported cached", i)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		st := waitDone(t, q, ids[i])
+		if st.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+		raw, err := q.Result(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct{ I int }
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.I != i*10 {
+			t.Errorf("job %d: result %d, want %d", i, out.I, i*10)
+		}
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("pool of 4 ran %d jobs at once", p)
+	} else if p < 2 {
+		t.Logf("warning: peak concurrency only %d", p)
+	}
+	m := q.Metrics()
+	if m.Completed != n || m.Submitted != n {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestCacheHitOnResubmit asserts that resubmitting an identical spec is
+// served from the artifact store without running the kind again.
+func TestCacheHitOnResubmit(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 2})
+	var runs atomic.Int64
+	q.Register("once", func(ctx context.Context, params json.RawMessage) (any, error) {
+		runs.Add(1)
+		return map[string]string{"hello": "world"}, nil
+	})
+	q.Start()
+	defer q.Close()
+
+	spec := Spec{Kind: "once", Params: json.RawMessage(`{"x": 1}`)}
+	st, cached, err := q.Submit(spec)
+	if err != nil || cached {
+		t.Fatalf("first submit: cached=%v err=%v", cached, err)
+	}
+	waitDone(t, q, st.ID)
+	// Same params, different key order and whitespace: same content address.
+	st2, cached, err := q.Submit(Spec{Kind: "once", Params: json.RawMessage(` {"x":1} `)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatalf("resubmission not served from cache")
+	}
+	if st2.ID != st.ID || st2.State != StateDone {
+		t.Errorf("cached status: %+v", st2)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("kind ran %d times, want 1", n)
+	}
+	if m := q.Metrics(); m.CacheHits != 1 || m.CacheHitRate == 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+// TestCancel covers both cancellation paths: a running job is stopped via
+// its context, a queued job is cancelled before any worker claims it.
+func TestCancel(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	release := make(chan struct{})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return "done", nil
+		}
+	})
+	q.Start()
+	defer q.Close()
+	defer close(release)
+
+	st1, _, err := q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"job":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the single worker is executing job 1.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := q.Get(st1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st2, _, err := q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"job":2}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 sits in the fifo behind the blocked worker: cancel it there.
+	if err := q.Cancel(st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, q, st2.ID); st.State != StateCancelled {
+		t.Errorf("queued cancel: %s", st.State)
+	}
+	// Cancel the running job mid-run.
+	if err := q.Cancel(st1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitDone(t, q, st1.ID); st.State != StateCancelled {
+		t.Errorf("running cancel: %s (%s)", st.State, st.Error)
+	}
+	if err := q.Cancel(st1.ID); err == nil {
+		t.Errorf("cancelling a terminal job must fail")
+	}
+}
+
+// TestTimeout asserts that a job exceeding its spec timeout fails with the
+// deadline error instead of running forever.
+func TestTimeout(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	q.Start()
+	defer q.Close()
+	st, _, err := q.Submit(Spec{Kind: "block", TimeoutSec: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("timed-out job: %s", final.State)
+	}
+	if final.Error == "" {
+		t.Errorf("timed-out job has no error")
+	}
+}
+
+// TestRecoverRequeuesFromStore simulates a crashed predecessor by writing a
+// spec with a "running" status straight into the store, then asserts a new
+// queue re-queues and completes it — the simq RebuildSimulatorList shape.
+func TestRecoverRequeuesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "echo", Params: json.RawMessage(`{"i": 7}`)}
+	id, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutStatus(id, Status{
+		ID: id, Kind: spec.Kind, State: StateRunning,
+		CreatedAt: time.Now().UTC(), StartedAt: time.Now().UTC(), Attempts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := New(store, Options{Workers: 2})
+	q.Register("echo", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return "recovered", nil
+	})
+	requeued, err := q.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 {
+		t.Fatalf("requeued %d, want 1", requeued)
+	}
+	q.Start()
+	defer q.Close()
+	st := waitDone(t, q, id)
+	if st.State != StateDone {
+		t.Fatalf("recovered job: %s (%s)", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one before the crash, one after)", st.Attempts)
+	}
+	if m := q.Metrics(); m.Requeued != 1 {
+		t.Errorf("metrics requeued = %d", m.Requeued)
+	}
+}
+
+// TestCrashRecoveryLive kills a queue with jobs in flight (no terminal
+// transition is persisted, exactly like a SIGKILL) and asserts a second
+// queue over the same store re-queues and finishes them.
+func TestCrashRecoveryLive(t *testing.T) {
+	dir := t.TempDir()
+	q1, _ := newTestQueue(t, dir, Options{Workers: 2})
+	started := make(chan string, 2)
+	q1.Register("work", func(ctx context.Context, params json.RawMessage) (any, error) {
+		started <- string(params)
+		<-ctx.Done() // never finishes under q1
+		return nil, ctx.Err()
+	})
+	q1.Start()
+	var ids []string
+	for i := 0; i < 2; i++ {
+		st, _, err := q1.Submit(Spec{Kind: "work", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("jobs never started under q1")
+		}
+	}
+	q1.crash()
+
+	// The store must still say "running" for both: the crash persisted no
+	// terminal transition.
+	store2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st, err := store2.GetStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateRunning {
+			t.Fatalf("after crash, store has %s, want running", st.State)
+		}
+	}
+
+	q2 := New(store2, Options{Workers: 2})
+	q2.Register("work", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return "second time lucky", nil
+	})
+	requeued, err := q2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 2 {
+		t.Fatalf("requeued %d, want 2", requeued)
+	}
+	q2.Start()
+	defer q2.Close()
+	for _, id := range ids {
+		if st := waitDone(t, q2, id); st.State != StateDone {
+			t.Errorf("recovered job %s: %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestFailedJobResubmission asserts a failed job can be retried by
+// resubmitting the identical spec.
+func TestFailedJobResubmission(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	var attempt atomic.Int64
+	q.Register("flaky", func(ctx context.Context, params json.RawMessage) (any, error) {
+		if attempt.Add(1) == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return "ok", nil
+	})
+	q.Start()
+	defer q.Close()
+	spec := Spec{Kind: "flaky"}
+	st, _, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, q, st.ID); final.State != StateFailed {
+		t.Fatalf("first attempt: %s", final.State)
+	}
+	st2, cached, err := q.Submit(spec)
+	if err != nil || cached {
+		t.Fatalf("resubmit: cached=%v err=%v", cached, err)
+	}
+	if final := waitDone(t, q, st2.ID); final.State != StateDone {
+		t.Fatalf("second attempt: %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestSubmitValidation covers unknown kinds and listing filters.
+func TestSubmitValidation(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	q.Register("ok", func(ctx context.Context, params json.RawMessage) (any, error) { return 1, nil })
+	q.Start()
+	defer q.Close()
+	if _, _, err := q.Submit(Spec{Kind: "nope"}); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+	st, _, err := q.Submit(Spec{Kind: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, q, st.ID)
+	if l := q.List("ok", StateDone); len(l) != 1 {
+		t.Errorf("list(ok, done): %d entries", len(l))
+	}
+	if l := q.List("other", ""); len(l) != 0 {
+		t.Errorf("list(other): %d entries", len(l))
+	}
+	if _, err := q.Get("missing"); err == nil {
+		t.Errorf("Get(missing) succeeded")
+	}
+}

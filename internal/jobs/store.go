@@ -1,0 +1,219 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the content-addressed on-disk artifact store. Each job owns one
+// directory, root/jobs/<id>/, holding up to three files:
+//
+//	spec.json    the submitted Spec (identity)
+//	status.json  the latest Status (every transition overwrites it atomically)
+//	result.json  the kind-specific result artifact, present once State==done
+//
+// All writes go through a temp-file-plus-rename so a crash can leave behind
+// stray ".tmp-" files or a directory without spec.json, but never a torn
+// JSON document; Reconcile cleans those orphans up on startup.
+type Store struct {
+	root string
+}
+
+// ErrNotFound is returned for ids (or artifacts) the store does not hold.
+var ErrNotFound = errors.New("jobs: not found")
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	s := &Store{root: dir}
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) jobsDir() string       { return filepath.Join(s.root, "jobs") }
+func (s *Store) dir(id string) string  { return filepath.Join(s.jobsDir(), id) }
+func (s *Store) path(id, f string) string { return filepath.Join(s.dir(id), f) }
+
+// writeJSON atomically writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return ErrNotFound
+		}
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// PutSpec persists a job's spec, creating its directory.
+func (s *Store) PutSpec(id string, spec Spec) error {
+	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
+		return err
+	}
+	return writeJSON(s.path(id, "spec.json"), spec)
+}
+
+// GetSpec loads a job's spec.
+func (s *Store) GetSpec(id string) (Spec, error) {
+	var spec Spec
+	err := readJSON(s.path(id, "spec.json"), &spec)
+	return spec, err
+}
+
+// PutStatus persists a status transition.
+func (s *Store) PutStatus(id string, st Status) error {
+	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
+		return err
+	}
+	return writeJSON(s.path(id, "status.json"), st)
+}
+
+// GetStatus loads a job's latest persisted status.
+func (s *Store) GetStatus(id string) (Status, error) {
+	var st Status
+	err := readJSON(s.path(id, "status.json"), &st)
+	return st, err
+}
+
+// PutResult persists a job's result artifact (already-marshaled JSON).
+func (s *Store) PutResult(id string, result json.RawMessage) error {
+	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
+		return err
+	}
+	dir := s.dir(id)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(result); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, s.path(id, "result.json"))
+}
+
+// GetResult loads a job's result artifact as raw JSON.
+func (s *Store) GetResult(id string) (json.RawMessage, error) {
+	data, err := os.ReadFile(s.path(id, "result.json"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return json.RawMessage(data), nil
+}
+
+// Delete removes a job and its artifacts.
+func (s *Store) Delete(id string) error {
+	return os.RemoveAll(s.dir(id))
+}
+
+// Entry is one job found by Scan: its spec and last persisted status.
+type Entry struct {
+	ID     string
+	Spec   Spec
+	Status Status
+}
+
+// Scan walks the store and returns every job that has a readable spec,
+// sorted by id. Directories without a spec (a submission that crashed
+// between MkdirAll and the spec rename) and stray temp files are orphans,
+// returned separately for Reconcile.
+func (s *Store) Scan() (entries []Entry, orphans []string, err error) {
+	dirents, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, de := range dirents {
+		name := de.Name()
+		if !de.IsDir() {
+			if strings.HasPrefix(name, ".tmp-") {
+				orphans = append(orphans, filepath.Join(s.jobsDir(), name))
+			}
+			continue
+		}
+		id := name
+		spec, err := s.GetSpec(id)
+		if err != nil {
+			orphans = append(orphans, s.dir(id))
+			continue
+		}
+		for _, f := range listTmp(s.dir(id)) {
+			orphans = append(orphans, f)
+		}
+		st, err := s.GetStatus(id)
+		if err != nil {
+			// Spec persisted but no status: the submission crashed before
+			// the queued transition landed. Treat as freshly queued.
+			st = Status{ID: id, Kind: spec.Kind, State: StateQueued}
+		}
+		entries = append(entries, Entry{ID: id, Spec: spec, Status: st})
+	}
+	return entries, orphans, nil
+}
+
+func listTmp(dir string) []string {
+	var out []string
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, de := range dirents {
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			out = append(out, filepath.Join(dir, de.Name()))
+		}
+	}
+	return out
+}
+
+// Reconcile removes the orphan paths reported by Scan and returns how many
+// were removed.
+func (s *Store) Reconcile(orphans []string) int {
+	removed := 0
+	for _, p := range orphans {
+		if os.RemoveAll(p) == nil {
+			removed++
+		}
+	}
+	return removed
+}

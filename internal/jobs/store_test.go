@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSpecIDCanonicalization(t *testing.T) {
+	a := Spec{Kind: "experiment", Params: json.RawMessage(`{"id":"e3","n":8}`)}
+	b := Spec{Kind: "experiment", Params: json.RawMessage(`{ "n": 8, "id": "e3" }`)}
+	idA, err := a.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := b.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA != idB {
+		t.Errorf("key order / whitespace changed the id: %s vs %s", idA, idB)
+	}
+	c := Spec{Kind: "experiment", Params: json.RawMessage(`{"id":"e4","n":8}`)}
+	idC, err := c.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idC == idA {
+		t.Errorf("different params share an id")
+	}
+	// Timeout is execution metadata, not identity.
+	d := a
+	d.TimeoutSec = 30
+	if idD, _ := d.ID(); idD != idA {
+		t.Errorf("timeout changed the id")
+	}
+	if _, err := (Spec{}).ID(); err == nil {
+		t.Errorf("kindless spec must not hash")
+	}
+	// Number literals must survive canonicalization verbatim.
+	e := Spec{Kind: "k", Params: json.RawMessage(`{"x":1e2}`)}
+	f := Spec{Kind: "k", Params: json.RawMessage(`{"x":100}`)}
+	idE, _ := e.ID()
+	idF, _ := f.ID()
+	if idE == idF {
+		t.Errorf("distinct number literals collapsed")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "experiment", Params: json.RawMessage(`{"id":"e1"}`)}
+	id, err := spec.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetSpec(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing spec: got %v, want ErrNotFound", err)
+	}
+	if err := s.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	st := Status{ID: id, Kind: spec.Kind, State: StateRunning, CreatedAt: time.Now().UTC(), Attempts: 1}
+	if err := s.PutStatus(id, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutResult(id, json.RawMessage(`{"answer":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateRunning || got.Attempts != 1 {
+		t.Errorf("status round trip: %+v", got)
+	}
+	raw, err := s.GetResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct{ Answer int }
+	if err := json.Unmarshal(raw, &v); err != nil || v.Answer != 42 {
+		t.Errorf("result round trip: %s, %v", raw, err)
+	}
+}
+
+func TestStoreScanReconcilesOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "experiment", Params: json.RawMessage(`{"id":"e1"}`)}
+	id, _ := spec.ID()
+	if err := s.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutStatus(id, Status{ID: id, Kind: spec.Kind, State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	// A directory without a spec: a submission that crashed mid-write.
+	orphanDir := filepath.Join(dir, "jobs", "deadbeef")
+	if err := os.MkdirAll(orphanDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A stray temp file from a torn atomic write.
+	tmp := filepath.Join(dir, "jobs", id, ".tmp-123")
+	if err := os.WriteFile(tmp, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, orphans, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != id {
+		t.Fatalf("entries: %+v", entries)
+	}
+	if len(orphans) != 2 {
+		t.Fatalf("orphans: %v", orphans)
+	}
+	if n := s.Reconcile(orphans); n != 2 {
+		t.Errorf("reconciled %d, want 2", n)
+	}
+	if _, err := os.Stat(orphanDir); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("orphan dir survived reconcile")
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file survived reconcile")
+	}
+	// A spec without a status scans as freshly queued.
+	spec2 := Spec{Kind: "experiment", Params: json.RawMessage(`{"id":"e2"}`)}
+	id2, _ := spec2.ID()
+	if err := s.PutSpec(id2, spec2); err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err = s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if e.ID == id2 {
+			found = true
+			if e.Status.State != StateQueued {
+				t.Errorf("statusless job scanned as %s, want queued", e.Status.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("statusless job missing from scan")
+	}
+}

@@ -1,6 +1,7 @@
 package vmprog_test
 
 import (
+	"context"
 	"fmt"
 
 	"priceadaptive/internal/vmprog"
@@ -15,7 +16,7 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -27,7 +28,7 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	resNF, err := engNF.Check(0)
+	resNF, err := engNF.Check(context.Background(), 0)
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -1,6 +1,7 @@
 package vmprog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -361,8 +362,9 @@ type CheckResult struct {
 // maxStates) and reports the first exclusion violation. Unlike the
 // replay-based checker in package check, states are true snapshots: spin
 // loops revisit identical states and the exploration terminates without any
-// spin-collapsing heuristic.
-func (e *Engine) Check(maxStates int) (*CheckResult, error) {
+// spin-collapsing heuristic. Cancelling ctx aborts the exploration with the
+// context's error.
+func (e *Engine) Check(ctx context.Context, maxStates int) (*CheckResult, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
@@ -382,6 +384,11 @@ func (e *Engine) Check(maxStates int) (*CheckResult, error) {
 		}
 		seen[h] = true
 		res.States++
+		if res.States&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if e.Violated(nd.st) {
 			res.Violation = true
 			res.Schedule = nd.path

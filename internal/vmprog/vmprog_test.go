@@ -1,6 +1,7 @@
 package vmprog
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -181,7 +182,7 @@ func TestFastCheckVerifiesPetersonCompletely(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestFastCheckFindsPetersonNoFenceViolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestFastCheckBakeryTSOSafePSOUnsafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestFastCheckBakeryTSOSafePSOUnsafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resP, err := engP.Check(0)
+	resP, err := engP.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestFastCheckWeakBakeryUnsafeEvenUnderTSO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestFastCheckDekker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +386,7 @@ func TestFastCheckDekker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resNF, err := engNF.Check(0)
+	resNF, err := engNF.Check(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestFastCheckBakeryThreeProcesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(6_000_000)
+	res, err := eng.Check(context.Background(), 6_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +434,7 @@ func TestLamportFastVerification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(2_000_000)
+	res, err := eng.Check(context.Background(), 2_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +485,7 @@ func TestFastMinimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Check(0)
+	res, err := eng.Check(context.Background(), 0)
 	if err != nil || !res.Violation {
 		t.Fatalf("no violation: %v", err)
 	}
