@@ -1,0 +1,172 @@
+// Command padlint statically lints vmprog lock programs: control-flow and
+// reference checks, the buffered-write dataflow behind stale-read
+// detection, and the serializing-event path counts the paper's Theorem 1
+// bounds. It lints the built-in VM programs (every internal/mutex algorithm
+// has a VM port in the vmprog registry) or any JSON program file.
+//
+// Usage:
+//
+//	padlint -all                  lint every built-in program (CI gate)
+//	padlint -alg bakery -n 4      lint one built-in program
+//	padlint -file prog.json -n 3  lint a saved program
+//	padlint -all -json            machine-readable reports
+//
+// With -all the exit status is the lint gate: correct programs must produce
+// zero errors and the deliberately broken variants (peterson-nofence and
+// friends) must be caught with at least one, so a regression in either the
+// analyzer or a program fails the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// lintResult pairs a report with the registry expectation it was held to.
+type lintResult struct {
+	Report *analysis.Report `json:"report"`
+	// ExpectBroken echoes Entry.Broken: the program is required to draw
+	// at least one error.
+	ExpectBroken bool `json:"expect_broken"`
+	// Pass reports whether the program met its expectation.
+	Pass bool `json:"pass"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("padlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "lint every built-in program and enforce the registry expectations")
+	alg := fs.String("alg", "", fmt.Sprintf("built-in program: %v", vmprog.Names()))
+	file := fs.String("file", "", "JSON program file to lint")
+	n := fs.Int("n", 3, "process count to instantiate size-parametric programs for")
+	jsonOut := fs.Bool("json", false, "emit JSON reports")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var results []lintResult
+	switch {
+	case *all:
+		for _, e := range vmprog.Registry() {
+			nn := *n
+			if e.FixedN > 0 {
+				nn = e.FixedN
+			}
+			p, err := e.Build(nn)
+			if err != nil {
+				fmt.Fprintf(stderr, "padlint: %s: %v\n", e.Name, err)
+				return 1
+			}
+			r := analysis.Analyze(p, nn)
+			results = append(results, lintResult{Report: r, ExpectBroken: e.Broken, Pass: pass(r, e.Broken)})
+		}
+	case *alg != "":
+		e, err := vmprog.LookupEntry(*alg)
+		if err != nil {
+			fmt.Fprintln(stderr, "padlint:", err)
+			return 2
+		}
+		nn := *n
+		if e.FixedN > 0 {
+			nn = e.FixedN
+		}
+		p, err := e.Build(nn)
+		if err != nil {
+			fmt.Fprintln(stderr, "padlint:", err)
+			return 1
+		}
+		// A direct lint is expectation-free: a broken variant fails it.
+		r := analysis.Analyze(p, nn)
+		results = append(results, lintResult{Report: r, Pass: pass(r, false)})
+	case *file != "":
+		p, err := vmprog.LoadFile(*file)
+		if err != nil {
+			fmt.Fprintln(stderr, "padlint:", err)
+			return 1
+		}
+		r := analysis.Analyze(p, *n)
+		results = append(results, lintResult{Report: r, Pass: pass(r, false)})
+	default:
+		fmt.Fprintln(stderr, "padlint: one of -all, -alg, or -file is required")
+		fs.Usage()
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(stderr, "padlint:", err)
+			return 1
+		}
+	} else {
+		render(stdout, results)
+	}
+	for _, res := range results {
+		if !res.Pass {
+			return 1
+		}
+	}
+	return 0
+}
+
+// pass evaluates the lint gate for one report.
+func pass(r *analysis.Report, expectBroken bool) bool {
+	if expectBroken {
+		return len(r.Errors()) > 0
+	}
+	return len(r.Errors()) == 0
+}
+
+// ser renders a serializing-event count (-1 is unbounded: a cycle with a
+// fence or CAS on it).
+func ser(v int) string {
+	if v < 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func render(w io.Writer, results []lintResult) {
+	clean, caught, failed := 0, 0, 0
+	for _, res := range results {
+		r := res.Report
+		tag := ""
+		if res.ExpectBroken {
+			tag = " [expected-broken]"
+		}
+		fmt.Fprintf(w, "== %s (n=%d, class %s)%s\n", r.Name, r.N, r.Class, tag)
+		fmt.Fprintf(w, "   blocks %d, entry serializing [%s,%s], exit [%s,%s], serializing dominates CS: %v\n",
+			r.Blocks, ser(r.MinEntrySer), ser(r.MaxEntrySer), ser(r.MinExitSer), ser(r.MaxExitSer), r.SerDominatesCS)
+		for _, d := range r.Diags {
+			fmt.Fprintf(w, "   %s\n", d)
+		}
+		switch {
+		case !res.Pass && res.ExpectBroken:
+			failed++
+			fmt.Fprintf(w, "   FAIL: broken variant not flagged\n")
+		case !res.Pass:
+			failed++
+			fmt.Fprintf(w, "   FAIL: %d error(s)\n", len(r.Errors()))
+		case res.ExpectBroken:
+			caught++
+			fmt.Fprintf(w, "   ok: broken variant caught (%d error(s))\n", len(r.Errors()))
+		case len(r.Diags) == 0:
+			clean++
+			fmt.Fprintf(w, "   ok\n")
+		default:
+			clean++
+			fmt.Fprintf(w, "   ok (%d warning(s))\n", len(r.Warnings()))
+		}
+	}
+	fmt.Fprintf(w, "summary: %d programs, %d clean, %d expected-broken caught, %d failed\n",
+		len(results), clean, caught, failed)
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// TestAllGolden runs the full lint gate over every built-in program and
+// compares the rendering byte-for-byte with testdata/all.golden. Regenerate
+// with: go run ./cmd/padlint -all > cmd/padlint/testdata/all.golden
+func TestAllGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-all"}, &out, &errOut); code != 0 {
+		t.Fatalf("padlint -all exited %d, stderr: %s", code, errOut.String())
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "all.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("output differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+// TestGateSemantics pins the exit codes: correct locks lint clean, broken
+// variants fail a plain -alg lint (they really do have errors), and the
+// registry expectation turns that into a pass under -all.
+func TestGateSemantics(t *testing.T) {
+	for _, e := range vmprog.Registry() {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-alg", e.Name}, &out, &errOut)
+		want := 0
+		if e.Broken {
+			want = 1
+		}
+		if code != want {
+			t.Errorf("padlint -alg %s exited %d, want %d\n%s", e.Name, code, want, out.String())
+		}
+	}
+}
+
+// TestFileLint lints a program round-tripped through a JSON file, and a
+// malformed file.
+func TestFileLint(t *testing.T) {
+	dir := t.TempDir()
+	p := vmprog.MustPeterson(true)
+	path := filepath.Join(dir, "peterson.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-file", path, "-n", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("lint of saved peterson exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "peterson-vm") {
+		t.Fatalf("output does not mention the program: %s", out.String())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","vars":["v"],"code":[{"op":6,"target":99},{"op":14},{"op":15}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-file", bad}, &out, &errOut); code != 1 {
+		t.Fatalf("malformed file exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "jump target") {
+		t.Fatalf("stderr does not explain the defect: %s", errOut.String())
+	}
+}
+
+// TestJSONOutput checks that -json emits parseable reports with the gate
+// verdict attached.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-all", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exited %d: %s", code, errOut.String())
+	}
+	var results []lintResult
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(results) != len(vmprog.Registry()) {
+		t.Fatalf("got %d reports, want %d", len(results), len(vmprog.Registry()))
+	}
+	for _, res := range results {
+		if !res.Pass {
+			t.Errorf("%s: gate failed", res.Report.Name)
+		}
+	}
+}
+
+// TestUsageErrors: no mode flag is a usage error.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no arguments exited %d, want 2", code)
+	}
+	if code := run([]string{"-alg", "no-such-lock"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown algorithm exited %d, want 2", code)
+	}
+}

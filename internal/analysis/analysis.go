@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// SevWarning marks suspicious but not certainly broken structure.
+	SevWarning Severity = iota
+	// SevError marks findings that imply a real failure: a mutual
+	// exclusion violation some schedule can force, or a program the
+	// engines cannot run.
+	SevError
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding, anchored at an instruction.
+type Diagnostic struct {
+	Sev  Severity `json:"sev"`
+	Code string   `json:"code"`
+	PC   int      `json:"pc"`
+	Msg  string   `json:"msg"`
+}
+
+// String renders "error[stale-read] pc 12: ...".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s[%s] pc %d: %s", d.Sev, d.Code, d.PC, d.Msg)
+}
+
+// Report is the analyzer's output for one program at one process count.
+type Report struct {
+	Name  string                 `json:"name"`
+	N     int                    `json:"n"`
+	Class vmprog.AdaptivityClass `json:"class"`
+	// Blocks is the number of basic blocks in the CFG.
+	Blocks int `json:"blocks"`
+	// MinEntrySer / MaxEntrySer bound the serializing events (fences and
+	// CASes) executed on entry paths (program entry to the CS transition,
+	// exclusive). MaxEntrySer is -1 when a cycle containing a serializing
+	// instruction makes the count unbounded. MinExitSer / MaxExitSer do
+	// the same for exit paths (CS to a Halt).
+	MinEntrySer int `json:"min_entry_ser"`
+	MaxEntrySer int `json:"max_entry_ser"`
+	MinExitSer  int `json:"min_exit_ser"`
+	MaxExitSer  int `json:"max_exit_ser"`
+	// SerDominatesCS reports whether a single serializing instruction
+	// dominates the CS (a stronger per-path guarantee than MinEntrySer
+	// >= 1, which a diamond of fenced branches meets without it).
+	SerDominatesCS bool `json:"ser_dominates_cs"`
+	// Diags are the findings, sorted by severity (errors first) then PC.
+	Diags []Diagnostic `json:"diags"`
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings returns the warning-severity findings.
+func (r *Report) Warnings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev == SevWarning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (r *Report) add(sev Severity, code string, pc int, format string, args ...interface{}) {
+	r.Diags = append(r.Diags, Diagnostic{Sev: sev, Code: code, PC: pc, Msg: fmt.Sprintf(format, args...)})
+}
+
+// varList renders the overlap of two variable sets for a message.
+func varList(vars []string, a, b bitset) string {
+	var names []string
+	for v := range vars {
+		if a.has(v) && b.has(v) {
+			names = append(names, vars[v])
+			if len(names) == 4 {
+				names = append(names, "...")
+				break
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// Analyze runs every static check on the program as instantiated for n
+// processes. A program that fails validation gets a single invalid-program
+// error; all deeper analyses require a valid program.
+func Analyze(p *vmprog.Program, n int) *Report {
+	r := &Report{Name: p.Name, N: n, Class: p.Class, MinEntrySer: unreach, MinExitSer: unreach}
+	if err := p.Validate(); err != nil {
+		r.add(SevError, "invalid-program", 0, "%v", err)
+		return r
+	}
+	g := BuildCFG(p)
+	r.Blocks = len(g.Blocks)
+	ext := buildExtents(p.Vars)
+	buf := mayBuffered(p, g, ext)
+	pi := parkSets(p, g)
+
+	// Dead code: contiguous unreachable ranges.
+	for pc := 0; pc < len(p.Code); {
+		if g.Reachable[pc] {
+			pc++
+			continue
+		}
+		end := pc
+		for end < len(p.Code) && !g.Reachable[end] {
+			end++
+		}
+		r.add(SevWarning, "dead-code", pc, "instructions %d..%d are unreachable", pc, end-1)
+		pc = end
+	}
+
+	// Local divergence: a cycle of register/jump instructions with no
+	// event; Engine.advance would spin forever inside one scheduling step.
+	divergent := false
+	for pc, inf := range pi {
+		if g.Reachable[pc] && inf.divergent && localOp(p.Code[pc].Op) {
+			r.add(SevError, "local-divergence", pc,
+				"cycle of local instructions reaches no event; the engine cannot park")
+			divergent = true
+			break // one report covers the cycle
+		}
+	}
+
+	// Stale reads: an OpRead whose access set intersects the variables
+	// that may sit in this process's own write buffer. Store forwarding
+	// returns the buffered value, so the process acts on a write no other
+	// process can see - the exact hazard the paper's TSO adversary
+	// exploits (delay the commit, let both processes pass each other's
+	// guard).
+	for pc, in := range p.Code {
+		if in.Op != vmprog.OpRead || !g.Reachable[pc] {
+			continue
+		}
+		acc := ext.accessSet(len(p.Vars), in)
+		if buf[pc].intersects(acc) {
+			r.add(SevError, "stale-read", pc,
+				"read of %s may observe this process's own uncommitted write (no fence/CAS since the write)",
+				varList(p.Vars, buf[pc], acc))
+		}
+	}
+
+	// Serializing-event path counts entry -> CS -> halt.
+	csPC := -1
+	for pc, in := range p.Code {
+		if in.Op == vmprog.OpCS {
+			csPC = pc
+		}
+	}
+	distEntry := minSerializing(g, 0)
+	r.MinEntrySer = distEntry[csPC]
+	r.MaxEntrySer = maxSerializing(g, 0, csPC)
+	distExit := minSerializing(g, csPC)
+	r.MaxExitSer = 0
+	for pc, in := range p.Code {
+		if in.Op != vmprog.OpHalt || !g.Reachable[pc] || distExit[pc] == unreach {
+			continue
+		}
+		if distExit[pc] < r.MinExitSer {
+			r.MinExitSer = distExit[pc]
+		}
+		if r.MaxExitSer >= 0 {
+			if m := maxSerializing(g, csPC, pc); m == -1 || m > r.MaxExitSer {
+				r.MaxExitSer = m
+			}
+		}
+	}
+	for pc, in := range p.Code {
+		if g.Reachable[pc] && serializing(in.Op) && g.Dominates(pc, csPC) {
+			r.SerDominatesCS = true
+			break
+		}
+	}
+
+	// Theorem 1, contention 2: a passage that can reach the CS with zero
+	// serializing events leaves every earlier write invisible, so two
+	// processes can run the same passage side by side and both enter -
+	// a certain violation under TSO, not just a missed lower bound.
+	if r.MinEntrySer == 0 {
+		r.add(SevError, "unfenced-cs-path", csPC,
+			"a path from entry to the CS executes no fence or CAS; two processes can both enter (Theorem 1 at contention 2)")
+	} else if r.MinEntrySer != unreach && !divergent {
+		// Theorem 1, contention k+1: an adaptive algorithm must admit
+		// executions paying k serializing events. If no entry path can
+		// execute more than MaxEntrySer of them, the declared class is
+		// structurally impossible for n-1 contenders.
+		if p.Class == vmprog.ClassAdaptive && r.MaxEntrySer >= 0 && r.MaxEntrySer < n-1 {
+			r.add(SevWarning, "theorem1-adaptive", csPC,
+				"declared adaptive but no entry path executes more than %d serializing events; Theorem 1 forces %d at contention %d",
+				r.MaxEntrySer, n-1, n)
+		}
+	}
+
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		if r.Diags[i].Sev != r.Diags[j].Sev {
+			return r.Diags[i].Sev > r.Diags[j].Sev
+		}
+		return r.Diags[i].PC < r.Diags[j].PC
+	})
+	return r
+}

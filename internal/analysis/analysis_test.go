@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"testing"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// build instantiates a registry program at its smallest useful size.
+func build(t *testing.T, name string) (*vmprog.Program, int) {
+	t.Helper()
+	e, err := vmprog.LookupEntry(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3
+	if e.FixedN > 0 {
+		n = e.FixedN
+	}
+	p, err := e.Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, n
+}
+
+// hasCode reports whether the report contains a diagnostic with the code.
+func hasCode(r *Report, code string) bool {
+	for _, d := range r.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRegistryDiagnostics is the analyzer's core contract: every correct
+// built-in lock is diagnostic-free, every deliberately broken variant has
+// at least one error.
+func TestRegistryDiagnostics(t *testing.T) {
+	for _, e := range vmprog.Registry() {
+		p, n := build(t, e.Name)
+		r := Analyze(p, n)
+		if e.Broken {
+			if len(r.Errors()) == 0 {
+				t.Errorf("%s: broken variant produced no errors", e.Name)
+			}
+			continue
+		}
+		if len(r.Diags) != 0 {
+			t.Errorf("%s: correct lock produced diagnostics: %v", e.Name, r.Diags)
+		}
+	}
+}
+
+// TestExpectedDiagnostics pins the diagnostic kinds on known programs.
+func TestExpectedDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		want []string
+	}{
+		// No fences at all: both the store-forwarding hazard and a
+		// serializing-free path to the CS.
+		{"peterson-nofence", []string{"stale-read", "unfenced-cs-path"}},
+		{"dekker-nofence", []string{"stale-read", "unfenced-cs-path"}},
+		{"synthetic-nofence", []string{"stale-read", "unfenced-cs-path"}},
+		// The doorway fence is kept, so every CS path serializes at least
+		// once - only the ticket publication races.
+		{"bakery-weak", []string{"stale-read"}},
+	}
+	for _, tc := range cases {
+		p, n := build(t, tc.name)
+		r := Analyze(p, n)
+		for _, code := range tc.want {
+			if !hasCode(r, code) {
+				t.Errorf("%s: missing %s diagnostic, got %v", tc.name, code, r.Diags)
+			}
+		}
+	}
+	// bakery-weak keeps the doorway fence: the unfenced-cs-path check must
+	// NOT fire (it is broken in a subtler way than contention-2 certainty).
+	p, n := build(t, "bakery-weak")
+	if r := Analyze(p, n); hasCode(r, "unfenced-cs-path") {
+		t.Errorf("bakery-weak: unexpected unfenced-cs-path: %v", r.Diags)
+	}
+}
+
+// TestPathCounts pins the serializing-event path metrics on programs whose
+// counts are known by inspection.
+func TestPathCounts(t *testing.T) {
+	cases := []struct {
+		name               string
+		minEntry, maxEntry int
+		serDominatesCS     bool
+	}{
+		{"peterson", 1, 1, true},
+		{"bakery", 2, 2, true},     // doorway fence + publication fence
+		{"tournament", 2, 2, true}, // one fence per tree level
+		{"tas", 1, -1, true},       // CAS retry loop: unbounded max
+		{"caschain", 1, -1, true},  // the Theorem 1 Θ(k) shape
+		{"peterson-nofence", 0, 0, false},
+	}
+	for _, tc := range cases {
+		p, n := build(t, tc.name)
+		r := Analyze(p, n)
+		if r.MinEntrySer != tc.minEntry || r.MaxEntrySer != tc.maxEntry {
+			t.Errorf("%s: entry serializing = [%d,%d], want [%d,%d]",
+				tc.name, r.MinEntrySer, r.MaxEntrySer, tc.minEntry, tc.maxEntry)
+		}
+		if r.SerDominatesCS != tc.serDominatesCS {
+			t.Errorf("%s: SerDominatesCS = %v, want %v", tc.name, r.SerDominatesCS, tc.serDominatesCS)
+		}
+	}
+}
+
+// TestTheorem1AdaptiveWarning: a program declared adaptive whose entry
+// paths cannot execute enough serializing events for Theorem 1's bound at
+// contention n draws the warning.
+func TestTheorem1AdaptiveWarning(t *testing.T) {
+	b := vmprog.NewBuilder("fake-adaptive")
+	b.SetClass(vmprog.ClassAdaptive)
+	lock := b.Var("lock")
+	b.Const(0, 0)
+	b.Const(1, 1)
+	b.CAS(2, lock, -1, 0, 1) // single CAS, no loop: bounded at 1
+	b.JumpIfNe(2, 0, "out")
+	b.CS()
+	b.Write(lock, -1, 0)
+	b.Fence()
+	b.Label("out")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(p, 4) // Theorem 1 wants 3 serializing events at contention 4
+	if !hasCode(r, "theorem1-adaptive") {
+		t.Fatalf("missing theorem1-adaptive warning, got %v", r.Diags)
+	}
+	if len(r.Errors()) != 0 {
+		t.Fatalf("warning-only program produced errors: %v", r.Diags)
+	}
+	// The same structure declared non-adaptive promises nothing: clean.
+	b2 := vmprog.NewBuilder("fake-nonadaptive")
+	b2.SetClass(vmprog.ClassNonAdaptive)
+	lock2 := b2.Var("lock")
+	b2.Const(0, 0)
+	b2.Const(1, 1)
+	b2.CAS(2, lock2, -1, 0, 1)
+	b2.JumpIfNe(2, 0, "out")
+	b2.CS()
+	b2.Write(lock2, -1, 0)
+	b2.Fence()
+	b2.Label("out")
+	b2.Halt()
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := Analyze(p2, 4); len(r2.Diags) != 0 {
+		t.Fatalf("non-adaptive variant produced diagnostics: %v", r2.Diags)
+	}
+}
+
+// TestDeadCode: unreachable instructions draw a warning.
+func TestDeadCode(t *testing.T) {
+	b := vmprog.NewBuilder("dead")
+	v := b.Var("v")
+	b.Const(0, 1)
+	b.Jump("go")
+	b.Const(1, 2) // unreachable
+	b.Const(2, 3) // unreachable
+	b.Label("go")
+	b.Fence()
+	b.CS()
+	b.Write(v, -1, 0)
+	b.Fence()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(p, 2)
+	if !hasCode(r, "dead-code") {
+		t.Fatalf("missing dead-code warning, got %v", r.Diags)
+	}
+}
+
+// TestLocalDivergence: a local-only cycle that reaches no event is an
+// engine hang and must be an error.
+func TestLocalDivergence(t *testing.T) {
+	b := vmprog.NewBuilder("diverge")
+	v := b.Var("v")
+	b.Fence()
+	b.Read(0, v, -1)
+	b.JumpIfEq(0, 1, "spin")
+	b.CS()
+	b.Jump("end")
+	b.Label("spin") // local cycle: Jump -> Jump, no event
+	b.Jump("spin")
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(p, 2)
+	if !hasCode(r, "local-divergence") {
+		t.Fatalf("missing local-divergence error, got %v", r.Diags)
+	}
+	if _, err := Facts(p); err == nil {
+		t.Fatal("Facts accepted a divergent program")
+	}
+	// A spin loop THROUGH an event (the normal lock shape) is fine.
+	b2 := vmprog.NewBuilder("spinread")
+	v2 := b2.Var("v")
+	b2.Fence()
+	b2.Label("spin")
+	b2.Read(0, v2, -1)
+	b2.JumpIfEq(0, 1, "spin")
+	b2.CS()
+	b2.Halt()
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := Analyze(p2, 2); hasCode(r2, "local-divergence") {
+		t.Fatalf("spin-through-read flagged divergent: %v", r2.Diags)
+	}
+}
+
+// TestInvalidProgram: a structurally invalid program yields a single
+// invalid-program error rather than a panic.
+func TestInvalidProgram(t *testing.T) {
+	p := &vmprog.Program{Name: "bad", Vars: []string{"v"}, Code: []vmprog.Instr{
+		{Op: vmprog.OpJump, Target: 99},
+		{Op: vmprog.OpCS},
+		{Op: vmprog.OpHalt},
+	}}
+	r := Analyze(p, 2)
+	if !hasCode(r, "invalid-program") || len(r.Diags) != 1 {
+		t.Fatalf("want exactly one invalid-program error, got %v", r.Diags)
+	}
+	if _, err := Facts(p); err == nil {
+		t.Fatal("Facts accepted an invalid program")
+	}
+}
+
+// TestFactsShape sanity-checks the pruning facts on every correct registry
+// program: the entry point carries an empty buffer, ample points are a
+// subset of empty-buffer fence/halt instructions, and process start is
+// ample for every built-in lock (none parks its first event at the CS).
+func TestFactsShape(t *testing.T) {
+	for _, e := range vmprog.Registry() {
+		p, _ := build(t, e.Name)
+		f, err := Facts(p)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if len(f.EmptyBufAt) != len(p.Code) || len(f.AmpleAt) != len(p.Code) {
+			t.Fatalf("%s: facts sized %d/%d, code %d", e.Name, len(f.EmptyBufAt), len(f.AmpleAt), len(p.Code))
+		}
+		if !f.EmptyBufAt[0] {
+			t.Errorf("%s: entry not marked empty-buffer", e.Name)
+		}
+		if !f.AmpleStart {
+			t.Errorf("%s: start not ample", e.Name)
+		}
+		for pc, ok := range f.AmpleAt {
+			if !ok {
+				continue
+			}
+			if !f.EmptyBufAt[pc] {
+				t.Errorf("%s: pc %d ample without empty buffer", e.Name, pc)
+			}
+			if op := p.Code[pc].Op; op != vmprog.OpFence && op != vmprog.OpHalt {
+				t.Errorf("%s: pc %d (op %d) ample but not fence/halt", e.Name, pc, int(op))
+			}
+		}
+	}
+}
+
+// TestCFGShape pins structural CFG facts on a known program.
+func TestCFGShape(t *testing.T) {
+	p := vmprog.MustPeterson(true)
+	g := BuildCFG(p)
+	if len(g.Blocks) == 0 {
+		t.Fatal("no basic blocks")
+	}
+	// Block starts are unique, ordered, and cover exactly the reachable
+	// instructions.
+	covered := 0
+	for i, b := range g.Blocks {
+		if b.End <= b.Start {
+			t.Fatalf("block %d empty: [%d,%d)", i, b.Start, b.End)
+		}
+		if i > 0 && b.Start < g.Blocks[i-1].End {
+			t.Fatalf("blocks %d and %d overlap", i-1, i)
+		}
+		covered += b.End - b.Start
+		for pc := b.Start; pc < b.End; pc++ {
+			if g.BlockOf[pc] != i {
+				t.Fatalf("BlockOf[%d] = %d, want %d", pc, g.BlockOf[pc], i)
+			}
+		}
+	}
+	reach := 0
+	for pc := range p.Code {
+		if g.Reachable[pc] {
+			reach++
+		}
+	}
+	if covered != reach {
+		t.Fatalf("blocks cover %d instructions, %d reachable", covered, reach)
+	}
+	// The entry dominates everything; everything reachable is dominated
+	// by pc 0 and dominates itself.
+	for pc := range p.Code {
+		if !g.Reachable[pc] {
+			continue
+		}
+		if !g.Dominates(0, pc) {
+			t.Errorf("entry does not dominate pc %d", pc)
+		}
+		if !g.Dominates(pc, pc) {
+			t.Errorf("pc %d does not dominate itself", pc)
+		}
+	}
+	// A spin-loop head sits on a cycle; the entry does not.
+	if g.InCycle(0) {
+		t.Error("entry on a cycle")
+	}
+	cyclic := false
+	for pc := range p.Code {
+		if g.Reachable[pc] && g.InCycle(pc) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Error("peterson's wait loop not detected as a cycle")
+	}
+}

@@ -1,0 +1,312 @@
+// Package analysis is a static analyzer for vmprog lock programs: a
+// per-process control-flow graph with basic blocks and dominance, a
+// buffered-write may-analysis over the TSO semantics, and the diagnostics
+// built on them - stale reads through the write buffer, serializing-event
+// (fence/CAS) path counts checked against the paper's Theorem 1, dead code,
+// and reference errors. It also derives the sound pruning facts
+// (vmprog.PruneFacts) that the fast model checker uses to collapse
+// equivalent interleavings.
+//
+// Everything here reasons about one process's program text; process
+// interaction enters only through the soundness arguments (a diagnostic
+// claims what *may* happen in some execution of the full system, a pruning
+// fact claims what *must* hold in all of them).
+package analysis
+
+import (
+	"sort"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// Block is a basic block: a maximal straight-line run [Start, End) of
+// instructions entered only at Start and left only at End-1.
+type Block struct {
+	Start, End int
+	// Succs indexes successor blocks.
+	Succs []int
+}
+
+// CFG is the per-process control-flow graph of a program, at instruction
+// granularity with a basic-block overlay.
+type CFG struct {
+	prog *vmprog.Program
+	// Succs and Preds are instruction-level edges. OpHalt has no
+	// successors; conditional jumps have two.
+	Succs, Preds [][]int
+	// Reachable marks instructions reachable from entry (pc 0).
+	Reachable []bool
+	// Blocks are the basic blocks over reachable code, ordered by Start.
+	Blocks []Block
+	// BlockOf maps a reachable instruction to its block index (-1 for
+	// unreachable instructions).
+	BlockOf []int
+	// IDom is the immediate dominator of each reachable instruction (pc 0
+	// is its own dominator; -1 for unreachable instructions).
+	IDom []int
+	// SCCOf maps each instruction to its strongly connected component;
+	// Cyclic[c] reports whether component c contains a cycle (more than
+	// one member, or a self-loop).
+	SCCOf  []int
+	Cyclic []bool
+	// rpo is a reverse postorder of the reachable instructions.
+	rpo []int
+}
+
+// instrSuccs returns the successor PCs of the instruction at pc.
+func instrSuccs(p *vmprog.Program, pc int) []int {
+	in := p.Code[pc]
+	switch in.Op {
+	case vmprog.OpJump:
+		return []int{in.Target}
+	case vmprog.OpJumpIfEq, vmprog.OpJumpIfNe, vmprog.OpJumpIfLt:
+		if in.Target == pc+1 {
+			return []int{pc + 1}
+		}
+		return []int{pc + 1, in.Target}
+	case vmprog.OpHalt:
+		return nil
+	}
+	return []int{pc + 1}
+}
+
+// BuildCFG constructs the control-flow graph of a validated program.
+func BuildCFG(p *vmprog.Program) *CFG {
+	n := len(p.Code)
+	g := &CFG{
+		prog:      p,
+		Succs:     make([][]int, n),
+		Preds:     make([][]int, n),
+		Reachable: make([]bool, n),
+		BlockOf:   make([]int, n),
+		IDom:      make([]int, n),
+		SCCOf:     make([]int, n),
+	}
+	for pc := 0; pc < n; pc++ {
+		g.Succs[pc] = instrSuccs(p, pc)
+		g.BlockOf[pc] = -1
+		g.IDom[pc] = -1
+		g.SCCOf[pc] = -1
+	}
+	// Reachability and postorder from the entry.
+	var post []int
+	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct{ pc, next int }
+	stack := []frame{{0, 0}}
+	g.Reachable[0] = true
+	state[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succs[f.pc]) {
+			s := g.Succs[f.pc][f.next]
+			f.next++
+			if state[s] == 0 {
+				state[s] = 1
+				g.Reachable[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[f.pc] = 2
+		post = append(post, f.pc)
+		stack = stack[:len(stack)-1]
+	}
+	g.rpo = make([]int, len(post))
+	for i, pc := range post {
+		g.rpo[len(post)-1-i] = pc
+	}
+	// Predecessors, restricted to reachable code.
+	for _, pc := range g.rpo {
+		for _, s := range g.Succs[pc] {
+			g.Preds[s] = append(g.Preds[s], pc)
+		}
+	}
+	g.buildBlocks()
+	g.buildDominators()
+	g.buildSCC()
+	return g
+}
+
+// buildBlocks computes basic blocks over the reachable instructions.
+func (g *CFG) buildBlocks() {
+	n := len(g.prog.Code)
+	leader := make([]bool, n)
+	if g.Reachable[0] {
+		leader[0] = true
+	}
+	for pc := 0; pc < n; pc++ {
+		if !g.Reachable[pc] {
+			continue
+		}
+		if len(g.Succs[pc]) != 1 || g.Succs[pc][0] != pc+1 {
+			// Ends a block: every successor starts one.
+			for _, s := range g.Succs[pc] {
+				leader[s] = true
+			}
+		}
+		if len(g.Preds[pc]) > 1 {
+			leader[pc] = true
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		if !g.Reachable[pc] || !leader[pc] {
+			continue
+		}
+		end := pc + 1
+		for end < n && g.Reachable[end] && !leader[end] {
+			end++
+		}
+		for i := pc; i < end; i++ {
+			g.BlockOf[i] = len(g.Blocks)
+		}
+		g.Blocks = append(g.Blocks, Block{Start: pc, End: end})
+	}
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		for _, s := range g.Succs[b.End-1] {
+			b.Succs = append(b.Succs, g.BlockOf[s])
+		}
+		sort.Ints(b.Succs)
+	}
+}
+
+// buildDominators runs the Cooper-Harvey-Kennedy iterative algorithm over
+// the reachable instructions in reverse postorder.
+func (g *CFG) buildDominators() {
+	if len(g.rpo) == 0 {
+		return
+	}
+	order := make([]int, len(g.prog.Code)) // rpo number per pc
+	for i, pc := range g.rpo {
+		order[pc] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = g.IDom[a]
+			}
+			for order[b] > order[a] {
+				b = g.IDom[b]
+			}
+		}
+		return a
+	}
+	g.IDom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, pc := range g.rpo {
+			if pc == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, pred := range g.Preds[pc] {
+				if g.IDom[pred] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = pred
+				} else {
+					newIdom = intersect(newIdom, pred)
+				}
+			}
+			if newIdom >= 0 && g.IDom[pc] != newIdom {
+				g.IDom[pc] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether instruction a dominates instruction b (every
+// path from the entry to b passes through a).
+func (g *CFG) Dominates(a, b int) bool {
+	if !g.Reachable[a] || !g.Reachable[b] {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = g.IDom[b]
+	}
+}
+
+// buildSCC runs Tarjan's algorithm over the reachable instructions.
+func (g *CFG) buildSCC() {
+	n := len(g.prog.Code)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var tstack []int
+	next := 0
+	type frame struct{ pc, si int }
+	for _, root := range g.rpo {
+		if index[root] >= 0 {
+			continue
+		}
+		stack := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		tstack = append(tstack, root)
+		onStack[root] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.si < len(g.Succs[f.pc]) {
+				s := g.Succs[f.pc][f.si]
+				f.si++
+				if index[s] < 0 {
+					index[s] = next
+					low[s] = next
+					next++
+					tstack = append(tstack, s)
+					onStack[s] = true
+					stack = append(stack, frame{s, 0})
+				} else if onStack[s] && index[s] < low[f.pc] {
+					low[f.pc] = index[s]
+				}
+				continue
+			}
+			pc := f.pc
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 && low[pc] < low[stack[len(stack)-1].pc] {
+				low[stack[len(stack)-1].pc] = low[pc]
+			}
+			if low[pc] == index[pc] {
+				id := len(g.Cyclic)
+				size := 0
+				for {
+					w := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					onStack[w] = false
+					g.SCCOf[w] = id
+					size++
+					if w == pc {
+						break
+					}
+				}
+				cyclic := size > 1
+				if !cyclic {
+					for _, s := range g.Succs[pc] {
+						if s == pc {
+							cyclic = true
+						}
+					}
+				}
+				g.Cyclic = append(g.Cyclic, cyclic)
+			}
+		}
+	}
+}
+
+// InCycle reports whether the instruction at pc sits on some control-flow
+// cycle.
+func (g *CFG) InCycle(pc int) bool {
+	return g.Reachable[pc] && g.Cyclic[g.SCCOf[pc]]
+}

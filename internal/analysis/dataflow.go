@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"strings"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// bitset is a fixed-width set of variable indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unionInto adds o to b, reporting whether b changed.
+func (b bitset) unionInto(o bitset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// extents groups the variable table into arrays, recovered from the
+// Builder.Array naming convention "name[i]": extent(v) is the maximal
+// contiguous run of same-named array slots containing v, or just {v} for a
+// scalar.
+type extents struct {
+	start, end []int // extent of var v is [start[v], end[v])
+}
+
+// arrayBase returns the "name" of "name[i]", or "" for scalars.
+func arrayBase(name string) string {
+	if !strings.HasSuffix(name, "]") {
+		return ""
+	}
+	i := strings.LastIndexByte(name, '[')
+	if i <= 0 {
+		return ""
+	}
+	return name[:i]
+}
+
+func buildExtents(vars []string) *extents {
+	n := len(vars)
+	e := &extents{start: make([]int, n), end: make([]int, n)}
+	for v := 0; v < n; {
+		base := arrayBase(vars[v])
+		end := v + 1
+		if base != "" {
+			for end < n && arrayBase(vars[end]) == base {
+				end++
+			}
+		}
+		for i := v; i < end; i++ {
+			e.start[i] = v
+			e.end[i] = end
+		}
+		v = end
+	}
+	return e
+}
+
+// accessSet returns the set of variables an OpRead/OpWrite/OpCAS at pc may
+// address: the base variable alone for scalar accesses, the base's whole
+// array for indexed ones (the index register's runtime value is unknown).
+func (e *extents) accessSet(nvars int, in vmprog.Instr) bitset {
+	s := newBitset(nvars)
+	if in.Index < 0 {
+		s.set(in.Base)
+		return s
+	}
+	for v := e.start[in.Base]; v < e.end[in.Base]; v++ {
+		s.set(v)
+	}
+	return s
+}
+
+// mayBuffered computes, for every reachable program point, the set of
+// variables that may sit uncommitted in the process's TSO write buffer when
+// control is *about to execute* that instruction. Transfer functions follow
+// the engine semantics exactly: OpWrite adds its access set (the write is
+// buffered), OpFence and OpCAS clear the set (both drain the buffer before
+// control proceeds), every other instruction - including OpCS - leaves it
+// unchanged. The join is set union (may-analysis), so an empty result is a
+// guarantee over all executions, which is what the pruning facts require.
+func mayBuffered(p *vmprog.Program, g *CFG, ext *extents) []bitset {
+	nv := len(p.Vars)
+	in := make([]bitset, len(p.Code))
+	for _, pc := range g.rpo {
+		in[pc] = newBitset(nv)
+	}
+	transfer := func(pc int) bitset {
+		instr := p.Code[pc]
+		switch instr.Op {
+		case vmprog.OpWrite:
+			out := in[pc].clone()
+			out.unionInto(ext.accessSet(nv, instr))
+			return out
+		case vmprog.OpFence, vmprog.OpCAS:
+			return newBitset(nv)
+		}
+		return in[pc]
+	}
+	// Worklist over reverse postorder.
+	onList := make([]bool, len(p.Code))
+	list := append([]int(nil), g.rpo...)
+	for _, pc := range list {
+		onList[pc] = true
+	}
+	for len(list) > 0 {
+		pc := list[0]
+		list = list[1:]
+		onList[pc] = false
+		out := transfer(pc)
+		for _, s := range g.Succs[pc] {
+			if in[s].unionInto(out) && !onList[s] {
+				onList[s] = true
+				list = append(list, s)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// Facts derives sound partial-order-reduction facts for the fast engine
+// (vmprog.Engine.UsePruning) from the buffered-write dataflow.
+//
+// The reduction is a singleton ample set: at a state where some process has
+// a transition that is (1) invisible - it changes no shared memory and
+// cannot make the process pending at the CS, so the Violated predicate is
+// unaffected; (2) globally independent - it commutes with every transition
+// of every other process and neither disables nor is disabled by them; and
+// (3) cannot repeat forever - the checker may explore that transition alone
+// and still reach every violation the full interleaving graph reaches. Three
+// transition kinds qualify:
+//
+//   - starting a process, when its leading local instructions cannot park it
+//     at the CS (AmpleStart);
+//   - stepping an OpFence parked with a provably empty write buffer, when
+//     the fence lies on no control-flow cycle (condition 3: an ample chain
+//     can visit each fence at most once) and its continuation cannot park at
+//     the CS;
+//   - stepping an OpHalt with an empty buffer (it only marks the process
+//     done).
+//
+// "Provably empty buffer" is the may-buffered dataflow result: when the set
+// is empty at a program point, no execution parks there with a pending
+// write, so the fence/halt step touches nothing any other process can
+// observe. The engine still re-checks the dynamic buffer at runtime; a wrong
+// fact degrades to full exploration rather than unsoundness.
+func Facts(p *vmprog.Program) (*vmprog.PruneFacts, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := BuildCFG(p)
+	ext := buildExtents(p.Vars)
+	buf := mayBuffered(p, g, ext)
+	pi := parkSets(p, g)
+	for pc := range p.Code {
+		if g.Reachable[pc] && pi[pc].divergent {
+			return nil, fmt.Errorf("analysis: %s: local instruction cycle at pc %d; no pruning facts", p.Name, pc)
+		}
+	}
+	f := &vmprog.PruneFacts{
+		EmptyBufAt: make([]bool, len(p.Code)),
+		AmpleAt:    make([]bool, len(p.Code)),
+	}
+	for pc, in := range p.Code {
+		if !g.Reachable[pc] {
+			continue
+		}
+		f.EmptyBufAt[pc] = buf[pc].empty()
+		if !f.EmptyBufAt[pc] {
+			continue
+		}
+		switch in.Op {
+		case vmprog.OpHalt:
+			f.AmpleAt[pc] = true
+		case vmprog.OpFence:
+			f.AmpleAt[pc] = !g.InCycle(pc) && !parksAtCS(p, pi, pc+1)
+		}
+	}
+	f.AmpleStart = !parksAtCS(p, pi, 0)
+	return f, nil
+}

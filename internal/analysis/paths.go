@@ -1,0 +1,179 @@
+package analysis
+
+import "priceadaptive/internal/vmprog"
+
+// serializing reports whether executing the instruction drains the write
+// buffer: OpFence and OpCAS, the two event kinds Theorem 1 counts.
+func serializing(op vmprog.OpCode) bool {
+	return op == vmprog.OpFence || op == vmprog.OpCAS
+}
+
+const unreach = int(^uint(0) >> 1) // "unreached" distance
+
+// minSerializing returns, per instruction, the minimum number of
+// serializing events executed on any path from `from` to (but not
+// including) that instruction: a 0/1-BFS where traversing an edge out of pc
+// costs 1 when pc is serializing. Unreachable entries hold unreach.
+func minSerializing(g *CFG, from int) []int {
+	dist := make([]int, len(g.prog.Code))
+	for i := range dist {
+		dist[i] = unreach
+	}
+	dist[from] = 0
+	deque := []int{from}
+	for len(deque) > 0 {
+		pc := deque[0]
+		deque = deque[1:]
+		w := 0
+		if serializing(g.prog.Code[pc].Op) {
+			w = 1
+		}
+		for _, s := range g.Succs[pc] {
+			if nd := dist[pc] + w; nd < dist[s] {
+				dist[s] = nd
+				if w == 0 {
+					deque = append([]int{s}, deque...)
+				} else {
+					deque = append(deque, s)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// maxSerializing returns the maximum number of serializing events executed
+// on any path from `from` to `to` (exclusive of `to` itself), or -1 when a
+// control-flow cycle containing a serializing instruction lies on such a
+// path, making the count unbounded. Returns unreach when `to` is not
+// reachable from `from`.
+func maxSerializing(g *CFG, from, to int) int {
+	ncomp := len(g.Cyclic)
+	// Per-component: weight added by passing through and leaving, and
+	// whether that weight is unbounded (cyclic component with a
+	// serializing member).
+	weight := make([]int, ncomp)
+	unbounded := make([]bool, ncomp)
+	for pc := range g.prog.Code {
+		if !g.Reachable[pc] || !serializing(g.prog.Code[pc].Op) {
+			continue
+		}
+		c := g.SCCOf[pc]
+		if g.Cyclic[c] {
+			unbounded[c] = true
+		} else {
+			weight[c]++ // acyclic components are single instructions
+		}
+	}
+	// Condensation DAG edges. Tarjan numbers components in reverse
+	// topological order (an edge u->v with distinct components implies
+	// comp(v) < comp(u)), so descending component id is a topological
+	// order for forward propagation.
+	succs := make([][]int, ncomp)
+	for pc := range g.prog.Code {
+		if !g.Reachable[pc] {
+			continue
+		}
+		for _, s := range g.Succs[pc] {
+			if g.SCCOf[s] != g.SCCOf[pc] {
+				succs[g.SCCOf[pc]] = append(succs[g.SCCOf[pc]], g.SCCOf[s])
+			}
+		}
+	}
+	reach := make([]bool, ncomp)
+	val := make([]int, ncomp)
+	unb := make([]bool, ncomp)
+	start, target := g.SCCOf[from], g.SCCOf[to]
+	reach[start] = true
+	for c := ncomp - 1; c >= 0; c-- {
+		if !reach[c] || c == target {
+			continue
+		}
+		for _, d := range succs[c] {
+			reach[d] = true
+			if v := val[c] + weight[c]; v > val[d] {
+				val[d] = v
+			}
+			if unb[c] || unbounded[c] {
+				unb[d] = true
+			}
+		}
+	}
+	if !reach[target] {
+		return unreach
+	}
+	if unb[target] || unbounded[target] {
+		return -1
+	}
+	if start == target && g.Cyclic[target] {
+		// from and to share a zero-weight cycle; no serializing events.
+		return 0
+	}
+	return val[target]
+}
+
+// parkInfo describes where Engine.advance, started at a given pc, can park.
+type parkInfo struct {
+	// parks is the set of event/halt instructions reachable through local
+	// instructions only (indexed by pc).
+	parks bitset
+	// divergent reports that no event is reachable from here at all:
+	// advance would execute local instructions forever (the engine would
+	// hang), a certain program bug. A local cycle with a conditional exit
+	// to an event is not divergent - whether it exits is a dynamic
+	// question the may-analysis leaves to the program.
+	divergent bool
+}
+
+// localOp reports an instruction the engine executes without parking.
+func localOp(op vmprog.OpCode) bool {
+	switch op {
+	case vmprog.OpConst, vmprog.OpMe, vmprog.OpProcs, vmprog.OpAdd, vmprog.OpSub,
+		vmprog.OpJump, vmprog.OpJumpIfEq, vmprog.OpJumpIfNe, vmprog.OpJumpIfLt:
+		return true
+	}
+	return false
+}
+
+// parkSets computes parkInfo for every reachable instruction as a union
+// fixpoint over the local-instruction subgraph (a plain DFS would
+// under-approximate the sets of instructions on local cycles).
+func parkSets(p *vmprog.Program, g *CFG) []parkInfo {
+	n := len(p.Code)
+	info := make([]parkInfo, n)
+	for pc := 0; pc < n; pc++ {
+		info[pc].parks = newBitset(n)
+		if g.Reachable[pc] && !localOp(p.Code[pc].Op) {
+			info[pc].parks.set(pc)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			if !g.Reachable[pc] || !localOp(p.Code[pc].Op) {
+				continue
+			}
+			for _, s := range g.Succs[pc] {
+				if info[pc].parks.unionInto(info[s].parks) {
+					changed = true
+				}
+			}
+		}
+	}
+	for pc := 0; pc < n; pc++ {
+		if g.Reachable[pc] && info[pc].parks.empty() {
+			info[pc].divergent = true
+		}
+	}
+	return info
+}
+
+// parksAtCS reports whether advance from pc can park at the CS transition.
+func parksAtCS(p *vmprog.Program, pi []parkInfo, pc int) bool {
+	for park := range p.Code {
+		if pi[pc].parks.has(park) && p.Code[park].Op == vmprog.OpCS {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"context"
+	"fmt"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+// FastOptions configures FastVerify.
+type FastOptions struct {
+	// PSO selects partial store ordering (out-of-order commits).
+	PSO bool
+	// MaxStates bounds the exploration (0: the engine default).
+	MaxStates int
+	// Prune installs statically derived partial-order-reduction facts
+	// (analysis.Facts) into the engine before exploring. The reduction is
+	// sound - TestFastVerifyPruningDifferential holds the pruned and
+	// unpruned explorations to identical verdicts - but pruned state
+	// counts are not comparable across the two modes.
+	Prune bool
+}
+
+// FastVerify exhaustively model-checks a VM lock program for n processes on
+// the fast clonable-state engine, optionally pruned by the static
+// analyzer's buffered-write facts. It is the programs-as-data counterpart
+// of Exhaustive.Verify: no goroutines, no replaying, true state snapshots.
+func FastVerify(ctx context.Context, p *vmprog.Program, n int, opts FastOptions) (*vmprog.CheckResult, error) {
+	eng, err := vmprog.NewEngine(p, n, opts.PSO)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Prune {
+		facts, err := analysis.Facts(p)
+		if err != nil {
+			return nil, fmt.Errorf("check: deriving pruning facts: %w", err)
+		}
+		if err := eng.UsePruning(facts); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Check(ctx, opts.MaxStates)
+}

@@ -1,0 +1,119 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// verdict renders the observable outcome of a verification. Pruning must
+// never change it - state and transition counts may shrink, the answer may
+// not.
+func verdict(res *vmprog.CheckResult) string {
+	return fmt.Sprintf("violation=%v complete=%v", res.Violation, res.Complete)
+}
+
+// TestFastVerifyPruningDifferential runs every registry program through the
+// fast engine twice - pruning disabled and enabled - and requires
+// byte-identical verdicts. Any violation schedule found by the pruned run
+// must replay to a violation on an unpruned engine, so a pruning bug cannot
+// hide behind a lucky verdict match.
+func TestFastVerifyPruningDifferential(t *testing.T) {
+	for _, e := range vmprog.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			n := 2
+			if e.FixedN > 0 {
+				n = e.FixedN
+			}
+			if n > 2 && testing.Short() {
+				t.Skip("large state space in -short mode")
+			}
+			p, err := e.Build(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			budget := 1 << 22
+			plain, err := FastVerify(ctx, p, n, FastOptions{MaxStates: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := FastVerify(ctx, p, n, FastOptions{MaxStates: budget, Prune: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := verdict(pruned), verdict(plain); got != want {
+				t.Fatalf("verdicts differ: pruned %q, unpruned %q", got, want)
+			}
+			if pruned.States > plain.States {
+				t.Fatalf("pruning grew the state space: %d > %d", pruned.States, plain.States)
+			}
+			if !pruned.Violation && pruned.AmpleSteps == 0 {
+				t.Errorf("pruning facts never applied (AmpleSteps=0)")
+			}
+			t.Logf("states %d -> %d (%.1f%%), ample steps %d",
+				plain.States, pruned.States,
+				100*float64(pruned.States)/float64(plain.States), pruned.AmpleSteps)
+			if pruned.Violation {
+				// Replay the pruned run's counterexample without pruning.
+				eng, err := vmprog.NewEngine(p, n, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := eng.Initial()
+				for _, d := range pruned.Schedule {
+					if err := eng.Apply(st, d); err != nil {
+						t.Fatalf("pruned schedule does not replay: %v", err)
+					}
+				}
+				if !eng.Violated(st) {
+					t.Fatalf("pruned schedule does not reproduce the violation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastVerifyPruning measures the state-space reduction the static
+// pruning facts buy on full explorations of correct locks. The "states"
+// metric is the explored state count; compare prune=off vs prune=on rows.
+func BenchmarkFastVerifyPruning(b *testing.B) {
+	for _, alg := range []string{"peterson", "bakery", "mcs", "caschain"} {
+		e, err := vmprog.LookupEntry(alg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 2
+		if e.FixedN > 0 {
+			n = e.FixedN
+		}
+		p, err := e.Build(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var states [2]int
+		for mi, prune := range []bool{false, true} {
+			mi, prune := mi, prune
+			b.Run(fmt.Sprintf("%s/prune=%v", alg, prune), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := FastVerify(context.Background(), p, n, FastOptions{Prune: prune})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Violation || !res.Complete {
+						b.Fatalf("unexpected result: %s", verdict(res))
+					}
+					states[mi] = res.States
+				}
+				b.ReportMetric(float64(states[mi]), "states")
+			})
+		}
+		if states[0] > 0 && states[1] > 0 {
+			b.Logf("%s: %d -> %d states (%.1f%% kept)", alg, states[0], states[1],
+				100*float64(states[1])/float64(states[0]))
+		}
+	}
+}

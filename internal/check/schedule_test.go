@@ -1,8 +1,8 @@
 package check
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"testing"
 
 	"priceadaptive/internal/mutex"

@@ -78,18 +78,20 @@ type Runner func(ctx context.Context) (*Report, error)
 // report it returns.
 func Experiments() map[string]Runner {
 	return map[string]Runner{
-		"e1":  timed(func(ctx context.Context) (*Report, error) { return E1Construction(ctx, 16) }),
-		"e2":  timed(func(ctx context.Context) (*Report, error) { return E2FencesForced(ctx, []int{4, 8, 16, 32, 64}) }),
-		"e3":  timed(func(ctx context.Context) (*Report, error) { return E3Separation(ctx, []int{2, 4, 8, 16}) }),
-		"e4":  timed(func(ctx context.Context) (*Report, error) { return E4LinearBound(defaultLog2Ns()), nil }),
-		"e5":  timed(func(ctx context.Context) (*Report, error) { return E5ExpBound(defaultLog2Ns()), nil }),
-		"e6":  timed(func(ctx context.Context) (*Report, error) { return E6Reduction(ctx, 8) }),
-		"e7":  timed(func(ctx context.Context) (*Report, error) { return E7RMRModels(ctx, []int{2, 4, 8, 16}) }),
-		"e8":  timed(func(ctx context.Context) (*Report, error) { return E8FenceElision(ctx, 20) }),
+		"e1": timed(func(ctx context.Context) (*Report, error) { return E1Construction(ctx, 16) }),
+		"e2": timed(func(ctx context.Context) (*Report, error) { return E2FencesForced(ctx, []int{4, 8, 16, 32, 64}) }),
+		"e3": timed(func(ctx context.Context) (*Report, error) { return E3Separation(ctx, []int{2, 4, 8, 16}) }),
+		"e4": timed(func(ctx context.Context) (*Report, error) { return E4LinearBound(defaultLog2Ns()), nil }),
+		"e5": timed(func(ctx context.Context) (*Report, error) { return E5ExpBound(defaultLog2Ns()), nil }),
+		"e6": timed(func(ctx context.Context) (*Report, error) { return E6Reduction(ctx, 8) }),
+		"e7": timed(func(ctx context.Context) (*Report, error) { return E7RMRModels(ctx, []int{2, 4, 8, 16}) }),
+		"e8": timed(func(ctx context.Context) (*Report, error) { return E8FenceElision(ctx, 20) }),
 		"e9": timed(func(ctx context.Context) (*Report, error) {
 			return E9PSOSeparation(ctx, []float64{8, 16, 32, 64, 1 << 10, 1 << 16}, 2)
 		}),
-		"e10": timed(func(ctx context.Context) (*Report, error) { return E10Adaptivity(ctx, []int{16, 64}, []int{1, 2, 4, 8}) }),
+		"e10": timed(func(ctx context.Context) (*Report, error) {
+			return E10Adaptivity(ctx, []int{16, 64}, []int{1, 2, 4, 8})
+		}),
 		"e11": timed(func(ctx context.Context) (*Report, error) { return E11VerificationMatrix(ctx) }),
 	}
 }

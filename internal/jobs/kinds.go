@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/check"
 	"priceadaptive/internal/core"
 	"priceadaptive/internal/mutex"
@@ -22,15 +23,20 @@ const (
 	// engine) or VM program (fast engine) and stores the verdict plus the
 	// minimized counterexample schedule, if any.
 	KindModelCheck = "modelcheck"
+	// KindLint runs the static analyzer (internal/analysis) over VM lock
+	// programs and stores the reports, so padserver serves fence/buffer
+	// analyses through the same queue and artifact store as experiments.
+	KindLint = "padlint"
 )
 
 // RegisterBuiltins installs the repository's job kinds on q: the experiment
-// runners and the bounded model checkers. Both cmd/padserver and
-// cmd/priceadaptive call this, so the server and the CLI execute identical
-// code paths.
+// runners, the bounded model checkers, and the static linter. Both
+// cmd/padserver and cmd/priceadaptive call this, so the server and the CLI
+// execute identical code paths.
 func RegisterBuiltins(q *Queue) {
 	q.Register(KindExperiment, runExperiment)
 	q.Register(KindModelCheck, runModelCheck)
+	q.Register(KindLint, runLint)
 }
 
 // ExperimentParams selects one experiment by registry id ("e1".."e11").
@@ -71,6 +77,9 @@ type ModelCheckParams struct {
 	// CollapseSpins merges states differing only in spin iterations
 	// (replay engine; sound for pure spin-wait locks).
 	CollapseSpins bool `json:"collapse_spins,omitempty"`
+	// Prune installs the static analyzer's partial-order-reduction facts
+	// into the fast engine (ignored by the replay engine).
+	Prune bool `json:"prune,omitempty"`
 }
 
 // MCDecision is one scheduling decision of a counterexample schedule, in the
@@ -129,16 +138,20 @@ func runModelCheck(ctx context.Context, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng, err := vmprog.NewEngine(prog, p.N, pso)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := eng.Check(ctx, p.MaxStates)
+		rep, err := check.FastVerify(ctx, prog, p.N, check.FastOptions{
+			PSO:       pso,
+			MaxStates: p.MaxStates,
+			Prune:     p.Prune,
+		})
 		if err != nil {
 			return nil, err
 		}
 		res.States, res.Decisions, res.Complete, res.Violated = rep.States, rep.Transitions, rep.Complete, rep.Violation
 		if rep.Violation {
+			eng, err := vmprog.NewEngine(prog, p.N, pso)
+			if err != nil {
+				return nil, err
+			}
 			min, err := eng.Minimize(rep.Schedule)
 			if err != nil {
 				return nil, err
@@ -186,4 +199,85 @@ func toMCDecisions(sched []tso.Decision) []MCDecision {
 		out[i] = MCDecision{P: int(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1}
 	}
 	return out
+}
+
+// LintParams configures a padlint job: one registered VM program by name,
+// or All for the whole registry with the built-in expectations applied
+// (correct programs must lint clean, broken variants must be flagged).
+type LintParams struct {
+	Alg string `json:"alg,omitempty"`
+	All bool   `json:"all,omitempty"`
+	// N instantiates size-parametric programs (default 3; fixed-size
+	// programs override it).
+	N int `json:"n,omitempty"`
+}
+
+// LintProgramResult is one program's lint outcome.
+type LintProgramResult struct {
+	Report *analysis.Report `json:"report"`
+	// ExpectBroken marks registry variants required to draw errors.
+	ExpectBroken bool `json:"expect_broken,omitempty"`
+	// Pass reports whether the program met its expectation (errors on a
+	// broken variant, none otherwise).
+	Pass bool `json:"pass"`
+}
+
+// LintResult is the persisted artifact of a padlint job.
+type LintResult struct {
+	Programs []LintProgramResult `json:"programs"`
+	Errors   int                 `json:"errors"`
+	Warnings int                 `json:"warnings"`
+	// Pass aggregates the per-program verdicts.
+	Pass bool `json:"pass"`
+}
+
+func runLint(ctx context.Context, params json.RawMessage) (any, error) {
+	var p LintParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("padlint params: %w", err)
+	}
+	if p.N <= 0 {
+		p.N = 3
+	}
+	var entries []vmprog.Entry
+	if p.All {
+		entries = vmprog.Registry()
+	} else {
+		e, err := vmprog.LookupEntry(p.Alg)
+		if err != nil {
+			return nil, err
+		}
+		entries = []vmprog.Entry{e}
+	}
+	res := &LintResult{Pass: true}
+	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		n := p.N
+		if e.FixedN > 0 {
+			n = e.FixedN
+		}
+		prog, err := e.Build(n)
+		if err != nil {
+			return nil, fmt.Errorf("padlint %s: %w", e.Name, err)
+		}
+		r := analysis.Analyze(prog, n)
+		expectBroken := p.All && e.Broken
+		pass := len(r.Errors()) == 0
+		if expectBroken {
+			pass = !pass
+		}
+		res.Programs = append(res.Programs, LintProgramResult{
+			Report:       r,
+			ExpectBroken: expectBroken,
+			Pass:         pass,
+		})
+		res.Errors += len(r.Errors())
+		res.Warnings += len(r.Warnings())
+		if !pass {
+			res.Pass = false
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// TestLintJob runs the padlint kind end-to-end through the queue: the full
+// registry lint with expectations must pass (the broken variants' errors are
+// expected and counted, not failures), and a single-program lint of a broken
+// variant must report the raw errors with Pass=false.
+func TestLintJob(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 2})
+	RegisterBuiltins(q)
+	q.Start()
+	defer q.Close()
+
+	st, _, err := q.Submit(Spec{Kind: KindLint, Params: json.RawMessage(`{"all":true}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateDone {
+		t.Fatalf("padlint -all job: %s (%s)", st.State, st.Error)
+	}
+	raw, err := q.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res LintResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("artifact is not a LintResult: %v", err)
+	}
+	if want := len(vmprog.Registry()); len(res.Programs) != want {
+		t.Fatalf("linted %d programs, want %d", len(res.Programs), want)
+	}
+	if !res.Pass {
+		for _, pr := range res.Programs {
+			if !pr.Pass {
+				t.Errorf("%s: gate failed (expect_broken=%v)", pr.Report.Name, pr.ExpectBroken)
+			}
+		}
+		t.Fatal("registry lint did not pass")
+	}
+	if res.Errors == 0 {
+		t.Error("expected the broken variants' errors to be counted")
+	}
+
+	// A direct lint of a broken variant is expectation-free and must fail.
+	st, _, err = q.Submit(Spec{Kind: KindLint, Params: json.RawMessage(`{"alg":"peterson-nofence"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateDone {
+		t.Fatalf("padlint -alg job: %s (%s)", st.State, st.Error)
+	}
+	raw, err = q.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one LintResult
+	if err := json.Unmarshal(raw, &one); err != nil {
+		t.Fatal(err)
+	}
+	if len(one.Programs) != 1 || one.Pass || one.Errors == 0 {
+		t.Fatalf("broken-variant lint: programs=%d pass=%v errors=%d, want 1/false/>0",
+			len(one.Programs), one.Pass, one.Errors)
+	}
+
+	// Unknown program names surface as job failures, not panics.
+	st, _, err = q.Submit(Spec{Kind: KindLint, Params: json.RawMessage(`{"alg":"no-such-lock"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateFailed {
+		t.Fatalf("unknown program: %s, want failed", st.State)
+	}
+}

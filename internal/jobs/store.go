@@ -39,8 +39,8 @@ func Open(dir string) (*Store, error) {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
-func (s *Store) jobsDir() string       { return filepath.Join(s.root, "jobs") }
-func (s *Store) dir(id string) string  { return filepath.Join(s.jobsDir(), id) }
+func (s *Store) jobsDir() string          { return filepath.Join(s.root, "jobs") }
+func (s *Store) dir(id string) string     { return filepath.Join(s.jobsDir(), id) }
 func (s *Store) path(id, f string) string { return filepath.Join(s.dir(id), f) }
 
 // writeJSON atomically writes v as indented JSON to path.

@@ -6,6 +6,16 @@ import (
 	"testing/quick"
 )
 
+// quickCfg scales a property test's case budget down in -short mode, so CI
+// smoke runs (and the race detector) stay within a small time budget while
+// full runs keep the original coverage.
+func quickCfg(n int) *quick.Config {
+	if testing.Short() {
+		n = (n + 4) / 5
+	}
+	return &quick.Config{MaxCount: n}
+}
+
 // genProgram builds a deterministic random program over nv shared variables
 // from a seed: each process performs a pseudo-random sequence of reads,
 // writes and fences derived from (seed, pid), then enters the CS.
@@ -61,7 +71,7 @@ func TestQuickReplayDeterminism(t *testing.T) {
 		}
 		return VerifyErasure(s.Execution(), rs.Execution(), nil) == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -94,7 +104,7 @@ func TestQuickFirstRemoteReadIsCriticalExactlyOnce(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -125,7 +135,7 @@ func TestQuickCriticalWriteIffWriterChanges(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -178,7 +188,7 @@ func TestQuickWriteOrderIsFIFOUnderTSO(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -220,7 +230,7 @@ func TestQuickAwarenessMonotoneAndGrounded(t *testing.T) {
 		}
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -248,7 +258,7 @@ func TestQuickMemoryMatchesCommittedWrites(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -286,7 +296,7 @@ func TestQuickReadsSeeBufferThenMemory(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -332,7 +342,7 @@ func TestQuickErasingNonReadProcessIsInvisible(t *testing.T) {
 		defer rs.Kill()
 		return VerifyErasure(s.Execution(), rs.Execution(), banned) == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -49,12 +49,36 @@ func (s *State) Clone() *State {
 	return ns
 }
 
+// PruneFacts are static facts about a program, computed by the analyzer in
+// internal/analysis, that let the model checker merge equivalent
+// interleavings. Every field is a *guarantee*: a wrong fact would make the
+// exploration unsound, so facts are only produced by the buffered-write
+// dataflow whose soundness the differential tests in internal/check verify.
+type PruneFacts struct {
+	// EmptyBufAt[pc] reports that the write buffer is provably empty
+	// whenever a process is parked at pc: no path from the program's entry
+	// to pc carries a write that is not followed by a fence or CAS.
+	EmptyBufAt []bool
+	// AmpleAt[pc] reports that stepping a process parked at pc is invisible
+	// and globally independent (an OpFence or OpHalt with a provably empty
+	// buffer whose continuation cannot park at OpCS, the fence case
+	// additionally outside every CFG cycle), so the checker may take it as
+	// the sole decision without exploring interleavings with other
+	// processes.
+	AmpleAt []bool
+	// AmpleStart reports that starting a process (advancing it through its
+	// leading local instructions) cannot park it at OpCS, making the start
+	// transition invisible too.
+	AmpleStart bool
+}
+
 // Engine executes a VM program under the TSO (or PSO) operational semantics
 // with explicit, clonable state.
 type Engine struct {
-	prog *Program
-	n    int
-	pso  bool
+	prog  *Program
+	n     int
+	pso   bool
+	facts *PruneFacts
 }
 
 // NewEngine builds an engine for n processes. pso selects partial store
@@ -67,6 +91,21 @@ func NewEngine(p *Program, n int, pso bool) (*Engine, error) {
 		return nil, fmt.Errorf("vmprog: n must be positive, got %d", n)
 	}
 	return &Engine{prog: p, n: n, pso: pso}, nil
+}
+
+// UsePruning installs static pruning facts (see PruneFacts). Passing nil
+// disables pruning. The facts must describe this engine's program.
+func (e *Engine) UsePruning(f *PruneFacts) error {
+	if f == nil {
+		e.facts = nil
+		return nil
+	}
+	if len(f.EmptyBufAt) != len(e.prog.Code) || len(f.AmpleAt) != len(e.prog.Code) {
+		return fmt.Errorf("vmprog: pruning facts cover %d/%d instructions, program has %d",
+			len(f.EmptyBufAt), len(f.AmpleAt), len(e.prog.Code))
+	}
+	e.facts = f
+	return nil
 }
 
 // Initial returns the initial state: memory zeroed, no process started.
@@ -356,6 +395,44 @@ type CheckResult struct {
 	// Schedule reproduces the violation (also applicable to the goroutine
 	// engine via the same decisions).
 	Schedule []tso.Decision
+	// AmpleSteps counts states where static pruning facts reduced the
+	// decision set to a single invisible transition (0 without UsePruning).
+	AmpleSteps int
+}
+
+// ampleDecision returns an invisible, globally independent decision that can
+// be taken as the only transition from s, if the installed static facts
+// certify one: starting a process whose leading local code cannot park at
+// the CS, or stepping a fence/halt at a program point with a provably empty
+// write buffer. Such a transition commutes with every other enabled
+// transition, leaves the Violated predicate unchanged, and stays enabled
+// under them, so exploring it alone preserves all reachable violations.
+func (e *Engine) ampleDecision(s *State) (tso.Decision, bool) {
+	if e.facts == nil {
+		return tso.Decision{}, false
+	}
+	for id := range s.Procs {
+		p := &s.Procs[id]
+		if p.Done {
+			continue
+		}
+		if !p.Started {
+			if e.facts.AmpleStart {
+				return tso.Decision{P: tso.ProcID(id)}, true
+			}
+			continue
+		}
+		// Dynamic double-check: an ample point promises an empty buffer;
+		// if the fact were ever wrong we fall back to full expansion
+		// rather than lose commit interleavings.
+		if len(p.Buf) > 0 || !e.facts.AmpleAt[p.PC] {
+			continue
+		}
+		if p.Fencing || e.prog.Code[p.PC].Op == OpFence || e.prog.Code[p.PC].Op == OpHalt {
+			return tso.Decision{P: tso.ProcID(id)}, true
+		}
+	}
+	return tso.Decision{}, false
 }
 
 // Check explores the reachable state space exhaustively (bounded by
@@ -399,7 +476,14 @@ func (e *Engine) Check(ctx context.Context, maxStates int) (*CheckResult, error)
 			res.Complete = false
 			return res, nil
 		}
-		for _, d := range e.decisions(nd.st) {
+		var choices []tso.Decision
+		if d, ok := e.ampleDecision(nd.st); ok {
+			choices = []tso.Decision{d}
+			res.AmpleSteps++
+		} else {
+			choices = e.decisions(nd.st)
+		}
+		for _, d := range choices {
 			child := nd.st.Clone()
 			if err := e.Apply(child, d); err != nil {
 				return nil, fmt.Errorf("vmprog: check: %w", err)

@@ -1,0 +1,85 @@
+package vmprog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonInstr mirrors Instr for decoding. Index needs a pointer: a scalar
+// access is Index -1, which is also what an *absent* index field must mean,
+// while plain omitempty would silently turn "absent" into register 0.
+type jsonInstr struct {
+	Op     OpCode `json:"op"`
+	A      int    `json:"a"`
+	B      int    `json:"b"`
+	C      int    `json:"c"`
+	Imm    uint64 `json:"imm"`
+	Base   int    `json:"base"`
+	Index  *int   `json:"index"`
+	Target int    `json:"target"`
+}
+
+// MarshalJSON emits the instruction with an explicit index field for
+// indexed accesses only.
+func (in Instr) MarshalJSON() ([]byte, error) {
+	j := jsonInstr{Op: in.Op, A: in.A, B: in.B, C: in.C, Imm: in.Imm, Base: in.Base, Target: in.Target}
+	if in.Index >= 0 {
+		j.Index = &in.Index
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes an instruction, defaulting a missing index field to
+// -1 (scalar access).
+func (in *Instr) UnmarshalJSON(data []byte) error {
+	var j jsonInstr
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*in = Instr{Op: j.Op, A: j.A, B: j.B, C: j.C, Imm: j.Imm, Base: j.Base, Index: -1, Target: j.Target}
+	if j.Index != nil {
+		in.Index = *j.Index
+	}
+	return nil
+}
+
+// Load decodes a JSON-encoded program and validates it: jump targets,
+// register indices, and variable bases are all checked up front, so a
+// malformed file is an error here rather than a panic mid-simulation.
+func Load(r io.Reader) (*Program, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Program
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("vmprog: decode program: %w", err)
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("vmprog: program has no name")
+	}
+	if p.Class < ClassUnknown || p.Class > ClassAdaptive {
+		return nil, fmt.Errorf("vmprog %s: invalid adaptivity class %d", p.Name, int(p.Class))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadFile loads and validates a JSON program file.
+func LoadFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Save encodes the program as indented JSON.
+func (p *Program) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

@@ -1,0 +1,102 @@
+package vmprog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLoadRoundTrip saves and reloads every registry program and requires a
+// byte-for-byte identical structure.
+func TestLoadRoundTrip(t *testing.T) {
+	for _, e := range Registry() {
+		n := 3
+		if e.FixedN > 0 {
+			n = e.FixedN
+		}
+		p, err := e.Build(n)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", e.Name, err)
+		}
+		q, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", e.Name, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("%s: round trip changed the program\nbefore %+v\nafter  %+v", e.Name, p, q)
+		}
+	}
+}
+
+// TestLoadMalformed feeds structurally broken programs to Load and requires
+// an error mentioning the defect - never a panic and never silent
+// acceptance.
+func TestLoadMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"garbage", `{]`, "decode"},
+		{"unknown field", `{"name":"x","vars":["v"],"bogus":1,"code":[]}`, "bogus"},
+		{"no name", `{"vars":["v"],"code":[{"op":15}]}`, "no name"},
+		{"empty code", `{"name":"x","vars":["v"],"code":[]}`, "empty program"},
+		{"no halt", `{"name":"x","vars":["v"],"code":[{"op":14}]}`, "end with Halt"},
+		{"no cs", `{"name":"x","vars":["v"],"code":[{"op":15}]}`, "exactly one CS"},
+		{"two cs", `{"name":"x","vars":["v"],"code":[{"op":14},{"op":14},{"op":15}]}`,
+			"exactly one CS"},
+		{"register out of range",
+			`{"name":"x","vars":["v"],"code":[{"op":1,"a":8},{"op":14},{"op":15}]}`,
+			"register 8 out of range"},
+		{"negative register",
+			`{"name":"x","vars":["v"],"code":[{"op":4,"a":0,"b":-1},{"op":14},{"op":15}]}`,
+			"register -1 out of range"},
+		{"variable base out of range",
+			`{"name":"x","vars":["v"],"code":[{"op":10,"a":0,"base":1},{"op":14},{"op":15}]}`,
+			"variable base 1 out of range"},
+		{"index register out of range",
+			`{"name":"x","vars":["v"],"code":[{"op":10,"a":0,"base":0,"index":8},{"op":14},{"op":15}]}`,
+			"index register 8 out of range"},
+		{"jump target out of range",
+			`{"name":"x","vars":["v"],"code":[{"op":6,"target":9},{"op":14},{"op":15}]}`,
+			"jump target 9 out of range"},
+		{"negative jump target",
+			`{"name":"x","vars":["v"],"code":[{"op":6,"target":-1},{"op":14},{"op":15}]}`,
+			"jump target -1 out of range"},
+		{"unknown opcode",
+			`{"name":"x","vars":["v"],"code":[{"op":99},{"op":14},{"op":15}]}`,
+			"unknown opcode 99"},
+		{"bad class",
+			`{"name":"x","vars":["v"],"class":7,"code":[{"op":14},{"op":15}]}`,
+			"invalid adaptivity class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("malformed program accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadDefaultsScalarIndex checks that an absent index field decodes as a
+// scalar access (-1), not register 0.
+func TestLoadDefaultsScalarIndex(t *testing.T) {
+	src := `{"name":"x","vars":["v"],"code":[{"op":10,"a":0,"base":0},{"op":14},{"op":15}]}`
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Code[0].Index; got != -1 {
+		t.Fatalf("absent index decoded as %d, want -1", got)
+	}
+}

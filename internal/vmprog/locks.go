@@ -10,6 +10,7 @@ func Peterson(withFences bool) (*Program, error) {
 		name = "peterson-nofence-vm"
 	}
 	b := NewBuilder(name)
+	b.SetClass(ClassNonAdaptive)
 	flag := b.Array("flag", 2)
 	turn := b.Var("turn")
 	const (
@@ -43,6 +44,7 @@ func Peterson(withFences bool) (*Program, error) {
 // TAS builds a test-and-set lock (CAS retry loop) as a VM program.
 func TAS() (*Program, error) {
 	b := NewBuilder("tas-vm")
+	b.SetClass(ClassAdaptive)
 	lock := b.Var("lock")
 	const (
 		rMe, rOne, rToken, rZero, rObs = 0, 1, 2, 3, 4
@@ -71,6 +73,7 @@ func Bakery(n int, weakDoorway bool) (*Program, error) {
 		name = "bakery-weak-vm"
 	}
 	b := NewBuilder(name)
+	b.SetClass(ClassNonAdaptive)
 	choosing := b.Array("choosing", n)
 	number := b.Array("number", n)
 	const (
@@ -169,6 +172,7 @@ func Dekker(withFences bool) (*Program, error) {
 		name = "dekker-nofence-vm"
 	}
 	b := NewBuilder(name)
+	b.SetClass(ClassNonAdaptive)
 	wants := b.Array("wants", 2)
 	turn := b.Var("turn")
 	const (
@@ -229,6 +233,7 @@ func MustDekker(withFences bool) *Program {
 // needs each announcement visible before the next check).
 func LamportFast(n int) (*Program, error) {
 	b := NewBuilder("lamportfast-vm")
+	b.SetClass(ClassAdaptive)
 	x := b.Var("x") // splitter first coordinate; holds id+1
 	y := b.Var("y") // splitter second coordinate; holds id+1, 0 = free
 	flag := b.Array("flag", n)
@@ -299,35 +304,97 @@ func MustLamportFast(n int) *Program {
 	return p
 }
 
+// Entry describes one registered VM program: how to instantiate it, the
+// process counts it supports, and whether it is a deliberately broken
+// variant that the static analyzer (cmd/padlint) is required to flag.
+type Entry struct {
+	// Name is the registry key (not necessarily the Program.Name).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Build instantiates the program for n processes.
+	Build func(n int) (*Program, error)
+	// FixedN, when non-zero, is the only process count the program
+	// supports; Build ignores its argument then.
+	FixedN int
+	// Broken marks variants that deliberately elide required fences; the
+	// lint gate requires at least one error-severity diagnostic on them.
+	Broken bool
+}
+
+// Registry lists every registered VM program, sorted by name. internal/mutex
+// counterparts exist for all of them; yanganderson is represented by the
+// structurally equivalent tournament tree.
+func Registry() []Entry {
+	return []Entry{
+		{Name: "anderson", Doc: "Anderson array queue lock (one-shot, CAS fetch-and-increment)",
+			Build: Anderson},
+		{Name: "bakery", Doc: "Lamport bakery, fenced doorway",
+			Build: func(n int) (*Program, error) { return Bakery(n, false) }},
+		{Name: "bakery-weak", Doc: "bakery without the ticket-publication fence (TSO-broken)",
+			Build: func(n int) (*Program, error) { return Bakery(n, true) }, Broken: true},
+		{Name: "burnslynch", Doc: "Burns-Lynch one-bit mutual exclusion",
+			Build: BurnsLynch},
+		{Name: "caschain", Doc: "adaptive one-shot CAS chain",
+			Build: CASChain},
+		{Name: "clh", Doc: "CLH implicit-queue lock (one-shot)",
+			Build: CLH},
+		{Name: "dekker", Doc: "Dekker's algorithm, fenced",
+			Build: func(int) (*Program, error) { return Dekker(true) }, FixedN: 2},
+		{Name: "dekker-nofence", Doc: "Dekker without fences (TSO-broken)",
+			Build: func(int) (*Program, error) { return Dekker(false) }, FixedN: 2, Broken: true},
+		{Name: "filter", Doc: "n-process filter lock",
+			Build: Filter},
+		{Name: "lamportfast", Doc: "Lamport's fast mutex (splitter doorway)",
+			Build: LamportFast},
+		{Name: "mcs", Doc: "MCS queue lock (CAS-emulated swap, one-shot)",
+			Build: MCS},
+		{Name: "peterson", Doc: "two-process Peterson, fenced",
+			Build: func(int) (*Program, error) { return Peterson(true) }, FixedN: 2},
+		{Name: "peterson-nofence", Doc: "Peterson without fences (TSO-broken)",
+			Build: func(int) (*Program, error) { return Peterson(false) }, FixedN: 2, Broken: true},
+		{Name: "synthetic", Doc: "adaptive read/write splitter chain, fenced",
+			Build: func(n int) (*Program, error) { return Synthetic(n, true) }},
+		{Name: "synthetic-nofence", Doc: "splitter chain without fences (TSO-broken)",
+			Build: func(n int) (*Program, error) { return Synthetic(n, false) }, Broken: true},
+		{Name: "tas", Doc: "test-and-set via CAS retry",
+			Build: func(int) (*Program, error) { return TAS() }},
+		{Name: "tournament", Doc: "binary tournament of Peterson locks (4 processes)",
+			Build: func(int) (*Program, error) { return Tournament4() }, FixedN: 4},
+		{Name: "ttas", Doc: "test-and-test-and-set via CAS retry",
+			Build: func(int) (*Program, error) { return TTAS() }},
+	}
+}
+
+// LookupEntry returns the registry entry for name.
+func LookupEntry(name string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("vmprog: unknown program %q (have %v)", name, Names())
+}
+
 // Lookup returns the VM program registered under name, instantiated for n
 // processes where the program is size-parametric.
 func Lookup(name string, n int) (*Program, error) {
-	switch name {
-	case "peterson":
-		return Peterson(true)
-	case "peterson-nofence":
-		return Peterson(false)
-	case "dekker":
-		return Dekker(true)
-	case "dekker-nofence":
-		return Dekker(false)
-	case "tas":
-		return TAS()
-	case "bakery":
-		return Bakery(n, false)
-	case "bakery-weak":
-		return Bakery(n, true)
-	case "lamportfast":
-		return LamportFast(n)
-	default:
-		return nil, fmt.Errorf("vmprog: unknown program %q (have %v)", name, Names())
+	e, err := LookupEntry(name)
+	if err != nil {
+		return nil, err
 	}
+	if e.FixedN > 0 {
+		n = e.FixedN
+	}
+	return e.Build(n)
 }
 
 // Names lists the registered VM program names.
 func Names() []string {
-	return []string{
-		"bakery", "bakery-weak", "dekker", "dekker-nofence",
-		"lamportfast", "peterson", "peterson-nofence", "tas",
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, e := range reg {
+		out[i] = e.Name
 	}
+	return out
 }

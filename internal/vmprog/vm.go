@@ -67,25 +67,60 @@ const (
 // NumRegs is the number of registers per process.
 const NumRegs = 8
 
+// AdaptivityClass declares how a program's step complexity scales, which
+// determines the Theorem 1 fence lower bound the static analyzer holds it
+// to: an adaptive algorithm (critical events a function of contention k, not
+// N) must admit executions with k-1 fences at contention k.
+type AdaptivityClass int
+
+const (
+	// ClassUnknown makes no claim; the analyzer only applies the universal
+	// (contention-2) bound.
+	ClassUnknown AdaptivityClass = iota
+	// ClassNonAdaptive declares Ω(N) critical events per passage.
+	ClassNonAdaptive
+	// ClassAdaptive declares per-passage work that depends on contention
+	// only, the class Theorem 1 charges Θ(k) fences.
+	ClassAdaptive
+)
+
+// String renders the class for reports.
+func (c AdaptivityClass) String() string {
+	switch c {
+	case ClassNonAdaptive:
+		return "non-adaptive"
+	case ClassAdaptive:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
 // Instr is one VM instruction. Variables are addressed as Base + reg[Index]
 // into the program's variable table; Index < 0 means no index register.
 type Instr struct {
-	Op      OpCode
-	A, B, C int
-	Imm     uint64
-	Base    int
-	Index   int
-	Target  int
+	Op     OpCode `json:"op"`
+	A      int    `json:"a,omitempty"`
+	B      int    `json:"b,omitempty"`
+	C      int    `json:"c,omitempty"`
+	Imm    uint64 `json:"imm,omitempty"`
+	Base   int    `json:"base,omitempty"`
+	Index  int    `json:"index,omitempty"`
+	Target int    `json:"target,omitempty"`
 }
 
 // Program is a validated VM lock program plus its variable table.
 type Program struct {
-	Name string
+	Name string `json:"name"`
 	// Vars names every shared variable; values index the engines' memory.
-	Vars []string
+	// Arrays declared via Builder.Array are named name[0..n-1]; the static
+	// analyzer recovers array extents from this naming convention.
+	Vars []string `json:"vars"`
 	// Code is the instruction sequence of one passage (entry protocol,
 	// one OpCS, exit protocol, OpHalt).
-	Code []Instr
+	Code []Instr `json:"code"`
+	// Class is the program's declared adaptivity class, consumed by the
+	// static analyzer's Theorem 1 checks.
+	Class AdaptivityClass `json:"class,omitempty"`
 }
 
 // eventOp reports whether an opcode is a shared-memory event.
@@ -118,7 +153,7 @@ func (p *Program) Validate() error {
 			if in.Base < 0 || in.Base >= len(p.Vars) {
 				return fmt.Errorf("vmprog %s: instr %d: variable base %d out of range", p.Name, i, in.Base)
 			}
-			if in.Index >= NumRegs {
+			if in.Index < -1 || in.Index >= NumRegs {
 				return fmt.Errorf("vmprog %s: instr %d: index register %d out of range", p.Name, i, in.Index)
 			}
 		case OpJump, OpJumpIfEq, OpJumpIfNe, OpJumpIfLt:
@@ -158,6 +193,8 @@ type Builder struct {
 	code   []Instr
 	labels map[string]int
 	fixups map[int]string
+	class  AdaptivityClass
+	err    error
 }
 
 // NewBuilder starts a program named name.
@@ -184,8 +221,17 @@ func (b *Builder) Array(name string, n int) int {
 	return base
 }
 
-// Label defines a jump label at the current position.
-func (b *Builder) Label(name string) { b.labels[name] = len(b.code) }
+// SetClass declares the program's adaptivity class.
+func (b *Builder) SetClass(c AdaptivityClass) { b.class = c }
+
+// Label defines a jump label at the current position. Redefining a label is
+// a programming bug and fails the Build.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("vmprog %s: label %q defined twice", b.name, name)
+	}
+	b.labels[name] = len(b.code)
+}
 
 // emit appends an instruction.
 func (b *Builder) emit(in Instr) { b.code = append(b.code, in) }
@@ -251,6 +297,9 @@ func (b *Builder) JumpIfLt(x, y int, label string) {
 
 // Build resolves labels and validates the program.
 func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	code := make([]Instr, len(b.code))
 	copy(code, b.code)
 	for pos, label := range b.fixups {
@@ -260,7 +309,7 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		code[pos].Target = target
 	}
-	p := &Program{Name: b.name, Vars: append([]string(nil), b.vars...), Code: code}
+	p := &Program{Name: b.name, Vars: append([]string(nil), b.vars...), Code: code, Class: b.class}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
