@@ -11,21 +11,39 @@ import (
 	"priceadaptive/internal/vmprog"
 )
 
-// TestAllGolden runs the full lint gate over every built-in program and
-// compares the rendering byte-for-byte with testdata/all.golden. Regenerate
-// with: go run ./cmd/padlint -all > cmd/padlint/testdata/all.golden
-func TestAllGolden(t *testing.T) {
+// golden runs padlint with args and compares stdout byte-for-byte with
+// testdata/<name>. Regenerate with: go run ./cmd/padlint <args> > cmd/padlint/testdata/<name>
+func golden(t *testing.T, name string, args ...string) {
+	t.Helper()
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-all"}, &out, &errOut); code != 0 {
-		t.Fatalf("padlint -all exited %d, stderr: %s", code, errOut.String())
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("padlint %v exited %d, stderr: %s", args, code, errOut.String())
 	}
-	want, err := os.ReadFile(filepath.Join("testdata", "all.golden"))
+	want, err := os.ReadFile(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), want) {
-		t.Fatalf("output differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", out.Bytes(), want)
+		t.Fatalf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", name, out.Bytes(), want)
 	}
+}
+
+// TestAllGolden runs the full lint gate (structural + quantitative) over
+// every built-in program.
+func TestAllGolden(t *testing.T) {
+	golden(t, "all.golden", "-all")
+}
+
+// TestAlgGolden pins the -alg rendering, including the quantitative
+// interval and witness lines.
+func TestAlgGolden(t *testing.T) {
+	golden(t, "alg_mcs.golden", "-alg", "mcs")
+}
+
+// TestFileSetGolden lints a checked-in two-program set file, pinning the
+// multi-program -file mode.
+func TestFileSetGolden(t *testing.T) {
+	golden(t, "file_set.golden", "-file", filepath.Join("testdata", "set.json"), "-n", "2")
 }
 
 // TestGateSemantics pins the exit codes: correct locks lint clean, broken
@@ -81,8 +99,8 @@ func TestFileLint(t *testing.T) {
 	}
 }
 
-// TestJSONOutput checks that -json emits parseable reports with the gate
-// verdict attached.
+// TestJSONOutput checks that -json emits parseable reports with both
+// analyses and the gate verdict attached.
 func TestJSONOutput(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-all", "-json"}, &out, &errOut); code != 0 {
@@ -99,6 +117,168 @@ func TestJSONOutput(t *testing.T) {
 		if !res.Pass {
 			t.Errorf("%s: gate failed", res.Report.Name)
 		}
+		if res.Quant == nil {
+			t.Errorf("%s: no quantitative result", res.Report.Name)
+		} else if !res.ExpectBroken && res.Quant.FencesEntry.Min < 1 {
+			t.Errorf("%s: entry fence min %d < 1 yet passed", res.Report.Name, res.Quant.FencesEntry.Min)
+		}
+	}
+}
+
+// TestSARIFOutput writes a SARIF report and checks its 2.1.0 shape: a
+// padlint run whose results carry rule ids, locations and fingerprints.
+func TestSARIFOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "padlint.sarif")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-all", "-sarif", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exited %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				Locations           []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Fatalf("SARIF version %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "padlint" {
+		t.Fatalf("expected one padlint run, got %+v", log.Runs)
+	}
+	r := log.Runs[0]
+	if len(r.Results) == 0 {
+		t.Fatal("no SARIF results (the broken variants alone produce several)")
+	}
+	rules := make(map[string]bool)
+	for _, rule := range r.Tool.Driver.Rules {
+		rules[rule.ID] = true
+	}
+	for _, res := range r.Results {
+		if !rules[res.RuleID] {
+			t.Errorf("result rule %q missing from driver rules", res.RuleID)
+		}
+		if res.PartialFingerprints["padlintFingerprint/v1"] == "" {
+			t.Errorf("result %q has no fingerprint", res.RuleID)
+		}
+		if len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine < 1 {
+			t.Errorf("result %q has no 1-based location", res.RuleID)
+		}
+	}
+	if !rules["fence-bound-entry"] {
+		t.Error("fence-bound-entry findings missing from SARIF report")
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from a broken variant's
+// findings and checks that re-linting under it suppresses them: the
+// lint flips from exit 1 to exit 0 and reports the suppression count.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-alg", "peterson-nofence", "-write-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline exited %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b baselineFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not JSON: %v", err)
+	}
+	if b.Version != 1 || len(b.Suppress) == 0 {
+		t.Fatalf("baseline has version %d and %d entries", b.Version, len(b.Suppress))
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-alg", "peterson-nofence", "-baseline", base}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined lint exited %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "suppressed:") {
+		t.Fatalf("output does not report the suppressions: %s", out.String())
+	}
+	// The baseline must not leak across programs: a different broken
+	// variant still fails.
+	if code := run([]string{"-alg", "dekker-nofence", "-baseline", base}, &out, &errOut); code != 1 {
+		t.Fatalf("unrelated broken variant exited %d under foreign baseline, want 1", code)
+	}
+	// A missing baseline file is a usage error.
+	if code := run([]string{"-alg", "peterson", "-baseline", filepath.Join(t.TempDir(), "nope.json")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2", code)
+	}
+}
+
+// TestCacheRoundTrip lints twice through the same cache directory and
+// checks that the second run is served from the artifact store with
+// byte-identical results.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var cold, warm, errOut bytes.Buffer
+	if code := run([]string{"-all", "-json", "-cache", dir}, &cold, &errOut); code != 0 {
+		t.Fatalf("cold run exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-all", "-json", "-cache", dir}, &warm, &errOut); code != 0 {
+		t.Fatalf("warm run exited %d: %s", code, errOut.String())
+	}
+	var coldRes, warmRes []lintResult
+	if err := json.Unmarshal(cold.Bytes(), &coldRes); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(warm.Bytes(), &warmRes); err != nil {
+		t.Fatal(err)
+	}
+	for i := range warmRes {
+		if coldRes[i].Cached {
+			t.Errorf("%s: cold run already cached", coldRes[i].Report.Name)
+		}
+		if !warmRes[i].Cached {
+			t.Errorf("%s: warm run not served from cache", warmRes[i].Report.Name)
+		}
+	}
+	// Everything except the Cached marker must be identical.
+	for i := range warmRes {
+		coldRes[i].Cached = false
+		warmRes[i].Cached = false
+		c, _ := json.Marshal(coldRes[i])
+		w, _ := json.Marshal(warmRes[i])
+		if !bytes.Equal(c, w) {
+			t.Errorf("%s: cached result differs from fresh analysis", coldRes[i].Report.Name)
+		}
+	}
+	// The artifacts live in the shared jobs store layout.
+	entries, err := os.ReadDir(filepath.Join(dir, "jobs"))
+	if err != nil || len(entries) != len(vmprog.Registry()) {
+		t.Fatalf("cache holds %d artifacts (err %v), want %d", len(entries), err, len(vmprog.Registry()))
 	}
 }
 

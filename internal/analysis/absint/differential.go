@@ -1,0 +1,283 @@
+package absint
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// satCap saturates the per-passage counters carried through the
+// differential exploration. Saturation re-merges states that differ only
+// in how long a spin loop has been charging RMRs, keeping the state
+// space finite; a saturated observation is checked as "the true count is
+// at least satCap" instead of an exact value.
+const satCap = 48
+
+// Observed summarizes the per-passage values of one metric seen across
+// every completed passage of an exploration.
+type Observed struct {
+	Count     int  `json:"count"` // passages observed
+	Min       int  `json:"min"`
+	Max       int  `json:"max"`
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+func (o *Observed) record(v uint16) {
+	iv := int(v)
+	if o.Count == 0 || iv < o.Min {
+		o.Min = iv
+	}
+	if iv > o.Max {
+		o.Max = iv
+	}
+	o.Count++
+	if v >= satCap {
+		o.Saturated = true
+	}
+}
+
+// within checks every observed value against a static interval. Observed
+// values form a subset of [Min,Max], so checking the endpoints suffices
+// for a convex interval; a saturated Max only demands consistency with
+// "at least satCap".
+func (o *Observed) within(iv Interval, what string) error {
+	if o.Count == 0 {
+		return nil
+	}
+	if !iv.Contains(o.Min) {
+		return fmt.Errorf("observed %s %d escapes static interval %s", what, o.Min, iv)
+	}
+	if o.Saturated {
+		if !iv.ContainsAtLeast(satCap) {
+			return fmt.Errorf("observed %s >=%d escapes static interval %s", what, satCap, iv)
+		}
+		return nil
+	}
+	if !iv.Contains(o.Max) {
+		return fmt.Errorf("observed %s %d escapes static interval %s", what, o.Max, iv)
+	}
+	return nil
+}
+
+// Observation is the dynamic side of the differential harness: exact
+// per-passage fence and RMR counts collected by exhaustively exploring
+// the fast engine's reachable state space (with the coherence-line state
+// of both CC models and the per-passage counters folded into the state,
+// so distinct cost histories are explored as distinct states).
+type Observation struct {
+	States      int         `json:"states"`
+	Transitions int         `json:"transitions"`
+	Complete    bool        `json:"complete"`
+	Passages    int         `json:"passages"`
+	Fences      Observed    `json:"fences"`
+	EntryFences Observed    `json:"entry_fences"`
+	ExitFences  Observed    `json:"exit_fences"`
+	RMR         [3]Observed `json:"rmr"` // rmr.Models() order
+}
+
+// CheckAgainst verifies that every dynamically observed per-passage
+// count lies inside the corresponding static interval of res. An error
+// is an analyzer soundness bug, never a program bug.
+func (o *Observation) CheckAgainst(res *Result) error {
+	if err := o.Fences.within(res.FencesPassage, "passage fences"); err != nil {
+		return err
+	}
+	if err := o.EntryFences.within(res.FencesEntry, "entry fences"); err != nil {
+		return err
+	}
+	if err := o.ExitFences.within(res.FencesExit, "exit fences"); err != nil {
+		return err
+	}
+	names := [3]string{"DSM RMRs", "CC-WT RMRs", "CC-WB RMRs"}
+	for mi := range o.RMR {
+		if err := o.RMR[mi].within(res.RMRPassage.byIndex(mi), names[mi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pcount is the running quantitative state of one process's passage.
+type pcount struct {
+	fences uint16
+	rmr    [3]uint16
+	entry  uint16
+	cs     bool
+}
+
+func satAdd(c *uint16) {
+	if *c < satCap {
+		*c++
+	}
+}
+
+// node is one differential exploration state.
+type node struct {
+	st     *vmprog.State
+	lines  *ccLines
+	counts []pcount
+}
+
+func (nd *node) clone() *node {
+	c := make([]pcount, len(nd.counts))
+	copy(c, nd.counts)
+	return &node{st: nd.st.Clone(), lines: nd.lines.clone(), counts: c}
+}
+
+func (nd *node) hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, m := range nd.st.Mem {
+		w(m)
+	}
+	for i := range nd.st.Procs {
+		p := &nd.st.Procs[i]
+		flags := uint64(p.PC) << 4
+		if p.Fencing {
+			flags |= 1
+		}
+		if p.Started {
+			flags |= 2
+		}
+		if p.Done {
+			flags |= 4
+		}
+		if p.InExit {
+			flags |= 8
+		}
+		w(flags)
+		for _, r := range p.Regs {
+			w(r)
+		}
+		w(uint64(p.BufLen()))
+		for b := 0; b < p.BufLen(); b++ {
+			w(uint64(p.BufVar(b)))
+			w(p.BufVal(b))
+		}
+	}
+	for mi := range nd.lines {
+		for _, m := range nd.lines[mi] {
+			w(uint64(m))
+		}
+	}
+	for i := range nd.counts {
+		c := &nd.counts[i]
+		flags := uint64(c.fences)<<32 | uint64(c.entry)<<16 | uint64(c.rmr[0])
+		if c.cs {
+			flags |= 1 << 63
+		}
+		w(flags)
+		w(uint64(c.rmr[1])<<16 | uint64(c.rmr[2]))
+	}
+	return h.Sum64()
+}
+
+// decisions mirrors Engine.decisions under TSO: a step for every
+// unfinished process, plus a commit for every non-fencing process with a
+// non-empty buffer (including finished processes draining leftovers).
+func decisions(st *vmprog.State) []Decision {
+	var out []Decision
+	for id := range st.Procs {
+		p := &st.Procs[id]
+		if !p.Done {
+			out = append(out, Decision{P: id})
+		}
+		if p.BufLen() > 0 && !p.Fencing {
+			out = append(out, Decision{P: id, Commit: true})
+		}
+	}
+	return out
+}
+
+// Observe exhaustively explores the program under n processes (bounded
+// by maxStates; <=0 selects a default) and records exact per-passage
+// fence and RMR counts. Every count is read off a genuine execution
+// path, so any value escaping the static intervals disproves the
+// analyzer.
+func Observe(ctx context.Context, p *vmprog.Program, n, maxStates int) (*Observation, error) {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	eng, err := vmprog.NewEngine(p, n, false)
+	if err != nil {
+		return nil, err
+	}
+	obs := &Observation{Complete: true}
+	seen := make(map[uint64]bool)
+	root := &node{st: eng.Initial(), lines: newCCLines(len(p.Vars), n), counts: make([]pcount, n)}
+	stack := []*node{root}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h := nd.hash()
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		obs.States++
+		if obs.States&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if obs.States > maxStates {
+			obs.Complete = false
+			return obs, nil
+		}
+		for _, d := range decisions(nd.st) {
+			child := nd.clone()
+			ev, err := classify(eng, child.st, child.lines, d)
+			if err != nil {
+				return nil, fmt.Errorf("absint: observe %s: %w", p.Name, err)
+			}
+			if err := eng.Apply(child.st, d.tso()); err != nil {
+				return nil, fmt.Errorf("absint: observe %s: %w", p.Name, err)
+			}
+			obs.Transitions++
+			// Attribute charges to the owning process's current passage;
+			// leftovers committed after its halt belong to no passage.
+			c := &child.counts[ev.P]
+			if !nd.st.Procs[ev.P].Done {
+				if ev.Fence {
+					satAdd(&c.fences)
+				}
+				for mi := range ev.RMR {
+					if ev.RMR[mi] {
+						satAdd(&c.rmr[mi])
+					}
+				}
+				switch ev.Kind {
+				case "cs":
+					if !c.cs {
+						c.cs = true
+						c.entry = c.fences
+					}
+				case "halt":
+					obs.Passages++
+					obs.Fences.record(c.fences)
+					for mi := range c.rmr {
+						obs.RMR[mi].record(c.rmr[mi])
+					}
+					if c.cs {
+						obs.EntryFences.record(c.entry)
+						if c.fences < satCap {
+							// A saturated total makes the entry/exit split
+							// inexact; skip rather than record a wrong value.
+							obs.ExitFences.record(c.fences - c.entry)
+						}
+					}
+				}
+			}
+			stack = append(stack, child)
+		}
+	}
+	return obs, nil
+}

@@ -1,0 +1,104 @@
+// Package absint is a quantitative abstract interpreter over vmprog lock
+// programs. Where package analysis answers yes/no questions (is there an
+// unfenced path to the CS?), absint computes *counts*: per-passage
+// fence-complexity intervals and static RMR cost intervals for the three
+// cache models (DSM, CC write-through, CC write-back), checked against
+// the Theorem 1 fence lower bounds of the paper.
+//
+// The abstract domain is, per program point, the product of
+//
+//   - an unsigned range [lo,hi] per register (constants are singleton
+//     ranges; OpMe evaluates to [0,n-1], which is what makes indexed
+//     footprints like flag[me] precise),
+//   - may- and must-buffered variable sets over the TSO write buffer, and
+//   - a buffer-occupancy interval [lo,hi] (entries, coalesced per TSO).
+//
+// Soundness discipline: every abstract fact over-approximates the set of
+// concrete states the fast engine (vmprog.Engine) can reach at that
+// point. A lost fact widens an interval or keeps an infeasible branch
+// alive - it can never shrink an interval below the truth, so a dynamic
+// count escaping a static interval is always an analyzer bug, which is
+// exactly what the witness-replay differential harness checks.
+package absint
+
+import "fmt"
+
+// Unbounded marks an interval with no finite upper bound (a control-flow
+// cycle carrying weight lies on some path).
+const Unbounded = -1
+
+// unreached is the distance value of a program point no path reaches.
+const unreached = int(^uint(0) >> 1)
+
+// Interval is a closed integer interval [Min,Max]; Max == Unbounded means
+// no finite upper bound.
+type Interval struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+// Contains reports whether the exact count v lies inside the interval.
+func (iv Interval) Contains(v int) bool {
+	return iv.Min <= v && (iv.Max == Unbounded || v <= iv.Max)
+}
+
+// ContainsAtLeast reports whether a saturated observation ("the true
+// count is >= v") is consistent with the interval.
+func (iv Interval) ContainsAtLeast(v int) bool {
+	return iv.Max == Unbounded || iv.Max >= v
+}
+
+// String renders "[min,max]" with "inf" for Unbounded.
+func (iv Interval) String() string {
+	if iv.Max == Unbounded {
+		return fmt.Sprintf("[%d,inf]", iv.Min)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Min, iv.Max)
+}
+
+// hull is the smallest interval containing both arguments.
+func hull(a, b Interval) Interval {
+	out := a
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if out.Max != Unbounded && (b.Max == Unbounded || b.Max > out.Max) {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// bitset is a fixed-width variable-index set (mirrors package analysis;
+// duplicated here to keep absint's domain self-contained).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+
+// unionInto adds o into b, reporting change.
+func (b bitset) unionInto(o bitset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// intersectInto intersects o into b, reporting change.
+func (b bitset) intersectInto(o bitset) bool {
+	changed := false
+	for i, w := range o {
+		if b[i]&w != b[i] {
+			b[i] &= w
+			changed = true
+		}
+	}
+	return changed
+}

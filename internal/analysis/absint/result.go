@@ -1,0 +1,292 @@
+package absint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/bounds"
+	"priceadaptive/internal/vmprog"
+)
+
+// RMRIntervals holds one static per-passage interval per cache model.
+type RMRIntervals struct {
+	DSM  Interval `json:"dsm"`
+	CCWT Interval `json:"ccwt"`
+	CCWB Interval `json:"ccwb"`
+}
+
+// byIndex returns the interval for rmr.Models()[i].
+func (r RMRIntervals) byIndex(i int) Interval {
+	switch i {
+	case 0:
+		return r.DSM
+	case 1:
+		return r.CCWT
+	}
+	return r.CCWB
+}
+
+func (r *RMRIntervals) setIndex(i int, iv Interval) {
+	switch i {
+	case 0:
+		r.DSM = iv
+	case 1:
+		r.CCWT = iv
+	default:
+		r.CCWB = iv
+	}
+}
+
+// Theorem1Check is the static tradeoff check of the analyzed program
+// against the paper's Theorem 1 fence lower bound, instantiated with the
+// adaptivity function its declared class claims.
+type Theorem1Check struct {
+	// Func names the adaptivity function assumed for the declared class
+	// (empty when the class makes no adaptivity claim).
+	Func string `json:"func,omitempty"`
+	// ForcedAtN is the fence count Theorem 1 forces at the instantiated
+	// process count.
+	ForcedAtN int `json:"forced_at_n"`
+	// BreaksAtLog2N is the smallest log2 N at which Theorem 1 forces
+	// more fences than any feasible passage of this program can execute
+	// (0 when no such N exists, e.g. an unbounded fence interval).
+	BreaksAtLog2N float64 `json:"breaks_at_log2n,omitempty"`
+	// Violated reports that some bound is certainly violated; Bound
+	// names it.
+	Violated bool   `json:"violated"`
+	Bound    string `json:"bound,omitempty"`
+}
+
+// Result is the quantitative analysis of one program at one process
+// count: static fence and RMR intervals per passage segment, the
+// Theorem 1 check, diagnostics, and a machine-checked witness execution.
+type Result struct {
+	Name  string `json:"name"`
+	N     int    `json:"n"`
+	Class string `json:"class"`
+	// Feasible counts instructions reachable under abstract branch
+	// feasibility (a subset of the syntactic CFG's reachable set).
+	Feasible int `json:"feasible_instrs"`
+	// FencesEntry/FencesExit/FencesPassage bound the fence complexity
+	// (completed fences + serializing CASes) of entry paths (program
+	// entry to CS), exit paths (CS to halt), and whole passages.
+	FencesEntry   Interval `json:"fences_entry"`
+	FencesExit    Interval `json:"fences_exit"`
+	FencesPassage Interval `json:"fences_passage"`
+	// RMRPassage bounds the per-passage RMR cost under each cache model.
+	RMRPassage RMRIntervals          `json:"rmr_passage"`
+	Theorem1   *Theorem1Check        `json:"theorem1,omitempty"`
+	Diags      []analysis.Diagnostic `json:"diags,omitempty"`
+	// Witness is a replayable solo passage whose counts are contained in
+	// the static intervals (nil when the solo run cannot complete).
+	Witness *Witness `json:"witness,omitempty"`
+}
+
+// Errors returns the error-severity findings.
+func (r *Result) Errors() []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev == analysis.SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings returns the warning-severity findings.
+func (r *Result) Warnings() []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev == analysis.SevWarning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (r *Result) add(sev analysis.Severity, code string, pc int, format string, args ...interface{}) {
+	r.Diags = append(r.Diags, analysis.Diagnostic{Sev: sev, Code: code, PC: pc, Msg: fmt.Sprintf(format, args...)})
+}
+
+// combine hulls the path intervals ending at the target pcs; ok reports
+// whether any target is reachable.
+func combine(pi pathIntervals, targets []int) (Interval, bool) {
+	var iv Interval
+	got := false
+	for _, t := range targets {
+		if pi.min[t] == unreached {
+			continue
+		}
+		tv := Interval{Min: pi.min[t], Max: pi.max[t]}
+		if !got {
+			iv, got = tv, true
+		} else {
+			iv = hull(iv, tv)
+		}
+	}
+	return iv, got
+}
+
+// Analyze runs the abstract interpreter on p as instantiated for n
+// processes. The returned error reports *internal* failures only (a
+// witness that does not replay, a witness count escaping its interval);
+// findings about the program are diagnostics on the Result.
+func Analyze(p *vmprog.Program, n int) (*Result, error) {
+	res := &Result{Name: p.Name, N: n, Class: p.Class.String()}
+	if err := p.Validate(); err != nil {
+		res.add(analysis.SevError, "invalid-program", 0, "%v", err)
+		return res, nil
+	}
+	it := newInterp(p, n)
+	it.run()
+	w := it.weights()
+	weight := func(m int) func(pc int) Interval {
+		return func(pc int) Interval { return w[pc][m] }
+	}
+
+	// Feasibility census and diagnostics against the syntactic CFG.
+	g := analysis.BuildCFG(p)
+	for pc := range p.Code {
+		if it.state[pc] != nil {
+			res.Feasible++
+		} else if g.Reachable[pc] {
+			res.add(analysis.SevWarning, "infeasible-code", pc,
+				"instruction is CFG-reachable but infeasible under range propagation (a branch can never go this way at n=%d)", n)
+		}
+		if it.addrErr[pc] {
+			res.add(analysis.SevError, "bad-address", pc,
+				"indexed access always falls outside the variable table; the engine faults here")
+		}
+	}
+
+	var csList, haltList []int
+	for pc, in := range p.Code {
+		if it.state[pc] == nil {
+			continue
+		}
+		switch in.Op {
+		case vmprog.OpCS:
+			csList = append(csList, pc)
+		case vmprog.OpHalt:
+			haltList = append(haltList, pc)
+		}
+	}
+
+	fromEntry := it.paths(0, weight(mFence))
+	entry, haveCS := combine(fromEntry, csList)
+	passage, haveHalt := combine(fromEntry, haltList)
+	if haveCS {
+		res.FencesEntry = entry
+	}
+	if haveHalt {
+		res.FencesPassage = passage
+	}
+	exitGot := false
+	for _, cs := range csList {
+		if iv, ok := combine(it.paths(cs, weight(mFence)), haltList); ok {
+			if !exitGot {
+				res.FencesExit, exitGot = iv, true
+			} else {
+				res.FencesExit = hull(res.FencesExit, iv)
+			}
+		}
+	}
+	for mi := 0; mi < 3; mi++ {
+		if iv, ok := combine(it.paths(0, weight(mDSM+mi)), haltList); ok {
+			res.RMRPassage.setIndex(mi, iv)
+		}
+	}
+
+	if !haveCS {
+		res.add(analysis.SevWarning, "cs-unreachable", 0,
+			"no feasible path reaches the critical section")
+	}
+	if !haveHalt {
+		res.add(analysis.SevWarning, "halt-unreachable", 0,
+			"no feasible path completes a passage")
+	}
+
+	// Witness: a concrete solo passage, machine-checked against both the
+	// dynamic semantics (exact replay) and the static intervals.
+	if haveHalt {
+		wit, err := SoloWitness(p, n)
+		if err != nil {
+			res.add(analysis.SevWarning, "no-solo-witness", 0, "%v", err)
+		} else {
+			if err := wit.Replay(p); err != nil {
+				return nil, err
+			}
+			if !res.FencesPassage.Contains(wit.Counts.Fences) {
+				return nil, fmt.Errorf("absint: %s: witness fences %d escape static %s",
+					p.Name, wit.Counts.Fences, res.FencesPassage)
+			}
+			for mi := range wit.Counts.RMR {
+				if !res.RMRPassage.byIndex(mi).Contains(wit.Counts.RMR[mi]) {
+					return nil, fmt.Errorf("absint: %s: witness RMR[%d]=%d escapes static %s",
+						p.Name, mi, wit.Counts.RMR[mi], res.RMRPassage.byIndex(mi))
+				}
+			}
+			res.Witness = wit
+		}
+	}
+
+	// The Theorem 1 check runs last so violation messages can cite the
+	// witness execution.
+	if haveCS {
+		res.Theorem1 = theorem1(res, p, n, csList[0])
+	}
+
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		if res.Diags[i].Sev != res.Diags[j].Sev {
+			return res.Diags[i].Sev > res.Diags[j].Sev
+		}
+		return res.Diags[i].PC < res.Diags[j].PC
+	})
+	return res, nil
+}
+
+// theorem1 performs the static tradeoff check against the program's
+// declared adaptivity class using internal/bounds.
+func theorem1(res *Result, p *vmprog.Program, n, csPC int) *Theorem1Check {
+	chk := &Theorem1Check{}
+	log2N := math.Log2(float64(n))
+
+	// Universal bound, contention 2: Theorem 1 specializes to "every
+	// entry passage serializes at least once"; an entry interval with
+	// Min 0 is a concrete mutual-exclusion failure, not a missed bound.
+	if res.FencesEntry.Min == 0 {
+		chk.Violated = true
+		chk.Bound = "Theorem 1 (contention 2): every entry passage must execute >=1 fence or CAS"
+		extra := ""
+		if res.Witness != nil && res.Witness.EntryFences == 0 {
+			extra = "; the attached solo witness reaches the CS with 0 fences"
+		}
+		res.add(analysis.SevError, "fence-bound-entry", csPC,
+			"entry fence interval %s violates %s%s", res.FencesEntry, chk.Bound, extra)
+	}
+
+	if p.Class == vmprog.ClassAdaptive {
+		fn := bounds.Linear{C: 1}
+		chk.Func = fn.Name()
+		chk.ForcedAtN = bounds.ForcedFences(fn, log2N, n)
+		if res.FencesPassage.Max != Unbounded {
+			// The program can execute at most Max fences per passage, so
+			// find the scale at which Theorem 1 forces Max+1 of them.
+			breaks := bounds.MinProcsForFences(fn, res.FencesPassage.Max+1, 1<<20)
+			if !math.IsInf(breaks, 1) {
+				chk.BreaksAtLog2N = breaks
+				if !chk.Violated {
+					chk.Violated = true
+					chk.Bound = fmt.Sprintf("Theorem 1: %s adaptivity forces >%d fences per passage at N >= 2^%.0f processes",
+						chk.Func, res.FencesPassage.Max, breaks)
+				}
+				res.add(analysis.SevWarning, "theorem1-adaptive", csPC,
+					"declared adaptive but every feasible passage executes at most %d fences; with %s adaptivity Theorem 1 forces more at N >= 2^%.0f processes",
+					res.FencesPassage.Max, chk.Func, breaks)
+			}
+		}
+	}
+	return chk
+}

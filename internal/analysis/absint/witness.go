@@ -1,0 +1,111 @@
+package absint
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// Witness is a concrete, replayable execution backing the analyzer's
+// numeric claims: a schedule for the fast engine, the classified event
+// trace it produces, and the passage counts read off that trace. Replay
+// re-executes the schedule from scratch and demands the identical trace,
+// so a witness can never drift from the dynamic semantics silently.
+type Witness struct {
+	Kind     string       `json:"kind"` // "solo-passage"
+	N        int          `json:"n"`
+	Proc     int          `json:"proc"`
+	Schedule []Decision   `json:"schedule"`
+	Events   []TraceEvent `json:"events"`
+	Counts   Counts       `json:"counts"`
+	// EntryFences counts the fences charged before the CS event (equal
+	// to Counts.Fences when the passage never reaches a CS).
+	EntryFences int `json:"entry_fences"`
+}
+
+// soloBudget bounds a solo passage; a correct lock completes a
+// contention-free passage in far fewer steps.
+const soloBudget = 1 << 16
+
+// SoloWitness runs process 0 alone (under an engine instantiated for n
+// processes, so OpProcs and array extents match the analyzed program)
+// and records the resulting passage. Deadlock-free locks complete a solo
+// passage; an error here is itself a finding.
+func SoloWitness(p *vmprog.Program, n int) (*Witness, error) {
+	t, err := newTracer(p, n)
+	if err != nil {
+		return nil, err
+	}
+	w := &Witness{Kind: "solo-passage", N: n, Proc: 0}
+	for steps := 0; ; steps++ {
+		if steps > soloBudget {
+			return nil, fmt.Errorf("absint: solo passage of %s did not complete in %d steps", p.Name, soloBudget)
+		}
+		d := Decision{P: 0}
+		ev, err := t.apply(d)
+		if err != nil {
+			return nil, fmt.Errorf("absint: solo passage of %s: %w", p.Name, err)
+		}
+		w.Schedule = append(w.Schedule, d)
+		w.Events = append(w.Events, ev)
+		if ev.Kind == "halt" {
+			break
+		}
+	}
+	w.Counts, w.EntryFences = countTrace(w.Events, 0)
+	return w, nil
+}
+
+// countTrace folds a trace into passage counts for one process.
+func countTrace(events []TraceEvent, proc int) (c Counts, entryFences int) {
+	csSeen := false
+	for _, ev := range events {
+		if ev.P != proc {
+			continue
+		}
+		if ev.Fence {
+			c.Fences++
+		}
+		for mi := range c.RMR {
+			if ev.RMR[mi] {
+				c.RMR[mi]++
+			}
+		}
+		if ev.Kind == "cs" && !csSeen {
+			csSeen = true
+			entryFences = c.Fences
+		}
+	}
+	if !csSeen {
+		entryFences = c.Fences
+	}
+	return c, entryFences
+}
+
+// Replay re-executes the witness schedule on a fresh engine and checks
+// that every transition classifies identically and the counts match the
+// witness's claims. Any divergence is an analyzer bug.
+func (w *Witness) Replay(p *vmprog.Program) error {
+	t, err := newTracer(p, w.N)
+	if err != nil {
+		return err
+	}
+	if len(w.Schedule) != len(w.Events) {
+		return fmt.Errorf("absint: witness has %d decisions but %d events", len(w.Schedule), len(w.Events))
+	}
+	for i, d := range w.Schedule {
+		ev, err := t.apply(d)
+		if err != nil {
+			return fmt.Errorf("absint: witness replay step %d: %w", i, err)
+		}
+		if ev != w.Events[i] {
+			return fmt.Errorf("absint: witness diverges at step %d: replay %v, witness %v", i, ev, w.Events[i])
+		}
+	}
+	counts, entry := countTrace(w.Events, w.Proc)
+	if counts != w.Counts || entry != w.EntryFences {
+		return fmt.Errorf("absint: witness counts %+v (entry %d) do not match trace %+v (entry %d)",
+			w.Counts, w.EntryFences, counts, entry)
+	}
+	return nil
+}

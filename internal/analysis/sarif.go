@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strconv"
+)
+
+// SARIFFinding is one diagnostic prepared for SARIF serialization: the
+// program it was found in, the finding itself, and whether a baseline
+// entry suppresses it from the lint gate.
+type SARIFFinding struct {
+	Program    string
+	Diag       Diagnostic
+	Suppressed bool
+}
+
+// fingerprintKey names the partialFingerprints slot; the /v1 suffix is
+// the SARIF convention for versioning a fingerprint algorithm.
+const fingerprintKey = "padlintFingerprint/v1"
+
+// Fingerprint is the stable identity of a finding, used by baseline
+// files and SARIF partialFingerprints: a short hash of (program, rule
+// code, pc). The message text is deliberately excluded so wording
+// changes and process-count-dependent details do not invalidate
+// baselines.
+func Fingerprint(program string, d Diagnostic) string {
+	h := sha256.Sum256([]byte(program + "\x00" + d.Code + "\x00" + strconv.Itoa(d.PC)))
+	return hex.EncodeToString(h[:8])
+}
+
+// ruleHelp gives each diagnostic code a SARIF rule description. Codes
+// missing from the map still serialize (with a generic description), so
+// a new analyzer rule cannot break report generation.
+var ruleHelp = map[string]string{
+	"invalid-program":   "the program fails structural validation and cannot be executed",
+	"dead-code":         "instruction is unreachable in the control-flow graph",
+	"local-divergence":  "a loop has no memory read on its back edge, so it can never terminate",
+	"stale-read":        "a read may observe this process's own uncommitted buffered write",
+	"unfenced-cs-path":  "an entry path reaches the critical section without a fence or CAS (Theorem 1, contention 2)",
+	"infeasible-code":   "instruction is CFG-reachable but infeasible under abstract range propagation",
+	"bad-address":       "an indexed access always falls outside the variable table",
+	"cs-unreachable":    "no feasible path reaches the critical section",
+	"halt-unreachable":  "no feasible path completes a passage",
+	"no-solo-witness":   "a solo run fails to complete a passage within the step budget",
+	"fence-bound-entry": "the static entry fence interval admits a zero-fence passage, violating the Theorem 1 contention-2 bound",
+	"theorem1-adaptive": "the declared adaptivity class forces more fences than any feasible passage executes at large N",
+}
+
+// sarif* types model the subset of the SARIF 2.1.0 object model the
+// linter emits. Field order follows the specification's examples.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string             `json:"ruleId"`
+	RuleIndex           int                `json:"ruleIndex"`
+	Level               string             `json:"level"`
+	Message             sarifMessage       `json:"message"`
+	Locations           []sarifLocation    `json:"locations"`
+	PartialFingerprints map[string]string  `json:"partialFingerprints"`
+	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+
+// SARIF serializes findings as an indented SARIF 2.1.0 log with a
+// single padlint run. Program locations use the virtual artifact URI
+// vmprog/<name>.json with the instruction's pc as a 1-based line, so
+// SARIF viewers order findings sensibly even though the programs are
+// built in memory. Baseline-suppressed findings carry an "external"
+// suppression instead of being dropped, which is how SARIF consumers
+// (and code-scanning UIs) expect baselines to surface.
+func SARIF(toolVersion string, findings []SARIFFinding) ([]byte, error) {
+	codes := make(map[string]int)
+	var rules []sarifRule
+	for _, f := range findings {
+		if _, ok := codes[f.Diag.Code]; ok {
+			continue
+		}
+		codes[f.Diag.Code] = 0
+		rules = append(rules, sarifRule{ID: f.Diag.Code})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	for i := range rules {
+		help, ok := ruleHelp[rules[i].ID]
+		if !ok {
+			help = "padlint finding " + rules[i].ID
+		}
+		rules[i].ShortDescription = sarifMessage{Text: help}
+		codes[rules[i].ID] = i
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		if f.Diag.Sev == SevError {
+			level = "error"
+		}
+		r := sarifResult{
+			RuleID:    f.Diag.Code,
+			RuleIndex: codes[f.Diag.Code],
+			Level:     level,
+			Message:   sarifMessage{Text: f.Program + ": " + f.Diag.Msg},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: "vmprog/" + f.Program + ".json"},
+				Region:           sarifRegion{StartLine: f.Diag.PC + 1},
+			}}},
+			PartialFingerprints: map[string]string{fingerprintKey: Fingerprint(f.Program, f.Diag)},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "external"}}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:    "padlint",
+				Version: toolVersion,
+				Rules:   rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

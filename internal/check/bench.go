@@ -1,0 +1,98 @@
+package check
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// BenchAnalysisEntry is one registry program's explored-state comparison
+// between the plain fast-engine model check and the same check with the
+// static analyzer's partial-order-reduction facts installed.
+type BenchAnalysisEntry struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// UnprunedStates / PrunedStates count distinct states visited; the
+	// engine is deterministic, so both are exact and reproducible.
+	UnprunedStates int `json:"unpruned_states"`
+	PrunedStates   int `json:"pruned_states"`
+	// AmpleSteps counts pruned-run states where the static facts reduced
+	// the decision set to a single invisible transition.
+	AmpleSteps int `json:"ample_steps"`
+	// Complete reports whether both explorations exhausted the reachable
+	// space within the budget.
+	Complete bool `json:"complete"`
+	// Violated marks the deliberately broken variants (exploration stops
+	// at the first violation, so their counts measure time-to-bug).
+	Violated bool `json:"violated"`
+	// ReductionPct is 100 * (1 - pruned/unpruned).
+	ReductionPct float64 `json:"reduction_pct"`
+}
+
+// BenchAnalysis is the tracked BENCH_analysis.json artifact: the static
+// analyzer's measured value as a state-space reducer across the whole VM
+// program registry.
+type BenchAnalysis struct {
+	// N is the default process count (size-fixed programs override it).
+	N int `json:"n"`
+	// MaxStates is the per-run exploration budget.
+	MaxStates int                  `json:"max_states"`
+	Programs  []BenchAnalysisEntry `json:"programs"`
+}
+
+// AnalysisBench runs the pruned-vs-unpruned comparison over every
+// registry program at the given process count and budget (0 selects
+// n=2 and a 1<<22 budget, the tracked artifact's parameters).
+func AnalysisBench(ctx context.Context, n, maxStates int) (*BenchAnalysis, error) {
+	if n <= 0 {
+		n = 2
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 22
+	}
+	out := &BenchAnalysis{N: n, MaxStates: maxStates}
+	for _, e := range vmprog.Registry() {
+		nn := n
+		if e.FixedN > 0 {
+			nn = e.FixedN
+		}
+		p, err := e.Build(nn)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := FastVerify(ctx, p, nn, FastOptions{MaxStates: maxStates})
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := FastVerify(ctx, p, nn, FastOptions{MaxStates: maxStates, Prune: true})
+		if err != nil {
+			return nil, err
+		}
+		ent := BenchAnalysisEntry{
+			Name:           p.Name,
+			N:              nn,
+			UnprunedStates: plain.States,
+			PrunedStates:   pruned.States,
+			AmpleSteps:     pruned.AmpleSteps,
+			Complete:       plain.Complete && pruned.Complete,
+			Violated:       plain.Violation,
+		}
+		if plain.States > 0 {
+			ent.ReductionPct = 100 * (1 - float64(pruned.States)/float64(plain.States))
+		}
+		out.Programs = append(out.Programs, ent)
+	}
+	sort.Slice(out.Programs, func(i, j int) bool { return out.Programs[i].Name < out.Programs[j].Name })
+	return out, nil
+}
+
+// MarshalIndent renders the artifact in its committed form.
+func (b *BenchAnalysis) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,55 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateBench = flag.Bool("update-bench", false, "rewrite ../../BENCH_analysis.json from a fresh run")
+
+// TestBenchAnalysisJSONInSync recomputes the pruned-vs-unpruned
+// explored-state comparison and holds the tracked BENCH_analysis.json to
+// it byte-for-byte: the committed numbers must always match the code.
+// Regenerate with:
+//
+//	go test ./internal/check -run TestBenchAnalysisJSONInSync -update-bench
+func TestBenchAnalysisJSONInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry exploration in -short mode")
+	}
+	got, err := AnalysisBench(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := got.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_analysis.json")
+	if *updateBench {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-bench)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("BENCH_analysis.json is stale; regenerate with -update-bench\n--- recomputed ---\n%s", data)
+	}
+	for _, e := range got.Programs {
+		if !e.Complete && !e.Violated {
+			t.Errorf("%s: exploration incomplete within budget", e.Name)
+		}
+		if e.PrunedStates > e.UnprunedStates {
+			t.Errorf("%s: pruning grew the state space (%d > %d)", e.Name, e.PrunedStates, e.UnprunedStates)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/analysis/absint"
 	"priceadaptive/internal/check"
 	"priceadaptive/internal/core"
 	"priceadaptive/internal/mutex"
@@ -215,6 +216,9 @@ type LintParams struct {
 // LintProgramResult is one program's lint outcome.
 type LintProgramResult struct {
 	Report *analysis.Report `json:"report"`
+	// Quant is the quantitative abstract interpretation: static fence
+	// and RMR intervals with a machine-checked witness.
+	Quant *absint.Result `json:"quant"`
 	// ExpectBroken marks registry variants required to draw errors.
 	ExpectBroken bool `json:"expect_broken,omitempty"`
 	// Pass reports whether the program met its expectation (errors on a
@@ -263,18 +267,26 @@ func runLint(ctx context.Context, params json.RawMessage) (any, error) {
 			return nil, fmt.Errorf("padlint %s: %w", e.Name, err)
 		}
 		r := analysis.Analyze(prog, n)
+		q, err := absint.Analyze(prog, n)
+		if err != nil {
+			// An absint error is an analyzer soundness bug (a witness that
+			// does not replay), never a program finding: fail the job.
+			return nil, fmt.Errorf("padlint %s: %w", e.Name, err)
+		}
 		expectBroken := p.All && e.Broken
-		pass := len(r.Errors()) == 0
+		errs := len(r.Errors()) + len(q.Errors())
+		pass := errs == 0
 		if expectBroken {
 			pass = !pass
 		}
 		res.Programs = append(res.Programs, LintProgramResult{
 			Report:       r,
+			Quant:        q,
 			ExpectBroken: expectBroken,
 			Pass:         pass,
 		})
-		res.Errors += len(r.Errors())
-		res.Warnings += len(r.Warnings())
+		res.Errors += errs
+		res.Warnings += len(r.Warnings()) + len(q.Warnings())
 		if !pass {
 			res.Pass = false
 		}

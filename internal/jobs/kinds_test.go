@@ -46,6 +46,13 @@ func TestLintJob(t *testing.T) {
 	if res.Errors == 0 {
 		t.Error("expected the broken variants' errors to be counted")
 	}
+	for _, pr := range res.Programs {
+		if pr.Quant == nil {
+			t.Errorf("%s: no quantitative analysis in artifact", pr.Report.Name)
+		} else if pr.Quant.Witness == nil {
+			t.Errorf("%s: quantitative analysis carries no witness", pr.Report.Name)
+		}
+	}
 
 	// A direct lint of a broken variant is expectation-free and must fail.
 	st, _, err = q.Submit(Spec{Kind: KindLint, Params: json.RawMessage(`{"alg":"peterson-nofence"}`)})

@@ -70,7 +70,7 @@ func New(store *Store, opts Options) *Queue {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) // nosleep:allow queue-lifetime root, cancelled in Close
 	q := &Queue{
 		store:      store,
 		opts:       opts,

@@ -1,0 +1,171 @@
+// Package nosleep is a repository-local vet pass over the project's own
+// source (std-lib go/ast only; no analysis framework dependency). It
+// enforces two hygiene rules that have bitten concurrent test suites
+// before:
+//
+//   - no time.Sleep in non-test library code: sleeping is never a
+//     synchronization primitive, and every Sleep in a worker pool or
+//     simulator is a latent flake or a hidden latency floor;
+//   - no bare context.Background() in library code outside package main:
+//     libraries must thread the caller's context so cancellation and
+//     deadlines propagate (main packages and tests own their roots).
+//
+// A deliberate exception carries an end-of-line annotation comment
+// containing "nosleep:allow <reason>"; the reason is mandatory and is
+// echoed in -v listings so the exception stays auditable.
+package nosleep
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	File string // path as walked, slash-separated
+	Line int
+	Rule string // "time-sleep" or "context-background"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// allowMarker is the annotation that suppresses a finding on its line.
+const allowMarker = "nosleep:allow"
+
+// CheckDir walks root for .go files (skipping _test.go files, testdata,
+// and hidden directories) and returns all findings, sorted by position.
+func CheckDir(root string) ([]Finding, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, path := range files {
+		found, err := CheckFile(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, found...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// CheckFile checks a single source file.
+func CheckFile(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return check(fset, f, filepath.ToSlash(path)), nil
+}
+
+// check runs both rules over one parsed file.
+func check(fset *token.FileSet, f *ast.File, path string) []Finding {
+	// Resolve which local names the time and context imports bind; a
+	// file that imports neither cannot violate either rule, and aliased
+	// imports (or shadowing by another package named "time") must not
+	// produce false positives.
+	pkgName := func(importPath string) string {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p != importPath {
+				continue
+			}
+			if imp.Name != nil {
+				return imp.Name.Name
+			}
+			return importPath[strings.LastIndex(importPath, "/")+1:]
+		}
+		return ""
+	}
+	timeName := pkgName("time")
+	ctxName := pkgName("context")
+	if timeName == "" && ctxName == "" {
+		return nil
+	}
+
+	// Lines carrying an allow annotation.
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if idx := strings.Index(c.Text, allowMarker); idx >= 0 {
+				if strings.TrimSpace(c.Text[idx+len(allowMarker):]) == "" {
+					// An allowance without a reason does not count; the
+					// finding survives and names the bare marker.
+					continue
+				}
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	isMain := f.Name.Name == "main"
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Obj != nil {
+			// A non-nil Obj means the identifier resolves to a local
+			// declaration shadowing the import, not the package.
+			return true
+		}
+		line := fset.Position(call.Pos()).Line
+		if allowed[line] {
+			return true
+		}
+		switch {
+		case timeName != "" && id.Name == timeName && sel.Sel.Name == "Sleep":
+			out = append(out, Finding{
+				File: path, Line: line, Rule: "time-sleep",
+				Msg: "time.Sleep in non-test code: sleeping is not synchronization (annotate with " + allowMarker + " <reason> if deliberate)",
+			})
+		case ctxName != "" && id.Name == ctxName && sel.Sel.Name == "Background" && !isMain:
+			out = append(out, Finding{
+				File: path, Line: line, Rule: "context-background",
+				Msg: "bare context.Background() in library code: thread the caller's context (annotate with " + allowMarker + " <reason> if this really is a root)",
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,188 @@
+package nosleep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write puts a source file into dir and returns its path.
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTimeSleepFlagged(t *testing.T) {
+	path := write(t, t.TempDir(), "a.go", `package a
+
+import "time"
+
+func f() { time.Sleep(time.Second) }
+`)
+	got, err := CheckFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rule != "time-sleep" || got[0].Line != 5 {
+		t.Fatalf("got %v, want one time-sleep finding at line 5", got)
+	}
+}
+
+func TestContextBackgroundFlaggedOutsideMain(t *testing.T) {
+	dir := t.TempDir()
+	lib := write(t, dir, "lib.go", `package lib
+
+import "context"
+
+func f() context.Context { return context.Background() }
+`)
+	got, err := CheckFile(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rule != "context-background" {
+		t.Fatalf("library file: got %v, want one context-background finding", got)
+	}
+
+	main := write(t, dir, "main.go", `package main
+
+import "context"
+
+func main() { _ = context.Background() }
+`)
+	got, err = CheckFile(main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("package main owns its context root, got %v", got)
+	}
+}
+
+func TestAllowAnnotation(t *testing.T) {
+	dir := t.TempDir()
+	ok := write(t, dir, "ok.go", `package a
+
+import "context"
+
+func f() context.Context {
+	return context.Background() // nosleep:allow queue base context, cancelled in Close
+}
+`)
+	got, err := CheckFile(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("annotated line still flagged: %v", got)
+	}
+
+	// A bare marker with no reason does not suppress.
+	bare := write(t, dir, "bare.go", `package a
+
+import "time"
+
+func f() { time.Sleep(1) // nosleep:allow
+}
+`)
+	got, err = CheckFile(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("reasonless allowance suppressed the finding: %v", got)
+	}
+}
+
+func TestShadowingAndAliasing(t *testing.T) {
+	dir := t.TempDir()
+	// A local variable named time is not the time package.
+	shadow := write(t, dir, "shadow.go", `package a
+
+type clock struct{}
+
+func (clock) Sleep(int) {}
+
+func f() {
+	var time clock
+	time.Sleep(1)
+}
+`)
+	got, err := CheckFile(shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("shadowed identifier flagged: %v", got)
+	}
+
+	// An aliased import is still the time package.
+	alias := write(t, dir, "alias.go", `package a
+
+import tm "time"
+
+func f() { tm.Sleep(1) }
+`)
+	got, err = CheckFile(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rule != "time-sleep" {
+		t.Fatalf("aliased import not flagged: %v", got)
+	}
+}
+
+func TestCheckDirSkipsTestsAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a_test.go", `package a
+
+import "time"
+
+func f() { time.Sleep(1) }
+`)
+	write(t, dir, filepath.Join("testdata", "b.go"), `package b
+
+import "time"
+
+func f() { time.Sleep(1) }
+`)
+	write(t, dir, "c.go", `package a
+
+import "time"
+
+func g() { time.Sleep(1) }
+`)
+	got, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || filepath.Base(got[0].File) != "c.go" {
+		t.Fatalf("got %v, want exactly the c.go finding", got)
+	}
+}
+
+// TestRepoClean is the CI gate: the repository's own non-test sources
+// must be free of unannotated time.Sleep and bare context.Background().
+// Run with -v to list the allowed exceptions' reasons.
+func TestRepoClean(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("cannot locate module root from test directory: %v", err)
+	}
+	for _, sub := range []string{"internal", "cmd"} {
+		got, err := CheckDir(filepath.Join(root, sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range got {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package rmr
+
+// This file exports the coherence-protocol classification rules as pure
+// predicates, decoupled from the event-stream Accountant, so that the
+// static analyzer (internal/analysis/absint) and the fast-engine
+// differential harness apply the *same* rules the dynamic accounting
+// uses. The Accountant is reimplemented on top of Classify; a divergence
+// between static and dynamic RMR judgements is therefore a bug in the
+// abstract footprints, never in a second copy of the protocol.
+
+// Mode is the coherence mode of one process's cached copy of a variable.
+type Mode uint8
+
+const (
+	// ModeInvalid means the process holds no valid cached copy.
+	ModeInvalid Mode = iota
+	// ModeShared is a read-only cached copy.
+	ModeShared
+	// ModeExclusive is a writable cached copy (write-back model only).
+	ModeExclusive
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeShared:
+		return "shared"
+	case ModeExclusive:
+		return "exclusive"
+	}
+	return "invalid"
+}
+
+// AccessKind classifies a variable access for RMR accounting. Only events
+// that are accesses in the paper's sense (a read not satisfied from the
+// process's own write buffer, a write commit, or a CAS) have a kind.
+type AccessKind int
+
+const (
+	// AccessRead is a read satisfied from the cache or shared memory.
+	AccessRead AccessKind = iota + 1
+	// AccessWriteCommit makes a buffered write visible.
+	AccessWriteCommit
+	// AccessCASSuccess is a CAS whose comparison succeeded (it wrote).
+	AccessCASSuccess
+	// AccessCASFail is a CAS whose comparison failed; it behaves like a
+	// read for caching purposes but still serializes the buffer.
+	AccessCASFail
+)
+
+// String renders the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWriteCommit:
+		return "commit"
+	case AccessCASSuccess:
+		return "cas"
+	case AccessCASFail:
+		return "cas-fail"
+	}
+	return "access(?)"
+}
+
+// Classify reports whether one access costs an RMR under the model,
+// updating the cache line as a side effect for the CC models.
+//
+//   - line holds the per-process coherence modes of the accessed variable,
+//     indexed by process ID (the caller allocates it once per variable; it
+//     is ignored by the DSM model).
+//   - remote reports DSM remoteness of the variable to process p (in the CC
+//     models every variable is remote, so the flag is ignored there).
+//
+// The rules are the protocols quoted in Section 2 of the paper (from
+// Golab, Hadzilacos, Hendler and Woelfel): DSM charges every access to a
+// remote variable; write-through charges read misses and every write
+// commit (which invalidates other copies); write-back holds shared or
+// exclusive copies, charging reads without a copy and writes without an
+// exclusive copy.
+func Classify(model CacheModel, k AccessKind, p int, remote bool, line []Mode) bool {
+	switch model {
+	case ModelDSM:
+		return remote
+	case ModelCCWriteThrough:
+		switch k {
+		case AccessRead, AccessCASFail:
+			if line[p] != ModeInvalid {
+				return false
+			}
+			line[p] = ModeShared
+			return true
+		case AccessWriteCommit, AccessCASSuccess:
+			// The commit invalidates every other copy; the writer's own
+			// cached copy (if any) stays valid, but the write itself still
+			// goes through to memory and costs an RMR.
+			for q := range line {
+				if q != p {
+					line[q] = ModeInvalid
+				}
+			}
+			return true
+		}
+	case ModelCCWriteBack:
+		switch k {
+		case AccessRead, AccessCASFail:
+			if line[p] != ModeInvalid {
+				return false
+			}
+			for q, m := range line {
+				if m == ModeExclusive {
+					line[q] = ModeShared
+				}
+			}
+			line[p] = ModeShared
+			return true
+		case AccessWriteCommit, AccessCASSuccess:
+			if line[p] == ModeExclusive {
+				return false
+			}
+			for q := range line {
+				if q != p {
+					line[q] = ModeInvalid
+				}
+			}
+			line[p] = ModeExclusive
+			return true
+		}
+	}
+	return false
+}
+
+// ChargeBounds returns the [min,max] RMR cost of a single access of kind k
+// under the model, over all possible cache and locality states. It is the
+// static classification rule the abstract interpreter applies to abstract
+// access footprints: whatever cache state an execution is in, the dynamic
+// Classify verdict for the access lies inside these bounds, so summing
+// them along a program path yields a sound per-passage RMR interval.
+//
+// remote is the DSM locality of the variable (the CC models ignore it; in
+// vmprog programs every variable is remote, matching tso.Memory.NewVar).
+func ChargeBounds(model CacheModel, k AccessKind, remote bool) (lo, hi int) {
+	switch model {
+	case ModelDSM:
+		if remote {
+			return 1, 1
+		}
+		return 0, 0
+	case ModelCCWriteThrough:
+		switch k {
+		case AccessWriteCommit, AccessCASSuccess:
+			// Write-through commits always traverse the interconnect.
+			return 1, 1
+		default:
+			// Reads and failed CASes hit iff a valid copy is cached.
+			return 0, 1
+		}
+	case ModelCCWriteBack:
+		// Every access can hit (copy held in a sufficient mode) or miss.
+		return 0, 1
+	}
+	return 0, 0
+}

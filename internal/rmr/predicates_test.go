@@ -1,0 +1,82 @@
+package rmr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClassifyWithinChargeBounds drives random access sequences through
+// Classify for every model and requires each verdict to lie inside the
+// static ChargeBounds interval the abstract interpreter sums over paths.
+// This is the soundness link between dynamic accounting and the static
+// RMR intervals: whatever cache state a run reaches, a single access can
+// never cost more (or less) than the classification rule's bounds.
+func TestClassifyWithinChargeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []AccessKind{AccessRead, AccessWriteCommit, AccessCASSuccess, AccessCASFail}
+	for _, model := range Models() {
+		for _, remote := range []bool{false, true} {
+			const nprocs = 3
+			line := make([]Mode, nprocs)
+			for step := 0; step < 2000; step++ {
+				k := kinds[rng.Intn(len(kinds))]
+				p := rng.Intn(nprocs)
+				lo, hi := ChargeBounds(model, k, remote)
+				cost := 0
+				if Classify(model, k, p, remote, line) {
+					cost = 1
+				}
+				if cost < lo || cost > hi {
+					t.Fatalf("%s %s remote=%v: dynamic cost %d outside static bounds [%d,%d]",
+						model, k, remote, cost, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyProtocols pins the protocol rules on hand-picked sequences.
+func TestClassifyProtocols(t *testing.T) {
+	// Write-through: read miss, read hit, commit invalidates others and
+	// does not grant the writer a copy.
+	line := make([]Mode, 2)
+	if !Classify(ModelCCWriteThrough, AccessRead, 0, true, line) {
+		t.Error("WT first read must miss")
+	}
+	if Classify(ModelCCWriteThrough, AccessRead, 0, true, line) {
+		t.Error("WT second read must hit")
+	}
+	if !Classify(ModelCCWriteThrough, AccessWriteCommit, 1, true, line) {
+		t.Error("WT commit always costs")
+	}
+	if line[0] != ModeInvalid {
+		t.Error("WT commit must invalidate the other copy")
+	}
+	if line[1] != ModeInvalid {
+		t.Error("WT commit must not grant the writer a copy")
+	}
+
+	// Write-back: a read downgrades an exclusive copy; a repeat write on
+	// an exclusive copy is free.
+	line = make([]Mode, 2)
+	if !Classify(ModelCCWriteBack, AccessWriteCommit, 0, true, line) {
+		t.Error("WB first commit must miss")
+	}
+	if Classify(ModelCCWriteBack, AccessWriteCommit, 0, true, line) {
+		t.Error("WB commit on an exclusive copy must be free")
+	}
+	if !Classify(ModelCCWriteBack, AccessRead, 1, true, line) {
+		t.Error("WB read by another process must miss")
+	}
+	if line[0] != ModeShared || line[1] != ModeShared {
+		t.Errorf("WB read must downgrade to shared/shared, got %v/%v", line[0], line[1])
+	}
+
+	// DSM ignores cache state entirely.
+	if Classify(ModelDSM, AccessRead, 0, false, nil) {
+		t.Error("DSM local access must be free")
+	}
+	if !Classify(ModelDSM, AccessRead, 0, true, nil) {
+		t.Error("DSM remote access must cost")
+	}
+}

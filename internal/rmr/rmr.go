@@ -50,15 +50,6 @@ func Models() []CacheModel {
 	return []CacheModel{ModelDSM, ModelCCWriteThrough, ModelCCWriteBack}
 }
 
-// cacheState is the per-variable coherence state in the CC models.
-type cacheState int
-
-const (
-	invalid cacheState = iota
-	shared
-	exclusive
-)
-
 // PassageMetrics aggregates the cost of one passage of one process.
 type PassageMetrics struct {
 	// RMRs is the number of remote memory references under the
@@ -79,8 +70,9 @@ type PassageMetrics struct {
 // It is driven by Observe and is not safe for concurrent use.
 type Accountant struct {
 	model CacheModel
-	// lines[varIndex][proc] is the coherence state of proc's cached copy.
-	lines map[int]map[tso.ProcID]cacheState
+	// lines[varIndex][proc] is the coherence mode of proc's cached copy
+	// (process IDs are dense, so a slice per variable suffices).
+	lines map[int][]Mode
 	// passages[proc] has one entry per passage of proc.
 	passages map[tso.ProcID][]PassageMetrics
 }
@@ -89,7 +81,7 @@ type Accountant struct {
 func NewAccountant(model CacheModel) *Accountant {
 	return &Accountant{
 		model:    model,
-		lines:    make(map[int]map[tso.ProcID]cacheState),
+		lines:    make(map[int][]Mode),
 		passages: make(map[tso.ProcID][]PassageMetrics),
 	}
 }
@@ -137,108 +129,43 @@ func (a *Accountant) current(p tso.ProcID) *PassageMetrics {
 }
 
 // isRMR decides whether the event costs an RMR under the model, updating
-// cache state as a side effect for the CC models.
+// cache state as a side effect for the CC models via the exported
+// Classify predicate.
 func (a *Accountant) isRMR(ev tso.Event) bool {
 	if !ev.Access || ev.Var == nil {
 		return false
 	}
-	switch a.model {
-	case ModelDSM:
-		return ev.Remote
-	case ModelCCWriteThrough:
-		return a.writeThrough(ev)
-	case ModelCCWriteBack:
-		return a.writeBack(ev)
-	default:
+	kind, ok := eventAccessKind(ev)
+	if !ok {
 		return false
 	}
+	return Classify(a.model, kind, int(ev.P), ev.Remote, a.line(ev.Var, int(ev.P)))
 }
 
-func (a *Accountant) line(v *tso.Var) map[tso.ProcID]cacheState {
+// eventAccessKind maps an access event to its AccessKind.
+func eventAccessKind(ev tso.Event) (AccessKind, bool) {
+	switch ev.Kind {
+	case tso.EvRead:
+		return AccessRead, true
+	case tso.EvWriteCommit:
+		return AccessWriteCommit, true
+	case tso.EvCAS:
+		if ev.CASOK {
+			return AccessCASSuccess, true
+		}
+		return AccessCASFail, true
+	}
+	return 0, false
+}
+
+// line returns the cache line of v, grown to cover process p.
+func (a *Accountant) line(v *tso.Var, p int) []Mode {
 	l := a.lines[v.Index()]
-	if l == nil {
-		l = make(map[tso.ProcID]cacheState, 2)
-		a.lines[v.Index()] = l
+	for len(l) <= p {
+		l = append(l, ModeInvalid)
 	}
+	a.lines[v.Index()] = l
 	return l
-}
-
-// writeThrough implements the write-through protocol: a read needs a valid
-// cached copy (miss creates one); a write always costs an RMR and
-// invalidates all other cached copies.
-func (a *Accountant) writeThrough(ev tso.Event) bool {
-	l := a.line(ev.Var)
-	switch ev.Kind {
-	case tso.EvRead:
-		if l[ev.P] != invalid {
-			return false
-		}
-		l[ev.P] = shared
-		return true
-	case tso.EvWriteCommit, tso.EvCAS:
-		if ev.Kind == tso.EvCAS && !ev.CASOK {
-			// A failed CAS behaves like a read for caching purposes.
-			if l[ev.P] != invalid {
-				return false
-			}
-			l[ev.P] = shared
-			return true
-		}
-		for q := range l {
-			if q != ev.P {
-				delete(l, q)
-			}
-		}
-		return true
-	default:
-		return false
-	}
-}
-
-// writeBack implements the write-back protocol with shared/exclusive modes.
-func (a *Accountant) writeBack(ev tso.Event) bool {
-	l := a.line(ev.Var)
-	switch ev.Kind {
-	case tso.EvRead:
-		if l[ev.P] != invalid {
-			return false
-		}
-		// Miss: downgrade any exclusive copy to shared and take a shared
-		// copy.
-		for q, st := range l {
-			if st == exclusive {
-				l[q] = shared
-			}
-		}
-		l[ev.P] = shared
-		return true
-	case tso.EvWriteCommit, tso.EvCAS:
-		if ev.Kind == tso.EvCAS && !ev.CASOK {
-			if l[ev.P] != invalid {
-				return false
-			}
-			for q, st := range l {
-				if st == exclusive {
-					l[q] = shared
-				}
-			}
-			l[ev.P] = shared
-			return true
-		}
-		if l[ev.P] == exclusive {
-			return false
-		}
-		// Miss: invalidate all other copies and take exclusive.
-		for q := range l {
-			if q != ev.P {
-				delete(l, q)
-			}
-		}
-		l[ev.P] = exclusive
-		return true
-	default:
-		return false
-	}
 }
 
 // Passages returns the per-passage metrics recorded for process p. The last

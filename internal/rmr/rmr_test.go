@@ -94,10 +94,10 @@ func TestWriteThroughReadCachingAndInvalidation(t *testing.T) {
 	// program has pending CS. Re-reading isn't possible here; assert the
 	// internal line state instead.
 	l := acc.lines[v.Index()]
-	if _, ok := l[0]; ok {
+	if l[0] != ModeInvalid {
 		t.Error("p0's cached copy must be invalidated by p1's commit")
 	}
-	if st := l[1]; st != invalid {
+	if st := l[1]; st != ModeInvalid {
 		// Write-through does not grant the writer a copy it didn't have.
 		t.Errorf("p1 line state = %v, want invalid", st)
 	}
@@ -377,8 +377,10 @@ func TestWriteBackSingleExclusiveHolder(t *testing.T) {
 			excl := 0
 			holders := 0
 			for _, st := range line {
-				holders++
-				if st == exclusive {
+				if st != ModeInvalid {
+					holders++
+				}
+				if st == ModeExclusive {
 					excl++
 				}
 			}

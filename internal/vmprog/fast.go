@@ -30,6 +30,16 @@ type PState struct {
 	InExit  bool // CS executed, Exit pending at OpHalt
 }
 
+// BufLen returns the number of buffered, uncommitted writes.
+func (p *PState) BufLen() int { return len(p.Buf) }
+
+// BufVar returns the variable index of the i-th buffered write (0 is the
+// oldest, the only write TSO may commit next).
+func (p *PState) BufVar(i int) int { return p.Buf[i].v }
+
+// BufVal returns the pending value of the i-th buffered write.
+func (p *PState) BufVal(i int) uint64 { return p.Buf[i].x }
+
 // State is a full machine state of the fast engine.
 type State struct {
 	Mem   []uint64
@@ -107,6 +117,12 @@ func (e *Engine) UsePruning(f *PruneFacts) error {
 	e.facts = f
 	return nil
 }
+
+// Program returns the program the engine executes.
+func (e *Engine) Program() *Program { return e.prog }
+
+// NumProcs returns the engine's process count.
+func (e *Engine) NumProcs() int { return e.n }
 
 // Initial returns the initial state: memory zeroed, no process started.
 func (e *Engine) Initial() *State {

@@ -173,6 +173,15 @@ func (p *Program) Validate() error {
 	return nil
 }
 
+// Addr resolves the variable addressed by an instruction under a given
+// register file, exactly as the engines do: Base + reg[Index], erroring
+// when the computed index escapes the variable table. It exists for
+// tools (the abstract interpreter's witness tracer) that classify engine
+// steps without re-implementing the addressing rule.
+func (p *Program) Addr(in Instr, regs *[NumRegs]uint64) (int, error) {
+	return p.varIndex(in, regs)
+}
+
 // varIndex resolves an addressed variable for a given register file. It
 // returns an error when the computed index escapes the variable table.
 func (p *Program) varIndex(in Instr, regs *[NumRegs]uint64) (int, error) {
