@@ -197,9 +197,11 @@ func (l *linter) analyze(p *vmprog.Program, n int) (programReport, bool, error) 
 			ID: id, Kind: cacheKind, State: jobs.StateDone, Attempts: 1,
 			CreatedAt: now, StartedAt: now, FinishedAt: now,
 		}
-		if err := l.store.PutResult(id, raw); err != nil {
+		sum, err := l.store.PutResult(id, raw)
+		if err != nil {
 			return programReport{}, false, err
 		}
+		st.ResultSum = sum
 		if err := l.store.PutStatus(id, st); err != nil {
 			return programReport{}, false, err
 		}

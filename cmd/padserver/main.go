@@ -9,16 +9,25 @@
 // jobs left queued or running by a crashed or killed process are re-queued,
 // and orphaned artifact directories are reconciled.
 //
+// Robustness: -queue-max bounds the fifo (beyond it, POST /jobs sheds with
+// 503 + Retry-After), -retries/-backoff give transiently failing jobs capped
+// exponential-backoff re-execution, and SIGTERM/SIGINT trigger a graceful
+// drain — intake stops, in-flight jobs finish within -drain-timeout, and
+// anything still queued recovers on the next start.
+//
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, DELETE /jobs/{id},
 // GET /healthz, GET /metrics. See the README for an example curl session.
 //
 // Usage:
 //
 //	padserver [-addr :8080] [-data padserver-data] [-parallel N] [-timeout 0]
+//	          [-queue-max 0] [-retries 1] [-backoff 50ms] [-drain-timeout 10s]
+//	padserver -chaos [-chaos-seed 1] [-chaos-cycles 50]   # run the chaos harness and exit
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,55 +36,115 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"priceadaptive/internal/jobs"
 )
 
+type serverConfig struct {
+	addr         string
+	data         string
+	parallel     int
+	timeout      time.Duration
+	queueMax     int
+	retries      int
+	backoff      time.Duration
+	drainTimeout time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "padserver-data", "artifact-store directory")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
-	timeout := flag.Duration("timeout", 0, "default per-job execution timeout (0 = unbounded; specs may set their own)")
+	var cfg serverConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.data, "data", "padserver-data", "artifact-store directory")
+	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "default per-job execution timeout (0 = unbounded; specs may set their own)")
+	flag.IntVar(&cfg.queueMax, "queue-max", 0, "max queued (not yet running) jobs before POST /jobs sheds with 503 (0 = unbounded)")
+	flag.IntVar(&cfg.retries, "retries", 1, "max execution attempts per job (1 = no retry)")
+	flag.DurationVar(&cfg.backoff, "backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt and capped at 60x")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
+	chaos := flag.Bool("chaos", false, "run the kill/restart chaos harness against -data and exit (non-zero unless it converges)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos mode: seed for the fault and kill schedule")
+	chaosCycles := flag.Int("chaos-cycles", 50, "chaos mode: kill/restart cycles")
 	flag.Parse()
-	if err := run(*addr, *data, *parallel, *timeout); err != nil {
+
+	if *chaos {
+		if err := runChaos(cfg.data, *chaosSeed, *chaosCycles); err != nil {
+			fmt.Fprintln(os.Stderr, "padserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "padserver:", err)
 		os.Exit(1)
 	}
 }
 
+// runChaos executes the seeded kill/restart harness against dir and prints
+// the convergence report as JSON.
+func runChaos(dir string, seed int64, cycles int) error {
+	rep, err := jobs.Chaos(dir, jobs.ChaosOptions{Seed: seed, Cycles: cycles})
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Converged {
+		return fmt.Errorf("chaos: did not converge (lost=%d dup=%d corrupt=%d)",
+			len(rep.Lost), len(rep.DupEffects), len(rep.Integrity.Corrupt))
+	}
+	return nil
+}
+
 // newQueue opens the store and assembles the recovered, registered queue;
 // shared with the integration test.
-func newQueue(data string, parallel int, timeout time.Duration) (*jobs.Queue, error) {
-	store, err := jobs.Open(data)
+func newQueue(cfg serverConfig) (*jobs.Queue, error) {
+	store, err := jobs.Open(cfg.data)
 	if err != nil {
 		return nil, err
 	}
-	q := jobs.New(store, jobs.Options{Workers: parallel, DefaultTimeout: timeout})
+	opts := jobs.Options{
+		Workers:        cfg.parallel,
+		DefaultTimeout: cfg.timeout,
+		MaxQueued:      cfg.queueMax,
+	}
+	if cfg.retries > 1 {
+		opts.Retry = jobs.RetryPolicy{
+			MaxAttempts: cfg.retries,
+			BaseBackoff: cfg.backoff,
+			MaxBackoff:  60 * cfg.backoff,
+			Jitter:      0.2,
+		}
+	}
+	q := jobs.New(store, opts)
 	jobs.RegisterBuiltins(q)
 	requeued, err := q.Recover()
 	if err != nil {
 		return nil, err
 	}
 	if requeued > 0 {
-		log.Printf("recovered %d interrupted job(s) from %s", requeued, data)
+		log.Printf("recovered %d interrupted job(s) from %s", requeued, cfg.data)
 	}
 	return q, nil
 }
 
-func run(addr, data string, parallel int, timeout time.Duration) error {
-	q, err := newQueue(data, parallel, timeout)
+func run(cfg serverConfig) error {
+	q, err := newQueue(cfg)
 	if err != nil {
 		return err
 	}
 	q.Start()
 
-	srv := &http.Server{Addr: addr, Handler: jobs.NewHandler(q)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	srv := &http.Server{Addr: cfg.addr, Handler: jobs.NewHandler(q)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("padserver: %d workers, store %s, listening on %s", q.Workers(), data, addr)
+		log.Printf("padserver: %d workers, store %s, listening on %s", q.Workers(), cfg.data, cfg.addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -84,11 +153,25 @@ func run(addr, data string, parallel int, timeout time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("padserver: shutting down (in-flight jobs finish; queued jobs recover on next start)")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful drain: stop intake first (new submissions get 503), give
+	// in-flight jobs the drain budget, then stop the listener and the pool.
+	// Jobs still queued (or mid-retry) stay persisted and recover next start.
+	log.Printf("padserver: draining (budget %s; queued jobs recover on next start)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	drainErr := q.Drain(drainCtx)
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	if drainErr != nil {
+		// The drain budget is the shutdown bound: abandon whatever is still
+		// running without persisting a terminal state, exactly as a kill
+		// would, and let the next start's Recover re-queue it.
+		log.Printf("padserver: drain incomplete (%v); aborting in-flight jobs, they recover on next start", drainErr)
+		q.Abort()
+		return nil
 	}
 	q.Close()
 	return nil

@@ -17,7 +17,7 @@ import (
 // httptest listener, with an extra blocking kind for cancellation tests.
 func startServer(t *testing.T, dir string) (*httptest.Server, *jobs.Queue) {
 	t.Helper()
-	q, err := newQueue(dir, 2, 0)
+	q, err := newQueue(serverConfig{data: dir, parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 //
 //	tsosim -alg bakery -n 8 -passages 2 -sched rr
 //	tsosim -alg caschain -n 16 -sched random -seed 7 -commitp 0.3
+//	tsosim -alg rtas -n 8 -crashes 4 -crashp 0.08 -crash-seed 42   # crash-stop runs
 //	tsosim -adversary -alg synthetic -n 24   # run the lower-bound construction
 package main
 
@@ -43,6 +44,10 @@ func run() error {
 	budget := flag.Int("budget", 50_000_000, "step budget")
 	trace := flag.Bool("trace", false, "print the execution trace (lane view)")
 	traceSpecial := flag.Bool("trace-special", false, "with -trace, print only special events")
+	crashes := flag.Int("crashes", 0, "total crash budget: >0 runs the seeded crash-stop scheduler (RME mode)")
+	crashP := flag.Float64("crashp", 0.05, "crash mode: per-decision crash probability")
+	crashPerProc := flag.Int("crash-per-proc", 1, "crash mode: per-process crash bound")
+	crashSeed := flag.Int64("crash-seed", 1, "crash mode: decision-stream seed")
 	adv := flag.Bool("adversary", false, "run the lower-bound construction instead of a scheduler")
 	advA := flag.Float64("fa", 16, "claimed adaptivity constant term (adversary mode)")
 	advC := flag.Float64("fc", 10, "claimed adaptivity slope (adversary mode)")
@@ -101,6 +106,39 @@ func run() error {
 		return nil
 	}
 
+	if *crashes > 0 {
+		sim, err := tso.NewSimulator(tso.Config{N: *n, Passages: *passages, Model: simModel}, mutex.Build(factory))
+		if err != nil {
+			return err
+		}
+		defer sim.Kill()
+		accs := make([]*rmr.Accountant, 0, 3)
+		for _, m := range rmr.Models() {
+			accs = append(accs, rmr.Attach(sim, m))
+		}
+		res, err := adversary.RunWithCrashes(sim, adversary.CrashConfig{
+			Seed:              *crashSeed,
+			CrashProb:         *crashP,
+			MaxCrashesPerProc: *crashPerProc,
+			TotalCrashes:      *crashes,
+			CommitProb:        *commitP,
+		}, *budget)
+		if err != nil {
+			return fmt.Errorf("crash run: %w", err)
+		}
+		fmt.Printf("%s on %d processes x %d passages under crash-stop failures (%s, seed %d): %d steps, %d crashes, %d recoveries, completed=%v\n",
+			*alg, *n, *passages, simModel, *crashSeed, res.Steps, res.Crashes, res.Recoveries, res.Completed)
+		if res.Violation != nil {
+			fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
+		}
+		printAccountants(accs)
+		if *trace {
+			fmt.Println()
+			return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
+		}
+		return nil
+	}
+
 	var sched tso.Scheduler
 	switch *schedName {
 	case "rr":
@@ -131,6 +169,15 @@ func run() error {
 	if res.Violation != nil {
 		fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
 	}
+	printAccountants(accs)
+	if *trace {
+		fmt.Println()
+		return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
+	}
+	return nil
+}
+
+func printAccountants(accs []*rmr.Accountant) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tpassages\tmax RMR\tmean RMR\tmax fences\tmean fences\tmax crit\tmean crit")
 	for _, acc := range accs {
@@ -138,12 +185,5 @@ func run() error {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%d\t%.1f\t%d\t%.1f\n",
 			s.Model, s.Passages, s.MaxRMRs, s.MeanRMRs, s.MaxFences, s.MeanFences, s.MaxCritical, s.MeanCritical)
 	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	if *trace {
-		fmt.Println()
-		return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
-	}
-	return nil
+	_ = tw.Flush()
 }

@@ -52,6 +52,13 @@ type Exhaustive struct {
 	// iterated (true of every lock in this repository) but unsound for,
 	// say, bounded-retry or backoff loops; it is therefore opt-in.
 	CollapseSpins bool
+	// MaxCrashes, when positive, additionally enumerates crash-stop
+	// decisions: at every state each started, live process may crash
+	// (dropping its write buffer and volatile state) as long as fewer than
+	// MaxCrashes crashes occurred along the path. Recovery is an ordinary
+	// Step of the crashed process. This verifies recoverable mutual
+	// exclusion under a bounded number of crashes.
+	MaxCrashes int
 }
 
 // Verify explores schedules of the program built by build under cfg using
@@ -80,7 +87,7 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 		if limit > e.MaxDepth {
 			limit = e.MaxDepth
 		}
-		it := &iteration{ctx: ctx, cfg: cfg, build: build, rep: rep, limit: limit, maxStates: e.MaxStates, collapse: e.CollapseSpins, seen: make(map[uint64]bool)}
+		it := &iteration{ctx: ctx, cfg: cfg, build: build, rep: rep, limit: limit, maxStates: e.MaxStates, collapse: e.CollapseSpins, maxCrashes: e.MaxCrashes, seen: make(map[uint64]bool)}
 		sim, err := tso.NewSimulator(cfg, build)
 		if err != nil {
 			return nil, err
@@ -116,16 +123,17 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 
 // iteration is one depth-limited pass of the iterative-deepening search.
 type iteration struct {
-	ctx       context.Context
-	cfg       tso.Config
-	build     tso.Build
-	rep       *ExhaustiveReport
-	limit     int
-	maxStates int
-	collapse  bool
-	seen      map[uint64]bool
-	states    int
-	pruned    bool
+	ctx        context.Context
+	cfg        tso.Config
+	build      tso.Build
+	rep        *ExhaustiveReport
+	limit      int
+	maxStates  int
+	collapse   bool
+	maxCrashes int
+	seen       map[uint64]bool
+	states     int
+	pruned     bool
 	// polls counts dfs entries so the context is polled every few hundred
 	// nodes instead of on each one.
 	polls int
@@ -159,10 +167,15 @@ func (it *iteration) dfs(sim *tso.Simulator, depth int) (*tso.Simulator, error) 
 		return sim, nil
 	}
 	choices := enumerate(sim)
+	if it.maxCrashes > 0 {
+		choices = appendCrashChoices(choices, sim, it.maxCrashes)
+	}
 	base := len(sim.Execution().Schedule)
 	for _, d := range choices {
 		var err error
 		switch {
+		case d.Crash:
+			_, err = sim.Crash(d.P)
 		case d.Commit && d.VarPlus1 > 0:
 			_, err = sim.CommitVar(d.P, sim.Memory().Vars()[d.VarPlus1-1])
 		case d.Commit:
@@ -201,6 +214,8 @@ func rebuild(cfg tso.Config, build tso.Build, prefix []tso.Decision) (*tso.Simul
 	}
 	for _, d := range prefix {
 		switch {
+		case d.Crash:
+			_, err = sim.Crash(d.P)
 		case d.Commit && d.VarPlus1 > 0:
 			_, err = sim.CommitVar(d.P, sim.Memory().Vars()[d.VarPlus1-1])
 		case d.Commit:
@@ -237,6 +252,25 @@ func enumerate(sim *tso.Simulator) []tso.Decision {
 			} else {
 				out = append(out, tso.Decision{P: p, Commit: true})
 			}
+		}
+	}
+	return out
+}
+
+// appendCrashChoices adds a crash decision for every started, live,
+// not-currently-crashed process, as long as fewer than maxCrashes crash
+// events occurred along the current path. The crash budget needs no extra
+// fingerprint state: every EvCrash sits in its process's projection, so
+// states differing in crashes used (or in crashed-ness, via EvRecover)
+// never merge.
+func appendCrashChoices(out []tso.Decision, sim *tso.Simulator, maxCrashes int) []tso.Decision {
+	if sim.TotalCrashes() >= maxCrashes {
+		return out
+	}
+	for i := 0; i < sim.Config().N; i++ {
+		p := tso.ProcID(i)
+		if sim.Started(p) && !sim.Done(p) && !sim.Crashed(p) {
+			out = append(out, tso.Decision{P: p, Crash: true})
 		}
 	}
 	return out

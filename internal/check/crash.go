@@ -1,0 +1,57 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"priceadaptive/internal/adversary"
+	"priceadaptive/internal/tso"
+)
+
+// ErrCrashStall is returned by CrashSweep when a run fails to complete
+// within its budget: under bounded crashes a recoverable algorithm must
+// still let every process finish (starvation-freedom modulo crashes).
+var ErrCrashStall = errors.New("check: run did not complete under crashes")
+
+// CrashSweep verifies starvation-freedom modulo crashes empirically: it
+// drives the program under `seeds` independent seeded crash-scheduling
+// adversaries (adversary.RunWithCrashes) and requires that every run
+// completes every passage within the step budget with no exclusion
+// violation. A deadlocked recovery (a process that can never re-acquire
+// after a crash) surfaces as ErrCrashStall with the stuck processes'
+// pending operations attached.
+func CrashSweep(ctx context.Context, cfg tso.Config, build tso.Build, seeds int, ccfg adversary.CrashConfig, budget int) error {
+	for s := 1; s <= seeds; s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sim, err := tso.NewSimulator(cfg, build)
+		if err != nil {
+			return err
+		}
+		run := ccfg
+		run.Seed = int64(s)
+		res, err := adversary.RunWithCrashes(sim, run, budget)
+		switch {
+		case res.Violation != nil:
+			sim.Kill()
+			return fmt.Errorf("%w under crashes (seed %d): %v", ErrViolation, s, res.Violation)
+		case errors.Is(err, tso.ErrStepBudget):
+			detail := ""
+			for i := 0; i < cfg.N; i++ {
+				p := tso.ProcID(i)
+				if !sim.Done(p) {
+					detail += fmt.Sprintf(" p%d@%s", p, sim.PendingOp(p))
+				}
+			}
+			sim.Kill()
+			return fmt.Errorf("%w (seed %d, %d crashes):%s", ErrCrashStall, s, res.Crashes, detail)
+		case err != nil:
+			sim.Kill()
+			return fmt.Errorf("check: crash sweep seed %d: %w", s, err)
+		}
+		sim.Kill()
+	}
+	return nil
+}

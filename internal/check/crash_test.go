@@ -1,0 +1,172 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"priceadaptive/internal/adversary"
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
+)
+
+// findVar locates a shared variable by name.
+func findVar(t *testing.T, sim *tso.Simulator, name string) *tso.Var {
+	t.Helper()
+	for _, v := range sim.Memory().Vars() {
+		if v.Name() == name {
+			return v
+		}
+	}
+	t.Fatalf("no variable named %q", name)
+	return nil
+}
+
+// stepUntil drives process id until cond holds, failing after budget steps.
+func stepUntil(t *testing.T, sim *tso.Simulator, id tso.ProcID, budget int, cond func() bool) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if cond() {
+			return
+		}
+		if _, err := sim.Step(id); err != nil {
+			t.Fatalf("Step(p%d): %v", id, err)
+		}
+	}
+	t.Fatalf("p%d did not reach condition within %d steps (pending %s)", id, budget, sim.PendingOp(id))
+}
+
+// TestRTASRecoverableBoundedCrashes machine-checks the recoverable lock:
+// every interleaving of 2 processes with up to 2 adversarial crash points
+// preserves mutual exclusion, and the bounded state space is exhausted.
+func TestRTASRecoverableBoundedCrashes(t *testing.T) {
+	e := Exhaustive{MaxStates: 400000, MaxDepth: 400, CollapseSpins: true, MaxCrashes: 2}
+	rep, err := e.Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewRTAS))
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("rtas violated exclusion under crashes: %v (schedule %v)", rep.Violation, rep.Schedule)
+	}
+	if !rep.Complete {
+		t.Fatalf("state space not exhausted (states=%d decisions=%d); raise bounds", rep.States, rep.Decisions)
+	}
+	t.Logf("rtas crash-exhaustive: %d states, %d decisions", rep.States, rep.Decisions)
+}
+
+// TestRTASCrashSweep checks starvation-freedom modulo crashes at N=3: every
+// seeded crash-scheduling adversary lets all processes finish.
+func TestRTASCrashSweep(t *testing.T) {
+	ccfg := adversary.CrashConfig{CrashProb: 0.1, MaxCrashesPerProc: 2, TotalCrashes: 4, CommitProb: 0.3}
+	if err := CrashSweep(context.Background(), tso.Config{N: 3}, mutex.Build(mutex.NewRTAS), 20, ccfg, 200000); err != nil {
+		t.Fatalf("rtas crash sweep: %v", err)
+	}
+}
+
+// TestTASNotCrashRecoverable is the regression pinning plain TAS as
+// non-recoverable: its anonymous lock word cannot distinguish "I crashed
+// while holding" from "someone else holds", so the recovering owner spins
+// on its own stamp forever and the whole system stalls.
+func TestTASNotCrashRecoverable(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 2}, mutex.Build(mutex.NewTAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	lock := findVar(t, sim, "tas.lock")
+	// p0 acquires and crashes while holding (lock word committed by CAS).
+	stepUntil(t, sim, 0, 100, func() bool { return sim.Status(0) == tso.Exit })
+	if got := sim.Value(lock); got != 1 {
+		t.Fatalf("lock word = %d, want 1 (p0 holding)", got)
+	}
+	if _, err := sim.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DetectStall(sim, tso.NewRoundRobin(), 500, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("TAS recovered from a crash while holding; expected permanent stall")
+	}
+	if len(rep.Stalled) != 2 {
+		t.Fatalf("want both processes stuck, got %v", rep.Stalled)
+	}
+}
+
+// TestMCSBufferedHandoffNotCrashRecoverable is the buffered-but-uncommitted
+// lock-handoff regression: MCS's release writes the successor's flag through
+// the write buffer, so a crash between issue and commit silently destroys
+// the handoff — the successor spins forever and the recovered owner
+// re-enqueues behind it.
+func TestMCSBufferedHandoffNotCrashRecoverable(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 2}, mutex.Build(mutex.NewMCS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	locked1 := findVar(t, sim, "mcs.locked[1]")
+	// p0 acquires the lock and passes its CS.
+	stepUntil(t, sim, 0, 100, func() bool { return sim.Status(0) == tso.Exit })
+	// p1 enqueues behind p0 and spins on its own flag (fence completed, so
+	// its buffer is drained and its link to p0 is visible).
+	stepUntil(t, sim, 1, 100, func() bool {
+		op := sim.PendingOp(1)
+		return op.Kind == tso.OpRead && op.Var != nil && op.Var.Index() == locked1.Index() &&
+			sim.BufferSize(1) == 0
+	})
+	// p0 runs its release until the handoff write to locked[1] is issued —
+	// buffered, not yet committed.
+	stepUntil(t, sim, 0, 100, func() bool {
+		_, buffered := sim.BufferLookup(0, locked1)
+		return buffered
+	})
+	if got := sim.Value(locked1); got != 1 {
+		t.Fatalf("handoff already committed (locked[1]=%d); test setup broken", got)
+	}
+	// Crash p0: the buffered handoff is destroyed.
+	if _, err := sim.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.BufferSize(0) != 0 {
+		t.Fatal("crash left the write buffer intact")
+	}
+	if got := sim.Value(locked1); got != 1 {
+		t.Fatalf("locked[1] = %d after crash, want 1 (handoff lost)", got)
+	}
+	rep, err := DetectStall(sim, tso.NewRoundRobin(), 500, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("MCS converged after losing a buffered handoff; expected permanent stall")
+	}
+	if len(rep.Stalled) != 2 {
+		t.Fatalf("want both processes stuck, got %v", rep.Stalled)
+	}
+	t.Logf("stall confirmed: %s", rep)
+}
+
+// TestRTASSurvivesCrashWhileHolding runs the exact scenario that kills TAS
+// against the recoverable lock: crash the holder, then require full
+// completion under round-robin scheduling.
+func TestRTASSurvivesCrashWhileHolding(t *testing.T) {
+	sim, err := tso.NewSimulator(tso.Config{N: 2}, mutex.Build(mutex.NewRTAS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	stepUntil(t, sim, 0, 100, func() bool { return sim.Status(0) == tso.Exit })
+	if _, err := sim.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DetectStall(sim, tso.NewRoundRobin(), 500, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("rtas stalled after crash-while-holding: %s", rep)
+	}
+	if v := sim.ExclusionViolation(); v != nil {
+		t.Fatalf("exclusion violated: %v", v)
+	}
+}

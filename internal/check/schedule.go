@@ -26,6 +26,7 @@ type decisionJSON struct {
 	P        int  `json:"p"`
 	Commit   bool `json:"commit,omitempty"`
 	VarPlus1 int  `json:"var,omitempty"`
+	Crash    bool `json:"crash,omitempty"`
 }
 
 // SaveSchedule writes a schedule and its configuration as JSON. Zero-valued
@@ -47,7 +48,7 @@ func SaveSchedule(w io.Writer, cfg tso.Config, sched []tso.Decision) error {
 		sf.Passages = 1
 	}
 	for _, d := range sched {
-		sf.Decisions = append(sf.Decisions, decisionJSON{P: int(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1})
+		sf.Decisions = append(sf.Decisions, decisionJSON{P: int(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1, Crash: d.Crash})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -80,7 +81,7 @@ func LoadSchedule(r io.Reader) (tso.Config, []tso.Decision, error) {
 	}
 	out := make([]tso.Decision, 0, len(sf.Decisions))
 	for _, d := range sf.Decisions {
-		out = append(out, tso.Decision{P: tso.ProcID(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1})
+		out = append(out, tso.Decision{P: tso.ProcID(d.P), Commit: d.Commit, VarPlus1: d.VarPlus1, Crash: d.Crash})
 	}
 	return cfg, out, nil
 }
@@ -97,6 +98,8 @@ func Reproduces(cfg tso.Config, build tso.Build, sched []tso.Decision) (bool, er
 	defer sim.Kill()
 	for _, d := range sched {
 		switch {
+		case d.Crash:
+			_, err = sim.Crash(d.P)
 		case d.Commit && d.VarPlus1 > 0:
 			_, err = sim.CommitVar(d.P, sim.Memory().Vars()[d.VarPlus1-1])
 		case d.Commit:

@@ -69,7 +69,14 @@ func Attach(sim *tso.Simulator) *Tracker {
 // Observe consumes one event. Events must arrive in execution order.
 func (tr *Tracker) Observe(ev tso.Event) {
 	switch ev.Kind {
-	case tso.EvEnter:
+	case tso.EvCrash:
+		// A crash abandons the in-flight passage without completing it;
+		// the process leaves the active set until it recovers. The
+		// abandoned attempt is discarded (only completed passages carry
+		// contention values).
+		delete(tr.open, ev.P)
+		delete(tr.active, ev.P)
+	case tso.EvEnter, tso.EvRecover:
 		tr.active[ev.P] = true
 		tr.participated[ev.P] = true
 		pc := &PassageContention{

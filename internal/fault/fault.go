@@ -1,0 +1,291 @@
+// Package fault is the repository's single deterministic fault-injection
+// subsystem. Both consumers draw from it:
+//
+//   - the model level (internal/adversary, internal/check) uses Source to
+//     schedule crash-stop failures of simulated processes deterministically
+//     under a seed, reproducing the crash-recoverable mutual-exclusion
+//     setting (Chan-Woelfel; Katzan-Morrison) on top of the TSO simulator;
+//   - the infrastructure level (internal/jobs, cmd/padserver) uses Injector
+//     to perturb the artifact store and worker pool with filesystem errors,
+//     torn writes, worker panics, stalls and context churn, and Clock to
+//     make retry backoff testable without real sleeping.
+//
+// Everything is seeded: a fixed seed reproduces the same decision stream,
+// which is what lets the chaos harness assert convergence instead of just
+// hoping.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error carried by injected failures that do not specify
+// their own. Test code matches it with errors.Is to tell injected faults
+// from real ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Kind enumerates the fault classes the injector can produce.
+type Kind int
+
+const (
+	// Err fails the operation with Fault.Err (ErrInjected by default).
+	Err Kind = iota + 1
+	// Torn interrupts a write mid-way: a prefix of the data is persisted
+	// to the temp file and the operation fails, exactly as a crash between
+	// write(2) and rename(2) would leave the filesystem.
+	Torn
+	// Panic makes the worker executing the operation panic.
+	Panic
+	// Stall delays the operation by Fault.Delay before letting it proceed.
+	Stall
+	// Cancel cancels the operation's context early (deadline churn).
+	Cancel
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Err:
+		return "err"
+	case Torn:
+		return "torn"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Cancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one injected failure decision.
+type Fault struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Site is the instrumentation point the fault fired at.
+	Site string
+	// Frac is the fraction of the payload persisted by a Torn fault
+	// (clamped to [0,1]; 0.5 when unset).
+	Frac float64
+	// Delay is the Stall duration.
+	Delay time.Duration
+	// Err overrides ErrInjected for Err faults.
+	Err error
+}
+
+// Error implements error, so an injected fault can surface directly as the
+// failing operation's error.
+func (f *Fault) Error() string {
+	if f.Err != nil {
+		return f.Err.Error()
+	}
+	return fmt.Sprintf("%v (%s at %s)", ErrInjected, f.Kind, f.Site)
+}
+
+// Unwrap lets errors.Is match ErrInjected (or the Err override).
+func (f *Fault) Unwrap() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// Injector decides, per instrumented call site, whether to inject a fault.
+// Implementations must be safe for concurrent use. A nil *Fault means the
+// operation proceeds normally.
+type Injector interface {
+	Fault(site string) *Fault
+}
+
+// Nop never injects anything.
+type Nop struct{}
+
+// Fault implements Injector.
+func (Nop) Fault(string) *Fault { return nil }
+
+// Source is a deterministic seeded randomness stream, safe for concurrent
+// use. Substreams derived with Split are themselves deterministic functions
+// of (seed, label), so independent consumers (per-cycle injectors, backoff
+// jitter) do not perturb each other's draws.
+type Source struct {
+	seed int64
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// NewSource returns a source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed the source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Split derives an independent child stream keyed by label.
+func (s *Source) Split(label string) *Source {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", s.seed, label)
+	return NewSource(int64(h.Sum64()))
+}
+
+// Intn returns a uniform int in [0, n).
+func (s *Source) Intn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Intn(n)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Int63()
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *Source) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Rule is one probabilistic injection rule: at sites matching SitePrefix,
+// fire a fault of Kind with probability Rate per call.
+type Rule struct {
+	// SitePrefix matches sites by prefix ("store." matches "store.write").
+	SitePrefix string
+	// Kind is the fault class to inject.
+	Kind Kind
+	// Rate is the per-call firing probability in [0,1].
+	Rate float64
+	// Frac configures Torn faults.
+	Frac float64
+	// Delay configures Stall faults.
+	Delay time.Duration
+}
+
+// Prob is a seeded probabilistic injector: each call draws from the source
+// and fires the first matching rule that hits. It counts fired faults per
+// site for reporting.
+type Prob struct {
+	src   *Source
+	rules []Rule
+
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewProb returns a probabilistic injector drawing from src.
+func NewProb(src *Source, rules ...Rule) *Prob {
+	return &Prob{src: src, rules: rules, counts: make(map[string]int64)}
+}
+
+// Fault implements Injector.
+func (p *Prob) Fault(site string) *Fault {
+	for _, r := range p.rules {
+		if !strings.HasPrefix(site, r.SitePrefix) {
+			continue
+		}
+		if !p.src.Bool(r.Rate) {
+			continue
+		}
+		p.mu.Lock()
+		p.counts[site+"/"+r.Kind.String()]++
+		p.mu.Unlock()
+		return &Fault{Kind: r.Kind, Site: site, Frac: r.Frac, Delay: r.Delay}
+	}
+	return nil
+}
+
+// Counts returns a copy of the per-site fired-fault counters, keyed
+// "site/kind".
+func (p *Prob) Counts() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of faults fired.
+func (p *Prob) Total() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, v := range p.counts {
+		n += v
+	}
+	return n
+}
+
+// CountKeys returns the fired sites in sorted order (for stable reports).
+func (p *Prob) CountKeys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keys := make([]string, 0, len(p.counts))
+	for k := range p.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Script is a deterministic injector for unit tests: it fires configured
+// faults at exact occurrence numbers of a site (1-based), regardless of
+// randomness.
+type Script struct {
+	mu    sync.Mutex
+	seen  map[string]int
+	steps map[string]map[int]Fault
+}
+
+// NewScript returns an empty script.
+func NewScript() *Script {
+	return &Script{seen: make(map[string]int), steps: make(map[string]map[int]Fault)}
+}
+
+// At arranges for the n-th call (1-based) at site to fail with f. It
+// returns the script for chaining.
+func (s *Script) At(site string, n int, f Fault) *Script {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.steps[site] == nil {
+		s.steps[site] = make(map[int]Fault)
+	}
+	f.Site = site
+	s.steps[site][n] = f
+	return s
+}
+
+// Fault implements Injector.
+func (s *Script) Fault(site string) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[site]++
+	if f, ok := s.steps[site][s.seen[site]]; ok {
+		return &f
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSourceDeterministic(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Intn(1<<20), b.Intn(1<<20); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestSourceSplitIndependent(t *testing.T) {
+	// Split streams are functions of (seed, label) only: consuming one
+	// must not perturb the other, and the same label reproduces the
+	// same stream.
+	base := NewSource(7)
+	c1 := base.Split("cycle1")
+	for i := 0; i < 100; i++ {
+		c1.Float64()
+	}
+	c2 := base.Split("cycle2")
+	want := NewSource(7).Split("cycle2")
+	for i := 0; i < 100; i++ {
+		if x, y := c2.Int63(), want.Int63(); x != y {
+			t.Fatalf("split stream perturbed by sibling at draw %d", i)
+		}
+	}
+	if NewSource(7).Split("a").Int63() == NewSource(7).Split("b").Int63() {
+		t.Fatal("different labels produced identical first draws (suspicious)")
+	}
+}
+
+func TestProbRatesAndCounts(t *testing.T) {
+	inj := NewProb(NewSource(1),
+		Rule{SitePrefix: "store.", Kind: Err, Rate: 0.5},
+	)
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if f := inj.Fault("store.write"); f != nil {
+			if f.Kind != Err || f.Site != "store.write" {
+				t.Fatalf("unexpected fault %+v", f)
+			}
+			fired++
+		}
+		if f := inj.Fault("worker"); f != nil {
+			t.Fatalf("rule for store.* fired at worker: %+v", f)
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("rate 0.5 fired %d/2000 times", fired)
+	}
+	if got := inj.Counts()["store.write/err"]; got != int64(fired) {
+		t.Fatalf("counts=%d, fired=%d", got, fired)
+	}
+	if inj.Total() != int64(fired) {
+		t.Fatalf("total=%d, fired=%d", inj.Total(), fired)
+	}
+}
+
+func TestScriptFiresAtExactOccurrences(t *testing.T) {
+	s := NewScript().
+		At("store.write", 2, Fault{Kind: Torn, Frac: 0.25}).
+		At("store.write", 4, Fault{Kind: Err})
+	var kinds []Kind
+	for i := 0; i < 5; i++ {
+		if f := s.Fault("store.write"); f != nil {
+			kinds = append(kinds, f.Kind)
+			if f.Site != "store.write" {
+				t.Fatalf("site not stamped: %+v", f)
+			}
+		} else {
+			kinds = append(kinds, 0)
+		}
+	}
+	want := []Kind{0, Torn, 0, Err, 0}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("occurrence %d: got %v, want %v", i+1, kinds[i], want[i])
+		}
+	}
+	if f := s.Fault("other.site"); f != nil {
+		t.Fatalf("unconfigured site fired: %+v", f)
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Kind: Err, Site: "store.write"}
+	if !errors.Is(f, ErrInjected) {
+		t.Fatalf("default error does not wrap ErrInjected: %v", f)
+	}
+	custom := errors.New("disk on fire")
+	f = &Fault{Kind: Err, Err: custom}
+	if !errors.Is(f, custom) {
+		t.Fatal("custom error not passed through")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Sleep(context.Background(), 100*time.Millisecond)
+	}()
+	// Wait until the sleeper has parked, then advance past its deadline.
+	for m.Sleepers() == 0 {
+		// busy-wait is fine: the goroutine parks within a few scheduler ticks
+	}
+	m.Advance(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("woke before deadline: %v", err)
+	default:
+	}
+	m.Advance(50 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("sleep returned %v", err)
+	}
+	if got := m.Now(); !got.Equal(time.Unix(0, 0).Add(100 * time.Millisecond)) {
+		t.Fatalf("now=%v", got)
+	}
+}
+
+func TestManualClockCancel(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.Sleep(ctx, time.Hour) }()
+	for m.Sleepers() == 0 {
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if m.Sleepers() != 0 {
+		t.Fatal("cancelled waiter not removed")
+	}
+}
+
+func TestWallClockSleep(t *testing.T) {
+	var c Clock = Wall{}
+	if err := c.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,99 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"priceadaptive/internal/fault"
+)
+
+// ErrStoreUnavailable is returned by Submit while the artifact-store circuit
+// breaker is open: recent store writes failed repeatedly, so the queue sheds
+// intake instead of piling more writes onto a sick disk. The HTTP layer maps
+// it to 503 + Retry-After.
+var ErrStoreUnavailable = errors.New("jobs: artifact store unavailable (circuit open)")
+
+// breaker is a consecutive-failure circuit breaker around the artifact
+// store. Closed passes everything through; `threshold` consecutive failures
+// open it; after `cooldown` (measured on the injectable clock) one probe is
+// let through half-open, and its outcome closes or re-opens the circuit.
+type breaker struct {
+	mu        sync.Mutex
+	clock     fault.Clock
+	threshold int
+	cooldown  time.Duration
+
+	failures int
+	open     bool
+	openedAt time.Time
+	probing  bool
+	trips    int64
+}
+
+func newBreaker(clock fault.Clock, threshold int, cooldown time.Duration) *breaker {
+	return &breaker{clock: clock, threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether an operation may proceed. While open it refuses with
+// ErrStoreUnavailable until the cooldown elapses, then admits exactly one
+// half-open probe at a time.
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if b.clock.Now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return ErrStoreUnavailable
+	}
+	b.probing = true
+	return nil
+}
+
+// record feeds an operation's outcome back. Injected and real store errors
+// both count: the breaker cannot tell them apart, which is the point.
+func (b *breaker) record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.failures = 0
+		b.open = false
+		return
+	}
+	b.failures++
+	if !b.open && b.failures >= b.threshold {
+		b.open = true
+		b.openedAt = b.clock.Now()
+		b.trips++
+	} else if b.open {
+		// Failed half-open probe: restart the cooldown.
+		b.openedAt = b.clock.Now()
+	}
+}
+
+// isOpen reports the circuit state (for metrics and degradation headers).
+func (b *breaker) isOpen() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+func (b *breaker) tripCount() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,242 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"priceadaptive/internal/fault"
+)
+
+// ChaosOptions configures the chaos harness. Everything is derived from
+// Seed, so a fixed seed reproduces the same kill points and fault stream.
+type ChaosOptions struct {
+	// Seed drives every random decision (fault firing, kill points, job
+	// mix). Same seed, same run.
+	Seed int64
+	// Cycles is the number of kill/restart cycles (default 50).
+	Cycles int
+	// JobsPerCycle is how many submissions each cycle attempts (default 6).
+	JobsPerCycle int
+	// JobSpace bounds the distinct job identities, so cycles both create
+	// fresh jobs and collide with earlier ones (default 24).
+	JobSpace int
+	// Workers is the per-cycle pool size (default 4).
+	Workers int
+	// Rules overrides the injected fault mix; nil uses a default spread of
+	// store write errors, torn result writes, worker panics, stalls and
+	// context churn.
+	Rules []fault.Rule
+	// Retry is the per-cycle retry policy (default 3 attempts, 1ms base,
+	// 20ms cap, 0.2 jitter — small so 50 cycles stay fast).
+	Retry RetryPolicy
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Cycles <= 0 {
+		o.Cycles = 50
+	}
+	if o.JobsPerCycle <= 0 {
+		o.JobsPerCycle = 6
+	}
+	if o.JobSpace <= 0 {
+		o.JobSpace = 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Rules == nil {
+		o.Rules = []fault.Rule{
+			{SitePrefix: SiteWriteResult, Kind: fault.Torn, Rate: 0.06, Frac: 0.5},
+			{SitePrefix: "store.write", Kind: fault.Err, Rate: 0.05},
+			{SitePrefix: "worker", Kind: fault.Panic, Rate: 0.05},
+			{SitePrefix: "worker", Kind: fault.Stall, Rate: 0.05, Delay: time.Millisecond},
+			{SitePrefix: "worker", Kind: fault.Cancel, Rate: 0.03},
+		}
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond, Jitter: 0.2}
+	}
+	return o
+}
+
+// ChaosReport is the harness's convergence verdict, serialized as the CI
+// artifact.
+type ChaosReport struct {
+	Seed         int64 `json:"seed"`
+	Cycles       int   `json:"cycles"`
+	Crashes      int   `json:"crashes"`
+	CleanCloses  int   `json:"clean_closes"`
+	Submitted    int   `json:"submitted"`
+	DistinctJobs int   `json:"distinct_jobs"`
+	Faults       int64 `json:"faults_injected"`
+	Requeued     int64 `json:"requeued"`
+	Retries      int64 `json:"retries"`
+	Panics       int64 `json:"panics"`
+	// Lost lists jobs that never reached done even after the fault-free
+	// convergence pass: a lost job is the bug the harness exists to catch.
+	Lost []string `json:"lost,omitempty"`
+	// DupEffects lists jobs whose completed artifact changed checksum
+	// between observations: a done job re-ran, i.e. a duplicated side
+	// effect.
+	DupEffects []string `json:"dup_effects,omitempty"`
+	// Integrity is the final store sweep (torn artifacts would show here).
+	Integrity IntegrityReport `json:"integrity"`
+	// Converged is the aggregate verdict.
+	Converged bool `json:"converged"`
+}
+
+// chaosKind is the job kind the harness runs: a deterministic pure function
+// of its params, so re-execution after a crash is idempotent by construction
+// and any artifact divergence is a harness-detectable bug.
+const chaosKind = "chaos"
+
+func chaosRunner(ctx context.Context, params json.RawMessage) (any, error) {
+	var p struct {
+		I int `json:"i"`
+	}
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, err
+	}
+	return map[string]int{"i": p.I, "sq": p.I * p.I}, nil
+}
+
+// Chaos repeatedly boots a queue over dir, submits jobs under injected
+// faults, kills the process model (hard crash or clean close, seeded), and
+// finally runs a fault-free convergence pass. It asserts the tentpole's
+// robustness contract: no lost jobs, no duplicated side effects, full
+// artifact integrity.
+func Chaos(dir string, opts ChaosOptions) (*ChaosReport, error) {
+	opts = opts.withDefaults()
+	root := fault.NewSource(opts.Seed)
+	rep := &ChaosReport{Seed: opts.Seed, Cycles: opts.Cycles}
+	// sums pins each job's artifact checksum the first time it is observed
+	// done; any later divergence is a duplicated side effect.
+	sums := make(map[string]string)
+	distinct := make(map[string]bool)
+
+	for c := 0; c < opts.Cycles; c++ {
+		src := root.Split(fmt.Sprintf("cycle%d", c))
+		inj := fault.NewProb(src.Split("inject"), opts.Rules...)
+		store, err := Open(dir)
+		if err != nil {
+			return rep, err
+		}
+		q := New(store, Options{
+			Workers:  opts.Workers,
+			Injector: inj,
+			Retry:    opts.Retry,
+			Seed:     src.Split("jitter").Int63(),
+		})
+		q.Register(chaosKind, chaosRunner)
+		if _, err := q.Recover(); err != nil {
+			return rep, fmt.Errorf("cycle %d: recover: %w", c, err)
+		}
+		q.Start()
+
+		var ids []string
+		for i := 0; i < opts.JobsPerCycle; i++ {
+			n := src.Intn(opts.JobSpace)
+			params, _ := json.Marshal(map[string]int{"i": n})
+			st, _, err := q.Submit(Spec{Kind: chaosKind, Params: params})
+			rep.Submitted++
+			if err != nil {
+				continue // injected store failure shed the submission
+			}
+			ids = append(ids, st.ID)
+			distinct[st.ID] = true
+		}
+		// Let a seeded prefix of the cycle's jobs reach a terminal state,
+		// then kill the queue mid-flight (or close it cleanly).
+		settle := 0
+		if len(ids) > 0 {
+			settle = src.Intn(len(ids) + 1)
+		}
+		for _, id := range ids[:settle] {
+			// nosleep:allow the harness is its own root; per-wait safety timeout
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, _ = q.Wait(ctx, id)
+			cancel()
+		}
+		m := q.Metrics()
+		rep.Requeued += m.Requeued
+		rep.Retries += m.Retries
+		rep.Panics += m.Panics
+		if src.Bool(0.5) {
+			q.crash()
+			rep.Crashes++
+		} else {
+			q.Close()
+			rep.CleanCloses++
+		}
+		rep.Faults += inj.Total()
+
+		// Cross-cycle exactly-once check: a done artifact's checksum must
+		// never change once recorded.
+		entries, _, err := store.Scan()
+		if err != nil {
+			return rep, fmt.Errorf("cycle %d: scan: %w", c, err)
+		}
+		for _, e := range entries {
+			if e.Status.State != StateDone || e.Status.ResultSum == "" {
+				continue
+			}
+			if prev, ok := sums[e.ID]; ok && prev != e.Status.ResultSum {
+				rep.DupEffects = append(rep.DupEffects, e.ID)
+			} else if !ok {
+				sums[e.ID] = e.Status.ResultSum
+			}
+		}
+	}
+
+	// Fault-free convergence pass: everything the cycles ever accepted must
+	// land done with an intact artifact.
+	store, err := Open(dir)
+	if err != nil {
+		return rep, err
+	}
+	q := New(store, Options{Workers: opts.Workers, Retry: opts.Retry})
+	q.Register(chaosKind, chaosRunner)
+	if _, err := q.Recover(); err != nil {
+		return rep, fmt.Errorf("convergence: recover: %w", err)
+	}
+	q.Start()
+	entries, _, err := store.Scan()
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		distinct[e.ID] = true
+		if e.Status.State == StateFailed || e.Status.State == StateCancelled {
+			if _, _, err := q.Submit(e.Spec); err != nil {
+				return rep, fmt.Errorf("convergence: resubmit %s: %w", e.ID, err)
+			}
+		}
+	}
+	// nosleep:allow the harness is its own root; convergence-pass deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for id := range distinct {
+		st, err := q.Wait(ctx, id)
+		if err != nil {
+			rep.Lost = append(rep.Lost, id)
+			continue
+		}
+		if st.State != StateDone {
+			rep.Lost = append(rep.Lost, id)
+			continue
+		}
+		if prev, ok := sums[id]; ok && prev != st.ResultSum {
+			rep.DupEffects = append(rep.DupEffects, id)
+		}
+	}
+	q.Close()
+	rep.DistinctJobs = len(distinct)
+	rep.Integrity, err = store.VerifyArtifacts()
+	if err != nil {
+		return rep, err
+	}
+	rep.Converged = len(rep.Lost) == 0 && len(rep.DupEffects) == 0 && rep.Integrity.OK()
+	return rep, nil
+}

@@ -1,0 +1,171 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/fault"
+)
+
+// TestChaosConvergence is the tentpole's end-to-end robustness gate: 50
+// seeded kill/restart cycles under injected store, worker and context
+// faults, then a fault-free convergence pass. The queue must converge —
+// no lost jobs, no duplicated side effects, every artifact intact.
+//
+// Set CHAOS_REPORT=<path> to persist the JSON report (CI uploads it).
+func TestChaosConvergence(t *testing.T) {
+	rep, err := Chaos(t.TempDir(), ChaosOptions{Seed: 20260806, Cycles: 50})
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+	if path := os.Getenv("CHAOS_REPORT"); path != "" {
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			t.Errorf("write chaos report: %v", merr)
+		}
+	}
+	t.Logf("chaos: %d cycles (%d crashes, %d clean), %d submitted, %d distinct, %d faults, %d requeued, %d retries, %d panics",
+		rep.Cycles, rep.Crashes, rep.CleanCloses, rep.Submitted, rep.DistinctJobs,
+		rep.Faults, rep.Requeued, rep.Retries, rep.Panics)
+	if !rep.Converged {
+		t.Fatalf("did not converge: lost=%v dup_effects=%v integrity=%+v",
+			rep.Lost, rep.DupEffects, rep.Integrity)
+	}
+	// Guard against a vacuous pass: the seed must actually have exercised
+	// hard kills, injected faults, and crash recovery.
+	if rep.Crashes == 0 {
+		t.Error("seed produced no hard crashes — kill plumbing is dead")
+	}
+	if rep.CleanCloses == 0 {
+		t.Error("seed produced no clean closes")
+	}
+	if rep.Faults == 0 {
+		t.Error("no faults were injected — injector plumbing is dead")
+	}
+	if rep.Requeued == 0 {
+		t.Error("no job was ever requeued — crash recovery went unexercised")
+	}
+}
+
+// TestChaosDeterministicKillSchedule: the kill/close schedule and submission
+// mix are pure functions of the seed. (Fault counts are not asserted — they
+// depend on goroutine interleaving — but the control-flow decisions drawn
+// from the root source must replay exactly.)
+func TestChaosDeterministicKillSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := ChaosOptions{Seed: 7, Cycles: 12}
+	a, err := Chaos(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crashes != b.Crashes || a.CleanCloses != b.CleanCloses || a.Submitted != b.Submitted {
+		t.Fatalf("same seed diverged: run1 crashes=%d clean=%d submitted=%d, run2 crashes=%d clean=%d submitted=%d",
+			a.Crashes, a.CleanCloses, a.Submitted, b.Crashes, b.CleanCloses, b.Submitted)
+	}
+	if !a.Converged || !b.Converged {
+		t.Fatalf("convergence: run1=%v run2=%v", a.Converged, b.Converged)
+	}
+}
+
+// TestKillRestartProperty is the satellite property test: kill the queue at
+// seeded random points across 50 boot cycles, then verify every accepted job
+// is terminal exactly once — resubmitting any of them is a pure cache hit,
+// with no second execution — and that per-cycle Requeued metrics agree with
+// what Recover reported.
+func TestKillRestartProperty(t *testing.T) {
+	dir := t.TempDir()
+	src := fault.NewSource(99)
+	const cycles = 50
+	accepted := make(map[string]bool)
+
+	for c := 0; c < cycles; c++ {
+		store, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", c, err)
+		}
+		q := New(store, Options{Workers: 2})
+		q.Register(chaosKind, chaosRunner)
+		requeued, err := q.Recover()
+		if err != nil {
+			t.Fatalf("cycle %d: recover: %v", c, err)
+		}
+		if m := q.Metrics(); m.Requeued != int64(requeued) {
+			t.Fatalf("cycle %d: Recover reported %d but metrics say %d", c, requeued, m.Requeued)
+		}
+		q.Start()
+		var ids []string
+		for i := 0; i < 3; i++ {
+			params, _ := json.Marshal(map[string]int{"i": src.Intn(12)})
+			st, _, err := q.Submit(Spec{Kind: chaosKind, Params: params})
+			if err != nil {
+				t.Fatalf("cycle %d: submit: %v", c, err)
+			}
+			ids = append(ids, st.ID)
+			accepted[st.ID] = true
+		}
+		// Kill at a seeded random point: let 0..len(ids) jobs settle first.
+		for _, id := range ids[:src.Intn(len(ids)+1)] {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_, _ = q.Wait(ctx, id)
+			cancel()
+		}
+		q.crash()
+	}
+
+	// Final boot: drain everything, then check the exactly-once contract.
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New(store, Options{Workers: 2})
+	q.Register(chaosKind, chaosRunner)
+	if _, err := q.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	q.Start()
+	defer q.Close()
+	for id := range accepted {
+		st := waitDone(t, q, id)
+		if st.State != StateDone {
+			t.Fatalf("job %s terminal state %s, want done", id, st.State)
+		}
+	}
+	// Terminal exactly once: resubmitting every accepted spec is a cache
+	// hit — no state transition, no re-execution, checksum unchanged.
+	for id := range accepted {
+		spec, err := store.GetSpec(id)
+		if err != nil {
+			t.Fatalf("spec %s: %v", id, err)
+		}
+		before, _ := q.Get(id)
+		st, outcome, err := q.Submit(spec)
+		if err != nil || outcome != SubmitCached {
+			t.Fatalf("resubmit %s: outcome=%v err=%v, want cached", id, outcome, err)
+		}
+		if st.ResultSum != before.ResultSum || st.Attempts != before.Attempts {
+			t.Fatalf("resubmit %s mutated the terminal record: %+v vs %+v", id, st, before)
+		}
+	}
+	rep, err := store.VerifyArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("artifact integrity after %d kill cycles: %+v", cycles, rep)
+	}
+	if rep.Checked != len(accepted) {
+		t.Fatalf("verified %d artifacts, accepted %d jobs", rep.Checked, len(accepted))
+	}
+}

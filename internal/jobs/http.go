@@ -6,10 +6,16 @@ import (
 	"net/http"
 )
 
+// retryAfterSeconds is the back-off hint sent with 503 responses.
+const retryAfterSeconds = "5"
+
 // NewHandler exposes a Queue over HTTP/JSON:
 //
 //	POST   /jobs       submit a Spec; 200 + status (cached=true) on a cache
-//	                   hit, 202 + status otherwise
+//	                   hit, 409 when an identical job is already queued or
+//	                   running (the duplicate joins it), 202 otherwise; 503
+//	                   + Retry-After when the queue is saturated, draining
+//	                   or the artifact-store circuit breaker is open
 //	GET    /jobs       list statuses; ?kind= and ?state= filter
 //	GET    /jobs/{id}  status, plus the result artifact once done
 //	DELETE /jobs/{id}  cancel (queued: immediate; running: via its context)
@@ -23,16 +29,29 @@ func NewHandler(q *Queue) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		st, cached, err := q.Submit(spec)
-		if err != nil {
+		st, outcome, err := q.Submit(spec)
+		switch {
+		case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed), errors.Is(err, ErrStoreUnavailable):
+			// Graceful degradation: shed load with an explicit back-off
+			// hint instead of queueing unboundedly or erroring opaquely.
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		code := http.StatusAccepted
-		if cached {
+		switch outcome {
+		case SubmitCached:
 			code = http.StatusOK
+		case SubmitJoined:
+			// Duplicate submission: the identical job is already in
+			// flight. 409 tells the client it holds no new work, while the
+			// body still carries the job to poll.
+			code = http.StatusConflict
 		}
-		writeHTTPJSON(w, code, submitResponse{Status: st, Cached: cached})
+		writeHTTPJSON(w, code, submitResponse{Status: st, Outcome: outcome.String(), Cached: outcome == SubmitCached})
 	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		kind := r.URL.Query().Get("kind")
@@ -79,6 +98,8 @@ func NewHandler(q *Queue) http.Handler {
 
 type submitResponse struct {
 	Status
+	// Outcome is the SubmitOutcome: queued, joined, cached or requeued.
+	Outcome string `json:"outcome"`
 	// Cached reports that the job's artifact already existed and nothing was
 	// (re)queued.
 	Cached bool `json:"cached"`

@@ -1,0 +1,206 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// blockingHandlerQueue builds a one-worker queue whose "block" kind parks
+// until release is closed, plus its HTTP handler.
+func blockingHandlerQueue(t *testing.T, opts Options) (*Queue, http.Handler, chan struct{}) {
+	t.Helper()
+	q, _ := newTestQueue(t, t.TempDir(), opts)
+	release := make(chan struct{})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	q.Start()
+	return q, NewHandler(q), release
+}
+
+func postJob(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/jobs", bytes.NewBufferString(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func waitRunning(t *testing.T, q *Queue, id string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := q.Get(id)
+		if err == nil && st.State == StateRunning {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHTTPSaturated503 drives the queue to MaxQueued and asserts the
+// endpoint sheds load with 503 + Retry-After instead of queueing unboundedly.
+func TestHTTPSaturated503(t *testing.T) {
+	q, h, release := blockingHandlerQueue(t, Options{Workers: 1, MaxQueued: 1})
+	defer q.Close()
+	defer close(release)
+
+	w := postJob(t, h, `{"kind":"block","params":{"j":1}}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d, body %s", w.Code, w.Body)
+	}
+	var resp struct {
+		ID      string `json:"id"`
+		Outcome string `json:"outcome"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Outcome != "queued" {
+		t.Fatalf("outcome %q, want queued", resp.Outcome)
+	}
+	waitRunning(t, q, resp.ID)
+
+	if w := postJob(t, h, `{"kind":"block","params":{"j":2}}`); w.Code != http.StatusAccepted {
+		t.Fatalf("second submit: %d, body %s", w.Code, w.Body)
+	}
+	w = postJob(t, h, `{"kind":"block","params":{"j":3}}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated submit: %d, want 503 (body %s)", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After hint")
+	}
+}
+
+// TestHTTPDuplicate409: submitting a spec identical to one already in
+// flight returns 409, with the existing job in the body to poll.
+func TestHTTPDuplicate409(t *testing.T) {
+	q, h, release := blockingHandlerQueue(t, Options{Workers: 1})
+	defer q.Close()
+	defer close(release)
+
+	w := postJob(t, h, `{"kind":"block","params":{"j":1}}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", w.Code)
+	}
+	var first struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, q, first.ID)
+
+	w = postJob(t, h, `{"kind":"block","params":{"j":1}}`)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("duplicate submit: %d, want 409 (body %s)", w.Code, w.Body)
+	}
+	var dup struct {
+		ID      string `json:"id"`
+		Outcome string `json:"outcome"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dup); err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != first.ID || dup.Outcome != "joined" {
+		t.Fatalf("duplicate body: id=%s outcome=%s, want id=%s outcome=joined", dup.ID, dup.Outcome, first.ID)
+	}
+}
+
+// TestHTTPDraining503: once a graceful drain starts, the endpoint refuses
+// new work with 503 + Retry-After while in-flight jobs finish.
+func TestHTTPDraining503(t *testing.T) {
+	q, h, release := blockingHandlerQueue(t, Options{Workers: 1})
+	defer q.Close()
+
+	w := postJob(t, h, `{"kind":"block","params":{"j":1}}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d", w.Code)
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, q, resp.ID)
+
+	drained := make(chan error, 1)
+	go func() { drained <- q.Drain(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !q.Saturated() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never marked the queue as shedding")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w = postJob(t, h, `{"kind":"block","params":{"j":2}}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503 (body %s)", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After hint")
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st, _ := q.Get(resp.ID); st.State != StateDone {
+		t.Fatalf("in-flight job after drain: %s", st.State)
+	}
+}
+
+// TestHTTPCached200: a completed job resubmitted over HTTP is a 200 cache
+// hit carrying outcome=cached.
+func TestHTTPCached200(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	q.Register("echo", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return "ok", nil
+	})
+	q.Start()
+	defer q.Close()
+	h := NewHandler(q)
+
+	w := postJob(t, h, `{"kind":"echo","params":{"j":1}}`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", w.Code)
+	}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, q, resp.ID)
+
+	w = postJob(t, h, `{"kind":"echo","params":{"j":1}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cached submit: %d, want 200 (body %s)", w.Code, w.Body)
+	}
+	var cached struct {
+		Outcome string `json:"outcome"`
+		Cached  bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &cached); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Outcome != "cached" || !cached.Cached {
+		t.Fatalf("cached body: %+v", cached)
+	}
+}

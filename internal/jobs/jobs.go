@@ -166,4 +166,8 @@ type Status struct {
 	// Duration is the wall-clock execution time of the last attempt, in
 	// nanoseconds.
 	Duration time.Duration `json:"duration_ns,omitempty"`
+	// ResultSum is the sha256 of the persisted result artifact's bytes,
+	// recorded at the done transition. Recover and VerifyArtifacts re-hash
+	// the artifact against it to detect torn or corrupted results.
+	ResultSum string `json:"result_sum,omitempty"`
 }

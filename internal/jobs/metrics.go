@@ -17,6 +17,9 @@ type metrics struct {
 	completed int64
 	failed    int64
 	cancelled int64
+	retries   int64
+	panics    int64
+	saturated int64
 	busy      time.Duration
 	perKind   map[string]*kindCounters
 }
@@ -79,6 +82,17 @@ type MetricsSnapshot struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+	// Retries counts failed attempts re-queued by the retry policy (each
+	// one is a failure that did NOT become terminal), Panics counts runner
+	// panics contained by the worker, Saturated counts submissions shed at
+	// the MaxQueued bound.
+	Retries   int64 `json:"retries"`
+	Panics    int64 `json:"panics"`
+	Saturated int64 `json:"saturated"`
+	// BreakerTrips counts artifact-store circuit-breaker openings;
+	// BreakerOpen is its instantaneous state.
+	BreakerTrips int64 `json:"breaker_trips"`
+	BreakerOpen  bool  `json:"breaker_open"`
 	// WorkerUtilization is busy worker-seconds over available
 	// worker-seconds since start.
 	WorkerUtilization float64 `json:"worker_utilization"`
@@ -86,23 +100,28 @@ type MetricsSnapshot struct {
 	Kinds map[string]KindMetrics `json:"kinds"`
 }
 
-func (m *metrics) snapshot(workers, depth, running int) MetricsSnapshot {
+func (m *metrics) snapshot(workers, depth, running int, breakerTrips int64, breakerOpen bool) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	up := time.Since(m.started)
 	snap := MetricsSnapshot{
-		UptimeSec:  up.Seconds(),
-		Workers:    workers,
-		QueueDepth: depth,
-		Running:    running,
-		Submitted:  m.submitted,
-		Deduped:    m.deduped,
-		CacheHits:  m.cacheHits,
-		Requeued:   m.requeued,
-		Completed:  m.completed,
-		Failed:     m.failed,
-		Cancelled:  m.cancelled,
-		Kinds:      make(map[string]KindMetrics, len(m.perKind)),
+		UptimeSec:    up.Seconds(),
+		Workers:      workers,
+		QueueDepth:   depth,
+		Running:      running,
+		Submitted:    m.submitted,
+		Deduped:      m.deduped,
+		CacheHits:    m.cacheHits,
+		Requeued:     m.requeued,
+		Completed:    m.completed,
+		Failed:       m.failed,
+		Cancelled:    m.cancelled,
+		Retries:      m.retries,
+		Panics:       m.panics,
+		Saturated:    m.saturated,
+		BreakerTrips: breakerTrips,
+		BreakerOpen:  breakerOpen,
+		Kinds:        make(map[string]KindMetrics, len(m.perKind)),
 	}
 	if m.submitted > 0 {
 		snap.CacheHitRate = float64(m.cacheHits) / float64(m.submitted)

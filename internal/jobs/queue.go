@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"priceadaptive/internal/fault"
 )
 
 // Runner executes one job kind. The returned value is marshaled to JSON and
@@ -17,6 +19,60 @@ import (
 // the runner should return promptly (typically with ctx.Err()).
 type Runner func(ctx context.Context, params json.RawMessage) (any, error)
 
+// Submission errors the HTTP layer maps to graceful-degradation responses.
+var (
+	// ErrClosed is returned by Submit once the queue is closed or draining.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrSaturated is returned by Submit when MaxQueued jobs are already
+	// waiting; the client should back off and retry.
+	ErrSaturated = errors.New("jobs: queue saturated")
+)
+
+// RetryPolicy bounds automatic re-execution of failed jobs. Attempts are
+// counted across the job's whole life (including pre-crash attempts restored
+// by Recover), backoff grows exponentially from BaseBackoff up to MaxBackoff,
+// and Jitter spreads retries of simultaneous failures apart. The zero policy
+// disables retries: a failed job stays failed until resubmitted.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions allowed, first run
+	// included; values <= 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 10ms when
+	// retries are enabled).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (0..1).
+	Jitter float64
+}
+
+// backoff computes the delay after `attempt` completed executions.
+func (p RetryPolicy) backoff(attempt int, src *fault.Source) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 && src != nil {
+		f := p.Jitter * (2*src.Float64() - 1) // ±Jitter
+		d = time.Duration(float64(d) * (1 + f))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
 // Options configures a Queue.
 type Options struct {
 	// Workers is the pool size; 0 means GOMAXPROCS.
@@ -24,6 +80,58 @@ type Options struct {
 	// DefaultTimeout bounds jobs whose spec carries no timeout; 0 means
 	// unbounded.
 	DefaultTimeout time.Duration
+	// MaxQueued bounds the number of waiting jobs; further fresh
+	// submissions fail with ErrSaturated. 0 means unbounded.
+	MaxQueued int
+	// Retry is the default retry policy; RegisterRetry overrides per kind.
+	Retry RetryPolicy
+	// Clock drives retry backoff and the breaker cooldown; nil means the
+	// wall clock. Tests substitute fault.Manual to step time explicitly.
+	Clock fault.Clock
+	// Injector is consulted at the queue's fault-injection sites ("worker")
+	// and installed on the store for its sites; nil means no faults.
+	Injector fault.Injector
+	// Seed feeds the queue's private randomness (retry jitter).
+	Seed int64
+	// BreakerThreshold enables a circuit breaker around artifact-store
+	// writes: that many consecutive write failures open the circuit and
+	// Submit sheds load with ErrStoreUnavailable until BreakerCooldown
+	// passes and a probe write succeeds. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit hold-off (default 1s).
+	BreakerCooldown time.Duration
+}
+
+// SubmitOutcome says what a Submit call actually did.
+type SubmitOutcome int
+
+const (
+	// SubmitQueued: a fresh job was persisted and enqueued.
+	SubmitQueued SubmitOutcome = iota
+	// SubmitJoined: an identical job is already queued or running; the
+	// submission joined it without enqueueing anything.
+	SubmitJoined
+	// SubmitCached: an identical job already completed; its status (and
+	// artifact) are served from the store without running.
+	SubmitCached
+	// SubmitRequeued: an identical job previously failed or was cancelled
+	// and has been re-queued for a fresh attempt.
+	SubmitRequeued
+)
+
+func (o SubmitOutcome) String() string {
+	switch o {
+	case SubmitQueued:
+		return "queued"
+	case SubmitJoined:
+		return "joined"
+	case SubmitCached:
+		return "cached"
+	case SubmitRequeued:
+		return "requeued"
+	default:
+		return fmt.Sprintf("SubmitOutcome(%d)", int(o))
+	}
 }
 
 // Queue executes registered job kinds on a bounded worker pool, persisting
@@ -32,20 +140,31 @@ type Queue struct {
 	store *Store
 	opts  Options
 	m     *metrics
+	clock fault.Clock
+	inj   fault.Injector
+	src   *fault.Source
+	brk   *breaker
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	// retryCtx outlives nothing: it only unblocks backoff sleeps at Close
+	// so pending retries park back in the store as queued.
+	retryCtx    context.Context
+	retryCancel context.CancelFunc
+	retryWg     sync.WaitGroup
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	kinds   map[string]Runner
-	jobs    map[string]*job
-	fifo    []string
-	running int
-	started bool
-	closed  bool
-	crashed bool
-	wg      sync.WaitGroup
+	mu         sync.Mutex
+	cond       *sync.Cond
+	kinds      map[string]Runner
+	retryKinds map[string]RetryPolicy
+	jobs       map[string]*job
+	fifo       []string
+	running    int
+	started    bool
+	closed     bool
+	draining   bool
+	crashed    bool
+	wg         sync.WaitGroup
 }
 
 // job is the in-memory view of one queue entry.
@@ -70,15 +189,36 @@ func New(store *Store, opts Options) *Queue {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	ctx, cancel := context.WithCancel(context.Background()) // nosleep:allow queue-lifetime root, cancelled in Close
+	if opts.Clock == nil {
+		opts.Clock = fault.Wall{}
+	}
+	if opts.Injector == nil {
+		opts.Injector = fault.Nop{}
+	}
+	store.SetInjector(opts.Injector)
+	ctx, cancel := context.WithCancel(context.Background())   // nosleep:allow queue-lifetime root, cancelled in Close
+	rctx, rcancel := context.WithCancel(context.Background()) // nosleep:allow retry-timer root, cancelled in Close
 	q := &Queue{
-		store:      store,
-		opts:       opts,
-		m:          newMetrics(),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		kinds:      make(map[string]Runner),
-		jobs:       make(map[string]*job),
+		store:       store,
+		opts:        opts,
+		m:           newMetrics(),
+		clock:       opts.Clock,
+		inj:         opts.Injector,
+		src:         fault.NewSource(opts.Seed),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		retryCtx:    rctx,
+		retryCancel: rcancel,
+		kinds:       make(map[string]Runner),
+		retryKinds:  make(map[string]RetryPolicy),
+		jobs:        make(map[string]*job),
+	}
+	if opts.BreakerThreshold > 0 {
+		cooldown := opts.BreakerCooldown
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		q.brk = newBreaker(opts.Clock, opts.BreakerThreshold, cooldown)
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
@@ -94,11 +234,27 @@ func (q *Queue) Register(kind string, r Runner) {
 	q.kinds[kind] = r
 }
 
+// RegisterRetry overrides the queue-wide retry policy for one kind.
+func (q *Queue) RegisterRetry(kind string, p RetryPolicy) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.retryKinds[kind] = p
+}
+
+// retryPolicy returns the effective policy for a kind. Caller holds mu.
+func (q *Queue) retryPolicy(kind string) RetryPolicy {
+	if p, ok := q.retryKinds[kind]; ok {
+		return p
+	}
+	return q.opts.Retry
+}
+
 // Recover rescans the store after a restart: every persisted job is loaded
-// into memory, jobs left queued or running by the previous process are
-// re-queued, done jobs whose result artifact is missing are re-queued too,
-// and orphaned directories / temp files are removed. It returns the number
-// of re-queued jobs. Call before Start.
+// into memory; jobs left queued or running by the previous process, done
+// jobs whose result artifact is missing, and done jobs whose artifact no
+// longer matches its recorded checksum are re-queued; orphaned directories
+// and temp files are removed. It returns the number of re-queued jobs. Call
+// before Start.
 func (q *Queue) Recover() (requeued int, err error) {
 	entries, orphans, err := q.store.Scan()
 	if err != nil {
@@ -112,17 +268,23 @@ func (q *Queue) Recover() (requeued int, err error) {
 			continue
 		}
 		j := &job{spec: e.Spec, status: e.Status, done: make(chan struct{})}
-		resultMissing := false
+		resultBad := false
 		if e.Status.State == StateDone {
-			if _, rerr := q.store.GetResult(e.ID); rerr != nil {
-				resultMissing = true
+			raw, rerr := q.store.GetResult(e.ID)
+			switch {
+			case rerr != nil:
+				resultBad = true
+			case e.Status.ResultSum != "" && Sum(raw) != e.Status.ResultSum:
+				resultBad = true // torn or corrupted artifact: rerun
 			}
 		}
 		switch {
-		case e.Status.State == StateQueued, e.Status.State == StateRunning, resultMissing:
+		case e.Status.State == StateQueued, e.Status.State == StateRunning, resultBad:
 			j.status.State = StateQueued
 			if err := q.store.PutStatus(e.ID, j.status); err != nil {
-				return requeued, err
+				// Best effort: leave the entry untouched on disk — it is not
+				// lost, the next boot's Recover will retry it.
+				continue
 			}
 			q.fifo = append(q.fifo, e.ID)
 			requeued++
@@ -150,67 +312,118 @@ func (q *Queue) Start() {
 }
 
 // Close stops the pool gracefully: in-flight jobs run to completion, jobs
-// still queued stay persisted as queued (a later Recover picks them up).
+// still queued (or parked in a retry backoff) stay persisted as queued, so a
+// later Recover picks them up.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.closed = true
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	q.retryCancel() // unblock backoff sleeps; their jobs stay queued on disk
 	q.wg.Wait()
+	q.retryWg.Wait()
 	q.baseCancel()
 }
 
-// crash simulates an unclean process death (tests only): workers abort
-// without persisting any further transition, leaving the store exactly as a
-// killed process would.
+// Drain stops intake (Submit fails with ErrClosed) and blocks until every
+// claimed job has finished and the fifo is empty, or ctx expires. It does
+// not stop the workers: call Close afterwards.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+	done := make(chan struct{})
+	var stopped bool
+	go func() {
+		defer close(done)
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		for !stopped && !q.closed && (len(q.fifo) > 0 || q.running > 0) {
+			q.cond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		stopped = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Abort stops the queue like an unclean process death: in-flight runners
+// are cancelled and abandoned without persisting any further transition, so
+// the store looks exactly as if the process had been killed — interrupted
+// jobs stay recorded as running and re-queue on the next Recover. Use it to
+// bound shutdown time once a Drain deadline has expired; the chaos harness
+// uses it as its kill switch.
+func (q *Queue) Abort() {
+	q.crash()
+}
+
+// crash is Abort's internal name, kept so the harness and tests read as
+// "kill the process model here".
 func (q *Queue) crash() {
 	q.mu.Lock()
 	q.closed = true
 	q.crashed = true
 	q.cond.Broadcast()
 	q.mu.Unlock()
+	q.retryCancel()
 	q.baseCancel()
 	q.wg.Wait()
+	q.retryWg.Wait()
 }
 
-// Submit enqueues a spec. If an identical job (same content address) already
-// completed, its persisted status is returned with cached=true and nothing
-// runs; if it is already queued or running, the submission joins it. A
-// failed or cancelled job is re-queued for a fresh attempt.
-func (q *Queue) Submit(spec Spec) (Status, bool, error) {
+// Submit enqueues a spec and reports what happened: a fresh job is queued;
+// an identical completed job is served from the artifact cache; an identical
+// queued/running job is joined; an identical failed/cancelled job is
+// re-queued. Intake is shed with ErrClosed (closed/draining), ErrSaturated
+// (MaxQueued waiting) or ErrStoreUnavailable (store circuit open).
+func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 	id, err := spec.ID()
 	if err != nil {
-		return Status{}, false, err
+		return Status{}, SubmitQueued, err
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
-		return Status{}, false, errors.New("jobs: queue closed")
+	if q.closed || q.draining {
+		return Status{}, SubmitQueued, ErrClosed
 	}
 	if q.kinds[spec.Kind] == nil {
-		return Status{}, false, fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+		return Status{}, SubmitQueued, fmt.Errorf("jobs: unknown kind %q", spec.Kind)
 	}
 	q.m.add(func(m *metrics) { m.submitted++ })
 	if j, ok := q.jobs[id]; ok {
 		switch j.status.State {
 		case StateDone:
 			q.m.add(func(m *metrics) { m.cacheHits++ })
-			return j.status, true, nil
+			return j.status, SubmitCached, nil
 		case StateFailed, StateCancelled:
+			if err := q.admit(); err != nil {
+				return Status{}, SubmitQueued, err
+			}
 			j.cancelRequested = false
 			j.status.State = StateQueued
 			j.status.Error = ""
 			j.done = make(chan struct{})
-			if err := q.store.PutStatus(id, j.status); err != nil {
-				return Status{}, false, err
+			if err := q.putStatusBreaker(id, j.status); err != nil {
+				return Status{}, SubmitQueued, err
 			}
 			q.fifo = append(q.fifo, id)
 			q.cond.Signal()
-			return j.status, false, nil
+			return j.status, SubmitRequeued, nil
 		default:
 			q.m.add(func(m *metrics) { m.deduped++ })
-			return j.status, false, nil
+			return j.status, SubmitJoined, nil
 		}
+	}
+	if err := q.admit(); err != nil {
+		return Status{}, SubmitQueued, err
 	}
 	j := &job{
 		spec: spec,
@@ -222,16 +435,40 @@ func (q *Queue) Submit(spec Spec) (Status, bool, error) {
 		},
 		done: make(chan struct{}),
 	}
-	if err := q.store.PutSpec(id, spec); err != nil {
-		return Status{}, false, err
+	if err := q.brk.allow(); err != nil {
+		return Status{}, SubmitQueued, err
 	}
-	if err := q.store.PutStatus(id, j.status); err != nil {
-		return Status{}, false, err
+	werr := q.store.PutSpec(id, spec)
+	q.brk.record(werr)
+	if werr != nil {
+		return Status{}, SubmitQueued, werr
+	}
+	if err := q.putStatusBreaker(id, j.status); err != nil {
+		return Status{}, SubmitQueued, err
 	}
 	q.jobs[id] = j
 	q.fifo = append(q.fifo, id)
 	q.cond.Signal()
-	return j.status, false, nil
+	return j.status, SubmitQueued, nil
+}
+
+// admit enforces the MaxQueued bound and the breaker. Caller holds mu.
+func (q *Queue) admit() error {
+	if q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued {
+		q.m.add(func(m *metrics) { m.saturated++ })
+		return ErrSaturated
+	}
+	return nil
+}
+
+// putStatusBreaker is PutStatus routed through the circuit breaker.
+func (q *Queue) putStatusBreaker(id string, st Status) error {
+	if err := q.brk.allow(); err != nil {
+		return err
+	}
+	err := q.store.PutStatus(id, st)
+	q.brk.record(err)
+	return err
 }
 
 // Get returns a job's current status.
@@ -348,12 +585,31 @@ func (q *Queue) Depth() int {
 	return len(q.fifo)
 }
 
+// Saturated reports whether a fresh submission would currently be shed
+// (queue full, draining/closed, or store circuit open).
+func (q *Queue) Saturated() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.draining {
+		return true
+	}
+	if q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued {
+		return true
+	}
+	return q.brk.isOpen()
+}
+
+// VerifyArtifacts re-hashes every done artifact in the queue's store.
+func (q *Queue) VerifyArtifacts() (IntegrityReport, error) {
+	return q.store.VerifyArtifacts()
+}
+
 // Metrics snapshots the queue's counters.
 func (q *Queue) Metrics() MetricsSnapshot {
 	q.mu.Lock()
 	depth, running := len(q.fifo), q.running
 	q.mu.Unlock()
-	return q.m.snapshot(q.opts.Workers, depth, running)
+	return q.m.snapshot(q.opts.Workers, depth, running, q.brk.tripCount(), q.brk.isOpen())
 }
 
 // worker pulls jobs off the fifo until the queue closes. Jobs left in the
@@ -383,6 +639,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 		}
 		id := q.fifo[0]
 		q.fifo = q.fifo[1:]
+		q.cond.Broadcast() // fifo shrank: wake any Drain waiter
 		j := q.jobs[id]
 		if j == nil || j.status.State != StateQueued {
 			continue // cancelled (or otherwise resolved) while queued
@@ -405,35 +662,66 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 		q.running++
 		// Persist the transition while holding the claim; a crash after
 		// this write is exactly what Recover's running->queued path heals.
-		if err := q.store.PutStatus(id, j.status); err != nil {
+		werr := q.store.PutStatus(id, j.status)
+		q.brk.record(werr)
+		if werr != nil {
 			j.status.State = StateFailed
-			j.status.Error = err.Error()
+			j.status.Error = werr.Error()
 			j.status.FinishedAt = time.Now().UTC()
 			q.running--
 			cancel()
 			j.cancel = nil
 			close(j.done)
+			q.cond.Broadcast()
 			continue
 		}
 		return j, ctx, cancel
 	}
 }
 
-// run executes a claimed job and records its terminal transition.
+// execute invokes the runner with panic containment and the "worker"
+// injection site applied. A panicking runner fails the job instead of
+// killing the whole worker pool.
+func (q *Queue) execute(runner Runner, ctx context.Context, cancel context.CancelFunc, j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.m.add(func(m *metrics) { m.panics++ })
+			err = fmt.Errorf("jobs: runner for %q panicked: %v", j.spec.Kind, r)
+		}
+	}()
+	if f := q.inj.Fault("worker"); f != nil {
+		switch f.Kind {
+		case fault.Panic:
+			panic(f)
+		case fault.Stall:
+			if serr := q.clock.Sleep(ctx, f.Delay); serr != nil {
+				return nil, serr
+			}
+		case fault.Cancel:
+			cancel() // deadline churn: the job sees its context die mid-run
+		case fault.Err:
+			return nil, f
+		}
+	}
+	if runner == nil {
+		return nil, fmt.Errorf("jobs: kind %q not registered (recovered job?)", j.spec.Kind)
+	}
+	return runner(ctx, j.spec.Params)
+}
+
+// run executes a claimed job and records its terminal transition (or hands
+// a retryable failure to the backoff timer).
 func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 	defer cancel()
+	q.mu.Lock()
 	runner := q.kinds[j.spec.Kind]
+	q.mu.Unlock()
 	start := time.Now()
-	var res any
-	var err error
-	if runner == nil {
-		err = fmt.Errorf("jobs: kind %q not registered (recovered job?)", j.spec.Kind)
-	} else {
-		res, err = runner(ctx, j.spec.Params)
-	}
+	res, err := q.execute(runner, ctx, cancel, j)
 	dur := time.Since(start)
 
 	var raw json.RawMessage
+	var sum string
 	if err == nil {
 		raw, err = json.MarshalIndent(res, "", " ")
 		if err != nil {
@@ -441,7 +729,11 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 		}
 	}
 	if err == nil {
-		if perr := q.store.PutResult(j.status.ID, append(raw, '\n')); perr != nil {
+		raw = append(raw, '\n')
+		var perr error
+		sum, perr = q.store.PutResult(j.status.ID, raw)
+		q.brk.record(perr)
+		if perr != nil {
 			err = fmt.Errorf("jobs: persist result: %w", perr)
 		}
 	}
@@ -455,20 +747,33 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 	j.cancel = nil
 	j.status.FinishedAt = time.Now().UTC()
 	j.status.Duration = dur
+	cancelled := j.cancelRequested || errors.Is(err, context.Canceled)
+	retried := false
 	switch {
 	case err == nil:
 		j.status.State = StateDone
 		j.status.Error = ""
+		j.status.ResultSum = sum
 		j.result = raw
 		q.m.add(func(m *metrics) { m.completed++ })
-	case j.cancelRequested || errors.Is(err, context.Canceled):
+	case cancelled:
 		j.status.State = StateCancelled
 		j.status.Error = err.Error()
 		q.m.add(func(m *metrics) { m.cancelled++ })
 	default:
-		j.status.State = StateFailed
-		j.status.Error = err.Error()
-		q.m.add(func(m *metrics) { m.failed++ })
+		policy := q.retryPolicy(j.spec.Kind)
+		if j.status.Attempts < policy.MaxAttempts && !q.closed && !q.draining {
+			// Retryable failure: back to queued, re-enqueued after backoff.
+			retried = true
+			j.status.State = StateQueued
+			j.status.Error = err.Error()
+			q.m.add(func(m *metrics) { m.retries++ })
+			q.scheduleRetry(j.status.ID, policy.backoff(j.status.Attempts, q.src))
+		} else {
+			j.status.State = StateFailed
+			j.status.Error = err.Error()
+			q.m.add(func(m *metrics) { m.failed++ })
+		}
 	}
 	q.m.add(func(m *metrics) {
 		m.busy += dur
@@ -481,6 +786,34 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 	})
 	// Best-effort: a failed status write leaves the job running on disk,
 	// which a later Recover re-queues — safe either way.
-	_ = q.store.PutStatus(j.status.ID, j.status)
-	close(j.done)
+	werr := q.store.PutStatus(j.status.ID, j.status)
+	q.brk.record(werr)
+	if !retried {
+		close(j.done)
+	}
+	q.cond.Broadcast() // running shrank: wake any Drain waiter
+}
+
+// scheduleRetry re-enqueues id after sleeping d on the injectable clock.
+// Close cancels the sleep, leaving the job persisted as queued so the next
+// Recover resumes the retry. Caller holds mu.
+func (q *Queue) scheduleRetry(id string, d time.Duration) {
+	q.retryWg.Add(1)
+	go func() {
+		defer q.retryWg.Done()
+		if err := q.clock.Sleep(q.retryCtx, d); err != nil {
+			return // queue closing; the job stays queued on disk
+		}
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if q.closed {
+			return
+		}
+		j := q.jobs[id]
+		if j == nil || j.status.State != StateQueued {
+			return // cancelled while parked
+		}
+		q.fifo = append(q.fifo, id)
+		q.cond.Signal()
+	}()
 }

@@ -63,12 +63,12 @@ func TestPoolConcurrency(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			st, cached, err := q.Submit(Spec{Kind: "echo", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+			st, outcome, err := q.Submit(Spec{Kind: "echo", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			if cached {
+			if outcome == SubmitCached {
 				errs[i] = fmt.Errorf("fresh job %d reported cached", i)
 				return
 			}
@@ -122,18 +122,18 @@ func TestCacheHitOnResubmit(t *testing.T) {
 	defer q.Close()
 
 	spec := Spec{Kind: "once", Params: json.RawMessage(`{"x": 1}`)}
-	st, cached, err := q.Submit(spec)
-	if err != nil || cached {
-		t.Fatalf("first submit: cached=%v err=%v", cached, err)
+	st, outcome, err := q.Submit(spec)
+	if err != nil || outcome != SubmitQueued {
+		t.Fatalf("first submit: outcome=%v err=%v", outcome, err)
 	}
 	waitDone(t, q, st.ID)
 	// Same params, different key order and whitespace: same content address.
-	st2, cached, err := q.Submit(Spec{Kind: "once", Params: json.RawMessage(` {"x":1} `)})
+	st2, outcome, err := q.Submit(Spec{Kind: "once", Params: json.RawMessage(` {"x":1} `)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cached {
-		t.Fatalf("resubmission not served from cache")
+	if outcome != SubmitCached {
+		t.Fatalf("resubmission not served from cache: %v", outcome)
 	}
 	if st2.ID != st.ID || st2.State != StateDone {
 		t.Errorf("cached status: %+v", st2)
@@ -364,9 +364,9 @@ func TestFailedJobResubmission(t *testing.T) {
 	if final := waitDone(t, q, st.ID); final.State != StateFailed {
 		t.Fatalf("first attempt: %s", final.State)
 	}
-	st2, cached, err := q.Submit(spec)
-	if err != nil || cached {
-		t.Fatalf("resubmit: cached=%v err=%v", cached, err)
+	st2, outcome, err := q.Submit(spec)
+	if err != nil || outcome != SubmitRequeued {
+		t.Fatalf("resubmit: outcome=%v err=%v", outcome, err)
 	}
 	if final := waitDone(t, q, st2.ID); final.State != StateDone {
 		t.Fatalf("second attempt: %s (%s)", final.State, final.Error)

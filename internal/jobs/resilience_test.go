@@ -1,0 +1,416 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/fault"
+)
+
+// TestTornResultWriteNeverVisible is the store-atomicity regression: a torn
+// result write must leave only a temp-file residue — the artifact is never
+// visible under its content address, and Reconcile cleans the residue up.
+func TestTornResultWriteNeverVisible(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := fault.NewScript().
+		At(SiteWriteResult, 1, fault.Fault{Kind: fault.Torn, Frac: 0.5})
+	s.SetInjector(script)
+
+	spec := Spec{Kind: "x", Params: json.RawMessage(`{"i":1}`)}
+	id, _ := spec.ID()
+	if err := s.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	payload := json.RawMessage(`{"answer":42,"padding":"aaaaaaaaaaaaaaaaaaaaaaaa"}`)
+	if _, err := s.PutResult(id, payload); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn write returned %v, want ErrInjected", err)
+	}
+	// The half-written artifact must not be visible under its real name.
+	if _, err := s.GetResult(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn artifact visible: err=%v", err)
+	}
+	// The residue is a .tmp- orphan holding a strict prefix of the payload.
+	tmps := listTmp(s.dir(id))
+	if len(tmps) != 1 {
+		t.Fatalf("want 1 temp residue, got %v", tmps)
+	}
+	data, err := os.ReadFile(tmps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(payload) || string(data) != string(payload[:len(data)]) {
+		t.Fatalf("residue is not a strict prefix: %d bytes of %d", len(data), len(payload))
+	}
+	// Scan reports it, Reconcile removes it.
+	_, orphans, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 || orphans[0] != tmps[0] {
+		t.Fatalf("orphans: %v", orphans)
+	}
+	if n := s.Reconcile(orphans); n != 1 {
+		t.Fatalf("reconciled %d", n)
+	}
+	// The second attempt (script exhausted) lands atomically.
+	sum, err := s.PutResult(id, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.GetResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(raw) != sum {
+		t.Fatalf("stored artifact hash mismatch")
+	}
+}
+
+// TestRecoverRequeuesCorruptArtifact: a done job whose artifact bytes no
+// longer match the recorded checksum is re-queued and re-run by Recover.
+func TestRecoverRequeuesCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: "echo", Params: json.RawMessage(`{"i":3}`)}
+	id, _ := spec.ID()
+	if err := s.PutSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.PutResult(id, json.RawMessage(`{"ok":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutStatus(id, Status{
+		ID: id, Kind: spec.Kind, State: StateDone, Attempts: 1,
+		CreatedAt: time.Now().UTC(), ResultSum: sum,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the artifact behind the store's back (bit rot, torn disk).
+	if err := os.WriteFile(filepath.Join(dir, "jobs", id, "result.json"), []byte(`{"ok":fal`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.VerifyArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != id {
+		t.Fatalf("integrity sweep missed the corruption: %+v", rep)
+	}
+
+	q := New(s, Options{Workers: 1})
+	q.Register("echo", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return map[string]bool{"ok": true}, nil
+	})
+	requeued, err := q.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 {
+		t.Fatalf("requeued %d, want 1 (corrupt artifact)", requeued)
+	}
+	q.Start()
+	defer q.Close()
+	st := waitDone(t, q, id)
+	if st.State != StateDone {
+		t.Fatalf("re-run: %s (%s)", st.State, st.Error)
+	}
+	rep, err = s.VerifyArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store not intact after re-run: %+v", rep)
+	}
+}
+
+// TestRetryBackoffManualClock pins the retry machinery to the injectable
+// clock: a transiently failing job is re-queued after exactly the policy's
+// backoff delays, observed by stepping a manual clock.
+func TestRetryBackoffManualClock(t *testing.T) {
+	clock := fault.NewManual(time.Unix(0, 0))
+	q, _ := newTestQueue(t, t.TempDir(), Options{
+		Workers: 1,
+		Clock:   clock,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second},
+	})
+	var attempts atomic.Int64
+	q.Register("flaky", func(ctx context.Context, params json.RawMessage) (any, error) {
+		if attempts.Add(1) < 3 {
+			return nil, fmt.Errorf("transient %d", attempts.Load())
+		}
+		return "ok", nil
+	})
+	q.Start()
+	defer q.Close()
+	st, _, err := q.Submit(Spec{Kind: "flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First failure parks a retry timer at +100ms.
+	waitSleepers(t, clock, 1)
+	clock.Advance(100 * time.Millisecond)
+	// Second failure parks at +200ms (exponential).
+	waitSleepers(t, clock, 1)
+	clock.Advance(200 * time.Millisecond)
+	final := waitDone(t, q, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", final.Attempts)
+	}
+	if m := q.Metrics(); m.Retries != 2 || m.Failed != 0 {
+		t.Fatalf("metrics: retries=%d failed=%d", m.Retries, m.Failed)
+	}
+}
+
+func waitSleepers(t *testing.T, clock *fault.Manual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for clock.Sleepers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("no retry timer parked (sleepers=%d)", clock.Sleepers())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRetryExhaustionFailsTerminally: once MaxAttempts is spent the job goes
+// failed, not queued-forever.
+func TestRetryExhaustionFailsTerminally(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	q.Register("doomed", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return nil, fmt.Errorf("always broken")
+	})
+	q.Start()
+	defer q.Close()
+	st, _, err := q.Submit(Spec{Kind: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.State != StateFailed || final.Attempts != 2 {
+		t.Fatalf("final: %s after %d attempts", final.State, final.Attempts)
+	}
+	if m := q.Metrics(); m.Retries != 1 || m.Failed != 1 {
+		t.Fatalf("metrics: retries=%d failed=%d", m.Retries, m.Failed)
+	}
+}
+
+// TestPanicContained: a panicking runner fails its job; the worker survives
+// and keeps serving.
+func TestPanicContained(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	q.Register("bomb", func(ctx context.Context, params json.RawMessage) (any, error) {
+		panic("kaboom")
+	})
+	q.Register("ok", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return 1, nil
+	})
+	q.Start()
+	defer q.Close()
+	st, _, err := q.Submit(Spec{Kind: "bomb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.State != StateFailed || final.Error == "" {
+		t.Fatalf("panicked job: %s (%s)", final.State, final.Error)
+	}
+	st2, _, err := q.Submit(Spec{Kind: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitDone(t, q, st2.ID); s.State != StateDone {
+		t.Fatalf("worker died with the panic: %s", s.State)
+	}
+	if m := q.Metrics(); m.Panics != 1 {
+		t.Fatalf("panics metric = %d", m.Panics)
+	}
+}
+
+// TestInjectedWorkerPanicRetried: the "worker" injection site panics the
+// runner, and the retry policy heals it.
+func TestInjectedWorkerPanicRetried(t *testing.T) {
+	script := fault.NewScript().At("worker", 1, fault.Fault{Kind: fault.Panic})
+	q, _ := newTestQueue(t, t.TempDir(), Options{
+		Workers:  1,
+		Injector: script,
+		Retry:    RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+	})
+	q.Register("fine", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return "fine", nil
+	})
+	q.Start()
+	defer q.Close()
+	st, _, err := q.Submit(Spec{Kind: "fine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, q, st.ID)
+	if final.State != StateDone || final.Attempts != 2 {
+		t.Fatalf("final: %s after %d attempts (%s)", final.State, final.Attempts, final.Error)
+	}
+	if m := q.Metrics(); m.Panics != 1 || m.Retries != 1 {
+		t.Fatalf("metrics: panics=%d retries=%d", m.Panics, m.Retries)
+	}
+}
+
+// TestSubmitSaturation: MaxQueued bounds the fifo and further fresh
+// submissions shed with ErrSaturated.
+func TestSubmitSaturation(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1, MaxQueued: 1})
+	release := make(chan struct{})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	q.Start()
+	defer q.Close()
+	defer close(release)
+
+	a, _, err := q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"j":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the single worker holds job A, so B occupies the fifo.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := q.Get(a.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job A never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"j":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Saturated() {
+		t.Fatal("queue not saturated with MaxQueued waiting")
+	}
+	_, _, err = q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"j":3}`)})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third submit: %v, want ErrSaturated", err)
+	}
+	if m := q.Metrics(); m.Saturated != 1 {
+		t.Fatalf("saturated metric = %d", m.Saturated)
+	}
+}
+
+// TestBreakerOpensAndRecovers: consecutive store-write failures open the
+// circuit (Submit sheds with ErrStoreUnavailable without touching the
+// store); after the cooldown a successful probe closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := fault.NewManual(time.Unix(0, 0))
+	script := fault.NewScript().
+		At(SiteWriteSpec, 1, fault.Fault{Kind: fault.Err}).
+		At(SiteWriteSpec, 2, fault.Fault{Kind: fault.Err}).
+		At(SiteWriteSpec, 3, fault.Fault{Kind: fault.Err})
+	q, _ := newTestQueue(t, t.TempDir(), Options{
+		Workers:          1,
+		Injector:         script,
+		Clock:            clock,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute,
+	})
+	q.Register("k", func(ctx context.Context, params json.RawMessage) (any, error) { return 1, nil })
+	q.Start()
+	defer q.Close()
+
+	for i := 0; i < 3; i++ {
+		_, _, err := q.Submit(Spec{Kind: "k", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("submit %d: %v, want injected store failure", i, err)
+		}
+	}
+	// Third consecutive failure tripped the breaker: intake is shed.
+	_, _, err := q.Submit(Spec{Kind: "k", Params: json.RawMessage(`{"i":9}`)})
+	if !errors.Is(err, ErrStoreUnavailable) {
+		t.Fatalf("open-circuit submit: %v, want ErrStoreUnavailable", err)
+	}
+	m := q.Metrics()
+	if m.BreakerTrips != 1 || !m.BreakerOpen {
+		t.Fatalf("metrics: trips=%d open=%v", m.BreakerTrips, m.BreakerOpen)
+	}
+	// After the cooldown a probe goes through; the script is exhausted so
+	// the store is healthy again and the circuit closes.
+	clock.Advance(2 * time.Minute)
+	st, _, err := q.Submit(Spec{Kind: "k", Params: json.RawMessage(`{"i":9}`)})
+	if err != nil {
+		t.Fatalf("post-cooldown submit: %v", err)
+	}
+	if s := waitDone(t, q, st.ID); s.State != StateDone {
+		t.Fatalf("probe job: %s", s.State)
+	}
+	if m := q.Metrics(); m.BreakerOpen {
+		t.Fatal("breaker still open after successful probe")
+	}
+}
+
+// TestDrain: draining stops intake with ErrClosed, waits out in-flight and
+// queued work, and leaves the workers alive until Close.
+func TestDrain(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	release := make(chan struct{})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	q.Start()
+	defer q.Close()
+
+	st, _, err := q.Submit(Spec{Kind: "block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bounded Drain against a stuck job times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err = q.Drain(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain against a stuck job: %v", err)
+	}
+	// Intake is already shed while draining.
+	if _, _, err := q.Submit(Spec{Kind: "block", Params: json.RawMessage(`{"x":2}`)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit while draining: %v, want ErrClosed", err)
+	}
+	// Unblock and drain to completion.
+	close(release)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := q.Drain(ctx2); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if s, _ := q.Get(st.ID); s.State != StateDone {
+		t.Fatalf("drained job: %s", s.State)
+	}
+}

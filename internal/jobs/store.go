@@ -1,6 +1,8 @@
 package jobs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"priceadaptive/internal/fault"
 )
 
 // Store is the content-addressed on-disk artifact store. Each job owns one
@@ -17,23 +21,43 @@ import (
 //	status.json  the latest Status (every transition overwrites it atomically)
 //	result.json  the kind-specific result artifact, present once State==done
 //
-// All writes go through a temp-file-plus-rename so a crash can leave behind
-// stray ".tmp-" files or a directory without spec.json, but never a torn
-// JSON document; Reconcile cleans those orphans up on startup.
+// All writes go through a temp file in the same directory, fsync, then
+// rename, so a crash (or an injected torn write) can leave behind stray
+// ".tmp-" files or a directory without spec.json, but never a torn JSON
+// document visible under its real name; Reconcile cleans those orphans up
+// on startup.
 type Store struct {
 	root string
+	inj  fault.Injector
 }
 
 // ErrNotFound is returned for ids (or artifacts) the store does not hold.
 var ErrNotFound = errors.New("jobs: not found")
 
+// Injection sites the store consults before each durable operation.
+const (
+	SiteWriteSpec   = "store.write.spec"
+	SiteWriteStatus = "store.write.status"
+	SiteWriteResult = "store.write.result"
+	SiteReadResult  = "store.read.result"
+)
+
 // Open opens (creating if needed) a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	s := &Store{root: dir}
+	s := &Store{root: dir, inj: fault.Nop{}}
 	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: open store: %w", err)
 	}
 	return s, nil
+}
+
+// SetInjector installs a fault injector consulted at the store's durable
+// operations (sites Site*). Nil restores the no-op injector.
+func (s *Store) SetInjector(inj fault.Injector) {
+	if inj == nil {
+		inj = fault.Nop{}
+	}
+	s.inj = inj
 }
 
 // Root returns the store's root directory.
@@ -43,19 +67,39 @@ func (s *Store) jobsDir() string          { return filepath.Join(s.root, "jobs")
 func (s *Store) dir(id string) string     { return filepath.Join(s.jobsDir(), id) }
 func (s *Store) path(id, f string) string { return filepath.Join(s.dir(id), f) }
 
-// writeJSON atomically writes v as indented JSON to path.
-func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", " ")
-	if err != nil {
-		return err
-	}
+// atomicWrite writes data to path crash-atomically: temp file in the same
+// directory, fsync, rename, then fsync the directory so the rename itself is
+// durable. An injected Err fault fails before any byte lands; an injected
+// Torn fault writes only Frac of the data to the temp file and returns
+// without renaming — exactly the residue a power cut mid-write leaves, which
+// Scan reports as an orphan and Reconcile removes.
+func (s *Store) atomicWrite(path string, data []byte, site string) error {
 	dir := filepath.Dir(path)
+	f := s.inj.Fault(site)
+	if f != nil && f.Kind == fault.Err {
+		return f
+	}
 	tmp, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return err
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if f != nil && f.Kind == fault.Torn {
+		n := int(f.Frac * float64(len(data)))
+		if n > len(data) {
+			n = len(data)
+		}
+		_, _ = tmp.Write(data[:n])
+		_ = tmp.Sync()
+		_ = tmp.Close()
+		return f // temp residue stays behind, never visible under path
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(name)
 		return err
@@ -64,7 +108,30 @@ func writeJSON(path string, v any) error {
 		os.Remove(name)
 		return err
 	}
-	return os.Rename(name, path)
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeJSON atomically writes v as indented JSON to path.
+func (s *Store) writeJSON(path string, v any, site string) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	return s.atomicWrite(path, append(data, '\n'), site)
 }
 
 func readJSON(path string, v any) error {
@@ -78,12 +145,19 @@ func readJSON(path string, v any) error {
 	return json.Unmarshal(data, v)
 }
 
+// Sum is the integrity checksum of an artifact's bytes, as recorded in
+// Status.ResultSum and re-checked by VerifyArtifacts and Recover.
+func Sum(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
 // PutSpec persists a job's spec, creating its directory.
 func (s *Store) PutSpec(id string, spec Spec) error {
 	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
 		return err
 	}
-	return writeJSON(s.path(id, "spec.json"), spec)
+	return s.writeJSON(s.path(id, "spec.json"), spec, SiteWriteSpec)
 }
 
 // GetSpec loads a job's spec.
@@ -98,7 +172,7 @@ func (s *Store) PutStatus(id string, st Status) error {
 	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
 		return err
 	}
-	return writeJSON(s.path(id, "status.json"), st)
+	return s.writeJSON(s.path(id, "status.json"), st, SiteWriteStatus)
 }
 
 // GetStatus loads a job's latest persisted status.
@@ -108,31 +182,23 @@ func (s *Store) GetStatus(id string) (Status, error) {
 	return st, err
 }
 
-// PutResult persists a job's result artifact (already-marshaled JSON).
-func (s *Store) PutResult(id string, result json.RawMessage) error {
+// PutResult persists a job's result artifact (already-marshaled JSON) and
+// returns its checksum for the caller to record in the job's status.
+func (s *Store) PutResult(id string, result json.RawMessage) (string, error) {
 	if err := os.MkdirAll(s.dir(id), 0o755); err != nil {
-		return err
+		return "", err
 	}
-	dir := s.dir(id)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
+	if err := s.atomicWrite(s.path(id, "result.json"), result, SiteWriteResult); err != nil {
+		return "", err
 	}
-	name := tmp.Name()
-	if _, err := tmp.Write(result); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return os.Rename(name, s.path(id, "result.json"))
+	return Sum(result), nil
 }
 
 // GetResult loads a job's result artifact as raw JSON.
 func (s *Store) GetResult(id string) (json.RawMessage, error) {
+	if f := s.inj.Fault(SiteReadResult); f != nil && f.Kind == fault.Err {
+		return nil, f
+	}
 	data, err := os.ReadFile(s.path(id, "result.json"))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -216,4 +282,44 @@ func (s *Store) Reconcile(orphans []string) int {
 		}
 	}
 	return removed
+}
+
+// IntegrityReport is VerifyArtifacts' summary of a store sweep.
+type IntegrityReport struct {
+	// Checked counts done jobs whose artifact was re-hashed.
+	Checked int `json:"checked"`
+	// Corrupt lists done jobs whose artifact bytes no longer match the
+	// checksum recorded at completion.
+	Corrupt []string `json:"corrupt,omitempty"`
+	// Missing lists done jobs with no readable artifact at all.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// OK reports a fully intact store.
+func (r IntegrityReport) OK() bool { return len(r.Corrupt) == 0 && len(r.Missing) == 0 }
+
+// VerifyArtifacts re-hashes every done job's result artifact against the
+// checksum recorded in its status. Jobs completed before checksums existed
+// (empty ResultSum) are counted as checked but cannot be corrupt.
+func (s *Store) VerifyArtifacts() (IntegrityReport, error) {
+	entries, _, err := s.Scan()
+	if err != nil {
+		return IntegrityReport{}, err
+	}
+	var rep IntegrityReport
+	for _, e := range entries {
+		if e.Status.State != StateDone {
+			continue
+		}
+		data, err := os.ReadFile(s.path(e.ID, "result.json"))
+		if err != nil {
+			rep.Missing = append(rep.Missing, e.ID)
+			continue
+		}
+		rep.Checked++
+		if e.Status.ResultSum != "" && Sum(data) != e.Status.ResultSum {
+			rep.Corrupt = append(rep.Corrupt, e.ID)
+		}
+	}
+	return rep, nil
 }

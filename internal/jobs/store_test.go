@@ -70,8 +70,12 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := s.PutStatus(id, st); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutResult(id, json.RawMessage(`{"answer":42}`)); err != nil {
+	sum, err := s.PutResult(id, json.RawMessage(`{"answer":42}`))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if sum == "" || sum != Sum([]byte(`{"answer":42}`)) {
+		t.Errorf("PutResult checksum: %q", sum)
 	}
 	got, err := s.GetStatus(id)
 	if err != nil {

@@ -8,10 +8,15 @@
 //     simulator is a latent flake or a hidden latency floor;
 //   - no bare context.Background() in library code outside package main:
 //     libraries must thread the caller's context so cancellation and
-//     deadlines propagate (main packages and tests own their roots).
+//     deadlines propagate (main packages and tests own their roots);
+//   - no time.After / time.Tick in non-test library code: raw timers make
+//     backoff and timeout paths untestable (and Tick leaks). Timer-driven
+//     waits go through the injectable fault.Clock so tests can step a
+//     manual clock instead of racing the wall clock.
 //
-// A deliberate exception carries an end-of-line annotation comment
-// containing "nosleep:allow <reason>"; the reason is mandatory and is
+// A deliberate exception carries an annotation comment containing
+// "nosleep:allow <reason>" — either at the end of the offending line or on
+// a full comment line immediately above it; the reason is mandatory and is
 // echoed in -v listings so the exception stays auditable.
 package nosleep
 
@@ -21,6 +26,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -31,7 +37,7 @@ import (
 type Finding struct {
 	File string // path as walked, slash-separated
 	Line int
-	Rule string // "time-sleep" or "context-background"
+	Rule string // "time-sleep", "time-timer" or "context-background"
 	Msg  string
 }
 
@@ -84,16 +90,22 @@ func CheckDir(root string) ([]Finding, error) {
 
 // CheckFile checks a single source file.
 func CheckFile(path string) ([]Finding, error) {
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return check(fset, f, filepath.ToSlash(path)), nil
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return check(fset, f, src, filepath.ToSlash(path)), nil
 }
 
-// check runs both rules over one parsed file.
-func check(fset *token.FileSet, f *ast.File, path string) []Finding {
+// check runs the rules over one parsed file. src is the raw source, used to
+// decide whether an allow annotation sits on a full comment line (in which
+// case it covers the next line, not its own).
+func check(fset *token.FileSet, f *ast.File, src []byte, path string) []Finding {
 	// Resolve which local names the time and context imports bind; a
 	// file that imports neither cannot violate either rule, and aliased
 	// imports (or shadowing by another package named "time") must not
@@ -117,7 +129,10 @@ func check(fset *token.FileSet, f *ast.File, path string) []Finding {
 		return nil
 	}
 
-	// Lines carrying an allow annotation.
+	// Lines carrying an allow annotation. An end-of-line annotation covers
+	// its own line; an annotation on a full comment line covers the next
+	// line, so multi-argument calls can keep the reason above the call.
+	lines := strings.Split(string(src), "\n")
 	allowed := make(map[int]bool)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -127,7 +142,13 @@ func check(fset *token.FileSet, f *ast.File, path string) []Finding {
 					// finding survives and names the bare marker.
 					continue
 				}
-				allowed[fset.Position(c.Pos()).Line] = true
+				line := fset.Position(c.Pos()).Line
+				if line-1 < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[line-1]), "//") {
+					// Full comment line: the annotation shields what follows.
+					allowed[line+1] = true
+				} else {
+					allowed[line] = true
+				}
 			}
 		}
 	}
@@ -158,6 +179,11 @@ func check(fset *token.FileSet, f *ast.File, path string) []Finding {
 			out = append(out, Finding{
 				File: path, Line: line, Rule: "time-sleep",
 				Msg: "time.Sleep in non-test code: sleeping is not synchronization (annotate with " + allowMarker + " <reason> if deliberate)",
+			})
+		case timeName != "" && id.Name == timeName && (sel.Sel.Name == "After" || sel.Sel.Name == "Tick"):
+			out = append(out, Finding{
+				File: path, Line: line, Rule: "time-timer",
+				Msg: "time." + sel.Sel.Name + " in library code: route timer waits through the injectable fault.Clock so tests can step a manual clock (annotate with " + allowMarker + " <reason> if deliberate)",
 			})
 		case ctxName != "" && id.Name == ctxName && sel.Sel.Name == "Background" && !isMain:
 			out = append(out, Finding{

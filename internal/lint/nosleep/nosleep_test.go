@@ -101,6 +101,87 @@ func f() { time.Sleep(1) // nosleep:allow
 	}
 }
 
+func TestTimeTimerFlagged(t *testing.T) {
+	path := write(t, t.TempDir(), "a.go", `package a
+
+import "time"
+
+func f() <-chan time.Time { return time.After(time.Second) }
+
+func g() <-chan time.Time { return time.Tick(time.Second) }
+`)
+	got, err := CheckFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v, want two time-timer findings", got)
+	}
+	for _, f := range got {
+		if f.Rule != "time-timer" {
+			t.Errorf("rule %q, want time-timer", f.Rule)
+		}
+	}
+}
+
+func TestAllowOnPreviousCommentLine(t *testing.T) {
+	dir := t.TempDir()
+	// A full comment line annotates the line below it.
+	ok := write(t, dir, "ok.go", `package a
+
+import "time"
+
+func f() {
+	// nosleep:allow wall-clock fallback when no injectable clock is wired
+	time.Sleep(1)
+}
+`)
+	got, err := CheckFile(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("previous-line annotation did not suppress: %v", got)
+	}
+
+	// The previous-line form shields only the next line, not the one after.
+	far := write(t, dir, "far.go", `package a
+
+import "time"
+
+func f() {
+	// nosleep:allow reason here
+	_ = 0
+	time.Sleep(1)
+}
+`)
+	got, err = CheckFile(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("annotation leaked past the next line: %v", got)
+	}
+
+	// An end-of-line annotation must not also shield the following line.
+	trail := write(t, dir, "trail.go", `package a
+
+import "time"
+
+func f() {
+	time.Sleep(1) // nosleep:allow first one is deliberate
+	time.Sleep(2)
+}
+`)
+	got, err = CheckFile(trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Line != 7 {
+		t.Fatalf("got %v, want only the line-7 finding", got)
+	}
+}
+
 func TestShadowingAndAliasing(t *testing.T) {
 	dir := t.TempDir()
 	// A local variable named time is not the time package.

@@ -71,6 +71,7 @@ func Registry() map[string]Factory {
 		"clh":          NewCLH,
 		"tas":          NewTAS,
 		"ttas":         NewTTAS,
+		"rtas":         NewRTAS,
 		"peterson":     NewPeterson,
 		"filter":       NewFilter,
 		"bakery":       NewBakery,

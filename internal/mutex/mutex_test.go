@@ -338,7 +338,7 @@ func TestOneShotMarkers(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
+	if len(names) != 15 {
 		t.Errorf("registry has %d entries: %v", len(names), names)
 	}
 	for _, name := range names {

@@ -98,7 +98,14 @@ func (a *Accountant) Model() CacheModel { return a.model }
 
 // Observe consumes one event. Events must be fed in execution order.
 func (a *Accountant) Observe(ev tso.Event) {
-	if ev.Kind == tso.EvEnter {
+	if ev.Kind == tso.EvCrash {
+		// The crash is the adversary's doing, not a step of the process;
+		// the interrupted passage simply never completes.
+		return
+	}
+	if ev.Kind == tso.EvEnter || ev.Kind == tso.EvRecover {
+		// Recovery re-enters the interrupted passage; its retry is
+		// accounted as a fresh passage attempt.
 		a.passages[ev.P] = append(a.passages[ev.P], PassageMetrics{})
 	}
 	cur := a.current(ev.P)

@@ -1,0 +1,180 @@
+package tso
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildWriteFence returns a program that writes 7 to a shared variable and
+// fences before its CS, exposing a buffered-but-uncommitted window.
+func buildWriteFence(vp **Var) Build {
+	return func(sim *Simulator) (Program, error) {
+		*vp = sim.Memory().NewVar("x")
+		return func(p *Proc) {
+			p.Write(*vp, 7)
+			p.Fence()
+			p.CS()
+		}, nil
+	}
+}
+
+func TestCrashDropsWriteBuffer(t *testing.T) {
+	var v *Var
+	s := mustSim(t, Config{N: 1}, buildWriteFence(&v))
+	// Enter, then issue the write; it sits in the buffer.
+	stepN(t, s, 0, 2)
+	if s.BufferSize(0) != 1 {
+		t.Fatalf("buffer size = %d, want 1", s.BufferSize(0))
+	}
+	if _, err := s.Crash(0); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if s.BufferSize(0) != 0 {
+		t.Fatal("crash did not drop the write buffer")
+	}
+	if got := s.Value(v); got != 0 {
+		t.Fatalf("uncommitted write became visible: x=%d", got)
+	}
+	if !s.Crashed(0) || s.Crashes(0) != 1 || s.TotalCrashes() != 1 {
+		t.Fatalf("crash accounting wrong: crashed=%v crashes=%d", s.Crashed(0), s.Crashes(0))
+	}
+	if got := s.PendingOp(0); got.Kind != OpRecover {
+		t.Fatalf("pending after crash = %s, want Recover", got)
+	}
+	if !s.PendingSpecial(0) {
+		t.Fatal("Recover must be a special (transition-like) event")
+	}
+	if s.NumActive() != 0 {
+		t.Fatalf("crashed process still active: Act=%v", s.Active())
+	}
+	// Recovery re-runs the passage from the top and completes it.
+	runToDone(t, s, 0)
+	if got := s.Value(v); got != 7 {
+		t.Fatalf("after recovery x=%d, want 7", got)
+	}
+	stats := s.Stats(0)
+	if len(stats) != 2 {
+		t.Fatalf("want 2 passage attempts, got %d: %+v", len(stats), stats)
+	}
+	if !stats[0].Crashed || stats[0].Complete {
+		t.Fatalf("first attempt should be crashed and incomplete: %+v", stats[0])
+	}
+	if stats[1].Crashed || !stats[1].Complete {
+		t.Fatalf("retry should be complete and uncrashed: %+v", stats[1])
+	}
+}
+
+func TestCrashResetsVolatileKnowledge(t *testing.T) {
+	// p0 reads a variable owned by p1 (remote in DSM), making a later
+	// re-read non-critical; a crash wipes that cached knowledge so the
+	// re-read is critical again.
+	var v *Var
+	s := mustSim(t, Config{N: 2, Model: DSM}, func(sim *Simulator) (Program, error) {
+		v = sim.Memory().NewOwned("y", 1)
+		return func(p *Proc) {
+			p.Read(v)
+			p.Read(v)
+			p.CS()
+		}, nil
+	})
+	stepN(t, s, 0, 2) // Enter + first read
+	if !s.HasRemotelyRead(0, v) {
+		t.Fatal("remote read not recorded")
+	}
+	if _, err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.HasRemotelyRead(0, v) {
+		t.Fatal("crash kept the cached remote read")
+	}
+	if aw := s.Awareness(0); len(aw) != 1 || aw[0] != 0 {
+		t.Fatalf("crash kept awareness: %v", aw)
+	}
+	stepN(t, s, 0, 2) // Recover + first read of the retry
+	last := s.Execution().Events[len(s.exec.Events)-1]
+	if last.Kind != EvRead || !last.Critical {
+		t.Fatalf("post-crash remote read should be critical again: %s", last)
+	}
+}
+
+func TestCrashScheduleReplays(t *testing.T) {
+	var v *Var
+	s := mustSim(t, Config{N: 2, AllowConcurrentCS: true}, buildWriteFence(&v))
+	stepN(t, s, 0, 2)
+	stepN(t, s, 1, 2)
+	if _, err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	runToDone(t, s, 1)
+	runToDone(t, s, 0)
+	re, err := s.Replay(nil)
+	if err != nil {
+		t.Fatalf("replay of crashing schedule: %v", err)
+	}
+	defer re.Kill()
+	a, b := s.Execution().Events, re.Execution().Events
+	if len(a) != len(b) {
+		t.Fatalf("replay length %d != original %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].P != b[i].P || a[i].Val != b[i].Val || !sameVar(a[i].Var, b[i].Var) {
+			t.Fatalf("event %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if err := VerifyErasure(s.Execution(), re.Execution(), nil); err != nil {
+		t.Fatalf("erasure check on identity replay: %v", err)
+	}
+}
+
+func TestCrashLegality(t *testing.T) {
+	s := mustSim(t, Config{N: 1}, buildNoop)
+	if _, err := s.Crash(0); err == nil {
+		t.Fatal("crash before first Enter must fail")
+	}
+	stepN(t, s, 0, 1)
+	if _, err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Crash(0); err == nil {
+		t.Fatal("double crash must fail")
+	}
+	runToDone(t, s, 0)
+	if _, err := s.Crash(0); !errors.Is(err, ErrProcDone) {
+		t.Fatalf("crash after done: got %v, want ErrProcDone", err)
+	}
+}
+
+func TestCrashInNCSBetweenPassages(t *testing.T) {
+	// With Passages=2, a crash after the first Exit (section NCS, writes
+	// possibly still buffered) is legal and recovery re-runs passage 1.
+	var v *Var
+	s := mustSim(t, Config{N: 1, Passages: 2}, func(sim *Simulator) (Program, error) {
+		v = sim.Memory().NewVar("z")
+		return func(p *Proc) {
+			p.CS()
+			p.Write(v, 9) // exit-protocol write, left buffered at Exit
+		}, nil
+	})
+	// Enter, CS, WriteIssue, Exit of passage 0.
+	stepN(t, s, 0, 4)
+	if s.BufferSize(0) != 1 {
+		t.Fatalf("buffer size = %d, want 1 (exit write left buffered)", s.BufferSize(0))
+	}
+	if _, err := s.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value(v); got != 0 {
+		t.Fatalf("buffered exit write survived the crash: z=%d", got)
+	}
+	runToDone(t, s, 0)
+	if !s.Done(0) {
+		t.Fatal("process did not finish")
+	}
+	// The second passage re-ran: its write eventually remains buffered at
+	// Done (no fence), so z may still be 0 — but the passage completed.
+	stats := s.Stats(0)
+	last := stats[len(stats)-1]
+	if !last.Complete {
+		t.Fatalf("final passage incomplete: %+v", stats)
+	}
+}

@@ -34,6 +34,15 @@ const (
 	EvCS
 	// EvExit is the Exit_p transition: exit section -> non-critical section.
 	EvExit
+	// EvCrash is a crash-stop failure of the process (the recoverable
+	// mutual-exclusion setting of Chan-Woelfel and Katzan-Morrison): the
+	// write buffer and all volatile per-process state are discarded;
+	// committed shared memory persists.
+	EvCrash
+	// EvRecover is the process re-entering after a crash. Per the RME
+	// passage structure it acts as the Enter transition of the retried
+	// passage.
+	EvRecover
 )
 
 // String returns a short mnemonic for the event kind.
@@ -57,6 +66,10 @@ func (k EventKind) String() string {
 		return "CS"
 	case EvExit:
 		return "Exit"
+	case EvCrash:
+		return "Crash"
+	case EvRecover:
+		return "Recover"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -136,9 +149,12 @@ func (e Event) IsFenceEvent() bool {
 }
 
 // IsSpecial reports whether the event is special per Definition 3: critical,
-// a transition event, or a fence event. CAS events are special.
+// a transition event, or a fence event. CAS events are special, and so are
+// crash and recovery events (they change the process's section like
+// transitions do).
 func (e Event) IsSpecial() bool {
-	return e.Critical || e.IsTransition() || e.IsFenceEvent() || e.Kind == EvCAS
+	return e.Critical || e.IsTransition() || e.IsFenceEvent() ||
+		e.Kind == EvCAS || e.Kind == EvCrash || e.Kind == EvRecover
 }
 
 // Execution is a recorded sequence of events together with the scheduling
@@ -163,6 +179,9 @@ type Decision struct {
 	// commits the oldest buffered write, which is the only choice under
 	// TSO, where writes become visible in issue order.
 	VarPlus1 int
+	// Crash selects crashing the process instead of executing or
+	// committing: its write buffer and volatile state are discarded.
+	Crash bool
 }
 
 // ByProc returns the subsequence of events executed by p (the paper's E|p).

@@ -3,6 +3,7 @@ package tso
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 )
 
 // Section is the mutual-exclusion section a process is in (the value of the
@@ -80,6 +81,9 @@ const (
 	OpExit
 	// OpDone means the process has completed all its passages.
 	OpDone
+	// OpRecover is the recovery transition of a crashed process. Like
+	// OpCommit it is synthesized by the simulator; programs never post it.
+	OpRecover
 )
 
 // String returns a short mnemonic for the operation kind.
@@ -107,6 +111,8 @@ func (k OpKind) String() string {
 		return "Exit"
 	case OpDone:
 		return "Done"
+	case OpRecover:
+		return "Recover"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -154,6 +160,29 @@ type PassageStats struct {
 	Events int
 	// Complete reports whether the passage has executed its Exit event.
 	Complete bool
+	// Crashed reports that the passage was interrupted by a crash; the
+	// recovery re-executes the same passage index under a fresh stats
+	// entry.
+	Crashed bool
+}
+
+// procChans is one incarnation's rendezvous channels between the program
+// goroutine and the simulator. A crash retires the incarnation by closing
+// crash (the parked goroutine exits) and installing a fresh set for the
+// recovery goroutine; each goroutine only ever touches the set it was
+// spawned with.
+type procChans struct {
+	post  chan Op
+	res   chan opResult
+	crash chan struct{}
+}
+
+func newProcChans() *procChans {
+	return &procChans{
+		post:  make(chan Op),
+		res:   make(chan opResult),
+		crash: make(chan struct{}),
+	}
 }
 
 // Proc is the per-process handle through which algorithm code performs
@@ -164,13 +193,16 @@ type Proc struct {
 	id  ProcID
 	sim *Simulator
 
-	// rendezvous channels between the program goroutine and the simulator.
-	postCh chan Op
-	resCh  chan opResult
+	// chans holds the current incarnation's rendezvous channels. It is an
+	// atomic pointer because Crash swaps it while the retiring program
+	// goroutine may be between its post and its wait in request.
+	chans atomic.Pointer[procChans]
 
 	// simulator-owned state; the program goroutine never touches these.
 	started bool
 	done    bool
+	crashed bool
+	crashes int
 	pending Op // last op posted by the program goroutine
 	buf     writeBuffer
 	section Section
@@ -183,7 +215,9 @@ type Proc struct {
 	fences int
 	// passage is the index of the current (or next) passage.
 	passage int
-	// stats[i] describes passage i.
+	// stats[i] describes one passage attempt in order; a crashed attempt
+	// and its re-execution are separate entries with the same passage
+	// index.
 	stats []PassageStats
 }
 
@@ -228,16 +262,25 @@ func (p *Proc) CS() {
 }
 
 // request posts op and blocks until the simulator grants it. If the
-// simulator is killed while the process is parked, the goroutine exits.
+// simulator is killed, or this incarnation crashes, while the process is
+// parked, the goroutine exits. The channel set is loaded once per request:
+// a crash can only happen while the simulator is idle, i.e. after the post
+// was received, so the retiring goroutine always waits on its own
+// incarnation's channels and exits via their crash channel.
 func (p *Proc) request(op Op) opResult {
+	ch := p.chans.Load()
 	select {
-	case p.postCh <- op:
+	case ch.post <- op:
+	case <-ch.crash:
+		runtime.Goexit()
 	case <-p.sim.killCh:
 		runtime.Goexit()
 	}
 	select {
-	case r := <-p.resCh:
+	case r := <-ch.res:
 		return r
+	case <-ch.crash:
+		runtime.Goexit()
 	case <-p.sim.killCh:
 		runtime.Goexit()
 	}

@@ -133,16 +133,16 @@ func NewSimulator(cfg Config, build Build) (*Simulator, error) {
 	}
 	s.procs = make([]*Proc, cfg.N)
 	for i := range s.procs {
-		s.procs[i] = &Proc{
+		p := &Proc{
 			id:         ProcID(i),
 			sim:        s,
-			postCh:     make(chan Op),
-			resCh:      make(chan opResult),
 			section:    NCS,
 			mode:       ModeRead,
 			aw:         newAWSet(ProcID(i)),
 			remoteRead: make(map[int]bool),
 		}
+		p.chans.Store(newProcChans())
+		s.procs[i] = p
 	}
 	prog, err := build(s)
 	if err != nil {
@@ -197,9 +197,10 @@ func (s *Simulator) Kill() {
 func (s *Simulator) remote(id ProcID, v *Var) bool { return v.owner != id }
 
 // PendingOp returns the operation process id is about to execute: Enter for
-// a process that has not started, a Commit of its oldest buffered write if
-// it is executing a fence (or draining for a CAS) with a non-empty buffer,
-// and otherwise the operation its program posted.
+// a process that has not started, Recover for a crashed process, a Commit
+// of its oldest buffered write if it is executing a fence (or draining for
+// a CAS) with a non-empty buffer, and otherwise the operation its program
+// posted.
 func (s *Simulator) PendingOp(id ProcID) Op {
 	p := s.procs[id]
 	if p.done {
@@ -207,6 +208,9 @@ func (s *Simulator) PendingOp(id ProcID) Op {
 	}
 	if !p.started {
 		return Op{Kind: OpEnter}
+	}
+	if p.crashed {
+		return Op{Kind: OpRecover}
 	}
 	if !p.buf.empty() && (p.mode == ModeWrite || p.pending.Kind == OpCAS) {
 		h := p.buf.head()
@@ -243,7 +247,7 @@ func (s *Simulator) PendingCritical(id ProcID) bool {
 // event.
 func (s *Simulator) PendingSpecial(id ProcID) bool {
 	switch s.PendingOp(id).Kind {
-	case OpEnter, OpBeginFence, OpEndFence, OpCS, OpExit, OpCAS, OpDone:
+	case OpEnter, OpBeginFence, OpEndFence, OpCS, OpExit, OpCAS, OpDone, OpRecover:
 		return true
 	default:
 		return s.PendingCritical(id)
@@ -334,9 +338,12 @@ func (s *Simulator) step(id ProcID) (Event, error) {
 		}
 		p.started = true
 		s.wg.Add(1)
-		go s.procBody(p)
+		go s.procBody(p, 0, p.chans.Load())
 		s.receivePost(p)
 		return ev, nil
+	}
+	if p.crashed {
+		return s.applyRecover(p)
 	}
 	op := s.PendingOp(id)
 	if op.Kind == OpCommit {
@@ -346,15 +353,97 @@ func (s *Simulator) step(id ProcID) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
-	p.resCh <- res
+	p.chans.Load().res <- res
 	s.receivePost(p)
 	return ev, nil
+}
+
+// Crash models a crash-stop failure of process id (the recoverable
+// mutual-exclusion setting): the process's write buffer and all volatile
+// per-process state — registers, fence mode, awareness, cached remote
+// reads — are discarded; committed shared memory persists. The process
+// drops out of Act(E) until the scheduler steps it again, which executes
+// its Recover transition and re-runs the interrupted passage from the top.
+// Crashing is legal for a started, non-done, non-crashed process.
+func (s *Simulator) Crash(id ProcID) (Event, error) {
+	if s.killed {
+		return Event{}, ErrKilled
+	}
+	if int(id) < 0 || int(id) >= len(s.procs) {
+		return Event{}, fmt.Errorf("tso: process id %d out of range [0,%d)", id, len(s.procs))
+	}
+	p := s.procs[id]
+	if !p.started {
+		return Event{}, fmt.Errorf("tso: cannot crash p%d before its first Enter", id)
+	}
+	if p.done {
+		return Event{}, fmt.Errorf("p%d: %w", id, ErrProcDone)
+	}
+	if p.crashed {
+		return Event{}, fmt.Errorf("tso: p%d is already crashed", id)
+	}
+	// Retire the current program goroutine. Between scheduling decisions it
+	// is parked in request on this incarnation's channels (its last post
+	// was already received), so closing the crash channel makes it exit.
+	old := p.chans.Load()
+	p.chans.Store(newProcChans())
+	close(old.crash)
+	// Volatile state is lost.
+	p.buf = writeBuffer{}
+	p.mode = ModeRead
+	p.pending = Op{}
+	p.aw = newAWSet(p.id)
+	p.remoteRead = make(map[int]bool)
+	if p.section != NCS {
+		s.actCount--
+		if len(p.stats) > 0 {
+			p.stats[len(p.stats)-1].Crashed = true
+		}
+	}
+	p.section = NCS
+	p.crashed = true
+	p.crashes++
+	ev := s.recordBare(p, Event{Kind: EvCrash})
+	s.exec.Schedule = append(s.exec.Schedule, Decision{P: id, Crash: true})
+	return ev, nil
+}
+
+// applyRecover executes the Recover transition of a crashed process: a new
+// program goroutine re-runs the interrupted passage from the top (recovery
+// acts as the Enter of the retried passage, so no separate Enter event is
+// recorded).
+func (s *Simulator) applyRecover(p *Proc) (Event, error) {
+	p.crashed = false
+	p.section = Entry
+	p.stats = append(p.stats, PassageStats{})
+	s.actCount++
+	ev := s.record(p, Event{Kind: EvRecover})
+	s.wg.Add(1)
+	go s.procBody(p, p.passage, p.chans.Load())
+	s.receivePost(p)
+	return ev, nil
+}
+
+// Crashed reports whether process id is currently crashed (awaiting its
+// Recover transition).
+func (s *Simulator) Crashed(id ProcID) bool { return s.procs[id].crashed }
+
+// Crashes returns how many times process id has crashed.
+func (s *Simulator) Crashes(id ProcID) int { return s.procs[id].crashes }
+
+// TotalCrashes returns the number of crash events over all processes.
+func (s *Simulator) TotalCrashes() int {
+	n := 0
+	for _, p := range s.procs {
+		n += p.crashes
+	}
+	return n
 }
 
 // receivePost blocks until p's program goroutine publishes its next
 // operation (or reports completion).
 func (s *Simulator) receivePost(p *Proc) {
-	op := <-p.postCh
+	op := <-p.chans.Load().post
 	if op.Kind == OpDone {
 		p.done = true
 	}
@@ -382,8 +471,12 @@ func (s *Simulator) checkExclusion(id ProcID) {
 }
 
 // procBody is the harness wrapper that runs the program for each passage and
-// brackets it with the Exit transition (Enter is granted by Step).
-func (s *Simulator) procBody(p *Proc) {
+// brackets it with the Exit transition. The first passage's Enter (or, after
+// a crash, the Recover standing in for it) is granted by Step before the
+// goroutine starts; subsequent passages request their own Enter. ch is this
+// incarnation's channel set, captured at spawn so a later crash of a newer
+// incarnation cannot confuse a stale goroutine.
+func (s *Simulator) procBody(p *Proc, startPass int, ch *procChans) {
 	defer s.wg.Done()
 	normal := false
 	defer func() {
@@ -391,13 +484,13 @@ func (s *Simulator) procBody(p *Proc) {
 			return
 		}
 		if r := recover(); r != nil {
-			s.postPanic(p, fmt.Sprint(r))
+			s.postPanic(p, ch, fmt.Sprint(r))
 			return
 		}
-		// runtime.Goexit after a kill: nothing to do.
+		// runtime.Goexit after a kill or crash: nothing to do.
 	}()
-	for pass := 0; pass < s.cfg.Passages; pass++ {
-		if pass > 0 {
+	for pass := startPass; pass < s.cfg.Passages; pass++ {
+		if pass > startPass {
 			p.request(Op{Kind: OpEnter})
 		}
 		s.prog(p)
@@ -405,20 +498,22 @@ func (s *Simulator) procBody(p *Proc) {
 	}
 	normal = true
 	select {
-	case p.postCh <- Op{Kind: OpDone}:
+	case ch.post <- Op{Kind: OpDone}:
+	case <-ch.crash:
 	case <-s.killCh:
 	}
 }
 
 // postPanic converts a program panic into an OpDone post so the simulator
 // does not deadlock; the panic text is surfaced via ProgramPanic.
-func (s *Simulator) postPanic(p *Proc, msg string) {
+func (s *Simulator) postPanic(p *Proc, ch *procChans, msg string) {
 	// Exactly one program goroutine runs at a time (the simulator blocks in
 	// receivePost until it posts), so this write is ordered before the
 	// simulator's reads by the channel send below.
 	s.panicErr[p.id] = msg
 	select {
-	case p.postCh <- Op{Kind: OpDone}:
+	case ch.post <- Op{Kind: OpDone}:
+	case <-ch.crash:
 	case <-s.killCh:
 	}
 }
@@ -557,6 +652,20 @@ func (s *Simulator) markAccess(v *Var, id ProcID) {
 		s.accessed[v.index] = make(map[ProcID]bool, 2)
 	}
 	s.accessed[v.index][id] = true
+}
+
+// recordBare finalizes and appends an event without charging it to the
+// process's passage statistics (crash events are the adversary's doing, not
+// steps the process executed).
+func (s *Simulator) recordBare(p *Proc, ev Event) Event {
+	ev.Seq = len(s.exec.Events)
+	ev.P = p.id
+	ev.Passage = p.passage
+	s.exec.Events = append(s.exec.Events, ev)
+	for _, fn := range s.observers {
+		fn(ev)
+	}
+	return ev
 }
 
 // record finalizes and appends an event, updating per-passage statistics.
@@ -719,6 +828,8 @@ func (s *Simulator) ReplayPrefix(banned map[ProcID]bool, upTo int) (*Simulator, 
 			continue
 		}
 		switch {
+		case d.Crash:
+			_, err = ns.Crash(d.P)
 		case d.Commit && d.VarPlus1 > 0:
 			_, err = ns.CommitVar(d.P, ns.mem.vars[d.VarPlus1-1])
 		case d.Commit:
