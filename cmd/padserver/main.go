@@ -15,13 +15,17 @@
 // drain — intake stops, in-flight jobs finish within -drain-timeout, and
 // anything still queued recovers on the next start.
 //
-// Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, DELETE /jobs/{id},
-// GET /healthz, GET /metrics. See the README for an example curl session.
+// Endpoints (v1): POST /v1/jobs, GET /v1/jobs, GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id}, GET /v1/healthz, GET /v1/metrics (Prometheus text;
+// ?format=json for the legacy snapshot). The unversioned routes remain as
+// deprecated aliases. With -debug-addr set, /debug/pprof/* is served on a
+// separate listener. See the README for an example curl session.
 //
 // Usage:
 //
 //	padserver [-addr :8080] [-data padserver-data] [-parallel N] [-timeout 0]
 //	          [-queue-max 0] [-retries 1] [-backoff 50ms] [-drain-timeout 10s]
+//	          [-debug-addr 127.0.0.1:6060]
 //	padserver -chaos [-chaos-seed 1] [-chaos-cycles 50]   # run the chaos harness and exit
 package main
 
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -40,6 +45,7 @@ import (
 	"time"
 
 	"priceadaptive/internal/jobs"
+	"priceadaptive/internal/obsv"
 )
 
 type serverConfig struct {
@@ -51,6 +57,10 @@ type serverConfig struct {
 	retries      int
 	backoff      time.Duration
 	drainTimeout time.Duration
+	debugAddr    string
+	// metrics is the registry queue instruments land on; main uses the
+	// process-wide default, tests leave it nil for per-queue isolation.
+	metrics *obsv.Registry
 }
 
 func main() {
@@ -63,6 +73,7 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", 1, "max execution attempts per job (1 = no retry)")
 	flag.DurationVar(&cfg.backoff, "backoff", 50*time.Millisecond, "base retry backoff, doubled per attempt and capped at 60x")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight jobs")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "", "serve /debug/pprof on this extra address (empty = disabled)")
 	chaos := flag.Bool("chaos", false, "run the kill/restart chaos harness against -data and exit (non-zero unless it converges)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos mode: seed for the fault and kill schedule")
 	chaosCycles := flag.Int("chaos-cycles", 50, "chaos mode: kill/restart cycles")
@@ -107,20 +118,21 @@ func newQueue(cfg serverConfig) (*jobs.Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := jobs.Options{
-		Workers:        cfg.parallel,
-		DefaultTimeout: cfg.timeout,
-		MaxQueued:      cfg.queueMax,
+	opts := []jobs.Option{
+		jobs.WithWorkers(cfg.parallel),
+		jobs.WithDefaultTimeout(cfg.timeout),
+		jobs.WithMaxQueued(cfg.queueMax),
+		jobs.WithMetrics(cfg.metrics),
 	}
 	if cfg.retries > 1 {
-		opts.Retry = jobs.RetryPolicy{
+		opts = append(opts, jobs.WithRetryPolicy(jobs.RetryPolicy{
 			MaxAttempts: cfg.retries,
 			BaseBackoff: cfg.backoff,
 			MaxBackoff:  60 * cfg.backoff,
 			Jitter:      0.2,
-		}
+		}))
 	}
-	q := jobs.New(store, opts)
+	q := jobs.NewQueue(store, opts...)
 	jobs.RegisterBuiltins(q)
 	requeued, err := q.Recover()
 	if err != nil {
@@ -133,11 +145,27 @@ func newQueue(cfg serverConfig) (*jobs.Queue, error) {
 }
 
 func run(cfg serverConfig) error {
+	// The process-wide registry carries the queue's pad_* instruments plus
+	// runtime and build-info gauges, all served at GET /v1/metrics.
+	cfg.metrics = obsv.Default()
+	obsv.RegisterProcessMetrics(cfg.metrics)
+	obsv.RegisterBuildInfo(cfg.metrics)
 	q, err := newQueue(cfg)
 	if err != nil {
 		return err
 	}
 	q.Start()
+
+	if cfg.debugAddr != "" {
+		dsrv := &http.Server{Addr: cfg.debugAddr, Handler: debugMux()}
+		go func() {
+			log.Printf("padserver: debug endpoints (pprof) on %s", cfg.debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("padserver: debug server: %v", err)
+			}
+		}()
+		defer dsrv.Close()
+	}
 
 	srv := &http.Server{Addr: cfg.addr, Handler: jobs.NewHandler(q)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -175,4 +203,16 @@ func run(cfg serverConfig) error {
 	}
 	q.Close()
 	return nil
+}
+
+// debugMux serves the pprof family on a dedicated mux, so profiling lives on
+// its own -debug-addr listener and never on the public API address.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/jobs"
+	"priceadaptive/internal/obsv"
+)
+
+// TestServerV1Client drives the versioned API with the typed client against
+// the same stack startServer boots for the legacy tests: submit an
+// experiment, wait, read the artifact, check health and both metrics views.
+func TestServerV1Client(t *testing.T) {
+	srv, _ := startServer(t, t.TempDir())
+	c := jobs.NewClient(srv.URL)
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, jobs.Spec{Kind: jobs.KindExperiment, Params: json.RawMessage(`{"id":"e4"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Wait(ctx, sub.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", job.State, job.Error)
+	}
+	var rep struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(job.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "E4" {
+		t.Errorf("artifact id %q, want E4", rep.ID)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK {
+		t.Fatalf("health: %+v", h)
+	}
+
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := obsv.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("/v1/metrics does not parse: %v", err)
+	}
+	if v, ok := pm.Value("pad_jobs_completed_total", nil); !ok || v < 1 {
+		t.Errorf("pad_jobs_completed_total = %v (ok=%v)", v, ok)
+	}
+	if err := pm.CheckHistogram("pad_job_duration_seconds"); err != nil {
+		t.Errorf("latency histogram: %v", err)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kinds[jobs.KindExperiment].Runs != 1 {
+		t.Errorf("JSON view: %+v", snap.Kinds)
+	}
+}
+
+// TestDebugMuxPprof asserts the -debug-addr mux serves the pprof index and a
+// heap profile (the two endpoints the CI smoke job curls).
+func TestDebugMuxPprof(t *testing.T) {
+	srv := httptest.NewServer(debugMux())
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s: %d, %d bytes", path, resp.StatusCode, len(body))
+		}
+	}
+}

@@ -9,6 +9,14 @@
 //	tsosim -alg caschain -n 16 -sched random -seed 7 -commitp 0.3
 //	tsosim -alg rtas -n 8 -crashes 4 -crashp 0.08 -crash-seed 42   # crash-stop runs
 //	tsosim -adversary -alg synthetic -n 24   # run the lower-bound construction
+//	tsosim -alg peterson -n 2 -trace out.json -trace-summary   # export execution trace
+//
+// -trace writes a Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev): one span per passage, annotated with fence and
+// per-model RMR counts, plus fence sub-spans and crash/recovery instants.
+// -trace-summary prints a compact per-process text profile. -lanes prints
+// the classic event-lane view (-trace-special restricts it to special
+// events).
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"priceadaptive/internal/adversary"
 	"priceadaptive/internal/bounds"
 	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/obsv"
 	"priceadaptive/internal/rmr"
 	"priceadaptive/internal/tso"
 )
@@ -42,8 +51,10 @@ func run() error {
 	commitP := flag.Float64("commitp", 0.25, "random scheduler commit probability")
 	model := flag.String("model", "cc", "variable locality model: cc, dsm")
 	budget := flag.Int("budget", 50_000_000, "step budget")
-	trace := flag.Bool("trace", false, "print the execution trace (lane view)")
-	traceSpecial := flag.Bool("trace-special", false, "with -trace, print only special events")
+	traceOut := flag.String("trace", "", `write a Chrome trace_event JSON of the run to this file ("-" = stdout)`)
+	traceSummary := flag.Bool("trace-summary", false, "print a compact per-process trace profile")
+	lanes := flag.Bool("lanes", false, "print the execution trace (lane view)")
+	traceSpecial := flag.Bool("trace-special", false, "with -lanes, print only special events")
 	crashes := flag.Int("crashes", 0, "total crash budget: >0 runs the seeded crash-stop scheduler (RME mode)")
 	crashP := flag.Float64("crashp", 0.05, "crash mode: per-decision crash probability")
 	crashPerProc := flag.Int("crash-per-proc", 1, "crash mode: per-process crash bound")
@@ -71,6 +82,10 @@ func run() error {
 	if *model == "dsm" {
 		simModel = tso.DSM
 	}
+	var tracer *obsv.Tracer
+	if *traceOut != "" || *traceSummary {
+		tracer = obsv.NewTracer()
+	}
 
 	if *adv {
 		level := adversary.CheckNone
@@ -83,6 +98,7 @@ func run() error {
 			Algorithm: mutex.Build(factory),
 			F:         bounds.Affine{A: *advA, C: *advC},
 			Check:     level,
+			Trace:     tracer,
 		})
 		if err != nil {
 			return err
@@ -103,11 +119,15 @@ func run() error {
 		if res.Violation != nil {
 			fmt.Printf("  violation: %v\n", res.Violation)
 		}
-		return nil
+		return writeTraceOutputs(tracer, *traceOut, *traceSummary)
 	}
 
 	if *crashes > 0 {
-		sim, err := tso.NewSimulator(tso.Config{N: *n, Passages: *passages, Model: simModel}, mutex.Build(factory))
+		cfg := tso.Config{N: *n, Passages: *passages, Model: simModel}
+		if tracer != nil {
+			cfg.Sink = tracer
+		}
+		sim, err := tso.NewSimulator(cfg, mutex.Build(factory))
 		if err != nil {
 			return err
 		}
@@ -132,7 +152,11 @@ func run() error {
 			fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
 		}
 		printAccountants(accs)
-		if *trace {
+		rmr.AnnotateTrace(tracer, accs...)
+		if err := writeTraceOutputs(tracer, *traceOut, *traceSummary); err != nil {
+			return err
+		}
+		if *lanes {
 			fmt.Println()
 			return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
 		}
@@ -151,7 +175,11 @@ func run() error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
-	sim, err := tso.NewSimulator(tso.Config{N: *n, Passages: *passages, Model: simModel}, mutex.Build(factory))
+	cfg := tso.Config{N: *n, Passages: *passages, Model: simModel}
+	if tracer != nil {
+		cfg.Sink = tracer
+	}
+	sim, err := tso.NewSimulator(cfg, mutex.Build(factory))
 	if err != nil {
 		return err
 	}
@@ -170,9 +198,46 @@ func run() error {
 		fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
 	}
 	printAccountants(accs)
-	if *trace {
+	rmr.AnnotateTrace(tracer, accs...)
+	if err := writeTraceOutputs(tracer, *traceOut, *traceSummary); err != nil {
+		return err
+	}
+	if *lanes {
 		fmt.Println()
 		return sim.Execution().Format(os.Stdout, tso.FormatOptions{Lanes: true, SpecialOnly: *traceSpecial})
+	}
+	return nil
+}
+
+// writeTraceOutputs exports the tracer as requested: a Chrome trace_event
+// JSON file (or stdout for "-") and/or the compact text profile.
+func writeTraceOutputs(tr *obsv.Tracer, out string, summary bool) error {
+	if tr == nil {
+		return nil
+	}
+	if out != "" {
+		if out == "-" {
+			if err := tr.WriteChromeTrace(os.Stdout); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		} else {
+			f, err := os.Create(out)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := tr.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			fmt.Printf("trace: wrote %s\n", out)
+		}
+	}
+	if summary {
+		fmt.Println()
+		return tr.WriteSummary(os.Stdout)
 	}
 	return nil
 }

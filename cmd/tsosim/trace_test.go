@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/obsv"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenTrace runs the fixed-seed traced workload -trace exports: the fenced
+// Peterson lock, N=2, two passages each, seeded random scheduler, all three
+// RMR accountants annotating. Everything in the pipeline is deterministic,
+// so the Chrome export must be byte-identical run to run.
+func goldenTrace(t *testing.T) []byte {
+	t.Helper()
+	tracer := obsv.NewTracer()
+	sim, err := tso.NewSimulator(
+		tso.Config{N: 2, Passages: 2, Sink: tracer},
+		mutex.Build(mutex.NewPeterson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+	accs := make([]*rmr.Accountant, 0, 3)
+	for _, m := range rmr.Models() {
+		accs = append(accs, rmr.Attach(sim, m))
+	}
+	res, err := tso.Run(sim, tso.NewRandom(7, 0.25), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Violation != nil {
+		t.Fatalf("workload drifted: completed=%v violation=%v", res.Completed, res.Violation)
+	}
+	rmr.AnnotateTrace(tracer, accs...)
+	var buf bytes.Buffer
+	if err := tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChromeTraceGolden pins the exact Chrome trace_event export of the
+// fixed-seed run. Regenerate with -update-golden after a deliberate format
+// change.
+func TestChromeTraceGolden(t *testing.T) {
+	got := goldenTrace(t)
+
+	// Structural validity first, so a mismatch report means format drift,
+	// not corruption: valid JSON, complete spans, rmr + fence annotations.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	passages := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "passage" {
+			continue
+		}
+		passages++
+		for _, key := range []string{"fences", "rmr_dsm", "rmr_ccwt", "rmr_ccwb"} {
+			if _, ok := ev.Args[key]; !ok {
+				t.Errorf("passage span %q missing %s annotation", ev.Name, key)
+			}
+		}
+	}
+	if passages != 4 {
+		t.Fatalf("passage spans = %d, want 4 (2 procs x 2 passages)", passages)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Chrome trace drifted from %s (regenerate with -update-golden if deliberate)\ngot %d bytes, want %d", golden, len(got), len(want))
+	}
+
+	// And a second in-process run must reproduce the same bytes.
+	if again := goldenTrace(t); !bytes.Equal(got, again) {
+		t.Fatal("trace export is not deterministic across runs")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"priceadaptive/internal/bounds"
+	"priceadaptive/internal/obsv"
 	"priceadaptive/internal/tso"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	SoloBudget int
 	// Check selects invariant verification.
 	Check CheckLevel
+	// Trace, when non-nil, receives the final execution and one phase span
+	// per construction phase after the run completes. The construction
+	// cannot sink events live: erasure replaces the simulator wholesale, so
+	// a live sink would double-count every replayed prefix.
+	Trace *obsv.Tracer
 }
 
 // StopReason explains why the construction stopped.
@@ -145,6 +151,10 @@ type PhaseRecord struct {
 	ActiveBefore, ActiveAfter int
 	// Erased counts processes erased during the phase.
 	Erased int
+	// EventsBefore and EventsAfter are the execution length at the phase
+	// boundaries. Erasure can shrink the execution, so EventsAfter may be
+	// smaller than EventsBefore.
+	EventsBefore, EventsAfter int
 }
 
 // Result reports the outcome of a construction run.
@@ -226,5 +236,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	st.ctx = ctx
 	defer st.sim.Kill()
-	return st.run()
+	res, err := st.run()
+	if err == nil && cfg.Trace != nil {
+		feedTrace(cfg.Trace, st, res)
+	}
+	return res, err
+}
+
+// feedTrace replays the final execution into the tracer and records one
+// phase span per construction phase.
+func feedTrace(tr *obsv.Tracer, st *state, res *Result) {
+	tso.EmitExecution(st.sim.Execution(), tr)
+	for _, ph := range res.Phases {
+		tr.Phase(fmt.Sprintf("i%d %s", ph.Induction, ph.Phase),
+			ph.EventsBefore, ph.EventsAfter, map[string]int{
+				"iterations":    ph.Iterations,
+				"active_before": ph.ActiveBefore,
+				"active_after":  ph.ActiveAfter,
+				"erased":        ph.Erased,
+			})
+	}
 }

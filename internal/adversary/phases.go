@@ -276,9 +276,13 @@ func (st *state) erase(keep []tso.ProcID, rec *PhaseRecord) error {
 // readPhase implements Lemma 6: it extends the execution with critical reads
 // until the surviving active processes are all about to begin a fence.
 func (st *state) readPhase(i int) error {
-	rec := PhaseRecord{Induction: i, Phase: "read", ActiveBefore: len(st.act)}
+	rec := PhaseRecord{
+		Induction: i, Phase: "read", ActiveBefore: len(st.act),
+		EventsBefore: len(st.sim.Execution().Events),
+	}
 	defer func() {
 		rec.ActiveAfter = len(st.act)
+		rec.EventsAfter = len(st.sim.Execution().Events)
 		st.res.Phases = append(st.res.Phases, rec)
 	}()
 	for {
@@ -358,9 +362,13 @@ func (st *state) readPhase(i int) error {
 // on a single hot variable (high contention) so that the largest active ID
 // ends up visible on every hot variable.
 func (st *state) writePhase(i int) error {
-	rec := PhaseRecord{Induction: i, Phase: "write", ActiveBefore: len(st.act)}
+	rec := PhaseRecord{
+		Induction: i, Phase: "write", ActiveBefore: len(st.act),
+		EventsBefore: len(st.sim.Execution().Events),
+	}
 	defer func() {
 		rec.ActiveAfter = len(st.act)
+		rec.EventsAfter = len(st.sim.Execution().Events)
 		st.res.Phases = append(st.res.Phases, rec)
 	}()
 	for {
@@ -466,9 +474,13 @@ func (st *state) writePhase(i int) error {
 // completion; before each of its critical events the at most one invisible
 // process it could observe is erased.
 func (st *state) regularizePhase(i int) error {
-	rec := PhaseRecord{Induction: i, Phase: "regularize", ActiveBefore: len(st.act)}
+	rec := PhaseRecord{
+		Induction: i, Phase: "regularize", ActiveBefore: len(st.act),
+		EventsBefore: len(st.sim.Execution().Events),
+	}
 	defer func() {
 		rec.ActiveAfter = len(st.act)
+		rec.EventsAfter = len(st.sim.Execution().Events)
 		st.res.Phases = append(st.res.Phases, rec)
 	}()
 	if len(st.act) == 0 {

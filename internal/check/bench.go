@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sort"
 
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -31,15 +33,54 @@ type BenchAnalysisEntry struct {
 	ReductionPct float64 `json:"reduction_pct"`
 }
 
+// SimBenchBaseline pins the deterministic workload behind the sink-overhead
+// guard: an Exhaustive run whose state and decision counts are exact, so CI
+// can detect both a changed workload (counts drift) and a slowed nil-sink
+// fast path (the timing half lives in TestSinkOverheadGuard, which compares
+// the nil-sink run against an attached counting sink in-process — wall-clock
+// numbers cannot live in a byte-synced artifact).
+type SimBenchBaseline struct {
+	Program   string `json:"program"`
+	N         int    `json:"n"`
+	MaxStates int    `json:"max_states"`
+	MaxDepth  int    `json:"max_depth"`
+	// States and Decisions are the exact exploration counts of the workload.
+	States    int `json:"states"`
+	Decisions int `json:"decisions"`
+	// MaxSinkOverheadPct is the regression budget the guard enforces.
+	MaxSinkOverheadPct float64 `json:"max_sink_overhead_pct"`
+}
+
 // BenchAnalysis is the tracked BENCH_analysis.json artifact: the static
 // analyzer's measured value as a state-space reducer across the whole VM
-// program registry.
+// program registry, plus the sink-overhead guard baseline.
 type BenchAnalysis struct {
 	// N is the default process count (size-fixed programs override it).
 	N int `json:"n"`
 	// MaxStates is the per-run exploration budget.
 	MaxStates int                  `json:"max_states"`
 	Programs  []BenchAnalysisEntry `json:"programs"`
+	// SimBench is the simulator benchmark baseline for the sink guard.
+	SimBench *SimBenchBaseline `json:"sim_bench,omitempty"`
+}
+
+// Fixed parameters of the sink-guard workload.
+const (
+	simBenchProgram   = "peterson"
+	simBenchN         = 2
+	simBenchMaxStates = 500000
+	simBenchMaxDepth  = 256
+)
+
+// SimBenchRun executes the sink-guard workload: an exhaustive check of the
+// fenced Peterson lock at N=2. The exploration is deterministic, so its
+// report counts must equal the committed SimBenchBaseline exactly.
+func SimBenchRun(ctx context.Context) (*ExhaustiveReport, error) {
+	return Exhaustive{
+		MaxStates:     simBenchMaxStates,
+		MaxDepth:      simBenchMaxDepth,
+		CollapseSpins: true,
+	}.Verify(ctx, tso.Config{N: simBenchN}, mutex.Build(mutex.NewPeterson))
 }
 
 // AnalysisBench runs the pruned-vs-unpruned comparison over every
@@ -85,6 +126,19 @@ func AnalysisBench(ctx context.Context, n, maxStates int) (*BenchAnalysis, error
 		out.Programs = append(out.Programs, ent)
 	}
 	sort.Slice(out.Programs, func(i, j int) bool { return out.Programs[i].Name < out.Programs[j].Name })
+	rep, err := SimBenchRun(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out.SimBench = &SimBenchBaseline{
+		Program:            simBenchProgram,
+		N:                  simBenchN,
+		MaxStates:          simBenchMaxStates,
+		MaxDepth:           simBenchMaxDepth,
+		States:             rep.States,
+		Decisions:          rep.Decisions,
+		MaxSinkOverheadPct: 5,
+	}
 	return out, nil
 }
 

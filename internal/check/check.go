@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"strconv"
 
+	"priceadaptive/internal/obsv"
 	"priceadaptive/internal/tso"
 )
 
@@ -59,6 +60,12 @@ type Exhaustive struct {
 	// Step of the crashed process. This verifies recoverable mutual
 	// exclusion under a bounded number of crashes.
 	MaxCrashes int
+	// Trace, when non-nil, records one phase span per deepening iteration
+	// (limit, states visited, pruned) on the decision timeline. Simulator
+	// events are never traced from inside the checker: backtracking rebuilds
+	// prefixes constantly, so a live sink would emit each event many times
+	// over (Verify strips any cfg.Sink for the same reason).
+	Trace *obsv.Tracer
 }
 
 // Verify explores schedules of the program built by build under cfg using
@@ -74,6 +81,9 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 	if e.MaxDepth <= 0 {
 		e.MaxDepth = 10000
 	}
+	// The checker replays schedule prefixes on every backtrack; a live sink
+	// would see each event once per rebuild, not once per execution.
+	cfg.Sink = nil
 	rep := &ExhaustiveReport{}
 	total := 0
 	// Deepen by 3/2 rather than doubling: DFS order changes drastically
@@ -92,6 +102,7 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 		if err != nil {
 			return nil, err
 		}
+		decisionsBefore := rep.Decisions
 		sim, err = it.dfs(sim, 0)
 		if sim != nil {
 			sim.Kill()
@@ -101,6 +112,16 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 		}
 		total += it.states
 		rep.States = total
+		if e.Trace != nil {
+			pruned := 0
+			if it.pruned {
+				pruned = 1
+			}
+			e.Trace.Phase(fmt.Sprintf("iterate limit=%d", limit),
+				decisionsBefore, rep.Decisions, map[string]int{
+					"limit": limit, "states": it.states, "pruned": pruned,
+				})
+		}
 		if rep.Violation != nil {
 			rep.Complete = false
 			return rep, nil

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/obsv"
+	"priceadaptive/internal/tso"
+)
+
+// sinkGuard opts the timing guard in; it measures wall-clock and is meant
+// for the dedicated CI bench-guard step, not ordinary test runs.
+var sinkGuard = flag.Bool("sink-guard", false, "run the sink-overhead regression guard (timed)")
+
+// simWorkload drives the fenced Peterson lock round-robin for many passages
+// with the given sink and returns the number of events executed.
+func simWorkload(tb testing.TB, sink obsv.Sink) int {
+	tb.Helper()
+	sim, err := tso.NewSimulator(
+		tso.Config{N: 2, Passages: 400, Sink: sink},
+		mutex.Build(mutex.NewPeterson))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer sim.Kill()
+	if _, err := tso.Run(sim, tso.NewRoundRobin(), 50_000_000); err != nil {
+		tb.Fatal(err)
+	}
+	return len(sim.Execution().Events)
+}
+
+// TestSinkOverheadGuard is the CI bench-guard: it re-runs the committed
+// SimBench workload and requires (a) exploration counts identical to
+// BENCH_analysis.json — the workload has not drifted — and (b) the nil-sink
+// simulator loop to be no slower than the same loop with a counting sink
+// attached, within the committed overhead budget. (b) is the property the
+// nil fast path exists for: if the emit path ever does work before checking
+// for nil — converting the event, say — nil-sink time rises toward sink
+// time and the guard trips.
+func TestSinkOverheadGuard(t *testing.T) {
+	if !*sinkGuard {
+		t.Skip("pass -sink-guard to run the timed sink-overhead guard")
+	}
+	data, err := os.ReadFile("../../BENCH_analysis.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline BenchAnalysis
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.SimBench == nil {
+		t.Fatal("BENCH_analysis.json has no sim_bench baseline; regenerate with -update-bench")
+	}
+
+	rep, err := SimBenchRun(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States != baseline.SimBench.States || rep.Decisions != baseline.SimBench.Decisions {
+		t.Fatalf("sim bench workload drifted: states=%d decisions=%d, baseline states=%d decisions=%d (regenerate with -update-bench)",
+			rep.States, rep.Decisions, baseline.SimBench.States, baseline.SimBench.Decisions)
+	}
+
+	best := func(sink obsv.Sink) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			simWorkload(t, sink)
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	// Warm up once, then take best-of-5 for each configuration.
+	simWorkload(t, nil)
+	nilT := best(nil)
+	cnt := &obsv.CountSink{}
+	sinkT := best(cnt)
+	budget := 1 + baseline.SimBench.MaxSinkOverheadPct/100
+	t.Logf("nil-sink %v, count-sink %v (budget %.0f%%)", nilT, sinkT, baseline.SimBench.MaxSinkOverheadPct)
+	if float64(nilT) > float64(sinkT)*budget {
+		t.Fatalf("nil-sink run (%v) slower than count-sink run (%v) beyond %.0f%% budget: nil fast path regressed",
+			nilT, sinkT, baseline.SimBench.MaxSinkOverheadPct)
+	}
+}
+
+// BenchmarkExhaustiveNilSink is the headline number the tentpole must not
+// regress: check.Exhaustive with tracing compiled in but no sink attached.
+func BenchmarkExhaustiveNilSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Exhaustive{MaxStates: 50000, MaxDepth: 40}.
+			Verify(context.Background(), tso.Config{N: 2}, mutex.Build(mutex.NewPetersonNoFences))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Violation == nil {
+			b.Fatal("expected violation")
+		}
+	}
+}
+
+// BenchmarkSimNilSink and BenchmarkSimCountSink isolate the sink branch on
+// the raw simulator loop; their delta is the dispatch cost per event.
+func BenchmarkSimNilSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		simWorkload(b, nil)
+	}
+}
+
+// BenchmarkSimCountSink measures the same loop with the cheapest live sink.
+func BenchmarkSimCountSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		simWorkload(b, &obsv.CountSink{})
+	}
+}

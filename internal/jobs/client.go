@@ -1,0 +1,232 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a typed client for the v1 HTTP API. Error responses decode into
+// *APIError, so callers branch on machine-readable codes instead of string
+// matching.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080"; the client
+	// appends /v1/... itself.
+	BaseURL string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a decoded v1 error envelope plus its HTTP status.
+type APIError struct {
+	StatusCode int
+	// Code, Message and RetryAfterS mirror the ErrorBody envelope.
+	Code        string
+	Message     string
+	RetryAfterS int
+}
+
+// Error renders the status, code and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("jobs: server returned %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the response into out (when non-nil).
+// Statuses outside okStatuses decode the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, okStatuses ...int) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	ok := false
+	for _, s := range okStatuses {
+		if resp.StatusCode == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		var envelope errorResponse
+		if jerr := json.Unmarshal(data, &envelope); jerr != nil || envelope.Error.Code == "" {
+			// Not an envelope (proxy error page, panic output): surface the
+			// raw body rather than hiding it.
+			return resp.StatusCode, &APIError{
+				StatusCode: resp.StatusCode,
+				Code:       "unknown",
+				Message:    strings.TrimSpace(string(data)),
+			}
+		}
+		return resp.StatusCode, &APIError{
+			StatusCode:  resp.StatusCode,
+			Code:        envelope.Error.Code,
+			Message:     envelope.Error.Message,
+			RetryAfterS: envelope.Error.RetryAfterS,
+		}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("jobs: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a spec. All three success shapes — queued (202), cached
+// (200) and joined (409, the body still carries the job to poll) — return a
+// response, not an error.
+func (c *Client) Submit(ctx context.Context, spec Spec) (*SubmitResponse, error) {
+	var out SubmitResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out,
+		http.StatusAccepted, http.StatusOK, http.StatusConflict)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Get fetches one job's status (and result artifact, once done).
+func (c *Client) Get(ctx context.Context, id string) (*JobResponse, error) {
+	var out JobResponse
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List fetches job statuses, optionally filtered by kind and/or state.
+func (c *Client) List(ctx context.Context, kind string, state State) ([]Status, error) {
+	qs := url.Values{}
+	if kind != "" {
+		qs.Set("kind", kind)
+	}
+	if state != "" {
+		qs.Set("state", string(state))
+	}
+	path := "/v1/jobs"
+	if len(qs) > 0 {
+		path += "?" + qs.Encode()
+	}
+	var out ListResponse
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &out, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel cancels a job and returns its status after the cancel request.
+func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
+	var out JobResponse
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
+	if err != nil {
+		return Status{}, err
+	}
+	return out.Status, nil
+}
+
+// Wait polls Get every poll interval (default 50ms) until the job reaches a
+// terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		resp, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.State {
+		case StateDone, StateFailed, StateCancelled:
+			return resp, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health fetches the server's health verdict. A degraded server answers 503
+// but still returns a decoded Health (with OK false) and a nil error;
+// errors are reserved for transport or decoding failures.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out,
+		http.StatusOK, http.StatusServiceUnavailable)
+	if err != nil {
+		return Health{}, err
+	}
+	return out, nil
+}
+
+// Metrics fetches the JSON metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var out MetricsSnapshot
+	_, err := c.do(ctx, http.MethodGet, "/v1/metrics?format=json", nil, &out, http.StatusOK)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	return out, nil
+}
+
+// MetricsText fetches the Prometheus text exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}

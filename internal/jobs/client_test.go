@@ -1,0 +1,289 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/obsv"
+)
+
+// clientServer boots a queue with an "echo" kind behind a real HTTP server
+// and returns a typed client for it.
+func clientServer(t *testing.T, opts Options) (*Queue, *Client, chan struct{}) {
+	t.Helper()
+	q, _ := newTestQueue(t, t.TempDir(), opts)
+	release := make(chan struct{})
+	q.Register("echo", func(ctx context.Context, params json.RawMessage) (any, error) {
+		return map[string]string{"echo": string(params)}, nil
+	})
+	q.Register("block", func(ctx context.Context, params json.RawMessage) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	q.Start()
+	srv := httptest.NewServer(NewHandler(q))
+	t.Cleanup(srv.Close)
+	return q, NewClient(srv.URL), release
+}
+
+// TestClientSubmitWaitResult drives the full v1 round trip through the
+// typed client: submit, wait, read the artifact, then hit the cache.
+func TestClientSubmitWaitResult(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1})
+	defer q.Close()
+	defer close(release)
+	ctx := context.Background()
+
+	sub, err := c.Submit(ctx, Spec{Kind: "echo", Params: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Outcome != "queued" || sub.Cached {
+		t.Fatalf("submit outcome %q cached=%v, want queued", sub.Outcome, sub.Cached)
+	}
+	job, err := c.Wait(ctx, sub.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone {
+		t.Fatalf("state %s, want done", job.State)
+	}
+	if !strings.Contains(string(job.Result), `"echo"`) {
+		t.Fatalf("result %s missing echo payload", job.Result)
+	}
+
+	again, err := c.Submit(ctx, Spec{Kind: "echo", Params: json.RawMessage(`{"x":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Outcome != "cached" || !again.Cached {
+		t.Fatalf("resubmit outcome %q cached=%v, want cached", again.Outcome, again.Cached)
+	}
+
+	list, err := c.List(ctx, "echo", StateDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("list = %+v, want the one done echo job", list)
+	}
+}
+
+// TestClientErrorEnvelope asserts error responses decode into APIError with
+// machine-readable codes: unknown kind, not found, and saturation with its
+// retry hint.
+func TestClientErrorEnvelope(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1, MaxQueued: 1})
+	defer q.Close()
+	defer close(release)
+	ctx := context.Background()
+
+	_, err := c.Submit(ctx, Spec{Kind: "nosuch"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeUnknownKind || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: %v, want APIError{400 unknown_kind}", err)
+	}
+
+	if _, err := c.Get(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.Code != CodeNotFound {
+		t.Fatalf("missing job: %v, want APIError{not_found}", err)
+	}
+
+	// Fill the worker and the queue, then overflow.
+	first, err := c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, q, first.ID)
+	if _, err := c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":3}`)})
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeSaturated || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated: %v, want APIError{503 saturated}", err)
+	}
+	if apiErr.RetryAfterS <= 0 {
+		t.Fatalf("saturated envelope carries no retry_after_s: %+v", apiErr)
+	}
+}
+
+// TestClientJoinedNotError: a duplicate in-flight submission answers 409,
+// which the client surfaces as a joined outcome, not an error.
+func TestClientJoinedNotError(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1})
+	defer q.Close()
+	defer close(release)
+	ctx := context.Background()
+
+	first, err := c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, q, first.ID)
+	dup, err := c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Outcome != "joined" || dup.ID != first.ID {
+		t.Fatalf("duplicate submit: %+v, want joined %s", dup, first.ID)
+	}
+}
+
+// TestHealthzDegraded: /v1/healthz answers 200 while healthy and 503 with
+// the degradation reasons once a drain starts.
+func TestHealthzDegraded(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1})
+	defer q.Close()
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || len(h.Degraded) != 0 {
+		t.Fatalf("healthy queue reported %+v", h)
+	}
+
+	first, err := c.Submit(ctx, Spec{Kind: "block", Params: json.RawMessage(`{"j":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, q, first.ID)
+	drained := make(chan error, 1)
+	go func() { drained <- q.Drain(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !q.Saturated() {
+		if time.Now().After(deadline) {
+			t.Fatal("drain never marked the queue as shedding")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.OK {
+		t.Fatal("draining queue reported healthy")
+	}
+	found := false
+	for _, r := range h.Degraded {
+		if r == "draining" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded reasons %v missing \"draining\"", h.Degraded)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestV1MetricsPrometheus scrapes /v1/metrics after a couple of runs and
+// checks the exposition parses, carries the core pad_* families with the
+// right types, and has a well-formed latency histogram; the JSON view must
+// agree with the registry on the run count.
+func TestV1MetricsPrometheus(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1})
+	defer q.Close()
+	defer close(release)
+	ctx := context.Background()
+
+	for _, params := range []string{`{"x":1}`, `{"x":2}`} {
+		sub, err := c.Submit(ctx, Spec{Kind: "echo", Params: json.RawMessage(params)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Wait(ctx, sub.ID, time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := obsv.ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	for name, typ := range map[string]string{
+		"pad_jobs_submitted_total": "counter",
+		"pad_jobs_completed_total": "counter",
+		"pad_queue_depth":          "gauge",
+		"pad_workers":              "gauge",
+		"pad_job_duration_seconds": "histogram",
+	} {
+		if got := pm.Types[name]; got != typ {
+			t.Errorf("%s: type %q, want %q", name, got, typ)
+		}
+	}
+	if err := pm.CheckHistogram("pad_job_duration_seconds"); err != nil {
+		t.Errorf("latency histogram: %v", err)
+	}
+	if v, ok := pm.Value("pad_jobs_completed_total", nil); !ok || v != 2 {
+		t.Errorf("pad_jobs_completed_total = %v (ok=%v), want 2", v, ok)
+	}
+	if v, ok := pm.Value("pad_job_duration_seconds_count", map[string]string{"kind": "echo"}); !ok || v != 2 {
+		t.Errorf("echo histogram count = %v (ok=%v), want 2", v, ok)
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 2 || snap.Kinds["echo"].Runs != 2 {
+		t.Fatalf("JSON view disagrees with registry: completed=%d runs=%d", snap.Completed, snap.Kinds["echo"].Runs)
+	}
+}
+
+// TestLegacyAliasDeprecation: the unversioned routes answer identically to
+// v1 but advertise their deprecation and successor.
+func TestLegacyAliasDeprecation(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	q.Start()
+	defer q.Close()
+	h := NewHandler(q)
+
+	for _, path := range []string{"/jobs", "/healthz", "/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, w.Code)
+		}
+		if w.Header().Get("Deprecation") != "true" {
+			t.Errorf("GET %s: no Deprecation header", path)
+		}
+		if want := "</v1" + path + `>; rel="successor-version"`; w.Header().Get("Link") != want {
+			t.Errorf("GET %s: Link %q, want %q", path, w.Header().Get("Link"), want)
+		}
+	}
+	// The v1 copies carry no deprecation marker.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || w.Header().Get("Deprecation") != "" {
+		t.Fatalf("GET /v1/jobs: code %d, Deprecation %q", w.Code, w.Header().Get("Deprecation"))
+	}
+	// Legacy /metrics keeps serving the JSON snapshot.
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("legacy /metrics is not the JSON snapshot: %v", err)
+	}
+}

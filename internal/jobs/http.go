@@ -4,29 +4,89 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
-// retryAfterSeconds is the back-off hint sent with 503 responses.
-const retryAfterSeconds = "5"
+// retryAfterSec is the back-off hint sent with 503 responses, both as the
+// Retry-After header and as retry_after_s in the error envelope.
+const retryAfterSec = 5
 
-// NewHandler exposes a Queue over HTTP/JSON:
+// Machine-readable error codes carried in the v1 error envelope.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeUnknownKind      = "unknown_kind"
+	CodeSaturated        = "saturated"
+	CodeDraining         = "draining"
+	CodeStoreUnavailable = "store_unavailable"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+)
+
+// ErrorBody is the payload of every error response:
 //
-//	POST   /jobs       submit a Spec; 200 + status (cached=true) on a cache
-//	                   hit, 409 when an identical job is already queued or
-//	                   running (the duplicate joins it), 202 otherwise; 503
-//	                   + Retry-After when the queue is saturated, draining
-//	                   or the artifact-store circuit breaker is open
-//	GET    /jobs       list statuses; ?kind= and ?state= filter
-//	GET    /jobs/{id}  status, plus the result artifact once done
-//	DELETE /jobs/{id}  cancel (queued: immediate; running: via its context)
-//	GET    /healthz    liveness
-//	GET    /metrics    MetricsSnapshot (plain JSON, expvar-style)
+//	{"error":{"code":"saturated","message":"...","retry_after_s":5}}
+//
+// Code is machine-readable and stable; Message is human-readable and is not.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterS, when non-zero, tells the client the request may succeed
+	// after backing off this many seconds (mirrors the Retry-After header).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// NewHandler exposes a Queue over HTTP/JSON. The canonical API is versioned
+// under /v1/:
+//
+//	POST   /v1/jobs       submit a Spec; 200 + status (cached=true) on a
+//	                      cache hit, 409 when an identical job is already
+//	                      queued or running (the duplicate joins it), 202
+//	                      otherwise; 503 + Retry-After when the queue is
+//	                      saturated, draining or the artifact-store circuit
+//	                      breaker is open
+//	GET    /v1/jobs       list statuses; ?kind= and ?state= filter
+//	GET    /v1/jobs/{id}  status, plus the result artifact once done
+//	DELETE /v1/jobs/{id}  cancel (queued: immediate; running: via context)
+//	GET    /v1/healthz    liveness; 503 with the degradation reasons while
+//	                      the queue would shed a fresh submission
+//	GET    /v1/metrics    Prometheus text exposition (?format=json for the
+//	                      legacy MetricsSnapshot)
+//
+// Every error response carries the ErrorBody envelope. The unversioned
+// routes from the pre-v1 API remain as deprecated aliases: same handlers
+// (and for /metrics the legacy JSON payload), plus a "Deprecation: true"
+// header and a Link to the v1 successor.
 func NewHandler(q *Queue) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	registerRoutes(mux, q, "/v1", false)
+	registerRoutes(mux, q, "", true)
+	return mux
+}
+
+// registerRoutes installs one complete copy of the API under prefix.
+// Legacy copies advertise their deprecation and v1 successor on every
+// response.
+func registerRoutes(mux *http.ServeMux, q *Queue, prefix string, legacy bool) {
+	handle := func(method, path string, h http.HandlerFunc) {
+		if legacy {
+			inner := h
+			h = func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+				inner(w, r)
+			}
+		}
+		mux.HandleFunc(method+" "+prefix+path, h)
+	}
+
+	handle("POST", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, CodeInvalidRequest, err, 0)
 			return
 		}
 		st, outcome, err := q.Submit(spec)
@@ -34,11 +94,13 @@ func NewHandler(q *Queue) http.Handler {
 		case errors.Is(err, ErrSaturated), errors.Is(err, ErrClosed), errors.Is(err, ErrStoreUnavailable):
 			// Graceful degradation: shed load with an explicit back-off
 			// hint instead of queueing unboundedly or erroring opaquely.
-			w.Header().Set("Retry-After", retryAfterSeconds)
-			httpError(w, http.StatusServiceUnavailable, err)
+			httpError(w, http.StatusServiceUnavailable, submitCode(err), err, retryAfterSec)
+			return
+		case errors.Is(err, ErrUnknownKind):
+			httpError(w, http.StatusBadRequest, CodeUnknownKind, err, 0)
 			return
 		case err != nil:
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, http.StatusBadRequest, CodeInvalidRequest, err, 0)
 			return
 		}
 		code := http.StatusAccepted
@@ -51,21 +113,21 @@ func NewHandler(q *Queue) http.Handler {
 			// body still carries the job to poll.
 			code = http.StatusConflict
 		}
-		writeHTTPJSON(w, code, submitResponse{Status: st, Outcome: outcome.String(), Cached: outcome == SubmitCached})
+		writeHTTPJSON(w, code, SubmitResponse{Status: st, Outcome: outcome.String(), Cached: outcome == SubmitCached})
 	})
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs", func(w http.ResponseWriter, r *http.Request) {
 		kind := r.URL.Query().Get("kind")
 		state := State(r.URL.Query().Get("state"))
-		writeHTTPJSON(w, http.StatusOK, listResponse{Jobs: q.List(kind, state)})
+		writeHTTPJSON(w, http.StatusOK, ListResponse{Jobs: q.List(kind, state)})
 	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		st, err := q.Get(id)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, http.StatusNotFound, CodeNotFound, err, 0)
 			return
 		}
-		resp := jobResponse{Status: st}
+		resp := JobResponse{Status: st}
 		if st.State == StateDone {
 			if raw, err := q.Result(id); err == nil {
 				resp.Result = raw
@@ -73,30 +135,57 @@ func NewHandler(q *Queue) http.Handler {
 		}
 		writeHTTPJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		err := q.Cancel(id)
 		switch {
 		case errors.Is(err, ErrNotFound):
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, http.StatusNotFound, CodeNotFound, err, 0)
 			return
 		case err != nil:
-			httpError(w, http.StatusConflict, err)
+			httpError(w, http.StatusConflict, CodeConflict, err, 0)
 			return
 		}
 		st, _ := q.Get(id)
-		writeHTTPJSON(w, http.StatusOK, jobResponse{Status: st})
+		writeHTTPJSON(w, http.StatusOK, JobResponse{Status: st})
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeHTTPJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := q.Health()
+		code := http.StatusOK
+		if !h.OK {
+			// Degraded: a fresh submission would be shed right now. The body
+			// names the reasons so probes can tell draining from a sick disk.
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+		}
+		writeHTTPJSON(w, code, h)
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeHTTPJSON(w, http.StatusOK, q.Metrics())
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// The legacy alias keeps serving the JSON snapshot its clients
+		// expect; v1 serves Prometheus text unless JSON is asked for.
+		if legacy || r.URL.Query().Get("format") == "json" {
+			writeHTTPJSON(w, http.StatusOK, q.Metrics())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = q.WriteMetrics(w)
 	})
-	return mux
 }
 
-type submitResponse struct {
+// submitCode maps a load-shedding Submit error to its envelope code.
+func submitCode(err error) string {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return CodeSaturated
+	case errors.Is(err, ErrStoreUnavailable):
+		return CodeStoreUnavailable
+	default:
+		return CodeDraining
+	}
+}
+
+// SubmitResponse is the body of POST /v1/jobs.
+type SubmitResponse struct {
 	Status
 	// Outcome is the SubmitOutcome: queued, joined, cached or requeued.
 	Outcome string `json:"outcome"`
@@ -105,13 +194,15 @@ type submitResponse struct {
 	Cached bool `json:"cached"`
 }
 
-type jobResponse struct {
+// JobResponse is the body of GET and DELETE /v1/jobs/{id}.
+type JobResponse struct {
 	Status
 	// Result is the artifact, present once State == done.
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-type listResponse struct {
+// ListResponse is the body of GET /v1/jobs.
+type ListResponse struct {
 	Jobs []Status `json:"jobs"`
 }
 
@@ -123,6 +214,13 @@ func writeHTTPJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeHTTPJSON(w, code, map[string]string{"error": err.Error()})
+func httpError(w http.ResponseWriter, code int, apiCode string, err error, retryAfter int) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeHTTPJSON(w, code, errorResponse{Error: ErrorBody{
+		Code:        apiCode,
+		Message:     err.Error(),
+		RetryAfterS: retryAfter,
+	}})
 }

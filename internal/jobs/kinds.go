@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/analysis/absint"
@@ -33,10 +34,26 @@ const (
 // RegisterBuiltins installs the repository's job kinds on q: the experiment
 // runners, the bounded model checkers, and the static linter. Both
 // cmd/padserver and cmd/priceadaptive call this, so the server and the CLI
-// execute identical code paths.
+// execute identical code paths. The model checker is wrapped to feed its
+// exploration counts into the queue's observability registry.
 func RegisterBuiltins(q *Queue) {
+	reg := q.Observability()
+	states := reg.Counter("pad_check_states_total", "States explored by model-check jobs.")
+	decisions := reg.Counter("pad_check_decisions_total", "Scheduling decisions explored by model-check jobs.")
+	rate := reg.Gauge("pad_check_states_per_second", "Exploration rate of the most recent model-check job.")
 	q.Register(KindExperiment, runExperiment)
-	q.Register(KindModelCheck, runModelCheck)
+	q.Register(KindModelCheck, func(ctx context.Context, params json.RawMessage) (any, error) {
+		start := time.Now()
+		res, err := runModelCheck(ctx, params)
+		if mc, ok := res.(*ModelCheckResult); ok && err == nil {
+			states.Add(float64(mc.States))
+			decisions.Add(float64(mc.Decisions))
+			if d := time.Since(start).Seconds(); d > 0 {
+				rate.Set(float64(mc.States) / d)
+			}
+		}
+		return res, err
+	})
 	q.Register(KindLint, runLint)
 }
 

@@ -3,50 +3,102 @@ package jobs
 import (
 	"sync"
 	"time"
+
+	"priceadaptive/internal/obsv"
 )
 
-// metrics accumulates queue-level counters. All fields are guarded by mu;
-// snapshots are cheap (the maps are tiny: one entry per job kind).
+// metrics backs the queue's instrumentation with an obsv.Registry. The
+// registry is the source of truth — every counter lives there under a pad_*
+// name — and MetricsSnapshot is derived from it at snapshot time, so the
+// legacy JSON view and the Prometheus text exposition can never disagree.
+// Queues default to a private registry; WithMetrics shares one (padserver
+// passes obsv.Default() so queue metrics join the process-wide scrape).
 type metrics struct {
-	mu        sync.Mutex
-	started   time.Time
-	submitted int64
-	deduped   int64
-	cacheHits int64
-	requeued  int64
-	completed int64
-	failed    int64
-	cancelled int64
-	retries   int64
-	panics    int64
-	saturated int64
-	busy      time.Duration
-	perKind   map[string]*kindCounters
+	reg     *obsv.Registry
+	started time.Time
+
+	submitted *obsv.Counter
+	deduped   *obsv.Counter
+	cacheHits *obsv.Counter
+	requeued  *obsv.Counter
+	completed *obsv.Counter
+	failed    *obsv.Counter
+	cancelled *obsv.Counter
+	retries   *obsv.Counter
+	panics    *obsv.Counter
+	saturated *obsv.Counter
+	aborts    *obsv.Counter
+	busy      *obsv.Counter
+
+	// durations carries the per-kind run aggregates: Count is runs, Sum is
+	// total run seconds, so no separate per-kind run counter is needed.
+	durations *obsv.HistogramVec
+	failures  *obsv.CounterVec
+	faults    *obsv.CounterVec
+
+	mu    sync.Mutex
+	kinds map[string]bool // kind label values handed out, for snapshot iteration
 }
 
-type kindCounters struct {
-	runs     int64
-	failures int64
-	total    time.Duration
-}
-
-func newMetrics() *metrics {
-	return &metrics{started: time.Now(), perKind: make(map[string]*kindCounters)}
-}
-
-func (m *metrics) kind(kind string) *kindCounters {
-	kc := m.perKind[kind]
-	if kc == nil {
-		kc = &kindCounters{}
-		m.perKind[kind] = kc
+func newMetrics(reg *obsv.Registry) *metrics {
+	if reg == nil {
+		reg = obsv.NewRegistry()
 	}
-	return kc
+	m := &metrics{reg: reg, started: time.Now(), kinds: make(map[string]bool)}
+	m.submitted = reg.Counter("pad_jobs_submitted_total", "Accepted job submissions.")
+	m.deduped = reg.Counter("pad_jobs_deduped_total", "Submissions that joined an already queued or running job.")
+	m.cacheHits = reg.Counter("pad_jobs_cache_hits_total", "Submissions served from the artifact cache without running.")
+	m.requeued = reg.Counter("pad_jobs_requeued_total", "Jobs re-queued by crash recovery.")
+	m.completed = reg.Counter("pad_jobs_completed_total", "Jobs that reached the done state.")
+	m.failed = reg.Counter("pad_jobs_failed_total", "Jobs that reached the failed state.")
+	m.cancelled = reg.Counter("pad_jobs_cancelled_total", "Jobs that reached the cancelled state.")
+	m.retries = reg.Counter("pad_jobs_retries_total", "Failed attempts re-queued by the retry policy.")
+	m.panics = reg.Counter("pad_jobs_panics_total", "Runner panics contained by the worker pool.")
+	m.saturated = reg.Counter("pad_jobs_saturated_total", "Submissions shed at the MaxQueued bound.")
+	m.aborts = reg.Counter("pad_queue_aborts_total", "Hard queue aborts (simulated crash-stop kills).")
+	m.busy = reg.Counter("pad_worker_busy_seconds_total", "Wall-clock seconds workers spent executing jobs.")
+	m.durations = reg.HistogramVec("pad_job_duration_seconds", "Job run latency by kind.", nil, "kind")
+	m.failures = reg.CounterVec("pad_job_failures_total", "Failed job runs by kind.", "kind")
+	m.faults = reg.CounterVec("pad_fault_injections_total", "Faults delivered by the injector, by site and fault kind.", "site", "kind")
+	return m
 }
 
-func (m *metrics) add(f func(*metrics)) {
+// registerQueueGauges installs scrape-time gauges over the queue's live
+// state. Called once from New, after the breaker exists.
+func (m *metrics) registerQueueGauges(q *Queue) {
+	m.reg.GaugeFunc("pad_uptime_seconds", "Seconds since the queue started.",
+		func() float64 { return time.Since(m.started).Seconds() })
+	m.reg.GaugeFunc("pad_workers", "Worker pool size.",
+		func() float64 { return float64(q.opts.Workers) })
+	m.reg.GaugeFunc("pad_queue_depth", "Queued (not yet running) jobs.",
+		func() float64 { return float64(q.Depth()) })
+	m.reg.GaugeFunc("pad_jobs_running", "Jobs currently executing.",
+		func() float64 {
+			q.mu.Lock()
+			defer q.mu.Unlock()
+			return float64(q.running)
+		})
+	m.reg.GaugeFunc("pad_breaker_open", "1 while the artifact-store circuit breaker is open.",
+		func() float64 {
+			if q.brk.isOpen() {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("pad_breaker_trips", "Artifact-store circuit-breaker openings.",
+		func() float64 { return float64(q.brk.tripCount()) })
+}
+
+// observeRun records one completed worker execution.
+func (m *metrics) observeRun(kind string, dur time.Duration, failed bool) {
+	m.busy.Add(dur.Seconds())
+	m.durations.With(kind).Observe(dur.Seconds())
+	if failed {
+		m.failures.With(kind).Inc()
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	f(m)
+	m.kinds[kind] = true
+	m.mu.Unlock()
 }
 
 // KindMetrics is the per-kind slice of a metrics snapshot.
@@ -60,7 +112,8 @@ type KindMetrics struct {
 	MeanDurationMS  float64 `json:"mean_duration_ms"`
 }
 
-// MetricsSnapshot is the plain-JSON payload served at GET /metrics.
+// MetricsSnapshot is the plain-JSON metrics payload: the legacy view over
+// the registry, served at GET /metrics and GET /v1/metrics?format=json.
 type MetricsSnapshot struct {
 	// UptimeSec is seconds since the queue started.
 	UptimeSec float64 `json:"uptime_sec"`
@@ -101,42 +154,47 @@ type MetricsSnapshot struct {
 }
 
 func (m *metrics) snapshot(workers, depth, running int, breakerTrips int64, breakerOpen bool) MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	up := time.Since(m.started)
 	snap := MetricsSnapshot{
 		UptimeSec:    up.Seconds(),
 		Workers:      workers,
 		QueueDepth:   depth,
 		Running:      running,
-		Submitted:    m.submitted,
-		Deduped:      m.deduped,
-		CacheHits:    m.cacheHits,
-		Requeued:     m.requeued,
-		Completed:    m.completed,
-		Failed:       m.failed,
-		Cancelled:    m.cancelled,
-		Retries:      m.retries,
-		Panics:       m.panics,
-		Saturated:    m.saturated,
+		Submitted:    int64(m.submitted.Value()),
+		Deduped:      int64(m.deduped.Value()),
+		CacheHits:    int64(m.cacheHits.Value()),
+		Requeued:     int64(m.requeued.Value()),
+		Completed:    int64(m.completed.Value()),
+		Failed:       int64(m.failed.Value()),
+		Cancelled:    int64(m.cancelled.Value()),
+		Retries:      int64(m.retries.Value()),
+		Panics:       int64(m.panics.Value()),
+		Saturated:    int64(m.saturated.Value()),
 		BreakerTrips: breakerTrips,
 		BreakerOpen:  breakerOpen,
-		Kinds:        make(map[string]KindMetrics, len(m.perKind)),
 	}
-	if m.submitted > 0 {
-		snap.CacheHitRate = float64(m.cacheHits) / float64(m.submitted)
+	if snap.Submitted > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits) / float64(snap.Submitted)
 	}
 	if avail := up.Seconds() * float64(workers); avail > 0 {
-		snap.WorkerUtilization = m.busy.Seconds() / avail
+		snap.WorkerUtilization = m.busy.Value() / avail
 	}
-	for kind, kc := range m.perKind {
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.kinds))
+	for k := range m.kinds {
+		kinds = append(kinds, k)
+	}
+	m.mu.Unlock()
+	snap.Kinds = make(map[string]KindMetrics, len(kinds))
+	for _, kind := range kinds {
+		h := m.durations.With(kind)
 		km := KindMetrics{
-			Runs:            kc.runs,
-			Failures:        kc.failures,
-			TotalDurationMS: float64(kc.total.Milliseconds()),
+			Runs:            int64(h.Count()),
+			Failures:        int64(m.failures.With(kind).Value()),
+			TotalDurationMS: h.Sum() * 1000,
 		}
-		if kc.runs > 0 {
-			km.MeanDurationMS = km.TotalDurationMS / float64(kc.runs)
+		if km.Runs > 0 {
+			km.MeanDurationMS = km.TotalDurationMS / float64(km.Runs)
 		}
 		snap.Kinds[kind] = km
 	}

@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"time"
+
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/obsv"
+)
+
+// Option configures a Queue at construction. Options compose left to right;
+// later options override earlier ones.
+type Option func(*Options)
+
+// WithWorkers sets the worker-pool size (0 means GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithDefaultTimeout bounds jobs whose spec carries no timeout.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(o *Options) { o.DefaultTimeout = d }
+}
+
+// WithMaxQueued bounds the number of waiting jobs; further fresh
+// submissions fail with ErrSaturated.
+func WithMaxQueued(n int) Option {
+	return func(o *Options) { o.MaxQueued = n }
+}
+
+// WithRetryPolicy sets the queue-wide retry policy.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(o *Options) { o.Retry = p }
+}
+
+// WithClock substitutes the clock driving retry backoff and the breaker
+// cooldown (tests use fault.Manual).
+func WithClock(c fault.Clock) Option {
+	return func(o *Options) { o.Clock = c }
+}
+
+// WithInjector installs a fault injector on the queue and its store.
+func WithInjector(inj fault.Injector) Option {
+	return func(o *Options) { o.Injector = inj }
+}
+
+// WithSeed seeds the queue's private randomness (retry jitter).
+func WithSeed(seed int64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// WithBreaker enables the artifact-store circuit breaker: threshold
+// consecutive write failures open the circuit until cooldown passes and a
+// probe succeeds.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(o *Options) {
+		o.BreakerThreshold = threshold
+		o.BreakerCooldown = cooldown
+	}
+}
+
+// WithMetrics backs the queue's instrumentation with the given registry
+// instead of a private one, so its metrics appear on a shared scrape
+// endpoint (padserver passes obsv.Default()).
+func WithMetrics(r *obsv.Registry) Option {
+	return func(o *Options) { o.Metrics = r }
+}
+
+// NewQueue creates a queue over store. Register kinds and call Recover
+// before Start. This is the canonical constructor; the positional New is a
+// deprecated shim over it.
+func NewQueue(store *Store, opts ...Option) *Queue {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return New(store, o)
+}

@@ -1,0 +1,51 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/obsv"
+)
+
+// TestNewQueueOptions: the functional constructor composes options onto the
+// same queue the positional form builds, and a shared registry is adopted
+// rather than a private one.
+func TestNewQueueOptions(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obsv.NewRegistry()
+	clock := fault.NewManual(time.Unix(0, 0))
+	q := NewQueue(store,
+		WithWorkers(3),
+		WithMaxQueued(7),
+		WithDefaultTimeout(time.Minute),
+		WithRetryPolicy(RetryPolicy{MaxAttempts: 4}),
+		WithClock(clock),
+		WithSeed(42),
+		WithBreaker(2, time.Second),
+		WithMetrics(reg),
+	)
+	defer q.Close()
+	if q.Workers() != 3 {
+		t.Fatalf("workers %d, want 3", q.Workers())
+	}
+	if q.opts.MaxQueued != 7 || q.opts.DefaultTimeout != time.Minute || q.opts.Retry.MaxAttempts != 4 {
+		t.Fatalf("options not applied: %+v", q.opts)
+	}
+	if q.opts.BreakerThreshold != 2 || q.brk == nil {
+		t.Fatal("breaker option not applied")
+	}
+	if q.clock != fault.Clock(clock) {
+		t.Fatal("clock option not applied")
+	}
+	if q.Observability() != reg {
+		t.Fatal("queue did not adopt the shared registry")
+	}
+	// The shared registry saw the queue's instruments.
+	if v := q.m.submitted.Value(); v != 0 {
+		t.Fatalf("fresh counter reads %v", v)
+	}
+}

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"priceadaptive/internal/fault"
+	"priceadaptive/internal/obsv"
 )
 
 // Runner executes one job kind. The returned value is marshaled to JSON and
@@ -26,6 +28,9 @@ var (
 	// ErrSaturated is returned by Submit when MaxQueued jobs are already
 	// waiting; the client should back off and retry.
 	ErrSaturated = errors.New("jobs: queue saturated")
+	// ErrUnknownKind is returned by Submit for a kind with no registered
+	// runner; the HTTP layer maps it to a 400 with code "unknown_kind".
+	ErrUnknownKind = errors.New("jobs: unknown kind")
 )
 
 // RetryPolicy bounds automatic re-execution of failed jobs. Attempts are
@@ -100,6 +105,10 @@ type Options struct {
 	BreakerThreshold int
 	// BreakerCooldown is the open-circuit hold-off (default 1s).
 	BreakerCooldown time.Duration
+	// Metrics is the observability registry backing the queue's pad_*
+	// instruments; nil means a private registry (Metrics/WriteMetrics still
+	// work, the instruments just do not appear on any shared scrape).
+	Metrics *obsv.Registry
 }
 
 // SubmitOutcome says what a Submit call actually did.
@@ -185,6 +194,9 @@ type job struct {
 
 // New creates a queue over store. Register kinds and call Recover before
 // Start.
+//
+// Deprecated: use NewQueue with functional options; this positional form is
+// kept for existing callers and tests.
 func New(store *Store, opts Options) *Queue {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -195,15 +207,19 @@ func New(store *Store, opts Options) *Queue {
 	if opts.Injector == nil {
 		opts.Injector = fault.Nop{}
 	}
-	store.SetInjector(opts.Injector)
+	m := newMetrics(opts.Metrics)
+	// Every injector is wrapped so delivered faults count on
+	// pad_fault_injections_total, at the store's sites and the worker's.
+	inj := countingInjector{inner: opts.Injector, faults: m.faults}
+	store.SetInjector(inj)
 	ctx, cancel := context.WithCancel(context.Background())   // nosleep:allow queue-lifetime root, cancelled in Close
 	rctx, rcancel := context.WithCancel(context.Background()) // nosleep:allow retry-timer root, cancelled in Close
 	q := &Queue{
 		store:       store,
 		opts:        opts,
-		m:           newMetrics(),
+		m:           m,
 		clock:       opts.Clock,
-		inj:         opts.Injector,
+		inj:         inj,
 		src:         fault.NewSource(opts.Seed),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
@@ -221,7 +237,23 @@ func New(store *Store, opts Options) *Queue {
 		q.brk = newBreaker(opts.Clock, opts.BreakerThreshold, cooldown)
 	}
 	q.cond = sync.NewCond(&q.mu)
+	q.m.registerQueueGauges(q)
 	return q
+}
+
+// countingInjector counts every delivered fault on the queue's registry
+// before passing it through.
+type countingInjector struct {
+	inner  fault.Injector
+	faults *obsv.CounterVec
+}
+
+func (ci countingInjector) Fault(site string) *fault.Fault {
+	f := ci.inner.Fault(site)
+	if f != nil {
+		ci.faults.With(site, f.Kind.String()).Inc()
+	}
+	return f
 }
 
 // Workers returns the pool size.
@@ -288,7 +320,7 @@ func (q *Queue) Recover() (requeued int, err error) {
 			}
 			q.fifo = append(q.fifo, e.ID)
 			requeued++
-			q.m.add(func(m *metrics) { m.requeued++ })
+			q.m.requeued.Inc()
 		default:
 			close(j.done)
 		}
@@ -368,6 +400,7 @@ func (q *Queue) Abort() {
 // crash is Abort's internal name, kept so the harness and tests read as
 // "kill the process model here".
 func (q *Queue) crash() {
+	q.m.aborts.Inc()
 	q.mu.Lock()
 	q.closed = true
 	q.crashed = true
@@ -395,13 +428,13 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 		return Status{}, SubmitQueued, ErrClosed
 	}
 	if q.kinds[spec.Kind] == nil {
-		return Status{}, SubmitQueued, fmt.Errorf("jobs: unknown kind %q", spec.Kind)
+		return Status{}, SubmitQueued, fmt.Errorf("%w %q", ErrUnknownKind, spec.Kind)
 	}
-	q.m.add(func(m *metrics) { m.submitted++ })
+	q.m.submitted.Inc()
 	if j, ok := q.jobs[id]; ok {
 		switch j.status.State {
 		case StateDone:
-			q.m.add(func(m *metrics) { m.cacheHits++ })
+			q.m.cacheHits.Inc()
 			return j.status, SubmitCached, nil
 		case StateFailed, StateCancelled:
 			if err := q.admit(); err != nil {
@@ -418,7 +451,7 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 			q.cond.Signal()
 			return j.status, SubmitRequeued, nil
 		default:
-			q.m.add(func(m *metrics) { m.deduped++ })
+			q.m.deduped.Inc()
 			return j.status, SubmitJoined, nil
 		}
 	}
@@ -455,7 +488,7 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 // admit enforces the MaxQueued bound and the breaker. Caller holds mu.
 func (q *Queue) admit() error {
 	if q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued {
-		q.m.add(func(m *metrics) { m.saturated++ })
+		q.m.saturated.Inc()
 		return ErrSaturated
 	}
 	return nil
@@ -546,7 +579,7 @@ func (q *Queue) Cancel(id string) error {
 			return err
 		}
 		close(j.done)
-		q.m.add(func(m *metrics) { m.cancelled++ })
+		q.m.cancelled.Inc()
 		return nil
 	case StateRunning:
 		j.cancelRequested = true
@@ -604,12 +637,53 @@ func (q *Queue) VerifyArtifacts() (IntegrityReport, error) {
 	return q.store.VerifyArtifacts()
 }
 
-// Metrics snapshots the queue's counters.
+// Metrics snapshots the queue's counters (the legacy JSON view over the
+// observability registry).
 func (q *Queue) Metrics() MetricsSnapshot {
 	q.mu.Lock()
 	depth, running := len(q.fifo), q.running
 	q.mu.Unlock()
 	return q.m.snapshot(q.opts.Workers, depth, running, q.brk.tripCount(), q.brk.isOpen())
+}
+
+// Observability returns the registry backing the queue's instruments, so
+// callers can hang additional metrics off the same scrape endpoint.
+func (q *Queue) Observability() *obsv.Registry { return q.m.reg }
+
+// WriteMetrics renders the queue's registry in Prometheus text exposition
+// format.
+func (q *Queue) WriteMetrics(w io.Writer) error { return q.m.reg.WritePrometheus(w) }
+
+// Health is the queue's liveness verdict: OK, or the list of reasons the
+// queue is currently degraded.
+type Health struct {
+	OK bool `json:"ok"`
+	// Degraded lists active degradation conditions, in a fixed order:
+	// "draining", "closed", "saturated", "breaker_open".
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// Health reports whether the queue would accept a fresh submission right
+// now, and why not if it would not.
+func (q *Queue) Health() Health {
+	q.mu.Lock()
+	closed, draining := q.closed, q.draining
+	full := q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued
+	q.mu.Unlock()
+	var reasons []string
+	if draining {
+		reasons = append(reasons, "draining")
+	}
+	if closed {
+		reasons = append(reasons, "closed")
+	}
+	if full {
+		reasons = append(reasons, "saturated")
+	}
+	if q.brk.isOpen() {
+		reasons = append(reasons, "breaker_open")
+	}
+	return Health{OK: len(reasons) == 0, Degraded: reasons}
 }
 
 // worker pulls jobs off the fifo until the queue closes. Jobs left in the
@@ -685,7 +759,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 func (q *Queue) execute(runner Runner, ctx context.Context, cancel context.CancelFunc, j *job) (res any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			q.m.add(func(m *metrics) { m.panics++ })
+			q.m.panics.Inc()
 			err = fmt.Errorf("jobs: runner for %q panicked: %v", j.spec.Kind, r)
 		}
 	}()
@@ -755,11 +829,11 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 		j.status.Error = ""
 		j.status.ResultSum = sum
 		j.result = raw
-		q.m.add(func(m *metrics) { m.completed++ })
+		q.m.completed.Inc()
 	case cancelled:
 		j.status.State = StateCancelled
 		j.status.Error = err.Error()
-		q.m.add(func(m *metrics) { m.cancelled++ })
+		q.m.cancelled.Inc()
 	default:
 		policy := q.retryPolicy(j.spec.Kind)
 		if j.status.Attempts < policy.MaxAttempts && !q.closed && !q.draining {
@@ -767,23 +841,15 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 			retried = true
 			j.status.State = StateQueued
 			j.status.Error = err.Error()
-			q.m.add(func(m *metrics) { m.retries++ })
+			q.m.retries.Inc()
 			q.scheduleRetry(j.status.ID, policy.backoff(j.status.Attempts, q.src))
 		} else {
 			j.status.State = StateFailed
 			j.status.Error = err.Error()
-			q.m.add(func(m *metrics) { m.failed++ })
+			q.m.failed.Inc()
 		}
 	}
-	q.m.add(func(m *metrics) {
-		m.busy += dur
-		kc := m.kind(j.spec.Kind)
-		kc.runs++
-		kc.total += dur
-		if j.status.State == StateFailed {
-			kc.failures++
-		}
-	})
+	q.m.observeRun(j.spec.Kind, dur, j.status.State == StateFailed)
 	// Best-effort: a failed status write leaves the job running on disk,
 	// which a later Recover re-queues — safe either way.
 	werr := q.store.PutStatus(j.status.ID, j.status)

@@ -1,0 +1,127 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteChromeTrace serializes the trace in Chrome trace_event JSON (the
+// {"traceEvents":[...]} object form), loadable in chrome://tracing and
+// Perfetto. Logical sequence numbers become microsecond timestamps.
+//
+// Layout: pid 0 with one thread per process. Each passage attempt is a
+// complete ("X") event carrying fence/critical/event counts and any
+// annotations as args; fences are nested "X" events; crashes and recoveries
+// are instant ("i") events; adversary/checker phases render on a dedicated
+// "phases" thread. Output is deterministic for a given trace: events are
+// sorted by (thread, start, name) and args by key, so fixed-seed runs are
+// byte-stable (golden-tested in cmd/tsosim).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	procs, spans, fences, phases, instants, _ := t.snapshot()
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Thread metadata: one lane per process, plus a phases lane when used.
+	for _, p := range procs {
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"proc %d\"}}", p, p))
+	}
+	const phaseTid = 1000
+	if len(phases) > 0 {
+		emit(fmt.Sprintf("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"phases\"}}", phaseTid))
+	}
+
+	for _, p := range procs {
+		for _, sp := range spans[p] {
+			dur := sp.End - sp.Start
+			if dur < 1 {
+				dur = 1
+			}
+			args := map[string]int{
+				"events":   sp.Events,
+				"critical": sp.Critical,
+				"fences":   sp.Fences,
+			}
+			if sp.Crashed {
+				args["crashed"] = 1
+			}
+			for k, v := range sp.Annotations {
+				args[k] = v
+			}
+			emit(fmt.Sprintf("{\"ph\":\"X\",\"name\":%q,\"cat\":\"passage\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":%s}",
+				spanName(sp), p, sp.Start, dur, argsJSON(args)))
+		}
+	}
+
+	sort.Slice(fences, func(i, j int) bool {
+		if fences[i].Proc != fences[j].Proc {
+			return fences[i].Proc < fences[j].Proc
+		}
+		return fences[i].Start < fences[j].Start
+	})
+	for _, f := range fences {
+		dur := f.End - f.Start
+		if dur < 1 {
+			dur = 1
+		}
+		emit(fmt.Sprintf("{\"ph\":\"X\",\"name\":\"fence\",\"cat\":\"fence\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d}",
+			f.Proc, f.Start, dur))
+	}
+
+	sort.Slice(instants, func(i, j int) bool {
+		if instants[i].Proc != instants[j].Proc {
+			return instants[i].Proc < instants[j].Proc
+		}
+		if instants[i].Seq != instants[j].Seq {
+			return instants[i].Seq < instants[j].Seq
+		}
+		return instants[i].Name < instants[j].Name
+	})
+	for _, in := range instants {
+		emit(fmt.Sprintf("{\"ph\":\"i\",\"name\":%q,\"cat\":\"failure\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"s\":\"t\"}",
+			in.Name, in.Proc, in.Seq))
+	}
+
+	for _, ph := range phases {
+		dur := ph.End - ph.Start
+		if dur < 1 {
+			dur = 1
+		}
+		emit(fmt.Sprintf("{\"ph\":\"X\",\"name\":%q,\"cat\":\"phase\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"args\":%s}",
+			ph.Name, phaseTid, ph.Start, dur, argsJSON(ph.Args)))
+	}
+
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// argsJSON renders an int map as a JSON object with sorted keys, so output
+// is deterministic.
+func argsJSON(m map[string]int) string {
+	if len(m) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%q:%d", k, m[k])
+	}
+	return out + "}"
+}

@@ -1,0 +1,309 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format (see promtext.go). Registration is idempotent: asking
+// for an existing name with the same type and label names returns the
+// existing instrument, so packages can share a registry without
+// coordinating; a name collision with a different type or label set panics,
+// since scraping such a registry would be ill-formed.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric (of one type) and its labeled children.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []*child // insertion order; sorted at render time
+
+	gaugeFn func() float64 // GaugeFunc families only
+	buckets []float64      // histogram families only
+}
+
+// child is one (label-values) series of a family.
+type child struct {
+	labelValues []string
+
+	bits atomic.Uint64 // counter/gauge value as float64 bits
+
+	hmu    sync.Mutex // histogram state
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (c *child) add(v float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (c *child) set(v float64) { c.bits.Store(math.Float64bits(v)) }
+func (c *child) get() float64  { return math.Float64frombits(c.bits.Load()) }
+
+func (c *child) observe(v float64, buckets []float64) {
+	c.hmu.Lock()
+	for i, b := range buckets {
+		if v <= b {
+			c.counts[i]++
+		}
+	}
+	c.sum += v
+	c.count++
+	c.hmu.Unlock()
+}
+
+// lookup returns the family for name, creating it if absent, and panics on
+// a type or label-set mismatch with a previous registration.
+func (r *Registry) lookup(name, help, typ string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obsv: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor returns the series for the given label values, creating it if
+// absent. len(values) must equal len(f.labels).
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obsv: metric %q expects %d label value(s), got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), values...)}
+	if f.typ == typeHistogram {
+		c.counts = make([]uint64, len(f.buckets))
+	}
+	f.children[key] = c
+	f.order = append(f.order, c)
+	return c
+}
+
+func labelKey(values []string) string {
+	key := ""
+	for _, v := range values {
+		key += v + "\x00"
+	}
+	return key
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ c *child }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.c.add(1) }
+
+// Add adds v (must be >= 0; negative deltas are ignored).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.c.add(v)
+}
+
+// Value returns the current value (for tests and snapshots).
+func (c *Counter) Value() float64 { return c.c.get() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.c.set(v) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { g.c.add(v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.c.add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.c.add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.c.get() }
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	c       *child
+	buckets []float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) { h.c.observe(v, h.buckets) }
+
+// Sum and Count expose the running totals (for snapshots).
+func (h *Histogram) Sum() float64 { h.c.hmu.Lock(); defer h.c.hmu.Unlock(); return h.c.sum }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { h.c.hmu.Lock(); defer h.c.hmu.Unlock(); return h.c.count }
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the series for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{c: v.f.childFor(values)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the series for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{c: v.f.childFor(values)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{c: v.f.childFor(values), buckets: v.f.buckets}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.lookup(name, help, typeCounter, nil)
+	return &Counter{c: f.childFor(nil)}
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, typeCounter, labels)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.lookup(name, help, typeGauge, nil)
+	return &Gauge{c: f.childFor(nil)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, typeGauge, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time. A
+// second registration under the same name replaces the function (so reused
+// names in tests stay idempotent).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.lookup(name, help, typeGauge, nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// DefBuckets are the default histogram buckets, in seconds — the classic
+// Prometheus latency ladder.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram registers (or returns) an unlabeled histogram. A nil buckets
+// slice selects DefBuckets. Buckets must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.histFamily(name, help, buckets, nil)
+	return &Histogram{c: f.childFor(nil), buckets: f.buckets}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.histFamily(name, help, buckets, labels)}
+}
+
+func (r *Registry) histFamily(name, help string, buckets []float64, labels []string) *family {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obsv: histogram %q buckets not ascending", name))
+		}
+	}
+	f := r.lookup(name, help, typeHistogram, labels)
+	f.mu.Lock()
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	f.mu.Unlock()
+	return f
+}
+
+// sortedFamilies returns the families sorted by name, for rendering.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren returns a family's series sorted by label values.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	cs := append([]*child(nil), f.order...)
+	f.mu.Unlock()
+	sort.Slice(cs, func(i, j int) bool {
+		return labelKey(cs[i].labelValues) < labelKey(cs[j].labelValues)
+	})
+	return cs
+}

@@ -1,0 +1,135 @@
+// Package obsv is the repository's zero-dependency observability layer:
+// execution tracing for the TSO simulator and a Prometheus text-format
+// metrics registry. Every runtime component emits into it — the simulator
+// (internal/tso) streams events into a Sink, the lower-bound construction
+// (internal/adversary) and the model checker (internal/check) record phase
+// spans, and the job queue (internal/jobs) backs its counters, gauges and
+// latency histograms with a Registry that cmd/padserver serves at
+// /v1/metrics.
+//
+// The package deliberately imports nothing outside the standard library so
+// that every other package may depend on it without cycles, and the hot
+// emit path is a single nil check plus one interface call so that a nil
+// sink costs nothing in the simulator loop (benchmarked in internal/check).
+//
+// Tracing model: one span per passage attempt per process, opened by the
+// Enter (or Recover) transition and closed by Exit (or a crash). Spans carry
+// fence, critical-event and event counts accumulated from the stream, plus
+// arbitrary integer annotations (internal/rmr attaches per-model RMR counts
+// after a run). Traces export as Chrome trace_event JSON — loadable in
+// chrome://tracing or Perfetto — and as a compact text profile.
+//
+// Metric naming convention: every metric is prefixed pad_, uses base units
+// (seconds, bytes), and counters end in _total. See DESIGN.md section 9.
+package obsv
+
+// EventKind enumerates the simulator event classes a Sink receives. The
+// values mirror the operational model of internal/tso but are defined here
+// so the sink interface stays dependency-free.
+type EventKind uint8
+
+// Simulator event kinds.
+const (
+	// KEnter is the Enter transition: non-critical section -> entry.
+	KEnter EventKind = iota + 1
+	// KRead is a read (from buffer, cache, or shared memory).
+	KRead
+	// KWriteIssue buffers a write; it is not yet visible.
+	KWriteIssue
+	// KWriteCommit makes a buffered write visible.
+	KWriteCommit
+	// KBeginFence starts a fence (the buffer drains before it ends).
+	KBeginFence
+	// KEndFence completes a fence with an empty buffer.
+	KEndFence
+	// KCAS is a serializing compare-and-swap.
+	KCAS
+	// KCS is the critical-section transition.
+	KCS
+	// KExit is the Exit transition: the passage completed.
+	KExit
+	// KCrash is a crash-stop failure; volatile state is lost.
+	KCrash
+	// KRecover re-enters the interrupted passage after a crash.
+	KRecover
+)
+
+// String returns the mnemonic used in trace exports.
+func (k EventKind) String() string {
+	switch k {
+	case KEnter:
+		return "Enter"
+	case KRead:
+		return "Read"
+	case KWriteIssue:
+		return "WriteIssue"
+	case KWriteCommit:
+		return "Commit"
+	case KBeginFence:
+		return "BeginFence"
+	case KEndFence:
+		return "EndFence"
+	case KCAS:
+		return "CAS"
+	case KCS:
+		return "CS"
+	case KExit:
+		return "Exit"
+	case KCrash:
+		return "Crash"
+	case KRecover:
+		return "Recover"
+	default:
+		return "EventKind(?)"
+	}
+}
+
+// SimEvent is one simulator event as seen by a Sink. Timestamps are logical:
+// Seq is the event's position in the execution, which doubles as the
+// microsecond timestamp in Chrome trace exports.
+type SimEvent struct {
+	// Seq is the global sequence number (logical time).
+	Seq int
+	// Proc is the executing process, Passage its passage index.
+	Proc    int
+	Passage int
+	// Kind is the event class.
+	Kind EventKind
+	// Var is the variable index touched, or -1 for transition/fence events.
+	Var int
+	// Val is the value read, written, or stored.
+	Val uint64
+	// Critical, Fence, Remote and FromBuffer carry the paper's event
+	// classification (Definitions 2 and 3).
+	Critical   bool
+	Fence      bool
+	Remote     bool
+	FromBuffer bool
+}
+
+// Sink consumes a simulator event stream. Implementations must be cheap:
+// Emit sits on the simulator's hot path. A nil Sink disables emission
+// entirely (the producer checks for nil before calling).
+type Sink interface {
+	Emit(e SimEvent)
+}
+
+// CountSink counts events; it is the cheapest possible non-nil sink and is
+// used to benchmark the sink dispatch overhead.
+type CountSink struct {
+	// Events counts every emitted event.
+	Events int64
+}
+
+// Emit implements Sink.
+func (c *CountSink) Emit(SimEvent) { c.Events++ }
+
+// MultiSink fans one stream out to several sinks.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e SimEvent) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,219 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// play feeds a small two-process execution with a fence, a crash and a
+// recovery into the sink.
+func play(s Sink) {
+	seq := 0
+	emit := func(p, passage int, k EventKind, crit bool) {
+		seq++
+		s.Emit(SimEvent{Seq: seq, Proc: p, Passage: passage, Kind: k, Var: -1, Critical: crit})
+	}
+	emit(0, 0, KEnter, false)
+	emit(1, 0, KEnter, false)
+	emit(0, 0, KWriteIssue, false)
+	emit(0, 0, KBeginFence, true)
+	emit(0, 0, KWriteCommit, false)
+	emit(0, 0, KEndFence, false)
+	emit(1, 0, KRead, true)
+	emit(1, 0, KCrash, false)
+	emit(1, 0, KRecover, false)
+	emit(0, 0, KCS, false)
+	emit(0, 0, KExit, false)
+	emit(1, 0, KCS, false)
+	emit(1, 0, KExit, false)
+}
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	play(tr)
+
+	if got := tr.Procs(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("procs = %v", got)
+	}
+	p0 := tr.Spans(0)
+	if len(p0) != 1 {
+		t.Fatalf("proc 0 spans = %d", len(p0))
+	}
+	if !p0[0].Complete || p0[0].Crashed || p0[0].Fences != 1 || p0[0].Critical != 1 {
+		t.Errorf("proc 0 span: %+v", p0[0])
+	}
+	p1 := tr.Spans(1)
+	if len(p1) != 2 {
+		t.Fatalf("proc 1 spans = %d (want crashed attempt + recovery)", len(p1))
+	}
+	if !p1[0].Crashed || p1[0].Complete {
+		t.Errorf("proc 1 first attempt: %+v", p1[0])
+	}
+	if !p1[1].Recovery || !p1[1].Complete {
+		t.Errorf("proc 1 recovery: %+v", p1[1])
+	}
+
+	tr.Annotate(0, 0, "rmr_dsm", 3)
+	if p0 = tr.Spans(0); p0[0].Annotations["rmr_dsm"] != 3 {
+		t.Errorf("annotation lost: %+v", p0[0].Annotations)
+	}
+	// Out-of-range annotations are ignored, not panics.
+	tr.Annotate(0, 99, "x", 1)
+	tr.Annotate(7, 0, "x", 1)
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer()
+	play(tr)
+	tr.Annotate(0, 0, "rmr_dsm", 3)
+	tr.Phase("verify", 1, 13, map[string]int{"states": 42})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, instants, meta, phases int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] == "phase" {
+				phases++
+			} else if ev["cat"] == "passage" {
+				spans++
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 3 {
+		t.Errorf("passage spans = %d, want 3", spans)
+	}
+	if instants != 2 { // crash + recover
+		t.Errorf("instants = %d, want 2", instants)
+	}
+	if meta != 3 { // proc 0, proc 1, phases lane
+		t.Errorf("thread metadata = %d, want 3", meta)
+	}
+	if phases != 1 {
+		t.Errorf("phase spans = %d, want 1", phases)
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("trace export is not deterministic")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	tr := NewTracer()
+	play(tr)
+	tr.Annotate(0, 0, "rmr_dsm", 3)
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 proc(s)", "3 passage span(s)", "rmr_dsm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pad_test_total", "A counter.").Add(3)
+	r.Gauge("pad_depth", "A gauge.").Set(7)
+	cv := r.CounterVec("pad_faults_total", "Faults by site.", "site", "kind")
+	cv.With("write_status", "torn").Inc()
+	cv.With("write_status", "err").Add(2)
+	h := r.HistogramVec("pad_latency_seconds", "Latency.", []float64{0.1, 1, 10}, "kind")
+	h.With("experiment").Observe(0.05)
+	h.With("experiment").Observe(0.5)
+	h.With("experiment").Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if pm.Types["pad_test_total"] != "counter" || pm.Types["pad_latency_seconds"] != "histogram" {
+		t.Errorf("types: %v", pm.Types)
+	}
+	if v, ok := pm.Value("pad_test_total", nil); !ok || v != 3 {
+		t.Errorf("pad_test_total = %v, %v", v, ok)
+	}
+	if v, ok := pm.Value("pad_faults_total", map[string]string{"site": "write_status", "kind": "err"}); !ok || v != 2 {
+		t.Errorf("labeled counter = %v, %v", v, ok)
+	}
+	if err := pm.CheckHistogram("pad_latency_seconds"); err != nil {
+		t.Errorf("histogram check: %v", err)
+	}
+	if v, ok := pm.Value("pad_latency_seconds_count", map[string]string{"kind": "experiment"}); !ok || v != 3 {
+		t.Errorf("histogram count = %v, %v", v, ok)
+	}
+	if v, ok := pm.Value("pad_latency_seconds_bucket", map[string]string{"kind": "experiment", "le": "1"}); !ok || v != 2 {
+		t.Errorf("le=1 bucket = %v, %v (cumulative expected)", v, ok)
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("pad_x_total", "x")
+	c2 := r.Counter("pad_x_total", "x")
+	c1.Inc()
+	c2.Inc()
+	if c1.Value() != 2 {
+		t.Errorf("re-registration did not share state: %v", c1.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("pad_x_total", "now a gauge")
+}
+
+func TestGaugeFuncAndRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	RegisterBuildInfo(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pm.ByName("pad_goroutines"); len(s) != 1 || s[0].Value < 1 {
+		t.Errorf("pad_goroutines: %+v", s)
+	}
+	if s := pm.ByName("pad_build_info"); len(s) != 1 || s[0].Value != 1 || s[0].Labels["go_version"] == "" {
+		t.Errorf("pad_build_info: %+v", s)
+	}
+}
+
+func TestCountAndMultiSink(t *testing.T) {
+	var a, b CountSink
+	play(MultiSink{&a, &b})
+	if a.Events != 13 || b.Events != 13 {
+		t.Errorf("counts = %d, %d", a.Events, b.Events)
+	}
+}

@@ -1,0 +1,360 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): # HELP / # TYPE headers, families sorted by name, series
+// sorted by label values, histograms as cumulative _bucket series plus _sum
+// and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+
+		f.mu.Lock()
+		fn := f.gaugeFn
+		buckets := f.buckets
+		f.mu.Unlock()
+
+		if fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(fn()))
+			continue
+		}
+		for _, c := range f.sortedChildren() {
+			switch f.typ {
+			case typeCounter, typeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name,
+					labelString(f.labels, c.labelValues, "", 0), formatValue(c.get()))
+			case typeHistogram:
+				c.hmu.Lock()
+				for i, b := range buckets {
+					// counts are maintained cumulatively by observe.
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, c.labelValues, "le", b), c.counts[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "le", inf), c.count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name,
+					labelString(f.labels, c.labelValues, "", 0), formatValue(c.sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "", 0), c.count)
+				c.hmu.Unlock()
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// inf marks the +Inf bucket in labelString.
+var inf = func() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}()
+
+// labelString renders {k="v",...}, appending le when leName is non-empty.
+// Returns "" when there are no labels at all.
+func labelString(names, values []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(leName)
+		sb.WriteString(`="`)
+		sb.WriteString(formatLe(le))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatLe(v float64) string {
+	if v == inf {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal exposition-format parser, exported for tests (the ISSUE requires
+// /v1/metrics to be checked with an in-test parser: names, label sets,
+// histogram bucket monotonicity).
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedMetrics is the result of ParseText.
+type ParsedMetrics struct {
+	// Types maps family name -> declared TYPE.
+	Types map[string]string
+	// Samples lists every non-comment sample line in order.
+	Samples []Sample
+}
+
+// ByName returns the samples whose metric name equals name.
+func (p *ParsedMetrics) ByName(name string) []Sample {
+	var out []Sample
+	for _, s := range p.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the value of the unique sample matching name and labels and
+// whether it exists; labels must match exactly.
+func (p *ParsedMetrics) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range p.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// CheckHistogram verifies that name's _bucket series (grouped by their
+// non-le labels) have monotonically non-decreasing cumulative counts ending
+// in a +Inf bucket that equals the matching _count.
+func (p *ParsedMetrics) CheckHistogram(name string) error {
+	type bucket struct {
+		le  float64
+		inf bool
+		v   float64
+	}
+	groups := map[string][]bucket{}
+	groupLabels := map[string]map[string]string{}
+	for _, s := range p.Samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, ok := s.Labels["le"]
+		if !ok {
+			return fmt.Errorf("%s_bucket sample without le label", name)
+		}
+		rest := map[string]string{}
+		for k, v := range s.Labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := canonicalLabels(rest)
+		b := bucket{inf: le == "+Inf"}
+		if !b.inf {
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s_bucket: bad le %q: %v", name, le, err)
+			}
+			b.le = v
+		}
+		b.v = s.Value
+		groups[key] = append(groups[key], b)
+		groupLabels[key] = rest
+	}
+	if len(groups) == 0 {
+		return fmt.Errorf("histogram %s: no _bucket samples", name)
+	}
+	for key, bs := range groups {
+		sort.Slice(bs, func(i, j int) bool {
+			if bs[i].inf != bs[j].inf {
+				return !bs[i].inf
+			}
+			return bs[i].le < bs[j].le
+		})
+		if !bs[len(bs)-1].inf {
+			return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", name, key)
+		}
+		prev := -1.0
+		for _, b := range bs {
+			if b.v < prev {
+				return fmt.Errorf("histogram %s{%s}: bucket counts not monotone (%g after %g)",
+					name, key, b.v, prev)
+			}
+			prev = b.v
+		}
+		count, ok := p.Value(name+"_count", groupLabels[key])
+		if !ok {
+			return fmt.Errorf("histogram %s{%s}: missing _count", name, key)
+		}
+		if bs[len(bs)-1].v != count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != count %g",
+				name, key, bs[len(bs)-1].v, count)
+		}
+	}
+	return nil
+}
+
+func canonicalLabels(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseText parses Prometheus text exposition format. It understands the
+// subset WritePrometheus produces (plus arbitrary whitespace) — enough for
+// test assertions, not a general scraper.
+func ParseText(r io.Reader) (*ParsedMetrics, error) {
+	pm := &ParsedMetrics{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				pm.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		pm.Samples = append(pm.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pm, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value: %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	val := strings.TrimSpace(rest)
+	// A trailing timestamp (rare) would be a second field; take the first.
+	if i := strings.IndexAny(val, " \t"); i >= 0 {
+		val = val[:i]
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", val, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, out map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.Index(body[i:], "=")
+		if eq < 0 {
+			return fmt.Errorf("bad label pair in %q", body)
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("label %s: expected quoted value", name)
+		}
+		i++
+		var sb strings.Builder
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					sb.WriteByte('\n')
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				default:
+					sb.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		out[name] = sb.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package obsv
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide registry. Components that want their
+// metrics scraped without explicit wiring (cmd/tsosim counters, the
+// built-in job kinds) register here; padserver serves it at /v1/metrics.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+// RegisterProcessMetrics adds goroutine and heap gauges, computed at scrape
+// time from the Go runtime.
+func RegisterProcessMetrics(r *Registry) {
+	r.GaugeFunc("pad_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("pad_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("pad_heap_objects", "Number of allocated heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
+}
+
+// RegisterBuildInfo adds pad_build_info, a constant gauge whose labels
+// carry the Go version and main-module version from the embedded build info.
+func RegisterBuildInfo(r *Registry) {
+	goVersion := runtime.Version()
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.GaugeVec("pad_build_info",
+		"Build information; the value is always 1.",
+		"go_version", "version").With(goVersion, version).Set(1)
+}

@@ -1,0 +1,87 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteSummary renders the compact text profile (tsosim -trace-summary):
+// per-process passage/fence/critical-event totals and, when spans carry RMR
+// annotations, a per-model RMR breakdown.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	procs, spans, _, phases, _, maxSeq := t.snapshot()
+
+	totalSpans, totalEvents := 0, 0
+	annKeys := map[string]bool{}
+	for _, p := range procs {
+		for _, sp := range spans[p] {
+			totalSpans++
+			totalEvents += sp.Events
+			for k := range sp.Annotations {
+				annKeys[k] = true
+			}
+		}
+	}
+	fmt.Fprintf(w, "trace: %d proc(s), %d passage span(s), %d event(s), horizon %d\n",
+		len(procs), totalSpans, totalEvents, maxSeq)
+
+	keys := make([]string, 0, len(annKeys))
+	for k := range annKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	header := "proc  spans  complete  crashed  fences  critical  events"
+	for _, k := range keys {
+		header += fmt.Sprintf("  %s", k)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, p := range procs {
+		var complete, crashed, fences, critical, events int
+		ann := make(map[string]int)
+		for _, sp := range spans[p] {
+			if sp.Complete {
+				complete++
+			}
+			if sp.Crashed {
+				crashed++
+			}
+			fences += sp.Fences
+			critical += sp.Critical
+			events += sp.Events
+			for k, v := range sp.Annotations {
+				ann[k] += v
+			}
+		}
+		row := fmt.Sprintf("%4d  %5d  %8d  %7d  %6d  %8d  %6d",
+			p, len(spans[p]), complete, crashed, fences, critical, events)
+		for _, k := range keys {
+			row += fmt.Sprintf("  %*d", len(k), ann[k])
+		}
+		fmt.Fprintln(w, row)
+	}
+
+	if len(phases) > 0 {
+		fmt.Fprintln(w, "\nphases:")
+		for _, ph := range phases {
+			line := fmt.Sprintf("  %-24s [%d, %d]", ph.Name, ph.Start, ph.End)
+			if len(ph.Args) > 0 {
+				pk := make([]string, 0, len(ph.Args))
+				for k := range ph.Args {
+					pk = append(pk, k)
+				}
+				sort.Strings(pk)
+				parts := make([]string, len(pk))
+				for i, k := range pk {
+					parts[i] = fmt.Sprintf("%s=%d", k, ph.Args[k])
+				}
+				line += "  " + strings.Join(parts, " ")
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Span is one passage attempt by one process: it opens on Enter (or Recover)
+// and closes on Exit or a crash. Start/End are logical timestamps (event
+// sequence numbers). Annotations carry integer facts attached after the run,
+// keyed by name (internal/rmr writes rmr_dsm / rmr_ccwt / rmr_ccwb).
+type Span struct {
+	Proc    int
+	Passage int
+	Start   int
+	End     int
+	// Complete is true once Exit was observed; Crashed marks attempts that
+	// ended in a crash-stop failure (their recovery is a separate span).
+	Complete bool
+	Crashed  bool
+	// Events, Critical and Fences count the span's events by class.
+	Events   int
+	Critical int
+	Fences   int
+	// Recovery marks spans opened by a Recover transition rather than Enter.
+	Recovery bool
+	// Annotations holds named integer facts (e.g. per-model RMR counts).
+	Annotations map[string]int
+}
+
+// FenceSpan is one fence interval inside a passage: BeginFence to EndFence.
+type FenceSpan struct {
+	Proc       int
+	Start, End int
+}
+
+// PhaseSpan is a coarse span recorded by non-simulator components — the
+// adversary's construction phases and the model checker's deepening
+// iterations. Args carry named integer facts shown in the trace viewer.
+type PhaseSpan struct {
+	Name       string
+	Start, End int
+	Args       map[string]int
+}
+
+// Instant is a point event (crash, recover) shown as a trace instant.
+type Instant struct {
+	Proc int
+	Seq  int
+	Name string
+}
+
+// Tracer is a Sink that assembles the event stream into spans. It is safe
+// for concurrent Emit calls (the simulator emits from per-process
+// goroutines serialized by the scheduler, but replays and tests may not be).
+type Tracer struct {
+	mu sync.Mutex
+	// spans[p] lists process p's passage attempts in emission order; crash
+	// retries of the same passage index are separate entries.
+	spans    map[int][]*Span
+	open     map[int]*Span
+	fences   []FenceSpan
+	openF    map[int]int
+	phases   []PhaseSpan
+	instants []Instant
+	events   int
+	maxSeq   int
+}
+
+// NewTracer returns an empty Tracer.
+func NewTracer() *Tracer {
+	return &Tracer{
+		spans: make(map[int][]*Span),
+		open:  make(map[int]*Span),
+		openF: make(map[int]int),
+	}
+}
+
+// Emit implements Sink.
+func (t *Tracer) Emit(e SimEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events++
+	if e.Seq > t.maxSeq {
+		t.maxSeq = e.Seq
+	}
+	switch e.Kind {
+	case KEnter, KRecover:
+		sp := &Span{
+			Proc:     e.Proc,
+			Passage:  e.Passage,
+			Start:    e.Seq,
+			End:      e.Seq,
+			Recovery: e.Kind == KRecover,
+		}
+		t.spans[e.Proc] = append(t.spans[e.Proc], sp)
+		t.open[e.Proc] = sp
+		if e.Kind == KRecover {
+			t.instants = append(t.instants, Instant{Proc: e.Proc, Seq: e.Seq, Name: "recover"})
+		}
+		t.count(sp, e)
+	case KCrash:
+		t.instants = append(t.instants, Instant{Proc: e.Proc, Seq: e.Seq, Name: "crash"})
+		if sp := t.open[e.Proc]; sp != nil {
+			sp.End = e.Seq
+			sp.Crashed = true
+			t.count(sp, e)
+			delete(t.open, e.Proc)
+		}
+		delete(t.openF, e.Proc)
+	case KExit:
+		if sp := t.open[e.Proc]; sp != nil {
+			sp.End = e.Seq
+			sp.Complete = true
+			t.count(sp, e)
+			delete(t.open, e.Proc)
+		}
+	case KBeginFence:
+		t.openF[e.Proc] = e.Seq
+		if sp := t.open[e.Proc]; sp != nil {
+			sp.Fences++
+			t.count(sp, e)
+		}
+	case KEndFence:
+		if start, ok := t.openF[e.Proc]; ok {
+			t.fences = append(t.fences, FenceSpan{Proc: e.Proc, Start: start, End: e.Seq})
+			delete(t.openF, e.Proc)
+		}
+		if sp := t.open[e.Proc]; sp != nil {
+			t.count(sp, e)
+		}
+	default:
+		if sp := t.open[e.Proc]; sp != nil {
+			sp.End = e.Seq
+			t.count(sp, e)
+		}
+	}
+}
+
+func (t *Tracer) count(sp *Span, e SimEvent) {
+	sp.Events++
+	if e.Critical {
+		sp.Critical++
+	}
+	if e.Seq > sp.End {
+		sp.End = e.Seq
+	}
+}
+
+// Annotate attaches a named integer fact to process p's attempt-th span
+// (emission order, 0-based). It is a no-op if the span does not exist.
+func (t *Tracer) Annotate(p, attempt int, key string, val int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sps := t.spans[p]
+	if attempt < 0 || attempt >= len(sps) {
+		return
+	}
+	sp := sps[attempt]
+	if sp.Annotations == nil {
+		sp.Annotations = make(map[string]int)
+	}
+	sp.Annotations[key] = val
+}
+
+// Phase records a coarse named span (adversary phase, checker iteration).
+func (t *Tracer) Phase(name string, start, end int, args map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.phases = append(t.phases, PhaseSpan{Name: name, Start: start, End: end, Args: args})
+	if end > t.maxSeq {
+		t.maxSeq = end
+	}
+}
+
+// Spans returns process p's spans in emission order.
+func (t *Tracer) Spans(p int) []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans[p]...)
+}
+
+// Procs returns the traced process ids, sorted.
+func (t *Tracer) Procs() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := make([]int, 0, len(t.spans))
+	for p := range t.spans {
+		ps = append(ps, p)
+	}
+	sort.Ints(ps)
+	return ps
+}
+
+// Events returns the total number of events consumed.
+func (t *Tracer) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// snapshot returns a consistent copy of the tracer state for exporters.
+func (t *Tracer) snapshot() (procs []int, spans map[int][]*Span, fences []FenceSpan, phases []PhaseSpan, instants []Instant, maxSeq int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans = make(map[int][]*Span, len(t.spans))
+	for p, sps := range t.spans {
+		procs = append(procs, p)
+		spans[p] = append([]*Span(nil), sps...)
+	}
+	sort.Ints(procs)
+	return procs, spans, append([]FenceSpan(nil), t.fences...),
+		append([]PhaseSpan(nil), t.phases...),
+		append([]Instant(nil), t.instants...), t.maxSeq
+}
+
+// spanName labels a span in exports: "passage 2" or "passage 2 (recovery)".
+func spanName(sp *Span) string {
+	name := fmt.Sprintf("passage %d", sp.Passage)
+	if sp.Recovery {
+		name += " (recovery)"
+	}
+	return name
+}

@@ -1,0 +1,38 @@
+package rmr
+
+import "priceadaptive/internal/obsv"
+
+// annotationKey returns the span-annotation name for a cache model.
+func annotationKey(m CacheModel) string {
+	switch m {
+	case ModelDSM:
+		return "rmr_dsm"
+	case ModelCCWriteThrough:
+		return "rmr_ccwt"
+	case ModelCCWriteBack:
+		return "rmr_ccwb"
+	default:
+		return "rmr_unknown"
+	}
+}
+
+// AnnotateTrace writes each accountant's per-passage RMR counts onto the
+// tracer's spans. Both the accountant and the tracer append one entry per
+// Enter/Recover in emission order, so passage attempt i of process p in one
+// corresponds to attempt i in the other.
+func AnnotateTrace(tr *obsv.Tracer, accs ...*Accountant) {
+	if tr == nil {
+		return
+	}
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		key := annotationKey(a.model)
+		for p, ps := range a.passages {
+			for i, m := range ps {
+				tr.Annotate(int(p), i, key, m.RMRs)
+			}
+		}
+	}
+}

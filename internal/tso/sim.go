@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"priceadaptive/internal/obsv"
 )
 
 // Errors returned by the simulator's driving methods.
@@ -60,6 +62,10 @@ type Config struct {
 	AllowConcurrentCS bool
 	// Ordering selects TSO (default) or PSO write-visibility ordering.
 	Ordering Ordering
+	// Sink, when non-nil, receives every recorded event as it happens
+	// (execution tracing; see internal/obsv). Replays run with the sink
+	// stripped so reconstructed prefixes are not double-emitted.
+	Sink obsv.Sink
 }
 
 // Violation describes a detected breach of the exclusion property: two CS
@@ -101,6 +107,7 @@ type Simulator struct {
 	actCount  int
 	finished  map[ProcID]bool
 	observers []func(Event)
+	sink      obsv.Sink
 	violation *Violation
 
 	// panicErr records a panic from a program goroutine (read after the
@@ -130,6 +137,7 @@ func NewSimulator(cfg Config, build Build) (*Simulator, error) {
 		killCh:   make(chan struct{}),
 		finished: make(map[ProcID]bool),
 		panicErr: make(map[ProcID]string),
+		sink:     cfg.Sink,
 	}
 	s.procs = make([]*Proc, cfg.N)
 	for i := range s.procs {
@@ -662,6 +670,9 @@ func (s *Simulator) recordBare(p *Proc, ev Event) Event {
 	ev.P = p.id
 	ev.Passage = p.passage
 	s.exec.Events = append(s.exec.Events, ev)
+	if s.sink != nil {
+		s.sink.Emit(toSimEvent(ev))
+	}
 	for _, fn := range s.observers {
 		fn(ev)
 	}
@@ -683,6 +694,9 @@ func (s *Simulator) record(p *Proc, ev Event) Event {
 		if ev.Fence {
 			st.Fences++
 		}
+	}
+	if s.sink != nil {
+		s.sink.Emit(toSimEvent(ev))
 	}
 	for _, fn := range s.observers {
 		fn(ev)
@@ -819,7 +833,12 @@ func (s *Simulator) ReplayPrefix(banned map[ProcID]bool, upTo int) (*Simulator, 
 	if upTo < 0 || upTo > len(s.exec.Schedule) {
 		return nil, fmt.Errorf("tso: replay prefix %d out of range [0,%d]", upTo, len(s.exec.Schedule))
 	}
-	ns, err := NewSimulator(s.cfg, s.build)
+	// Replays reconstruct an already-traced prefix: run them without the
+	// sink so events are not emitted twice (use EmitExecution to trace a
+	// reconstructed execution explicitly).
+	cfg := s.cfg
+	cfg.Sink = nil
+	ns, err := NewSimulator(cfg, s.build)
 	if err != nil {
 		return nil, fmt.Errorf("tso: replay build: %w", err)
 	}

@@ -1,0 +1,53 @@
+package tso
+
+import "priceadaptive/internal/obsv"
+
+// kindToObsv maps EventKind to the sink's dependency-free event kinds. The
+// two enums are defined in the same order; the table keeps the mapping
+// explicit and the conversion branch-free.
+var kindToObsv = [...]obsv.EventKind{
+	EvEnter:       obsv.KEnter,
+	EvRead:        obsv.KRead,
+	EvWriteIssue:  obsv.KWriteIssue,
+	EvWriteCommit: obsv.KWriteCommit,
+	EvBeginFence:  obsv.KBeginFence,
+	EvEndFence:    obsv.KEndFence,
+	EvCAS:         obsv.KCAS,
+	EvCS:          obsv.KCS,
+	EvExit:        obsv.KExit,
+	EvCrash:       obsv.KCrash,
+	EvRecover:     obsv.KRecover,
+}
+
+// toSimEvent converts a recorded event to its sink representation.
+func toSimEvent(ev Event) obsv.SimEvent {
+	vi := -1
+	if ev.Var != nil {
+		vi = ev.Var.Index()
+	}
+	return obsv.SimEvent{
+		Seq:        ev.Seq,
+		Proc:       int(ev.P),
+		Passage:    ev.Passage,
+		Kind:       kindToObsv[ev.Kind],
+		Var:        vi,
+		Val:        ev.Val,
+		Critical:   ev.Critical,
+		Fence:      ev.Fence,
+		Remote:     ev.Remote,
+		FromBuffer: ev.FromBuffer,
+	}
+}
+
+// EmitExecution feeds a recorded execution into a sink event by event. It is
+// the offline counterpart of Config.Sink for code paths that reconstruct or
+// swap simulators mid-run (the adversary's erasure replays), where a live
+// sink would double-count replayed prefixes.
+func EmitExecution(x *Execution, sink obsv.Sink) {
+	if sink == nil || x == nil {
+		return
+	}
+	for _, ev := range x.Events {
+		sink.Emit(toSimEvent(ev))
+	}
+}

@@ -1,0 +1,84 @@
+package tso
+
+import (
+	"testing"
+
+	"priceadaptive/internal/obsv"
+)
+
+// buildSinkTest is a two-process program: write own flag, fence, read the
+// peer's flag, CS, done.
+func buildSinkTest(sim *Simulator) (Program, error) {
+	mem := sim.Memory()
+	flags := []*Var{
+		mem.NewOwned("f0", 0),
+		mem.NewOwned("f1", 1),
+	}
+	return func(p *Proc) {
+		me := int(p.ID())
+		p.Write(flags[me], 1)
+		p.Fence()
+		p.Read(flags[1-me])
+		p.CS()
+	}, nil
+}
+
+// TestSinkSeesLiveEvents checks that a configured sink receives exactly the
+// recorded execution, including crash/recover events, and that a tracer
+// assembles correct spans from it.
+func TestSinkSeesLiveEvents(t *testing.T) {
+	tr := obsv.NewTracer()
+	sim, err := NewSimulator(Config{N: 2, AllowConcurrentCS: true, Sink: tr}, buildSinkTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Kill()
+
+	mustStep := func(p ProcID) {
+		t.Helper()
+		if _, err := sim.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// p0 runs to completion; p1 enters, crashes, recovers, completes.
+	for !sim.Done(0) {
+		mustStep(0)
+	}
+	mustStep(1) // Enter
+	if _, err := sim.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	for !sim.Done(1) {
+		mustStep(1)
+	}
+
+	if got, want := tr.Events(), len(sim.Execution().Events); got != want {
+		t.Fatalf("sink saw %d events, execution has %d", got, want)
+	}
+	p0 := tr.Spans(0)
+	if len(p0) != 1 || !p0[0].Complete || p0[0].Fences != 1 {
+		t.Errorf("p0 spans: %+v", p0)
+	}
+	p1 := tr.Spans(1)
+	if len(p1) != 2 || !p1[0].Crashed || !p1[1].Recovery || !p1[1].Complete {
+		t.Errorf("p1 spans: %+v", p1)
+	}
+
+	// Replays must not re-emit into the sink.
+	before := tr.Events()
+	replayed, err := sim.Replay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replayed.Kill()
+	if tr.Events() != before {
+		t.Errorf("replay leaked %d events into the sink", tr.Events()-before)
+	}
+
+	// EmitExecution replays the recorded stream into a fresh sink.
+	var cs obsv.CountSink
+	EmitExecution(sim.Execution(), &cs)
+	if int(cs.Events) != before {
+		t.Errorf("EmitExecution emitted %d events, want %d", cs.Events, before)
+	}
+}
