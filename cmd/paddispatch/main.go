@@ -1,0 +1,152 @@
+// Command paddispatch is the fleet dispatcher of the distributed experiment
+// fabric: it accepts submissions on the same v1 jobs API padserver serves
+// (a jobs.Client cannot tell them apart), but instead of executing work
+// locally it places each job on the least-loaded registered worker node
+// (cmd/padworker), tracks assignment leases renewed by heartbeats, and
+// re-queues work when a lease expires or a node goes silent past its TTL.
+// Completed artifacts are verified against their sha256 content address
+// before being replicated into the dispatcher's own store, so fleet results
+// are as integrity-checked as a single node's.
+//
+// On startup the store is rescanned: jobs left queued or running by a
+// crashed dispatcher are re-queued, done jobs with intact artifacts stay
+// done. Node registrations are volatile — workers notice the restart (their
+// next heartbeat gets 404 unknown_node) and re-register with their rebuilt
+// local state, which the dispatcher reconciles instead of re-running.
+//
+// Endpoints: the full v1 jobs surface (POST/GET/DELETE /v1/jobs...,
+// /v1/healthz, /v1/metrics with the pad_fleet_* family) plus the node
+// protocol under /fabric/v1/ (register, heartbeat, pull, complete) and the
+// fleet report at GET /fabric/v1/nodes.
+//
+// Usage:
+//
+//	paddispatch [-addr :8080] [-data paddispatch-data] [-lease 15s]
+//	            [-node-ttl 10s] [-heartbeat 3s] [-sweep 1s]
+//	            [-queue-max 0] [-attempts 3]
+//	paddispatch -loadgen [-loadgen-nodes 3] [-loadgen-capacity 4]
+//	            [-loadgen-jobs 200] [-loadgen-work 20000]   # bench an in-process fleet and exit
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"priceadaptive/internal/fabric"
+	"priceadaptive/internal/jobs"
+	"priceadaptive/internal/obsv"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "paddispatch-data", "dispatcher artifact-store directory")
+	lease := flag.Duration("lease", 15*time.Second, "assignment lease TTL; an unheartbeated assignment is re-queued after this")
+	nodeTTL := flag.Duration("node-ttl", 10*time.Second, "node liveness TTL; a silent node is declared dead after this")
+	heartbeat := flag.Duration("heartbeat", 3*time.Second, "heartbeat cadence advertised to workers")
+	sweep := flag.Duration("sweep", time.Second, "lease-expiry scan interval")
+	queueMax := flag.Int("queue-max", 0, "max unplaced jobs before POST /jobs sheds with 503 (0 = unbounded)")
+	attempts := flag.Int("attempts", 3, "fleet-wide assignment budget per job before it lands terminal failed")
+	loadgen := flag.Bool("loadgen", false, "run the synthetic-kind load generator against an in-process fleet, print the JSON report (BENCH_server.json format), and exit")
+	lgNodes := flag.Int("loadgen-nodes", 3, "loadgen: worker nodes")
+	lgCapacity := flag.Int("loadgen-capacity", 4, "loadgen: per-node capacity")
+	lgJobs := flag.Int("loadgen-jobs", 200, "loadgen: synthetic jobs to push through")
+	lgWork := flag.Int("loadgen-work", 20000, "loadgen: hash-chain iterations per job")
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadGen(*lgNodes, *lgCapacity, *lgJobs, *lgWork); err != nil {
+			fmt.Fprintln(os.Stderr, "paddispatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*addr, *data, fabric.DispatcherOptions{
+		LeaseTTL:    *lease,
+		NodeTTL:     *nodeTTL,
+		Heartbeat:   *heartbeat,
+		Sweep:       *sweep,
+		MaxQueued:   *queueMax,
+		MaxAttempts: *attempts,
+		Metrics:     obsv.Default(),
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "paddispatch:", err)
+		os.Exit(1)
+	}
+}
+
+// runLoadGen benches an in-process fleet in a temp dir and prints the
+// report; its output, redirected, is how BENCH_server.json is seeded.
+func runLoadGen(nodes, capacity, jobCount, work int) error {
+	dir, err := os.MkdirTemp("", "paddispatch-loadgen-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// nosleep:allow loadgen process root, bounded by the run itself
+	rep, err := fabric.LoadGen(context.Background(), dir, fabric.LoadGenOptions{
+		Nodes:    nodes,
+		Capacity: capacity,
+		Jobs:     jobCount,
+		Work:     work,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func run(addr, data string, opts fabric.DispatcherOptions) error {
+	obsv.RegisterProcessMetrics(opts.Metrics)
+	obsv.RegisterBuildInfo(opts.Metrics)
+	store, err := jobs.Open(data)
+	if err != nil {
+		return err
+	}
+	d := fabric.NewDispatcher(store, opts)
+	requeued, err := d.Recover()
+	if err != nil {
+		return err
+	}
+	if requeued > 0 {
+		log.Printf("paddispatch: recovered %d interrupted job(s) from %s", requeued, data)
+	}
+	d.Start()
+
+	srv := &http.Server{Addr: addr, Handler: fabric.Handler(d)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("paddispatch: store %s, listening on %s (lease %s, node TTL %s)",
+			data, addr, opts.LeaseTTL, opts.NodeTTL)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Shutdown mirrors a dispatcher crash on purpose: fleet state is
+	// volatile, the store persists, and the next start's Recover re-queues
+	// whatever was in flight while workers re-register and reconcile.
+	log.Printf("paddispatch: shutting down (in-flight work re-queues on next start)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	d.Close()
+	return nil
+}

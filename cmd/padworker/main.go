@@ -1,0 +1,91 @@
+// Command padworker is a worker node of the distributed experiment fabric:
+// a local job queue (the same engine padserver runs) wrapped in the
+// /fabric/v1 pull protocol. It registers with a dispatcher (cmd/paddispatch)
+// under a stable name, heartbeats, pulls assignments up to its capacity,
+// executes them on the local pool, and reports each terminal outcome with
+// the result artifact attached for dispatcher-side replication.
+//
+// The local store is the node's crash ledger: on restart the worker rebuilds
+// its in-progress set from disk and re-registers with it, so the dispatcher
+// reconciles — adopting still-running work and requesting artifacts it never
+// received — instead of re-running. A dispatcher restart is equally
+// survivable: the next heartbeat gets 404 unknown_node and the worker simply
+// re-registers.
+//
+// Usage:
+//
+//	padworker -dispatcher http://localhost:8080 [-name $HOSTNAME]
+//	          [-data padworker-data] [-capacity 2] [-retries 1] [-backoff 50ms]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"priceadaptive/internal/fabric"
+	"priceadaptive/internal/jobs"
+	"priceadaptive/internal/obsv"
+)
+
+func main() {
+	host, _ := os.Hostname()
+	name := flag.String("name", host, "stable node name (re-registration under the same name replaces the old entry)")
+	dispatcher := flag.String("dispatcher", "", "dispatcher base URL (required), e.g. http://localhost:8080")
+	data := flag.String("data", "padworker-data", "node-local artifact-store directory (the restart ledger)")
+	capacity := flag.Int("capacity", 2, "concurrent assignments this node executes and advertises")
+	retries := flag.Int("retries", 1, "max local execution attempts per assignment (1 = no retry)")
+	backoff := flag.Duration("backoff", 50*time.Millisecond, "base local retry backoff")
+	flag.Parse()
+
+	if err := run(*name, *dispatcher, *data, *capacity, *retries, *backoff); err != nil {
+		fmt.Fprintln(os.Stderr, "padworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, dispatcher, data string, capacity, retries int, backoff time.Duration) error {
+	if dispatcher == "" {
+		return fmt.Errorf("-dispatcher is required")
+	}
+	if name == "" {
+		return fmt.Errorf("-name is required (hostname lookup failed)")
+	}
+	opts := fabric.WorkerOptions{
+		Name:       name,
+		Dispatcher: dispatcher,
+		DataDir:    data,
+		Capacity:   capacity,
+		Metrics:    obsv.Default(),
+	}
+	if retries > 1 {
+		opts.Retry = jobs.RetryPolicy{
+			MaxAttempts: retries,
+			BaseBackoff: backoff,
+			MaxBackoff:  60 * backoff,
+			Jitter:      0.2,
+		}
+	}
+	w, err := fabric.NewWorker(opts)
+	if err != nil {
+		return err
+	}
+	w.Start()
+	log.Printf("padworker: node %q (capacity %d, store %s) joining fleet at %s",
+		name, capacity, data, dispatcher)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	// Graceful leave: stop pulling, finish local work, flush pending acks
+	// on the way out. A hard kill is also safe — the local store is the
+	// ledger and the dispatcher reconciles on re-register.
+	log.Printf("padworker: leaving fleet (local work finishes, acks flush)")
+	w.Close()
+	return nil
+}

@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"priceadaptive/internal/jobs"
+)
+
+// LoadGenOptions sizes the dispatcher load generator.
+type LoadGenOptions struct {
+	// Nodes and Capacity shape the fleet (defaults 3 and 4).
+	Nodes    int
+	Capacity int
+	// Jobs is how many distinct synthetic jobs to push through (default 200).
+	Jobs int
+	// Work is the hash-chain length per job (default 20000 iterations), the
+	// knob between placement-bound and execution-bound regimes.
+	Work int
+	// Poll is the workers' pull cadence (default 2ms — tight, so the bench
+	// measures the dispatcher, not the polling interval).
+	Poll time.Duration
+}
+
+func (o LoadGenOptions) withDefaults() LoadGenOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 4
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 200
+	}
+	if o.Work <= 0 {
+		o.Work = 20000
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Quantiles summarizes a latency sample in seconds.
+type Quantiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P90   float64 `json:"p90_sec"`
+	P99   float64 `json:"p99_sec"`
+	Max   float64 `json:"max_sec"`
+}
+
+// LoadGenReport is the dispatcher throughput artifact seeded into
+// BENCH_server.json. Numbers are from an in-process fleet (no TCP), so they
+// bound the dispatcher's own bookkeeping, not network round-trips.
+type LoadGenReport struct {
+	Nodes    int `json:"nodes"`
+	Capacity int `json:"capacity"`
+	Jobs     int `json:"jobs"`
+	Work     int `json:"work"`
+	// SubmitPerSec is intake throughput over the v1 API (accept + persist +
+	// place); SubmitLatency the per-call distribution.
+	SubmitPerSec  float64   `json:"submit_per_sec"`
+	SubmitLatency Quantiles `json:"submit_latency"`
+	// Placement is the dispatcher's accept-to-place latency distribution
+	// (pad_fleet_placement_seconds raw samples).
+	Placement Quantiles `json:"placement"`
+	// E2ESec is submit-first to last-artifact-replicated wall time, and
+	// JobsPerSec the end-to-end completion throughput it implies.
+	E2ESec     float64 `json:"e2e_sec"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Replications confirms every artifact landed dispatcher-side.
+	Replications int64 `json:"replications"`
+}
+
+// quantiles computes the summary of sample (seconds), sorting a copy.
+func quantiles(sample []float64) Quantiles {
+	if len(sample) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return Quantiles{
+		Count: len(s),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   s[len(s)-1],
+	}
+}
+
+// LoadGen boots an in-process fleet (dispatcher + Nodes workers over the
+// Router transport, wall clock, no injected faults), pushes Jobs distinct
+// synthetic jobs through the v1 API, waits for full completion, and reports
+// intake throughput, placement-latency quantiles, and end-to-end completion
+// rate. dir must be empty or fresh; artifacts land under it.
+func LoadGen(ctx context.Context, dir string, opts LoadGenOptions) (*LoadGenReport, error) {
+	opts = opts.withDefaults()
+	store, err := jobs.Open(dir + "/dispatcher")
+	if err != nil {
+		return nil, err
+	}
+	d := NewDispatcher(store, DispatcherOptions{
+		// Wall-clock fleet with a snappy sweep; leases are generous because
+		// the bench injects no faults — nothing should ever expire.
+		LeaseTTL: 30 * time.Second,
+		NodeTTL:  20 * time.Second,
+		Sweep:    50 * time.Millisecond,
+	})
+	if _, err := d.Recover(); err != nil {
+		return nil, err
+	}
+	d.Start()
+	defer d.Close()
+
+	router := NewRouter()
+	router.Swap(Handler(d))
+	workers := make([]*Worker, 0, opts.Nodes)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	for i := 0; i < opts.Nodes; i++ {
+		w, err := NewWorker(WorkerOptions{
+			Name:       fmt.Sprintf("bench%d", i),
+			Dispatcher: "http://dispatcher",
+			DataDir:    fmt.Sprintf("%s/bench%d", dir, i),
+			Capacity:   opts.Capacity,
+			HTTP:       router.Client(),
+			Poll:       opts.Poll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Start()
+		workers = append(workers, w)
+	}
+
+	client := &jobs.Client{BaseURL: "http://dispatcher", HTTP: router.Client()}
+	ids := make([]string, 0, opts.Jobs)
+	submitLat := make([]float64, 0, opts.Jobs)
+	start := time.Now()
+	for i := 0; i < opts.Jobs; i++ {
+		params, _ := json.Marshal(jobs.SyntheticParams{I: i, Work: opts.Work})
+		t0 := time.Now()
+		resp, err := client.Submit(ctx, jobs.Spec{Kind: jobs.KindSynthetic, Params: params})
+		if err != nil {
+			return nil, fmt.Errorf("submit %d: %w", i, err)
+		}
+		submitLat = append(submitLat, time.Since(t0).Seconds())
+		ids = append(ids, resp.ID)
+	}
+	submitDone := time.Now()
+
+	if _, err := client.WaitMany(ctx, ids, opts.Poll); err != nil {
+		return nil, fmt.Errorf("wait for fleet drain: %w", err)
+	}
+	e2e := time.Since(start)
+
+	rep := d.Report()
+	out := &LoadGenReport{
+		Nodes:         opts.Nodes,
+		Capacity:      opts.Capacity,
+		Jobs:          opts.Jobs,
+		Work:          opts.Work,
+		SubmitPerSec:  float64(opts.Jobs) / submitDone.Sub(start).Seconds(),
+		SubmitLatency: quantiles(submitLat),
+		Placement:     quantiles(d.PlacementLatencies()),
+		E2ESec:        e2e.Seconds(),
+		JobsPerSec:    float64(opts.Jobs) / e2e.Seconds(),
+		Replications:  rep.Replications,
+	}
+	if out.Replications != int64(opts.Jobs) {
+		return out, fmt.Errorf("loadgen: %d jobs but %d artifacts replicated", opts.Jobs, out.Replications)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadGenSmoke runs a miniature load-generator pass and checks the
+// report's internal consistency; the committed BENCH_server.json is seeded
+// from the full-size run (paddispatch -loadgen).
+func TestLoadGenSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := LoadGen(ctx, t.TempDir(), LoadGenOptions{
+		Nodes:    2,
+		Capacity: 2,
+		Jobs:     16,
+		Work:     500,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if rep.Replications != 16 {
+		t.Errorf("replications = %d, want 16", rep.Replications)
+	}
+	if rep.SubmitLatency.Count != 16 {
+		t.Errorf("submit samples = %d, want 16", rep.SubmitLatency.Count)
+	}
+	if rep.Placement.Count == 0 {
+		t.Error("no placement-latency samples recorded")
+	}
+	if rep.SubmitPerSec <= 0 || rep.JobsPerSec <= 0 || rep.E2ESec <= 0 {
+		t.Errorf("non-positive throughput: %+v", rep)
+	}
+	if rep.Placement.P50 > rep.Placement.P99 || rep.Placement.P99 > rep.Placement.Max {
+		t.Errorf("quantiles out of order: %+v", rep.Placement)
+	}
+	t.Logf("smoke: %.0f submits/s, %.0f jobs/s e2e, placement p50=%.4fs p99=%.4fs",
+		rep.SubmitPerSec, rep.JobsPerSec, rep.Placement.P50, rep.Placement.P99)
+}

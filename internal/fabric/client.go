@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"priceadaptive/internal/jobs"
+)
+
+// Client is the typed worker-side client for the /fabric/v1 node protocol.
+// It rides on jobs.Client.Do, so envelope decoding, *APIError typing and
+// transport configuration are shared with the v1 jobs client.
+type Client struct {
+	*jobs.Client
+}
+
+// NewClient returns a node-protocol client for the dispatcher at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{Client: jobs.NewClient(baseURL)}
+}
+
+// IsUnknownNode reports whether err is the dispatcher telling the node to
+// re-register (404 unknown_node).
+func IsUnknownNode(err error) bool {
+	if apiErr, ok := asAPIError(err); ok {
+		return apiErr.Code == CodeUnknownNode
+	}
+	return false
+}
+
+// IsIntegrityReject reports whether err is the dispatcher refusing a
+// completion's artifact (409 integrity_mismatch). The worker should drop its
+// claim; the dispatcher already re-queued the job.
+func IsIntegrityReject(err error) bool {
+	if apiErr, ok := asAPIError(err); ok {
+		return apiErr.Code == CodeIntegrity
+	}
+	return false
+}
+
+func asAPIError(err error) (*jobs.APIError, bool) {
+	var apiErr *jobs.APIError
+	ok := errors.As(err, &apiErr)
+	return apiErr, ok
+}
+
+// Register announces the node (with its rebuilt local state) and returns
+// the reconcile verdict.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var out RegisterResponse
+	_, err := c.Do(ctx, http.MethodPost, "/fabric/v1/register", req, &out, http.StatusOK)
+	return out, err
+}
+
+// Heartbeat renews liveness and leases, returning control traffic.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	var out HeartbeatResponse
+	_, err := c.Do(ctx, http.MethodPost, "/fabric/v1/heartbeat", req, &out, http.StatusOK)
+	return out, err
+}
+
+// Pull fetches up to req.Max pending assignments.
+func (c *Client) Pull(ctx context.Context, req PullRequest) (PullResponse, error) {
+	var out PullResponse
+	_, err := c.Do(ctx, http.MethodPost, "/fabric/v1/pull", req, &out, http.StatusOK)
+	return out, err
+}
+
+// Complete reports a terminal local outcome with the artifact attached.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (CompleteResponse, error) {
+	var out CompleteResponse
+	_, err := c.Do(ctx, http.MethodPost, "/fabric/v1/complete", req, &out, http.StatusOK)
+	return out, err
+}
+
+// Nodes fetches the dispatcher's fleet report.
+func (c *Client) Nodes(ctx context.Context) (FleetReport, error) {
+	var out FleetReport
+	_, err := c.Do(ctx, http.MethodGet, "/fabric/v1/nodes", nil, &out, http.StatusOK)
+	return out, err
+}

@@ -1,0 +1,214 @@
+// Package fabric is the distributed experiment fabric: it promotes the
+// single-node job queue (internal/jobs) into a horizontally scalable fleet
+// of a dispatcher and worker nodes, simq-style.
+//
+// The Dispatcher accepts submissions on the existing v1 jobs API (it
+// implements jobs.Service, so a jobs.Client cannot tell a dispatcher from a
+// single padserver), maintains a node registry with per-node capacity
+// booking, and places queued jobs on the least-loaded live node. Workers
+// are pull-based agents (cmd/padworker) wrapping a local jobs.Queue: they
+// register, heartbeat on the injectable fault.Clock, pull assignments,
+// execute them on the local pool, and report completions with the result
+// artifact attached. The dispatcher verifies each artifact against the
+// sha256 content address the worker recorded (Status.ResultSum) before
+// replicating it into its own store, so a fleet's results are as
+// integrity-checked as a single node's.
+//
+// Failure model. Every assignment carries a lease, renewed by heartbeats.
+// A worker that stops heartbeating past the node TTL is declared dead and
+// its in-flight jobs are re-queued for reassignment; a single expired lease
+// does the same for one job. A restarting worker rebuilds its in-progress
+// set from its local store (the simq RebuildSimulatorList pattern) and
+// re-registers with it, so the dispatcher reconciles — adopting still-running
+// work and requesting artifacts it never received — rather than re-running.
+// Reassignment is safe because job kinds are deterministic functions of
+// their content-addressed specs: a duplicated execution produces a
+// byte-identical artifact, the dispatcher keeps the first and counts any
+// divergence, so "no duplicate side effects" is checkable as "no job's
+// recorded checksum ever changes". FleetChaos asserts exactly that under
+// seeded node kills, restarts and a dispatcher crash.
+//
+// Wire protocol. Workers speak JSON over /fabric/v1/ (register, heartbeat,
+// pull, complete, nodes), reusing the v1 unified error envelope, so errors
+// round-trip by value across the fleet exactly as they do to API clients.
+package fabric
+
+import (
+	"errors"
+
+	"priceadaptive/internal/jobs"
+)
+
+// Fabric-specific error-envelope codes (the jobs.Code* values are reused
+// where the condition is the same).
+const (
+	// CodeUnknownNode tells a worker the dispatcher does not know it —
+	// typically because the dispatcher restarted or expired the node — and
+	// it must re-register before pulling or acking.
+	CodeUnknownNode = "unknown_node"
+	// CodeIntegrity rejects a completion whose artifact bytes do not hash
+	// to the checksum the worker recorded at the done transition.
+	CodeIntegrity = "integrity_mismatch"
+)
+
+// Errors the fabric API maps to envelope codes.
+var (
+	// ErrUnknownNode is returned to unregistered nodes; see CodeUnknownNode.
+	ErrUnknownNode = errors.New("fabric: unknown node")
+	// ErrIntegrity is returned when a completion's artifact fails its
+	// checksum; the job is re-queued for a fresh attempt.
+	ErrIntegrity = errors.New("fabric: artifact checksum mismatch")
+)
+
+// RegisterRequest announces a worker node to the dispatcher. A restarting
+// worker sends its rebuilt local state so the dispatcher can reconcile
+// instead of re-running: InProgress is every job its local store holds as
+// queued or running, Finished every job already terminal locally.
+type RegisterRequest struct {
+	// Node is the worker's stable name (re-registration under the same name
+	// replaces the previous registration).
+	Node string `json:"node"`
+	// Capacity is how many concurrent assignments the node can execute; the
+	// dispatcher books against it and never over-assigns.
+	Capacity int `json:"capacity"`
+	// InProgress is the node's rebuilt in-progress set.
+	InProgress []string `json:"in_progress,omitempty"`
+	// Finished lists jobs terminal in the node's local store, so the
+	// dispatcher can ask for any artifact it never received (Want).
+	Finished []string `json:"finished,omitempty"`
+}
+
+// RegisterResponse is the dispatcher's reconcile verdict plus fleet timing.
+type RegisterResponse struct {
+	// LeaseSec is the assignment lease; a job unheartbeated this long is
+	// re-queued. HeartbeatSec is how often the node should heartbeat.
+	LeaseSec     float64 `json:"lease_sec"`
+	HeartbeatSec float64 `json:"heartbeat_sec"`
+	// Keep confirms in-progress jobs: the node holds their (renewed) leases
+	// and should run them to completion.
+	Keep []string `json:"keep,omitempty"`
+	// Drop lists jobs the node should abandon: re-assigned elsewhere,
+	// cancelled, or unknown to the dispatcher.
+	Drop []string `json:"drop,omitempty"`
+	// Want lists finished jobs whose artifacts the dispatcher lacks; the
+	// node should report each with a Complete call (no re-run needed).
+	Want []string `json:"want,omitempty"`
+}
+
+// HeartbeatRequest renews the node's liveness and the leases of every job
+// it reports in progress.
+type HeartbeatRequest struct {
+	Node string `json:"node"`
+	// InProgress is the node's current in-progress set; only reported jobs
+	// have their leases renewed.
+	InProgress []string `json:"in_progress,omitempty"`
+	// Free is the node's current spare capacity (informational; booking is
+	// dispatcher-side).
+	Free int `json:"free"`
+}
+
+// HeartbeatResponse carries dispatcher-to-node control traffic.
+type HeartbeatResponse struct {
+	// Cancel lists assignments the node should cancel locally (a client
+	// cancelled the job); the node reports the cancellation via Complete.
+	Cancel []string `json:"cancel,omitempty"`
+	// Drop lists assignments the node no longer holds (lease expired and
+	// re-assigned, or job resolved elsewhere); abandon without reporting.
+	Drop []string `json:"drop,omitempty"`
+}
+
+// PullRequest asks for up to Max fresh assignments.
+type PullRequest struct {
+	Node string `json:"node"`
+	Max  int    `json:"max"`
+}
+
+// Assignment is one unit of placed work.
+type Assignment struct {
+	ID   string    `json:"id"`
+	Spec jobs.Spec `json:"spec"`
+}
+
+// PullResponse delivers the node's pending assignments.
+type PullResponse struct {
+	Assignments []Assignment `json:"assignments,omitempty"`
+}
+
+// CompleteRequest reports a terminal local outcome, carrying the artifact
+// for replication. Errors round-trip by value: Error is the runner's
+// failure message, re-surfaced verbatim by the dispatcher's v1 API.
+type CompleteRequest struct {
+	Node  string     `json:"node"`
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	// Error is the failure (or cancellation) message when State != done.
+	Error string `json:"error,omitempty"`
+	// Attempts and DurationNS mirror the worker-local status.
+	Attempts   int   `json:"attempts,omitempty"`
+	DurationNS int64 `json:"duration_ns,omitempty"`
+	// Result is the artifact bytes and ResultSum their sha256 content
+	// address as recorded by the worker; the dispatcher re-hashes Result
+	// and refuses the completion on mismatch. It travels base64-encoded
+	// ([]byte, not json.RawMessage) deliberately: checksums are over exact
+	// bytes, and embedding raw JSON would let re-encoding (compaction,
+	// re-indentation) silently change them in flight.
+	Result    []byte `json:"result,omitempty"`
+	ResultSum string `json:"result_sum,omitempty"`
+}
+
+// Completion outcomes.
+const (
+	// OutcomeRecorded: the report landed and the job is now terminal.
+	OutcomeRecorded = "recorded"
+	// OutcomeDuplicate: the job was already done with an identical
+	// artifact; the duplicate execution was benign (idempotent by
+	// construction) and nothing changed.
+	OutcomeDuplicate = "duplicate"
+	// OutcomeDivergent: the job was already done with a DIFFERENT artifact
+	// checksum — a duplicated side effect. The first artifact is kept and
+	// the divergence counted; FleetChaos fails on any occurrence.
+	OutcomeDivergent = "divergent"
+	// OutcomeStale: the report no longer matters (job re-assigned away,
+	// cancelled, or this node's claim lapsed); the node should forget it.
+	OutcomeStale = "stale"
+)
+
+// CompleteResponse acknowledges a completion report.
+type CompleteResponse struct {
+	Outcome string `json:"outcome"`
+}
+
+// NodeInfo is one registry entry of the fleet report.
+type NodeInfo struct {
+	Node     string `json:"node"`
+	Capacity int    `json:"capacity"`
+	// Inflight is the node's booked assignments, Outbox the subset placed
+	// but not yet pulled.
+	Inflight int `json:"inflight"`
+	Outbox   int `json:"outbox"`
+	// LastSeenMS is milliseconds since the node's last heartbeat (on the
+	// dispatcher's clock).
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Completions counts Complete reports accepted from this node.
+	Completions int64 `json:"completions"`
+}
+
+// FleetReport is the dispatcher's aggregate view, served at
+// GET /fabric/v1/nodes and uploaded by the CI fabric-smoke job.
+type FleetReport struct {
+	Nodes []NodeInfo `json:"nodes"`
+	// QueueDepth is unplaced jobs; Inflight is fleet-wide booked work.
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+	// Capacity is the fleet-wide booked capacity of live nodes.
+	Capacity int `json:"capacity"`
+	// Counters since dispatcher start.
+	Assignments      int64 `json:"assignments"`
+	Reassignments    int64 `json:"reassignments"`
+	LeaseExpiries    int64 `json:"lease_expiries"`
+	NodeDeaths       int64 `json:"node_deaths"`
+	IntegrityRejects int64 `json:"integrity_rejects"`
+	Divergent        int64 `json:"divergent"`
+	Completions      int64 `json:"completions"`
+	Replications     int64 `json:"replications"`
+}

@@ -1,0 +1,110 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"priceadaptive/internal/jobs"
+)
+
+// Handler exposes a Dispatcher over HTTP: the full v1 jobs API (clients
+// cannot tell the fleet from a single padserver) plus the /fabric/v1 node
+// protocol and fleet report on the same mux.
+func Handler(d *Dispatcher) http.Handler {
+	mux := http.NewServeMux()
+	jobs.RegisterRoutes(mux, d, "/v1", false)
+	jobs.RegisterRoutes(mux, d, "", true)
+	RegisterFabricRoutes(mux, d)
+	return mux
+}
+
+// RegisterFabricRoutes installs the node protocol under /fabric/v1:
+//
+//	POST /fabric/v1/register    node announce + reconcile
+//	POST /fabric/v1/heartbeat   liveness + lease renewal + control traffic
+//	POST /fabric/v1/pull        fetch pending assignments
+//	POST /fabric/v1/complete    terminal report with artifact replication
+//	GET  /fabric/v1/nodes       the FleetReport
+//
+// Errors use the v1 envelope: unknown_node → 404 (the node must
+// re-register), integrity_mismatch → 409, store trouble and shutdown → 503
+// with Retry-After.
+func RegisterFabricRoutes(mux *http.ServeMux, d *Dispatcher) {
+	post := func(path string, h func(w http.ResponseWriter, r *http.Request)) {
+		mux.HandleFunc("POST /fabric/v1/"+path, h)
+	}
+	post("register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			jobs.WriteError(w, http.StatusBadRequest, jobs.CodeInvalidRequest, err, 0)
+			return
+		}
+		resp, err := d.Register(req)
+		if err != nil {
+			fabricError(w, err)
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			jobs.WriteError(w, http.StatusBadRequest, jobs.CodeInvalidRequest, err, 0)
+			return
+		}
+		resp, err := d.Heartbeat(req)
+		if err != nil {
+			fabricError(w, err)
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("pull", func(w http.ResponseWriter, r *http.Request) {
+		var req PullRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			jobs.WriteError(w, http.StatusBadRequest, jobs.CodeInvalidRequest, err, 0)
+			return
+		}
+		resp, err := d.Pull(req)
+		if err != nil {
+			fabricError(w, err)
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, resp)
+	})
+	post("complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			jobs.WriteError(w, http.StatusBadRequest, jobs.CodeInvalidRequest, err, 0)
+			return
+		}
+		resp, err := d.Complete(req)
+		if err != nil {
+			fabricError(w, err)
+			return
+		}
+		jobs.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /fabric/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		jobs.WriteJSON(w, http.StatusOK, d.Report())
+	})
+}
+
+// fabricError maps node-protocol errors onto the unified envelope.
+func fabricError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		jobs.WriteError(w, http.StatusNotFound, CodeUnknownNode, err, 0)
+	case errors.Is(err, ErrIntegrity):
+		jobs.WriteError(w, http.StatusConflict, CodeIntegrity, err, 0)
+	case errors.Is(err, jobs.ErrNotFound):
+		jobs.WriteError(w, http.StatusNotFound, jobs.CodeNotFound, err, 0)
+	case errors.Is(err, jobs.ErrStoreUnavailable):
+		jobs.WriteError(w, http.StatusServiceUnavailable, jobs.CodeStoreUnavailable, err, 5)
+	case errors.Is(err, jobs.ErrClosed):
+		jobs.WriteError(w, http.StatusServiceUnavailable, jobs.CodeDraining, err, 5)
+	default:
+		jobs.WriteError(w, http.StatusBadRequest, jobs.CodeInvalidRequest, err, 0)
+	}
+}

@@ -1,0 +1,105 @@
+package fabric
+
+import (
+	"sync"
+
+	"priceadaptive/internal/obsv"
+)
+
+// fleetMetrics backs the dispatcher's pad_fleet_* instruments. Like the job
+// queue's metrics, the obsv registry is the source of truth and the
+// FleetReport counters are derived views over it, so the Prometheus scrape
+// and the /fabric/v1/nodes report can never disagree.
+type fleetMetrics struct {
+	reg *obsv.Registry
+
+	submitted        *obsv.Counter
+	deduped          *obsv.Counter
+	cacheHits        *obsv.Counter
+	registrations    *obsv.Counter
+	heartbeats       *obsv.Counter
+	assignments      *obsv.Counter
+	reassignments    *obsv.Counter
+	leaseExpiries    *obsv.Counter
+	nodeDeaths       *obsv.Counter
+	integrityRejects *obsv.Counter
+	divergent        *obsv.Counter
+	adopted          *obsv.Counter
+	replicatedBytes  *obsv.Counter
+	replications     *obsv.Counter
+	completions      *obsv.CounterVec // node x state
+	placement        *obsv.Histogram
+
+	// placements retains raw placement latencies (seconds, bounded) for the
+	// quantile summary the load-generator bench publishes.
+	mu         sync.Mutex
+	placements []float64
+}
+
+// placementCap bounds the retained raw latencies; the histogram keeps
+// aggregating past it.
+const placementCap = 100_000
+
+func newFleetMetrics(reg *obsv.Registry) *fleetMetrics {
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
+	m := &fleetMetrics{reg: reg}
+	m.submitted = reg.Counter("pad_fleet_submitted_total", "Submissions accepted by the dispatcher.")
+	m.deduped = reg.Counter("pad_fleet_deduped_total", "Submissions joined to an already queued/running fleet job.")
+	m.cacheHits = reg.Counter("pad_fleet_cache_hits_total", "Submissions served from an already replicated artifact.")
+	m.registrations = reg.Counter("pad_fleet_registrations_total", "Worker node registrations (including re-registrations).")
+	m.heartbeats = reg.Counter("pad_fleet_heartbeats_total", "Worker heartbeats received.")
+	m.assignments = reg.Counter("pad_fleet_assignments_total", "Job placements onto a node (first assignment or reassignment).")
+	m.reassignments = reg.Counter("pad_fleet_reassignments_total", "Jobs re-queued off a node after a lease expiry or node death.")
+	m.leaseExpiries = reg.Counter("pad_fleet_lease_expiries_total", "Individual assignment leases that expired.")
+	m.nodeDeaths = reg.Counter("pad_fleet_node_deaths_total", "Nodes expired after missing heartbeats past the node TTL.")
+	m.integrityRejects = reg.Counter("pad_fleet_integrity_rejects_total", "Completions refused because the artifact failed its sha256 check.")
+	m.divergent = reg.Counter("pad_fleet_divergent_artifacts_total", "Duplicate completions whose artifact checksum differed from the recorded one (duplicated side effects).")
+	m.adopted = reg.Counter("pad_fleet_adoptions_total", "In-progress jobs adopted from a re-registering node instead of re-run.")
+	m.replicatedBytes = reg.Counter("pad_fleet_replicated_bytes_total", "Artifact bytes replicated dispatcher-side.")
+	m.replications = reg.Counter("pad_fleet_replications_total", "Artifacts replicated dispatcher-side.")
+	m.completions = reg.CounterVec("pad_fleet_completions_total", "Completion reports accepted, by node and terminal state.", "node", "state")
+	m.placement = reg.Histogram("pad_fleet_placement_seconds", "Latency from job acceptance to node placement.", nil)
+	return m
+}
+
+// registerGauges installs scrape-time gauges over the dispatcher's live
+// state. Called once from NewDispatcher.
+func (m *fleetMetrics) registerGauges(d *Dispatcher) {
+	m.reg.GaugeFunc("pad_fleet_nodes_alive", "Registered live worker nodes.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(len(d.nodes)) })
+	m.reg.GaugeFunc("pad_fleet_capacity", "Fleet-wide execution capacity of live nodes.",
+		func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			total := 0
+			for _, n := range d.nodes {
+				total += n.capacity
+			}
+			return float64(total)
+		})
+	m.reg.GaugeFunc("pad_fleet_inflight", "Assignments currently booked on nodes.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(d.inflightLocked()) })
+	m.reg.GaugeFunc("pad_fleet_queue_depth", "Accepted jobs not yet placed on a node.",
+		func() float64 { d.mu.Lock(); defer d.mu.Unlock(); return float64(len(d.queue)) })
+}
+
+// observePlacement records one accept-to-place latency.
+func (m *fleetMetrics) observePlacement(sec float64) {
+	m.placement.Observe(sec)
+	m.mu.Lock()
+	if len(m.placements) < placementCap {
+		m.placements = append(m.placements, sec)
+	}
+	m.mu.Unlock()
+}
+
+// placementLatencies returns a copy of the retained raw latencies.
+func (m *fleetMetrics) placementLatencies() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]float64, len(m.placements))
+	copy(out, m.placements)
+	return out
+}

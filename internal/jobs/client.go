@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 	"time"
+
+	"priceadaptive/internal/fault"
 )
 
 // Client is a typed client for the v1 HTTP API. Error responses decode into
@@ -21,11 +24,51 @@ type Client struct {
 	BaseURL string
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Clock drives retry-backoff sleeps; nil means the wall clock. Tests
+	// substitute fault.Manual to assert the server's Retry-After hint is
+	// honored without real sleeping.
+	Clock fault.Clock
+	// MaxRetries is how many times Submit re-attempts after a retryable 503
+	// (saturated, draining, breaker open). 0 disables retries: the first 503
+	// surfaces as an *APIError, the pre-fabric behavior.
+	MaxRetries int
+	// RetryBackoff is the delay between retries when the server sends no
+	// Retry-After hint (default 500ms). When the 503 envelope carries
+	// retry_after_s, that server hint wins over this fixed backoff.
+	RetryBackoff time.Duration
 }
 
 // NewClient returns a Client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) clock() fault.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return fault.Wall{}
+}
+
+// Retryable reports whether err is a 503 *APIError, i.e. the server shed
+// load and expects the client to back off and try again.
+func Retryable(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusServiceUnavailable
+}
+
+// retryDelay returns the backoff before the next attempt: the server's
+// Retry-After hint when the envelope carried one, the fixed RetryBackoff
+// otherwise.
+func (c *Client) retryDelay(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfterS > 0 {
+		return time.Duration(apiErr.RetryAfterS) * time.Second
+	}
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 500 * time.Millisecond
 }
 
 // APIError is a decoded v1 error envelope plus its HTTP status.
@@ -49,9 +92,11 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the response into out (when non-nil).
-// Statuses outside okStatuses decode the error envelope into an *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body, out any, okStatuses ...int) (int, error) {
+// Do issues one API request and decodes the response into out (when
+// non-nil). Statuses outside okStatuses decode the unified error envelope
+// into an *APIError. Exported so sibling typed clients (the fabric node
+// protocol) share the envelope handling instead of reimplementing it.
+func (c *Client) Do(ctx context.Context, method, path string, body, out any, okStatuses ...int) (int, error) {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -111,21 +156,31 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, okS
 
 // Submit posts a spec. All three success shapes — queued (202), cached
 // (200) and joined (409, the body still carries the job to poll) — return a
-// response, not an error.
+// response, not an error. When MaxRetries > 0, a 503 (saturated, draining,
+// breaker open) is retried up to that many times, backing off by the
+// server's Retry-After hint when the envelope carries one and by
+// RetryBackoff otherwise.
 func (c *Client) Submit(ctx context.Context, spec Spec) (*SubmitResponse, error) {
-	var out SubmitResponse
-	_, err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &out,
-		http.StatusAccepted, http.StatusOK, http.StatusConflict)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		var out SubmitResponse
+		_, err := c.Do(ctx, http.MethodPost, "/v1/jobs", spec, &out,
+			http.StatusAccepted, http.StatusOK, http.StatusConflict)
+		if err == nil {
+			return &out, nil
+		}
+		if attempt >= c.MaxRetries || !Retryable(err) {
+			return nil, err
+		}
+		if serr := c.clock().Sleep(ctx, c.retryDelay(err)); serr != nil {
+			return nil, serr
+		}
 	}
-	return &out, nil
 }
 
 // Get fetches one job's status (and result artifact, once done).
 func (c *Client) Get(ctx context.Context, id string) (*JobResponse, error) {
 	var out JobResponse
-	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
+	_, err := c.Do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +201,7 @@ func (c *Client) List(ctx context.Context, kind string, state State) ([]Status, 
 		path += "?" + qs.Encode()
 	}
 	var out ListResponse
-	if _, err := c.do(ctx, http.MethodGet, path, nil, &out, http.StatusOK); err != nil {
+	if _, err := c.Do(ctx, http.MethodGet, path, nil, &out, http.StatusOK); err != nil {
 		return nil, err
 	}
 	return out.Jobs, nil
@@ -155,7 +210,7 @@ func (c *Client) List(ctx context.Context, kind string, state State) ([]Status, 
 // Cancel cancels a job and returns its status after the cancel request.
 func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
 	var out JobResponse
-	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
+	_, err := c.Do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out, http.StatusOK)
 	if err != nil {
 		return Status{}, err
 	}
@@ -163,28 +218,94 @@ func (c *Client) Cancel(ctx context.Context, id string) (Status, error) {
 }
 
 // Wait polls Get every poll interval (default 50ms) until the job reaches a
-// terminal state or ctx expires.
+// terminal state or ctx expires. A 503 from the server (a fabric front-end
+// whose dispatcher is briefly unreachable, a draining node) is treated as
+// transient: the wait backs off by the Retry-After hint — or poll, when the
+// envelope carries none — and keeps polling, bounded only by ctx.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobResponse, error) {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	for {
+		delay := poll
 		resp, err := c.Get(ctx, id)
-		if err != nil {
+		switch {
+		case Retryable(err):
+			// Honor the server's back-off hint instead of the fixed poll.
+			if d := c.retryDelay(err); d > delay {
+				delay = d
+			}
+		case err != nil:
+			return nil, err
+		default:
+			switch resp.State {
+			case StateDone, StateFailed, StateCancelled:
+				return resp, nil
+			}
+		}
+		if err := c.clock().Sleep(ctx, delay); err != nil {
 			return nil, err
 		}
-		switch resp.State {
-		case StateDone, StateFailed, StateCancelled:
-			return resp, nil
+	}
+}
+
+// WaitMany waits until every listed job reaches a terminal state, or ctx
+// expires. One polling loop serves the whole fan-in — a single List round
+// trip per tick, never a goroutine or request per job — so a dispatcher
+// waiting on hundreds of results holds no per-job resources. The returned
+// map has one entry per distinct id (results fetched once, as each job
+// lands). On ctx expiry the partial map is returned along with ctx's error.
+func (c *Client) WaitMany(ctx context.Context, ids []string, poll time.Duration) (map[string]*JobResponse, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	done := make(map[string]*JobResponse, len(ids))
+	pending := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		pending[id] = true
+	}
+	for len(pending) > 0 {
+		delay := poll
+		statuses, err := c.List(ctx, "", "")
+		switch {
+		case Retryable(err):
+			if d := c.retryDelay(err); d > delay {
+				delay = d
+			}
+		case err != nil:
+			return done, err
+		default:
+			byID := make(map[string]Status, len(statuses))
+			for _, st := range statuses {
+				byID[st.ID] = st
+			}
+			for id := range pending {
+				st, ok := byID[id]
+				if !ok {
+					return done, fmt.Errorf("jobs: wait %s: %w", id, ErrNotFound)
+				}
+				if !st.State.Terminal() {
+					continue
+				}
+				resp, err := c.Get(ctx, id)
+				if err != nil {
+					if Retryable(err) {
+						continue // transient: fetch on a later tick
+					}
+					return done, err
+				}
+				done[id] = resp
+				delete(pending, id)
+			}
+			if len(pending) == 0 {
+				return done, nil
+			}
 		}
-		t := time.NewTimer(poll)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
-		case <-t.C:
+		if err := c.clock().Sleep(ctx, delay); err != nil {
+			return done, err
 		}
 	}
+	return done, nil
 }
 
 // Health fetches the server's health verdict. A degraded server answers 503
@@ -192,7 +313,7 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobR
 // errors are reserved for transport or decoding failures.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var out Health
-	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out,
+	_, err := c.Do(ctx, http.MethodGet, "/v1/healthz", nil, &out,
 		http.StatusOK, http.StatusServiceUnavailable)
 	if err != nil {
 		return Health{}, err
@@ -203,7 +324,7 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 // Metrics fetches the JSON metrics snapshot.
 func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
 	var out MetricsSnapshot
-	_, err := c.do(ctx, http.MethodGet, "/v1/metrics?format=json", nil, &out, http.StatusOK)
+	_, err := c.Do(ctx, http.MethodGet, "/v1/metrics?format=json", nil, &out, http.StatusOK)
 	if err != nil {
 		return MetricsSnapshot{}, err
 	}

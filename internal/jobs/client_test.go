@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"priceadaptive/internal/fault"
 	"priceadaptive/internal/obsv"
 )
 
@@ -286,4 +290,183 @@ func TestLegacyAliasDeprecation(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
 		t.Fatalf("legacy /metrics is not the JSON snapshot: %v", err)
 	}
+}
+
+// TestSubmitHonorsRetryAfter: when the 503 envelope carries retry_after_s,
+// Submit's retry backoff sleeps exactly that long — the server hint wins
+// over the fixed RetryBackoff. Driven on a manual clock, so the test proves
+// the duration rather than racing real sleeps.
+func TestSubmitHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(errorResponse{Error: ErrorBody{
+				Code: CodeSaturated, Message: "full", RetryAfterS: 7,
+			}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(SubmitResponse{Outcome: "queued"})
+	}))
+	defer srv.Close()
+
+	clk := fault.NewManual(time.Unix(0, 0))
+	c := NewClient(srv.URL)
+	c.Clock = clk
+	c.MaxRetries = 3
+	c.RetryBackoff = 100 * time.Millisecond // must be ignored in favor of the hint
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), Spec{Kind: "echo"})
+		done <- err
+	}()
+	// The first 503 parks the retry on the clock.
+	for clk.Sleepers() == 0 {
+		runtime.Gosched()
+	}
+	// Advancing less than the hint must NOT release the retry: the client
+	// is honoring the 7s server hint, not its 100ms fixed backoff.
+	clk.Advance(6 * time.Second)
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("retry fired after 6s < hint: %d calls", n)
+	}
+	clk.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("submit after honored backoff: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("calls = %d, want 2 (one 503, one success)", n)
+	}
+}
+
+// TestSubmitRetryDisabledByDefault: the zero-value client surfaces the
+// first 503 as an APIError, the pre-fabric behavior.
+func TestSubmitRetryDisabledByDefault(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(errorResponse{Error: ErrorBody{Code: CodeSaturated, Message: "full", RetryAfterS: 1}})
+	}))
+	defer srv.Close()
+	_, err := NewClient(srv.URL).Submit(context.Background(), Spec{Kind: "echo"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeSaturated {
+		t.Fatalf("zero-retry submit: %v, want the 503 envelope", err)
+	}
+}
+
+// TestWaitMany: one polling loop fans in a whole batch — every job lands
+// with its result, served from a single List per tick.
+func TestWaitMany(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 2})
+	defer q.Close()
+	defer close(release)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		sub, err := c.Submit(ctx, Spec{Kind: "echo", Params: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.ID)
+	}
+	got, err := c.WaitMany(ctx, ids, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("waited %d jobs, want 5", len(got))
+	}
+	for _, id := range ids {
+		if got[id] == nil || got[id].State != StateDone {
+			t.Fatalf("job %s: %+v, want done", id, got[id])
+		}
+	}
+	// Unknown ids fail fast instead of polling forever.
+	if _, err := c.WaitMany(ctx, []string{"nope"}, time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v, want ErrNotFound", err)
+	}
+}
+
+// TestWaitManyCancelPropagation: cancelling the context unblocks WaitMany
+// promptly with the partial results, and the wait leaves no goroutines
+// behind — the fan-in is one loop, not a goroutine per job.
+func TestWaitManyCancelPropagation(t *testing.T) {
+	q, c, release := clientServer(t, Options{Workers: 1})
+	defer q.Close()
+	defer close(release)
+	base := context.Background()
+
+	before := runtime.NumGoroutine()
+	fast, err := c.Submit(base, Spec{Kind: "echo", Params: json.RawMessage(`{"fast":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(base, fast.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var stuck []string
+	for i := 0; i < 3; i++ {
+		sub, err := c.Submit(base, Spec{Kind: "block", Params: json.RawMessage(fmt.Sprintf(`{"b":%d}`, i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stuck = append(stuck, sub.ID)
+	}
+
+	ctx, cancel := context.WithCancel(base)
+	done := make(chan struct{})
+	var partial map[string]*JobResponse
+	var werr error
+	go func() {
+		partial, werr = c.WaitMany(ctx, append([]string{fast.ID}, stuck...), time.Millisecond)
+		close(done)
+	}()
+	// Let the loop pick up the already-done job, then cancel mid-wait.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("WaitMany never collected the done job")
+		default:
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+		if q.Metrics().Completed >= 1 {
+			break
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // a few poll ticks
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitMany did not unblock on context cancel")
+	}
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("WaitMany error = %v, want context.Canceled", werr)
+	}
+	if partial[fast.ID] == nil || partial[fast.ID].State != StateDone {
+		t.Fatalf("partial map lost the completed job: %+v", partial)
+	}
+	for _, id := range stuck {
+		if partial[id] != nil {
+			t.Fatalf("blocked job %s appeared in partial results", id)
+		}
+	}
+	// No goroutine-per-poll leak: the count settles back to baseline (with
+	// slack for the server's own pool and the blocked workers).
+	var after int
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+		after = runtime.NumGoroutine()
+		if after <= before+8 {
+			return
+		}
+	}
+	t.Fatalf("goroutines %d -> %d: WaitMany leaked", before, after)
 }

@@ -3,6 +3,7 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -39,6 +40,30 @@ type errorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
+// Service is the behavior the v1 HTTP surface is built over. *Queue is the
+// single-node implementation; the fabric dispatcher implements the same
+// interface over a fleet of worker nodes, so clients speak one API to both.
+type Service interface {
+	// Submit enqueues a spec, reporting the dedup outcome. Load shedding is
+	// signalled with ErrClosed, ErrSaturated or ErrStoreUnavailable, bad
+	// specs with ErrUnknownKind or another error.
+	Submit(spec Spec) (Status, SubmitOutcome, error)
+	// Get returns a job's current status (ErrNotFound for unknown ids).
+	Get(id string) (Status, error)
+	// Result returns the artifact of a done job.
+	Result(id string) (json.RawMessage, error)
+	// List returns known jobs, optionally filtered by kind and/or state.
+	List(kind string, state State) []Status
+	// Cancel cancels a queued or running job.
+	Cancel(id string) error
+	// Health reports whether a fresh submission would be accepted right now.
+	Health() Health
+	// Metrics snapshots the legacy JSON metrics view.
+	Metrics() MetricsSnapshot
+	// WriteMetrics renders the Prometheus text exposition.
+	WriteMetrics(w io.Writer) error
+}
+
 // NewHandler exposes a Queue over HTTP/JSON. The canonical API is versioned
 // under /v1/:
 //
@@ -61,16 +86,24 @@ type errorResponse struct {
 // (and for /metrics the legacy JSON payload), plus a "Deprecation: true"
 // header and a Link to the v1 successor.
 func NewHandler(q *Queue) http.Handler {
+	return NewHandlerFor(q)
+}
+
+// NewHandlerFor exposes any Service over the identical v1 (plus deprecated
+// legacy) HTTP surface. The fabric dispatcher mounts its fleet through this,
+// so a jobs.Client cannot tell a single node from a dispatcher.
+func NewHandlerFor(svc Service) http.Handler {
 	mux := http.NewServeMux()
-	registerRoutes(mux, q, "/v1", false)
-	registerRoutes(mux, q, "", true)
+	RegisterRoutes(mux, svc, "/v1", false)
+	RegisterRoutes(mux, svc, "", true)
 	return mux
 }
 
-// registerRoutes installs one complete copy of the API under prefix.
+// RegisterRoutes installs one complete copy of the API under prefix on mux.
 // Legacy copies advertise their deprecation and v1 successor on every
-// response.
-func registerRoutes(mux *http.ServeMux, q *Queue, prefix string, legacy bool) {
+// response. Exported so servers that add sibling route families (the fabric
+// dispatcher's /fabric/v1) can share one mux.
+func RegisterRoutes(mux *http.ServeMux, q Service, prefix string, legacy bool) {
 	handle := func(method, path string, h http.HandlerFunc) {
 		if legacy {
 			inner := h
@@ -223,4 +256,14 @@ func httpError(w http.ResponseWriter, code int, apiCode string, err error, retry
 		Message:     err.Error(),
 		RetryAfterS: retryAfter,
 	}})
+}
+
+// WriteJSON writes v as an indented JSON response with the given status.
+// Exported for sibling route families that extend the v1 API.
+func WriteJSON(w http.ResponseWriter, code int, v any) { writeHTTPJSON(w, code, v) }
+
+// WriteError writes the unified error envelope (and Retry-After header when
+// retryAfter > 0), so sibling route families fail in the same shape as /v1.
+func WriteError(w http.ResponseWriter, code int, apiCode string, err error, retryAfter int) {
+	httpError(w, code, apiCode, err, retryAfter)
 }

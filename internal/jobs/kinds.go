@@ -29,7 +29,18 @@ const (
 	// programs and stores the reports, so padserver serves fence/buffer
 	// analyses through the same queue and artifact store as experiments.
 	KindLint = "padlint"
+	// KindSynthetic is the load-generator kind: a deterministic CPU-bound
+	// hash chain, a pure function of its params, so fleets can be
+	// throughput-tested (BENCH_server.json) and chaos-tested with
+	// checksum-stable artifacts.
+	KindSynthetic = "synthetic"
 )
+
+// BuiltinKinds lists the kinds RegisterBuiltins installs; the fabric
+// dispatcher admits exactly these without holding any runner itself.
+func BuiltinKinds() []string {
+	return []string{KindExperiment, KindModelCheck, KindLint, KindSynthetic}
+}
 
 // RegisterBuiltins installs the repository's job kinds on q: the experiment
 // runners, the bounded model checkers, and the static linter. Both
@@ -55,6 +66,54 @@ func RegisterBuiltins(q *Queue) {
 		return res, err
 	})
 	q.Register(KindLint, runLint)
+	q.Register(KindSynthetic, runSynthetic)
+}
+
+// SyntheticParams configures one synthetic load-generator job.
+type SyntheticParams struct {
+	// I distinguishes job identities (it seeds the hash chain).
+	I int `json:"i"`
+	// Work is the number of hash-chain iterations (default 1000); it scales
+	// the job's CPU cost without changing its identity-per-I determinism.
+	Work int `json:"work,omitempty"`
+}
+
+// SyntheticResult is the persisted artifact of a synthetic job. Digest is a
+// pure function of (I, Work), so duplicate executions anywhere in a fleet
+// produce byte-identical artifacts — any checksum divergence is a real
+// duplicate-side-effect bug, not noise.
+type SyntheticResult struct {
+	I      int    `json:"i"`
+	Work   int    `json:"work"`
+	Digest uint64 `json:"digest"`
+}
+
+// RunSynthetic executes the synthetic kind outside a queue — load
+// generators and fleet tests use it to compute the expected artifact.
+func RunSynthetic(ctx context.Context, params json.RawMessage) (any, error) {
+	return runSynthetic(ctx, params)
+}
+
+func runSynthetic(ctx context.Context, params json.RawMessage) (any, error) {
+	var p SyntheticParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("synthetic params: %w", err)
+	}
+	if p.Work <= 0 {
+		p.Work = 1000
+	}
+	// FNV-1a chain: cheap, deterministic, unoptimizable-away.
+	h := uint64(14695981039346656037)
+	h ^= uint64(p.I)
+	for i := 0; i < p.Work; i++ {
+		h = (h ^ uint64(i)) * 1099511628211
+		if i%65536 == 65535 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &SyntheticResult{I: p.I, Work: p.Work, Digest: h}, nil
 }
 
 // ExperimentParams selects one experiment by registry id ("e1".."e11").

@@ -58,6 +58,14 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	}
 }
 
+// WithTerminalHook installs fn as the queue's terminal-transition hook: it
+// is invoked (asynchronously, on its own goroutine) with the final status of
+// every job that reaches done, failed or cancelled. The fabric worker agent
+// acks completions to its dispatcher through this hook.
+func WithTerminalHook(fn func(Status)) Option {
+	return func(o *Options) { o.OnTerminal = fn }
+}
+
 // WithMetrics backs the queue's instrumentation with the given registry
 // instead of a private one, so its metrics appear on a shared scrape
 // endpoint (padserver passes obsv.Default()).

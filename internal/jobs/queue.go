@@ -109,6 +109,14 @@ type Options struct {
 	// instruments; nil means a private registry (Metrics/WriteMetrics still
 	// work, the instruments just do not appear on any shared scrape).
 	Metrics *obsv.Registry
+	// OnTerminal, when set, is called with a copy of the job's status each
+	// time a job reaches a terminal state (done, failed after its last
+	// attempt, cancelled). Delivery is asynchronous — the hook runs on its
+	// own goroutine, never under the queue's lock — so implementations may
+	// call back into the queue. The fabric worker agent uses it as its ack
+	// hook: every local completion becomes a report to the dispatcher. A
+	// hard Abort delivers no further notifications, matching a process kill.
+	OnTerminal func(Status)
 }
 
 // SubmitOutcome says what a Submit call actually did.
@@ -485,6 +493,21 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 	return j.status, SubmitQueued, nil
 }
 
+// notifyTerminal delivers a terminal status to the OnTerminal hook on its
+// own goroutine (so no caller ever blocks on, or deadlocks with, the hook).
+// Nothing is delivered after a crash: an aborted queue is a dead process.
+func (q *Queue) notifyTerminal(st Status) {
+	hook := q.opts.OnTerminal
+	if hook == nil || q.crashed {
+		return
+	}
+	q.retryWg.Add(1)
+	go func() {
+		defer q.retryWg.Done()
+		hook(st)
+	}()
+}
+
 // admit enforces the MaxQueued bound and the breaker. Caller holds mu.
 func (q *Queue) admit() error {
 	if q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued {
@@ -580,6 +603,7 @@ func (q *Queue) Cancel(id string) error {
 		}
 		close(j.done)
 		q.m.cancelled.Inc()
+		q.notifyTerminal(j.status)
 		return nil
 	case StateRunning:
 		j.cancelRequested = true
@@ -746,6 +770,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 			cancel()
 			j.cancel = nil
 			close(j.done)
+			q.notifyTerminal(j.status)
 			q.cond.Broadcast()
 			continue
 		}
@@ -856,6 +881,7 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 	q.brk.record(werr)
 	if !retried {
 		close(j.done)
+		q.notifyTerminal(j.status)
 	}
 	q.cond.Broadcast() // running shrank: wake any Drain waiter
 }

@@ -1,10 +1,14 @@
 package jobs
 
 import (
+	"fmt"
+	"sync"
+
 	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"priceadaptive/internal/fault"
 	"testing"
 	"time"
 )
@@ -159,4 +163,120 @@ func TestStoreScanReconcilesOrphans(t *testing.T) {
 	if !found {
 		t.Errorf("statusless job missing from scan")
 	}
+}
+
+// TestVerifyArtifactsRacesConcurrentWrites pins the store's sweep/write
+// concurrency contract: every write is temp-file+fsync+rename atomic, and
+// writers persist result.json before flipping status.json to done, so a
+// VerifyArtifacts re-hash sweep racing live completions — including injected
+// torn and failed writes, whose residue never becomes visible under a real
+// file name — must never observe a corrupt or missing artifact. The write
+// schedule and fault schedule are both seeded via fault.Source; run the
+// package under -race to let the detector check the sweep itself.
+func TestVerifyArtifactsRacesConcurrentWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fault.NewSource(20260808)
+	inj := fault.NewProb(root.Split("inject"),
+		fault.Rule{SitePrefix: SiteWriteResult, Kind: fault.Torn, Rate: 0.15, Frac: 0.5},
+		fault.Rule{SitePrefix: SiteWriteResult, Kind: fault.Err, Rate: 0.10},
+		fault.Rule{SitePrefix: SiteWriteStatus, Kind: fault.Err, Rate: 0.05},
+	)
+	s.SetInjector(inj)
+
+	const writers, perWriter = 4, 40
+	total := writers * perWriter
+	var wg sync.WaitGroup
+	writeErrs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		src := root.Split(fmt.Sprintf("writer%d", w))
+		wg.Add(1)
+		go func(w int, src *fault.Source) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				spec := Spec{Kind: KindSynthetic, Params: json.RawMessage(
+					fmt.Sprintf(`{"i":%d}`, w*perWriter+i))}
+				id, err := spec.ID()
+				if err != nil {
+					writeErrs <- err
+					return
+				}
+				if err := s.PutSpec(id, spec); err != nil {
+					writeErrs <- err
+					return
+				}
+				art := []byte(fmt.Sprintf("{\n \"payload\": %d\n}\n", src.Int63()))
+				var sum string
+				for { // injected write faults are retried, like the queue does
+					sum, err = s.PutResult(id, art)
+					if err == nil {
+						break
+					}
+				}
+				st := Status{ID: id, Kind: spec.Kind, State: StateDone, Attempts: 1, ResultSum: sum}
+				for {
+					if err := s.PutStatus(id, st); err == nil {
+						break
+					}
+				}
+			}
+		}(w, src)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Sweep continuously while the writers run.
+	sweeps, partial, maxChecked := 0, 0, 0
+	for {
+		rep, err := s.VerifyArtifacts()
+		if err != nil {
+			t.Fatalf("sweep %d: %v", sweeps, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("sweep %d raced a write into a false alarm: corrupt=%v missing=%v",
+				sweeps, rep.Corrupt, rep.Missing)
+		}
+		sweeps++
+		if rep.Checked > maxChecked {
+			maxChecked = rep.Checked
+		}
+		if rep.Checked > 0 && rep.Checked < total {
+			partial++
+		}
+		select {
+		case <-done:
+			goto settled
+		default:
+		}
+	}
+settled:
+	close(writeErrs)
+	for err := range writeErrs {
+		t.Fatalf("writer: %v", err)
+	}
+
+	rep, err := s.VerifyArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Checked != total {
+		t.Fatalf("final sweep: checked=%d corrupt=%v missing=%v, want %d clean",
+			rep.Checked, rep.Corrupt, rep.Missing, total)
+	}
+	// Guard against a vacuous pass: the sweeps must actually have overlapped
+	// the write burst, and the injector must actually have fired.
+	if partial == 0 {
+		t.Errorf("no sweep ever saw a partially-written store (%d sweeps, max checked %d) — the race went unexercised", sweeps, maxChecked)
+	}
+	if inj.Total() == 0 {
+		t.Error("fault injector never fired — torn-write visibility went untested")
+	}
+	t.Logf("%d sweeps raced %d completions (%d mid-flight), %d injected faults, 0 false alarms",
+		sweeps, total, partial, inj.Total())
 }
