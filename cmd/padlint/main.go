@@ -120,33 +120,11 @@ var quantExpects = map[string]quantExpect{
 	"synthetic-nofence-vm": {RequireCode: "fence-bound-entry"},
 }
 
-// baselineFile is the on-disk suppression set: finding fingerprints
-// (analysis.Fingerprint) mapped to a human note about why each is
-// suppressed.
-type baselineFile struct {
-	Version  int               `json:"version"`
-	Suppress map[string]string `json:"suppress"`
-}
-
-func loadBaseline(path string) (*baselineFile, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var b baselineFile
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if b.Version != 1 {
-		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, b.Version)
-	}
-	return &b, nil
-}
-
 // linter carries the run's configuration through the per-program steps.
+// The baseline is the shared analysis.Baseline suppression machinery.
 type linter struct {
 	store    *jobs.Store
-	baseline *baselineFile
+	baseline *analysis.Baseline
 }
 
 // analyze produces (or fetches) the two analyses for one program.
@@ -215,9 +193,7 @@ func (l *linter) findings(name string, pr programReport) []analysis.SARIFFinding
 	var out []analysis.SARIFFinding
 	for _, d := range append(append([]analysis.Diagnostic(nil), pr.Report.Diags...), pr.Quant.Diags...) {
 		f := analysis.SARIFFinding{Program: name, Diag: d}
-		if l.baseline != nil {
-			_, f.Suppressed = l.baseline.Suppress[analysis.Fingerprint(name, d)]
-		}
+		f.Suppressed = l.baseline.Suppressed(analysis.Fingerprint(name, d))
 		out = append(out, f)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
@@ -298,7 +274,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	l := &linter{}
 	if *baselinePath != "" {
-		b, err := loadBaseline(*baselinePath)
+		b, err := analysis.LoadBaseline(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "padlint:", err)
 			return 2
@@ -383,16 +359,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *writeBaseline != "" {
-		b := baselineFile{Version: 1, Suppress: make(map[string]string)}
+		b := analysis.NewBaseline()
 		for _, f := range allFindings {
 			b.Suppress[analysis.Fingerprint(f.Program, f.Diag)] = fmt.Sprintf("%s: %s", f.Program, f.Diag)
 		}
-		data, err := json.MarshalIndent(b, "", "  ")
-		if err != nil {
-			fmt.Fprintln(stderr, "padlint:", err)
-			return 1
-		}
-		if err := os.WriteFile(*writeBaseline, append(data, '\n'), 0o644); err != nil {
+		if err := b.WriteFile(*writeBaseline); err != nil {
 			fmt.Fprintln(stderr, "padlint:", err)
 			return 1
 		}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -211,7 +212,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var b baselineFile
+	var b analysis.Baseline
 	if err := json.Unmarshal(data, &b); err != nil {
 		t.Fatalf("baseline is not JSON: %v", err)
 	}

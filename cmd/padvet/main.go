@@ -1,0 +1,253 @@
+// Command padvet lints the repository's own Go source with the
+// concurrency-invariant suite in internal/lint/padvet: lockguard
+// ("// guarded by <mu>" field annotations checked with a per-function
+// CFG and must-held lock dataflow), clockdiscipline (wall-clock access
+// goes through fault.Clock), ctxflow (context parameter discipline),
+// errcode (error-envelope codes come from the declared registry) and
+// metricname (pad_* Prometheus conventions). Where padlint lints the
+// modelled lock programs, padvet lints the system that runs them.
+//
+// Usage:
+//
+//	padvet -all                     lint the module (CI gate)
+//	padvet -all -rules time-now     restrict to one rule
+//	padvet -all -json               machine-readable result
+//	padvet -all -sarif out.sarif    also write a SARIF 2.1.0 report
+//	padvet -all -cache .padvet      reuse results for unchanged packages
+//	padvet -all -v                  also list annotation-allowed findings
+//	padvet -all -write-baseline vet.baseline.json
+//	padvet -all -baseline vet.baseline.json
+//	padvet -list-rules              print the rule catalogue
+//
+// The exit status is the lint gate: 0 when every finding is either fixed,
+// annotated away (padvet:allow <rule> <reason>), or baselined; 1
+// otherwise; 2 on usage errors. The cache stores per-package results in a
+// jobs artifact store keyed by file-set hash, analyzer version, rule set
+// and cross-package fact hash, so re-lints of unchanged packages skip
+// type-checking entirely.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/jobs"
+	"priceadaptive/internal/lint/padvet"
+)
+
+// fingerprintKey names the partialFingerprints slot in SARIF output;
+// the /v1 suffix versions the fingerprint algorithm.
+const fingerprintKey = "padvetFingerprint/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fingerprint is the stable identity of a padvet finding for baselines
+// and SARIF: file, rule and line (message text excluded, so rewording a
+// diagnostic does not invalidate baselines).
+func fingerprint(f padvet.Finding) string {
+	return analysis.FingerprintOf(f.File, f.Rule, strconv.Itoa(f.Line))
+}
+
+// ruleDocs maps rule IDs to their one-line SARIF descriptions.
+func ruleDocs() map[string]string {
+	docs := make(map[string]string)
+	for _, r := range padvet.Rules() {
+		docs[r.ID] = r.Doc
+	}
+	return docs
+}
+
+// sarifReport renders the run as SARIF 2.1.0: blocking findings as
+// errors, baseline-suppressed ones marked suppressed, and
+// annotation-allowed ones included as suppressed notes so deliberate
+// exceptions stay auditable in code-scanning UIs.
+func sarifReport(res *padvet.Result, baseline *analysis.Baseline) ([]byte, error) {
+	var results []analysis.SARIFResult
+	for _, f := range res.Findings {
+		results = append(results, analysis.SARIFResult{
+			RuleID:      f.Rule,
+			Level:       "error",
+			Message:     f.Msg,
+			URI:         f.File,
+			Line:        f.Line,
+			Fingerprint: fingerprint(f),
+			Suppressed:  baseline.Suppressed(fingerprint(f)),
+		})
+	}
+	for _, f := range res.Allowed {
+		results = append(results, analysis.SARIFResult{
+			RuleID:      f.Rule,
+			Level:       "note",
+			Message:     f.Msg + " (allowed by annotation)",
+			URI:         f.File,
+			Line:        f.Line,
+			Fingerprint: fingerprint(f),
+			Suppressed:  true,
+		})
+	}
+	return analysis.SARIFLog("padvet", padvet.AnalyzerVersion, fingerprintKey, ruleDocs(), results)
+}
+
+// vetOutput is the -json shape: the padvet result plus the gate verdict.
+type vetOutput struct {
+	*padvet.Result
+	AnalyzerVersion string `json:"analyzer_version"`
+	// BaselineSuppressed counts findings silenced by the -baseline file.
+	BaselineSuppressed int  `json:"baseline_suppressed,omitempty"`
+	Pass               bool `json:"pass"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("padvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "lint the whole module (CI gate)")
+	root := fs.String("root", ".", "module root to lint (directory holding go.mod)")
+	rulesFlag := fs.String("rules", "", "comma-separated rule subset (default: the full suite)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	sarifOut := fs.String("sarif", "", "write a SARIF 2.1.0 report to this file")
+	baselinePath := fs.String("baseline", "", "suppress findings listed in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write all current findings to this baseline file and exit 0")
+	cacheDir := fs.String("cache", "", "serve unchanged packages from a jobs artifact store at this directory")
+	verbose := fs.Bool("v", false, "also list findings allowed by annotations")
+	listRules := fs.Bool("list-rules", false, "print the rule catalogue and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *listRules {
+		for _, r := range padvet.Rules() {
+			fmt.Fprintf(stdout, "%-20s %s\n", r.ID, r.Doc)
+		}
+		return 0
+	}
+	if !*all {
+		fmt.Fprintln(stderr, "padvet: -all is required (padvet lints the module as a whole)")
+		fs.Usage()
+		return 2
+	}
+
+	cfg := padvet.Config{Root: *root, Stderr: stderr}
+	if *rulesFlag != "" {
+		for _, r := range splitComma(*rulesFlag) {
+			cfg.Rules = append(cfg.Rules, r)
+		}
+	}
+	var baseline *analysis.Baseline
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 2
+		}
+		baseline = b
+	}
+	if *cacheDir != "" {
+		store, err := jobs.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 2
+		}
+		cfg.Cache = &jobs.VetCache{Store: store}
+	}
+
+	res, err := padvet.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "padvet:", err)
+		return 1
+	}
+
+	if *writeBaseline != "" {
+		b := analysis.NewBaseline()
+		for _, f := range res.Findings {
+			b.Suppress[fingerprint(f)] = f.String()
+		}
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "padvet: wrote %d finding(s) to %s\n", len(b.Suppress), *writeBaseline)
+		return 0
+	}
+
+	if *sarifOut != "" {
+		data, err := sarifReport(res, baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 1
+		}
+		if err := os.WriteFile(*sarifOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 1
+		}
+	}
+
+	// The gate: findings survive unless the baseline suppresses them.
+	var blocking []padvet.Finding
+	suppressed := 0
+	for _, f := range res.Findings {
+		if baseline.Suppressed(fingerprint(f)) {
+			suppressed++
+			continue
+		}
+		blocking = append(blocking, f)
+	}
+
+	if *jsonOut {
+		out := vetOutput{
+			Result:             res,
+			AnalyzerVersion:    padvet.AnalyzerVersion,
+			BaselineSuppressed: suppressed,
+			Pass:               len(blocking) == 0,
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "padvet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range blocking {
+			fmt.Fprintln(stdout, f)
+		}
+		if *verbose {
+			for _, f := range res.Allowed {
+				fmt.Fprintf(stdout, "%s (allowed)\n", f)
+			}
+		}
+		cache := ""
+		if cfg.Cache != nil {
+			cache = fmt.Sprintf(", cache %d hit(s) %d miss(es)", res.CacheHits, res.CacheMisses)
+		}
+		fmt.Fprintf(stdout, "padvet: %d package(s), %d file(s), %d finding(s), %d allowed by annotation, %d baselined%s\n",
+			res.Packages, res.Files, len(blocking), len(res.Allowed), suppressed, cache)
+		for _, te := range res.TypeErrors {
+			fmt.Fprintf(stderr, "padvet: type-check skipped: %s\n", te)
+		}
+	}
+	if len(blocking) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitComma splits a comma-separated list, dropping empty elements.
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"priceadaptive/internal/analysis"
+)
+
+// update regenerates the golden SARIF report from the fixture module:
+//
+//	go test ./cmd/padvet -run TestGoldenSARIF -update
+var update = flag.Bool("update", false, "rewrite testdata/golden.sarif from the fixture module")
+
+// fixtureRoot is the committed module seeding one violation per analyzer.
+const fixtureRoot = "testdata/module"
+
+// seededRules is what the fixture must trip, one per analyzer (errcode
+// contributes two variants), in finding order.
+var seededRules = []string{
+	"lockguard", "time-sleep", "ctx-first", "errcode-literal", "errcode-switch", "metric-name",
+}
+
+func runPadvet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestListRules(t *testing.T) {
+	code, out, _ := runPadvet(t, "-list-rules")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, rule := range append([]string{"time-now", "ctx-field", "context-background", "errcode-undeclared", "metric-label", "metric-dup"}, seededRules...) {
+		if !strings.Contains(out, rule) {
+			t.Errorf("rule catalogue is missing %s", rule)
+		}
+	}
+}
+
+func TestAllFlagRequired(t *testing.T) {
+	if code, _, _ := runPadvet(t); code != 2 {
+		t.Fatalf("padvet without -all: exit %d, want 2 (usage error)", code)
+	}
+}
+
+// TestGateFindsSeededViolations proves every analyzer fires: the fixture
+// module seeds one violation per analyzer and the gate must report exactly
+// those, plus the one annotation-allowed finding.
+func TestGateFindsSeededViolations(t *testing.T) {
+	code, out, _ := runPadvet(t, "-all", "-root", fixtureRoot, "-json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (seeded violations must block)", code)
+	}
+	var res struct {
+		Findings []struct {
+			File string `json:"file"`
+			Rule string `json:"rule"`
+		} `json:"findings"`
+		Allowed []struct {
+			Rule string `json:"rule"`
+		} `json:"allowed"`
+		Pass bool `json:"pass"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if res.Pass {
+		t.Fatal("pass=true with blocking findings")
+	}
+	var got []string
+	for _, f := range res.Findings {
+		if f.File != "lib/lib.go" {
+			t.Errorf("finding in %s, want lib/lib.go", f.File)
+		}
+		got = append(got, f.Rule)
+	}
+	if strings.Join(got, ",") != strings.Join(seededRules, ",") {
+		t.Fatalf("rules %v, want %v", got, seededRules)
+	}
+	if len(res.Allowed) != 1 || res.Allowed[0].Rule != "context-background" {
+		t.Fatalf("allowed %v, want the one annotated context-background", res.Allowed)
+	}
+}
+
+// TestGoldenSARIF pins the SARIF 2.1.0 report byte-for-byte: rule
+// metadata, stable fingerprints, error levels for blocking findings and a
+// suppressed note for the annotation-allowed one.
+func TestGoldenSARIF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.sarif")
+	if code, _, _ := runPadvet(t, "-all", "-root", fixtureRoot, "-sarif", out); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("SARIF report drifted from %s (re-run with -update after reviewing):\n%s", golden, got)
+	}
+}
+
+// TestBaselineRoundTrip writes the fixture's findings to a baseline, then
+// re-runs against it: every finding is suppressed and the gate passes.
+func TestBaselineRoundTrip(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "vet.baseline.json")
+	code, out, _ := runPadvet(t, "-all", "-root", fixtureRoot, "-write-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0\n%s", code, out)
+	}
+	b, err := analysis.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatalf("written baseline does not round-trip: %v", err)
+	}
+	if len(b.Suppress) != len(seededRules) {
+		t.Fatalf("baseline holds %d fingerprints, want %d", len(b.Suppress), len(seededRules))
+	}
+
+	code, out, _ = runPadvet(t, "-all", "-root", fixtureRoot, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "6 baselined") {
+		t.Fatalf("summary does not report the baselined findings:\n%s", out)
+	}
+
+	// The SARIF report marks baselined findings suppressed instead of
+	// dropping them, so code-scanning UIs can still show them.
+	sarif := filepath.Join(t.TempDir(), "out.sarif")
+	if code, _, _ := runPadvet(t, "-all", "-root", fixtureRoot, "-baseline", baseline, "-sarif", sarif); code != 0 {
+		t.Fatalf("baselined SARIF run: exit %d, want 0", code)
+	}
+	data, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte(`"kind": "external"`)); n != len(seededRules)+1 {
+		t.Fatalf("%d suppressions in SARIF, want %d (6 baselined + 1 allowed)", n, len(seededRules)+1)
+	}
+}
+
+// TestCacheFlag wires -cache through a jobs artifact store: the second
+// run over the unchanged fixture is served entirely from the cache.
+func TestCacheFlag(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "store")
+	parse := func(out string) (hits, misses int) {
+		t.Helper()
+		var res struct {
+			CacheHits   int `json:"cache_hits"`
+			CacheMisses int `json:"cache_misses"`
+		}
+		if err := json.Unmarshal([]byte(out), &res); err != nil {
+			t.Fatalf("-json output is not JSON: %v", err)
+		}
+		return res.CacheHits, res.CacheMisses
+	}
+	_, out, _ := runPadvet(t, "-all", "-root", fixtureRoot, "-cache", cacheDir, "-json")
+	if hits, misses := parse(out); hits != 0 || misses != 1 {
+		t.Fatalf("cold run: %d hits %d misses, want 0/1", hits, misses)
+	}
+	_, out, _ = runPadvet(t, "-all", "-root", fixtureRoot, "-cache", cacheDir, "-json")
+	if hits, misses := parse(out); hits != 1 || misses != 0 {
+		t.Fatalf("warm run: %d hits %d misses, want 1/0", hits, misses)
+	}
+}

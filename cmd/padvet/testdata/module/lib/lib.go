@@ -1,0 +1,47 @@
+// Package lib seeds one violation per padvet analyzer, pinning the golden
+// SARIF report and the gate's exit codes in cmd/padvet's tests.
+package lib
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The declared error-code registry; classify below must cover it.
+const (
+	CodeReady = "ready"
+	CodeBusy  = "busy"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) bump() { b.n++ } // lockguard: no mu held
+
+func wait() { time.Sleep(time.Millisecond) } // time-sleep
+
+// padvet:allow context-background fixture exercises the allowed path
+func root() context.Context { return context.Background() }
+
+func second(id int, ctx context.Context) {} // ctx-first: context is parameter 2
+
+type ErrorBody struct{ Code string }
+
+func envelope() ErrorBody { return ErrorBody{Code: "oops"} } // errcode-literal
+
+func classify(b ErrorBody) int {
+	switch b.Code { // errcode-switch: misses CodeBusy, no default
+	case CodeReady:
+		return 1
+	}
+	return 0
+}
+
+type reg struct{}
+
+func (reg) Counter(name, help string) int { return 0 }
+
+func metric() int { return reg{}.Counter("pad_widgets", "w") } // metric-name: counter without _total

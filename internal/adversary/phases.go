@@ -22,7 +22,7 @@ func (e *stopError) Error() string { return "adversary: stopped: " + e.reason.St
 
 // state carries the construction through its phases.
 type state struct {
-	ctx context.Context
+	ctx context.Context // padvet:allow ctx-field single construction run, threaded through every phase
 	cfg Config
 	sim *tso.Simulator
 	// act is the current active (and invisible) set, sorted ascending.

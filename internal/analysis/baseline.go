@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the on-disk suppression set shared by the repository's
+// linters (padlint over VM programs, padvet over the source tree):
+// finding fingerprints (FingerprintOf) mapped to a human note about why
+// each is suppressed. Suppressed findings drop out of the lint gate but
+// stay in SARIF reports marked as suppressed.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Suppress map[string]string `json:"suppress"`
+}
+
+// NewBaseline returns an empty version-1 baseline.
+func NewBaseline() *Baseline {
+	return &Baseline{Version: 1, Suppress: make(map[string]string)}
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Suppressed reports whether fingerprint is baselined.
+func (b *Baseline) Suppressed(fingerprint string) bool {
+	if b == nil {
+		return false
+	}
+	_, ok := b.Suppress[fingerprint]
+	return ok
+}
+
+// WriteFile serializes the baseline as indented JSON at path.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // SARIFFinding is one diagnostic prepared for SARIF serialization: the
@@ -21,14 +22,22 @@ type SARIFFinding struct {
 // the SARIF convention for versioning a fingerprint algorithm.
 const fingerprintKey = "padlintFingerprint/v1"
 
-// Fingerprint is the stable identity of a finding, used by baseline
-// files and SARIF partialFingerprints: a short hash of (program, rule
-// code, pc). The message text is deliberately excluded so wording
-// changes and process-count-dependent details do not invalidate
-// baselines.
-func Fingerprint(program string, d Diagnostic) string {
-	h := sha256.Sum256([]byte(program + "\x00" + d.Code + "\x00" + strconv.Itoa(d.PC)))
+// FingerprintOf is the shared fingerprint algorithm every repository
+// linter uses for baseline files and SARIF partialFingerprints: a short
+// hash of the NUL-joined identity parts. Callers pick parts that are
+// stable across cosmetic change (padlint: program, code, pc; padvet:
+// file, rule, line).
+func FingerprintOf(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
 	return hex.EncodeToString(h[:8])
+}
+
+// Fingerprint is the stable identity of a padlint finding: a short hash
+// of (program, rule code, pc). The message text is deliberately excluded
+// so wording changes and process-count-dependent details do not
+// invalidate baselines.
+func Fingerprint(program string, d Diagnostic) string {
+	return FingerprintOf(program, d.Code, strconv.Itoa(d.PC))
 }
 
 // ruleHelp gives each diagnostic code a SARIF rule description. Codes
@@ -113,54 +122,69 @@ type sarifSuppression struct {
 	Kind string `json:"kind"`
 }
 
-// SARIF serializes findings as an indented SARIF 2.1.0 log with a
-// single padlint run. Program locations use the virtual artifact URI
-// vmprog/<name>.json with the instruction's pc as a 1-based line, so
-// SARIF viewers order findings sensibly even though the programs are
-// built in memory. Baseline-suppressed findings carry an "external"
-// suppression instead of being dropped, which is how SARIF consumers
-// (and code-scanning UIs) expect baselines to surface.
-func SARIF(toolVersion string, findings []SARIFFinding) ([]byte, error) {
+// SARIFResult is one tool-agnostic finding prepared for SARIFLog: any
+// repository linter (padlint over VM programs, padvet over the source
+// tree) maps its findings onto this shape and reuses the same writer.
+type SARIFResult struct {
+	RuleID string
+	// Level is the SARIF severity: "error", "warning" or "note".
+	Level   string
+	Message string
+	// URI locates the artifact (a real file path, or a virtual URI such
+	// as vmprog/<name>.json); Line is 1-based.
+	URI  string
+	Line int
+	// Fingerprint is the finding's stable identity (FingerprintOf).
+	Fingerprint string
+	// Suppressed marks baseline-silenced findings: they stay in the log
+	// with an "external" suppression instead of being dropped, which is
+	// how SARIF consumers (and code-scanning UIs) expect baselines to
+	// surface.
+	Suppressed bool
+}
+
+// SARIFLog serializes results as an indented SARIF 2.1.0 log with a
+// single run for the named tool. ruleDocs supplies per-rule short
+// descriptions; rules missing from it still serialize with a generic
+// description, so a new analyzer rule cannot break report generation.
+// fpKey names the partialFingerprints slot (per-tool, /vN-versioned).
+func SARIFLog(tool, toolVersion, fpKey string, ruleDocs map[string]string, results []SARIFResult) ([]byte, error) {
 	codes := make(map[string]int)
 	var rules []sarifRule
-	for _, f := range findings {
-		if _, ok := codes[f.Diag.Code]; ok {
+	for _, r := range results {
+		if _, ok := codes[r.RuleID]; ok {
 			continue
 		}
-		codes[f.Diag.Code] = 0
-		rules = append(rules, sarifRule{ID: f.Diag.Code})
+		codes[r.RuleID] = 0
+		rules = append(rules, sarifRule{ID: r.RuleID})
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
 	for i := range rules {
-		help, ok := ruleHelp[rules[i].ID]
+		help, ok := ruleDocs[rules[i].ID]
 		if !ok {
-			help = "padlint finding " + rules[i].ID
+			help = tool + " finding " + rules[i].ID
 		}
 		rules[i].ShortDescription = sarifMessage{Text: help}
 		codes[rules[i].ID] = i
 	}
 
-	results := make([]sarifResult, 0, len(findings))
-	for _, f := range findings {
-		level := "warning"
-		if f.Diag.Sev == SevError {
-			level = "error"
-		}
-		r := sarifResult{
-			RuleID:    f.Diag.Code,
-			RuleIndex: codes[f.Diag.Code],
-			Level:     level,
-			Message:   sarifMessage{Text: f.Program + ": " + f.Diag.Msg},
+	out := make([]sarifResult, 0, len(results))
+	for _, r := range results {
+		sr := sarifResult{
+			RuleID:    r.RuleID,
+			RuleIndex: codes[r.RuleID],
+			Level:     r.Level,
+			Message:   sarifMessage{Text: r.Message},
 			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
-				ArtifactLocation: sarifArtifactLocation{URI: "vmprog/" + f.Program + ".json"},
-				Region:           sarifRegion{StartLine: f.Diag.PC + 1},
+				ArtifactLocation: sarifArtifactLocation{URI: r.URI},
+				Region:           sarifRegion{StartLine: r.Line},
 			}}},
-			PartialFingerprints: map[string]string{fingerprintKey: Fingerprint(f.Program, f.Diag)},
+			PartialFingerprints: map[string]string{fpKey: r.Fingerprint},
 		}
-		if f.Suppressed {
-			r.Suppressions = []sarifSuppression{{Kind: "external"}}
+		if r.Suppressed {
+			sr.Suppressions = []sarifSuppression{{Kind: "external"}}
 		}
-		results = append(results, r)
+		out = append(out, sr)
 	}
 
 	log := sarifLog{
@@ -168,12 +192,36 @@ func SARIF(toolVersion string, findings []SARIFFinding) ([]byte, error) {
 		Version: "2.1.0",
 		Runs: []sarifRun{{
 			Tool: sarifTool{Driver: sarifDriver{
-				Name:    "padlint",
+				Name:    tool,
 				Version: toolVersion,
 				Rules:   rules,
 			}},
-			Results: results,
+			Results: out,
 		}},
 	}
 	return json.MarshalIndent(log, "", "  ")
+}
+
+// SARIF serializes padlint findings as a SARIF 2.1.0 log. Program
+// locations use the virtual artifact URI vmprog/<name>.json with the
+// instruction's pc as a 1-based line, so SARIF viewers order findings
+// sensibly even though the programs are built in memory.
+func SARIF(toolVersion string, findings []SARIFFinding) ([]byte, error) {
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		if f.Diag.Sev == SevError {
+			level = "error"
+		}
+		results = append(results, SARIFResult{
+			RuleID:      f.Diag.Code,
+			Level:       level,
+			Message:     f.Program + ": " + f.Diag.Msg,
+			URI:         "vmprog/" + f.Program + ".json",
+			Line:        f.Diag.PC + 1,
+			Fingerprint: Fingerprint(f.Program, f.Diag),
+			Suppressed:  f.Suppressed,
+		})
+	}
+	return SARIFLog("padlint", toolVersion, fingerprintKey, ruleHelp, results)
 }

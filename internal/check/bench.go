@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"sort"
 
+	"priceadaptive/internal/lint/padvet"
 	"priceadaptive/internal/mutex"
 	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
@@ -51,6 +52,30 @@ type SimBenchBaseline struct {
 	MaxSinkOverheadPct float64 `json:"max_sink_overhead_pct"`
 }
 
+// PadvetBaseline pins the deterministic shape of a full padvet run over
+// the repository's own source: analyzer version, rule count, and the
+// package/file/finding counts of a clean cold lint. Like SimBenchBaseline,
+// the wall-clock half (cold vs fully cached) lives in the timed
+// TestPadvetCacheGuard, which re-runs the workload in-process and enforces
+// MinCachedSpeedup — timings cannot live in a byte-synced artifact.
+type PadvetBaseline struct {
+	AnalyzerVersion string `json:"analyzer_version"`
+	// Rules counts the suite's rule catalogue.
+	Rules int `json:"rules"`
+	// Packages and Files count what a full-module run analyzes.
+	Packages int `json:"packages"`
+	Files    int `json:"files"`
+	// Findings must be 0 (the repo gate); Allowed counts the audited
+	// padvet:allow / nosleep:allow exceptions in the tree.
+	Findings int `json:"findings"`
+	Allowed  int `json:"allowed"`
+	// MinCachedSpeedup is the regression budget the padvet guard enforces:
+	// a fully cached re-lint (every package served from the artifact cache,
+	// no type-checking) must be at least this many times faster than the
+	// cold run.
+	MinCachedSpeedup float64 `json:"min_cached_speedup"`
+}
+
 // BenchAnalysis is the tracked BENCH_analysis.json artifact: the static
 // analyzer's measured value as a state-space reducer across the whole VM
 // program registry, plus the sink-overhead guard baseline.
@@ -62,6 +87,8 @@ type BenchAnalysis struct {
 	Programs  []BenchAnalysisEntry `json:"programs"`
 	// SimBench is the simulator benchmark baseline for the sink guard.
 	SimBench *SimBenchBaseline `json:"sim_bench,omitempty"`
+	// Padvet is the source-lint baseline for the padvet cache guard.
+	Padvet *PadvetBaseline `json:"padvet,omitempty"`
 }
 
 // Fixed parameters of the sink-guard workload.
@@ -71,6 +98,29 @@ const (
 	simBenchMaxStates = 500000
 	simBenchMaxDepth  = 256
 )
+
+// padvetMinCachedSpeedup is the committed cache-speedup budget: the cold
+// run pays std-lib source type-checking, the cached run only parses, so
+// anything under 2x means the per-package cache stopped short-circuiting.
+const padvetMinCachedSpeedup = 2
+
+// PadvetBench lints the module rooted at root with the full padvet suite
+// (optionally through cache) and returns the deterministic baseline facts.
+func PadvetBench(root string, cache padvet.Cache) (*PadvetBaseline, error) {
+	res, err := padvet.Run(padvet.Config{Root: root, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	return &PadvetBaseline{
+		AnalyzerVersion:  padvet.AnalyzerVersion,
+		Rules:            len(padvet.Rules()),
+		Packages:         res.Packages,
+		Files:            res.Files,
+		Findings:         len(res.Findings),
+		Allowed:          len(res.Allowed),
+		MinCachedSpeedup: padvetMinCachedSpeedup,
+	}, nil
+}
 
 // SimBenchRun executes the sink-guard workload: an exhaustive check of the
 // fenced Peterson lock at N=2. The exploration is deterministic, so its
@@ -85,8 +135,10 @@ func SimBenchRun(ctx context.Context) (*ExhaustiveReport, error) {
 
 // AnalysisBench runs the pruned-vs-unpruned comparison over every
 // registry program at the given process count and budget (0 selects
-// n=2 and a 1<<22 budget, the tracked artifact's parameters).
-func AnalysisBench(ctx context.Context, n, maxStates int) (*BenchAnalysis, error) {
+// n=2 and a 1<<22 budget, the tracked artifact's parameters). padvetRoot,
+// when non-empty, is the module root to lint for the padvet baseline
+// section ("" skips it, for callers without a stable working directory).
+func AnalysisBench(ctx context.Context, n, maxStates int, padvetRoot string) (*BenchAnalysis, error) {
 	if n <= 0 {
 		n = 2
 	}
@@ -138,6 +190,13 @@ func AnalysisBench(ctx context.Context, n, maxStates int) (*BenchAnalysis, error
 		States:             rep.States,
 		Decisions:          rep.Decisions,
 		MaxSinkOverheadPct: 5,
+	}
+	if padvetRoot != "" {
+		pv, err := PadvetBench(padvetRoot, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Padvet = pv
 	}
 	return out, nil
 }

@@ -21,7 +21,7 @@ func TestBenchAnalysisJSONInSync(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry exploration in -short mode")
 	}
-	got, err := AnalysisBench(context.Background(), 0, 0)
+	got, err := AnalysisBench(context.Background(), 0, 0, filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,5 +51,11 @@ func TestBenchAnalysisJSONInSync(t *testing.T) {
 		if e.PrunedStates > e.UnprunedStates {
 			t.Errorf("%s: pruning grew the state space (%d > %d)", e.Name, e.PrunedStates, e.UnprunedStates)
 		}
+	}
+	if got.Padvet == nil {
+		t.Fatal("no padvet baseline section; regenerate with -update-bench")
+	}
+	if got.Padvet.Findings != 0 {
+		t.Errorf("padvet baseline records %d blocking findings; the repo gate requires 0", got.Padvet.Findings)
 	}
 }

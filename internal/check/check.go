@@ -144,7 +144,7 @@ func (e Exhaustive) Verify(ctx context.Context, cfg tso.Config, build tso.Build)
 
 // iteration is one depth-limited pass of the iterative-deepening search.
 type iteration struct {
-	ctx        context.Context
+	ctx        context.Context // padvet:allow ctx-field one deepening pass, not a long-lived object
 	cfg        tso.Config
 	build      tso.Build
 	rep        *ExhaustiveReport

@@ -1,0 +1,78 @@
+package check
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// padvetGuard opts the timing guard in; like -sink-guard it measures
+// wall-clock and belongs in the dedicated CI bench step, not ordinary runs.
+var padvetGuard = flag.Bool("padvet-guard", false, "run the padvet cold-vs-cached cache guard (timed)")
+
+// memCache is a throwaway in-memory padvet.Cache for the guard.
+type memCache struct{ m map[string][]byte }
+
+func (c *memCache) Get(key string) ([]byte, bool) { raw, ok := c.m[key]; return raw, ok }
+func (c *memCache) Put(key string, data []byte)   { c.m[key] = data }
+
+// TestPadvetCacheGuard is the wall-clock half of the padvet baseline in
+// BENCH_analysis.json: it lints the whole repository cold (populating a
+// per-package cache), re-lints fully cached, requires (a) the run's shape
+// to match the committed baseline — analyzer version, package/file/allowed
+// counts, zero findings — and (b) the cached re-lint to beat the cold run
+// by the committed MinCachedSpeedup. The cold run pays std-lib source
+// type-checking; the cached one only parses, so if the cache ever stops
+// short-circuiting the typed phase this trips long before it hurts CI.
+func TestPadvetCacheGuard(t *testing.T) {
+	if !*padvetGuard {
+		t.Skip("pass -padvet-guard to run the timed padvet cache guard")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_analysis.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline BenchAnalysis
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Padvet == nil {
+		t.Fatal("BENCH_analysis.json has no padvet baseline; regenerate with -update-bench")
+	}
+
+	root := filepath.Join("..", "..")
+	cache := &memCache{m: make(map[string][]byte)}
+
+	start := time.Now()
+	cold, err := PadvetBench(root, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldT := time.Since(start)
+
+	if *cold != *baseline.Padvet {
+		t.Fatalf("padvet workload drifted from the committed baseline (regenerate with -update-bench):\ngot  %+v\nwant %+v",
+			cold, baseline.Padvet)
+	}
+
+	start = time.Now()
+	cached, err := PadvetBench(root, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedT := time.Since(start)
+	if *cached != *cold {
+		t.Fatalf("cached re-lint changed the result: cold %+v, cached %+v", cold, cached)
+	}
+
+	speedup := float64(coldT) / float64(cachedT)
+	t.Logf("padvet cold %v, cached %v (speedup %.1fx, budget %.1fx)",
+		coldT, cachedT, speedup, baseline.Padvet.MinCachedSpeedup)
+	if speedup < baseline.Padvet.MinCachedSpeedup {
+		t.Fatalf("cached re-lint only %.1fx faster than cold (%v vs %v), budget %.1fx: the per-package cache stopped short-circuiting",
+			speedup, cachedT, coldT, baseline.Padvet.MinCachedSpeedup)
+	}
+}

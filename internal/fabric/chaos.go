@@ -21,8 +21,8 @@ import (
 // transport, exactly like a dead TCP endpoint).
 type Router struct {
 	mu   sync.Mutex
-	h    http.Handler
-	down bool
+	h    http.Handler // guarded by mu
+	down bool         // guarded by mu
 }
 
 // NewRouter returns a router with no handler installed (all requests fail

@@ -80,12 +80,12 @@ type fjob struct {
 	// node is the current assignment ("" while unplaced); delivered marks
 	// that the node pulled it; lease is the assignment's expiry on the
 	// dispatcher clock.
-	node      string
-	delivered bool
-	lease     time.Time
+	node      string    // guarded by Dispatcher.mu
+	delivered bool      // guarded by Dispatcher.mu
+	lease     time.Time // guarded by Dispatcher.mu
 	// acceptedAt (dispatcher clock) feeds the placement-latency histogram.
-	acceptedAt      time.Time
-	cancelRequested bool
+	acceptedAt      time.Time // guarded by Dispatcher.mu
+	cancelRequested bool      // guarded by Dispatcher.mu
 	// done closes at the terminal transition (replaced on resubmission).
 	done chan struct{}
 }
@@ -96,16 +96,18 @@ type dnode struct {
 	capacity int
 	// inflight is the booked assignment set; outbox the subset placed but
 	// not yet pulled.
-	inflight map[string]bool
-	outbox   []string
-	lastSeen time.Time
+	inflight map[string]bool // guarded by Dispatcher.mu
+	outbox   []string        // guarded by Dispatcher.mu
+	lastSeen time.Time       // guarded by Dispatcher.mu
 	// completions counts accepted Complete reports, for the fleet report.
-	completions int64
+	completions int64 // guarded by Dispatcher.mu
 }
 
+// padvet:holds Dispatcher.mu
 func (n *dnode) free() int { return n.capacity - len(n.inflight) }
 
 // load is the booking ratio placement minimizes.
+// padvet:holds Dispatcher.mu
 func (n *dnode) load() float64 { return float64(len(n.inflight)) / float64(n.capacity) }
 
 // Dispatcher shards jobs across registered worker nodes. It implements
@@ -118,19 +120,19 @@ type Dispatcher struct {
 	clock fault.Clock
 	m     *fleetMetrics
 
-	sweepCtx    context.Context
+	sweepCtx    context.Context // padvet:allow ctx-field sweeper lifetime root, cancelled in Close
 	sweepCancel context.CancelFunc
 	wg          sync.WaitGroup
 
 	mu      sync.Mutex
-	kinds   map[string]bool
-	jobs    map[string]*fjob
-	queue   []string // accepted, unplaced (FIFO)
-	nodes   map[string]*dnode
-	started bool
-	closed  bool
+	kinds   map[string]bool   // guarded by mu
+	jobs    map[string]*fjob  // guarded by mu
+	queue   []string          // guarded by mu (accepted, unplaced, FIFO)
+	nodes   map[string]*dnode // guarded by mu
+	started bool              // guarded by mu
+	closed  bool              // guarded by mu
 	// terminal tallies for the MetricsSnapshot view.
-	doneN, failedN, cancelledN int64
+	doneN, failedN, cancelledN int64 // guarded by mu
 }
 
 // NewDispatcher creates a dispatcher over store. Call Recover, then Start.
@@ -149,7 +151,7 @@ func NewDispatcher(store *jobs.Store, opts DispatcherOptions) *Dispatcher {
 		nodes:       make(map[string]*dnode),
 	}
 	for _, k := range opts.Kinds {
-		d.kinds[k] = true
+		d.kinds[k] = true // padvet:allow lockguard construction: d is not shared yet
 	}
 	d.m.registerGauges(d)
 	return d
@@ -349,7 +351,7 @@ func (d *Dispatcher) assignLocked(j *fjob, n *dnode, adopted bool) {
 	j.lease = d.clock.Now().Add(d.opts.LeaseTTL)
 	j.status.State = jobs.StateRunning
 	if j.status.StartedAt.IsZero() {
-		j.status.StartedAt = time.Now().UTC()
+		j.status.StartedAt = d.clock.Now().UTC()
 	}
 	j.status.Attempts++
 	_ = d.store.PutStatus(id, j.status) // best effort; Recover heals
@@ -437,7 +439,7 @@ func (d *Dispatcher) Submit(spec jobs.Spec) (jobs.Status, jobs.SubmitOutcome, er
 			ID:        id,
 			Kind:      spec.Kind,
 			State:     jobs.StateQueued,
-			CreatedAt: time.Now().UTC(),
+			CreatedAt: d.clock.Now().UTC(),
 		},
 		acceptedAt: d.clock.Now(),
 		done:       make(chan struct{}),
@@ -553,7 +555,7 @@ func (d *Dispatcher) Cancel(id string) error {
 func (d *Dispatcher) terminalLocked(j *fjob, state jobs.State, msg string) {
 	j.status.State = state
 	j.status.Error = msg
-	j.status.FinishedAt = time.Now().UTC()
+	j.status.FinishedAt = d.clock.Now().UTC()
 	_ = d.store.PutStatus(j.status.ID, j.status)
 	close(j.done)
 	switch state {
@@ -673,20 +675,6 @@ func (d *Dispatcher) Register(req RegisterRequest) (RegisterResponse, error) {
 		LeaseSec:     d.opts.LeaseTTL.Seconds(),
 		HeartbeatSec: d.opts.Heartbeat.Seconds(),
 	}
-	claim := func(j *fjob, adopted bool) {
-		// The worker already holds this work; book it here without
-		// touching the outbox.
-		if j.status.State == jobs.StateQueued {
-			d.removeFromQueueLocked(j.status.ID)
-		}
-		if j.node != "" && j.node != req.Node {
-			if other := d.nodes[j.node]; other != nil {
-				d.releaseLocked(other, j.status.ID)
-			}
-		}
-		delete(previously, j.status.ID)
-		d.assignLocked(j, n, adopted)
-	}
 	for _, id := range req.InProgress {
 		j := d.jobs[id]
 		switch {
@@ -696,7 +684,7 @@ func (d *Dispatcher) Register(req RegisterRequest) (RegisterResponse, error) {
 			// Reassigned to a live node elsewhere while this one was away.
 			resp.Drop = append(resp.Drop, id)
 		default:
-			claim(j, true)
+			d.claimLocked(j, n, previously, true)
 			resp.Keep = append(resp.Keep, id)
 		}
 	}
@@ -707,7 +695,7 @@ func (d *Dispatcher) Register(req RegisterRequest) (RegisterResponse, error) {
 		}
 		// The artifact exists on the node but never reached us: claim the
 		// job for this node and ask for the result instead of re-running.
-		claim(j, true)
+		d.claimLocked(j, n, previously, true)
 		resp.Want = append(resp.Want, id)
 	}
 	// Anything the old registration held that the new one no longer
@@ -721,6 +709,24 @@ func (d *Dispatcher) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	d.placeLocked()
 	return resp, nil
+}
+
+// claimLocked books a job its node already holds onto a (re-)registration:
+// the worker reported it in progress, so it is booked here without touching
+// the outbox, any stale booking elsewhere is released, and the job drops out
+// of the previous registration's unclaimed set. Caller holds mu.
+// padvet:holds d.mu
+func (d *Dispatcher) claimLocked(j *fjob, onto *dnode, previously map[string]bool, adopted bool) {
+	if j.status.State == jobs.StateQueued {
+		d.removeFromQueueLocked(j.status.ID)
+	}
+	if j.node != "" && j.node != onto.name {
+		if other := d.nodes[j.node]; other != nil {
+			d.releaseLocked(other, j.status.ID)
+		}
+	}
+	delete(previously, j.status.ID)
+	d.assignLocked(j, onto, adopted)
 }
 
 // Heartbeat renews the node's liveness and the leases of every reported
@@ -775,6 +781,18 @@ func (d *Dispatcher) Pull(req PullRequest) (PullResponse, error) {
 	return resp, nil
 }
 
+// releaseAndPlaceLocked drops every booking of a reported job — the stale
+// assignee (if any) and the reporting node — then refills the freed
+// capacity from the unplaced queue. Caller holds mu.
+// padvet:holds d.mu
+func (d *Dispatcher) releaseAndPlaceLocked(j *fjob, n *dnode, id string) {
+	if held := d.nodes[j.node]; held != nil {
+		d.releaseLocked(held, id)
+	}
+	d.releaseLocked(n, id)
+	d.placeLocked()
+}
+
 // Complete records a node's terminal report. Done reports carry the
 // artifact, which is verified against its sha256 content address before
 // being replicated into the dispatcher store; failures consume the
@@ -791,15 +809,8 @@ func (d *Dispatcher) Complete(req CompleteRequest) (CompleteResponse, error) {
 	if j == nil {
 		return CompleteResponse{}, jobs.ErrNotFound
 	}
-	release := func() {
-		if held := d.nodes[j.node]; held != nil {
-			d.releaseLocked(held, req.ID)
-		}
-		d.releaseLocked(n, req.ID)
-		d.placeLocked()
-	}
 	if j.status.State.Terminal() {
-		defer release()
+		defer d.releaseAndPlaceLocked(j, n, req.ID)
 		if j.status.State == jobs.StateDone && req.State == jobs.StateDone {
 			if req.ResultSum == j.status.ResultSum {
 				return CompleteResponse{Outcome: OutcomeDuplicate}, nil
@@ -828,7 +839,7 @@ func (d *Dispatcher) Complete(req CompleteRequest) (CompleteResponse, error) {
 				d.releaseLocked(n, req.ID)
 			} else {
 				// It was this node's assignment: burn the attempt too.
-				release()
+				d.releaseAndPlaceLocked(j, n, req.ID)
 				d.failOrRequeueLocked(j, fmt.Sprintf("artifact integrity rejected from node %s", req.Node))
 			}
 			return CompleteResponse{}, ErrIntegrity
@@ -843,7 +854,7 @@ func (d *Dispatcher) Complete(req CompleteRequest) (CompleteResponse, error) {
 		j.status.State = jobs.StateDone
 		j.status.Error = ""
 		j.status.ResultSum = sum
-		j.status.FinishedAt = time.Now().UTC()
+		j.status.FinishedAt = d.clock.Now().UTC()
 		j.status.Duration = time.Duration(req.DurationNS)
 		j.result = req.Result
 		_ = d.store.PutStatus(req.ID, j.status)
@@ -853,14 +864,14 @@ func (d *Dispatcher) Complete(req CompleteRequest) (CompleteResponse, error) {
 		d.m.completions.With(req.Node, string(jobs.StateDone)).Inc()
 		d.m.replications.Inc()
 		d.m.replicatedBytes.Add(float64(len(req.Result)))
-		release()
+		d.releaseAndPlaceLocked(j, n, req.ID)
 		return CompleteResponse{Outcome: OutcomeRecorded}, nil
 	case jobs.StateCancelled:
 		if stale {
 			d.releaseLocked(n, req.ID)
 			return CompleteResponse{Outcome: OutcomeStale}, nil
 		}
-		release()
+		d.releaseAndPlaceLocked(j, n, req.ID)
 		n.completions++
 		d.m.completions.With(req.Node, string(jobs.StateCancelled)).Inc()
 		if j.cancelRequested {
@@ -876,7 +887,7 @@ func (d *Dispatcher) Complete(req CompleteRequest) (CompleteResponse, error) {
 			d.releaseLocked(n, req.ID)
 			return CompleteResponse{Outcome: OutcomeStale}, nil
 		}
-		release()
+		d.releaseAndPlaceLocked(j, n, req.ID)
 		n.completions++
 		d.m.completions.With(req.Node, string(jobs.StateFailed)).Inc()
 		// The runner's error crossed the wire by value; it re-surfaces

@@ -33,7 +33,7 @@ type fleetMetrics struct {
 	// placements retains raw placement latencies (seconds, bounded) for the
 	// quantile summary the load-generator bench publishes.
 	mu         sync.Mutex
-	placements []float64
+	placements []float64 // guarded by mu
 }
 
 // placementCap bounds the retained raw latencies; the histogram keeps

@@ -54,21 +54,21 @@ type Worker struct {
 	queue *jobs.Queue
 	fc    *Client
 
-	ctx    context.Context
+	ctx    context.Context // padvet:allow ctx-field node lifetime root, cancelled in Close
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	mu sync.Mutex
 	// claimed is the assignment set this node holds leases for; acks is the
 	// FIFO of locally-terminal jobs not yet reported (ackSet dedups it).
-	claimed map[string]bool
-	acks    []string
-	ackSet  map[string]bool
+	claimed map[string]bool // guarded by mu
+	acks    []string        // guarded by mu
+	ackSet  map[string]bool // guarded by mu
 	// registered gates the loop; hbEvery/lastHB drive the heartbeat cadence.
-	registered bool
-	hbEvery    time.Duration
-	lastHB     time.Time
-	killed     bool
+	registered bool          // guarded by mu
+	hbEvery    time.Duration // guarded by mu
+	lastHB     time.Time     // guarded by mu
+	killed     bool          // guarded by mu
 }
 
 // NewWorker opens the node's local store and builds its queue (builtin

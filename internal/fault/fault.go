@@ -119,7 +119,7 @@ func (Nop) Fault(string) *Fault { return nil }
 type Source struct {
 	seed int64
 	mu   sync.Mutex
-	rng  *rand.Rand
+	rng  *rand.Rand // guarded by mu
 }
 
 // NewSource returns a source seeded with seed.
@@ -192,7 +192,7 @@ type Prob struct {
 	rules []Rule
 
 	mu     sync.Mutex
-	counts map[string]int64
+	counts map[string]int64 // guarded by mu
 }
 
 // NewProb returns a probabilistic injector drawing from src.
@@ -257,8 +257,8 @@ func (p *Prob) CountKeys() []string {
 // randomness.
 type Script struct {
 	mu    sync.Mutex
-	seen  map[string]int
-	steps map[string]map[int]Fault
+	seen  map[string]int           // guarded by mu
+	steps map[string]map[int]Fault // guarded by mu
 }
 
 // NewScript returns an empty script.

@@ -24,11 +24,11 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 
-	failures int
-	open     bool
-	openedAt time.Time
-	probing  bool
-	trips    int64
+	failures int       // guarded by mu
+	open     bool      // guarded by mu
+	openedAt time.Time // guarded by mu
+	probing  bool      // guarded by mu
+	trips    int64     // guarded by mu
 }
 
 func newBreaker(clock fault.Clock, threshold int, cooldown time.Duration) *breaker {

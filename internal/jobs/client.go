@@ -135,7 +135,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body, out any, okS
 			// raw body rather than hiding it.
 			return resp.StatusCode, &APIError{
 				StatusCode: resp.StatusCode,
-				Code:       "unknown",
+				Code:       CodeUnknown,
 				Message:    strings.TrimSpace(string(data)),
 			}
 		}
@@ -347,7 +347,7 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+		return "", &APIError{StatusCode: resp.StatusCode, Code: CodeUnknown, Message: strings.TrimSpace(string(data))}
 	}
 	return string(data), nil
 }

@@ -21,6 +21,10 @@ const (
 	CodeStoreUnavailable = "store_unavailable"
 	CodeNotFound         = "not_found"
 	CodeConflict         = "conflict"
+	// CodeUnknown is the client-side placeholder for responses that carry no
+	// envelope at all (proxy error pages, panic output): the raw body becomes
+	// the message and the code marks it as unclassifiable.
+	CodeUnknown = "unknown"
 )
 
 // ErrorBody is the payload of every error response:

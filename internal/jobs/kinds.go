@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
-	"time"
 
 	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/analysis/absint"
@@ -34,12 +33,15 @@ const (
 	// throughput-tested (BENCH_server.json) and chaos-tested with
 	// checksum-stable artifacts.
 	KindSynthetic = "synthetic"
+
+	// KindVet (declared in vet.go) lints the repository's own source with
+	// the padvet suite.
 )
 
 // BuiltinKinds lists the kinds RegisterBuiltins installs; the fabric
 // dispatcher admits exactly these without holding any runner itself.
 func BuiltinKinds() []string {
-	return []string{KindExperiment, KindModelCheck, KindLint, KindSynthetic}
+	return []string{KindExperiment, KindModelCheck, KindLint, KindSynthetic, KindVet}
 }
 
 // RegisterBuiltins installs the repository's job kinds on q: the experiment
@@ -54,12 +56,12 @@ func RegisterBuiltins(q *Queue) {
 	rate := reg.Gauge("pad_check_states_per_second", "Exploration rate of the most recent model-check job.")
 	q.Register(KindExperiment, runExperiment)
 	q.Register(KindModelCheck, func(ctx context.Context, params json.RawMessage) (any, error) {
-		start := time.Now()
+		start := q.clock.Now()
 		res, err := runModelCheck(ctx, params)
 		if mc, ok := res.(*ModelCheckResult); ok && err == nil {
 			states.Add(float64(mc.States))
 			decisions.Add(float64(mc.Decisions))
-			if d := time.Since(start).Seconds(); d > 0 {
+			if d := q.clock.Now().Sub(start).Seconds(); d > 0 {
 				rate.Set(float64(mc.States) / d)
 			}
 		}
@@ -67,6 +69,12 @@ func RegisterBuiltins(q *Queue) {
 	})
 	q.Register(KindLint, runLint)
 	q.Register(KindSynthetic, runSynthetic)
+	// The source linter caches per-package results through the queue's own
+	// artifact store, on the queue's clock.
+	vetCache := &VetCache{Store: q.store, Clock: q.clock}
+	q.Register(KindVet, func(ctx context.Context, params json.RawMessage) (any, error) {
+		return runVet(ctx, params, vetCache)
+	})
 }
 
 // SyntheticParams configures one synthetic load-generator job.

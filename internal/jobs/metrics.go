@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"priceadaptive/internal/fault"
 	"priceadaptive/internal/obsv"
 )
 
@@ -15,6 +16,7 @@ import (
 // passes obsv.Default() so queue metrics join the process-wide scrape).
 type metrics struct {
 	reg     *obsv.Registry
+	clock   fault.Clock
 	started time.Time
 
 	submitted *obsv.Counter
@@ -40,11 +42,14 @@ type metrics struct {
 	kinds map[string]bool // kind label values handed out, for snapshot iteration
 }
 
-func newMetrics(reg *obsv.Registry) *metrics {
+func newMetrics(reg *obsv.Registry, clock fault.Clock) *metrics {
 	if reg == nil {
 		reg = obsv.NewRegistry()
 	}
-	m := &metrics{reg: reg, started: time.Now(), kinds: make(map[string]bool)}
+	if clock == nil {
+		clock = fault.Wall{}
+	}
+	m := &metrics{reg: reg, clock: clock, started: clock.Now(), kinds: make(map[string]bool)}
 	m.submitted = reg.Counter("pad_jobs_submitted_total", "Accepted job submissions.")
 	m.deduped = reg.Counter("pad_jobs_deduped_total", "Submissions that joined an already queued or running job.")
 	m.cacheHits = reg.Counter("pad_jobs_cache_hits_total", "Submissions served from the artifact cache without running.")
@@ -67,7 +72,7 @@ func newMetrics(reg *obsv.Registry) *metrics {
 // state. Called once from New, after the breaker exists.
 func (m *metrics) registerQueueGauges(q *Queue) {
 	m.reg.GaugeFunc("pad_uptime_seconds", "Seconds since the queue started.",
-		func() float64 { return time.Since(m.started).Seconds() })
+		func() float64 { return m.clock.Now().Sub(m.started).Seconds() })
 	m.reg.GaugeFunc("pad_workers", "Worker pool size.",
 		func() float64 { return float64(q.opts.Workers) })
 	m.reg.GaugeFunc("pad_queue_depth", "Queued (not yet running) jobs.",
@@ -154,7 +159,7 @@ type MetricsSnapshot struct {
 }
 
 func (m *metrics) snapshot(workers, depth, running int, breakerTrips int64, breakerOpen bool) MetricsSnapshot {
-	up := time.Since(m.started)
+	up := m.clock.Now().Sub(m.started)
 	snap := MetricsSnapshot{
 		UptimeSec:    up.Seconds(),
 		Workers:      workers,

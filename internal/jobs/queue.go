@@ -162,25 +162,25 @@ type Queue struct {
 	src   *fault.Source
 	brk   *breaker
 
-	baseCtx    context.Context
+	baseCtx    context.Context // padvet:allow ctx-field queue lifetime root, cancelled in Close
 	baseCancel context.CancelFunc
 	// retryCtx outlives nothing: it only unblocks backoff sleeps at Close
 	// so pending retries park back in the store as queued.
-	retryCtx    context.Context
+	retryCtx    context.Context // padvet:allow ctx-field retry-timer root, cancelled in Close
 	retryCancel context.CancelFunc
 	retryWg     sync.WaitGroup
 
 	mu         sync.Mutex
 	cond       *sync.Cond
-	kinds      map[string]Runner
-	retryKinds map[string]RetryPolicy
-	jobs       map[string]*job
-	fifo       []string
-	running    int
-	started    bool
-	closed     bool
-	draining   bool
-	crashed    bool
+	kinds      map[string]Runner      // guarded by mu
+	retryKinds map[string]RetryPolicy // guarded by mu
+	jobs       map[string]*job        // guarded by mu
+	fifo       []string               // guarded by mu
+	running    int                    // guarded by mu
+	started    bool                   // guarded by mu
+	closed     bool                   // guarded by mu
+	draining   bool                   // guarded by mu
+	crashed    bool                   // guarded by mu
 	wg         sync.WaitGroup
 }
 
@@ -215,7 +215,7 @@ func New(store *Store, opts Options) *Queue {
 	if opts.Injector == nil {
 		opts.Injector = fault.Nop{}
 	}
-	m := newMetrics(opts.Metrics)
+	m := newMetrics(opts.Metrics, opts.Clock)
 	// Every injector is wrapped so delivered faults count on
 	// pad_fault_injections_total, at the store's sites and the worker's.
 	inj := countingInjector{inner: opts.Injector, faults: m.faults}
@@ -282,6 +282,7 @@ func (q *Queue) RegisterRetry(kind string, p RetryPolicy) {
 }
 
 // retryPolicy returns the effective policy for a kind. Caller holds mu.
+// padvet:holds q.mu
 func (q *Queue) retryPolicy(kind string) RetryPolicy {
 	if p, ok := q.retryKinds[kind]; ok {
 		return p
@@ -472,7 +473,7 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 			ID:        id,
 			Kind:      spec.Kind,
 			State:     StateQueued,
-			CreatedAt: time.Now().UTC(),
+			CreatedAt: q.clock.Now().UTC(),
 		},
 		done: make(chan struct{}),
 	}
@@ -496,6 +497,8 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 // notifyTerminal delivers a terminal status to the OnTerminal hook on its
 // own goroutine (so no caller ever blocks on, or deadlocks with, the hook).
 // Nothing is delivered after a crash: an aborted queue is a dead process.
+// Caller holds mu.
+// padvet:holds q.mu
 func (q *Queue) notifyTerminal(st Status) {
 	hook := q.opts.OnTerminal
 	if hook == nil || q.crashed {
@@ -509,6 +512,7 @@ func (q *Queue) notifyTerminal(st Status) {
 }
 
 // admit enforces the MaxQueued bound and the breaker. Caller holds mu.
+// padvet:holds q.mu
 func (q *Queue) admit() error {
 	if q.opts.MaxQueued > 0 && len(q.fifo) >= q.opts.MaxQueued {
 		q.m.saturated.Inc()
@@ -597,7 +601,7 @@ func (q *Queue) Cancel(id string) error {
 	case StateQueued:
 		j.cancelRequested = true
 		j.status.State = StateCancelled
-		j.status.FinishedAt = time.Now().UTC()
+		j.status.FinishedAt = q.clock.Now().UTC()
 		if err := q.store.PutStatus(id, j.status); err != nil {
 			return err
 		}
@@ -719,7 +723,7 @@ func (q *Queue) worker() {
 		if j == nil {
 			return
 		}
-		q.run(j, ctx, cancel)
+		q.run(ctx, cancel, j)
 	}
 }
 
@@ -755,7 +759,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 		}
 		j.cancel = cancel
 		j.status.State = StateRunning
-		j.status.StartedAt = time.Now().UTC()
+		j.status.StartedAt = q.clock.Now().UTC()
 		j.status.Attempts++
 		q.running++
 		// Persist the transition while holding the claim; a crash after
@@ -765,7 +769,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 		if werr != nil {
 			j.status.State = StateFailed
 			j.status.Error = werr.Error()
-			j.status.FinishedAt = time.Now().UTC()
+			j.status.FinishedAt = q.clock.Now().UTC()
 			q.running--
 			cancel()
 			j.cancel = nil
@@ -781,7 +785,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 // execute invokes the runner with panic containment and the "worker"
 // injection site applied. A panicking runner fails the job instead of
 // killing the whole worker pool.
-func (q *Queue) execute(runner Runner, ctx context.Context, cancel context.CancelFunc, j *job) (res any, err error) {
+func (q *Queue) execute(ctx context.Context, cancel context.CancelFunc, runner Runner, j *job) (res any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			q.m.panics.Inc()
@@ -810,14 +814,14 @@ func (q *Queue) execute(runner Runner, ctx context.Context, cancel context.Cance
 
 // run executes a claimed job and records its terminal transition (or hands
 // a retryable failure to the backoff timer).
-func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
+func (q *Queue) run(ctx context.Context, cancel context.CancelFunc, j *job) {
 	defer cancel()
 	q.mu.Lock()
 	runner := q.kinds[j.spec.Kind]
 	q.mu.Unlock()
-	start := time.Now()
-	res, err := q.execute(runner, ctx, cancel, j)
-	dur := time.Since(start)
+	start := q.clock.Now()
+	res, err := q.execute(ctx, cancel, runner, j)
+	dur := q.clock.Now().Sub(start)
 
 	var raw json.RawMessage
 	var sum string
@@ -844,7 +848,7 @@ func (q *Queue) run(j *job, ctx context.Context, cancel context.CancelFunc) {
 	}
 	q.running--
 	j.cancel = nil
-	j.status.FinishedAt = time.Now().UTC()
+	j.status.FinishedAt = q.clock.Now().UTC()
 	j.status.Duration = dur
 	cancelled := j.cancelRequested || errors.Is(err, context.Canceled)
 	retried := false

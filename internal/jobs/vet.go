@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/lint/padvet"
+)
+
+// KindVet runs the padvet source linter (internal/lint/padvet) over a Go
+// module tree and stores the padvet.Result as the artifact, so the same
+// queue that lints the modelled lock programs (KindLint) also lints the
+// system that runs them.
+const KindVet = "padvet"
+
+// vetCacheKind names the per-package padvet cache artifacts in the jobs
+// store. These are not queue jobs: cmd/padvet and the KindVet runner
+// write them directly through VetCache, keyed by padvet's cache identity
+// (file-set hash x analyzer version x rule set x fact hash).
+const vetCacheKind = "padvet-package"
+
+// VetParams configures a padvet job.
+type VetParams struct {
+	// Root is the module root to lint (default "."; the server's working
+	// directory, which for the repository's deployments is the repo root).
+	Root string `json:"root,omitempty"`
+	// Rules restricts the run to these rule IDs (empty = the full suite).
+	Rules []string `json:"rules,omitempty"`
+}
+
+// VetResult is the persisted artifact of a padvet job.
+type VetResult struct {
+	*padvet.Result
+	// AnalyzerVersion pins which analyzer produced the artifact.
+	AnalyzerVersion string `json:"analyzer_version"`
+	// Pass reports a clean run: no unsuppressed findings.
+	Pass bool `json:"pass"`
+}
+
+// VetCache adapts the jobs artifact store to padvet.Cache: per-package
+// lint results become store artifacts of kind vetCacheKind, so re-lints
+// of unchanged packages are served from disk with the same durability
+// and integrity checking (VerifyArtifacts) as any other artifact.
+type VetCache struct {
+	Store *Store
+	// Clock stamps the artifact statuses; nil means the wall clock.
+	Clock fault.Clock
+}
+
+// specFor derives the store identity for one padvet cache key.
+func (c *VetCache) specFor(key string) (Spec, string, error) {
+	params, err := json.Marshal(map[string]string{"key": key})
+	if err != nil {
+		return Spec{}, "", err
+	}
+	spec := Spec{Kind: vetCacheKind, Params: params}
+	id, err := spec.ID()
+	return spec, id, err
+}
+
+// Get serves a cached per-package result, if present.
+func (c *VetCache) Get(key string) ([]byte, bool) {
+	_, id, err := c.specFor(key)
+	if err != nil {
+		return nil, false
+	}
+	raw, err := c.Store.GetResult(id)
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// Put stores a per-package result as a done artifact. Failures are
+// swallowed: the cache is an optimization, never a correctness input.
+func (c *VetCache) Put(key string, data []byte) {
+	spec, id, err := c.specFor(key)
+	if err != nil {
+		return
+	}
+	if err := c.Store.PutSpec(id, spec); err != nil {
+		return
+	}
+	sum, err := c.Store.PutResult(id, data)
+	if err != nil {
+		return
+	}
+	clock := c.Clock
+	if clock == nil {
+		clock = fault.Wall{}
+	}
+	now := clock.Now().UTC()
+	_ = c.Store.PutStatus(id, Status{
+		ID: id, Kind: vetCacheKind, State: StateDone, Attempts: 1,
+		CreatedAt: now, StartedAt: now, FinishedAt: now, ResultSum: sum,
+	})
+}
+
+// runVet executes one padvet job. cache may be nil (no store available).
+func runVet(ctx context.Context, params json.RawMessage, cache padvet.Cache) (any, error) {
+	var p VetParams
+	if err := json.Unmarshal(params, &p); err != nil {
+		return nil, fmt.Errorf("padvet params: %w", err)
+	}
+	if p.Root == "" {
+		p.Root = "."
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := padvet.Run(padvet.Config{Root: p.Root, Rules: p.Rules, Cache: cache})
+	if err != nil {
+		return nil, fmt.Errorf("padvet: %w", err)
+	}
+	return &VetResult{
+		Result:          res,
+		AnalyzerVersion: padvet.AnalyzerVersion,
+		Pass:            len(res.Findings) == 0,
+	}, nil
+}

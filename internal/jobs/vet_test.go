@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeVetFixture materializes a tiny Go module with one seeded padvet
+// violation, so vet jobs have something fast and deterministic to lint.
+func writeVetFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"a.go": `package a
+
+import "time"
+
+func f() { time.Sleep(time.Second) }
+`,
+	}
+	for rel, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestVetJob runs the padvet kind end-to-end through the queue against a
+// fixture module and checks the artifact carries the seeded finding.
+func TestVetJob(t *testing.T) {
+	root := writeVetFixture(t)
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 1})
+	RegisterBuiltins(q)
+	q.Start()
+	defer q.Close()
+
+	params, _ := json.Marshal(VetParams{Root: root})
+	st, _, err := q.Submit(Spec{Kind: KindVet, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateDone {
+		t.Fatalf("padvet job: %s (%s)", st.State, st.Error)
+	}
+	raw, err := q.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res VetResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("artifact is not a VetResult: %v", err)
+	}
+	if res.Pass {
+		t.Fatal("fixture seeds a time.Sleep violation; the job must not pass")
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Rule != "time-sleep" {
+		t.Fatalf("findings %v, want one time-sleep", res.Findings)
+	}
+	if res.AnalyzerVersion == "" {
+		t.Fatal("artifact does not pin the analyzer version")
+	}
+}
+
+// TestVetCacheThroughStore drives padvet's per-package cache through the
+// jobs artifact store: the second run over an unchanged tree is served
+// entirely from cached artifacts, and an edit invalidates exactly the
+// touched package.
+func TestVetCacheThroughStore(t *testing.T) {
+	root := writeVetFixture(t)
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := &VetCache{Store: store}
+
+	params, _ := json.Marshal(VetParams{Root: root})
+	runOnce := func() *VetResult {
+		t.Helper()
+		out, err := runVet(t.Context(), params, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.(*VetResult)
+	}
+
+	cold := runOnce()
+	if cold.CacheHits != 0 || cold.CacheMisses != cold.Packages {
+		t.Fatalf("cold run: %d hits %d misses over %d packages, want all misses",
+			cold.CacheHits, cold.CacheMisses, cold.Packages)
+	}
+
+	warm := runOnce()
+	if warm.CacheHits != warm.Packages || warm.CacheMisses != 0 {
+		t.Fatalf("warm run: %d hits %d misses over %d packages, want all hits",
+			warm.CacheHits, warm.CacheMisses, warm.Packages)
+	}
+	if len(warm.Findings) != len(cold.Findings) {
+		t.Fatalf("cached findings %v differ from cold findings %v", warm.Findings, cold.Findings)
+	}
+
+	// The cache artifacts are real store artifacts: they must survive an
+	// integrity sweep.
+	if rep, err := store.VerifyArtifacts(); err != nil || !rep.OK() || rep.Checked == 0 {
+		t.Fatalf("cache artifacts fail verification: %+v err=%v", rep, err)
+	}
+
+	// Editing the file invalidates the package.
+	if err := os.WriteFile(filepath.Join(root, "a.go"), []byte("package a\n\nfunc f() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := runOnce()
+	if edited.CacheMisses != 1 {
+		t.Fatalf("after edit: %d misses, want 1", edited.CacheMisses)
+	}
+	if !edited.Pass {
+		t.Fatalf("edited tree is clean, job must pass: %v", edited.Findings)
+	}
+}

@@ -1,37 +1,28 @@
-// Package nosleep is a repository-local vet pass over the project's own
-// source (std-lib go/ast only; no analysis framework dependency). It
-// enforces two hygiene rules that have bitten concurrent test suites
-// before:
-//
-//   - no time.Sleep in non-test library code: sleeping is never a
-//     synchronization primitive, and every Sleep in a worker pool or
-//     simulator is a latent flake or a hidden latency floor;
-//   - no bare context.Background() in library code outside package main:
-//     libraries must thread the caller's context so cancellation and
-//     deadlines propagate (main packages and tests own their roots);
-//   - no time.After / time.Tick in non-test library code: raw timers make
-//     backoff and timeout paths untestable (and Tick leaks). Timer-driven
-//     waits go through the injectable fault.Clock so tests can step a
-//     manual clock instead of racing the wall clock.
-//
-// A deliberate exception carries an annotation comment containing
-// "nosleep:allow <reason>" — either at the end of the offending line or on
-// a full comment line immediately above it; the reason is mandatory and is
-// echoed in -v listings so the exception stays auditable.
+// Package nosleep is the original repository-local vet pass over the
+// project's own source. Its three hygiene rules — no time.Sleep, no raw
+// timers, no bare context.Background() in library code — grew into the
+// clockdiscipline and ctxflow analyzers of internal/lint/padvet, and this
+// package is now a thin compatibility shim over that suite: CheckFile and
+// CheckDir delegate to padvet.CheckSource restricted to the three legacy
+// rules, so existing callers (and the legacy "nosleep:allow <reason>"
+// annotations in the tree) keep working unchanged. New code should run
+// cmd/padvet, which adds the type-aware analyzers on top.
 package nosleep
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
+
+	"priceadaptive/internal/lint/padvet"
 )
+
+// legacyRules is the rule subset this shim enforces: exactly the checks
+// the original nosleep pass carried before padvet absorbed it.
+var legacyRules = []string{"time-sleep", "time-timer", "context-background"}
 
 // Finding is one rule violation.
 type Finding struct {
@@ -44,9 +35,6 @@ type Finding struct {
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
 }
-
-// allowMarker is the annotation that suppresses a finding on its line.
-const allowMarker = "nosleep:allow"
 
 // CheckDir walks root for .go files (skipping _test.go files, testdata,
 // and hidden directories) and returns all findings, sorted by position.
@@ -88,110 +76,20 @@ func CheckDir(root string) ([]Finding, error) {
 	return out, nil
 }
 
-// CheckFile checks a single source file.
+// CheckFile checks a single source file with padvet's syntactic analyzers
+// restricted to the legacy rule set.
 func CheckFile(path string) ([]Finding, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	found, err := padvet.CheckSource(filepath.ToSlash(path), src, legacyRules)
 	if err != nil {
 		return nil, err
 	}
-	return check(fset, f, src, filepath.ToSlash(path)), nil
-}
-
-// check runs the rules over one parsed file. src is the raw source, used to
-// decide whether an allow annotation sits on a full comment line (in which
-// case it covers the next line, not its own).
-func check(fset *token.FileSet, f *ast.File, src []byte, path string) []Finding {
-	// Resolve which local names the time and context imports bind; a
-	// file that imports neither cannot violate either rule, and aliased
-	// imports (or shadowing by another package named "time") must not
-	// produce false positives.
-	pkgName := func(importPath string) string {
-		for _, imp := range f.Imports {
-			p, err := strconv.Unquote(imp.Path.Value)
-			if err != nil || p != importPath {
-				continue
-			}
-			if imp.Name != nil {
-				return imp.Name.Name
-			}
-			return importPath[strings.LastIndex(importPath, "/")+1:]
-		}
-		return ""
+	out := make([]Finding, 0, len(found))
+	for _, f := range found {
+		out = append(out, Finding{File: f.File, Line: f.Line, Rule: f.Rule, Msg: f.Msg})
 	}
-	timeName := pkgName("time")
-	ctxName := pkgName("context")
-	if timeName == "" && ctxName == "" {
-		return nil
-	}
-
-	// Lines carrying an allow annotation. An end-of-line annotation covers
-	// its own line; an annotation on a full comment line covers the next
-	// line, so multi-argument calls can keep the reason above the call.
-	lines := strings.Split(string(src), "\n")
-	allowed := make(map[int]bool)
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if idx := strings.Index(c.Text, allowMarker); idx >= 0 {
-				if strings.TrimSpace(c.Text[idx+len(allowMarker):]) == "" {
-					// An allowance without a reason does not count; the
-					// finding survives and names the bare marker.
-					continue
-				}
-				line := fset.Position(c.Pos()).Line
-				if line-1 < len(lines) && strings.HasPrefix(strings.TrimSpace(lines[line-1]), "//") {
-					// Full comment line: the annotation shields what follows.
-					allowed[line+1] = true
-				} else {
-					allowed[line] = true
-				}
-			}
-		}
-	}
-
-	isMain := f.Name.Name == "main"
-	var out []Finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Obj != nil {
-			// A non-nil Obj means the identifier resolves to a local
-			// declaration shadowing the import, not the package.
-			return true
-		}
-		line := fset.Position(call.Pos()).Line
-		if allowed[line] {
-			return true
-		}
-		switch {
-		case timeName != "" && id.Name == timeName && sel.Sel.Name == "Sleep":
-			out = append(out, Finding{
-				File: path, Line: line, Rule: "time-sleep",
-				Msg: "time.Sleep in non-test code: sleeping is not synchronization (annotate with " + allowMarker + " <reason> if deliberate)",
-			})
-		case timeName != "" && id.Name == timeName && (sel.Sel.Name == "After" || sel.Sel.Name == "Tick"):
-			out = append(out, Finding{
-				File: path, Line: line, Rule: "time-timer",
-				Msg: "time." + sel.Sel.Name + " in library code: route timer waits through the injectable fault.Clock so tests can step a manual clock (annotate with " + allowMarker + " <reason> if deliberate)",
-			})
-		case ctxName != "" && id.Name == ctxName && sel.Sel.Name == "Background" && !isMain:
-			out = append(out, Finding{
-				File: path, Line: line, Rule: "context-background",
-				Msg: "bare context.Background() in library code: thread the caller's context (annotate with " + allowMarker + " <reason> if this really is a root)",
-			})
-		}
-		return true
-	})
-	return out
+	return out, nil
 }

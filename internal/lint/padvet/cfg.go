@@ -1,0 +1,294 @@
+package padvet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The lockguard analyzer needs "is the mutex held on every path to this
+// access", which is a must-dataflow question, which needs a control-flow
+// graph. This file builds a compact per-function CFG over statements:
+// every block carries the AST fragments evaluated in it, in source order,
+// with nested control flow lifted out into successor blocks. Function
+// literals are deliberately NOT inlined — lockguard analyzes them as
+// separate functions (see lockguard.go for the entry-state rules).
+
+// cfgBlock is one straight-line run of evaluation.
+type cfgBlock struct {
+	// nodes are the fragments evaluated in this block, in order: whole
+	// simple statements, or the init/cond/tag parts of compound ones.
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfg is a function body's control-flow graph.
+type cfg struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopFrame struct {
+	label          string
+	brk, cont      *cfgBlock
+	isSwitchSelect bool // break targets it, continue skips past it
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	cur    *cfgBlock
+	frames []loopFrame
+	// labels maps label names to the block a goto jumps to; forward gotos
+	// resolve through pending.
+	labels  map[string]*cfgBlock
+	pending map[string][]*cfgBlock
+}
+
+// buildCFG constructs the statement-level CFG for a function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		g:       &cfg{},
+		labels:  make(map[string]*cfgBlock),
+		pending: make(map[string][]*cfgBlock),
+	}
+	b.cur = b.newBlock()
+	b.g.entry = b.cur
+	b.stmts(body.List)
+	// Unresolved forward gotos (malformed code) fall off the graph; the
+	// dataflow treats their targets as unreachable, which is safe.
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add records a fragment in the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil || b.cur == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label for loops and
+// switches ("" for unlabeled ones).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts a fresh block so gotos have a
+		// target; loops and switches additionally get the label for
+		// break/continue resolution.
+		blk := b.newBlock()
+		b.edge(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = blk
+		for _, from := range b.pending[s.Label.Name] {
+			b.edge(from, blk)
+		}
+		delete(b.pending, s.Label.Name)
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(head, thenBlk)
+		b.cur = thenBlk
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(head, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.nodes = append(head.nodes, nilFilter(s.Cond)...)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.add(s.Post)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.nodes = append(head.nodes, s.X)
+		exit := b.newBlock()
+		b.edge(head, exit) // empty collection
+		body := b.newBlock()
+		b.edge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: exit, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = b.newBlock() // anything after return is unreachable
+
+	case *ast.BranchStmt:
+		b.branch(s)
+		b.cur = b.newBlock()
+
+	case *ast.DeclStmt, *ast.ExprStmt, *ast.AssignStmt, *ast.SendStmt,
+		*ast.IncDecStmt, *ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		b.add(s)
+	}
+}
+
+// caseClauses lowers switch / type-switch / select bodies: every clause
+// branches from the current head and joins afterwards; fallthrough chains
+// clause bodies; a missing default adds a head -> join edge.
+func (b *cfgBuilder) caseClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: join, isSwitchSelect: true})
+	hasDefault := false
+	bodies := make([]*cfgBlock, len(clauses))
+	var bodyStmts [][]ast.Stmt
+	for i, c := range clauses {
+		blk := b.newBlock()
+		bodies[i] = blk
+		b.edge(head, blk)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			// Case guards evaluate while deciding, i.e. in the head.
+			for _, e := range c.List {
+				head.nodes = append(head.nodes, e)
+			}
+			bodyStmts = append(bodyStmts, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, c.Comm)
+			}
+			bodyStmts = append(bodyStmts, c.Body)
+		default:
+			bodyStmts = append(bodyStmts, nil)
+		}
+	}
+	for i, stmts := range bodyStmts {
+		b.cur = bodies[i]
+		fallsThrough := false
+		for j, s := range stmts {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == len(stmts)-1 {
+				fallsThrough = true
+				break
+			}
+			b.stmt(s, "")
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault || isSelect {
+		// No default: the switch may match nothing. (A select without a
+		// default blocks, but joining is conservative for must-analysis.)
+		b.edge(head, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// branch wires break / continue / goto edges.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if label == "" || fr.label == label {
+				b.edge(b.cur, fr.brk)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			fr := b.frames[i]
+			if fr.isSwitchSelect {
+				continue
+			}
+			if label == "" || fr.label == label {
+				b.edge(b.cur, fr.cont)
+				return
+			}
+		}
+	case token.GOTO:
+		if target, ok := b.labels[label]; ok {
+			b.edge(b.cur, target)
+		} else {
+			b.pending[label] = append(b.pending[label], b.cur)
+		}
+	}
+}
+
+func nilFilter(n ast.Node) []ast.Node {
+	if n == nil {
+		return nil
+	}
+	return []ast.Node{n}
+}

@@ -1,0 +1,87 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// clockdiscipline supersedes and absorbs the old nosleep pass: library
+// code must not touch the wall clock directly, because every raw timer is
+// an untestable backoff path and every raw time.Now is a timestamp the
+// deterministic chaos/fault harnesses cannot steer. Timer waits and
+// timestamps go through the injectable fault.Clock (fault.Wall in
+// production, fault.Manual in tests).
+//
+//   - time-sleep: time.Sleep anywhere in non-test code — sleeping is not
+//     synchronization.
+//   - time-timer: time.After / time.Tick / time.NewTimer / time.NewTicker
+//     in non-test code — raw timers make backoff untestable (and Tick
+//     leaks).
+//   - time-now: time.Now in library code (package main is exempt: CLIs
+//     measuring their own wall clock are fine).
+type clockdiscipline struct{}
+
+func (a *clockdiscipline) name() string { return "clockdiscipline" }
+
+func (a *clockdiscipline) rules() []Rule {
+	return []Rule{
+		{ID: "time-sleep", Doc: "time.Sleep in non-test code: sleeping is not synchronization; use fault.Clock"},
+		{ID: "time-timer", Doc: "raw timer (time.After/Tick/NewTimer/NewTicker) in non-test code: route waits through fault.Clock"},
+		{ID: "time-now", Doc: "time.Now in library code: read timestamps from the injectable fault.Clock"},
+	}
+}
+
+func (a *clockdiscipline) needsTypes() bool                   { return false }
+func (a *clockdiscipline) collect(fp *filePass, st *runState) {}
+func (a *clockdiscipline) finish(st *runState) []Finding      { return nil }
+
+var timerFuncs = map[string]bool{
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func (a *clockdiscipline) check(fp *filePass, st *runState) []Finding {
+	timeName := fp.importName("time")
+	if timeName == "" {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(fp.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		line := fp.line(call.Pos())
+		switch {
+		case isPkgCall(call, timeName, "Sleep"):
+			out = append(out, Finding{
+				File: fp.path, Line: line, Rule: "time-sleep",
+				Msg: "time.Sleep in non-test code: sleeping is not synchronization; use fault.Clock.Sleep (annotate with " + AllowMarker + " time-sleep <reason> if deliberate)",
+			})
+		case callIsTimer(call, timeName):
+			sel := call.Fun.(*ast.SelectorExpr).Sel.Name
+			out = append(out, Finding{
+				File: fp.path, Line: line, Rule: "time-timer",
+				Msg: "time." + sel + " in library code: route timer waits through the injectable fault.Clock so tests can step a manual clock (annotate with " + AllowMarker + " time-timer <reason> if deliberate)",
+			})
+		case isPkgCall(call, timeName, "Now") && !fp.isMain:
+			out = append(out, Finding{
+				File: fp.path, Line: line, Rule: "time-now",
+				Msg: fmt.Sprintf("time.Now in library code: read timestamps from the injectable fault.Clock so chaos and retry tests stay deterministic (annotate with %s time-now <reason> if this really is a wall-clock measurement)", AllowMarker),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func callIsTimer(call *ast.CallExpr, timeName string) bool {
+	for fn := range timerFuncs {
+		if isPkgCall(call, timeName, fn) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ctxflow enforces the repository's context discipline:
+//
+//   - ctx-first: a context.Context parameter is the first parameter (the
+//     Go API convention the whole v1 surface follows).
+//   - ctx-field: context.Context is never stored in a struct field —
+//     contexts are call-scoped; the few deliberate lifetime roots
+//     (queue/dispatcher/worker base contexts cancelled in Close) carry
+//     padvet:allow annotations.
+//   - context-background: bare context.Background() appears only in
+//     package main and tests; libraries thread the caller's context.
+type ctxflow struct{}
+
+func (a *ctxflow) name() string { return "ctxflow" }
+
+func (a *ctxflow) rules() []Rule {
+	return []Rule{
+		{ID: "ctx-first", Doc: "context.Context must be the first parameter"},
+		{ID: "ctx-field", Doc: "context.Context stored in a struct field: contexts are call-scoped"},
+		{ID: "context-background", Doc: "bare context.Background() in library code: thread the caller's context"},
+	}
+}
+
+func (a *ctxflow) needsTypes() bool                   { return false }
+func (a *ctxflow) collect(fp *filePass, st *runState) {}
+func (a *ctxflow) finish(st *runState) []Finding      { return nil }
+
+func (a *ctxflow) check(fp *filePass, st *runState) []Finding {
+	ctxName := fp.importName("context")
+	if ctxName == "" {
+		return nil
+	}
+	var out []Finding
+	isCtxType := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == ctxName && id.Obj == nil
+	}
+	ast.Inspect(fp.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPkgCall(n, ctxName, "Background") && !fp.isMain {
+				out = append(out, Finding{
+					File: fp.path, Line: fp.line(n.Pos()), Rule: "context-background",
+					Msg: "bare context.Background() in library code: thread the caller's context (annotate with " + AllowMarker + " context-background <reason> if this really is a root)",
+				})
+			}
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				if isCtxType(field.Type) {
+					out = append(out, Finding{
+						File: fp.path, Line: fp.line(field.Pos()), Rule: "ctx-field",
+						Msg: "context.Context stored in a struct field: contexts are call-scoped; pass them as parameters (annotate with " + AllowMarker + " ctx-field <reason> for a lifetime root cancelled in Close)",
+					})
+				}
+			}
+		case *ast.FuncType:
+			if n.Params == nil {
+				return true
+			}
+			pos := 0
+			for _, field := range n.Params.List {
+				width := len(field.Names)
+				if width == 0 {
+					width = 1 // unnamed parameter
+				}
+				if isCtxType(field.Type) && pos > 0 {
+					out = append(out, Finding{
+						File: fp.path, Line: fp.line(field.Pos()), Rule: "ctx-first",
+						Msg: fmt.Sprintf("context.Context is parameter %d: contexts come first (annotate with %s ctx-first <reason> if an external interface forces this)", pos+1, AllowMarker),
+					})
+				}
+				pos += width
+			}
+		}
+		return true
+	})
+	return out
+}

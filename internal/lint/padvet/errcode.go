@@ -1,0 +1,227 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// errcode keeps the v1 error envelope honest: every machine-readable code
+// the HTTP layers emit must come from the declared Code* constant registry
+// (internal/jobs and internal/fabric const blocks), and every client-side
+// switch over envelope codes must either handle all of them or carry a
+// default. The registry is collected syntactically across the whole run:
+// string constants whose names match ^Code[A-Z].
+//
+//   - errcode-literal: a string literal passed where an envelope code
+//     belongs (WriteError/httpError call sites, ErrorBody/APIError
+//     composite literals) — use a declared Code constant.
+//   - errcode-undeclared: a Code* identifier used as an envelope code but
+//     never declared in a const registry (typo or drift).
+//   - errcode-switch: a switch over an envelope .Code field with no
+//     default clause that misses declared codes.
+type errcode struct{}
+
+func (a *errcode) name() string { return "errcode" }
+
+func (a *errcode) rules() []Rule {
+	return []Rule{
+		{ID: "errcode-literal", Doc: "error-envelope code written as a string literal instead of a declared Code* constant"},
+		{ID: "errcode-undeclared", Doc: "Code* identifier used as an envelope code but not declared in the registry"},
+		{ID: "errcode-switch", Doc: "switch over envelope codes with no default misses declared codes"},
+	}
+}
+
+func (a *errcode) needsTypes() bool { return false }
+
+// isCodeConstName reports whether name follows the registry convention.
+func isCodeConstName(name string) bool {
+	if !strings.HasPrefix(name, "Code") || len(name) == len("Code") {
+		return false
+	}
+	c := name[len("Code")]
+	return c >= 'A' && c <= 'Z'
+}
+
+// collect gathers the declared registry: const Code* = "..." anywhere in
+// the run.
+func (a *errcode) collect(fp *filePass, st *runState) {
+	for _, decl := range fp.file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !isCodeConstName(name.Name) || i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if v, err := strconv.Unquote(lit.Value); err == nil {
+						st.errcodes[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// envelopeWriters maps the functions that take an envelope code to the
+// argument position carrying it.
+var envelopeWriters = map[string]int{
+	"WriteError": 2, // jobs.WriteError(w, status, apiCode, err, retryAfter)
+	"httpError":  2, // the unexported twin inside internal/jobs
+}
+
+// envelopeStructs are the composite-literal types whose Code field holds
+// an envelope code.
+var envelopeStructs = map[string]bool{
+	"ErrorBody": true,
+	"APIError":  true,
+}
+
+func (a *errcode) check(fp *filePass, st *runState) []Finding {
+	var out []Finding
+	ast.Inspect(fp.file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(n)
+			argIdx, ok := envelopeWriters[name]
+			if !ok || len(n.Args) <= argIdx {
+				return true
+			}
+			out = append(out, a.checkCodeExpr(fp, st, n.Args[argIdx], name)...)
+		case *ast.CompositeLit:
+			tname := typeNameOf(n.Type)
+			if !envelopeStructs[tname] {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+					continue
+				}
+				out = append(out, a.checkCodeExpr(fp, st, kv.Value, tname+"{Code: ...}")...)
+			}
+		case *ast.SwitchStmt:
+			out = append(out, a.checkSwitch(fp, st, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCodeExpr validates one expression used as an envelope code.
+func (a *errcode) checkCodeExpr(fp *filePass, st *runState, e ast.Expr, where string) []Finding {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return nil
+		}
+		return []Finding{{
+			File: fp.path, Line: fp.line(e.Pos()), Rule: "errcode-literal",
+			Msg: fmt.Sprintf("%s takes a raw string literal %s as the envelope code: use a declared Code* constant so clients can switch on it", where, e.Value),
+		}}
+	case *ast.Ident:
+		return a.checkCodeIdent(fp, st, e)
+	case *ast.SelectorExpr:
+		return a.checkCodeIdent(fp, st, e.Sel)
+	}
+	// Computed codes (helper calls like submitCode(err)) resolve to
+	// constants at their own return sites; nothing to check here.
+	return nil
+}
+
+func (a *errcode) checkCodeIdent(fp *filePass, st *runState, id *ast.Ident) []Finding {
+	if !isCodeConstName(id.Name) {
+		return nil // a variable or parameter forwarding a code
+	}
+	if _, ok := st.errcodes[id.Name]; ok {
+		return nil
+	}
+	return []Finding{{
+		File: fp.path, Line: fp.line(id.Pos()), Rule: "errcode-undeclared",
+		Msg: fmt.Sprintf("%s is used as an envelope code but is not declared in any Code* const registry", id.Name),
+	}}
+}
+
+// checkSwitch enforces exhaustiveness of switches over envelope codes.
+func (a *errcode) checkSwitch(fp *filePass, st *runState, sw *ast.SwitchStmt) []Finding {
+	sel, ok := sw.Tag.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Code" {
+		return nil
+	}
+	if len(st.errcodes) == 0 {
+		return nil
+	}
+	covered := make(map[string]bool) // by code value
+	hasDefault := false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			switch e := e.(type) {
+			case *ast.BasicLit:
+				if e.Kind == token.STRING {
+					if v, err := strconv.Unquote(e.Value); err == nil {
+						covered[v] = true
+					}
+				}
+			case *ast.Ident:
+				if v, ok := st.errcodes[e.Name]; ok {
+					covered[v] = true
+				}
+			case *ast.SelectorExpr:
+				if v, ok := st.errcodes[e.Sel.Name]; ok {
+					covered[v] = true
+				}
+			}
+		}
+	}
+	if hasDefault {
+		return nil
+	}
+	var missing []string
+	for name, v := range st.errcodes {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return []Finding{{
+		File: fp.path, Line: fp.line(sw.Pos()), Rule: "errcode-switch",
+		Msg: fmt.Sprintf("switch over envelope codes has no default and misses %s: handle them or add a default", strings.Join(missing, ", ")),
+	}}
+}
+
+func (a *errcode) finish(st *runState) []Finding { return nil }
+
+// calleeName resolves a call's function name (the last selector part).
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,263 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one directory's worth of non-test Go files, parsed and
+// (lazily, on demand) type-checked.
+type Package struct {
+	// Path is the import path ("priceadaptive/internal/jobs"); for file
+	// groups that do not belong to the module (fixtures), the directory.
+	Path string
+	// Name is the package clause name ("jobs", "main").
+	Name string
+	// Dir is the absolute directory.
+	Dir string
+	// FileNames are display paths (slash-separated, relative to the walk
+	// root), sorted; Files and Src are keyed by them.
+	FileNames []string
+	Files     map[string]*ast.File
+	Src       map[string][]byte
+
+	// Types and Info are populated by typeCheck; Info stays nil when the
+	// package fails to type-check (type-dependent analyzers skip it).
+	Types *types.Package
+	Info  *types.Info
+
+	typeChecked bool
+	typeErr     error
+}
+
+// loader discovers, parses and type-checks the module's packages using
+// only the standard library: module-internal imports resolve to the
+// loader's own packages, standard-library imports go through the source
+// importer (go/importer "source"), so no compiled export data is needed.
+type loader struct {
+	root    string
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	stderr  io.Writer
+	pkgs    map[string]*Package // by import path
+	order   []string            // discovery order
+	stdimp  types.Importer
+	loading map[string]bool // import-cycle guard during type-checking
+}
+
+func newLoader(root string, stderr io.Writer) (*loader, error) {
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		root:    abs,
+		module:  mod,
+		fset:    fset,
+		stderr:  stderr,
+		pkgs:    make(map[string]*Package),
+		stdimp:  importer.ForCompiler(fset, "source", nil),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("padvet: cannot read go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("padvet: no module declaration in %s", filepath.Join(root, "go.mod"))
+}
+
+func parseFile(fset *token.FileSet, path string, src []byte) (*ast.File, error) {
+	return parser.ParseFile(fset, path, src, parser.ParseComments)
+}
+
+// parseAll walks the module tree and parses every non-test .go file,
+// skipping hidden directories and testdata. Directories holding multiple
+// package clauses (a stray tool next to a library) become one Package per
+// clause, so nothing is silently dropped.
+func (ld *loader) parseAll() ([]*Package, error) {
+	err := filepath.WalkDir(ld.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.root && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		return ld.parseDir(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range ld.order {
+		out = append(out, ld.pkgs[p])
+	}
+	return out, nil
+}
+
+// parseDir parses one directory's non-test files into Package(s).
+func (ld *loader) parseDir(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return err
+	}
+	importPath := ld.module
+	if rel != "." {
+		importPath = ld.module + "/" + filepath.ToSlash(rel)
+	}
+
+	byPkg := make(map[string]*Package)
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return err
+		}
+		f, err := parseFile(ld.fset, full, src)
+		if err != nil {
+			return fmt.Errorf("padvet: %w", err)
+		}
+		pkgName := f.Name.Name
+		p, ok := byPkg[pkgName]
+		if !ok {
+			path := importPath
+			if len(byPkg) > 0 {
+				path = importPath + "#" + pkgName
+			}
+			p = &Package{
+				Path:  path,
+				Name:  pkgName,
+				Dir:   dir,
+				Files: make(map[string]*ast.File),
+				Src:   make(map[string][]byte),
+			}
+			byPkg[pkgName] = p
+		}
+		display := filepath.ToSlash(filepath.Join(rel, n))
+		if rel == "." {
+			display = n
+		}
+		p.FileNames = append(p.FileNames, display)
+		p.Files[display] = f
+		p.Src[display] = src
+	}
+	// Deterministic registration order: primary import path first, then
+	// any extra package clauses alphabetically.
+	var keys []string
+	for k := range byPkg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return byPkg[keys[i]].Path < byPkg[keys[j]].Path
+	})
+	for _, k := range keys {
+		p := byPkg[k]
+		ld.pkgs[p.Path] = p
+		ld.order = append(ld.order, p.Path)
+	}
+	return nil
+}
+
+// Import implements types.Importer: module-internal paths resolve to the
+// loader's own (recursively type-checked) packages, everything else goes
+// to the standard-library source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		p, ok := ld.pkgs[path]
+		if !ok {
+			return nil, fmt.Errorf("padvet: import %q not found under %s", path, ld.root)
+		}
+		if err := ld.typeCheck(p); err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return ld.stdimp.Import(path)
+}
+
+// typeCheck resolves one package's types (and, transitively, its module
+// dependencies'). Failures are soft: the error is recorded and returned,
+// and the package's Info stays nil so type-dependent analyzers skip it.
+func (ld *loader) typeCheck(p *Package) error {
+	if p.typeChecked {
+		return p.typeErr
+	}
+	if ld.loading[p.Path] {
+		return fmt.Errorf("padvet: import cycle through %s", p.Path)
+	}
+	ld.loading[p.Path] = true
+	defer delete(ld.loading, p.Path)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(error) {}, // collect everything; first error returned below
+	}
+	files := make([]*ast.File, 0, len(p.FileNames))
+	for _, n := range p.FileNames {
+		files = append(files, p.Files[n])
+	}
+	tpkg, err := conf.Check(p.Path, ld.fset, files, info)
+	p.typeChecked = true
+	if err != nil {
+		p.typeErr = err
+		fmt.Fprintf(ld.stderr, "padvet: %s: type-check failed, skipping typed analyzers: %v\n", p.Path, err)
+		return err
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
+}

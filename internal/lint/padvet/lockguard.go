@@ -1,0 +1,565 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockguard enforces "// guarded by <mu>" field annotations: a guarded
+// field may only be read or written in code that holds the named mutex on
+// every control-flow path to the access. Two annotation forms exist:
+//
+//	mu      sync.Mutex
+//	jobs    map[string]*job // guarded by mu
+//
+// names a sibling mutex field of the same struct, and
+//
+//	type dnode struct {
+//		inflight map[string]bool // guarded by Dispatcher.mu
+//	}
+//
+// names a mutex on another type, for record structs that are owned by a
+// containing type's lock. The analysis is a forward must-dataflow over the
+// per-function CFG (cfg.go): Lock/RLock adds the mutex to the held set,
+// Unlock/RUnlock removes it, joins intersect. Functions whose name ends in
+// "Locked" are assumed entered with their receiver's guard mutexes held;
+// any function can declare the same with "padvet:holds <recv>.<mu>" in its
+// doc comment. Function literals passed directly to a synchronous call
+// inherit the held set at their creation point; stored, deferred or
+// go-spawned literals start from an empty set (they may run later).
+const guardMarker = "guarded by "
+
+type guardSpec struct {
+	// typeName is the struct type the guarding mutex lives on; "" means
+	// the same struct as the field.
+	typeName string
+	// mu is the mutex field name.
+	mu string
+	// owner is the annotated field's struct type name (for messages and
+	// same-struct resolution).
+	owner string
+}
+
+// heldLock is one entry of the must-held set.
+type heldLock struct {
+	// canon is the source path of the lock expression ("d.mu"); "" for
+	// assumption entries that only carry a type.
+	canon string
+	// typeName is the named struct type the mutex field belongs to ("").
+	typeName string
+	// field is the mutex field name ("mu"), or the whole expression for
+	// package-level mutexes.
+	field string
+}
+
+func (h heldLock) key() string { return h.canon + "|" + h.typeName + "|" + h.field }
+
+type lockguard struct {
+	// guards maps field objects to their guard annotation, built lazily
+	// per package.
+	guards map[*Package]map[types.Object]guardSpec
+	// structMus maps a struct type name to the mutex field names guarding
+	// any of its fields (for the *Locked entry-state assumption).
+	structMus map[*Package]map[string][]string
+}
+
+func (a *lockguard) name() string { return "lockguard" }
+
+func (a *lockguard) rules() []Rule {
+	return []Rule{{
+		ID:  "lockguard",
+		Doc: "a field annotated 'guarded by <mu>' is accessed without holding that mutex on every path",
+	}}
+}
+
+func (a *lockguard) needsTypes() bool                   { return true }
+func (a *lockguard) collect(fp *filePass, st *runState) {}
+func (a *lockguard) finish(st *runState) []Finding      { return nil }
+
+// ensureGuards builds the package's guard tables from every file's struct
+// declarations (fields and methods may live in different files).
+func (a *lockguard) ensureGuards(p *Package) map[types.Object]guardSpec {
+	if a.guards == nil {
+		a.guards = make(map[*Package]map[types.Object]guardSpec)
+		a.structMus = make(map[*Package]map[string][]string)
+	}
+	if g, ok := a.guards[p]; ok {
+		return g
+	}
+	guards := make(map[types.Object]guardSpec)
+	mus := make(map[string][]string)
+	for _, name := range p.FileNames {
+		f := p.Files[name]
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range stype.Fields.List {
+				spec, ok := parseGuard(field, ts.Name.Name)
+				if !ok {
+					continue
+				}
+				for _, id := range field.Names {
+					if obj := p.Info.Defs[id]; obj != nil {
+						guards[obj] = spec
+					}
+				}
+				if spec.typeName == "" {
+					if !contains(mus[ts.Name.Name], spec.mu) {
+						mus[ts.Name.Name] = append(mus[ts.Name.Name], spec.mu)
+					}
+				}
+			}
+			return true
+		})
+	}
+	a.guards[p] = guards
+	a.structMus[p] = mus
+	return guards
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// parseGuard extracts a guard annotation from a field's line comment or
+// doc comment.
+func parseGuard(field *ast.Field, owner string) (guardSpec, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, guardMarker)
+			if idx < 0 {
+				continue
+			}
+			target := strings.TrimSpace(c.Text[idx+len(guardMarker):])
+			if i := strings.IndexAny(target, " \t,;("); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if t, mu, ok := strings.Cut(target, "."); ok {
+				return guardSpec{typeName: t, mu: mu, owner: owner}, true
+			}
+			return guardSpec{mu: target, owner: owner}, true
+		}
+	}
+	return guardSpec{}, false
+}
+
+func (a *lockguard) check(fp *filePass, st *runState) []Finding {
+	if fp.pkg == nil || fp.pkg.Info == nil || !st.enabled("lockguard") {
+		return nil
+	}
+	guards := a.ensureGuards(fp.pkg)
+	if len(guards) == 0 {
+		return nil
+	}
+	fa := &lockguardFunc{fp: fp, guards: guards, mus: a.structMus[fp.pkg]}
+	for _, decl := range fp.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		fa.analyze(fn.Body, fa.entryState(fn))
+	}
+	return fa.dedup()
+}
+
+// lockguardFunc carries one file's analysis state.
+type lockguardFunc struct {
+	fp       *filePass
+	guards   map[types.Object]guardSpec
+	mus      map[string][]string
+	findings []Finding
+	seen     map[string]bool
+}
+
+// entryState computes the held set a function is assumed to start with.
+func (fa *lockguardFunc) entryState(fn *ast.FuncDecl) map[string]heldLock {
+	state := make(map[string]heldLock)
+	recvName, recvType := "", ""
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if len(fn.Recv.List[0].Names) == 1 {
+			recvName = fn.Recv.List[0].Names[0].Name
+		}
+		recvType = typeNameOf(fn.Recv.List[0].Type)
+	}
+	// The *Locked suffix convention: the method is documented (by name) as
+	// called with its receiver's guard mutex(es) held.
+	if strings.HasSuffix(fn.Name.Name, "Locked") && recvType != "" {
+		for _, mu := range fa.mus[recvType] {
+			h := heldLock{canon: recvName + "." + mu, typeName: recvType, field: mu}
+			state[h.key()] = h
+		}
+	}
+	// Explicit padvet:holds annotations.
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			idx := strings.Index(c.Text, HoldsMarker)
+			if idx < 0 {
+				continue
+			}
+			for _, target := range strings.Fields(strings.TrimSpace(c.Text[idx+len(HoldsMarker):])) {
+				target = strings.TrimSuffix(target, ",")
+				root, rest, ok := strings.Cut(target, ".")
+				if !ok {
+					continue
+				}
+				field := rest[strings.LastIndex(rest, ".")+1:]
+				h := heldLock{canon: target, field: field}
+				switch {
+				case root == recvName:
+					h.typeName = recvType
+				case ast.IsExported(root) || fa.mus[root] != nil:
+					// A type name rather than a receiver: assumption holds
+					// for any lock on that type.
+					h = heldLock{typeName: root, field: field}
+				}
+				state[h.key()] = h
+			}
+		}
+	}
+	return state
+}
+
+// typeNameOf unwraps *T / T to the named type's name.
+func typeNameOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return typeNameOf(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return typeNameOf(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// analyze runs the must-held dataflow over one function body and checks
+// every guarded-field access against the fixpoint states.
+func (fa *lockguardFunc) analyze(body *ast.BlockStmt, entry map[string]heldLock) {
+	g := buildCFG(body)
+	// Forward must-analysis: in[b] = intersection of out[preds]; top (no
+	// predecessor information yet) is represented by a nil map.
+	in := make(map[*cfgBlock]map[string]heldLock, len(g.blocks))
+	in[g.entry] = entry
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		state := cloneState(in[b])
+		for _, n := range b.nodes {
+			fa.scan(n, state, scanTransfer)
+		}
+		for _, s := range b.succs {
+			prev, seen := in[s]
+			var next map[string]heldLock
+			if !seen {
+				next = cloneState(state)
+			} else {
+				next = intersect(prev, state)
+			}
+			if !seen || !sameState(prev, next) {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	// Check pass: replay each reachable block from its fixpoint in-state,
+	// reporting accesses whose guard is not in the running held set.
+	for _, b := range g.blocks {
+		state, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		state = cloneState(state)
+		for _, n := range b.nodes {
+			fa.scan(n, state, scanCheck)
+		}
+	}
+}
+
+type scanMode int
+
+const (
+	scanTransfer scanMode = iota // apply lock ops only
+	scanCheck                    // apply lock ops and report accesses
+)
+
+// scan walks one CFG fragment in source order, applying lock operations
+// to state and (in check mode) reporting unguarded accesses. Function
+// literals are analyzed as separate functions: immediately-invoked or
+// directly-passed literals inherit the current state, stored/deferred/go
+// literals start empty.
+func (fa *lockguardFunc) scan(n ast.Node, state map[string]heldLock, mode scanMode) {
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// Argument expressions evaluate now; the call itself (and so its
+		// lock effect) runs at return, which must-analysis ignores.
+		deferred = true
+		n = d.Call
+	}
+	goStmt := false
+	if g, ok := n.(*ast.GoStmt); ok {
+		goStmt = true
+		n = g.Call
+	}
+	var walk func(n ast.Node, syncCall bool)
+	walk = func(n ast.Node, syncCall bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				sub := make(map[string]heldLock)
+				if syncCall && !deferred && !goStmt {
+					sub = cloneState(state)
+				}
+				if mode == scanCheck {
+					fa.analyze(x.Body, sub)
+				}
+				return false
+			case *ast.CallExpr:
+				// Arguments and receiver first (source order), then the
+				// call's lock effect.
+				walk(x.Fun, false)
+				for _, arg := range x.Args {
+					// A literal passed straight into a call is (almost
+					// always) invoked synchronously: sort.Slice, Walk,
+					// gauge closures run later are re-locked inside.
+					if _, isLit := arg.(*ast.FuncLit); isLit {
+						walk(arg, true)
+					} else {
+						walk(arg, false)
+					}
+				}
+				if !deferred {
+					fa.lockOp(x, state)
+				}
+				return false
+			case *ast.SelectorExpr:
+				if mode == scanCheck {
+					fa.checkAccess(x, state)
+				}
+				walk(x.X, false)
+				return false
+			case *ast.KeyValueExpr:
+				// Composite-literal keys are field names being initialized
+				// (pre-publication), not reads; skip the key.
+				walk(x.Value, false)
+				return false
+			}
+			return true
+		})
+	}
+	walk(n, false)
+}
+
+// lockOp applies a mutex call to the held set.
+func (fa *lockguardFunc) lockOp(call *ast.CallExpr, state map[string]heldLock) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return
+	}
+	if !fa.isMutexExpr(sel.X) {
+		return
+	}
+	canon, ok := canonPath(sel.X)
+	if !ok {
+		return
+	}
+	field := canon[strings.LastIndex(canon, ".")+1:]
+	h := heldLock{canon: canon, typeName: fa.mutexOwner(sel.X), field: field}
+	switch op {
+	case "Lock", "RLock":
+		state[h.key()] = h
+	case "Unlock", "RUnlock":
+		for k, v := range state {
+			if v.canon == canon {
+				delete(state, k)
+			}
+		}
+	}
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex / sync.RWMutex (or a
+// pointer to one), so that Lock() on unrelated types is not misread.
+func (fa *lockguardFunc) isMutexExpr(e ast.Expr) bool {
+	tv, ok := fa.fp.pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	s := tv.Type.String()
+	return strings.HasSuffix(s, "sync.Mutex") || strings.HasSuffix(s, "sync.RWMutex")
+}
+
+// mutexOwner resolves the named struct type a mutex field belongs to
+// ("" for plain variables).
+func (fa *lockguardFunc) mutexOwner(e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := fa.fp.pkg.Info.Selections[sel]; ok {
+		t := s.Recv()
+		for {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// canonPath renders a selector chain rooted at an identifier ("d.mu").
+func canonPath(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := canonPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return canonPath(e.X)
+	case *ast.StarExpr:
+		return canonPath(e.X)
+	}
+	return "", false
+}
+
+// checkAccess reports a guarded-field access whose mutex is not in the
+// held set.
+func (fa *lockguardFunc) checkAccess(sel *ast.SelectorExpr, state map[string]heldLock) {
+	selInfo, ok := fa.fp.pkg.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	spec, guarded := fa.guards[selInfo.Obj()]
+	if !guarded {
+		return
+	}
+	if fa.satisfied(sel, spec, state) {
+		return
+	}
+	line := fa.fp.line(sel.Sel.Pos())
+	key := fmt.Sprintf("%s:%d:%s", fa.fp.path, line, sel.Sel.Name)
+	if fa.seen == nil {
+		fa.seen = make(map[string]bool)
+	}
+	if fa.seen[key] {
+		return
+	}
+	fa.seen[key] = true
+	want := spec.mu
+	if spec.typeName != "" {
+		want = spec.typeName + "." + spec.mu
+	}
+	fa.findings = append(fa.findings, Finding{
+		File: fa.fp.path,
+		Line: line,
+		Rule: "lockguard",
+		Msg: fmt.Sprintf("%s.%s (guarded by %s) accessed without holding %s on every path to this point (annotate with %s lockguard <reason> if deliberate)",
+			spec.owner, sel.Sel.Name, want, want, AllowMarker),
+	})
+}
+
+// satisfied reports whether the held set covers the guard for this access.
+func (fa *lockguardFunc) satisfied(sel *ast.SelectorExpr, spec guardSpec, state map[string]heldLock) bool {
+	if spec.typeName != "" {
+		// Cross-struct guard: any held mutex named spec.mu on spec.typeName.
+		for _, h := range state {
+			if h.typeName == spec.typeName && h.field == spec.mu {
+				return true
+			}
+		}
+		return false
+	}
+	// Same-struct guard: the mutex reached through the same base
+	// expression ("q.jobs" needs "q.mu"), or a type-level assumption for
+	// the owning struct.
+	if base, ok := canonPath(sel.X); ok {
+		if _, held := state[heldLock{canon: base + "." + spec.mu, typeName: spec.owner, field: spec.mu}.key()]; held {
+			return true
+		}
+		// The canon may have been recorded with a different (or empty)
+		// owner type; match on canon alone too.
+		for _, h := range state {
+			if h.canon == base+"."+spec.mu {
+				return true
+			}
+		}
+	}
+	for _, h := range state {
+		if h.typeName == spec.owner && h.field == spec.mu {
+			return true
+		}
+	}
+	return false
+}
+
+func (fa *lockguardFunc) dedup() []Finding {
+	out := fa.findings
+	fa.findings = nil
+	fa.seen = nil
+	return out
+}
+
+func cloneState(m map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sameState(a, b map[string]heldLock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package padvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricname keeps the pad_* Prometheus surface coherent: the obsv
+// registry tolerates idempotent re-registration at runtime, but the
+// convention is that every metric family has exactly one registration
+// call site, a pad_ prefix, Prometheus-conventional characters, a _total
+// suffix on counters, a unit suffix on histograms, and lower_snake label
+// names. Registration calls are recognized syntactically: Counter /
+// CounterVec / Gauge / GaugeVec / GaugeFunc / Histogram / HistogramVec
+// method calls whose first argument is a string literal.
+//
+//   - metric-name: malformed family name or missing conventional suffix.
+//   - metric-label: malformed label name.
+//   - metric-dup: the same family name registered at more than one call
+//     site anywhere in the repository.
+type metricname struct{}
+
+func (a *metricname) name() string { return "metricname" }
+
+func (a *metricname) rules() []Rule {
+	return []Rule{
+		{ID: "metric-name", Doc: "metric family name violates the pad_* Prometheus naming conventions"},
+		{ID: "metric-label", Doc: "metric label name is not lower_snake_case"},
+		{ID: "metric-dup", Doc: "metric family registered at more than one call site"},
+	}
+}
+
+func (a *metricname) needsTypes() bool { return false }
+
+// metricSite records one registration call.
+type metricSite struct {
+	File   string
+	Line   int
+	Method string
+}
+
+// regMethods maps registration method names to the index of the first
+// label argument (-1: no labels).
+var regMethods = map[string]int{
+	"Counter":      -1,
+	"CounterVec":   2,
+	"Gauge":        -1,
+	"GaugeVec":     2,
+	"GaugeFunc":    -1,
+	"Histogram":    -1,
+	"HistogramVec": 3,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^pad_[a-z0-9]+(_[a-z0-9]+)*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// registration extracts (name, literal ok) from a call if it is a metric
+// registration.
+func registration(call *ast.CallExpr) (method, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if _, known := regMethods[sel.Sel.Name]; !known || len(call.Args) < 2 {
+		return "", "", false
+	}
+	lit, isLit := call.Args[0].(*ast.BasicLit)
+	if !isLit || lit.Kind != token.STRING {
+		return "", "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", "", false
+	}
+	return sel.Sel.Name, v, true
+}
+
+func (a *metricname) collect(fp *filePass, st *runState) {
+	ast.Inspect(fp.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, name, ok := registration(call)
+		if !ok || !strings.HasPrefix(name, "pad") {
+			return true
+		}
+		st.metricSites[name] = append(st.metricSites[name], metricSite{
+			File: fp.path, Line: fp.line(call.Pos()), Method: method,
+		})
+		return true
+	})
+}
+
+func (a *metricname) check(fp *filePass, st *runState) []Finding {
+	var out []Finding
+	ast.Inspect(fp.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, name, ok := registration(call)
+		if !ok || !strings.HasPrefix(name, "pad") {
+			return true
+		}
+		line := fp.line(call.Pos())
+		if !metricNameRE.MatchString(name) {
+			out = append(out, Finding{
+				File: fp.path, Line: line, Rule: "metric-name",
+				Msg: fmt.Sprintf("metric %q does not match the pad_* convention (%s)", name, metricNameRE),
+			})
+		}
+		switch method {
+		case "Counter", "CounterVec":
+			if !strings.HasSuffix(name, "_total") {
+				out = append(out, Finding{
+					File: fp.path, Line: line, Rule: "metric-name",
+					Msg: fmt.Sprintf("counter %q must end in _total (Prometheus counter convention)", name),
+				})
+			}
+		case "Histogram", "HistogramVec":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+				out = append(out, Finding{
+					File: fp.path, Line: line, Rule: "metric-name",
+					Msg: fmt.Sprintf("histogram %q must carry a base-unit suffix (_seconds or _bytes)", name),
+				})
+			}
+		}
+		if labelIdx := regMethods[method]; labelIdx >= 0 {
+			for _, arg := range call.Args[labelIdx:] {
+				lit, ok := arg.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				label, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				if !labelNameRE.MatchString(label) {
+					out = append(out, Finding{
+						File: fp.path, Line: fp.line(lit.Pos()), Rule: "metric-label",
+						Msg: fmt.Sprintf("label %q on metric %q is not lower_snake_case", label, name),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// finish reports families registered at more than one call site. The
+// finding lands on every site past the first (in file order), so the
+// canonical site stays finding-free.
+func (a *metricname) finish(st *runState) []Finding {
+	if !st.enabled("metric-dup") {
+		return nil
+	}
+	var out []Finding
+	for name, sites := range st.metricSites {
+		if len(sites) < 2 {
+			continue
+		}
+		first := sites[0]
+		for _, s := range sites {
+			if s.File < first.File || (s.File == first.File && s.Line < first.Line) {
+				first = s
+			}
+		}
+		for _, s := range sites {
+			if s == first {
+				continue
+			}
+			out = append(out, Finding{
+				File: s.File, Line: s.Line, Rule: "metric-dup",
+				Msg: fmt.Sprintf("metric %q is already registered at %s:%d: one family, one call site", name, first.File, first.Line),
+			})
+		}
+	}
+	return out
+}

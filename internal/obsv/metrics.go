@@ -16,7 +16,7 @@ import (
 // since scraping such a registry would be ill-formed.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty Registry.
@@ -38,8 +38,8 @@ type family struct {
 	labels []string
 
 	mu       sync.Mutex
-	children map[string]*child
-	order    []*child // insertion order; sorted at render time
+	children map[string]*child // guarded by mu
+	order    []*child          // guarded by mu (insertion order; sorted at render time)
 
 	gaugeFn func() float64 // GaugeFunc families only
 	buckets []float64      // histogram families only
@@ -52,9 +52,9 @@ type child struct {
 	bits atomic.Uint64 // counter/gauge value as float64 bits
 
 	hmu    sync.Mutex // histogram state
-	counts []uint64
-	sum    float64
-	count  uint64
+	counts []uint64   // guarded by hmu
+	sum    float64    // guarded by hmu
+	count  uint64     // guarded by hmu
 }
 
 func (c *child) add(v float64) {
@@ -130,7 +130,7 @@ func (f *family) childFor(values []string) *child {
 	}
 	c := &child{labelValues: append([]string(nil), values...)}
 	if f.typ == typeHistogram {
-		c.counts = make([]uint64, len(f.buckets))
+		c.counts = make([]uint64, len(f.buckets)) // padvet:allow lockguard construction: c is not published until stored below under f.mu
 	}
 	f.children[key] = c
 	f.order = append(f.order, c)

@@ -58,14 +58,14 @@ type Tracer struct {
 	mu sync.Mutex
 	// spans[p] lists process p's passage attempts in emission order; crash
 	// retries of the same passage index are separate entries.
-	spans    map[int][]*Span
-	open     map[int]*Span
-	fences   []FenceSpan
-	openF    map[int]int
-	phases   []PhaseSpan
-	instants []Instant
-	events   int
-	maxSeq   int
+	spans    map[int][]*Span // guarded by mu
+	open     map[int]*Span   // guarded by mu
+	fences   []FenceSpan     // guarded by mu
+	openF    map[int]int     // guarded by mu
+	phases   []PhaseSpan     // guarded by mu
+	instants []Instant       // guarded by mu
+	events   int             // guarded by mu
+	maxSeq   int             // guarded by mu
 }
 
 // NewTracer returns an empty Tracer.
