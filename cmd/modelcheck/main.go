@@ -40,6 +40,7 @@ func run() error {
 	maxDepth := flag.Int("depth", 256, "schedule depth bound")
 	collapse := flag.Bool("collapse-spins", true, "merge states differing only in spin iterations (sound for pure spin-wait algorithms)")
 	engine := flag.String("engine", "replay", "checker engine: replay (goroutine simulator, any registered lock) or fast (VM programs only; complete verification)")
+	reduce := flag.String("reduce", "full", "fast-engine reduction: none (full interleaving graph), ample (persistent sets), full (ample + symmetry canonicalization; strongest sound mode)")
 	save := flag.String("save", "", "write a found violation's minimized schedule to this file")
 	replay := flag.String("replay", "", "replay a saved schedule instead of searching")
 	timeout := flag.Duration("timeout", 0, "abort the search after this wall-clock time (0 = no limit); Ctrl-C also cancels")
@@ -86,7 +87,7 @@ func run() error {
 		cfg.Ordering = tso.PSO
 	}
 	if *engine == "fast" {
-		return runFast(ctx, *alg, *n, cfg.Ordering == tso.PSO, *maxStates, *save)
+		return runFast(ctx, *alg, *n, cfg.Ordering == tso.PSO, *maxStates, *reduce, *save)
 	}
 	rep, err := check.Exhaustive{
 		MaxStates:     *maxStates,
@@ -140,10 +141,24 @@ func run() error {
 }
 
 // runFast verifies a VM program with the fast clonable-state engine:
-// complete exploration of the reachable state space, and delta-debugging
-// minimization of any counterexample.
-func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, save string) error {
+// complete exploration of the reachable state space under the selected
+// static reduction, and delta-debugging minimization of any counterexample
+// (schedules are recorded in the unreduced frame, so minimization replays
+// on a plain engine).
+func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, reduce, save string) error {
 	prog, err := vmprog.Lookup(alg, n)
+	if err != nil {
+		return err
+	}
+	mode, err := check.ParseReduceMode(reduce)
+	if err != nil {
+		return err
+	}
+	res, err := check.FastVerify(ctx, prog, n, check.FastOptions{
+		PSO:       pso,
+		MaxStates: maxStates,
+		Reduce:    mode,
+	})
 	if err != nil {
 		return err
 	}
@@ -151,16 +166,12 @@ func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, sa
 	if err != nil {
 		return err
 	}
-	res, err := eng.Check(ctx, maxStates)
-	if err != nil {
-		return err
-	}
 	ordering := "TSO"
 	if pso {
 		ordering = "PSO"
 	}
-	fmt.Printf("%s (VM), N=%d, %s: explored %d states (%d transitions), complete=%v\n",
-		prog.Name, n, ordering, res.States, res.Transitions, res.Complete)
+	fmt.Printf("%s (VM), N=%d, %s, reduce=%s: explored %d states (%d transitions), complete=%v\n",
+		prog.Name, n, ordering, mode, res.States, res.Transitions, res.Complete)
 	if !res.Violation {
 		if res.Complete {
 			fmt.Println("VERIFIED: no schedule violates mutual exclusion (exhaustive)")

@@ -40,6 +40,7 @@ import (
 
 	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/analysis/absint"
+	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/jobs"
 	"priceadaptive/internal/vmprog"
 )
@@ -47,7 +48,7 @@ import (
 // analyzerVersion participates in cache identity: bump it whenever either
 // analyzer's output for an unchanged program can change, so stale cached
 // results are never served for new analyzer code.
-const analyzerVersion = "2"
+const analyzerVersion = "3"
 
 // cacheKind names the cached artifact in the jobs store.
 const cacheKind = "padlint-program"
@@ -62,6 +63,10 @@ func main() {
 type programReport struct {
 	Report *analysis.Report `json:"report"`
 	Quant  *absint.Result   `json:"quant"`
+	// Por summarizes the static reduction facts: whether the program is
+	// proven symmetric under process permutation, and why not if not.
+	// Nil when the reduction analysis itself failed (invalid program).
+	Por *por.Summary `json:"por,omitempty"`
 }
 
 // lintResult pairs a program's analyses with the gate verdict it was
@@ -81,6 +86,8 @@ type lintResult struct {
 	QuantFailures []string `json:"quant_failures,omitempty"`
 	// Pass reports whether the program met its expectation.
 	Pass bool `json:"pass"`
+	// Por echoes the cached reduction summary for JSON consumers.
+	Por *por.Summary `json:"por,omitempty"`
 }
 
 // quantExpect pins one program's quantitative -all expectations.
@@ -165,6 +172,9 @@ func (l *linter) analyze(p *vmprog.Program, n int) (programReport, bool, error) 
 		return programReport{}, false, err
 	}
 	pr := programReport{Report: r, Quant: q}
+	if rr, err := por.Analyze(p, n); err == nil {
+		pr.Por = rr.Summary()
+	}
 	if l.store != nil {
 		raw, err := json.Marshal(pr)
 		if err != nil {
@@ -208,7 +218,7 @@ func (l *linter) findings(name string, pr programReport) []analysis.SARIFFinding
 // gate evaluates one program against its expectations and returns the
 // finished lintResult.
 func (l *linter) gate(name string, pr programReport, expectBroken, applyQuant bool) lintResult {
-	res := lintResult{Report: pr.Report, Quant: pr.Quant, ExpectBroken: expectBroken}
+	res := lintResult{Report: pr.Report, Quant: pr.Quant, Por: pr.Por, ExpectBroken: expectBroken}
 	fs := l.findings(name, pr)
 	errs := 0
 	codes := make(map[string]bool)
@@ -346,6 +356,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var results []lintResult
 	var allFindings []analysis.SARIFFinding
+	// porNotes are informational symmetry verdicts: they ride the SARIF
+	// report but stay out of the gate and the baseline.
+	var porNotes []analysis.SARIFFinding
 	for _, t := range targets {
 		pr, cached, err := l.analyze(t.prog, t.n)
 		if err != nil {
@@ -356,6 +369,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res.Cached = cached
 		results = append(results, res)
 		allFindings = append(allFindings, l.findings(t.prog.Name, pr)...)
+		if pr.Por != nil {
+			d := analysis.Diagnostic{Sev: analysis.SevNote, Code: "por-symmetry"}
+			if pr.Por.Symmetric {
+				d.Msg = "proven invariant under process permutation; symmetry canonicalization applies"
+			} else {
+				d.Msg = "symmetry reduction unavailable: " + pr.Por.SymmetryNote
+			}
+			porNotes = append(porNotes, analysis.SARIFFinding{Program: t.prog.Name, Diag: d})
+		}
 	}
 
 	if *writeBaseline != "" {
@@ -372,7 +394,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sarifOut != "" {
-		data, err := analysis.SARIF(analyzerVersion, allFindings)
+		data, err := analysis.SARIF(analyzerVersion, append(allFindings, porNotes...))
 		if err != nil {
 			fmt.Fprintln(stderr, "padlint:", err)
 			return 1
@@ -432,6 +454,13 @@ func render(w io.Writer, results []lintResult, l *linter) {
 			fmt.Fprintf(w, "   witness: solo passage, %d fences (%d entry), rmr %d/%d/%d, replayed ok\n",
 				wit.Counts.Fences, wit.EntryFences,
 				wit.Counts.RMR[0], wit.Counts.RMR[1], wit.Counts.RMR[2])
+		}
+		if p := res.Por; p != nil {
+			if p.Symmetric {
+				fmt.Fprintf(w, "   reduction: symmetric under process permutation (facts v%d)\n", p.FactsVersion)
+			} else {
+				fmt.Fprintf(w, "   reduction: symmetry unavailable: %s\n", p.SymmetryNote)
+			}
 		}
 		errs, warns := 0, 0
 		for _, f := range l.findings(r.Name, programReport{Report: r, Quant: q}) {

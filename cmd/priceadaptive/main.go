@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"priceadaptive/internal/check"
 	"priceadaptive/internal/core"
 	"priceadaptive/internal/jobs"
 )
@@ -30,9 +31,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the experiment set and reports as one JSON object instead of tables")
 	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
 	cache := flag.String("cache", "", "persistent artifact-store directory (empty = fresh temp store, no caching across runs)")
+	reduce := flag.String("reduce", "full", "fast-engine reduction for model-checking experiments: none, ample, or full (strongest sound mode)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	mode, err := check.ParseReduceMode(*reduce)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "priceadaptive:", err)
+		os.Exit(1)
+	}
+	core.SetFastReduce(mode)
 	if err := run(ctx, flag.Args(), *jsonOut, *parallel, *cache, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "priceadaptive:", err)
 		os.Exit(1)

@@ -18,12 +18,20 @@ const (
 	// exclusion violation some schedule can force, or a program the
 	// engines cannot run.
 	SevError
+	// SevNote marks purely informational results (reduction-engine
+	// verdicts); notes never gate. The value is negative so severity
+	// ordering (error > warning > note) keeps notes last without
+	// renumbering the persisted warning/error values.
+	SevNote Severity = -1
 )
 
 // String renders the severity.
 func (s Severity) String() string {
-	if s == SevError {
+	switch s {
+	case SevError:
 		return "error"
+	case SevNote:
+		return "note"
 	}
 	return "warning"
 }

@@ -208,9 +208,6 @@ func TestLocalDivergence(t *testing.T) {
 	if !hasCode(r, "local-divergence") {
 		t.Fatalf("missing local-divergence error, got %v", r.Diags)
 	}
-	if _, err := Facts(p); err == nil {
-		t.Fatal("Facts accepted a divergent program")
-	}
 	// A spin loop THROUGH an event (the normal lock shape) is fine.
 	b2 := vmprog.NewBuilder("spinread")
 	v2 := b2.Var("v")
@@ -240,43 +237,6 @@ func TestInvalidProgram(t *testing.T) {
 	r := Analyze(p, 2)
 	if !hasCode(r, "invalid-program") || len(r.Diags) != 1 {
 		t.Fatalf("want exactly one invalid-program error, got %v", r.Diags)
-	}
-	if _, err := Facts(p); err == nil {
-		t.Fatal("Facts accepted an invalid program")
-	}
-}
-
-// TestFactsShape sanity-checks the pruning facts on every correct registry
-// program: the entry point carries an empty buffer, ample points are a
-// subset of empty-buffer fence/halt instructions, and process start is
-// ample for every built-in lock (none parks its first event at the CS).
-func TestFactsShape(t *testing.T) {
-	for _, e := range vmprog.Registry() {
-		p, _ := build(t, e.Name)
-		f, err := Facts(p)
-		if err != nil {
-			t.Fatalf("%s: %v", e.Name, err)
-		}
-		if len(f.EmptyBufAt) != len(p.Code) || len(f.AmpleAt) != len(p.Code) {
-			t.Fatalf("%s: facts sized %d/%d, code %d", e.Name, len(f.EmptyBufAt), len(f.AmpleAt), len(p.Code))
-		}
-		if !f.EmptyBufAt[0] {
-			t.Errorf("%s: entry not marked empty-buffer", e.Name)
-		}
-		if !f.AmpleStart {
-			t.Errorf("%s: start not ample", e.Name)
-		}
-		for pc, ok := range f.AmpleAt {
-			if !ok {
-				continue
-			}
-			if !f.EmptyBufAt[pc] {
-				t.Errorf("%s: pc %d ample without empty buffer", e.Name, pc)
-			}
-			if op := p.Code[pc].Op; op != vmprog.OpFence && op != vmprog.OpHalt {
-				t.Errorf("%s: pc %d (op %d) ample but not fence/halt", e.Name, pc, int(op))
-			}
-		}
 	}
 }
 

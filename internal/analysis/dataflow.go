@@ -101,6 +101,34 @@ func (e *extents) accessSet(nvars int, in vmprog.Instr) bitset {
 	return s
 }
 
+// Extents is the exported view of the array-extent recovery, consumed by
+// the partial-order-reduction analysis in internal/analysis/por: Start/End
+// delimit the extent [Start(v), End(v)) of variable v.
+type Extents struct{ ext *extents }
+
+// BuildExtents groups a program's variable table into array extents.
+func BuildExtents(vars []string) *Extents { return &Extents{ext: buildExtents(vars)} }
+
+// Start returns the first variable index of v's extent.
+func (e *Extents) Start(v int) int { return e.ext.start[v] }
+
+// End returns one past the last variable index of v's extent.
+func (e *Extents) End(v int) int { return e.ext.end[v] }
+
+// EmptyBuffer reports, per program point, whether the write buffer is
+// provably empty whenever a process is parked there (the may-buffered
+// dataflow's emptiness projection, exported for internal/analysis/por).
+func EmptyBuffer(p *vmprog.Program, g *CFG) []bool {
+	buf := mayBuffered(p, g, buildExtents(p.Vars))
+	out := make([]bool, len(p.Code))
+	for pc := range p.Code {
+		if g.Reachable[pc] {
+			out[pc] = buf[pc].empty()
+		}
+	}
+	return out
+}
+
 // mayBuffered computes, for every reachable program point, the set of
 // variables that may sit uncommitted in the process's TSO write buffer when
 // control is *about to execute* that instruction. Transfer functions follow

@@ -177,3 +177,24 @@ func parksAtCS(p *vmprog.Program, pi []parkInfo, pc int) bool {
 	}
 	return false
 }
+
+// Parks is the exported view of the park-set analysis, consumed by
+// internal/analysis/por to decide event visibility: where Engine.advance,
+// started at a given pc, can park.
+type Parks struct {
+	p  *vmprog.Program
+	pi []parkInfo
+}
+
+// ParkAnalysis computes the park sets of every reachable instruction.
+func ParkAnalysis(p *vmprog.Program, g *CFG) *Parks {
+	return &Parks{p: p, pi: parkSets(p, g)}
+}
+
+// AtCS reports whether advance from pc can park at the CS transition.
+func (k *Parks) AtCS(pc int) bool { return parksAtCS(k.p, k.pi, pc) }
+
+// Divergent reports that no event is reachable from pc through local
+// instructions at all: advance would loop forever, a certain program bug
+// that voids every pruning fact.
+func (k *Parks) Divergent(pc int) bool { return k.pi[pc].divergent }

@@ -1,0 +1,215 @@
+package por
+
+import (
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+// The footprint analysis instantiates, for each process id and program
+// point, the set of shared variables the process may still read or write
+// at or after that point. The fast engine intersects these with an ample
+// candidate's dynamic footprint: disjointness is the static independence
+// relation discharging condition C1.
+
+// affKind is the exact affine-in-me register domain: a register is
+// afExact(a, b) when its value equals a + b*me on every path reaching the
+// point (int64 wraparound matches the engine's uint64-to-int index
+// conversion on 64-bit targets), afTop when paths disagree or the value
+// came from shared memory. Unlike the symmetry discipline's map types this
+// is a value claim, so reads are always afTop.
+type affKind int8
+
+const (
+	afBot affKind = iota
+	afExact
+	afTop
+)
+
+type affVal struct {
+	kind affKind
+	a, b int64
+}
+
+func (v affVal) join(o affVal) affVal {
+	switch {
+	case v.kind == afBot:
+		return o
+	case o.kind == afBot:
+		return v
+	case v.kind == afTop || o.kind == afTop:
+		return affVal{kind: afTop}
+	case v.a == o.a && v.b == o.b:
+		return v
+	}
+	return affVal{kind: afTop}
+}
+
+type affRegs [vmprog.NumRegs]affVal
+
+func (r affRegs) joinInto(o affRegs) (affRegs, bool) {
+	changed := false
+	for i := range r {
+		j := r[i].join(o[i])
+		if j != r[i] {
+			r[i] = j
+			changed = true
+		}
+	}
+	return r, changed
+}
+
+// regsAffine computes the in-state affine forms of every register at every
+// reachable program point (registers start zeroed, so the entry state is
+// exactly 0 + 0*me).
+func regsAffine(p *vmprog.Program, g *analysis.CFG, n int) []affRegs {
+	nc := len(p.Code)
+	in := make([]affRegs, nc)
+	var entry affRegs
+	for i := range entry {
+		entry[i] = affVal{kind: afExact}
+	}
+	in[0] = entry
+	transfer := func(pc int) affRegs {
+		out := in[pc]
+		switch instr := p.Code[pc]; instr.Op {
+		case vmprog.OpConst:
+			out[instr.A] = affVal{kind: afExact, a: int64(instr.Imm)}
+		case vmprog.OpMe:
+			out[instr.A] = affVal{kind: afExact, b: 1}
+		case vmprog.OpProcs:
+			out[instr.A] = affVal{kind: afExact, a: int64(n)}
+		case vmprog.OpAdd:
+			x, y := out[instr.B], out[instr.C]
+			if x.kind == afExact && y.kind == afExact {
+				out[instr.A] = affVal{kind: afExact, a: x.a + y.a, b: x.b + y.b}
+			} else {
+				out[instr.A] = affVal{kind: afTop}
+			}
+		case vmprog.OpSub:
+			x, y := out[instr.B], out[instr.C]
+			if x.kind == afExact && y.kind == afExact {
+				out[instr.A] = affVal{kind: afExact, a: x.a - y.a, b: x.b - y.b}
+			} else {
+				out[instr.A] = affVal{kind: afTop}
+			}
+		case vmprog.OpRead, vmprog.OpCAS:
+			out[instr.A] = affVal{kind: afTop}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for pc := 0; pc < nc; pc++ {
+			if !g.Reachable[pc] {
+				continue
+			}
+			out := transfer(pc)
+			for _, s := range g.Succs[pc] {
+				joined, ch := in[s].joinInto(out)
+				if ch {
+					in[s] = joined
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+func wordsFor(nvars int) int { return (nvars + 63) / 64 }
+
+func bsSet(b []uint64, i int) { b[i/64] |= 1 << (i % 64) }
+
+func bsUnionInto(dst, src []uint64) bool {
+	changed := false
+	for i, w := range src {
+		if dst[i]|w != dst[i] {
+			dst[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// accessBits returns the variables an access instruction at pc may address
+// when executed by process id: the exact cell when the index register is
+// affine in me and lands inside the base's array extent, the whole extent
+// otherwise (scalar accesses are their base alone). The extent widening
+// relies on the same discipline as analysis.accessSet: programs index
+// within the addressed array.
+func accessBits(p *vmprog.Program, ext *analysis.Extents, aff affRegs, pc, id, nw int) []uint64 {
+	in := p.Code[pc]
+	bits := make([]uint64, nw)
+	if in.Index < 0 {
+		bsSet(bits, in.Base)
+		return bits
+	}
+	if v := aff[in.Index]; v.kind == afExact {
+		idx := in.Base + int(v.a+v.b*int64(id))
+		if idx >= ext.Start(in.Base) && idx < ext.End(in.Base) {
+			bsSet(bits, idx)
+			return bits
+		}
+	}
+	for v := ext.Start(in.Base); v < ext.End(in.Base); v++ {
+		bsSet(bits, v)
+	}
+	return bits
+}
+
+// footprints computes, for every process id and program point pc, the
+// union of instantiated access sets over every instruction reachable from
+// pc (inclusive): FutureReads/FutureWrites[id*len(code)+pc]. A CAS
+// contributes to both sets (it reads, and may write, its cell).
+func footprints(p *vmprog.Program, g *analysis.CFG, n int) (fr, fw [][]uint64) {
+	nc := len(p.Code)
+	nw := wordsFor(len(p.Vars))
+	ext := analysis.BuildExtents(p.Vars)
+	aff := regsAffine(p, g, n)
+	fr = make([][]uint64, n*nc)
+	fw = make([][]uint64, n*nc)
+	for id := 0; id < n; id++ {
+		reads := make([][]uint64, nc)
+		writes := make([][]uint64, nc)
+		for pc := 0; pc < nc; pc++ {
+			reads[pc] = make([]uint64, nw)
+			writes[pc] = make([]uint64, nw)
+			if !g.Reachable[pc] {
+				continue
+			}
+			switch p.Code[pc].Op {
+			case vmprog.OpRead:
+				bsUnionInto(reads[pc], accessBits(p, ext, aff[pc], pc, id, nw))
+			case vmprog.OpWrite:
+				bsUnionInto(writes[pc], accessBits(p, ext, aff[pc], pc, id, nw))
+			case vmprog.OpCAS:
+				bits := accessBits(p, ext, aff[pc], pc, id, nw)
+				bsUnionInto(reads[pc], bits)
+				bsUnionInto(writes[pc], bits)
+			}
+		}
+		// Backward closure over the CFG: future = own access plus every
+		// successor's future (union fixpoint; cycles converge).
+		for changed := true; changed; {
+			changed = false
+			for pc := nc - 1; pc >= 0; pc-- {
+				if !g.Reachable[pc] {
+					continue
+				}
+				for _, s := range g.Succs[pc] {
+					if bsUnionInto(reads[pc], reads[s]) {
+						changed = true
+					}
+					if bsUnionInto(writes[pc], writes[s]) {
+						changed = true
+					}
+				}
+			}
+		}
+		for pc := 0; pc < nc; pc++ {
+			fr[id*nc+pc] = reads[pc]
+			fw[id*nc+pc] = writes[pc]
+		}
+	}
+	return fr, fw
+}

@@ -1,0 +1,76 @@
+package por
+
+import (
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+// regUses returns the bitmask of registers an instruction reads.
+func regUses(in vmprog.Instr) uint16 {
+	var m uint16
+	switch in.Op {
+	case vmprog.OpAdd, vmprog.OpSub:
+		m |= 1<<in.B | 1<<in.C
+	case vmprog.OpJumpIfEq, vmprog.OpJumpIfNe, vmprog.OpJumpIfLt:
+		m |= 1<<in.A | 1<<in.B
+	case vmprog.OpRead:
+		// Index handled below.
+	case vmprog.OpWrite:
+		m |= 1 << in.A
+	case vmprog.OpCAS:
+		m |= 1<<in.B | 1<<in.C
+	}
+	switch in.Op {
+	case vmprog.OpRead, vmprog.OpWrite, vmprog.OpCAS:
+		if in.Index >= 0 {
+			m |= 1 << in.Index
+		}
+	}
+	return m
+}
+
+// regDefs returns the bitmask of registers an instruction overwrites.
+func regDefs(in vmprog.Instr) uint16 {
+	switch in.Op {
+	case vmprog.OpConst, vmprog.OpMe, vmprog.OpProcs, vmprog.OpAdd,
+		vmprog.OpSub, vmprog.OpRead, vmprog.OpCAS:
+		return 1 << in.A
+	}
+	return 0
+}
+
+// liveRegs computes the live-in register mask at every reachable program
+// point: bit r is set when some path from the point uses register r before
+// redefining it. A process parked at a point whose mask clears bit r will
+// never observe r again, so the canonicalizer may zero it - states
+// differing only in such junk are bisimilar. Unreachable points keep an
+// all-live mask so a fact misuse degrades to no normalization instead of
+// corrupting state.
+func liveRegs(p *vmprog.Program, g *analysis.CFG) []uint16 {
+	nc := len(p.Code)
+	const allLive = 1<<vmprog.NumRegs - 1
+	live := make([]uint16, nc)
+	for pc := range live {
+		if !g.Reachable[pc] {
+			live[pc] = allLive
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pc := nc - 1; pc >= 0; pc-- {
+			if !g.Reachable[pc] {
+				continue
+			}
+			var out uint16
+			for _, s := range g.Succs[pc] {
+				out |= live[s]
+			}
+			in := regUses(p.Code[pc]) | (out &^ regDefs(p.Code[pc]))
+			if in != live[pc] {
+				live[pc] = in
+				changed = true
+			}
+		}
+	}
+	return live
+}

@@ -1,0 +1,121 @@
+// Package por is the static reduction engine for the fast model checker:
+// it derives, per program and process count, the sound facts
+// (vmprog.PruneFacts) that let vmprog.Engine.Check merge equivalent
+// interleavings - per-instruction read/write footprints instantiated per
+// process (the static independence relation behind the ample-set
+// conditions C1/C2), event visibility with respect to the exclusion
+// predicate, register liveness masks, and - for programs the scalarset
+// type discipline proves permutation-invariant - the affine forms that
+// turn states into canonical orbit representatives. Every exported fact is
+// a guarantee: a wrong one makes the reduced exploration unsound, which is
+// why the registry-wide differential harness in internal/check replays
+// every program both ways and compares verdicts.
+package por
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+// Result is the outcome of the static reduction analysis.
+type Result struct {
+	// Facts is ready for vmprog.Engine.UsePruning at the requested n.
+	Facts *vmprog.PruneFacts
+	// Symmetric reports that the program was proven invariant under every
+	// permutation of process ids (Facts.Symmetry is non-nil).
+	Symmetric bool
+	// SymmetryNote explains, for humans and SARIF consumers, why symmetry
+	// detection rejected the program; empty when Symmetric.
+	SymmetryNote string
+}
+
+// Analyze derives the full set of reduction facts for p at n processes. It
+// errors when the program cannot be analyzed at all (invalid, or a local
+// instruction cycle that would hang the engine voids every fact);
+// symmetry detection failing is not an error - the Result simply carries
+// no symmetry facts and a note saying why.
+func Analyze(p *vmprog.Program, n int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("por: n must be positive, got %d", n)
+	}
+	g := analysis.BuildCFG(p)
+	parks := analysis.ParkAnalysis(p, g)
+	nc := len(p.Code)
+	for pc := 0; pc < nc; pc++ {
+		if g.Reachable[pc] && parks.Divergent(pc) {
+			return nil, fmt.Errorf("por: %s: local instruction cycle at pc %d; no reduction facts", p.Name, pc)
+		}
+	}
+	f := &vmprog.PruneFacts{
+		Version:      vmprog.FactsVersion,
+		N:            n,
+		EmptyBufAt:   analysis.EmptyBuffer(p, g),
+		VisibleAt:    make([]bool, nc),
+		VisibleStart: parks.AtCS(0),
+		LiveRegs:     liveRegs(p, g),
+	}
+	// Visibility: a step can change the Violated predicate when it is the
+	// CS itself (leaving the CS park lowers the pending count) or when the
+	// continuation it unblocks can park at the CS (raising it). Halt only
+	// marks the process done. Local ops are never park points; their entry
+	// is the conservative value in case that ever changes.
+	for pc, in := range p.Code {
+		if !g.Reachable[pc] {
+			continue
+		}
+		switch in.Op {
+		case vmprog.OpCS:
+			f.VisibleAt[pc] = true
+		case vmprog.OpHalt:
+			f.VisibleAt[pc] = false
+		case vmprog.OpRead, vmprog.OpWrite, vmprog.OpFence, vmprog.OpCAS:
+			f.VisibleAt[pc] = parks.AtCS(pc + 1)
+		default:
+			f.VisibleAt[pc] = parks.AtCS(pc)
+		}
+	}
+	f.FutureReads, f.FutureWrites = footprints(p, g, n)
+	res := &Result{Facts: f}
+	if n >= 2 {
+		sym, note := symmetry(p, g, n, f.LiveRegs)
+		f.Symmetry = sym
+		res.Symmetric = sym != nil
+		res.SymmetryNote = note
+	} else {
+		res.SymmetryNote = "n < 2: the permutation group is trivial"
+	}
+	return res, nil
+}
+
+// Summary is the compact, serialization-friendly digest of a Result for
+// job artifacts and lint reports: the facts version (consumers can detect
+// staleness against vmprog.FactsVersion), whether the program was proven
+// permutation-invariant, and the rejection note when it was not.
+type Summary struct {
+	FactsVersion int    `json:"facts_version"`
+	Symmetric    bool   `json:"symmetric"`
+	SymmetryNote string `json:"symmetry_note,omitempty"`
+}
+
+// Summary digests the result.
+func (r *Result) Summary() *Summary {
+	return &Summary{
+		FactsVersion: r.Facts.Version,
+		Symmetric:    r.Symmetric,
+		SymmetryNote: r.SymmetryNote,
+	}
+}
+
+// Facts is the convenience wrapper returning just the engine facts.
+func Facts(p *vmprog.Program, n int) (*vmprog.PruneFacts, error) {
+	res, err := Analyze(p, n)
+	if err != nil {
+		return nil, err
+	}
+	return res.Facts, nil
+}

@@ -1,0 +1,507 @@
+package por
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/vmprog"
+)
+
+// Symmetry detection is a scalarset-style type discipline: every register
+// and every shared location is assigned a *value map* - how its content
+// transforms when the process ids are permuted - and every instruction is
+// checked to commute with those maps. When the whole program type-checks,
+// renaming processes is an automorphism of the transition graph that
+// preserves the exclusion predicate, so the checker may explore one
+// canonical representative per orbit. The discipline fails closed: any
+// instruction it cannot type rejects symmetry (the exploration then runs
+// without canonicalization; it never guesses).
+//
+// The value maps are vmprog.SymForm: under a permutation pi, a value x
+// with (x-A)/B in [0,n) denotes process (x-A)/B and maps to
+// A + B*pi((x-A)/B); every other value is a fixed point. This
+// map-if-in-range shape makes out-of-range "junk" (zero initialization,
+// failed-CAS observations) automatically safe, and it commutes with
+// adding or subtracting constants, so derived quantities like me+1 or
+// pred-1 stay typeable.
+
+// ty is the abstract type of a register or location value.
+type ty struct {
+	kind tyKind
+	c    int64          // tyExact: the exact value
+	f    vmprog.SymForm // tyPid: the value map (B is +-1)
+}
+
+type tyKind int8
+
+const (
+	tyBot      tyKind = iota // no value yet
+	tyExact                  // exactly the constant c, identity map
+	tyIdent                  // unknown value, identity map
+	tyPid                    // transforms under the map f
+	tyConflict               // untransformable
+)
+
+func exactTy(c int64) ty { return ty{kind: tyExact, c: c} }
+func pidTy(a, b int64) ty {
+	return ty{kind: tyPid, f: vmprog.SymForm{A: a, B: b}}
+}
+
+// inRange reports whether c lies in the mapped range {A + B*i : i in [0,n)}.
+func inRange(f vmprog.SymForm, c int64, n int) bool {
+	m := (c - f.A) * f.B // B is +-1, so *B == /B
+	return m >= 0 && m < int64(n)
+}
+
+// equivForms reports whether two forms denote the same value map for every
+// permutation in S_n. Maps compose homomorphically over permutations, so
+// agreement on the adjacent-transposition generators implies agreement
+// everywhere. Distinct forms can coincide: at n=2 the Peterson index pair
+// me and 1-me, forms (0,+1) and (1,-1), induce identical maps.
+func equivForms(f, g vmprog.SymForm, n int) bool {
+	if f == g {
+		return true
+	}
+	// Identical ranges are necessary: off-range points are fixed by one
+	// map, and a transposition moves every in-range point of the other.
+	for i := 0; i < n; i++ {
+		if !inRange(g, f.A+f.B*int64(i), n) || !inRange(f, g.A+g.B*int64(i), n) {
+			return false
+		}
+	}
+	t := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		for i := range t {
+			t[i] = i
+		}
+		t[k], t[k+1] = t[k+1], t[k]
+		for i := 0; i < n; i++ {
+			v := f.A + f.B*int64(i)
+			fImg := f.A + f.B*int64(t[i])
+			j := (v - g.A) * g.B
+			gImg := g.A + g.B*int64(t[j])
+			if fImg != gImg {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// joinTy is the least upper bound of two value types; incompatible
+// combinations go to tyConflict. Joining a constant into a pid map keeps
+// the map only when the constant is one of its fixed points: a process
+// writing a literal c into a location whose content must move under
+// renaming would not commute.
+func (a *symAnalysis) joinTy(x, y ty) ty {
+	switch {
+	case x.kind == tyBot:
+		return y
+	case y.kind == tyBot:
+		return x
+	case x.kind == tyConflict || y.kind == tyConflict:
+		return ty{kind: tyConflict}
+	case x.kind == tyExact && y.kind == tyExact:
+		if x.c == y.c {
+			return x
+		}
+		return ty{kind: tyIdent}
+	case x.kind == tyPid && y.kind == tyPid:
+		if equivForms(x.f, y.f, a.n) {
+			return x
+		}
+		return ty{kind: tyConflict}
+	case x.kind == tyPid && y.kind == tyExact:
+		if !inRange(x.f, y.c, a.n) {
+			return x
+		}
+		return ty{kind: tyConflict}
+	case x.kind == tyExact && y.kind == tyPid:
+		return a.joinTy(y, x)
+	case x.kind == tyPid || y.kind == tyPid:
+		// pid vs ident: unknown identity-mapped values may collide with
+		// the mapped range.
+		return ty{kind: tyConflict}
+	}
+	return ty{kind: tyIdent}
+}
+
+// addTy types B + C; subTy types B - C. Shifting a pid map by a constant
+// shifts its range along (int64 wraparound matches the engine's uint64
+// arithmetic bit-for-bit), so fixed points stay fixed points.
+func addTy(x, y ty) ty {
+	switch {
+	case x.kind == tyBot || y.kind == tyBot:
+		return ty{kind: tyBot}
+	case x.kind == tyConflict || y.kind == tyConflict:
+		return ty{kind: tyConflict}
+	case x.kind == tyExact && y.kind == tyExact:
+		return exactTy(x.c + y.c)
+	case x.kind == tyPid && y.kind == tyExact:
+		return pidTy(x.f.A+y.c, x.f.B)
+	case x.kind == tyExact && y.kind == tyPid:
+		return pidTy(y.f.A+x.c, y.f.B)
+	case x.kind == tyPid || y.kind == tyPid:
+		return ty{kind: tyConflict}
+	}
+	return ty{kind: tyIdent}
+}
+
+func subTy(x, y ty) ty {
+	switch {
+	case x.kind == tyBot || y.kind == tyBot:
+		return ty{kind: tyBot}
+	case x.kind == tyConflict || y.kind == tyConflict:
+		return ty{kind: tyConflict}
+	case x.kind == tyExact && y.kind == tyExact:
+		return exactTy(x.c - y.c)
+	case x.kind == tyPid && y.kind == tyExact:
+		return pidTy(x.f.A-y.c, x.f.B)
+	case x.kind == tyExact && y.kind == tyPid:
+		return pidTy(x.c-y.f.A, -y.f.B)
+	case x.kind == tyPid || y.kind == tyPid:
+		return ty{kind: tyConflict}
+	}
+	return ty{kind: tyIdent}
+}
+
+// readTy types the result of reading a location with value type v. Zero
+// initialization folds in for free: a pid map applies to whatever is
+// there, 0 included (in range it denotes a process - the renamed initial
+// state is still a graph automorphism - and out of range it is fixed), and
+// identity maps are value-agnostic, except that a location only ever
+// holding its initial zero reads as the exact constant. A tyBot location
+// means "no write typed yet": mid-fixpoint the read stays tyBot so a
+// not-yet-propagated location cannot transiently mistype readers as
+// exact-zero (the poisoning is one-way: a wrong Exact joins into
+// tyConflict, which never recovers); once the location types have
+// converged, a still-tyBot location provably only ever holds its initial
+// zero and zeroReads folds that in.
+func (a *symAnalysis) readTy(v ty) ty {
+	switch v.kind {
+	case tyBot:
+		if a.zeroReads {
+			return exactTy(0)
+		}
+		return v
+	case tyExact:
+		if v.c == 0 {
+			return v
+		}
+		// A written non-zero constant: reads observe it or the initial
+		// zero, so the value is unknown but identity-mapped.
+		return ty{kind: tyIdent}
+	}
+	return v
+}
+
+// identityMap reports that the type's value map fixes everything.
+func identityMap(t ty) bool {
+	return t.kind == tyBot || t.kind == tyExact || t.kind == tyIdent
+}
+
+// cellTy is the indexing discipline of one array extent.
+type cellTy struct {
+	kind cellKind
+	f    vmprog.SymForm // cellMapped: absolute cell map
+}
+
+type cellKind int8
+
+const (
+	cellNone   cellKind = iota // no access seen
+	cellIdent                  // data/constant-indexed: cells stay put
+	cellMapped                 // pid-indexed: cells permute under f
+)
+
+type regTys [vmprog.NumRegs]ty
+
+type symAnalysis struct {
+	p   *vmprog.Program
+	g   *analysis.CFG
+	n   int
+	ext *analysis.Extents
+	in  []regTys // in-state per pc
+	val []ty     // per extent start var
+	// zeroReads folds initial zeroes into reads of still-tyBot locations;
+	// off until the location types converge (see readTy).
+	zeroReads bool
+	cell      []cellTy // per extent start var, final scan only
+	note      string
+}
+
+func (a *symAnalysis) fail(pc int, format string, args ...any) bool {
+	a.note = fmt.Sprintf("pc %d (%v): %s", pc, a.p.Code[pc].Op, fmt.Sprintf(format, args...))
+	return false
+}
+
+// eqOK reports whether an equality test between the two types is
+// permutation-invariant: both sides transformed by the same bijection
+// (equivalent maps, or both identity), or one side a known constant fixed
+// by the other side's map.
+func (a *symAnalysis) eqOK(x, y ty) bool {
+	if x.kind == tyBot || y.kind == tyBot {
+		return true
+	}
+	if x.kind == tyConflict || y.kind == tyConflict {
+		return false
+	}
+	if identityMap(x) && identityMap(y) {
+		return true
+	}
+	if x.kind == tyPid && y.kind == tyPid {
+		return equivForms(x.f, y.f, a.n)
+	}
+	if x.kind == tyPid && y.kind == tyExact {
+		return !inRange(x.f, y.c, a.n)
+	}
+	if x.kind == tyExact && y.kind == tyPid {
+		return !inRange(y.f, x.c, a.n)
+	}
+	return false
+}
+
+// regFixpoint propagates register types to a fixpoint under the current
+// location types. The lattice is finite-height, so the sweep terminates;
+// the cap is a defensive bound.
+func (a *symAnalysis) regFixpoint() bool {
+	nc := len(a.p.Code)
+	transfer := func(pc int) regTys {
+		out := a.in[pc]
+		switch in := a.p.Code[pc]; in.Op {
+		case vmprog.OpConst:
+			out[in.A] = exactTy(int64(in.Imm))
+		case vmprog.OpMe:
+			out[in.A] = pidTy(0, 1)
+		case vmprog.OpProcs:
+			out[in.A] = exactTy(int64(a.n))
+		case vmprog.OpAdd:
+			out[in.A] = addTy(out[in.B], out[in.C])
+		case vmprog.OpSub:
+			out[in.A] = subTy(out[in.B], out[in.C])
+		case vmprog.OpRead, vmprog.OpCAS:
+			out[in.A] = a.readTy(a.val[a.ext.Start(in.Base)])
+		}
+		return out
+	}
+	for sweep := 0; ; sweep++ {
+		if sweep > 8*nc+64 {
+			a.note = "register type fixpoint did not converge"
+			return false
+		}
+		changed := false
+		for pc := 0; pc < nc; pc++ {
+			if !a.g.Reachable[pc] {
+				continue
+			}
+			out := transfer(pc)
+			for _, s := range a.g.Succs[pc] {
+				for r := range out {
+					j := a.joinTy(a.in[s][r], out[r])
+					if j != a.in[s][r] {
+						a.in[s][r] = j
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+// collectVals recomputes every extent's value type from scratch out of the
+// current register types: the join over all reachable writes (and CAS
+// stores) into the extent. It never fails - a tyConflict recorded here is
+// only final once the mutual fixpoint has converged, and checkObligations
+// rejects it then. Recomputing fresh instead of accumulating matters: an
+// early iteration sees not-yet-propagated register types, and a stale
+// too-low contribution (an exact zero that converges to a pid map, say)
+// must wash out rather than poison the join forever.
+func (a *symAnalysis) collectVals() []ty {
+	val := make([]ty, len(a.p.Vars))
+	for pc, in := range a.p.Code {
+		if !a.g.Reachable[pc] {
+			continue
+		}
+		var v ty
+		switch in.Op {
+		case vmprog.OpWrite:
+			v = a.in[pc][in.A]
+		case vmprog.OpCAS:
+			v = a.in[pc][in.C]
+		default:
+			continue
+		}
+		start := a.ext.Start(in.Base)
+		val[start] = a.joinTy(val[start], v)
+	}
+	return val
+}
+
+// classifyAccess types one shared access's indexing against the converged
+// register types.
+func (a *symAnalysis) classifyAccess(pc int) (cellTy, bool) {
+	in := a.p.Code[pc]
+	if in.Index < 0 {
+		return cellTy{kind: cellIdent}, true
+	}
+	switch idx := a.in[pc][in.Index]; idx.kind {
+	case tyBot, tyExact, tyIdent:
+		return cellTy{kind: cellIdent}, true
+	case tyPid:
+		f := vmprog.SymForm{A: int64(in.Base) + idx.f.A, B: idx.f.B}
+		for i := 0; i < a.n; i++ {
+			c := f.A + f.B*int64(i)
+			if c < int64(a.ext.Start(in.Base)) || c >= int64(a.ext.End(in.Base)) {
+				return cellTy{}, a.fail(pc, "pid-indexed cell %d escapes the extent of %s", c, a.p.Vars[in.Base])
+			}
+		}
+		return cellTy{kind: cellMapped, f: f}, true
+	}
+	return cellTy{}, a.fail(pc, "untypeable index register r%d", in.Index)
+}
+
+// checkObligations verifies, on the converged types, that every reachable
+// instruction commutes with the value maps - equality tests compare
+// compatibly-mapped operands, order tests only identity-mapped ones,
+// written values carry a map, and each extent is indexed under one
+// consistent discipline - and fills a.cell as a side effect.
+func (a *symAnalysis) checkObligations() bool {
+	for pc, in := range a.p.Code {
+		if !a.g.Reachable[pc] {
+			continue
+		}
+		rt := &a.in[pc]
+		switch in.Op {
+		case vmprog.OpJumpIfEq, vmprog.OpJumpIfNe:
+			if !a.eqOK(rt[in.A], rt[in.B]) {
+				return a.fail(pc, "equality on incompatible maps (r%d, r%d)", in.A, in.B)
+			}
+		case vmprog.OpJumpIfLt:
+			if !identityMap(rt[in.A]) || !identityMap(rt[in.B]) {
+				return a.fail(pc, "order comparison on a pid-mapped value")
+			}
+		case vmprog.OpRead, vmprog.OpWrite, vmprog.OpCAS:
+			acc, ok := a.classifyAccess(pc)
+			if !ok {
+				return false
+			}
+			start := a.ext.Start(in.Base)
+			switch cur := a.cell[start]; {
+			case cur.kind == cellNone:
+				a.cell[start] = acc
+			case cur.kind == acc.kind && cur.kind == cellIdent:
+			case cur.kind == acc.kind:
+				if !equivForms(cur.f, acc.f, a.n) {
+					return a.fail(pc, "incompatible pid index maps on %s", a.p.Vars[in.Base])
+				}
+			default:
+				return a.fail(pc, "%s is indexed both by pid and by data", a.p.Vars[in.Base])
+			}
+			if in.Op == vmprog.OpRead {
+				break
+			}
+			stored := rt[in.A]
+			if in.Op == vmprog.OpCAS {
+				stored = rt[in.C]
+				if !a.eqOK(a.readTy(a.val[start]), rt[in.B]) {
+					return a.fail(pc, "CAS compare on incompatible maps")
+				}
+			}
+			if stored.kind == tyConflict || a.val[start].kind == tyConflict {
+				return a.fail(pc, "incompatible value maps stored in %s", a.p.Vars[in.Base])
+			}
+		}
+	}
+	return true
+}
+
+// symmetry runs the discipline and assembles vmprog.SymmetryFacts, or
+// returns nil and a one-line reason. live is the liveness mask from
+// liveRegs: a register the process will never read again may hold an
+// untypeable value without voiding symmetry, because canonicalization
+// zeroes it.
+func symmetry(p *vmprog.Program, g *analysis.CFG, n int, live []uint16) (*vmprog.SymmetryFacts, string) {
+	nv := len(p.Vars)
+	a := &symAnalysis{
+		p:    p,
+		g:    g,
+		n:    n,
+		ext:  analysis.BuildExtents(p.Vars),
+		in:   make([]regTys, len(p.Code)),
+		val:  make([]ty, nv),
+		cell: make([]cellTy, nv),
+	}
+	for r := range a.in[0] {
+		a.in[0][r] = exactTy(0) // registers start zeroed
+	}
+	// Mutual fixpoint of register and location types. Phase one iterates
+	// with reads of still-untyped locations staying tyBot; once stable,
+	// phase two (zeroReads) folds the initial zeroes of the locations that
+	// remained tyBot - provably only ever holding 0 - into their readers
+	// and re-stabilizes. Both phases are monotone, so the cap (location
+	// lattice height times extents, doubled, plus slack) is defensive.
+	for iter, phase2 := 0, false; ; iter++ {
+		if iter > 8*nv+16 {
+			return nil, "location type fixpoint did not converge"
+		}
+		if !a.regFixpoint() {
+			return nil, a.note
+		}
+		val := a.collectVals()
+		stable := true
+		for i := range val {
+			if val[i] != a.val[i] {
+				stable = false
+			}
+		}
+		a.val = val
+		if stable {
+			if phase2 {
+				break
+			}
+			phase2, a.zeroReads = true, true
+		}
+	}
+	if !a.checkObligations() {
+		return nil, a.note
+	}
+	for pc := range p.Code {
+		if !g.Reachable[pc] {
+			continue
+		}
+		for r := 0; r < vmprog.NumRegs; r++ {
+			if live[pc]&(1<<r) != 0 && a.in[pc][r].kind == tyConflict {
+				return nil, fmt.Sprintf("pc %d: live register r%d has no value map", pc, r)
+			}
+		}
+	}
+	sf := &vmprog.SymmetryFacts{
+		RegForms:  make([][]vmprog.SymForm, len(p.Code)),
+		ValForms:  make([]vmprog.SymForm, nv),
+		CellForms: make([]vmprog.SymForm, nv),
+	}
+	for pc := range p.Code {
+		forms := make([]vmprog.SymForm, vmprog.NumRegs)
+		if g.Reachable[pc] {
+			for r := 0; r < vmprog.NumRegs; r++ {
+				if t := a.in[pc][r]; t.kind == tyPid {
+					forms[r] = t.f
+				}
+			}
+		}
+		sf.RegForms[pc] = forms
+	}
+	for v := 0; v < nv; v++ {
+		start := a.ext.Start(v)
+		if t := a.val[start]; t.kind == tyPid {
+			sf.ValForms[v] = t.f
+		}
+		if c := a.cell[start]; c.kind == cellMapped {
+			sf.CellForms[v] = c.f
+		}
+	}
+	return sf, ""
+}

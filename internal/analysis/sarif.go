@@ -56,6 +56,7 @@ var ruleHelp = map[string]string{
 	"no-solo-witness":   "a solo run fails to complete a passage within the step budget",
 	"fence-bound-entry": "the static entry fence interval admits a zero-fence passage, violating the Theorem 1 contention-2 bound",
 	"theorem1-adaptive": "the declared adaptivity class forces more fences than any feasible passage executes at large N",
+	"por-symmetry":      "reduction-engine verdict: whether the program is statically proven invariant under process permutation, enabling symmetry canonicalization in the model checker",
 }
 
 // sarif* types model the subset of the SARIF 2.1.0 object model the
@@ -210,8 +211,11 @@ func SARIF(toolVersion string, findings []SARIFFinding) ([]byte, error) {
 	results := make([]SARIFResult, 0, len(findings))
 	for _, f := range findings {
 		level := "warning"
-		if f.Diag.Sev == SevError {
+		switch f.Diag.Sev {
+		case SevError:
 			level = "error"
+		case SevNote:
+			level = "note"
 		}
 		results = append(results, SARIFResult{
 			RuleID:      f.Diag.Code,

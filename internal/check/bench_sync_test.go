@@ -21,7 +21,7 @@ func TestBenchAnalysisJSONInSync(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full registry exploration in -short mode")
 	}
-	got, err := AnalysisBench(context.Background(), 0, 0, filepath.Join("..", ".."))
+	got, err := AnalysisBench(context.Background(), nil, 0, filepath.Join("..", ".."))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +48,11 @@ func TestBenchAnalysisJSONInSync(t *testing.T) {
 		if !e.Complete && !e.Violated {
 			t.Errorf("%s: exploration incomplete within budget", e.Name)
 		}
-		if e.PrunedStates > e.UnprunedStates {
-			t.Errorf("%s: pruning grew the state space (%d > %d)", e.Name, e.PrunedStates, e.UnprunedStates)
+		if !e.Violated && e.PrunedStates > e.UnprunedStates {
+			t.Errorf("%s: ample reduction grew the state space (%d > %d)", e.Name, e.PrunedStates, e.UnprunedStates)
+		}
+		if !e.Violated && e.PorPrunedStates > e.PrunedStates {
+			t.Errorf("%s: full reduction grew the state space (%d > %d)", e.Name, e.PorPrunedStates, e.PrunedStates)
 		}
 	}
 	if got.Padvet == nil {

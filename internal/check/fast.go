@@ -4,9 +4,36 @@ import (
 	"context"
 	"fmt"
 
-	"priceadaptive/internal/analysis"
+	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/vmprog"
 )
+
+// ReduceMode selects how much of the static reduction engine FastVerify
+// installs before exploring.
+type ReduceMode string
+
+const (
+	// ReduceNone explores the full interleaving graph.
+	ReduceNone ReduceMode = "none"
+	// ReduceAmple installs ample-set reduction (persistent sets justified
+	// by the footprint independence relation) but no state normalization.
+	ReduceAmple ReduceMode = "ample"
+	// ReduceFull adds dead-register normalization and, for programs proven
+	// permutation-invariant, symmetry canonicalization. The strongest sound
+	// mode and the default.
+	ReduceFull ReduceMode = "full"
+)
+
+// ParseReduceMode parses a -reduce flag value; the empty string means full.
+func ParseReduceMode(s string) (ReduceMode, error) {
+	switch m := ReduceMode(s); m {
+	case "":
+		return ReduceFull, nil
+	case ReduceNone, ReduceAmple, ReduceFull:
+		return m, nil
+	}
+	return "", fmt.Errorf("check: unknown reduce mode %q (want none, ample or full)", s)
+}
 
 // FastOptions configures FastVerify.
 type FastOptions struct {
@@ -14,29 +41,62 @@ type FastOptions struct {
 	PSO bool
 	// MaxStates bounds the exploration (0: the engine default).
 	MaxStates int
-	// Prune installs statically derived partial-order-reduction facts
-	// (analysis.Facts) into the engine before exploring. The reduction is
-	// sound - TestFastVerifyPruningDifferential holds the pruned and
-	// unpruned explorations to identical verdicts - but pruned state
-	// counts are not comparable across the two modes.
-	Prune bool
+	// Reduce selects the reduction level (empty: ReduceFull). Every level
+	// is sound - TestReductionDifferential holds all modes to identical
+	// verdicts registry-wide - but state counts are only comparable within
+	// one mode.
+	Reduce ReduceMode
+	// Facts, when non-nil, are pre-derived reduction facts for the program
+	// at the requested n (e.g. from the jobs artifact cache); FastVerify
+	// derives them itself otherwise. They must carry the current facts
+	// version or verification fails with vmprog.ErrStaleFacts.
+	Facts *vmprog.PruneFacts
+}
+
+// ReduceFacts derives the engine facts for p at n restricted to the given
+// mode: nil for ReduceNone, footprints only (no liveness normalization, no
+// symmetry) for ReduceAmple, everything for ReduceFull. The base facts are
+// not mutated.
+func ReduceFacts(base *vmprog.PruneFacts, mode ReduceMode) *vmprog.PruneFacts {
+	switch mode {
+	case ReduceNone:
+		return nil
+	case ReduceAmple:
+		f := *base
+		f.Symmetry = nil
+		// An all-live mask makes dead-register zeroing the identity.
+		f.LiveRegs = make([]uint16, len(base.LiveRegs))
+		for i := range f.LiveRegs {
+			f.LiveRegs[i] = 1<<vmprog.NumRegs - 1
+		}
+		return &f
+	}
+	return base
 }
 
 // FastVerify exhaustively model-checks a VM lock program for n processes on
-// the fast clonable-state engine, optionally pruned by the static
-// analyzer's buffered-write facts. It is the programs-as-data counterpart
-// of Exhaustive.Verify: no goroutines, no replaying, true state snapshots.
+// the fast clonable-state engine, reduced by the static analyzer's
+// independence and symmetry facts per opts.Reduce. It is the
+// programs-as-data counterpart of Exhaustive.Verify: no goroutines, no
+// replaying, true state snapshots.
 func FastVerify(ctx context.Context, p *vmprog.Program, n int, opts FastOptions) (*vmprog.CheckResult, error) {
 	eng, err := vmprog.NewEngine(p, n, opts.PSO)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Prune {
-		facts, err := analysis.Facts(p)
-		if err != nil {
-			return nil, fmt.Errorf("check: deriving pruning facts: %w", err)
+	mode, err := ParseReduceMode(string(opts.Reduce))
+	if err != nil {
+		return nil, err
+	}
+	if mode != ReduceNone {
+		base := opts.Facts
+		if base == nil {
+			base, err = por.Facts(p, n)
+			if err != nil {
+				return nil, fmt.Errorf("check: deriving reduction facts: %w", err)
+			}
 		}
-		if err := eng.UsePruning(facts); err != nil {
+		if err := eng.UsePruning(ReduceFacts(base, mode)); err != nil {
 			return nil, err
 		}
 	}

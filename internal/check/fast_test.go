@@ -2,85 +2,176 @@ package check
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
 	"testing"
 
+	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/vmprog"
 )
 
-// verdict renders the observable outcome of a verification. Pruning must
+// verdict renders the observable outcome of a verification. Reduction must
 // never change it - state and transition counts may shrink, the answer may
 // not.
 func verdict(res *vmprog.CheckResult) string {
 	return fmt.Sprintf("violation=%v complete=%v", res.Violation, res.Complete)
 }
 
-// TestFastVerifyPruningDifferential runs every registry program through the
-// fast engine twice - pruning disabled and enabled - and requires
-// byte-identical verdicts. Any violation schedule found by the pruned run
-// must replay to a violation on an unpruned engine, so a pruning bug cannot
-// hide behind a lucky verdict match.
-func TestFastVerifyPruningDifferential(t *testing.T) {
+// reductionReportEntry is one row of the differential report the CI step
+// uploads (REDUCTION_REPORT=path).
+type reductionReportEntry struct {
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	PSO       bool   `json:"pso,omitempty"`
+	Violated  bool   `json:"violated"`
+	Symmetric bool   `json:"symmetric"`
+	None      int    `json:"none_states"`
+	Ample     int    `json:"ample_states"`
+	Full      int    `json:"full_states"`
+}
+
+// TestReductionDifferential runs every registry program through the fast
+// engine in every reduction mode - none, ample, full - and requires
+// identical verdicts. Any violation schedule found by a reduced run must
+// replay to a violation on an unreduced engine, so a reduction bug cannot
+// hide behind a lucky verdict match. The PSO ordering is covered too for
+// the size-parametric programs (the buffered-commit decisions exercise the
+// schedule translation's variable remapping). When REDUCTION_REPORT names
+// a file, the per-program comparison is written there as JSON for the CI
+// artifact.
+func TestReductionDifferential(t *testing.T) {
+	var report []reductionReportEntry
 	for _, e := range vmprog.Registry() {
 		e := e
-		t.Run(e.Name, func(t *testing.T) {
-			n := 2
-			if e.FixedN > 0 {
-				n = e.FixedN
+		for _, pso := range []bool{false, true} {
+			pso := pso
+			name := e.Name
+			if pso {
+				name += "/pso"
 			}
-			if n > 2 && testing.Short() {
-				t.Skip("large state space in -short mode")
-			}
-			p, err := e.Build(n)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ctx := context.Background()
-			budget := 1 << 22
-			plain, err := FastVerify(ctx, p, n, FastOptions{MaxStates: budget})
-			if err != nil {
-				t.Fatal(err)
-			}
-			pruned, err := FastVerify(ctx, p, n, FastOptions{MaxStates: budget, Prune: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got, want := verdict(pruned), verdict(plain); got != want {
-				t.Fatalf("verdicts differ: pruned %q, unpruned %q", got, want)
-			}
-			if pruned.States > plain.States {
-				t.Fatalf("pruning grew the state space: %d > %d", pruned.States, plain.States)
-			}
-			if !pruned.Violation && pruned.AmpleSteps == 0 {
-				t.Errorf("pruning facts never applied (AmpleSteps=0)")
-			}
-			t.Logf("states %d -> %d (%.1f%%), ample steps %d",
-				plain.States, pruned.States,
-				100*float64(pruned.States)/float64(plain.States), pruned.AmpleSteps)
-			if pruned.Violation {
-				// Replay the pruned run's counterexample without pruning.
-				eng, err := vmprog.NewEngine(p, n, false)
+			t.Run(name, func(t *testing.T) {
+				n := 2
+				if e.FixedN > 0 {
+					n = e.FixedN
+				}
+				if n > 2 && (testing.Short() || pso) {
+					t.Skip("large state space")
+				}
+				p, err := e.Build(n)
 				if err != nil {
 					t.Fatal(err)
 				}
-				st := eng.Initial()
-				for _, d := range pruned.Schedule {
-					if err := eng.Apply(st, d); err != nil {
-						t.Fatalf("pruned schedule does not replay: %v", err)
+				ctx := context.Background()
+				budget := 1 << 22
+				res := map[ReduceMode]*vmprog.CheckResult{}
+				for _, mode := range []ReduceMode{ReduceNone, ReduceAmple, ReduceFull} {
+					r, err := FastVerify(ctx, p, n, FastOptions{
+						PSO: pso, MaxStates: budget, Reduce: mode,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", mode, err)
+					}
+					res[mode] = r
+				}
+				plain := res[ReduceNone]
+				for _, mode := range []ReduceMode{ReduceAmple, ReduceFull} {
+					red := res[mode]
+					if got, want := verdict(red), verdict(plain); got != want {
+						t.Fatalf("%s verdict %q, unreduced %q", mode, got, want)
+					}
+					// Violated runs stop at the first counterexample, so
+					// their counts measure time-to-bug and depend on search
+					// order; only complete explorations must shrink.
+					if !plain.Violation && red.States > plain.States {
+						t.Fatalf("%s grew the state space: %d > %d", mode, red.States, plain.States)
+					}
+					if red.Violation {
+						// Replay the reduced run's counterexample, translated
+						// back to the real frame, without any reduction.
+						eng, err := vmprog.NewEngine(p, n, pso)
+						if err != nil {
+							t.Fatal(err)
+						}
+						st := eng.Initial()
+						for _, d := range red.Schedule {
+							if err := eng.Apply(st, d); err != nil {
+								t.Fatalf("%s schedule does not replay: %v", mode, err)
+							}
+						}
+						if !eng.Violated(st) {
+							t.Fatalf("%s schedule does not reproduce the violation", mode)
+						}
 					}
 				}
-				if !eng.Violated(st) {
-					t.Fatalf("pruned schedule does not reproduce the violation")
+				if !plain.Violation && res[ReduceFull].AmpleSteps == 0 {
+					t.Errorf("reduction facts never applied (AmpleSteps=0)")
 				}
-			}
-		})
+				pr, err := por.Analyze(p, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("states none=%d ample=%d full=%d, symmetric=%v",
+					plain.States, res[ReduceAmple].States, res[ReduceFull].States, pr.Symmetric)
+				report = append(report, reductionReportEntry{
+					Name: e.Name, N: n, PSO: pso,
+					Violated:  plain.Violation,
+					Symmetric: pr.Symmetric,
+					None:      plain.States,
+					Ample:     res[ReduceAmple].States,
+					Full:      res[ReduceFull].States,
+				})
+			})
+		}
+	}
+	if path := os.Getenv("REDUCTION_REPORT"); path != "" && !t.Failed() {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
-// BenchmarkFastVerifyPruning measures the state-space reduction the static
-// pruning facts buy on full explorations of correct locks. The "states"
-// metric is the explored state count; compare prune=off vs prune=on rows.
-func BenchmarkFastVerifyPruning(b *testing.B) {
+// TestFastVerifyStaleFacts pins the typed rejection of outdated fact
+// payloads: deserialized facts carrying an older version must fail with
+// vmprog.ErrStaleFacts instead of silently exploring unreduced.
+func TestFastVerifyStaleFacts(t *testing.T) {
+	p := vmprog.MustPeterson(true)
+	facts, err := por.Facts(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := *facts
+	stale.Version--
+	_, err = FastVerify(context.Background(), p, 2, FastOptions{Facts: &stale})
+	if !errors.Is(err, vmprog.ErrStaleFacts) {
+		t.Fatalf("want ErrStaleFacts, got %v", err)
+	}
+}
+
+// TestParseReduceMode pins the flag surface.
+func TestParseReduceMode(t *testing.T) {
+	for s, want := range map[string]ReduceMode{
+		"": ReduceFull, "none": ReduceNone, "ample": ReduceAmple, "full": ReduceFull,
+	} {
+		got, err := ParseReduceMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReduceMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseReduceMode("everything"); err == nil {
+		t.Error("ParseReduceMode accepted an unknown mode")
+	}
+}
+
+// BenchmarkFastVerifyReduction measures the state-space reduction each mode
+// buys on full explorations of correct locks. The "states" metric is the
+// explored state count; compare the per-mode rows.
+func BenchmarkFastVerifyReduction(b *testing.B) {
 	for _, alg := range []string{"peterson", "bakery", "mcs", "caschain"} {
 		e, err := vmprog.LookupEntry(alg)
 		if err != nil {
@@ -94,26 +185,26 @@ func BenchmarkFastVerifyPruning(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var states [2]int
-		for mi, prune := range []bool{false, true} {
-			mi, prune := mi, prune
-			b.Run(fmt.Sprintf("%s/prune=%v", alg, prune), func(b *testing.B) {
+		states := map[ReduceMode]int{}
+		for _, mode := range []ReduceMode{ReduceNone, ReduceAmple, ReduceFull} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/reduce=%s", alg, mode), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					res, err := FastVerify(context.Background(), p, n, FastOptions{Prune: prune})
+					res, err := FastVerify(context.Background(), p, n, FastOptions{Reduce: mode})
 					if err != nil {
 						b.Fatal(err)
 					}
 					if res.Violation || !res.Complete {
 						b.Fatalf("unexpected result: %s", verdict(res))
 					}
-					states[mi] = res.States
+					states[mode] = res.States
 				}
-				b.ReportMetric(float64(states[mi]), "states")
+				b.ReportMetric(float64(states[mode]), "states")
 			})
 		}
-		if states[0] > 0 && states[1] > 0 {
-			b.Logf("%s: %d -> %d states (%.1f%% kept)", alg, states[0], states[1],
-				100*float64(states[1])/float64(states[0]))
+		if states[ReduceNone] > 0 {
+			b.Logf("%s: %d -> %d -> %d states", alg,
+				states[ReduceNone], states[ReduceAmple], states[ReduceFull])
 		}
 	}
 }

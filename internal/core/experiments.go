@@ -9,6 +9,7 @@ import (
 
 	"priceadaptive/internal/adversary"
 	"priceadaptive/internal/bounds"
+	"priceadaptive/internal/check"
 	"priceadaptive/internal/mutex"
 	"priceadaptive/internal/objects"
 	"priceadaptive/internal/rmr"
@@ -560,6 +561,17 @@ func maxCriticalWithParticipants(ctx context.Context, f mutex.Factory, n, k int)
 	return max, nil
 }
 
+// fastReduce is the reduction mode E11's fast-engine runs verify under;
+// cmd/priceadaptive's -reduce flag overrides the default. Every mode is
+// sound (the registry-wide differential harness in internal/check holds
+// them to identical verdicts), so the knob only trades exploration size
+// against per-state canonicalization work.
+var fastReduce = check.ReduceFull
+
+// SetFastReduce selects the fast-engine reduction mode for subsequent
+// experiment runs.
+func SetFastReduce(mode check.ReduceMode) { fastReduce = mode }
+
 // E11VerificationMatrix runs the fast VM engine's complete model checker
 // over every VM lock program under both memory orderings, producing the
 // repository's verification record: which algorithms are exclusion-safe
@@ -587,11 +599,11 @@ func E11VerificationMatrix(ctx context.Context) (*Report, error) {
 			if pso {
 				ordering = "PSO"
 			}
-			eng, err := vmprog.NewEngine(p, 2, pso)
-			if err != nil {
-				return nil, fmt.Errorf("core: E11 %s: %w", p.Name, err)
-			}
-			res, err := eng.Check(ctx, 4_000_000)
+			res, err := check.FastVerify(ctx, p, 2, check.FastOptions{
+				PSO:       pso,
+				MaxStates: 4_000_000,
+				Reduce:    fastReduce,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("core: E11 %s/%s: %w", p.Name, ordering, err)
 			}

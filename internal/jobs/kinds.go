@@ -8,6 +8,7 @@ import (
 
 	"priceadaptive/internal/analysis"
 	"priceadaptive/internal/analysis/absint"
+	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/check"
 	"priceadaptive/internal/core"
 	"priceadaptive/internal/mutex"
@@ -55,9 +56,12 @@ func RegisterBuiltins(q *Queue) {
 	decisions := reg.Counter("pad_check_decisions_total", "Scheduling decisions explored by model-check jobs.")
 	rate := reg.Gauge("pad_check_states_per_second", "Exploration rate of the most recent model-check job.")
 	q.Register(KindExperiment, runExperiment)
+	// Modelcheck jobs cache derived reduction facts per program hash and
+	// process count through the queue's own artifact store.
+	factsCache := &FactsCache{Store: q.store, Clock: q.clock}
 	q.Register(KindModelCheck, func(ctx context.Context, params json.RawMessage) (any, error) {
 		start := q.clock.Now()
-		res, err := runModelCheck(ctx, params)
+		res, err := runModelCheckCached(ctx, params, factsCache)
 		if mc, ok := res.(*ModelCheckResult); ok && err == nil {
 			states.Add(float64(mc.States))
 			decisions.Add(float64(mc.Decisions))
@@ -162,8 +166,12 @@ type ModelCheckParams struct {
 	// CollapseSpins merges states differing only in spin iterations
 	// (replay engine; sound for pure spin-wait locks).
 	CollapseSpins bool `json:"collapse_spins,omitempty"`
-	// Prune installs the static analyzer's partial-order-reduction facts
-	// into the fast engine (ignored by the replay engine).
+	// Reduce selects the fast engine's reduction mode ("none", "ample" or
+	// "full"; ignored by the replay engine). Empty keeps the legacy
+	// default: "ample" when the deprecated Prune is set, "none" otherwise,
+	// so pre-existing job specs keep their meaning and their state counts.
+	Reduce string `json:"reduce,omitempty"`
+	// Prune is the deprecated boolean predecessor of Reduce.
 	Prune bool `json:"prune,omitempty"`
 }
 
@@ -195,6 +203,10 @@ type ModelCheckResult struct {
 }
 
 func runModelCheck(ctx context.Context, params json.RawMessage) (any, error) {
+	return runModelCheckCached(ctx, params, nil)
+}
+
+func runModelCheckCached(ctx context.Context, params json.RawMessage, cache *FactsCache) (any, error) {
 	var p ModelCheckParams
 	if err := json.Unmarshal(params, &p); err != nil {
 		return nil, fmt.Errorf("modelcheck params: %w", err)
@@ -223,11 +235,27 @@ func runModelCheck(ctx context.Context, params json.RawMessage) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := check.FastVerify(ctx, prog, p.N, check.FastOptions{
-			PSO:       pso,
-			MaxStates: p.MaxStates,
-			Prune:     p.Prune,
-		})
+		reduce := p.Reduce
+		if reduce == "" {
+			if p.Prune {
+				reduce = string(check.ReduceAmple)
+			} else {
+				reduce = string(check.ReduceNone)
+			}
+		}
+		mode, err := check.ParseReduceMode(reduce)
+		if err != nil {
+			return nil, err
+		}
+		opts := check.FastOptions{PSO: pso, MaxStates: p.MaxStates, Reduce: mode}
+		if mode != check.ReduceNone {
+			facts, err := cache.Facts(prog, p.N)
+			if err != nil {
+				return nil, err
+			}
+			opts.Facts = facts
+		}
+		rep, err := check.FastVerify(ctx, prog, p.N, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +331,9 @@ type LintProgramResult struct {
 	// Quant is the quantitative abstract interpretation: static fence
 	// and RMR intervals with a machine-checked witness.
 	Quant *absint.Result `json:"quant"`
+	// Por digests the static reduction analysis (symmetry verdict and
+	// note); nil when the program admits no reduction facts at all.
+	Por *por.Summary `json:"por,omitempty"`
 	// ExpectBroken marks registry variants required to draw errors.
 	ExpectBroken bool `json:"expect_broken,omitempty"`
 	// Pass reports whether the program met its expectation (errors on a
@@ -357,6 +388,10 @@ func runLint(ctx context.Context, params json.RawMessage) (any, error) {
 			// does not replay), never a program finding: fail the job.
 			return nil, fmt.Errorf("padlint %s: %w", e.Name, err)
 		}
+		var porSum *por.Summary
+		if pr, err := por.Analyze(prog, n); err == nil {
+			porSum = pr.Summary()
+		}
 		expectBroken := p.All && e.Broken
 		errs := len(r.Errors()) + len(q.Errors())
 		pass := errs == 0
@@ -366,6 +401,7 @@ func runLint(ctx context.Context, params json.RawMessage) (any, error) {
 		res.Programs = append(res.Programs, LintProgramResult{
 			Report:       r,
 			Quant:        q,
+			Por:          porSum,
 			ExpectBroken: expectBroken,
 			Pass:         pass,
 		})

@@ -1,0 +1,98 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"priceadaptive/internal/analysis/por"
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/vmprog"
+)
+
+// porCacheKind names the cached static-reduction-fact artifacts in the
+// jobs store. Like vetCacheKind these are not queue jobs: the modelcheck
+// runner reads and writes them directly, keyed by program hash x process
+// count x facts version, so repeated checks of the same program skip the
+// static analysis and a facts-format bump can never serve stale tables
+// (the version is part of the identity, and vmprog.Engine.UsePruning
+// rejects a mismatched payload with vmprog.ErrStaleFacts anyway).
+const porCacheKind = "por-facts"
+
+// FactsCache adapts the jobs artifact store to a derive-once store for
+// por.Facts. The zero value (nil Store) derives on every call.
+type FactsCache struct {
+	Store *Store
+	// Clock stamps the artifact statuses; nil means the wall clock.
+	Clock fault.Clock
+}
+
+// specFor derives the store identity of one facts artifact.
+func (c *FactsCache) specFor(progHash string, n int) (Spec, string, error) {
+	params, err := json.Marshal(map[string]any{
+		"hash":    progHash,
+		"n":       n,
+		"version": vmprog.FactsVersion,
+	})
+	if err != nil {
+		return Spec{}, "", err
+	}
+	spec := Spec{Kind: porCacheKind, Params: params}
+	id, err := spec.ID()
+	return spec, id, err
+}
+
+// Facts returns the reduction facts for p at n, from the store when a
+// matching artifact exists, deriving and persisting them otherwise. Cache
+// failures are swallowed - the cache is an optimization, never a
+// correctness input - but analysis failures are returned.
+func (c *FactsCache) Facts(p *vmprog.Program, n int) (*vmprog.PruneFacts, error) {
+	var (
+		id   string
+		spec Spec
+	)
+	if c != nil && c.Store != nil {
+		if hash, err := p.Hash(); err == nil {
+			if sp, sid, err := c.specFor(hash, n); err == nil {
+				spec, id = sp, sid
+				if raw, err := c.Store.GetResult(id); err == nil {
+					var f vmprog.PruneFacts
+					if err := json.Unmarshal(raw, &f); err == nil &&
+						f.Version == vmprog.FactsVersion && f.N == n {
+						return &f, nil
+					}
+				}
+			}
+		}
+	}
+	f, err := por.Facts(p, n)
+	if err != nil {
+		return nil, fmt.Errorf("deriving reduction facts: %w", err)
+	}
+	if id != "" {
+		c.put(spec, id, f)
+	}
+	return f, nil
+}
+
+func (c *FactsCache) put(spec Spec, id string, f *vmprog.PruneFacts) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	if err := c.Store.PutSpec(id, spec); err != nil {
+		return
+	}
+	sum, err := c.Store.PutResult(id, data)
+	if err != nil {
+		return
+	}
+	clock := c.Clock
+	if clock == nil {
+		clock = fault.Wall{}
+	}
+	now := clock.Now().UTC()
+	_ = c.Store.PutStatus(id, Status{
+		ID: id, Kind: porCacheKind, State: StateDone, Attempts: 1,
+		CreatedAt: now, StartedAt: now, FinishedAt: now, ResultSum: sum,
+	})
+}

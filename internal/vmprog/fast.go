@@ -59,27 +59,102 @@ func (s *State) Clone() *State {
 	return ns
 }
 
+// FactsVersion is the current PruneFacts schema version. The engine rejects
+// facts carrying any other version with ErrStaleFacts: facts are cached
+// (jobs artifact store, padlint) and a stale cached schema silently
+// reinterpreted would be an unsoundness, not a degradation.
+const FactsVersion = 2
+
+// ErrStaleFacts reports pruning facts produced under a different
+// PruneFacts schema version than the engine implements.
+var ErrStaleFacts = errors.New("vmprog: pruning facts version mismatch")
+
+// SymForm is an affine value map under a process permutation pi: a value x
+// with (x-A)/B in [0,n) denotes "process (x-A)/B" and maps to
+// A + B*pi((x-A)/B); every other value is a fixed point. B is +1 or -1 for
+// a real form; B == 0 is the identity sentinel (the value carries no
+// process identity). The same shape describes register values, variable
+// contents, and array-cell indices.
+type SymForm struct {
+	A int64 `json:"a"`
+	B int64 `json:"b"`
+}
+
+// Mapped reports whether the form denotes a real (non-identity) map.
+func (f SymForm) Mapped() bool { return f.B != 0 }
+
+// apply maps x under the permutation perm (perm[i] = image of process i).
+func (f SymForm) apply(x uint64, perm []int) uint64 {
+	if f.B == 0 {
+		return x
+	}
+	m := (int64(x) - f.A) * f.B // B is +-1, so *B == /B
+	if m < 0 || m >= int64(len(perm)) {
+		return x
+	}
+	return uint64(f.A + f.B*int64(perm[m]))
+}
+
+// SymmetryFacts certify that the program is invariant under every
+// permutation of process ids, together with the data needed to apply a
+// permutation to a state: per-(pc,register), per-variable-value and
+// per-variable-cell affine forms. They are only produced by the static
+// scalarset discipline in internal/analysis/por, which fails closed: any
+// instruction it cannot type as permutation-invariant voids the facts.
+type SymmetryFacts struct {
+	// RegForms[pc][r] transforms register r of a process parked at pc.
+	RegForms [][]SymForm `json:"reg_forms"`
+	// ValForms[v] transforms the value held by variable v (and by buffered
+	// writes to v). Uniform across an array extent.
+	ValForms []SymForm `json:"val_forms"`
+	// CellForms[v] maps the *index* v to the cell that receives v's
+	// content under the permutation (identity for scalars and
+	// data-indexed arrays).
+	CellForms []SymForm `json:"cell_forms"`
+}
+
 // PruneFacts are static facts about a program, computed by the analyzer in
-// internal/analysis, that let the model checker merge equivalent
+// internal/analysis/por, that let the model checker merge equivalent
 // interleavings. Every field is a *guarantee*: a wrong fact would make the
-// exploration unsound, so facts are only produced by the buffered-write
-// dataflow whose soundness the differential tests in internal/check verify.
+// exploration unsound, so facts are only produced by dataflow analyses
+// whose soundness the differential tests in internal/check verify. Facts
+// are instantiated for a concrete process count N (future footprints are
+// per-process, symmetry is over S_N) and are JSON-serializable so they can
+// be cached per program hash x n in the jobs artifact store.
 type PruneFacts struct {
+	// Version is the schema version (FactsVersion); UsePruning rejects
+	// anything else with ErrStaleFacts.
+	Version int `json:"version"`
+	// N is the process count the facts were instantiated for.
+	N int `json:"n"`
 	// EmptyBufAt[pc] reports that the write buffer is provably empty
 	// whenever a process is parked at pc: no path from the program's entry
 	// to pc carries a write that is not followed by a fence or CAS.
-	EmptyBufAt []bool
-	// AmpleAt[pc] reports that stepping a process parked at pc is invisible
-	// and globally independent (an OpFence or OpHalt with a provably empty
-	// buffer whose continuation cannot park at OpCS, the fence case
-	// additionally outside every CFG cycle), so the checker may take it as
-	// the sole decision without exploring interleavings with other
-	// processes.
-	AmpleAt []bool
-	// AmpleStart reports that starting a process (advancing it through its
-	// leading local instructions) cannot park it at OpCS, making the start
-	// transition invisible too.
-	AmpleStart bool
+	EmptyBufAt []bool `json:"empty_buf_at"`
+	// VisibleAt[pc] reports that stepping a process parked at pc may
+	// change the Violated predicate: the instruction is the CS itself, or
+	// its continuation can park at the CS. Invisible steps are ample-set
+	// candidates (condition C2).
+	VisibleAt []bool `json:"visible_at"`
+	// VisibleStart reports that starting a process can park it at the CS.
+	VisibleStart bool `json:"visible_start"`
+	// FutureReads[id*len(code)+pc] is a bitset (64 vars per word) of every
+	// variable process id may still read at or after pc; FutureWrites the
+	// same for writes (a CAS contributes to both). Indexed accesses whose
+	// index register is statically affine in the process id are
+	// instantiated exactly; anything else widens to the whole array
+	// extent. Used for the static independence relation (condition C1).
+	FutureReads  [][]uint64 `json:"future_reads"`
+	FutureWrites [][]uint64 `json:"future_writes"`
+	// LiveRegs[pc] is a bitmask of the registers live-in at pc (bit r set:
+	// some path from pc uses register r before redefining it). Dead
+	// registers are zeroed during canonicalization: states differing only
+	// in junk a process will never read again are bisimilar.
+	LiveRegs []uint16 `json:"live_regs"`
+	// Symmetry is non-nil when the program is statically proven
+	// permutation-invariant. It must only be applied together with
+	// LiveRegs (dead registers may hold untransformable junk).
+	Symmetry *SymmetryFacts `json:"symmetry,omitempty"`
 }
 
 // Engine executes a VM program under the TSO (or PSO) operational semantics
@@ -89,6 +164,7 @@ type Engine struct {
 	n     int
 	pso   bool
 	facts *PruneFacts
+	red   *reducer
 }
 
 // NewEngine builds an engine for n processes. pso selects partial store
@@ -104,17 +180,47 @@ func NewEngine(p *Program, n int, pso bool) (*Engine, error) {
 }
 
 // UsePruning installs static pruning facts (see PruneFacts). Passing nil
-// disables pruning. The facts must describe this engine's program.
+// disables pruning. The facts must describe this engine's program at this
+// engine's process count, and must carry the current schema version:
+// version mismatches return ErrStaleFacts (wrapped) instead of being
+// silently ignored, because stale cached facts reinterpreted under a new
+// schema would corrupt the exploration rather than merely slow it down.
 func (e *Engine) UsePruning(f *PruneFacts) error {
 	if f == nil {
 		e.facts = nil
+		e.red = nil
 		return nil
 	}
-	if len(f.EmptyBufAt) != len(e.prog.Code) || len(f.AmpleAt) != len(e.prog.Code) {
-		return fmt.Errorf("vmprog: pruning facts cover %d/%d instructions, program has %d",
-			len(f.EmptyBufAt), len(f.AmpleAt), len(e.prog.Code))
+	if f.Version != FactsVersion {
+		return fmt.Errorf("%w: facts version %d, engine implements %d",
+			ErrStaleFacts, f.Version, FactsVersion)
+	}
+	if f.N != e.n {
+		return fmt.Errorf("vmprog: pruning facts instantiated for n=%d, engine has n=%d", f.N, e.n)
+	}
+	nc := len(e.prog.Code)
+	if len(f.EmptyBufAt) != nc || len(f.VisibleAt) != nc || len(f.LiveRegs) != nc {
+		return fmt.Errorf("vmprog: pruning facts cover %d/%d/%d instructions, program has %d",
+			len(f.EmptyBufAt), len(f.VisibleAt), len(f.LiveRegs), nc)
+	}
+	if len(f.FutureReads) != e.n*nc || len(f.FutureWrites) != e.n*nc {
+		return fmt.Errorf("vmprog: footprint tables cover %d/%d points, want %d",
+			len(f.FutureReads), len(f.FutureWrites), e.n*nc)
+	}
+	if s := f.Symmetry; s != nil {
+		if len(s.RegForms) != nc || len(s.ValForms) != len(e.prog.Vars) || len(s.CellForms) != len(e.prog.Vars) {
+			return fmt.Errorf("vmprog: symmetry facts shaped %d/%d/%d, want %d/%d/%d",
+				len(s.RegForms), len(s.ValForms), len(s.CellForms), nc, len(e.prog.Vars), len(e.prog.Vars))
+		}
+		for pc := range s.RegForms {
+			if len(s.RegForms[pc]) != NumRegs {
+				return fmt.Errorf("vmprog: symmetry reg forms at pc %d cover %d registers, want %d",
+					pc, len(s.RegForms[pc]), NumRegs)
+			}
+		}
 	}
 	e.facts = f
+	e.red = newReducer(e, f)
 	return nil
 }
 
@@ -411,44 +517,9 @@ type CheckResult struct {
 	// Schedule reproduces the violation (also applicable to the goroutine
 	// engine via the same decisions).
 	Schedule []tso.Decision
-	// AmpleSteps counts states where static pruning facts reduced the
-	// decision set to a single invisible transition (0 without UsePruning).
+	// AmpleSteps counts states where the reduction restricted expansion to
+	// a single process's transitions (0 without UsePruning).
 	AmpleSteps int
-}
-
-// ampleDecision returns an invisible, globally independent decision that can
-// be taken as the only transition from s, if the installed static facts
-// certify one: starting a process whose leading local code cannot park at
-// the CS, or stepping a fence/halt at a program point with a provably empty
-// write buffer. Such a transition commutes with every other enabled
-// transition, leaves the Violated predicate unchanged, and stays enabled
-// under them, so exploring it alone preserves all reachable violations.
-func (e *Engine) ampleDecision(s *State) (tso.Decision, bool) {
-	if e.facts == nil {
-		return tso.Decision{}, false
-	}
-	for id := range s.Procs {
-		p := &s.Procs[id]
-		if p.Done {
-			continue
-		}
-		if !p.Started {
-			if e.facts.AmpleStart {
-				return tso.Decision{P: tso.ProcID(id)}, true
-			}
-			continue
-		}
-		// Dynamic double-check: an ample point promises an empty buffer;
-		// if the fact were ever wrong we fall back to full expansion
-		// rather than lose commit interleavings.
-		if len(p.Buf) > 0 || !e.facts.AmpleAt[p.PC] {
-			continue
-		}
-		if p.Fencing || e.prog.Code[p.PC].Op == OpFence || e.prog.Code[p.PC].Op == OpHalt {
-			return tso.Decision{P: tso.ProcID(id)}, true
-		}
-	}
-	return tso.Decision{}, false
 }
 
 // Check explores the reachable state space exhaustively (bounded by
@@ -457,26 +528,62 @@ func (e *Engine) ampleDecision(s *State) (tso.Decision, bool) {
 // loops revisit identical states and the exploration terminates without any
 // spin-collapsing heuristic. Cancelling ctx aborts the exploration with the
 // context's error.
+//
+// With pruning facts installed (UsePruning) the exploration is reduced but
+// verdict-equivalent: at each state an ample process - one whose every
+// enabled transition is invisible and statically independent of every
+// other process's future - is expanded alone (conditions C0-C2), unless
+// one of its successors was already visited, in which case the state is
+// fully expanded (the visited-proviso discharging condition C3: every
+// cycle of the reduced graph contains a fully expanded state). When the
+// facts additionally carry liveness masks and symmetry forms, successor
+// states are canonicalized - dead registers zeroed, then the
+// lexicographically minimal representative under all process permutations
+// - and exploration continues from the canonical state; recorded schedule
+// decisions are translated back through the accumulated permutation so
+// Schedule always replays against an unreduced engine from the true
+// initial state.
 func (e *Engine) Check(ctx context.Context, maxStates int) (*CheckResult, error) {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
 	res := &CheckResult{Complete: true}
+	r := e.red
 	seen := make(map[uint64]bool)
 	type node struct {
 		st   *State
-		path []tso.Decision
+		path []tso.Decision // decisions in the real (initial) frame
+		cum  []int          // real slot -> current slot; nil = identity
 	}
-	stack := []node{{st: e.Initial()}}
-	for len(stack) > 0 {
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		h := e.hash(nd.st)
+	// canon maps a freshly produced state to its canonical representative
+	// plus the permutation applied (nil perm = identity).
+	canon := func(s *State) (*State, []int) {
+		if r == nil {
+			return s, nil
+		}
+		return r.canonicalize(s)
+	}
+	root, rootPerm := canon(e.Initial())
+	seen[e.hash(root)] = true
+	res.States = 1
+	stack := []node{{st: root, cum: rootPerm}}
+	// push applies d (in nd's frame) to nd.st, canonicalizes, and pushes
+	// the child if unseen. Every applied decision counts as a transition.
+	push := func(nd *node, d tso.Decision, child *State, perm []int) {
+		h := e.hash(child)
 		if seen[h] {
-			continue
+			return
 		}
 		seen[h] = true
 		res.States++
+		path := make([]tso.Decision, len(nd.path)+1)
+		copy(path, nd.path)
+		path[len(nd.path)] = realDecision(r, d, nd.cum)
+		stack = append(stack, node{st: child, path: path, cum: compose(perm, nd.cum, e.n)})
+	}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if res.States&0xfff == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -492,23 +599,44 @@ func (e *Engine) Check(ctx context.Context, maxStates int) (*CheckResult, error)
 			res.Complete = false
 			return res, nil
 		}
-		var choices []tso.Decision
-		if d, ok := e.ampleDecision(nd.st); ok {
-			choices = []tso.Decision{d}
-			res.AmpleSteps++
-		} else {
-			choices = e.decisions(nd.st)
+		if r != nil {
+			if id, ok := e.ampleProcess(nd.st); ok {
+				amp := e.procDecisions(nd.st, id, nil)
+				kids := make([]*State, len(amp))
+				perms := make([][]int, len(amp))
+				proviso := false
+				for i, d := range amp {
+					child := nd.st.Clone()
+					if err := e.Apply(child, d); err != nil {
+						return nil, fmt.Errorf("vmprog: check: %w", err)
+					}
+					kids[i], perms[i] = canon(child)
+					if seen[e.hash(kids[i])] {
+						// C3 visited-proviso: an ample successor was
+						// already visited, so this state could close a
+						// cycle along which other processes are ignored
+						// forever; expand it fully instead.
+						proviso = true
+					}
+				}
+				if !proviso {
+					res.AmpleSteps++
+					res.Transitions += len(amp)
+					for i, d := range amp {
+						push(&nd, d, kids[i], perms[i])
+					}
+					continue
+				}
+			}
 		}
-		for _, d := range choices {
+		for _, d := range e.decisions(nd.st) {
 			child := nd.st.Clone()
 			if err := e.Apply(child, d); err != nil {
 				return nil, fmt.Errorf("vmprog: check: %w", err)
 			}
 			res.Transitions++
-			path := make([]tso.Decision, len(nd.path)+1)
-			copy(path, nd.path)
-			path[len(nd.path)] = d
-			stack = append(stack, node{st: child, path: path})
+			cc, perm := canon(child)
+			push(&nd, d, cc, perm)
 		}
 	}
 	return res, nil
@@ -518,18 +646,24 @@ func (e *Engine) Check(ctx context.Context, maxStates int) (*CheckResult, error)
 func (e *Engine) decisions(s *State) []tso.Decision {
 	var out []tso.Decision
 	for id := range s.Procs {
-		p := &s.Procs[id]
-		if !p.Done {
-			out = append(out, tso.Decision{P: tso.ProcID(id)})
-		}
-		if len(p.Buf) > 0 && !p.Fencing {
-			if e.pso {
-				for _, b := range p.Buf {
-					out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true, VarPlus1: b.v + 1})
-				}
-			} else {
-				out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true})
+		out = e.procDecisions(s, id, out)
+	}
+	return out
+}
+
+// procDecisions appends process id's enabled decisions to out.
+func (e *Engine) procDecisions(s *State, id int, out []tso.Decision) []tso.Decision {
+	p := &s.Procs[id]
+	if !p.Done {
+		out = append(out, tso.Decision{P: tso.ProcID(id)})
+	}
+	if len(p.Buf) > 0 && !p.Fencing {
+		if e.pso {
+			for _, b := range p.Buf {
+				out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true, VarPlus1: b.v + 1})
 			}
+		} else {
+			out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true})
 		}
 	}
 	return out

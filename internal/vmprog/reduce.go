@@ -1,0 +1,379 @@
+package vmprog
+
+import "priceadaptive/internal/tso"
+
+// maxSymmetryN bounds the process count for which canonicalization is
+// attempted: the canonicalizer enumerates all n! permutations per state, so
+// beyond this the factorial cost of canonicalizing outweighs the factorial
+// state savings in wall-clock terms.
+const maxSymmetryN = 7
+
+// reducer holds the per-engine derived tables the reduced exploration
+// consults on every state: instantiated future-footprint bitsets, the
+// permutation group (when symmetry facts are present), and reusable scratch
+// buffers. It is built once by UsePruning and is not safe for concurrent
+// Check calls, matching the engine's existing contract.
+type reducer struct {
+	e   *Engine
+	f   *PruneFacts
+	sym *SymmetryFacts // nil: no symmetry canonicalization
+	// perms enumerates S_n with the identity first.
+	perms [][]int
+	// candR/candW are the ample candidate's read/write footprint scratch.
+	candR, candW []uint64
+	// encA/encB are state-encoding scratch for the min-lex comparison.
+	encA, encB []uint64
+}
+
+func newReducer(e *Engine, f *PruneFacts) *reducer {
+	r := &reducer{e: e, f: f}
+	nw := (len(e.prog.Vars) + 63) / 64
+	r.candR = make([]uint64, nw)
+	r.candW = make([]uint64, nw)
+	if f.Symmetry != nil && e.n <= maxSymmetryN {
+		r.sym = f.Symmetry
+		r.perms = permutations(e.n)
+	}
+	return r
+}
+
+// permutations enumerates S_n; the identity is the first element.
+func permutations(n int) [][]int {
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func setBit(b []uint64, i int)      { b[i/64] |= 1 << (i % 64) }
+func hasBit(b []uint64, i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func wordsIntersect(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ampleProcess selects a process whose enabled transitions form a sound
+// singleton-process ample set in s: every transition is invisible (C2: the
+// Violated predicate cannot change - not the CS, cannot park at the CS, and
+// buffer pushes/commits never touch it) and statically independent of
+// everything any other process may still do (C1: the candidate's dynamic
+// read/write footprint is disjoint from every other process's future
+// footprint and pending buffered writes, so all its transitions commute
+// with and stay enabled under theirs). C0 holds because only processes with
+// at least one enabled transition are considered; C3 (the cycle proviso) is
+// discharged dynamically by Check's visited-proviso.
+func (e *Engine) ampleProcess(s *State) (int, bool) {
+	r := e.red
+	f := r.f
+	nc := len(e.prog.Code)
+cand:
+	for id := range s.Procs {
+		p := &s.Procs[id]
+		if p.Done && len(p.Buf) == 0 {
+			continue // no enabled transitions (C0)
+		}
+		for i := range r.candR {
+			r.candR[i] = 0
+			r.candW[i] = 0
+		}
+		// The step transition's effect and visibility, by dynamic case.
+		if !p.Done {
+			if !p.Started {
+				// Enter: local instructions only, no shared accesses.
+				if f.VisibleStart {
+					continue
+				}
+			} else if p.Fencing {
+				// Commit head while draining, or EndFence + advance.
+				if len(p.Buf) == 0 && f.VisibleAt[p.PC] {
+					continue
+				}
+			} else {
+				switch in := e.prog.Code[p.PC]; in.Op {
+				case OpRead:
+					vi, err := e.prog.varIndex(in, &p.Regs)
+					if err != nil {
+						continue
+					}
+					if _, own := bufLookup(p, vi); !own {
+						// Forwarded from the own buffer the read is a
+						// purely local step; only a memory read can race.
+						setBit(r.candR, vi)
+					}
+					if f.VisibleAt[p.PC] {
+						continue
+					}
+				case OpWrite:
+					// A buffer push: memory is untouched; the eventual
+					// commit is a later, separately-judged transition.
+					if f.VisibleAt[p.PC] {
+						continue
+					}
+				case OpFence:
+					// Fence-begin only sets the draining flag.
+				case OpCAS:
+					if len(p.Buf) == 0 {
+						vi, err := e.prog.varIndex(in, &p.Regs)
+						if err != nil {
+							continue
+						}
+						setBit(r.candR, vi)
+						setBit(r.candW, vi)
+						if f.VisibleAt[p.PC] {
+							continue
+						}
+					}
+					// Non-empty buffer: the step is a drain commit.
+				case OpHalt:
+					// Sets Done; Violated never depends on it.
+				default:
+					// OpCS (visible by definition) or a local op the
+					// engine should never park at: not a candidate.
+					continue
+				}
+			}
+		}
+		// Any enabled commit publishes a buffered write.
+		for i := range p.Buf {
+			setBit(r.candW, p.Buf[i].v)
+		}
+		// Independence from every other process's future (C1).
+		for q := range s.Procs {
+			if q == id {
+				continue
+			}
+			qs := &s.Procs[q]
+			qpc := 0
+			if qs.Started {
+				qpc = qs.PC
+			}
+			qr := f.FutureReads[q*nc+qpc]
+			qw := f.FutureWrites[q*nc+qpc]
+			if wordsIntersect(r.candW, qr) || wordsIntersect(r.candW, qw) ||
+				wordsIntersect(r.candR, qw) {
+				continue cand
+			}
+			for i := range qs.Buf {
+				if hasBit(r.candR, qs.Buf[i].v) || hasBit(r.candW, qs.Buf[i].v) {
+					continue cand
+				}
+			}
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+// zeroDead zeroes every dead register in place: a register not live-in at
+// the process's program point is never read before being overwritten, so
+// states differing only in such junk are bisimilar and may share a hash.
+func (r *reducer) zeroDead(s *State) {
+	for i := range s.Procs {
+		p := &s.Procs[i]
+		live := r.f.LiveRegs[p.PC]
+		for reg := 0; reg < NumRegs; reg++ {
+			if live&(1<<reg) == 0 {
+				p.Regs[reg] = 0
+			}
+		}
+	}
+}
+
+// applyPerm returns the image of s under the process permutation perm
+// (perm[i] is the slot process i moves to): process states move to their
+// permuted slot with registers rewritten through the per-pc forms, memory
+// cells move through the cell forms with values rewritten through the value
+// forms, and buffered writes are relabeled in order. Dead registers are
+// zeroed so the action is well-defined on liveness-normalized states.
+func (r *reducer) applyPerm(s *State, perm []int) *State {
+	sym := r.sym
+	ns := &State{
+		Mem:   make([]uint64, len(s.Mem)),
+		Procs: make([]PState, len(s.Procs)),
+	}
+	for v, x := range s.Mem {
+		tv := sym.CellForms[v].apply(uint64(v), perm)
+		ns.Mem[tv] = sym.ValForms[v].apply(x, perm)
+	}
+	for i := range s.Procs {
+		p := &s.Procs[i]
+		q := PState{
+			PC:      p.PC,
+			Fencing: p.Fencing,
+			Started: p.Started,
+			Done:    p.Done,
+			InExit:  p.InExit,
+		}
+		live := r.f.LiveRegs[p.PC]
+		forms := sym.RegForms[p.PC]
+		for reg := 0; reg < NumRegs; reg++ {
+			if live&(1<<reg) != 0 {
+				q.Regs[reg] = forms[reg].apply(p.Regs[reg], perm)
+			}
+		}
+		if len(p.Buf) > 0 {
+			q.Buf = make([]bufEnt, len(p.Buf))
+			for k, b := range p.Buf {
+				q.Buf[k] = bufEnt{
+					v: int(sym.CellForms[b.v].apply(uint64(b.v), perm)),
+					x: sym.ValForms[b.v].apply(b.x, perm),
+				}
+			}
+		}
+		ns.Procs[perm[i]] = q
+	}
+	return ns
+}
+
+// encode appends an injective flat encoding of s to dst (the same fields the
+// engine hashes, unhashed) for lexicographic comparison.
+func encode(dst []uint64, s *State) []uint64 {
+	dst = append(dst, s.Mem...)
+	for i := range s.Procs {
+		p := &s.Procs[i]
+		flags := uint64(p.PC) << 4
+		if p.Fencing {
+			flags |= 1
+		}
+		if p.Started {
+			flags |= 2
+		}
+		if p.Done {
+			flags |= 4
+		}
+		if p.InExit {
+			flags |= 8
+		}
+		dst = append(dst, flags)
+		dst = append(dst, p.Regs[:]...)
+		dst = append(dst, uint64(len(p.Buf)))
+		for _, b := range p.Buf {
+			dst = append(dst, uint64(b.v), b.x)
+		}
+	}
+	return dst
+}
+
+func lexLess(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// canonicalize maps s to its canonical representative: dead registers
+// zeroed, then - when symmetry facts are installed - the minimum of the
+// orbit of s under S_n in the lexicographic order of the flat encoding. It
+// returns the representative and the permutation that produced it (nil for
+// the identity). s is consumed and may be mutated or returned.
+func (r *reducer) canonicalize(s *State) (*State, []int) {
+	r.zeroDead(s)
+	if r.sym == nil {
+		return s, nil
+	}
+	best, bestPerm := s, []int(nil)
+	r.encA = encode(r.encA[:0], s)
+	for _, perm := range r.perms[1:] {
+		cand := r.applyPerm(s, perm)
+		r.encB = encode(r.encB[:0], cand)
+		if lexLess(r.encB, r.encA) {
+			best, bestPerm = cand, perm
+			r.encA, r.encB = r.encB, r.encA
+		}
+	}
+	return best, bestPerm
+}
+
+// compose chains two slot maps: first cum, then perm (nil is the identity).
+// The result maps a real slot to its slot after both.
+func compose(perm, cum []int, n int) []int {
+	if perm == nil {
+		return cum
+	}
+	if cum == nil {
+		return perm
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = perm[cum[i]]
+	}
+	return out
+}
+
+// realDecision translates a decision taken in the canonical frame of a node
+// with cumulative permutation cum back into the real (initial) frame, so
+// recorded schedules replay against an unreduced engine: the acting process
+// is the cum-preimage of the canonical slot, and a PSO commit's variable is
+// pulled back through the cell forms under the inverse permutation.
+func realDecision(r *reducer, d tso.Decision, cum []int) tso.Decision {
+	if cum == nil {
+		return d
+	}
+	inv := make([]int, len(cum))
+	for i, j := range cum {
+		inv[j] = i
+	}
+	d.P = tso.ProcID(inv[int(d.P)])
+	if d.Commit && d.VarPlus1 > 0 {
+		v := d.VarPlus1 - 1
+		d.VarPlus1 = int(r.sym.CellForms[v].apply(uint64(v), inv)) + 1
+	}
+	return d
+}
+
+// PermuteState returns the image of s under the process permutation perm
+// per the installed symmetry facts (including dead-register zeroing, so the
+// action is on liveness-normalized states), or nil when no symmetry facts
+// are installed. Exported for the brute-force symmetry oracle tests in
+// internal/analysis/por.
+func (e *Engine) PermuteState(s *State, perm []int) *State {
+	if e.red == nil || e.red.sym == nil {
+		return nil
+	}
+	c := s.Clone()
+	e.red.zeroDead(c)
+	return e.red.applyPerm(c, perm)
+}
+
+// CanonicalState returns the canonical representative of s and the
+// permutation that produced it (nil for the identity). Without installed
+// facts s is returned unchanged. The input is not mutated.
+func (e *Engine) CanonicalState(s *State) (*State, []int) {
+	if e.red == nil {
+		return s, nil
+	}
+	return e.red.canonicalize(s.Clone())
+}
+
+// PermuteVar returns the memory cell that receives variable v's content
+// under perm per the installed symmetry facts (v itself when none are
+// installed): the cell-form action the canonicalizer and schedule
+// translation use.
+func (e *Engine) PermuteVar(v int, perm []int) int {
+	if e.red == nil || e.red.sym == nil {
+		return v
+	}
+	return int(e.red.sym.CellForms[v].apply(uint64(v), perm))
+}
