@@ -13,13 +13,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
+	"priceadaptive/internal/adversary"
+	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/check"
 	"priceadaptive/internal/mutex"
+	"priceadaptive/internal/rmr"
 	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
@@ -43,6 +47,13 @@ func run() error {
 	reduce := flag.String("reduce", "full", "fast-engine reduction: none (full interleaving graph), ample (persistent sets), full (ample + symmetry canonicalization; strongest sound mode)")
 	save := flag.String("save", "", "write a found violation's minimized schedule to this file")
 	replay := flag.String("replay", "", "replay a saved schedule instead of searching")
+	rmeMode := flag.Bool("rme", false, "run the crash-bounded recoverability check instead of the crash-free verification (fast engine, VM programs only)")
+	crashes := flag.Int("crashes", 2, "rme/crash-search: total crash budget")
+	crashPerProc := flag.Int("crash-per-proc", 1, "rme/crash-search: per-process crash bound")
+	crashSearch := flag.Bool("crash-search", false, "additionally run the adversarial crash-schedule search for the worst post-recovery RMR witness (implies -rme)")
+	searchBudget := flag.Int("search-budget", 4096, "crash-search: node-expansion budget")
+	searchSeed := flag.Int64("search-seed", 1, "crash-search: frontier tie-break seed")
+	model := flag.String("model", "dsm", "crash-search: cache model to price witnesses under (dsm, cc-wt, cc-wb)")
 	timeout := flag.Duration("timeout", 0, "abort the search after this wall-clock time (0 = no limit); Ctrl-C also cancels")
 	flag.Parse()
 
@@ -52,6 +63,14 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *rmeMode || *crashSearch {
+		return runRME(ctx, *alg, *n, *maxStates, *reduce, rmeOpts{
+			crashes: *crashes, perProc: *crashPerProc,
+			search: *crashSearch, budget: *searchBudget, seed: *searchSeed,
+			model: *model, save: *save,
+		})
 	}
 
 	factory, err := mutex.Lookup(*alg)
@@ -138,6 +157,117 @@ func run() error {
 		fmt.Printf("saved to %s\n", *save)
 	}
 	return nil
+}
+
+// rmeOpts carries the RME-mode flag values.
+type rmeOpts struct {
+	crashes, perProc int
+	search           bool
+	budget           int
+	seed             int64
+	model            string
+	save             string
+}
+
+// runRME decides crash-bounded recoverability of a VM program on the fast
+// engine and, with -crash-search, runs the adversarial crash-schedule
+// search, verifying the worst-case post-recovery RMR witness on an
+// unreduced and a fully reduced engine before reporting it.
+func runRME(ctx context.Context, alg string, n, maxStates int, reduce string, o rmeOpts) error {
+	prog, err := vmprog.Lookup(alg, n)
+	if err != nil {
+		return err
+	}
+	mode, err := check.ParseReduceMode(reduce)
+	if err != nil {
+		return err
+	}
+	crash := vmprog.CrashOpts{MaxCrashes: o.crashes, MaxPerProc: o.perProc}
+	v, err := check.RMEVerify(ctx, prog, n, check.RMEOptions{
+		MaxStates: maxStates, Crash: crash, Reduce: mode,
+	})
+	if err != nil {
+		return err
+	}
+	v.Program = alg
+	fmt.Println(v)
+	if len(v.Counterexample) > 0 {
+		fmt.Printf("counterexample (%d decisions):\n", len(v.Counterexample))
+		printSchedule(prog, v.Counterexample)
+	}
+	if !o.search {
+		return nil
+	}
+
+	m, err := rmr.ParseModel(o.model)
+	if err != nil {
+		return err
+	}
+	eng, err := vmprog.NewEngine(prog, n, false)
+	if err != nil {
+		return err
+	}
+	res, err := adversary.CrashSearch(ctx, eng, adversary.CrashSearchConfig{
+		Seed: o.seed, Budget: o.budget, MaxCrashes: o.crashes, MaxPerProc: o.perProc, Model: m,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash search: %d expanded, %d completed schedules, exhausted=%v\n",
+		res.Expanded, res.Candidates, res.Exhausted)
+	w := res.Witness
+	if w == nil {
+		fmt.Println("no completed crash schedule found within the search budget")
+		return nil
+	}
+	facts, err := por.Facts(prog, n)
+	if err != nil {
+		return err
+	}
+	plain, err := vmprog.NewEngine(prog, n, false)
+	if err != nil {
+		return err
+	}
+	reduced, err := vmprog.NewEngine(prog, n, false)
+	if err != nil {
+		return err
+	}
+	if err := reduced.UsePruning(facts); err != nil {
+		return err
+	}
+	if err := w.Verify(plain, reduced); err != nil {
+		return fmt.Errorf("witness failed verification: %w", err)
+	}
+	fmt.Printf("worst case found (%s): %d post-recovery RMRs with %d crash(es) in %d decisions (verified, reduce=none and reduce=full)\n",
+		w.Model, w.MaxRecoveryRMRs, w.Crashes, len(w.Schedule))
+	printSchedule(prog, w.Schedule)
+	if o.save != "" {
+		data, err := json.MarshalIndent(w, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.save, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("witness saved to %s\n", o.save)
+	}
+	return nil
+}
+
+// printSchedule renders a decision schedule one line per decision.
+func printSchedule(prog *vmprog.Program, sched []tso.Decision) {
+	for i, d := range sched {
+		kind := "step"
+		switch {
+		case d.Crash:
+			kind = "CRASH"
+		case d.Commit && d.VarPlus1 > 0:
+			kind = fmt.Sprintf("commit %s (out of order)", prog.Vars[d.VarPlus1-1])
+		case d.Commit:
+			kind = "commit"
+		}
+		fmt.Printf("  %2d: p%d %s\n", i, d.P, kind)
+	}
 }
 
 // runFast verifies a VM program with the fast clonable-state engine:

@@ -320,7 +320,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "padlint: %s: %v\n", e.Name, err)
 				return 1
 			}
-			targets = append(targets, target{prog: p, n: nn, expectBroken: e.Broken})
+			targets = append(targets, target{prog: p, n: nn, expectBroken: e.Broken || e.CrashBroken})
 		}
 	case *alg != "":
 		e, err := vmprog.LookupEntry(*alg)

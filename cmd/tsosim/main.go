@@ -59,6 +59,7 @@ func run() error {
 	crashP := flag.Float64("crashp", 0.05, "crash mode: per-decision crash probability")
 	crashPerProc := flag.Int("crash-per-proc", 1, "crash mode: per-process crash bound")
 	crashSeed := flag.Int64("crash-seed", 1, "crash mode: decision-stream seed")
+	rmeAgg := flag.Bool("rme", false, "crash mode: additionally print per-model recovery-passage aggregates (post-crash RMR cost, charged separately after Chan-Woelfel)")
 	adv := flag.Bool("adversary", false, "run the lower-bound construction instead of a scheduler")
 	advA := flag.Float64("fa", 16, "claimed adaptivity constant term (adversary mode)")
 	advC := flag.Float64("fc", 10, "claimed adaptivity slope (adversary mode)")
@@ -152,6 +153,9 @@ func run() error {
 			fmt.Printf("EXCLUSION VIOLATED: %v\n", res.Violation)
 		}
 		printAccountants(accs)
+		if *rmeAgg {
+			printRecoveryAccountants(accs)
+		}
 		rmr.AnnotateTrace(tracer, accs...)
 		if err := writeTraceOutputs(tracer, *traceOut, *traceSummary); err != nil {
 			return err
@@ -240,6 +244,20 @@ func writeTraceOutputs(tr *obsv.Tracer, out string, summary bool) error {
 		return tr.WriteSummary(os.Stdout)
 	}
 	return nil
+}
+
+// printRecoveryAccountants prints the crash-RMR aggregates: the cost of
+// exactly the completed passages that were opened by a Recover transition.
+func printRecoveryAccountants(accs []*rmr.Accountant) {
+	fmt.Println("\nrecovery passages (post-crash cost, charged separately):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\trecovery passages\tmax recovery RMR\tmean recovery RMR")
+	for _, acc := range accs {
+		s := acc.Summarize()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\n",
+			s.Model, s.RecoveryPassages, s.MaxRecoveryRMRs, s.MeanRecoveryRMRs)
+	}
+	_ = tw.Flush()
 }
 
 func printAccountants(accs []*rmr.Accountant) {

@@ -1,0 +1,250 @@
+package adversary
+
+import (
+	"container/heap"
+	"context"
+
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/rme"
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+// CrashSearchConfig parameterizes the adversarial crash-schedule search.
+// All randomness is drawn from a fault.Source seeded with Seed, so a fixed
+// seed reproduces the exact search trajectory and witness.
+type CrashSearchConfig struct {
+	// Seed seeds the tie-breaking jitter of the best-first frontier.
+	Seed int64
+	// Budget bounds the number of node expansions. Defaults to 4096.
+	Budget int
+	// MaxCrashes bounds crash decisions across all processes (defaults to
+	// 1); MaxPerProc bounds crashes of each process (defaults to 1).
+	MaxCrashes int
+	MaxPerProc int
+	// Model is the cache model witnesses are priced under. Defaults to
+	// rmr.ModelDSM.
+	Model rmr.CacheModel
+	// MaxLen caps schedule length, cutting off non-terminating spins the
+	// state dedup does not already prune. Defaults to 4096.
+	MaxLen int
+}
+
+func (c *CrashSearchConfig) defaults() {
+	if c.Budget <= 0 {
+		c.Budget = 4096
+	}
+	if c.MaxCrashes == 0 {
+		c.MaxCrashes = 1
+	}
+	if c.MaxPerProc == 0 {
+		c.MaxPerProc = 1
+	}
+	if c.Model == 0 {
+		c.Model = rmr.ModelDSM
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 4096
+	}
+}
+
+// CrashSearchResult reports the outcome of one crash-schedule search.
+type CrashSearchResult struct {
+	// Witness is the most expensive completed schedule found, priced by
+	// rme.ReplayRMR (nil when no schedule completed within budget - e.g. a
+	// non-recoverable program whose every crashing run wedges).
+	Witness *rme.Witness `json:"witness,omitempty"`
+	// Expanded counts node expansions spent; Candidates counts completed
+	// schedules considered; Violations counts pruned violating states.
+	Expanded   int `json:"expanded"`
+	Candidates int `json:"candidates"`
+	Violations int `json:"violations"`
+	// Exhausted reports that the frontier emptied before the budget did:
+	// the search saw every reachable (deduplicated) schedule prefix.
+	Exhausted bool `json:"exhausted"`
+}
+
+// searchNode is one frontier entry. Schedules are reconstructed through
+// parent pointers, so a node only stores its own decision.
+type searchNode struct {
+	st     *vmprog.State
+	parent int
+	dec    tso.Decision
+	depth  int
+	// crashes / recBest / recCur / recovering carry the incremental
+	// accounting the heuristic scores on: recBest is the best completed
+	// recovery attempt's access count so far, recCur[p] the accesses of
+	// p's in-progress recovery attempt.
+	crashes    int
+	recBest    int
+	recCur     []int
+	recovering []bool
+	score      int
+	seq        int // insertion order, for deterministic tie-breaking
+}
+
+type searchHeap []*searchNode
+
+func (h searchHeap) Len() int { return len(h) }
+func (h searchHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return h[i].seq < h[j].seq
+}
+func (h searchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *searchHeap) Push(x any)   { *h = append(*h, x.(*searchNode)) }
+func (h *searchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// CrashSearch runs a seeded, budgeted best-first search over crash
+// schedules of the program on eng, looking for the schedule that maximizes
+// post-recovery RMR cost (the quantity the crash-RMR bounds of Chan-Woelfel,
+// arXiv:2106.03185, are stated over). The frontier is ordered by an
+// incremental estimate of that cost - completed recovery attempts dominate,
+// then in-progress recovery accesses, then crashes spent - with seeded
+// jitter breaking ties, and deduplicated by state hash (keeping the best
+// score per state; this is a heuristic prune, not a soundness argument:
+// the result is a machine-checked lower bound on the worst case, not an
+// upper bound). Completed schedules are priced authoritatively by
+// rme.ReplayRMR, so the returned witness verifies by construction.
+func CrashSearch(ctx context.Context, eng *vmprog.Engine, cfg CrashSearchConfig) (*CrashSearchResult, error) {
+	cfg.defaults()
+	src := fault.NewSource(cfg.Seed).Split("crashsearch")
+	opts := vmprog.CrashOpts{MaxCrashes: cfg.MaxCrashes, MaxPerProc: cfg.MaxPerProc}
+	n := eng.NumProcs()
+	res := &CrashSearchResult{}
+
+	nodes := []*searchNode{{
+		st:         eng.Initial(),
+		parent:     -1,
+		recCur:     make([]int, n),
+		recovering: make([]bool, n),
+	}}
+	frontier := &searchHeap{nodes[0]}
+	seen := map[uint64]int{eng.Hash(nodes[0].st): 0}
+	path := func(nd *searchNode) []tso.Decision {
+		var out []tso.Decision
+		for ; nd.parent >= 0; nd = nodes[nd.parent] {
+			out = append(out, nd.dec)
+		}
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	}
+	best := -1
+	for res.Expanded < cfg.Budget && frontier.Len() > 0 {
+		if res.Expanded%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		nd := heap.Pop(frontier).(*searchNode)
+		res.Expanded++
+		if eng.Violated(nd.st) {
+			res.Violations++
+			continue
+		}
+		if eng.AllDone(nd.st) {
+			res.Candidates++
+			sched := path(nd)
+			rr, err := rme.ReplayRMR(eng, sched, cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			// Prefer more post-recovery RMRs; among equals, more crashes
+			// (a crashing witness is more informative than a crash-free
+			// run of the same cost).
+			if rr.MaxRecoveryRMRs > best || (rr.MaxRecoveryRMRs == best && res.Witness != nil && rr.Crashes > res.Witness.Crashes) {
+				best = rr.MaxRecoveryRMRs
+				res.Witness = &rme.Witness{
+					Program:         eng.Program().Name,
+					N:               eng.NumProcs(),
+					Model:           cfg.Model,
+					Schedule:        sched,
+					Crashes:         rr.Crashes,
+					MaxRecoveryRMRs: rr.MaxRecoveryRMRs,
+				}
+			}
+			continue
+		}
+		if nd.depth >= cfg.MaxLen {
+			continue
+		}
+		for _, d := range eng.EnabledDecisions(nd.st, opts) {
+			child := nd.st.Clone()
+			ef, err := eng.ApplyEffect(child, d)
+			if err != nil {
+				return nil, err
+			}
+			c := &searchNode{
+				st:         child,
+				parent:     nd.seq,
+				dec:        d,
+				depth:      nd.depth + 1,
+				crashes:    nd.crashes,
+				recBest:    nd.recBest,
+				recCur:     append([]int(nil), nd.recCur...),
+				recovering: append([]bool(nil), nd.recovering...),
+			}
+			p := ef.P
+			switch {
+			case ef.Crash:
+				c.crashes++
+				c.recovering[p] = false
+			case ef.Recover:
+				c.recovering[p] = true
+				c.recCur[p] = 0
+			case ef.Enter:
+				c.recovering[p] = false
+			default:
+				if ef.Kind != vmprog.EffectNone && c.recovering[p] {
+					c.recCur[p]++
+				}
+				if ef.Exit && c.recovering[p] {
+					if c.recCur[p] > c.recBest {
+						c.recBest = c.recCur[p]
+					}
+					c.recovering[p] = false
+				}
+			}
+			c.score = score(c) + src.Intn(8)
+			h := eng.Hash(child)
+			if prev, ok := seen[h]; ok && prev >= c.score {
+				continue
+			}
+			seen[h] = c.score
+			c.seq = len(nodes)
+			nodes = append(nodes, c)
+			heap.Push(frontier, c)
+		}
+	}
+	res.Exhausted = frontier.Len() == 0
+	return res, nil
+}
+
+// score ranks a frontier node: completed recovery cost dominates, then the
+// most expensive in-progress recovery attempt, then crashes already spent
+// (a crash is an investment the search should try to cash in), then
+// completed passages (to pull schedules toward termination), minus depth
+// (to prefer short witnesses among equals).
+func score(nd *searchNode) int {
+	inprog, done := 0, 0
+	for p := range nd.recovering {
+		if nd.recovering[p] && nd.recCur[p] > inprog {
+			inprog = nd.recCur[p]
+		}
+		if nd.st.Procs[p].Done {
+			done++
+		}
+	}
+	return nd.recBest*4096 + inprog*256 + nd.crashes*64 + done*16 - nd.depth
+}

@@ -301,12 +301,22 @@ func branch(pc int, in vmprog.Instr, takenOK, fallOK bool) []int {
 	return next
 }
 
-// run executes the fixpoint, then records the final feasible edges.
+// run executes the fixpoint, then records the final feasible edges. The
+// recover entry (Program.Recover) is a second seed with the same initial
+// state as pc 0: a crash zeroes the register file and drops the write
+// buffer, so recovery resumes there exactly as a fresh passage would.
 func (it *interp) run() {
 	it.state[0] = newIState(it.nvars)
 	work := []int{0}
 	inWork := make([]bool, len(it.p.Code))
 	inWork[0] = true
+	if rec := it.p.Recover; rec > 0 {
+		if it.state[rec] == nil {
+			it.state[rec] = newIState(it.nvars)
+		}
+		work = append(work, rec)
+		inWork[rec] = true
+	}
 	for len(work) > 0 {
 		pc := work[0]
 		work = work[1:]

@@ -173,6 +173,36 @@ func Analyze(p *vmprog.Program, n int) *Report {
 		}
 	}
 
+	// Recover-section stale reads: the first thing a recovery may observe.
+	// A crash drops every write still sitting in the buffer, so a variable
+	// that is ever buffered may hold a value older than what the crashed
+	// process last wrote. Recover code that reads such a variable before
+	// its first serializing instruction bases the recovery decision on
+	// possibly-lost state - the RME idiom is to write recovery-relevant
+	// state only through CAS (never buffered) or to serialize before
+	// trusting it. Flagged on every read reachable from the recover entry
+	// with zero fences/CASes on some path.
+	if p.Recover > 0 {
+		anyBuffered := newBitset(len(p.Vars))
+		for pc := range p.Code {
+			if g.Reachable[pc] {
+				anyBuffered.unionInto(buf[pc])
+			}
+		}
+		distRec := minSerializing(g, p.Recover)
+		for pc, in := range p.Code {
+			if in.Op != vmprog.OpRead || distRec[pc] != 0 {
+				continue
+			}
+			acc := ext.accessSet(len(p.Vars), in)
+			if anyBuffered.intersects(acc) {
+				r.add(SevError, "recover-stale-read", pc,
+					"recovery reads %s before any fence/CAS, but a crash may have dropped a buffered write to it (recover on possibly-stale state)",
+					varList(p.Vars, anyBuffered, acc))
+			}
+		}
+	}
+
 	// Serializing-event path counts entry -> CS -> halt.
 	csPC := -1
 	for pc, in := range p.Code {

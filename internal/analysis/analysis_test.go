@@ -41,7 +41,7 @@ func TestRegistryDiagnostics(t *testing.T) {
 	for _, e := range vmprog.Registry() {
 		p, n := build(t, e.Name)
 		r := Analyze(p, n)
-		if e.Broken {
+		if e.Broken || e.CrashBroken {
 			if len(r.Errors()) == 0 {
 				t.Errorf("%s: broken variant produced no errors", e.Name)
 			}

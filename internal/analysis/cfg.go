@@ -27,22 +27,36 @@ type Block struct {
 	Succs []int
 }
 
+// VRoot is the IDom sentinel for the virtual super-root of a multi-rooted
+// CFG: an instruction whose immediate dominator is VRoot is reachable
+// through more than one entry point (program entry and the recover entry)
+// and has no real dominator.
+const VRoot = -2
+
 // CFG is the per-process control-flow graph of a program, at instruction
-// granularity with a basic-block overlay.
+// granularity with a basic-block overlay. Programs with a recover section
+// (Program.Recover > 0) have two roots - the program entry at pc 0 and the
+// recover entry, which a crashed process resumes at with a fresh register
+// file - and every analysis over the CFG covers both regions.
 type CFG struct {
 	prog *vmprog.Program
+	// Roots are the entry points: pc 0, plus Program.Recover when set.
+	Roots []int
 	// Succs and Preds are instruction-level edges. OpHalt has no
 	// successors; conditional jumps have two.
 	Succs, Preds [][]int
-	// Reachable marks instructions reachable from entry (pc 0).
+	// Reachable marks instructions reachable from some root.
 	Reachable []bool
 	// Blocks are the basic blocks over reachable code, ordered by Start.
 	Blocks []Block
 	// BlockOf maps a reachable instruction to its block index (-1 for
 	// unreachable instructions).
 	BlockOf []int
-	// IDom is the immediate dominator of each reachable instruction (pc 0
-	// is its own dominator; -1 for unreachable instructions).
+	// IDom is the immediate dominator of each reachable instruction in the
+	// graph augmented with a virtual super-root over all Roots: each root
+	// is its own dominator, an instruction reachable from several roots
+	// with no common real dominator holds VRoot, and unreachable
+	// instructions hold -1.
 	IDom []int
 	// SCCOf maps each instruction to its strongly connected component;
 	// Cyclic[c] reports whether component c contains a cycle (more than
@@ -88,28 +102,37 @@ func BuildCFG(p *vmprog.Program) *CFG {
 		g.IDom[pc] = -1
 		g.SCCOf[pc] = -1
 	}
-	// Reachability and postorder from the entry.
+	g.Roots = []int{0}
+	if p.Recover > 0 {
+		g.Roots = append(g.Roots, p.Recover)
+	}
+	// Reachability and postorder from every root.
 	var post []int
 	state := make([]int, n) // 0 unvisited, 1 on stack, 2 done
 	type frame struct{ pc, next int }
-	stack := []frame{{0, 0}}
-	g.Reachable[0] = true
-	state[0] = 1
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		if f.next < len(g.Succs[f.pc]) {
-			s := g.Succs[f.pc][f.next]
-			f.next++
-			if state[s] == 0 {
-				state[s] = 1
-				g.Reachable[s] = true
-				stack = append(stack, frame{s, 0})
-			}
+	for _, root := range g.Roots {
+		if state[root] != 0 {
 			continue
 		}
-		state[f.pc] = 2
-		post = append(post, f.pc)
-		stack = stack[:len(stack)-1]
+		stack := []frame{{root, 0}}
+		g.Reachable[root] = true
+		state[root] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.Succs[f.pc]) {
+				s := g.Succs[f.pc][f.next]
+				f.next++
+				if state[s] == 0 {
+					state[s] = 1
+					g.Reachable[s] = true
+					stack = append(stack, frame{s, 0})
+				}
+				continue
+			}
+			state[f.pc] = 2
+			post = append(post, f.pc)
+			stack = stack[:len(stack)-1]
+		}
 	}
 	g.rpo = make([]int, len(post))
 	for i, pc := range post {
@@ -131,8 +154,8 @@ func BuildCFG(p *vmprog.Program) *CFG {
 func (g *CFG) buildBlocks() {
 	n := len(g.prog.Code)
 	leader := make([]bool, n)
-	if g.Reachable[0] {
-		leader[0] = true
+	for _, root := range g.Roots {
+		leader[root] = true
 	}
 	for pc := 0; pc < n; pc++ {
 		if !g.Reachable[pc] {
@@ -171,7 +194,10 @@ func (g *CFG) buildBlocks() {
 }
 
 // buildDominators runs the Cooper-Harvey-Kennedy iterative algorithm over
-// the reachable instructions in reverse postorder.
+// the reachable instructions in reverse postorder, on the graph augmented
+// with a virtual super-root (VRoot) that has an edge to every real root.
+// With a single root the virtual edges are redundant and the result is the
+// classic single-entry dominator tree.
 func (g *CFG) buildDominators() {
 	if len(g.rpo) == 0 {
 		return
@@ -180,45 +206,60 @@ func (g *CFG) buildDominators() {
 	for i, pc := range g.rpo {
 		order[pc] = i
 	}
+	isRoot := make(map[int]bool, len(g.Roots))
+	for _, root := range g.Roots {
+		isRoot[root] = true
+		g.IDom[root] = VRoot // the virtual edge dominates any real pred
+	}
+	// intersect walks both arguments up the (partial) dominator tree one
+	// step at a time; VRoot conceptually precedes everything in rpo.
 	intersect := func(a, b int) int {
 		for a != b {
-			for order[a] > order[b] {
-				a = g.IDom[a]
+			if a == VRoot || b == VRoot {
+				return VRoot
 			}
-			for order[b] > order[a] {
+			if order[a] > order[b] {
+				a = g.IDom[a]
+			} else {
 				b = g.IDom[b]
 			}
 		}
 		return a
 	}
-	g.IDom[0] = 0
 	for changed := true; changed; {
 		changed = false
 		for _, pc := range g.rpo {
-			if pc == 0 {
+			if isRoot[pc] {
 				continue
 			}
 			newIdom := -1
 			for _, pred := range g.Preds[pc] {
-				if g.IDom[pred] < 0 {
-					continue
+				if g.IDom[pred] == -1 {
+					continue // not yet computed
 				}
-				if newIdom < 0 {
+				if newIdom == -1 {
 					newIdom = pred
 				} else {
 					newIdom = intersect(newIdom, pred)
 				}
 			}
-			if newIdom >= 0 && g.IDom[pc] != newIdom {
+			if newIdom != -1 && g.IDom[pc] != newIdom {
 				g.IDom[pc] = newIdom
 				changed = true
 			}
 		}
 	}
+	// Export convention: a root is its own dominator.
+	for _, root := range g.Roots {
+		g.IDom[root] = root
+	}
 }
 
 // Dominates reports whether instruction a dominates instruction b (every
-// path from the entry to b passes through a).
+// path from every entry point to b passes through a). With a recover
+// section, paths from the recover entry count too: a fence that only
+// guards the normal entry does not dominate the CS of a program whose
+// recovery can reach it another way.
 func (g *CFG) Dominates(a, b int) bool {
 	if !g.Reachable[a] || !g.Reachable[b] {
 		return false
@@ -227,10 +268,11 @@ func (g *CFG) Dominates(a, b int) bool {
 		if b == a {
 			return true
 		}
-		if b == 0 {
-			return false
+		d := g.IDom[b]
+		if d == b || d < 0 {
+			return false // reached a root or the virtual super-root
 		}
-		b = g.IDom[b]
+		b = d
 	}
 }
 

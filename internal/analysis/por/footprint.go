@@ -60,7 +60,9 @@ func (r affRegs) joinInto(o affRegs) (affRegs, bool) {
 
 // regsAffine computes the in-state affine forms of every register at every
 // reachable program point (registers start zeroed, so the entry state is
-// exactly 0 + 0*me).
+// exactly 0 + 0*me). A recover entry is a second root with the same
+// all-zero in-state: a crash discards the register file and recovery
+// resumes there with fresh zeroes.
 func regsAffine(p *vmprog.Program, g *analysis.CFG, n int) []affRegs {
 	nc := len(p.Code)
 	in := make([]affRegs, nc)
@@ -68,7 +70,9 @@ func regsAffine(p *vmprog.Program, g *analysis.CFG, n int) []affRegs {
 	for i := range entry {
 		entry[i] = affVal{kind: afExact}
 	}
-	in[0] = entry
+	for _, root := range g.Roots {
+		in[root] = entry
+	}
 	transfer := func(pc int) affRegs {
 		out := in[pc]
 		switch instr := p.Code[pc]; instr.Op {

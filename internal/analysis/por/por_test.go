@@ -123,11 +123,16 @@ var wantSymmetric = map[string]bool{
 	"clh":               true,
 	"dekker":            true,
 	"dekker-nofence":    true,
+	"dm-queue":          true,
+	"dm-tas":            true,
 	"filter":            false, // level scan compares pid-mapped and plain values
+	"km-rme":            true,
 	"lamportfast":       false, // splitter arrays mix pid and data indexing
 	"mcs":               true,
 	"peterson":          true,
 	"peterson-nofence":  true,
+	"rtas":              true,
+	"rtas-dirty":        true,
 	"synthetic":         true,
 	"synthetic-nofence": true,
 	"tas":               true,

@@ -434,8 +434,12 @@ func symmetry(p *vmprog.Program, g *analysis.CFG, n int, live []uint16) (*vmprog
 		val:  make([]ty, nv),
 		cell: make([]cellTy, nv),
 	}
-	for r := range a.in[0] {
-		a.in[0][r] = exactTy(0) // registers start zeroed
+	// Registers start zeroed at every root: program entry, and the recover
+	// entry a crashed process resumes at with a discarded register file.
+	for _, root := range g.Roots {
+		for r := range a.in[root] {
+			a.in[root][r] = exactTy(0)
+		}
 	}
 	// Mutual fixpoint of register and location types. Phase one iterates
 	// with reads of still-untyped locations staying tyBot; once stable,

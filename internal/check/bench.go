@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"sort"
 
+	"priceadaptive/internal/adversary"
 	"priceadaptive/internal/lint/padvet"
 	"priceadaptive/internal/mutex"
 	"priceadaptive/internal/tso"
@@ -85,6 +86,27 @@ type PadvetBaseline struct {
 	MinCachedSpeedup float64 `json:"min_cached_speedup"`
 }
 
+// BenchRMEEntry is one recoverable program's crash-bounded baseline: the
+// recoverability verdict's exploration size and the worst post-recovery RMR
+// cost the seeded adversarial crash search finds. Both the exploration and
+// the search are deterministic (the search under its seed), so the row is
+// exact and reproducible; the witness cost is a machine-checked lower bound
+// on the true worst case.
+type BenchRMEEntry struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Recoverable is the verdict under the benchRME crash budget.
+	Recoverable bool `json:"recoverable"`
+	// CrashStates counts distinct states of the crash-bounded exploration
+	// (fully reduced normalizations, no ample pruning).
+	CrashStates int `json:"crash_states"`
+	// WorstRecoveryRMRs is the highest post-recovery RMR cost of any
+	// completed crash schedule the search found (DSM model), reached with
+	// WitnessCrashes crashes; zero when no schedule completed in budget.
+	WorstRecoveryRMRs int `json:"worst_recovery_rmrs"`
+	WitnessCrashes    int `json:"witness_crashes"`
+}
+
 // BenchAnalysis is the tracked BENCH_analysis.json artifact: the static
 // analyzer's measured value as a state-space reducer across the whole VM
 // program registry, plus the sink-overhead guard baseline.
@@ -95,6 +117,9 @@ type BenchAnalysis struct {
 	// MaxStates is the per-run exploration budget.
 	MaxStates int                  `json:"max_states"`
 	Programs  []BenchAnalysisEntry `json:"programs"`
+	// RME tracks every registry program with a recover section: its
+	// recoverability verdict and worst-case post-recovery RMR witness.
+	RME []BenchRMEEntry `json:"rme,omitempty"`
 	// SimBench is the simulator benchmark baseline for the sink guard.
 	SimBench *SimBenchBaseline `json:"sim_bench,omitempty"`
 	// Padvet is the source-lint baseline for the padvet cache guard.
@@ -141,6 +166,64 @@ func SimBenchRun(ctx context.Context) (*ExhaustiveReport, error) {
 		MaxDepth:      simBenchMaxDepth,
 		CollapseSpins: true,
 	}.Verify(ctx, tso.Config{N: simBenchN}, mutex.Build(mutex.NewPeterson))
+}
+
+// Fixed parameters of the RME baseline rows: the standard 2-crash budget
+// and the default search configuration (seed 1 keeps the witness rows
+// byte-stable).
+const (
+	benchRMEN         = 2
+	benchRMECrashes   = 2
+	benchRMEPerProc   = 1
+	benchRMESeed      = 1
+	benchRMEBudget    = 4096
+	benchRMEMaxStates = 1 << 20
+)
+
+// RMEBench computes the crash-bounded baseline for every registry program
+// with a recover section: recoverability verdict plus the seeded crash
+// search's worst post-recovery RMR witness.
+func RMEBench(ctx context.Context) ([]BenchRMEEntry, error) {
+	var out []BenchRMEEntry
+	for _, e := range vmprog.Registry() {
+		nn := benchRMEN
+		if e.FixedN > 0 {
+			nn = e.FixedN
+		}
+		p, err := vmprog.Lookup(e.Name, nn)
+		if err != nil {
+			return nil, err
+		}
+		if p.Recover == 0 {
+			continue
+		}
+		v, err := RMEVerify(ctx, p, nn, RMEOptions{
+			MaxStates: benchRMEMaxStates,
+			Crash:     vmprog.CrashOpts{MaxCrashes: benchRMECrashes, MaxPerProc: benchRMEPerProc},
+			Reduce:    ReduceFull,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ent := BenchRMEEntry{Name: e.Name, N: nn, Recoverable: v.Recoverable, CrashStates: v.States}
+		eng, err := vmprog.NewEngine(p, nn, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := adversary.CrashSearch(ctx, eng, adversary.CrashSearchConfig{
+			Seed: benchRMESeed, Budget: benchRMEBudget,
+			MaxCrashes: benchRMECrashes, MaxPerProc: benchRMEPerProc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if w := res.Witness; w != nil {
+			ent.WorstRecoveryRMRs = w.MaxRecoveryRMRs
+			ent.WitnessCrashes = w.Crashes
+		}
+		out = append(out, ent)
+	}
+	return out, nil
 }
 
 // benchMaxN caps the process count a program is measured at. The bench
@@ -218,6 +301,11 @@ func AnalysisBench(ctx context.Context, ns []int, maxStates int, padvetRoot stri
 		}
 		return out.Programs[i].N < out.Programs[j].N
 	})
+	rmeRows, err := RMEBench(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out.RME = rmeRows
 	rep, err := SimBenchRun(ctx)
 	if err != nil {
 		return nil, err

@@ -14,6 +14,11 @@ import (
 // still let every process finish (starvation-freedom modulo crashes).
 var ErrCrashStall = errors.New("check: run did not complete under crashes")
 
+// ErrIncomplete is returned by CrashSweep's no-crash mode when the
+// exhaustive exploration could not cover the reachable state space within
+// its bounds, so no verdict can be given.
+var ErrIncomplete = errors.New("check: exhaustive exploration incomplete")
+
 // CrashSweep verifies starvation-freedom modulo crashes empirically: it
 // drives the program under `seeds` independent seeded crash-scheduling
 // adversaries (adversary.RunWithCrashes) and requires that every run
@@ -21,7 +26,26 @@ var ErrCrashStall = errors.New("check: run did not complete under crashes")
 // violation. A deadlocked recovery (a process that can never re-acquire
 // after a crash) surfaces as ErrCrashStall with the stuck processes'
 // pending operations attached.
+//
+// A zero crash budget (ccfg.TotalCrashes == 0) is NOT the randomized sweep
+// with the adversary's default budget: it is an explicit no-crash
+// exhaustive run - Exhaustive with MaxCrashes=0 - whose verdict is pinned
+// by regression test to match calling Exhaustive directly. Callers that
+// want the randomized default budget (one crash per process) must say so
+// with a positive TotalCrashes.
 func CrashSweep(ctx context.Context, cfg tso.Config, build tso.Build, seeds int, ccfg adversary.CrashConfig, budget int) error {
+	if ccfg.TotalCrashes == 0 {
+		rep, err := (Exhaustive{CollapseSpins: true, MaxStates: budget}).Verify(ctx, cfg, build)
+		switch {
+		case err != nil:
+			return err
+		case rep.Violation != nil:
+			return fmt.Errorf("%w with no crashes: %v", ErrViolation, rep.Violation)
+		case !rep.Complete:
+			return fmt.Errorf("%w (no-crash mode, %d states)", ErrIncomplete, rep.States)
+		}
+		return nil
+	}
 	for s := 1; s <= seeds; s++ {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -2,6 +2,7 @@ package check
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"priceadaptive/internal/adversary"
@@ -59,6 +60,41 @@ func TestRTASCrashSweep(t *testing.T) {
 	ccfg := adversary.CrashConfig{CrashProb: 0.1, MaxCrashesPerProc: 2, TotalCrashes: 4, CommitProb: 0.3}
 	if err := CrashSweep(context.Background(), tso.Config{N: 3}, mutex.Build(mutex.NewRTAS), 20, ccfg, 200000); err != nil {
 		t.Fatalf("rtas crash sweep: %v", err)
+	}
+}
+
+// TestCrashSweepZeroCrashesIsExhaustive is the regression pinning the
+// meaning of a zero crash budget: CrashSweep with TotalCrashes == 0 is an
+// explicit no-crash exhaustive run, not the randomized sweep with the
+// adversary's default budget, and its verdict matches calling Exhaustive
+// directly - nil for a correct lock, ErrViolation exactly when the direct
+// run reports a violation.
+func TestCrashSweepZeroCrashesIsExhaustive(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name  string
+		build tso.Build
+	}{
+		{"peterson", mutex.Build(mutex.NewPeterson)},
+		{"peterson-nofence", mutex.Build(mutex.NewPetersonNoFences)},
+		{"rtas", mutex.Build(mutex.NewRTAS)},
+	} {
+		cfg := tso.Config{N: 2}
+		rep, err := (Exhaustive{CollapseSpins: true, MaxStates: 200000}).Verify(ctx, cfg, tc.build)
+		if err != nil {
+			t.Fatalf("%s: direct exhaustive: %v", tc.name, err)
+		}
+		if !rep.Complete && rep.Violation == nil {
+			t.Fatalf("%s: direct exhaustive incomplete; raise bounds", tc.name)
+		}
+		sweepErr := CrashSweep(ctx, cfg, tc.build, 20, adversary.CrashConfig{}, 200000)
+		if rep.Violation != nil {
+			if !errors.Is(sweepErr, ErrViolation) {
+				t.Errorf("%s: direct run violates, zero-crash sweep said %v", tc.name, sweepErr)
+			}
+		} else if sweepErr != nil {
+			t.Errorf("%s: direct run clean, zero-crash sweep said %v", tc.name, sweepErr)
+		}
 	}
 }
 

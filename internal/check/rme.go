@@ -1,0 +1,99 @@
+package check
+
+import (
+	"context"
+	"fmt"
+
+	"priceadaptive/internal/analysis/por"
+	"priceadaptive/internal/rme"
+	"priceadaptive/internal/vmprog"
+)
+
+// RMEOptions configures the recoverability checks.
+type RMEOptions struct {
+	// MaxStates bounds the crash-bounded exploration (0: engine default).
+	MaxStates int
+	// Crash is the crash budget (zero MaxCrashes means the exploration
+	// degenerates to the crash-free graph; use at least 1 for a
+	// recoverability verdict that means anything).
+	Crash vmprog.CrashOpts
+	// Reduce selects which reduction facts to install. Ample-set pruning is
+	// never applied by the recoverability exploration - crash decisions are
+	// never independent of anything, so a crash-enabled state has no valid
+	// ample subset - but the state normalizations (dead-register zeroing,
+	// symmetry canonicalization) still apply and are differentially pinned
+	// against ReduceNone.
+	Reduce ReduceMode
+	// Facts, when non-nil, are pre-derived reduction facts (e.g. from the
+	// jobs artifact cache); derived on demand otherwise.
+	Facts *vmprog.PruneFacts
+}
+
+// RMEVerify computes the recoverability verdict of one VM program under a
+// bounded crash adversary on the fast engine.
+func RMEVerify(ctx context.Context, p *vmprog.Program, n int, opts RMEOptions) (*rme.Verdict, error) {
+	eng, err := vmprog.NewEngine(p, n, false)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := ParseReduceMode(string(opts.Reduce))
+	if err != nil {
+		return nil, err
+	}
+	if mode != ReduceNone {
+		base := opts.Facts
+		if base == nil {
+			base, err = por.Facts(p, n)
+			if err != nil {
+				return nil, fmt.Errorf("check: deriving reduction facts: %w", err)
+			}
+		}
+		if err := eng.UsePruning(ReduceFacts(base, mode)); err != nil {
+			return nil, err
+		}
+	}
+	return rme.CheckRecoverability(ctx, eng, opts.MaxStates, opts.Crash)
+}
+
+// RMESuiteEntry pairs a program's recoverability verdict with the registry's
+// declared expectation.
+type RMESuiteEntry struct {
+	Verdict *rme.Verdict `json:"verdict"`
+	// Expected is the registry's Entry.Recoverable; Match reports whether
+	// the computed verdict agrees (an incomplete exploration never
+	// matches).
+	Expected bool `json:"expected"`
+	Match    bool `json:"match"`
+}
+
+// RMEVerdictSuite computes the recoverability verdict of every registry
+// program at n processes (fixed-size programs at their own size) and checks
+// it against the registry's declared expectation. This is the CI
+// recoverability gate: rtas and the RME ports must verify recoverable (as
+// must the restart-recoverable doorway locks, see vmprog.Entry.Recoverable),
+// and the one-shot structures, the TAS family and the crash-broken
+// rtas-dirty must be rejected.
+func RMEVerdictSuite(ctx context.Context, n int, opts RMEOptions) ([]RMESuiteEntry, error) {
+	var out []RMESuiteEntry
+	for _, e := range vmprog.Registry() {
+		nn := n
+		if e.FixedN > 0 {
+			nn = e.FixedN
+		}
+		p, err := vmprog.Lookup(e.Name, nn)
+		if err != nil {
+			return nil, err
+		}
+		v, err := RMEVerify(ctx, p, nn, opts)
+		if err != nil {
+			return nil, fmt.Errorf("check: rme verdict for %s: %w", e.Name, err)
+		}
+		v.Program = e.Name // registry key, not the internal Program.Name
+		out = append(out, RMESuiteEntry{
+			Verdict:  v,
+			Expected: e.Recoverable,
+			Match:    v.Complete && v.Recoverable == e.Recoverable,
+		})
+	}
+	return out, nil
+}

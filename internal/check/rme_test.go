@@ -1,0 +1,78 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"priceadaptive/internal/vmprog"
+)
+
+// rmeIncompleteFull lists the programs whose crash-bounded state space
+// exceeds the suite budget even fully reduced. tournament (4 processes)
+// does not finish within 8M states; it is pinned INCOMPLETE rather than
+// skipped so a future reduction win shows up as a diff here.
+var rmeIncompleteFull = map[string]bool{"tournament": true}
+
+// rmeIncompleteNone additionally lists programs whose unreduced crash
+// graph exceeds the budget; the fully reduced run still pins their
+// verdict, only the reduced-vs-unreduced differential is waived.
+var rmeIncompleteNone = map[string]bool{"tournament": true, "synthetic": true}
+
+// TestRMEVerdictSuitePinned pins the recoverability verdict of every
+// registry program under a 2-crash adversary, unreduced and fully reduced:
+// the RME tier (rtas, km-rme, dm-tas, dm-queue) and the restart-recoverable
+// doorway locks verify recoverable, the one-shot structures fault or wedge,
+// the TAS family wedges, the crash-broken variants are rejected with an
+// exclusion violation, and the two reduction modes agree on every verdict
+// they both complete.
+func TestRMEVerdictSuitePinned(t *testing.T) {
+	ctx := context.Background()
+	opts := RMEOptions{
+		// synthetic, the largest completing program, needs ~1.5M states
+		// fully reduced at this crash budget.
+		MaxStates: 1_600_000,
+		Crash:     vmprog.CrashOpts{MaxCrashes: 2, MaxPerProc: 1},
+	}
+	optsNone := opts
+	optsNone.Reduce = ReduceNone
+	full, err := RMEVerdictSuite(ctx, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := RMEVerdictSuite(ctx, 2, optsNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(none) || len(full) != len(vmprog.Registry()) {
+		t.Fatalf("suite sizes: full=%d none=%d registry=%d", len(full), len(none), len(vmprog.Registry()))
+	}
+	for i, e := range full {
+		v := e.Verdict
+		t.Logf("%s", v)
+		if rmeIncompleteFull[v.Program] {
+			if v.Complete {
+				t.Errorf("%s: completed within the budget; remove it from rmeIncompleteFull and pin its verdict", v.Program)
+			}
+			continue
+		}
+		if !e.Match {
+			t.Errorf("%s: verdict %s does not match registry expectation (recoverable=%v)",
+				v.Program, v, e.Expected)
+		}
+		nv := none[i].Verdict
+		if !nv.Complete {
+			if !rmeIncompleteNone[v.Program] {
+				t.Errorf("%s: unreduced exploration unexpectedly incomplete: %s", v.Program, nv)
+			}
+		} else if nv.Recoverable != v.Recoverable || nv.Violation != v.Violation ||
+			nv.Stuck != v.Stuck || nv.Fault != v.Fault {
+			t.Errorf("%s: reduced and unreduced verdicts diverge:\n  full: %s\n  none: %s", v.Program, v, nv)
+		}
+		if v.Program == "rtas-dirty" && !v.Violation {
+			t.Errorf("rtas-dirty: want an exclusion violation, got %s", v)
+		}
+		if v.Complete && !v.Recoverable && len(v.Counterexample) == 0 {
+			t.Errorf("%s: non-recoverable verdict carries no counterexample", v.Program)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package fault_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/fault"
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+// TestScriptedCrashAtFenceBoundary composes the two halves of the fault
+// package on the model level: a Script injector fires at the exact 2nd
+// completed fence of a recoverable-lock run, a crash is injected at that
+// boundary, and the stepping loop is paced by a Manual clock (each decision
+// waits on Clock.Sleep, released only by Advance) - the idiom that keeps
+// fault-injection tests deterministic and sleep-free.
+func TestScriptedCrashAtFenceBoundary(t *testing.T) {
+	const site = "vm.fence"
+	script := fault.NewScript().At(site, 2, fault.Fault{Kind: fault.Err})
+	clk := fault.NewManual(time.Unix(0, 0))
+
+	p, err := vmprog.Lookup("rtas", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := vmprog.NewEngine(p, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Initial()
+
+	type outcome struct {
+		fencesBeforeCrash int
+		crashes           int
+		steps             int
+		err               error
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		fences := 0
+		for !eng.AllDone(st) && o.steps < 4000 {
+			// Each scheduling decision waits one clock tick; the Manual
+			// clock parks the goroutine until the test advances time.
+			if err := clk.Sleep(ctx, time.Millisecond); err != nil {
+				o.err = err
+				break
+			}
+			ds := eng.EnabledDecisions(st, vmprog.CrashOpts{})
+			if len(ds) == 0 {
+				break
+			}
+			d := ds[o.steps%len(ds)]
+			ef, err := eng.ApplyEffect(st, d)
+			if err != nil {
+				o.err = err
+				break
+			}
+			o.steps++
+			if ef.Fence {
+				fences++
+				if f := script.Fault(site); f != nil {
+					// The scripted occurrence: crash the fencing process
+					// exactly at this fence boundary.
+					if err := eng.Apply(st, tso.Decision{P: tso.ProcID(ef.P), Crash: true}); err != nil {
+						o.err = err
+						break
+					}
+					o.crashes++
+					o.fencesBeforeCrash = fences
+				}
+			}
+		}
+		done <- o
+	}()
+
+	// Drive the clock until the run finishes. Each Advance releases at most
+	// the sleepers whose deadline passed, so the loop below is the only
+	// source of progress - remove it and the stepper stays parked.
+	var o outcome
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case o = <-done:
+		case <-deadline:
+			t.Fatal("run did not finish under the manual clock")
+		default:
+			clk.Advance(time.Millisecond)
+			continue
+		}
+		break
+	}
+	if o.err != nil {
+		t.Fatalf("stepper failed: %v", o.err)
+	}
+	if o.crashes != 1 {
+		t.Fatalf("script fired %d crashes, want exactly 1", o.crashes)
+	}
+	if o.fencesBeforeCrash != 2 {
+		t.Fatalf("crash fired at fence %d, scripted for the 2nd", o.fencesBeforeCrash)
+	}
+	if !eng.AllDone(st) {
+		t.Fatal("run did not complete after the injected crash (rtas is recoverable)")
+	}
+	if eng.Violated(st) {
+		t.Fatal("exclusion violated")
+	}
+}

@@ -1,0 +1,68 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestCrashSearchJob runs the crashsearch kind end-to-end through the
+// queue: the rtas job must produce a recoverable verdict plus a verified
+// crash witness, a second submission of the same spec must dedupe on job
+// identity, and the underlying artifact cache must serve a repeat run with
+// an identical result without re-searching.
+func TestCrashSearchJob(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 2})
+	RegisterBuiltins(q)
+	q.Start()
+	defer q.Close()
+
+	spec := Spec{Kind: KindCrashSearch, Params: json.RawMessage(`{"alg":"rtas","n":2,"budget":8000}`)}
+	st, _, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateDone {
+		t.Fatalf("crashsearch job: %s (%s)", st.State, st.Error)
+	}
+	raw, err := q.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res CrashSearchJobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("artifact is not a CrashSearchJobResult: %v", err)
+	}
+	if res.Verdict == nil || !res.Verdict.Recoverable {
+		t.Fatalf("rtas verdict: %+v", res.Verdict)
+	}
+	if res.Search == nil || res.Search.Witness == nil {
+		t.Fatalf("no witness in artifact: %+v", res.Search)
+	}
+	if !res.Verified {
+		t.Error("witness not marked verified")
+	}
+	if res.Search.Witness.Crashes < 1 || res.Search.Witness.MaxRecoveryRMRs < 1 {
+		t.Errorf("witness is trivial: %+v", res.Search.Witness)
+	}
+
+	// The cached artifact must make a direct re-run byte-identical.
+	factsCache := &FactsCache{Store: q.store, Clock: q.clock}
+	again, err := runCrashSearch(context.Background(), spec.Params, factsCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, &res) {
+		t.Errorf("cached re-run diverged:\n%+v\n%+v", again, &res)
+	}
+
+	// An unknown program fails the job, not the queue.
+	st, _, err = q.Submit(Spec{Kind: KindCrashSearch, Params: json.RawMessage(`{"alg":"no-such-prog"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateFailed {
+		t.Fatalf("bogus crashsearch job: %s", st.State)
+	}
+}

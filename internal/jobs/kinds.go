@@ -37,12 +37,15 @@ const (
 
 	// KindVet (declared in vet.go) lints the repository's own source with
 	// the padvet suite.
+
+	// KindCrashSearch (declared in crashsearch.go) runs the RME
+	// recoverability verdict plus the adversarial crash-schedule search.
 )
 
 // BuiltinKinds lists the kinds RegisterBuiltins installs; the fabric
 // dispatcher admits exactly these without holding any runner itself.
 func BuiltinKinds() []string {
-	return []string{KindExperiment, KindModelCheck, KindLint, KindSynthetic, KindVet}
+	return []string{KindExperiment, KindModelCheck, KindLint, KindSynthetic, KindVet, KindCrashSearch}
 }
 
 // RegisterBuiltins installs the repository's job kinds on q: the experiment
@@ -73,6 +76,11 @@ func RegisterBuiltins(q *Queue) {
 	})
 	q.Register(KindLint, runLint)
 	q.Register(KindSynthetic, runSynthetic)
+	// Crashsearch jobs cache their deterministic results (and reduction
+	// facts) through the queue's artifact store.
+	q.Register(KindCrashSearch, func(ctx context.Context, params json.RawMessage) (any, error) {
+		return runCrashSearch(ctx, params, factsCache)
+	})
 	// The source linter caches per-package results through the queue's own
 	// artifact store, on the queue's clock.
 	vetCache := &VetCache{Store: q.store, Clock: q.clock}
@@ -392,7 +400,7 @@ func runLint(ctx context.Context, params json.RawMessage) (any, error) {
 		if pr, err := por.Analyze(prog, n); err == nil {
 			porSum = pr.Summary()
 		}
-		expectBroken := p.All && e.Broken
+		expectBroken := p.All && (e.Broken || e.CrashBroken)
 		errs := len(r.Errors()) + len(q.Errors())
 		pass := errs == 0
 		if expectBroken {

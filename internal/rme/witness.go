@@ -1,0 +1,67 @@
+package rme
+
+import (
+	"fmt"
+
+	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+// Witness is a machine-checkable worst-case crash schedule: a complete
+// decision schedule (including crash decisions) for a program, together
+// with the post-recovery RMR cost it claims to force. Witnesses are
+// JSON-serializable so the crash-search job can cache them in the
+// artifact store and CI can publish them.
+type Witness struct {
+	// Program / N identify the instance the schedule was recorded for.
+	Program string `json:"program"`
+	N       int    `json:"n"`
+	// Model is the cache model the cost is priced under.
+	Model rmr.CacheModel `json:"model"`
+	// Schedule drives an unreduced fast engine from the initial state.
+	Schedule []tso.Decision `json:"schedule"`
+	// Crashes is the number of crash decisions in the schedule and
+	// MaxRecoveryRMRs the claimed worst post-recovery passage cost.
+	Crashes         int `json:"crashes"`
+	MaxRecoveryRMRs int `json:"max_recovery_rmrs"`
+}
+
+// Verify machine-checks the witness against every given engine: the
+// schedule must replay cleanly (every decision enabled), every process
+// must complete its passage, and the replay must price to exactly the
+// claimed crash count and post-recovery RMR cost on each engine. Passing
+// engines built with different reduction facts (none vs. full) makes this
+// the reduced-vs-unreduced differential the crash-search gate requires:
+// the facts only install state normalizations, so a replay that prices
+// differently under them is a reduction soundness bug.
+func (w *Witness) Verify(engines ...*vmprog.Engine) error {
+	if len(engines) == 0 {
+		return fmt.Errorf("rme: witness verify: no engines")
+	}
+	for i, eng := range engines {
+		if eng.Program().Name != w.Program || eng.NumProcs() != w.N {
+			return fmt.Errorf("rme: witness verify: engine %d is %s/n=%d, witness is %s/n=%d",
+				i, eng.Program().Name, eng.NumProcs(), w.Program, w.N)
+		}
+		res, err := ReplayRMR(eng, w.Schedule, w.Model)
+		if err != nil {
+			return fmt.Errorf("rme: witness verify: engine %d: %w", i, err)
+		}
+		if res.Violated {
+			return fmt.Errorf("rme: witness verify: engine %d: schedule ends in an exclusion violation", i)
+		}
+		if !res.AllDone {
+			return fmt.Errorf("rme: witness verify: engine %d: schedule does not complete every passage", i)
+		}
+		if res.Crashes != w.Crashes {
+			return fmt.Errorf("rme: witness verify: engine %d: %d crashes, witness claims %d",
+				i, res.Crashes, w.Crashes)
+		}
+		if res.MaxRecoveryRMRs != w.MaxRecoveryRMRs {
+			return fmt.Errorf("rme: witness verify: engine %d: post-recovery RMRs %d, witness claims %d",
+				i, res.MaxRecoveryRMRs, w.MaxRecoveryRMRs)
+		}
+	}
+	return nil
+}

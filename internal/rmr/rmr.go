@@ -11,6 +11,7 @@
 package rmr
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"priceadaptive/internal/tso"
@@ -50,6 +51,45 @@ func Models() []CacheModel {
 	return []CacheModel{ModelDSM, ModelCCWriteThrough, ModelCCWriteBack}
 }
 
+// MarshalJSON renders the model by name so persisted artifacts (witness
+// files, job results) stay readable.
+func (m CacheModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON accepts both the conventional name and a bare integer.
+func (m *CacheModel) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := ParseModel(s)
+		if err != nil {
+			return err
+		}
+		*m = v
+		return nil
+	}
+	var i int
+	if err := json.Unmarshal(data, &i); err != nil {
+		return fmt.Errorf("rmr: cache model must be a name or an integer: %w", err)
+	}
+	*m = CacheModel(i)
+	return nil
+}
+
+// ParseModel parses a cache-model name as used by flags and job params.
+// The empty string means DSM.
+func ParseModel(s string) (CacheModel, error) {
+	switch s {
+	case "", "dsm", "DSM":
+		return ModelDSM, nil
+	case "cc-wt", "ccwt", "CC-WT":
+		return ModelCCWriteThrough, nil
+	case "cc-wb", "ccwb", "CC-WB":
+		return ModelCCWriteBack, nil
+	}
+	return 0, fmt.Errorf("rmr: unknown cache model %q (want dsm, cc-wt or cc-wb)", s)
+}
+
 // PassageMetrics aggregates the cost of one passage of one process.
 type PassageMetrics struct {
 	// RMRs is the number of remote memory references under the
@@ -64,6 +104,11 @@ type PassageMetrics struct {
 	Events int
 	// Complete reports whether the passage finished (Exit executed).
 	Complete bool
+	// Recovery marks a passage attempt opened by a Recover transition: the
+	// post-crash re-execution whose cost the crash-RMR accounting (after
+	// Chan-Woelfel, arXiv:2106.03185) charges separately from failure-free
+	// passages.
+	Recovery bool
 }
 
 // Accountant tracks RMR costs for one cache model over a simulation run.
@@ -105,8 +150,9 @@ func (a *Accountant) Observe(ev tso.Event) {
 	}
 	if ev.Kind == tso.EvEnter || ev.Kind == tso.EvRecover {
 		// Recovery re-enters the interrupted passage; its retry is
-		// accounted as a fresh passage attempt.
-		a.passages[ev.P] = append(a.passages[ev.P], PassageMetrics{})
+		// accounted as a fresh passage attempt, tagged so the crash-RMR
+		// aggregates can charge post-recovery cost separately.
+		a.passages[ev.P] = append(a.passages[ev.P], PassageMetrics{Recovery: ev.Kind == tso.EvRecover})
 	}
 	cur := a.current(ev.P)
 	if cur == nil {
@@ -198,12 +244,20 @@ type Summary struct {
 	// MaxCritical and MeanCritical summarize critical events per passage.
 	MaxCritical  int
 	MeanCritical float64
+	// RecoveryPassages counts the completed passages that were opened by a
+	// Recover transition, and MaxRecoveryRMRs / MeanRecoveryRMRs summarize
+	// the RMRs of exactly those passages - the post-crash cost the
+	// crash-RMR bounds (Chan-Woelfel) are stated over. Zero when the run
+	// had no crashes.
+	RecoveryPassages int
+	MaxRecoveryRMRs  int
+	MeanRecoveryRMRs float64
 }
 
 // Summarize aggregates all completed passages.
 func (a *Accountant) Summarize() Summary {
 	s := Summary{Model: a.model}
-	var rmrs, fences, crit int
+	var rmrs, fences, crit, recRMRs int
 	for _, ps := range a.passages {
 		for _, m := range ps {
 			if !m.Complete {
@@ -222,12 +276,22 @@ func (a *Accountant) Summarize() Summary {
 			if m.Critical > s.MaxCritical {
 				s.MaxCritical = m.Critical
 			}
+			if m.Recovery {
+				s.RecoveryPassages++
+				recRMRs += m.RMRs
+				if m.RMRs > s.MaxRecoveryRMRs {
+					s.MaxRecoveryRMRs = m.RMRs
+				}
+			}
 		}
 	}
 	if s.Passages > 0 {
 		s.MeanRMRs = float64(rmrs) / float64(s.Passages)
 		s.MeanFences = float64(fences) / float64(s.Passages)
 		s.MeanCritical = float64(crit) / float64(s.Passages)
+	}
+	if s.RecoveryPassages > 0 {
+		s.MeanRecoveryRMRs = float64(recRMRs) / float64(s.RecoveryPassages)
 	}
 	return s
 }

@@ -203,11 +203,17 @@ type Proc struct {
 	done    bool
 	crashed bool
 	crashes int
-	pending Op // last op posted by the program goroutine
-	buf     writeBuffer
-	section Section
-	mode    Mode
-	aw      awSet
+	// recovering is set while the current incarnation was spawned by a
+	// Recover transition and has not yet passed its (implicit) Enter; the
+	// program goroutine reads it through Recovering to dispatch into its
+	// recover section. Written only by the simulator before spawning the
+	// incarnation's goroutine, so the channel handshake orders the access.
+	recovering bool
+	pending    Op // last op posted by the program goroutine
+	buf        writeBuffer
+	section    Section
+	mode       Mode
+	aw         awSet
 	// remoteRead marks variables this process has remotely read, for the
 	// "first remote read" half of Definition 2.
 	remoteRead map[int]bool
@@ -226,6 +232,13 @@ func (p *Proc) ID() ProcID { return p.id }
 
 // N returns the number of processes in the simulation.
 func (p *Proc) N() int { return p.sim.cfg.N }
+
+// Recovering reports whether this incarnation is a post-crash recovery:
+// the passage was interrupted by a crash and is being re-entered, so
+// algorithm code should run its recover section first. The flag is set for
+// the whole recovery passage of the incarnation that a Recover transition
+// spawned.
+func (p *Proc) Recovering() bool { return p.recovering }
 
 // Read performs a read of v and returns the value observed: the process's
 // own buffered write if one is pending, otherwise the committed value.

@@ -423,6 +423,7 @@ func (s *Simulator) Crash(id ProcID) (Event, error) {
 func (s *Simulator) applyRecover(p *Proc) (Event, error) {
 	p.crashed = false
 	p.section = Entry
+	p.recovering = true
 	p.stats = append(p.stats, PassageStats{})
 	s.actCount++
 	ev := s.record(p, Event{Kind: EvRecover})
@@ -569,7 +570,11 @@ func (s *Simulator) apply(p *Proc, op Op) (Event, opResult, error) {
 		p.section = Exit
 		return s.record(p, Event{Kind: EvCS}), opResult{}, nil
 	case OpExit:
-		if p.section != Exit {
+		// A recovery attempt may legitimately exit without re-executing the
+		// CS: the crash can land after the critical section of the
+		// interrupted passage, in which case recovery only rolls the exit
+		// protocol forward (RME semantics).
+		if p.section != Exit && !p.recovering {
 			return Event{}, opResult{}, &ProgramError{P: p.id, Reason: "Exit without CS"}
 		}
 		p.section = NCS
@@ -591,6 +596,7 @@ func (s *Simulator) applyEnter(p *Proc) (Event, error) {
 		return Event{}, &ProgramError{P: p.id, Reason: "Enter outside non-critical section"}
 	}
 	p.section = Entry
+	p.recovering = false
 	p.stats = append(p.stats, PassageStats{})
 	s.actCount++
 	return s.record(p, Event{Kind: EvEnter}), nil

@@ -1,0 +1,120 @@
+package vmprog
+
+import "priceadaptive/internal/tso"
+
+// EffectKind classifies the shared-memory access (if any) one applied
+// decision performs, mirroring the event kinds tso.Simulator reports to
+// its observers. Local computation, buffer pushes, store-forwarded reads,
+// fence begins, the CS marker and the crash/enter/recover scheduling
+// transitions perform no access and classify as EffectNone.
+type EffectKind int
+
+const (
+	// EffectNone is a step with no memory access.
+	EffectNone EffectKind = iota
+	// EffectRead is a read satisfied from shared memory (not forwarded
+	// from the process's own buffer).
+	EffectRead
+	// EffectCommit makes one buffered write visible.
+	EffectCommit
+	// EffectCAS is a serializing compare-and-swap (buffer already empty).
+	EffectCAS
+)
+
+// Effect describes what one applied decision did, in exactly the terms the
+// RMR accounting needs: the access performed (kind + variable + CAS
+// outcome) and the passage-boundary markers (enter, recover, exit, fence
+// completion). It is the fast-engine twin of the tso.Event stream that
+// rmr.Accountant consumes, letting replayed schedules be charged without a
+// goroutine simulation.
+type Effect struct {
+	// P is the acting process.
+	P int
+	// Kind is the access class; Var is the accessed variable index (valid
+	// for EffectRead, EffectCommit and EffectCAS).
+	Kind EffectKind
+	Var  int
+	// CASOK reports a successful comparison for EffectCAS.
+	CASOK bool
+	// Fence reports a completed serializing event: an EndFence step or a
+	// serializing CAS.
+	Fence bool
+	// Enter marks the step that starts the process's passage; Recover
+	// marks a post-crash Recover transition (which also opens a passage
+	// attempt); Exit marks the Halt completing the passage; Crash marks a
+	// crash decision (the adversary's doing, not a step of the process).
+	Enter   bool
+	Recover bool
+	Exit    bool
+	Crash   bool
+}
+
+// ApplyEffect applies d like Apply and additionally classifies what the
+// decision did. The classification is derived from the pre-state, matching
+// the event the goroutine engine would have emitted for the same decision.
+func (e *Engine) ApplyEffect(s *State, d tso.Decision) (Effect, error) {
+	ef := Effect{P: int(d.P)}
+	if d.Crash {
+		ef.Crash = true
+		return ef, e.Crash(s, int(d.P))
+	}
+	if int(d.P) < 0 || int(d.P) >= e.n {
+		return ef, errInvalidDecision
+	}
+	p := &s.Procs[d.P]
+	if d.Commit {
+		if len(p.Buf) == 0 {
+			return ef, errInvalidDecision
+		}
+		ef.Kind = EffectCommit
+		ef.Var = p.Buf[0].v
+		if d.VarPlus1 > 0 {
+			ef.Var = d.VarPlus1 - 1
+		}
+		return ef, e.Apply(s, d)
+	}
+	switch {
+	case p.Done:
+		return ef, errInvalidDecision
+	case !p.Started:
+		ef.Enter = true
+	case p.Crashed:
+		ef.Recover = true
+	case p.Fencing:
+		if len(p.Buf) > 0 {
+			ef.Kind = EffectCommit
+			ef.Var = p.Buf[0].v
+		} else {
+			ef.Fence = true // EndFence
+		}
+	default:
+		switch in := e.prog.Code[p.PC]; in.Op {
+		case OpRead:
+			vi, err := e.prog.varIndex(in, &p.Regs)
+			if err != nil {
+				return ef, err
+			}
+			if _, own := bufLookup(p, vi); !own {
+				ef.Kind = EffectRead
+				ef.Var = vi
+			}
+		case OpCAS:
+			if len(p.Buf) > 0 {
+				ef.Kind = EffectCommit
+				ef.Var = p.Buf[0].v
+			} else {
+				vi, err := e.prog.varIndex(in, &p.Regs)
+				if err != nil {
+					return ef, err
+				}
+				ef.Kind = EffectCAS
+				ef.Var = vi
+				ef.CASOK = s.Mem[vi] == p.Regs[in.B]
+				ef.Fence = true // a serializing CAS counts as a fence event
+			}
+		case OpHalt:
+			ef.Exit = true
+		}
+	}
+	return ef, e.Step(s, int(d.P))
+}

@@ -28,6 +28,13 @@ type PState struct {
 	Started bool
 	Done    bool
 	InExit  bool // CS executed, Exit pending at OpHalt
+	// Crashed marks a crash-stopped process awaiting its Recover
+	// transition: buffer and registers discarded, PC parked at the
+	// program's recover entry. The next Step executes the recovery.
+	Crashed bool
+	// CrashCount is how many times this process has crashed, bounding
+	// per-process crash budgets during crash-enabled exploration.
+	CrashCount int
 }
 
 // BufLen returns the number of buffered, uncommitted writes.
@@ -44,13 +51,18 @@ func (p *PState) BufVal(i int) uint64 { return p.Buf[i].x }
 type State struct {
 	Mem   []uint64
 	Procs []PState
+	// Crashes is the total number of crash transitions taken to reach
+	// this state (the sum of the per-process CrashCounts), bounding the
+	// total crash budget during crash-enabled exploration.
+	Crashes int
 }
 
 // Clone returns a deep copy.
 func (s *State) Clone() *State {
 	ns := &State{
-		Mem:   append([]uint64(nil), s.Mem...),
-		Procs: make([]PState, len(s.Procs)),
+		Mem:     append([]uint64(nil), s.Mem...),
+		Procs:   make([]PState, len(s.Procs)),
+		Crashes: s.Crashes,
 	}
 	copy(ns.Procs, s.Procs)
 	for i := range ns.Procs {
@@ -329,6 +341,13 @@ func (e *Engine) Step(s *State, id int) error {
 		p.Started = true
 		return e.advance(p, id)
 	}
+	if p.Crashed {
+		// The Recover transition: the crash already discarded the volatile
+		// state and parked the PC at the recover entry; recovery resumes
+		// execution there, mirroring tso.Simulator's applyRecover.
+		p.Crashed = false
+		return e.advance(p, id)
+	}
 	if p.Fencing {
 		if len(p.Buf) > 0 {
 			commitAt(s, p, 0)
@@ -419,9 +438,12 @@ func (e *Engine) Commit(s *State, id int, varIdx int) error {
 }
 
 // PendingCS reports whether process id's next event is the CS transition.
+// A crashed process has no pending CS: its next transition is the Recover,
+// and per the RME setting a crash-stopped process is not in its critical
+// section.
 func (e *Engine) PendingCS(s *State, id int) bool {
 	p := &s.Procs[id]
-	if !p.Started || p.Done || p.Fencing {
+	if !p.Started || p.Done || p.Fencing || p.Crashed {
 		return false
 	}
 	return e.prog.Code[p.PC].Op == OpCS
@@ -452,6 +474,9 @@ func (e *Engine) AllDone(s *State) bool {
 // Apply executes a tso.Decision on the state, for replaying schedules
 // recorded against the goroutine engine.
 func (e *Engine) Apply(s *State, d tso.Decision) error {
+	if d.Crash {
+		return e.Crash(s, int(d.P))
+	}
 	if d.Commit {
 		varIdx := -1
 		if d.VarPlus1 > 0 {
@@ -461,6 +486,12 @@ func (e *Engine) Apply(s *State, d tso.Decision) error {
 	}
 	return e.Step(s, int(d.P))
 }
+
+// Hash fingerprints a state, for callers (like the crash-schedule search)
+// that deduplicate their own frontiers. Equal states hash equal; collisions
+// are possible, so it must not substitute for equality where soundness
+// depends on it.
+func (e *Engine) Hash(s *State) uint64 { return e.hash(s) }
 
 // hash fingerprints a state.
 func (e *Engine) hash(s *State) uint64 {
@@ -477,20 +508,7 @@ func (e *Engine) hash(s *State) uint64 {
 	}
 	for i := range s.Procs {
 		p := &s.Procs[i]
-		flags := uint64(p.PC) << 4
-		if p.Fencing {
-			flags |= 1
-		}
-		if p.Started {
-			flags |= 2
-		}
-		if p.Done {
-			flags |= 4
-		}
-		if p.InExit {
-			flags |= 8
-		}
-		w(flags)
+		w(pflags(p))
 		for _, r := range p.Regs {
 			w(r)
 		}
@@ -501,6 +519,31 @@ func (e *Engine) hash(s *State) uint64 {
 		}
 	}
 	return h.Sum64()
+}
+
+// pflags packs a process's scheduling-relevant booleans, PC and crash
+// budget into one word, shared by the state hash and the canonicalizer's
+// flat encoding so the two never disagree on state identity. CrashCount is
+// part of state identity: the remaining per-process crash budget
+// determines which crash transitions are enabled.
+func pflags(p *PState) uint64 {
+	flags := uint64(p.CrashCount)<<32 | uint64(p.PC)<<5
+	if p.Fencing {
+		flags |= 1
+	}
+	if p.Started {
+		flags |= 2
+	}
+	if p.Done {
+		flags |= 4
+	}
+	if p.InExit {
+		flags |= 8
+	}
+	if p.Crashed {
+		flags |= 16
+	}
+	return flags
 }
 
 // CheckResult summarizes an exhaustive exploration by the fast engine.

@@ -21,6 +21,12 @@ func Adapt(p *Program) tso.Build {
 		return func(proc *tso.Proc) {
 			var regs [NumRegs]uint64
 			pc := 0
+			if proc.Recovering() && p.Recover > 0 {
+				// A crash dropped the volatile registers; the recovery
+				// passage re-enters through the recover section on a
+				// zeroed register file, exactly like Engine.Crash.
+				pc = p.Recover
+			}
 			for {
 				in := p.Code[pc]
 				switch in.Op {

@@ -320,39 +320,66 @@ type Entry struct {
 	// Broken marks variants that deliberately elide required fences; the
 	// lint gate requires at least one error-severity diagnostic on them.
 	Broken bool
+	// CrashBroken marks variants whose defect only manifests under
+	// crashes: crash-free model checking finds no exclusion violation
+	// (and the exclusion tests expect none), but the lint gate still
+	// requires an error-severity diagnostic and the recoverability
+	// checker must reject the program.
+	CrashBroken bool
+	// Recoverable declares the expected recoverability verdict under a
+	// bounded crash adversary. The RME ports (rtas, km-rme, dm-tas,
+	// dm-queue) recover by design. A program without a recover section
+	// restarts the passage from its entry against the crashed
+	// incarnation's own committed protocol state; locks whose doorway
+	// rewrites all of that state on every attempt (peterson, dekker,
+	// filter, bakery, burnslynch) are restart-recoverable, while one-shot
+	// structures fault or wedge (anderson, caschain, clh, mcs) and the
+	// TAS family spins forever on its own stale lock word.
+	Recoverable bool
 }
 
 // Registry lists every registered VM program, sorted by name. internal/mutex
-// counterparts exist for all of them; yanganderson is represented by the
-// structurally equivalent tournament tree.
+// counterparts exist for the crash-free tier (yanganderson is represented by
+// the structurally equivalent tournament tree); of the RME tier only rtas
+// has one, the rest exist as VM programs only.
 func Registry() []Entry {
 	return []Entry{
 		{Name: "anderson", Doc: "Anderson array queue lock (one-shot, CAS fetch-and-increment)",
 			Build: Anderson},
 		{Name: "bakery", Doc: "Lamport bakery, fenced doorway",
-			Build: func(n int) (*Program, error) { return Bakery(n, false) }},
+			Build: func(n int) (*Program, error) { return Bakery(n, false) }, Recoverable: true},
 		{Name: "bakery-weak", Doc: "bakery without the ticket-publication fence (TSO-broken)",
 			Build: func(n int) (*Program, error) { return Bakery(n, true) }, Broken: true},
 		{Name: "burnslynch", Doc: "Burns-Lynch one-bit mutual exclusion",
-			Build: BurnsLynch},
+			Build: BurnsLynch, Recoverable: true},
 		{Name: "caschain", Doc: "adaptive one-shot CAS chain",
 			Build: CASChain},
 		{Name: "clh", Doc: "CLH implicit-queue lock (one-shot)",
 			Build: CLH},
 		{Name: "dekker", Doc: "Dekker's algorithm, fenced",
-			Build: func(int) (*Program, error) { return Dekker(true) }, FixedN: 2},
+			Build: func(int) (*Program, error) { return Dekker(true) }, FixedN: 2, Recoverable: true},
 		{Name: "dekker-nofence", Doc: "Dekker without fences (TSO-broken)",
 			Build: func(int) (*Program, error) { return Dekker(false) }, FixedN: 2, Broken: true},
+		{Name: "dm-queue", Doc: "Dhoked-Mittal-style recoverable slot-queue lock (MCS-class handoff)",
+			Build: DMQueue, Recoverable: true},
+		{Name: "dm-tas", Doc: "Dhoked-Mittal-style recoverable TAS (checkpoint + crash counter)",
+			Build: DMTAS, Recoverable: true},
 		{Name: "filter", Doc: "n-process filter lock",
-			Build: Filter},
+			Build: Filter, Recoverable: true},
+		{Name: "km-rme", Doc: "Katzan-Morrison-style recoverable lock (owner stamp + staged CAS)",
+			Build: KMRME, Recoverable: true},
 		{Name: "lamportfast", Doc: "Lamport's fast mutex (splitter doorway)",
 			Build: LamportFast},
 		{Name: "mcs", Doc: "MCS queue lock (CAS-emulated swap, one-shot)",
 			Build: MCS},
 		{Name: "peterson", Doc: "two-process Peterson, fenced",
-			Build: func(int) (*Program, error) { return Peterson(true) }, FixedN: 2},
+			Build: func(int) (*Program, error) { return Peterson(true) }, FixedN: 2, Recoverable: true},
 		{Name: "peterson-nofence", Doc: "Peterson without fences (TSO-broken)",
 			Build: func(int) (*Program, error) { return Peterson(false) }, FixedN: 2, Broken: true},
+		{Name: "rtas", Doc: "Golab-Ramaraju recoverable test-and-set (owner-stamped lock word)",
+			Build: func(int) (*Program, error) { return RTAS() }, Recoverable: true},
+		{Name: "rtas-dirty", Doc: "recoverable TAS with a buffered, unfenced checkpoint (crash-broken)",
+			Build: RTASDirty, CrashBroken: true},
 		{Name: "synthetic", Doc: "adaptive read/write splitter chain, fenced",
 			Build: func(n int) (*Program, error) { return Synthetic(n, true) }},
 		{Name: "synthetic-nofence", Doc: "splitter chain without fences (TSO-broken)",

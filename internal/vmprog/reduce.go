@@ -215,14 +215,17 @@ func (r *reducer) applyPerm(s *State, perm []int) *State {
 		tv := sym.CellForms[v].apply(uint64(v), perm)
 		ns.Mem[tv] = sym.ValForms[v].apply(x, perm)
 	}
+	ns.Crashes = s.Crashes
 	for i := range s.Procs {
 		p := &s.Procs[i]
 		q := PState{
-			PC:      p.PC,
-			Fencing: p.Fencing,
-			Started: p.Started,
-			Done:    p.Done,
-			InExit:  p.InExit,
+			PC:         p.PC,
+			Fencing:    p.Fencing,
+			Started:    p.Started,
+			Done:       p.Done,
+			InExit:     p.InExit,
+			Crashed:    p.Crashed,
+			CrashCount: p.CrashCount,
 		}
 		live := r.f.LiveRegs[p.PC]
 		forms := sym.RegForms[p.PC]
@@ -251,20 +254,7 @@ func encode(dst []uint64, s *State) []uint64 {
 	dst = append(dst, s.Mem...)
 	for i := range s.Procs {
 		p := &s.Procs[i]
-		flags := uint64(p.PC) << 4
-		if p.Fencing {
-			flags |= 1
-		}
-		if p.Started {
-			flags |= 2
-		}
-		if p.Done {
-			flags |= 4
-		}
-		if p.InExit {
-			flags |= 8
-		}
-		dst = append(dst, flags)
+		dst = append(dst, pflags(p))
 		dst = append(dst, p.Regs[:]...)
 		dst = append(dst, uint64(len(p.Buf)))
 		for _, b := range p.Buf {

@@ -121,6 +121,17 @@ type Program struct {
 	// Class is the program's declared adaptivity class, consumed by the
 	// static analyzer's Theorem 1 checks.
 	Class AdaptivityClass `json:"class,omitempty"`
+	// Recover is the entry PC of the program's recover section, the
+	// recoverable-mutual-exclusion passage a crashed process re-enters
+	// through: a crash discards the write buffer and every volatile
+	// register, and the recovery transition resumes execution at Recover
+	// with a zeroed register file. Zero means no recover section - a
+	// crashed process re-runs the passage from the top (PC 0), the
+	// pre-RME behaviour. The recover section is ordinary program text: it
+	// may jump back into the main passage (e.g. straight to the
+	// critical-section path when the process finds it still holds the
+	// lock) and shares the single OpCS.
+	Recover int `json:"recover,omitempty"`
 }
 
 // eventOp reports whether an opcode is a shared-memory event.
@@ -170,6 +181,9 @@ func (p *Program) Validate() error {
 	if cs != 1 {
 		return fmt.Errorf("vmprog %s: program must contain exactly one CS, has %d", p.Name, cs)
 	}
+	if p.Recover < 0 || p.Recover >= len(p.Code) {
+		return fmt.Errorf("vmprog %s: recover entry %d out of range [0,%d)", p.Name, p.Recover, len(p.Code))
+	}
 	return nil
 }
 
@@ -197,13 +211,14 @@ func (p *Program) varIndex(in Instr, regs *[NumRegs]uint64) (int, error) {
 
 // Builder assembles programs with labels and named variables.
 type Builder struct {
-	name   string
-	vars   []string
-	code   []Instr
-	labels map[string]int
-	fixups map[int]string
-	class  AdaptivityClass
-	err    error
+	name    string
+	vars    []string
+	code    []Instr
+	labels  map[string]int
+	fixups  map[int]string
+	class   AdaptivityClass
+	recover string // label of the recover-section entry, "" for none
+	err     error
 }
 
 // NewBuilder starts a program named name.
@@ -232,6 +247,11 @@ func (b *Builder) Array(name string, n int) int {
 
 // SetClass declares the program's adaptivity class.
 func (b *Builder) SetClass(c AdaptivityClass) { b.class = c }
+
+// SetRecover declares the label at which the program's recover section
+// starts (see Program.Recover). The label is resolved at Build time, so it
+// may be declared before or after the call.
+func (b *Builder) SetRecover(label string) { b.recover = label }
 
 // Label defines a jump label at the current position. Redefining a label is
 // a programming bug and fails the Build.
@@ -319,6 +339,13 @@ func (b *Builder) Build() (*Program, error) {
 		code[pos].Target = target
 	}
 	p := &Program{Name: b.name, Vars: append([]string(nil), b.vars...), Code: code, Class: b.class}
+	if b.recover != "" {
+		rec, ok := b.labels[b.recover]
+		if !ok {
+			return nil, fmt.Errorf("vmprog %s: undefined recover label %q", b.name, b.recover)
+		}
+		p.Recover = rec
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
