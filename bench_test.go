@@ -374,7 +374,7 @@ func BenchmarkFastVsReplayChecker(b *testing.B) {
 	b.Run("vmprog-fast", func(b *testing.B) {
 		p := vmprog.MustPeterson(true)
 		for i := 0; i < b.N; i++ {
-			eng, err := vmprog.NewEngine(p, 2, false)
+			eng, err := vmprog.NewEngineOrdering(p, 2, tso.TSO)
 			if err != nil {
 				b.Fatal(err)
 			}

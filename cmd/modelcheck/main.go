@@ -45,6 +45,8 @@ func run() error {
 	collapse := flag.Bool("collapse-spins", true, "merge states differing only in spin iterations (sound for pure spin-wait algorithms)")
 	engine := flag.String("engine", "replay", "checker engine: replay (goroutine simulator, any registered lock) or fast (VM programs only; complete verification)")
 	reduce := flag.String("reduce", "full", "fast-engine reduction: none (full interleaving graph), ample (persistent sets), full (ample + symmetry canonicalization; strongest sound mode)")
+	workers := flag.Int("workers", 0, "fast engine: run the parallel sharded frontier checker with this many workers (0 = sequential; results are identical across worker counts)")
+	bitstate := flag.Uint("bitstate", 0, "fast engine: probabilistic bitstate hashing with 2^bits bits (0 = exact; implies the frontier engine; crash-free checks only)")
 	save := flag.String("save", "", "write a found violation's minimized schedule to this file")
 	replay := flag.String("replay", "", "replay a saved schedule instead of searching")
 	rmeMode := flag.Bool("rme", false, "run the crash-bounded recoverability check instead of the crash-free verification (fast engine, VM programs only)")
@@ -65,11 +67,18 @@ func run() error {
 		defer cancel()
 	}
 
+	// The parallel frontier engine backs the fast checker and the RME
+	// verdict; silently ignoring -workers on the replay engine would let a
+	// "parallel" run report sequential results.
+	if (*workers > 0 || *bitstate > 0) && *engine != "fast" && !*rmeMode && !*crashSearch {
+		return fmt.Errorf("-workers/-bitstate need the fast engine: add -engine fast (or -rme)")
+	}
+
 	if *rmeMode || *crashSearch {
 		return runRME(ctx, *alg, *n, *maxStates, *reduce, rmeOpts{
 			crashes: *crashes, perProc: *crashPerProc,
 			search: *crashSearch, budget: *searchBudget, seed: *searchSeed,
-			model: *model, save: *save,
+			model: *model, save: *save, workers: *workers,
 		})
 	}
 
@@ -106,7 +115,11 @@ func run() error {
 		cfg.Ordering = tso.PSO
 	}
 	if *engine == "fast" {
-		return runFast(ctx, *alg, *n, cfg.Ordering == tso.PSO, *maxStates, *reduce, *save)
+		ord, err := tso.ParseOrdering(*ordering)
+		if err != nil {
+			return err
+		}
+		return runFast(ctx, *alg, *n, ord, *maxStates, *reduce, *save, *workers, *bitstate)
 	}
 	rep, err := check.Exhaustive{
 		MaxStates:     *maxStates,
@@ -167,6 +180,7 @@ type rmeOpts struct {
 	seed             int64
 	model            string
 	save             string
+	workers          int
 }
 
 // runRME decides crash-bounded recoverability of a VM program on the fast
@@ -183,9 +197,11 @@ func runRME(ctx context.Context, alg string, n, maxStates int, reduce string, o 
 		return err
 	}
 	crash := vmprog.CrashOpts{MaxCrashes: o.crashes, MaxPerProc: o.perProc}
-	v, err := check.RMEVerify(ctx, prog, n, check.RMEOptions{
-		MaxStates: maxStates, Crash: crash, Reduce: mode,
-	})
+	v, err := check.VerifyRecoverable(ctx, prog, n,
+		check.WithMaxStates(maxStates),
+		check.WithCrashes(crash),
+		check.WithReduce(mode),
+		check.WithWorkers(o.workers))
 	if err != nil {
 		return err
 	}
@@ -203,7 +219,7 @@ func runRME(ctx context.Context, alg string, n, maxStates int, reduce string, o 
 	if err != nil {
 		return err
 	}
-	eng, err := vmprog.NewEngine(prog, n, false)
+	eng, err := vmprog.NewEngineOrdering(prog, n, tso.TSO)
 	if err != nil {
 		return err
 	}
@@ -224,11 +240,11 @@ func runRME(ctx context.Context, alg string, n, maxStates int, reduce string, o 
 	if err != nil {
 		return err
 	}
-	plain, err := vmprog.NewEngine(prog, n, false)
+	plain, err := vmprog.NewEngineOrdering(prog, n, tso.TSO)
 	if err != nil {
 		return err
 	}
-	reduced, err := vmprog.NewEngine(prog, n, false)
+	reduced, err := vmprog.NewEngineOrdering(prog, n, tso.TSO)
 	if err != nil {
 		return err
 	}
@@ -275,7 +291,7 @@ func printSchedule(prog *vmprog.Program, sched []tso.Decision) {
 // static reduction, and delta-debugging minimization of any counterexample
 // (schedules are recorded in the unreduced frame, so minimization replays
 // on a plain engine).
-func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, reduce, save string) error {
+func runFast(ctx context.Context, alg string, n int, ord tso.Ordering, maxStates int, reduce, save string, workers int, bitstate uint) error {
 	prog, err := vmprog.Lookup(alg, n)
 	if err != nil {
 		return err
@@ -284,28 +300,28 @@ func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, re
 	if err != nil {
 		return err
 	}
-	res, err := check.FastVerify(ctx, prog, n, check.FastOptions{
-		PSO:       pso,
-		MaxStates: maxStates,
-		Reduce:    mode,
-	})
+	res, err := check.Verify(ctx, prog, n,
+		check.WithOrdering(ord),
+		check.WithMaxStates(maxStates),
+		check.WithReduce(mode),
+		check.WithWorkers(workers),
+		check.WithBitstate(bitstate))
 	if err != nil {
 		return err
 	}
-	eng, err := vmprog.NewEngine(prog, n, pso)
+	eng, err := vmprog.NewEngineOrdering(prog, n, ord)
 	if err != nil {
 		return err
-	}
-	ordering := "TSO"
-	if pso {
-		ordering = "PSO"
 	}
 	fmt.Printf("%s (VM), N=%d, %s, reduce=%s: explored %d states (%d transitions), complete=%v\n",
-		prog.Name, n, ordering, mode, res.States, res.Transitions, res.Complete)
+		prog.Name, n, ord, mode, res.States, res.Transitions, res.Complete)
 	if !res.Violation {
-		if res.Complete {
+		switch {
+		case res.Probabilistic && res.Complete:
+			fmt.Println("no violation found (bitstate hashing: probabilistic coverage, NOT an exhaustive verdict)")
+		case res.Complete:
 			fmt.Println("VERIFIED: no schedule violates mutual exclusion (exhaustive)")
-		} else {
+		default:
 			fmt.Println("no violation found within the budget (partial verification)")
 		}
 		return nil
@@ -332,7 +348,7 @@ func runFast(ctx context.Context, alg string, n int, pso bool, maxStates int, re
 		}
 		defer f.Close()
 		cfg := tso.Config{N: n}
-		if pso {
+		if ord == tso.PSO {
 			cfg.Ordering = tso.PSO
 		}
 		if err := check.SaveSchedule(f, cfg, min); err != nil {

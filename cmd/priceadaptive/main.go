@@ -39,6 +39,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
 	cache := flag.String("cache", "", "persistent artifact-store directory (empty = fresh temp store, no caching across runs)")
 	reduce := flag.String("reduce", "full", "fast-engine reduction for model-checking experiments: none, ample, or full (strongest sound mode)")
+	workers := flag.Int("workers", 0, "fast-engine worker count for model-checking experiments and -rme verdicts: 0 = sequential, N = parallel sharded frontier checker (identical verdicts)")
 	rmeTier := flag.Bool("rme", false, "run the recoverable-mutual-exclusion tier (crashsearch jobs) instead of the experiments; arguments name VM programs")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -49,8 +50,9 @@ func main() {
 		os.Exit(1)
 	}
 	core.SetFastReduce(mode)
+	core.SetFastWorkers(*workers)
 	if *rmeTier {
-		err = runRME(ctx, flag.Args(), *jsonOut, *parallel, *cache, os.Stdout)
+		err = runRME(ctx, flag.Args(), *jsonOut, *parallel, *cache, *workers, os.Stdout)
 	} else {
 		err = run(ctx, flag.Args(), *jsonOut, *parallel, *cache, os.Stdout)
 	}
@@ -86,7 +88,7 @@ func openQueue(dir string, parallel int) (q *jobs.Queue, close func(), err error
 		}
 		return nil, nil, err
 	}
-	q = jobs.New(store, jobs.Options{Workers: parallel})
+	q = jobs.NewQueue(store, jobs.WithWorkers(parallel))
 	jobs.RegisterBuiltins(q)
 	if _, err := q.Recover(); err != nil {
 		if cleanup != nil {
@@ -178,7 +180,7 @@ var rmeTierPrograms = []string{"rtas", "km-rme", "dm-tas", "dm-queue"}
 // runRME runs one crashsearch job per named program (default: the RME tier)
 // and prints the recoverability verdict plus the verified worst-case
 // post-recovery RMR witness of each.
-func runRME(ctx context.Context, args []string, jsonOut bool, parallel int, cache string, w io.Writer) error {
+func runRME(ctx context.Context, args []string, jsonOut bool, parallel int, cache string, workers int, w io.Writer) error {
 	progs := args
 	if len(progs) == 0 {
 		progs = rmeTierPrograms
@@ -191,7 +193,7 @@ func runRME(ctx context.Context, args []string, jsonOut bool, parallel int, cach
 
 	jobIDs := make([]string, len(progs))
 	for i, name := range progs {
-		params, err := json.Marshal(jobs.CrashSearchParams{Alg: name})
+		params, err := json.Marshal(jobs.CrashSearchParams{Alg: name, Workers: workers})
 		if err != nil {
 			return err
 		}

@@ -30,7 +30,7 @@ func main() {
 	// ENTIRE state space, and PSO-broken.
 	fmt.Println("2. bakery (fenced doorway), fast VM engine:")
 	prog := vmprog.MustBakery(2, false)
-	tsoEng, err := vmprog.NewEngine(prog, 2, false)
+	tsoEng, err := vmprog.NewEngineOrdering(prog, 2, tso.TSO)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func main() {
 	}
 	fmt.Printf("   TSO: %d states, complete=%v, violation=%v\n",
 		tsoRes.States, tsoRes.Complete, tsoRes.Violation)
-	psoEng, err := vmprog.NewEngine(prog, 2, true)
+	psoEng, err := vmprog.NewEngineOrdering(prog, 2, tso.PSO)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func main() {
 	// refutes the argument - the danger is delay, not order.
 	fmt.Println("3. bakery WITHOUT the ticket-publication fence, TSO:")
 	weak := vmprog.MustBakery(2, true)
-	weakEng, err := vmprog.NewEngine(weak, 2, false)
+	weakEng, err := vmprog.NewEngineOrdering(weak, 2, tso.TSO)
 	if err != nil {
 		log.Fatal(err)
 	}

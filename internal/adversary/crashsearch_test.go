@@ -7,6 +7,7 @@ import (
 
 	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/fault"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -16,7 +17,7 @@ func searchEngine(t testing.TB, name string, n int) *vmprog.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := vmprog.NewEngine(p, n, false)
+	eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func FuzzCrashSchedules(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			eng, err := vmprog.NewEngine(p, n, false)
+			eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 			if err != nil {
 				t.Fatal(err)
 			}

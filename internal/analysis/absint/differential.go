@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -206,7 +207,7 @@ func Observe(ctx context.Context, p *vmprog.Program, n, maxStates int) (*Observa
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	eng, err := vmprog.NewEngine(p, n, false)
+	eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 	if err != nil {
 		return nil, err
 	}

@@ -173,7 +173,7 @@ type tracer struct {
 }
 
 func newTracer(p *vmprog.Program, n int) (*tracer, error) {
-	eng, err := vmprog.NewEngine(p, n, false)
+	eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 	if err != nil {
 		return nil, err
 	}

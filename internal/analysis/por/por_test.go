@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"priceadaptive/internal/analysis/por"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -260,14 +261,14 @@ func TestCanonicalOrbitOracle(t *testing.T) {
 			continue
 		}
 		t.Run(fmt.Sprintf("%s/n=%d", e.Name, n), func(t *testing.T) {
-			red, err := vmprog.NewEngine(p, n, false)
+			red, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := red.UsePruning(res.Facts); err != nil {
 				t.Fatal(err)
 			}
-			plain, err := vmprog.NewEngine(p, n, false)
+			plain, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 			if err != nil {
 				t.Fatal(err)
 			}

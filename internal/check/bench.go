@@ -3,6 +3,7 @@ package check
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"sort"
 
 	"priceadaptive/internal/adversary"
@@ -107,6 +108,53 @@ type BenchRMEEntry struct {
 	WitnessCrashes    int `json:"witness_crashes"`
 }
 
+// ParallelBenchEntry pins one representative lock's frontier-engine
+// exploration in ReduceNone mode, where the parallel counts are provably
+// equal to the sequential engine's on complete non-violating runs: the row
+// pins cross-engine parity as well as cross-worker-count determinism. As
+// with SimBench, wall-clock cannot live in a byte-synced artifact; the
+// timing half (workers 1, 2 and NumCPU) lives in the flag-gated
+// TestParallelScalingGuard.
+type ParallelBenchEntry struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// States / Transitions are the exact exploration counts, identical for
+	// every worker count and for the sequential engine.
+	States      int `json:"states"`
+	Transitions int `json:"transitions"`
+}
+
+// TournamentVerdictBaseline records the decided tournament RME verdict: the
+// 4-process Peterson tournament is RECOVERABLE under the 2-crash adversary,
+// with the crash-bounded exploration completing at the recorded size. The
+// run is far too large for the byte-sync recomputation (about 20 minutes),
+// so the row is pinned from constants and reproduced by the flag-gated
+// TestTournamentVerdictDecided on the parallel frontier engine, which drops
+// states after expansion and holds the exploration in memory the sequential
+// checker cannot.
+type TournamentVerdictBaseline struct {
+	N          int  `json:"n"`
+	MaxCrashes int  `json:"max_crashes"`
+	MaxPerProc int  `json:"max_per_proc"`
+	Complete   bool `json:"complete"`
+	// Recoverable is the decided verdict (previously INCOMPLETE at every
+	// CI-sized budget).
+	Recoverable bool `json:"recoverable"`
+	States      int  `json:"states"`
+	Transitions int  `json:"transitions"`
+}
+
+// ParallelBench is the BENCH_analysis.json `parallel` section: the frontier
+// engine's determinism baselines plus the decided tournament verdict.
+type ParallelBench struct {
+	// Workers is the wall-clock measurement grid of TestParallelScalingGuard
+	// (the last point is raised to NumCPU when larger).
+	Workers    []int                      `json:"workers"`
+	MaxStates  int                        `json:"max_states"`
+	Programs   []ParallelBenchEntry       `json:"programs"`
+	Tournament *TournamentVerdictBaseline `json:"tournament,omitempty"`
+}
+
 // BenchAnalysis is the tracked BENCH_analysis.json artifact: the static
 // analyzer's measured value as a state-space reducer across the whole VM
 // program registry, plus the sink-overhead guard baseline.
@@ -124,6 +172,8 @@ type BenchAnalysis struct {
 	SimBench *SimBenchBaseline `json:"sim_bench,omitempty"`
 	// Padvet is the source-lint baseline for the padvet cache guard.
 	Padvet *PadvetBaseline `json:"padvet,omitempty"`
+	// Parallel is the frontier-engine baseline for the parallel guard.
+	Parallel *ParallelBench `json:"parallel,omitempty"`
 }
 
 // Fixed parameters of the sink-guard workload.
@@ -206,7 +256,7 @@ func RMEBench(ctx context.Context) ([]BenchRMEEntry, error) {
 			return nil, err
 		}
 		ent := BenchRMEEntry{Name: e.Name, N: nn, Recoverable: v.Recoverable, CrashStates: v.States}
-		eng, err := vmprog.NewEngine(p, nn, false)
+		eng, err := vmprog.NewEngineOrdering(p, nn, tso.TSO)
 		if err != nil {
 			return nil, err
 		}
@@ -224,6 +274,75 @@ func RMEBench(ctx context.Context) ([]BenchRMEEntry, error) {
 		out = append(out, ent)
 	}
 	return out, nil
+}
+
+// parallelBenchPrograms are the representative locks of the parallel
+// section: the two one-shot queue locks and the Peterson tournament, all at
+// 4 processes, in ReduceNone mode (the mode whose parallel counts are
+// pinned equal to the sequential engine's).
+var parallelBenchPrograms = []struct {
+	name string
+	n    int
+}{
+	{"anderson", 4},
+	{"mcs", 4},
+	{"tournament", 4},
+}
+
+// parallelBenchWorkers is the wall-clock grid the scaling guard measures
+// (its last point is raised to NumCPU when NumCPU is larger).
+var parallelBenchWorkers = []int{1, 2, 4}
+
+// The decided tournament RME verdict (see TournamentVerdictBaseline): one
+// full exploration of the 4-process tournament's 2-crash state space,
+// reproduced by the flag-gated TestTournamentVerdictDecided.
+const (
+	tournamentVerdictN           = 4
+	tournamentVerdictCrashes     = 2
+	tournamentVerdictPerProc     = 1
+	tournamentVerdictStates      = 31672898
+	tournamentVerdictTransitions = 176717000
+)
+
+// ParallelBenchRun computes the parallel section's deterministic rows: each
+// representative lock explored by the frontier engine (two workers; the
+// counts are identical for every worker count). The tournament verdict row
+// is pinned from the constants above, not recomputed — reproducing it takes
+// tens of millions of states.
+func ParallelBenchRun(ctx context.Context) (*ParallelBench, error) {
+	pb := &ParallelBench{
+		Workers:   parallelBenchWorkers,
+		MaxStates: 1 << 22,
+		Tournament: &TournamentVerdictBaseline{
+			N:          tournamentVerdictN,
+			MaxCrashes: tournamentVerdictCrashes,
+			MaxPerProc: tournamentVerdictPerProc,
+			Complete:   true, Recoverable: true,
+			States:      tournamentVerdictStates,
+			Transitions: tournamentVerdictTransitions,
+		},
+	}
+	for _, pc := range parallelBenchPrograms {
+		p, err := vmprog.Lookup(pc.name, pc.n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Verify(ctx, p, pc.n,
+			WithMaxStates(pb.MaxStates),
+			WithReduce(ReduceNone),
+			WithWorkers(2))
+		if err != nil {
+			return nil, err
+		}
+		if !res.Complete || res.Violation {
+			return nil, fmt.Errorf("check: parallel bench %s n=%d: complete=%v violation=%v",
+				pc.name, pc.n, res.Complete, res.Violation)
+		}
+		pb.Programs = append(pb.Programs, ParallelBenchEntry{
+			Name: pc.name, N: pc.n, States: res.States, Transitions: res.Transitions,
+		})
+	}
+	return pb, nil
 }
 
 // benchMaxN caps the process count a program is measured at. The bench
@@ -326,6 +445,11 @@ func AnalysisBench(ctx context.Context, ns []int, maxStates int, padvetRoot stri
 		}
 		out.Padvet = pv
 	}
+	pb, err := ParallelBenchRun(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out.Parallel = pb
 	return out, nil
 }
 

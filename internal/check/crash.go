@@ -16,8 +16,9 @@ var ErrCrashStall = errors.New("check: run did not complete under crashes")
 
 // ErrIncomplete is returned by CrashSweep's no-crash mode when the
 // exhaustive exploration could not cover the reachable state space within
-// its bounds, so no verdict can be given.
-var ErrIncomplete = errors.New("check: exhaustive exploration incomplete")
+// its bounds, so no verdict can be given. It is part of the ErrBudget
+// family: errors.Is(err, ErrBudget) holds wherever it is wrapped.
+var ErrIncomplete = fmt.Errorf("%w: exhaustive exploration incomplete", ErrBudget)
 
 // CrashSweep verifies starvation-freedom modulo crashes empirically: it
 // drives the program under `seeds` independent seeded crash-scheduling

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"priceadaptive/internal/analysis/por"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -36,6 +36,9 @@ func ParseReduceMode(s string) (ReduceMode, error) {
 }
 
 // FastOptions configures FastVerify.
+//
+// Deprecated: use Verify with functional options (WithOrdering,
+// WithMaxStates, WithReduce, WithFacts); FastVerify is a shim over it.
 type FastOptions struct {
 	// PSO selects partial store ordering (out-of-order commits).
 	PSO bool
@@ -79,26 +82,17 @@ func ReduceFacts(base *vmprog.PruneFacts, mode ReduceMode) *vmprog.PruneFacts {
 // independence and symmetry facts per opts.Reduce. It is the
 // programs-as-data counterpart of Exhaustive.Verify: no goroutines, no
 // replaying, true state snapshots.
+//
+// Deprecated: use Verify with functional options; this shim maps FastOptions
+// onto the unified Options surface (always the sequential engine).
 func FastVerify(ctx context.Context, p *vmprog.Program, n int, opts FastOptions) (*vmprog.CheckResult, error) {
-	eng, err := vmprog.NewEngine(p, n, opts.PSO)
-	if err != nil {
-		return nil, err
+	ord := tso.TSO
+	if opts.PSO {
+		ord = tso.PSO
 	}
-	mode, err := ParseReduceMode(string(opts.Reduce))
-	if err != nil {
-		return nil, err
-	}
-	if mode != ReduceNone {
-		base := opts.Facts
-		if base == nil {
-			base, err = por.Facts(p, n)
-			if err != nil {
-				return nil, fmt.Errorf("check: deriving reduction facts: %w", err)
-			}
-		}
-		if err := eng.UsePruning(ReduceFacts(base, mode)); err != nil {
-			return nil, err
-		}
-	}
-	return eng.Check(ctx, opts.MaxStates)
+	return Verify(ctx, p, n,
+		WithOrdering(ord),
+		WithMaxStates(opts.MaxStates),
+		WithReduce(opts.Reduce),
+		WithFacts(opts.Facts))
 }

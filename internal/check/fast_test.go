@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"priceadaptive/internal/analysis/por"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -90,7 +91,11 @@ func TestReductionDifferential(t *testing.T) {
 					if red.Violation {
 						// Replay the reduced run's counterexample, translated
 						// back to the real frame, without any reduction.
-						eng, err := vmprog.NewEngine(p, n, pso)
+						ord := tso.TSO
+						if pso {
+							ord = tso.PSO
+						}
+						eng, err := vmprog.NewEngineOrdering(p, n, ord)
 						if err != nil {
 							t.Fatal(err)
 						}

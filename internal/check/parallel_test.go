@@ -1,0 +1,332 @@
+package check
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"priceadaptive/internal/tso"
+	"priceadaptive/internal/vmprog"
+)
+
+var (
+	parallelGuardFlag = flag.Bool("parallel-guard", false, "run the parallel scaling guard (wall-clock at workers 1, 2 and NumCPU against the BENCH_analysis.json parallel section)")
+	tournamentFlag    = flag.Bool("tournament-verdict", false, "reproduce the decided tournament RME verdict (tens of millions of crash states; minutes of wall-clock)")
+)
+
+// TestParallelDifferential is the registry-wide differential harness of the
+// parallel sharded frontier engine: every program, both orderings, every
+// reduction mode, checked sequentially and at two worker counts. The
+// contract it enforces:
+//
+//   - verdicts (violation, completeness) agree between the sequential and
+//     the parallel engine everywhere;
+//   - parallel results are bit-identical across worker counts (states,
+//     transitions, schedules) — worker count is an execution detail, never
+//     an input to the answer;
+//   - on complete non-violating ReduceNone runs the parallel state and
+//     transition counts equal the sequential engine's exactly (with ample
+//     sets the frozen-layer proviso may keep strictly fewer states than the
+//     DFS proviso, so only verdicts are comparable);
+//   - every parallel counterexample replays to a violation on an unreduced
+//     sequential engine.
+func TestParallelDifferential(t *testing.T) {
+	workerCounts := []int{1, 3}
+	for _, e := range vmprog.Registry() {
+		e := e
+		for _, ord := range []tso.Ordering{tso.TSO, tso.PSO} {
+			ord := ord
+			name := e.Name
+			if ord == tso.PSO {
+				name += "/pso"
+			}
+			t.Run(name, func(t *testing.T) {
+				n := 2
+				if e.FixedN > 0 {
+					n = e.FixedN
+				}
+				if n > 2 && (testing.Short() || ord == tso.PSO) {
+					t.Skip("large state space")
+				}
+				p, err := e.Build(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := context.Background()
+				budget := 1 << 21
+				for _, mode := range []ReduceMode{ReduceNone, ReduceAmple, ReduceFull} {
+					seq, err := Verify(ctx, p, n,
+						WithOrdering(ord), WithMaxStates(budget), WithReduce(mode))
+					if err != nil {
+						t.Fatalf("%s sequential: %v", mode, err)
+					}
+					var ref *vmprog.CheckResult
+					for _, w := range workerCounts {
+						par, err := Verify(ctx, p, n,
+							WithOrdering(ord), WithMaxStates(budget), WithReduce(mode),
+							WithWorkers(w))
+						if err != nil {
+							t.Fatalf("%s workers=%d: %v", mode, w, err)
+						}
+						if par.Violation != seq.Violation || par.Complete != seq.Complete {
+							t.Fatalf("%s workers=%d verdict violation=%v complete=%v, sequential violation=%v complete=%v",
+								mode, w, par.Violation, par.Complete, seq.Violation, seq.Complete)
+						}
+						if mode == ReduceNone && seq.Complete && !seq.Violation {
+							if par.States != seq.States || par.Transitions != seq.Transitions {
+								t.Fatalf("%s workers=%d counts %d/%d, sequential %d/%d",
+									mode, w, par.States, par.Transitions, seq.States, seq.Transitions)
+							}
+						}
+						if ref == nil {
+							ref = par
+						} else {
+							if par.States != ref.States || par.Transitions != ref.Transitions {
+								t.Fatalf("%s: counts differ across worker counts: %d/%d vs %d/%d",
+									mode, par.States, par.Transitions, ref.States, ref.Transitions)
+							}
+							if len(par.Schedule) != len(ref.Schedule) {
+								t.Fatalf("%s: schedules differ across worker counts", mode)
+							}
+							for i := range par.Schedule {
+								if par.Schedule[i] != ref.Schedule[i] {
+									t.Fatalf("%s: schedules differ across worker counts at %d", mode, i)
+								}
+							}
+						}
+						if par.Violation {
+							replayViolationOn(t, p, n, ord, par.Schedule)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// replayViolationOn applies sched on a fresh unreduced engine and requires
+// it to end in an exclusion violation.
+func replayViolationOn(t *testing.T, p *vmprog.Program, n int, ord tso.Ordering, sched []tso.Decision) {
+	t.Helper()
+	eng, err := vmprog.NewEngineOrdering(p, n, ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Initial()
+	for i, d := range sched {
+		if err := eng.Apply(st, d); err != nil {
+			t.Fatalf("schedule does not replay at %d: %v", i, err)
+		}
+	}
+	if !eng.Violated(st) {
+		t.Fatal("schedule does not reproduce the violation")
+	}
+}
+
+// TestParallelRecoverableDifferential compares the sequential and the
+// parallel crash-bounded recoverability checkers registry-wide under the
+// standard 2-crash adversary: identical verdicts, identical completeness,
+// identical state and transition counts (the recoverable exploration never
+// uses ample sets, so counts are comparable in every mode), and every
+// decisive counterexample replays on an unreduced engine. Programs whose
+// crash space exceeds the harness budget even sequentially are skipped here;
+// tournament's decided verdict has its own flag-gated reproduction
+// (TestTournamentVerdictDecided).
+func TestParallelRecoverableDifferential(t *testing.T) {
+	crash := vmprog.CrashOpts{MaxCrashes: 2, MaxPerProc: 1}
+	budget := 1 << 19
+	ctx := context.Background()
+	for _, e := range vmprog.Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			n := 2
+			if e.FixedN > 0 {
+				n = e.FixedN
+			}
+			if n > 2 && testing.Short() {
+				t.Skip("large state space")
+			}
+			p, err := e.Build(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := VerifyRecoverable(ctx, p, n,
+				WithMaxStates(budget), WithCrashes(crash))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Complete && !seq.Violation && !seq.Fault {
+				t.Skipf("crash space exceeds the harness budget (%d states)", seq.States)
+			}
+			for _, w := range []int{1, 3} {
+				par, err := VerifyRecoverable(ctx, p, n,
+					WithMaxStates(budget), WithCrashes(crash), WithWorkers(w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if par.Complete != seq.Complete || par.Recoverable != seq.Recoverable ||
+					par.Violation != seq.Violation || par.Stuck != seq.Stuck || par.Fault != seq.Fault {
+					t.Fatalf("workers=%d verdict %s, sequential %s", w, par, seq)
+				}
+				// Violation and fault runs stop at their first counterexample
+				// (an engine-dependent point); only explorations that exhaust
+				// the crash space have comparable counts.
+				if !seq.Violation && !seq.Fault {
+					if par.States != seq.States || par.Transitions != seq.Transitions {
+						t.Fatalf("workers=%d counts %d/%d, sequential %d/%d",
+							w, par.States, par.Transitions, seq.States, seq.Transitions)
+					}
+				}
+				if par.Complete && !par.Recoverable {
+					replayRecovCounterexample(t, p, n, par.Violation, par.Fault, par.Counterexample)
+				}
+			}
+		})
+	}
+}
+
+// replayRecovCounterexample applies a recoverability counterexample on a
+// fresh unreduced engine: a violation schedule must end in an exclusion
+// violation, a fault schedule must fail on its final decision, and a stuck
+// witness must replay cleanly (the wedge is the absence of a completing
+// extension, not a step error).
+func replayRecovCounterexample(t *testing.T, p *vmprog.Program, n int, violation, fault bool, sched []tso.Decision) {
+	t.Helper()
+	if len(sched) == 0 {
+		t.Fatal("decisive non-recoverable verdict carries no counterexample")
+	}
+	eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Initial()
+	for i, d := range sched {
+		if err := eng.Apply(st, d); err != nil {
+			if fault && i == len(sched)-1 {
+				return // the fault is the final decision failing
+			}
+			t.Fatalf("counterexample does not replay at %d: %v", i, err)
+		}
+	}
+	if fault {
+		t.Fatal("fault counterexample replayed without an error")
+	}
+	if violation && !eng.Violated(st) {
+		t.Fatal("violation counterexample does not reproduce the violation")
+	}
+}
+
+// TestParallelScalingGuard is the timing half of the BENCH parallel section
+// (wall-clock cannot live in a byte-synced artifact): it re-runs each
+// representative lock at workers 1, 2 and NumCPU, holds the exploration
+// counts to the committed rows at every worker count, and reports the
+// wall-clock curve. On hosts with at least 4 CPUs the NumCPU run must not
+// be slower than the single-worker run by more than the tolerance — shard
+// handoff overhead must be bought back by parallelism. Runs only with
+// -parallel-guard, like the sink and padvet guards.
+func TestParallelScalingGuard(t *testing.T) {
+	if !*parallelGuardFlag {
+		t.Skip("timing guard; run with -parallel-guard")
+	}
+	want := mustCommittedParallel(t)
+	grid := append([]int(nil), want.Workers...)
+	if ncpu := runtime.NumCPU(); ncpu > grid[len(grid)-1] {
+		grid[len(grid)-1] = ncpu
+	}
+	ctx := context.Background()
+	for i, pc := range parallelBenchPrograms {
+		p, err := vmprog.Lookup(pc.name, pc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := want.Programs[i]
+		var first time.Duration
+		for _, w := range grid {
+			start := time.Now()
+			res, err := Verify(ctx, p, pc.n,
+				WithMaxStates(want.MaxStates), WithReduce(ReduceNone), WithWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			if res.States != row.States || res.Transitions != row.Transitions {
+				t.Fatalf("%s n=%d workers=%d: counts %d/%d, committed %d/%d",
+					pc.name, pc.n, w, res.States, res.Transitions, row.States, row.Transitions)
+			}
+			t.Logf("%s n=%d workers=%d: %d states in %v (%.0f states/s)",
+				pc.name, pc.n, w, res.States, elapsed, float64(res.States)/elapsed.Seconds())
+			if w == grid[0] {
+				first = elapsed
+			} else if w >= 4 && runtime.NumCPU() >= 4 && elapsed > 2*first {
+				t.Errorf("%s n=%d: workers=%d run (%v) more than 2x slower than workers=%d (%v)",
+					pc.name, pc.n, w, elapsed, grid[0], first)
+			}
+		}
+	}
+}
+
+// TestTournamentVerdictDecided reproduces the decided tournament RME
+// verdict pinned in BENCH_analysis.json's parallel section: the 4-process
+// Peterson tournament, INCOMPLETE at every CI-sized budget, is RECOVERABLE
+// under the 2-crash adversary, decided by one full exploration of its
+// 31.7M-state crash space. The parallel checker drops states after
+// expansion, which is what makes the run fit in memory; its counts are
+// pinned equal to the sequential checker's (the run that first decided the
+// verdict was sequential). Minutes of wall-clock: runs only with
+// -tournament-verdict.
+func TestTournamentVerdictDecided(t *testing.T) {
+	if !*tournamentFlag {
+		t.Skip("full tournament exploration; run with -tournament-verdict")
+	}
+	p, err := vmprog.Lookup("tournament", tournamentVerdictN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	v, err := VerifyRecoverable(context.Background(), p, tournamentVerdictN,
+		WithMaxStates(40_000_000),
+		WithCrashes(vmprog.CrashOpts{MaxCrashes: tournamentVerdictCrashes, MaxPerProc: tournamentVerdictPerProc}),
+		WithWorkers(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tournament n=%d: %s (%d states, %d transitions, %v)",
+		tournamentVerdictN, v, v.States, v.Transitions, time.Since(start))
+	if !v.Complete || !v.Recoverable {
+		t.Fatalf("verdict regressed: %s", v)
+	}
+	if v.States != tournamentVerdictStates || v.Transitions != tournamentVerdictTransitions {
+		t.Fatalf("exploration size %d/%d, pinned %d/%d",
+			v.States, v.Transitions, tournamentVerdictStates, tournamentVerdictTransitions)
+	}
+}
+
+// mustCommittedParallel loads the committed parallel section (the artifact
+// is the guard's contract; regenerate with -update-bench).
+func mustCommittedParallel(t *testing.T) *ParallelBench {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_analysis.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline BenchAnalysis
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Parallel == nil || len(baseline.Parallel.Programs) != len(parallelBenchPrograms) {
+		t.Fatal("BENCH_analysis.json has no parallel section; regenerate with -update-bench")
+	}
+	for i, pc := range parallelBenchPrograms {
+		row := baseline.Parallel.Programs[i]
+		if row.Name != pc.name || row.N != pc.n {
+			t.Fatalf("parallel section row %d is %s/%d, want %s/%d (regenerate with -update-bench)",
+				i, row.Name, row.N, pc.name, pc.n)
+		}
+	}
+	return baseline.Parallel
+}

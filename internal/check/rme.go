@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 
-	"priceadaptive/internal/analysis/por"
 	"priceadaptive/internal/rme"
 	"priceadaptive/internal/vmprog"
 )
 
 // RMEOptions configures the recoverability checks.
+//
+// Deprecated: use VerifyRecoverable with functional options (WithMaxStates,
+// WithCrashes, WithReduce, WithFacts, WithWorkers); RMEVerify is a shim.
 type RMEOptions struct {
 	// MaxStates bounds the crash-bounded exploration (0: engine default).
 	MaxStates int
@@ -31,28 +33,16 @@ type RMEOptions struct {
 
 // RMEVerify computes the recoverability verdict of one VM program under a
 // bounded crash adversary on the fast engine.
+//
+// Deprecated: use VerifyRecoverable with functional options; this shim maps
+// RMEOptions onto the unified Options surface (always the sequential
+// checker).
 func RMEVerify(ctx context.Context, p *vmprog.Program, n int, opts RMEOptions) (*rme.Verdict, error) {
-	eng, err := vmprog.NewEngine(p, n, false)
-	if err != nil {
-		return nil, err
-	}
-	mode, err := ParseReduceMode(string(opts.Reduce))
-	if err != nil {
-		return nil, err
-	}
-	if mode != ReduceNone {
-		base := opts.Facts
-		if base == nil {
-			base, err = por.Facts(p, n)
-			if err != nil {
-				return nil, fmt.Errorf("check: deriving reduction facts: %w", err)
-			}
-		}
-		if err := eng.UsePruning(ReduceFacts(base, mode)); err != nil {
-			return nil, err
-		}
-	}
-	return rme.CheckRecoverability(ctx, eng, opts.MaxStates, opts.Crash)
+	return VerifyRecoverable(ctx, p, n,
+		WithMaxStates(opts.MaxStates),
+		WithCrashes(opts.Crash),
+		WithReduce(opts.Reduce),
+		WithFacts(opts.Facts))
 }
 
 // RMESuiteEntry pairs a program's recoverability verdict with the registry's

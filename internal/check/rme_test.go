@@ -9,8 +9,12 @@ import (
 
 // rmeIncompleteFull lists the programs whose crash-bounded state space
 // exceeds the suite budget even fully reduced. tournament (4 processes)
-// does not finish within 8M states; it is pinned INCOMPLETE rather than
-// skipped so a future reduction win shows up as a diff here.
+// needs 31,672,898 states under the 2-crash adversary — far past this
+// suite's budget — so it stays INCOMPLETE here; its decided verdict
+// (RECOVERABLE, complete) is pinned by the flag-gated
+// TestTournamentVerdictDecided, which reproduces the full exploration on
+// the parallel frontier engine, and recorded in BENCH_analysis.json's
+// parallel section.
 var rmeIncompleteFull = map[string]bool{"tournament": true}
 
 // rmeIncompleteNone additionally lists programs whose unreduced crash

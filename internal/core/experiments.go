@@ -431,7 +431,7 @@ func E9PSOSeparation(ctx context.Context, log2Ns []float64, n int) (*Report, err
 	if err != nil {
 		return nil, fmt.Errorf("core: E9 program: %w", err)
 	}
-	tsoEng, err := vmprog.NewEngine(prog, n, false)
+	tsoEng, err := vmprog.NewEngineOrdering(prog, n, tso.TSO)
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +439,7 @@ func E9PSOSeparation(ctx context.Context, log2Ns []float64, n int) (*Report, err
 	if err != nil {
 		return nil, fmt.Errorf("core: E9 TSO check: %w", err)
 	}
-	psoEng, err := vmprog.NewEngine(prog, n, true)
+	psoEng, err := vmprog.NewEngineOrdering(prog, n, tso.PSO)
 	if err != nil {
 		return nil, err
 	}
@@ -572,6 +572,16 @@ var fastReduce = check.ReduceFull
 // experiment runs.
 func SetFastReduce(mode check.ReduceMode) { fastReduce = mode }
 
+// fastWorkers is the worker count E11's fast-engine runs use: 0 keeps the
+// sequential engine (and its pinned state counts); a positive count runs
+// the parallel sharded frontier checker, whose verdicts are identical.
+// cmd/priceadaptive's -workers flag overrides the default.
+var fastWorkers = 0
+
+// SetFastWorkers selects the fast-engine worker count for subsequent
+// experiment runs (0 = sequential).
+func SetFastWorkers(n int) { fastWorkers = n }
+
 // E11VerificationMatrix runs the fast VM engine's complete model checker
 // over every VM lock program under both memory orderings, producing the
 // repository's verification record: which algorithms are exclusion-safe
@@ -594,16 +604,13 @@ func E11VerificationMatrix(ctx context.Context) (*Report, error) {
 		vmprog.MustLamportFast(2),
 	}
 	for _, p := range programs {
-		for _, pso := range []bool{false, true} {
-			ordering := "TSO"
-			if pso {
-				ordering = "PSO"
-			}
-			res, err := check.FastVerify(ctx, p, 2, check.FastOptions{
-				PSO:       pso,
-				MaxStates: 4_000_000,
-				Reduce:    fastReduce,
-			})
+		for _, ord := range []tso.Ordering{tso.TSO, tso.PSO} {
+			ordering := ord.String()
+			res, err := check.Verify(ctx, p, 2,
+				check.WithOrdering(ord),
+				check.WithMaxStates(4_000_000),
+				check.WithReduce(fastReduce),
+				check.WithWorkers(fastWorkers))
 			if err != nil {
 				return nil, fmt.Errorf("core: E11 %s/%s: %w", p.Name, ordering, err)
 			}

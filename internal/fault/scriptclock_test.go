@@ -25,7 +25,7 @@ func TestScriptedCrashAtFenceBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := vmprog.NewEngine(p, 2, false)
+	eng, err := vmprog.NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}

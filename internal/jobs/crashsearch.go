@@ -11,6 +11,7 @@ import (
 	"priceadaptive/internal/fault"
 	"priceadaptive/internal/rme"
 	"priceadaptive/internal/rmr"
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -44,6 +45,14 @@ type CrashSearchParams struct {
 	Model string `json:"model,omitempty"`
 	// MaxStates bounds the recoverability exploration (0: engine default).
 	MaxStates int `json:"max_states,omitempty"`
+	// Workers, when positive, runs the recoverability verdict on the
+	// parallel sharded frontier checker, which drops states after expansion
+	// and so completes crash spaces the sequential checker cannot hold in
+	// memory. Verdicts and witnesses are identical across worker counts.
+	Workers int `json:"workers,omitempty"`
+	// RequireComplete fails the job with a budget_exhausted error when the
+	// recoverability exploration ends without a verdict.
+	RequireComplete bool `json:"require_complete,omitempty"`
 }
 
 func (p *CrashSearchParams) defaults() {
@@ -122,15 +131,24 @@ func runCrashSearch(ctx context.Context, params json.RawMessage, cache *FactsCac
 	if err != nil {
 		return nil, err
 	}
-	verdict, err := check.RMEVerify(ctx, prog, p.N, check.RMEOptions{
-		MaxStates: p.MaxStates, Crash: crash, Reduce: check.ReduceFull, Facts: facts,
-	})
+	verdict, err := check.VerifyRecoverable(ctx, prog, p.N,
+		check.WithMaxStates(p.MaxStates),
+		check.WithCrashes(crash),
+		check.WithReduce(check.ReduceFull),
+		check.WithFacts(facts),
+		check.WithWorkers(p.Workers))
 	if err != nil {
 		return nil, err
 	}
 	verdict.Program = p.Alg
+	if p.RequireComplete && !verdict.Complete {
+		return nil, &check.BudgetError{
+			Kind: check.BudgetStates, Limit: p.MaxStates, Explored: verdict.States,
+			Detail: fmt.Sprintf("crashsearch %s n=%d", p.Alg, p.N),
+		}
+	}
 
-	eng, err := vmprog.NewEngine(prog, p.N, false)
+	eng, err := vmprog.NewEngineOrdering(prog, p.N, tso.TSO)
 	if err != nil {
 		return nil, err
 	}
@@ -143,11 +161,11 @@ func runCrashSearch(ctx context.Context, params json.RawMessage, cache *FactsCac
 	res := &CrashSearchJobResult{Alg: p.Alg, N: p.N, Model: model.String(), Verdict: verdict, Search: search}
 	if w := search.Witness; w != nil {
 		w.Program = p.Alg // registry key, matching the verdict
-		plain, err := vmprog.NewEngine(prog, p.N, false)
+		plain, err := vmprog.NewEngineOrdering(prog, p.N, tso.TSO)
 		if err != nil {
 			return nil, err
 		}
-		reduced, err := vmprog.NewEngine(prog, p.N, false)
+		reduced, err := vmprog.NewEngineOrdering(prog, p.N, tso.TSO)
 		if err != nil {
 			return nil, err
 		}
@@ -185,11 +203,18 @@ func crashSearchSpec(cache *FactsCache, prog *vmprog.Program, p *CrashSearchPara
 	if err != nil {
 		return Spec{}, ""
 	}
-	params, err := json.Marshal(map[string]any{
+	m := map[string]any{
 		"hash": hash, "n": p.N, "seed": p.Seed, "budget": p.Budget,
 		"crashes": p.MaxCrashes, "per_proc": p.MaxPerProc, "model": p.Model,
 		"max_states": p.MaxStates, "facts_version": vmprog.FactsVersion,
-	})
+	}
+	// Workers changes which engine explores (and where an incomplete run
+	// stops), so it is part of the cache identity — but only when set, so
+	// pre-existing sequential artifacts keep their addresses.
+	if p.Workers > 0 {
+		m["workers"] = p.Workers
+	}
+	params, err := json.Marshal(m)
 	if err != nil {
 		return Spec{}, ""
 	}

@@ -21,6 +21,15 @@ const (
 	CodeStoreUnavailable = "store_unavailable"
 	CodeNotFound         = "not_found"
 	CodeConflict         = "conflict"
+	// CodeBudget marks runs that ended without a verdict because an
+	// exploration budget (states, crash schedules, deadline) ran out —
+	// check.ErrBudget failures. Clients must treat it as "raise the budget
+	// and retry", not as a property violation or an infrastructure fault.
+	CodeBudget = "budget_exhausted"
+	// CodeStaleFacts marks runs rejected because cached reduction facts
+	// predate the current facts version (vmprog.ErrStaleFacts): re-deriving
+	// the facts heals it.
+	CodeStaleFacts = "stale_facts"
 	// CodeUnknown is the client-side placeholder for responses that carry no
 	// envelope at all (proxy error pages, panic output): the raw body becomes
 	// the message and the code marks it as unclassifiable.

@@ -156,6 +156,12 @@ type Status struct {
 	// Error holds the failure message when State is failed (or the cancel
 	// cause when cancelled mid-run).
 	Error string `json:"error,omitempty"`
+	// ErrorCode is the machine-readable classification of Error (a Code*
+	// envelope constant): CodeBudget when the run exhausted an exploration
+	// budget without reaching a verdict, CodeStaleFacts when cached
+	// reduction facts predate the current facts version, empty when the
+	// failure is unclassified.
+	ErrorCode string `json:"error_code,omitempty"`
 	// Attempts counts how many times a worker picked the job up; > 1 means
 	// the job was recovered after a crash or resubmitted after a failure.
 	Attempts int `json:"attempts"`

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -154,6 +155,20 @@ func runExperiment(ctx context.Context, params json.RawMessage) (any, error) {
 	return runner(ctx)
 }
 
+// errorCode classifies a runner error into a stable envelope code for
+// Status.ErrorCode, so API clients can tell "the program is broken or the
+// infrastructure failed" from "the exploration ran out of budget" without
+// parsing error strings. Unclassified failures map to the empty string.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, check.ErrBudget):
+		return CodeBudget
+	case errors.Is(err, vmprog.ErrStaleFacts):
+		return CodeStaleFacts
+	}
+	return ""
+}
+
 // ModelCheckParams configures a bounded model-check run.
 type ModelCheckParams struct {
 	// Alg names a registered mutex algorithm (replay engine) or VM program
@@ -181,6 +196,19 @@ type ModelCheckParams struct {
 	Reduce string `json:"reduce,omitempty"`
 	// Prune is the deprecated boolean predecessor of Reduce.
 	Prune bool `json:"prune,omitempty"`
+	// Workers, when positive, runs the fast engine's parallel sharded
+	// frontier checker with that many workers (0 keeps the sequential
+	// engine; ignored by the replay engine). Parallel verdicts and
+	// counterexamples are identical across worker counts.
+	Workers int `json:"workers,omitempty"`
+	// Bitstate, when non-zero, switches the fast engine to probabilistic
+	// bitstate hashing with 1<<Bitstate bits; the artifact is marked
+	// Probabilistic and must never be read as an exact verdict.
+	Bitstate uint `json:"bitstate,omitempty"`
+	// RequireComplete fails the job with a budget_exhausted error when the
+	// exploration ends incomplete without a violation, instead of storing
+	// an inconclusive artifact.
+	RequireComplete bool `json:"require_complete,omitempty"`
 }
 
 // MCDecision is one scheduling decision of a counterexample schedule, in the
@@ -208,6 +236,9 @@ type ModelCheckResult struct {
 	Violated      bool         `json:"violated"`
 	Schedule      []MCDecision `json:"schedule,omitempty"`
 	MinimizedFrom int          `json:"minimized_from,omitempty"`
+	// Probabilistic marks bitstate runs: Complete without Violated is
+	// evidence under a hash-collision assumption, not an exact verdict.
+	Probabilistic bool `json:"probabilistic,omitempty"`
 }
 
 func runModelCheck(ctx context.Context, params json.RawMessage) (any, error) {
@@ -228,13 +259,9 @@ func runModelCheckCached(ctx context.Context, params json.RawMessage, cache *Fac
 	if p.Engine == "" {
 		p.Engine = "replay"
 	}
-	pso := false
-	switch p.Ordering {
-	case "tso":
-	case "pso":
-		pso = true
-	default:
-		return nil, fmt.Errorf("unknown ordering %q", p.Ordering)
+	ord, err := tso.ParseOrdering(p.Ordering)
+	if err != nil {
+		return nil, err
 	}
 	res := &ModelCheckResult{Alg: p.Alg, Engine: p.Engine, Ordering: p.Ordering, N: p.N, Passages: p.Passages}
 	switch p.Engine {
@@ -255,21 +282,28 @@ func runModelCheckCached(ctx context.Context, params json.RawMessage, cache *Fac
 		if err != nil {
 			return nil, err
 		}
-		opts := check.FastOptions{PSO: pso, MaxStates: p.MaxStates, Reduce: mode}
+		vopts := []check.Option{
+			check.WithOrdering(ord),
+			check.WithMaxStates(p.MaxStates),
+			check.WithReduce(mode),
+			check.WithWorkers(p.Workers),
+			check.WithBitstate(p.Bitstate),
+		}
 		if mode != check.ReduceNone {
 			facts, err := cache.Facts(prog, p.N)
 			if err != nil {
 				return nil, err
 			}
-			opts.Facts = facts
+			vopts = append(vopts, check.WithFacts(facts))
 		}
-		rep, err := check.FastVerify(ctx, prog, p.N, opts)
+		rep, err := check.Verify(ctx, prog, p.N, vopts...)
 		if err != nil {
 			return nil, err
 		}
 		res.States, res.Decisions, res.Complete, res.Violated = rep.States, rep.Transitions, rep.Complete, rep.Violation
+		res.Probabilistic = rep.Probabilistic
 		if rep.Violation {
-			eng, err := vmprog.NewEngine(prog, p.N, pso)
+			eng, err := vmprog.NewEngineOrdering(prog, p.N, ord)
 			if err != nil {
 				return nil, err
 			}
@@ -287,7 +321,7 @@ func runModelCheckCached(ctx context.Context, params json.RawMessage, cache *Fac
 		}
 		build := mutex.Build(factory)
 		cfg := tso.Config{N: p.N, Passages: p.Passages}
-		if pso {
+		if ord == tso.PSO {
 			cfg.Ordering = tso.PSO
 		}
 		rep, err := check.Exhaustive{
@@ -310,6 +344,12 @@ func runModelCheckCached(ctx context.Context, params json.RawMessage, cache *Fac
 		}
 	default:
 		return nil, fmt.Errorf("unknown engine %q", p.Engine)
+	}
+	if p.RequireComplete && !res.Complete && !res.Violated {
+		return nil, &check.BudgetError{
+			Kind: check.BudgetStates, Limit: p.MaxStates, Explored: res.States,
+			Detail: fmt.Sprintf("modelcheck %s n=%d", p.Alg, p.N),
+		}
 	}
 	return res, nil
 }

@@ -84,3 +84,46 @@ func TestLintJob(t *testing.T) {
 		t.Fatalf("unknown program: %s, want failed", st.State)
 	}
 }
+
+// TestBudgetErrorCode pins the machine-readable error channel of satellite
+// budget failures: a modelcheck job submitted with require_complete and a
+// budget too small to finish must fail with Status.ErrorCode = CodeBudget
+// (so clients can raise the budget and retry without parsing the message),
+// a successful run of the same program carries no code, and an unrelated
+// failure (unknown program) carries no code either.
+func TestBudgetErrorCode(t *testing.T) {
+	q, _ := newTestQueue(t, t.TempDir(), Options{Workers: 2})
+	RegisterBuiltins(q)
+	q.Start()
+	defer q.Close()
+
+	st, _, err := q.Submit(Spec{Kind: KindModelCheck, Params: json.RawMessage(
+		`{"alg":"mcs","n":2,"engine":"fast","reduce":"none","max_states":16,"require_complete":true}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateFailed {
+		t.Fatalf("underbudgeted job: %s (%s), want failed", st.State, st.Error)
+	}
+	if st.ErrorCode != CodeBudget {
+		t.Fatalf("underbudgeted job: error_code %q (%s), want %q", st.ErrorCode, st.Error, CodeBudget)
+	}
+
+	st, _, err = q.Submit(Spec{Kind: KindModelCheck, Params: json.RawMessage(
+		`{"alg":"mcs","n":2,"engine":"fast","reduce":"full","require_complete":true}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateDone || st.ErrorCode != "" {
+		t.Fatalf("completing job: %s error_code=%q, want done with no code", st.State, st.ErrorCode)
+	}
+
+	st, _, err = q.Submit(Spec{Kind: KindModelCheck, Params: json.RawMessage(
+		`{"alg":"no-such-lock","engine":"fast"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, q, st.ID); st.State != StateFailed || st.ErrorCode != "" {
+		t.Fatalf("unknown program: %s error_code=%q, want failed with no code", st.State, st.ErrorCode)
+	}
+}

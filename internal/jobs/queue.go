@@ -452,6 +452,7 @@ func (q *Queue) Submit(spec Spec) (Status, SubmitOutcome, error) {
 			j.cancelRequested = false
 			j.status.State = StateQueued
 			j.status.Error = ""
+			j.status.ErrorCode = ""
 			j.done = make(chan struct{})
 			if err := q.putStatusBreaker(id, j.status); err != nil {
 				return Status{}, SubmitQueued, err
@@ -769,6 +770,7 @@ func (q *Queue) next() (*job, context.Context, context.CancelFunc) {
 		if werr != nil {
 			j.status.State = StateFailed
 			j.status.Error = werr.Error()
+			j.status.ErrorCode = CodeStoreUnavailable
 			j.status.FinishedAt = q.clock.Now().UTC()
 			q.running--
 			cancel()
@@ -856,12 +858,14 @@ func (q *Queue) run(ctx context.Context, cancel context.CancelFunc, j *job) {
 	case err == nil:
 		j.status.State = StateDone
 		j.status.Error = ""
+		j.status.ErrorCode = ""
 		j.status.ResultSum = sum
 		j.result = raw
 		q.m.completed.Inc()
 	case cancelled:
 		j.status.State = StateCancelled
 		j.status.Error = err.Error()
+		j.status.ErrorCode = errorCode(err)
 		q.m.cancelled.Inc()
 	default:
 		policy := q.retryPolicy(j.spec.Kind)
@@ -870,11 +874,13 @@ func (q *Queue) run(ctx context.Context, cancel context.CancelFunc, j *job) {
 			retried = true
 			j.status.State = StateQueued
 			j.status.Error = err.Error()
+			j.status.ErrorCode = errorCode(err)
 			q.m.retries.Inc()
 			q.scheduleRetry(j.status.ID, policy.backoff(j.status.Attempts, q.src))
 		} else {
 			j.status.State = StateFailed
 			j.status.Error = err.Error()
+			j.status.ErrorCode = errorCode(err)
 			q.m.failed.Inc()
 		}
 	}

@@ -72,6 +72,22 @@ func CheckRecoverability(ctx context.Context, eng *vmprog.Engine, maxStates int,
 	if err != nil {
 		return nil, err
 	}
+	return verdictFrom(eng, res, o), nil
+}
+
+// CheckRecoverabilityParallel is CheckRecoverability on the parallel
+// frontier engine (vmprog.CheckRecoverableParallel): same verdict semantics,
+// state dropped after expansion so crash spaces beyond the sequential
+// checker's memory reach can complete.
+func CheckRecoverabilityParallel(ctx context.Context, eng *vmprog.Engine, po vmprog.ParallelOpts, o vmprog.CrashOpts) (*Verdict, error) {
+	res, err := eng.CheckRecoverableParallel(ctx, po, o)
+	if err != nil {
+		return nil, err
+	}
+	return verdictFrom(eng, res, o), nil
+}
+
+func verdictFrom(eng *vmprog.Engine, res *vmprog.RecovResult, o vmprog.CrashOpts) *Verdict {
 	v := &Verdict{
 		Program:     eng.Program().Name,
 		N:           eng.NumProcs(),
@@ -94,5 +110,5 @@ func CheckRecoverability(ctx context.Context, eng *vmprog.Engine, maxStates int,
 	case res.Fault:
 		v.Counterexample = res.FaultSchedule
 	}
-	return v, nil
+	return v
 }

@@ -20,7 +20,7 @@ func engine(t testing.TB, name string, n int) *vmprog.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := vmprog.NewEngine(p, n, false)
+	eng, err := vmprog.NewEngineOrdering(p, n, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,20 @@ const (
 	PSO
 )
 
+// ParseOrdering maps the conventional short names "tso" and "pso"
+// (case-insensitively) to their Ordering values. The empty string parses as
+// TSO, the default model everywhere in this repository.
+func ParseOrdering(s string) (Ordering, error) {
+	switch s {
+	case "", "tso", "TSO":
+		return TSO, nil
+	case "pso", "PSO":
+		return PSO, nil
+	default:
+		return 0, fmt.Errorf("tso: unknown memory ordering %q (want tso or pso)", s)
+	}
+}
+
 // String returns "TSO" or "PSO".
 func (o Ordering) String() string {
 	switch o {

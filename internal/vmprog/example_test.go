@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"priceadaptive/internal/tso"
 	"priceadaptive/internal/vmprog"
 )
 
@@ -11,7 +12,7 @@ import (
 // shows the fence-free variant failing with a machine-minimized
 // counterexample.
 func Example() {
-	eng, err := vmprog.NewEngine(vmprog.MustPeterson(true), 2, false)
+	eng, err := vmprog.NewEngineOrdering(vmprog.MustPeterson(true), 2, tso.TSO)
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -23,7 +24,7 @@ func Example() {
 	}
 	fmt.Printf("fenced Peterson: complete=%v violation=%v\n", res.Complete, res.Violation)
 
-	engNF, err := vmprog.NewEngine(vmprog.MustPeterson(false), 2, false)
+	engNF, err := vmprog.NewEngineOrdering(vmprog.MustPeterson(false), 2, tso.TSO)
 	if err != nil {
 		fmt.Println(err)
 		return

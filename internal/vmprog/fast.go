@@ -174,22 +174,46 @@ type PruneFacts struct {
 type Engine struct {
 	prog  *Program
 	n     int
-	pso   bool
+	ord   tso.Ordering
 	facts *PruneFacts
 	red   *reducer
 }
 
-// NewEngine builds an engine for n processes. pso selects partial store
-// ordering (out-of-order commits allowed).
-func NewEngine(p *Program, n int, pso bool) (*Engine, error) {
+// NewEngineOrdering builds an engine for n processes under the given memory
+// ordering (tso.TSO or tso.PSO; the zero Ordering defaults to TSO). This is
+// the canonical constructor; NewEngine is a deprecated shim over it.
+func NewEngineOrdering(p *Program, n int, ord tso.Ordering) (*Engine, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("vmprog: n must be positive, got %d", n)
 	}
-	return &Engine{prog: p, n: n, pso: pso}, nil
+	switch ord {
+	case 0:
+		ord = tso.TSO
+	case tso.TSO, tso.PSO:
+	default:
+		return nil, fmt.Errorf("vmprog: unknown memory ordering %d", int(ord))
+	}
+	return &Engine{prog: p, n: n, ord: ord}, nil
 }
+
+// NewEngine builds an engine for n processes. pso selects partial store
+// ordering (out-of-order commits allowed).
+//
+// Deprecated: use NewEngineOrdering with tso.TSO or tso.PSO; the naked bool
+// is unreadable at call sites and closed to further memory models.
+func NewEngine(p *Program, n int, pso bool) (*Engine, error) {
+	ord := tso.TSO
+	if pso {
+		ord = tso.PSO
+	}
+	return NewEngineOrdering(p, n, ord)
+}
+
+// Ordering returns the engine's memory-ordering model.
+func (e *Engine) Ordering() tso.Ordering { return e.ord }
 
 // UsePruning installs static pruning facts (see PruneFacts). Passing nil
 // disables pruning. The facts must describe this engine's program at this
@@ -425,7 +449,7 @@ func (e *Engine) Commit(s *State, id int, varIdx int) error {
 		commitAt(s, p, 0)
 		return nil
 	}
-	if !e.pso {
+	if e.ord != tso.PSO {
 		return fmt.Errorf("vmprog: out-of-order commit requires PSO")
 	}
 	for i := range p.Buf {
@@ -563,6 +587,16 @@ type CheckResult struct {
 	// AmpleSteps counts states where the reduction restricted expansion to
 	// a single process's transitions (0 without UsePruning).
 	AmpleSteps int
+	// Probabilistic reports that the exploration used bitstate hashing
+	// (ParallelOpts.BitstateBits): distinct states may have been merged by
+	// hash collision, so Complete && !Violation is strong evidence of
+	// correctness, not proof. A Violation and its Schedule remain exact.
+	// Callers must never report a probabilistic pass as an exact verdict.
+	Probabilistic bool
+	// crossShard counts successors routed to a different seen-set shard
+	// than their parent's (0 for the sequential engine); the shard-routing
+	// tests use it to force and observe cross-shard handoff.
+	crossShard int
 }
 
 // Check explores the reachable state space exhaustively (bounded by
@@ -701,7 +735,7 @@ func (e *Engine) procDecisions(s *State, id int, out []tso.Decision) []tso.Decis
 		out = append(out, tso.Decision{P: tso.ProcID(id)})
 	}
 	if len(p.Buf) > 0 && !p.Fencing {
-		if e.pso {
+		if e.ord == tso.PSO {
 			for _, b := range p.Buf {
 				out = append(out, tso.Decision{P: tso.ProcID(id), Commit: true, VarPlus1: b.v + 1})
 			}

@@ -386,8 +386,8 @@ func Registry() []Entry {
 			Build: func(n int) (*Program, error) { return Synthetic(n, false) }, Broken: true},
 		{Name: "tas", Doc: "test-and-set via CAS retry",
 			Build: func(int) (*Program, error) { return TAS() }},
-		{Name: "tournament", Doc: "binary tournament of Peterson locks (4 processes)",
-			Build: func(int) (*Program, error) { return Tournament4() }, FixedN: 4},
+		{Name: "tournament", Doc: "binary tournament of Peterson locks (4 processes); restart-recoverable under the 2-crash adversary (decided verdict: 31,672,898 crash states, see check.TestTournamentVerdictDecided)",
+			Build: func(int) (*Program, error) { return Tournament4() }, FixedN: 4, Recoverable: true},
 		{Name: "ttas", Doc: "test-and-test-and-set via CAS retry",
 			Build: func(int) (*Program, error) { return TTAS() }},
 	}

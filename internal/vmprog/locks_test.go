@@ -3,6 +3,8 @@ package vmprog
 import (
 	"context"
 	"testing"
+
+	"priceadaptive/internal/tso"
 )
 
 // TestRegistryBuilds instantiates every registered program at a couple of
@@ -46,7 +48,7 @@ func TestRegistryExclusion(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			eng, err := NewEngine(p, n, false)
+			eng, err := NewEngineOrdering(p, n, tso.TSO)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,286 @@
+package vmprog
+
+import (
+	"context"
+	"testing"
+
+	"priceadaptive/internal/tso"
+)
+
+// checkProgs are small unreduced workloads the white-box parallel tests run;
+// the registry-wide differential with reduction facts lives in
+// internal/check (TestParallelDifferential), which can import the analyzer.
+var checkProgs = []struct {
+	name string
+	n    int
+	pso  bool
+}{
+	{"peterson", 2, false},
+	{"peterson-nofence", 2, false}, // violating
+	{"tas", 2, false},
+	{"bakery", 2, true},
+	{"filter", 3, false},
+}
+
+func buildEngine(t *testing.T, name string, n int, pso bool) *Engine {
+	t.Helper()
+	p, err := Lookup(name, n)
+	if err != nil {
+		t.Fatalf("Lookup(%s): %v", name, err)
+	}
+	ord := tso.TSO
+	if pso {
+		ord = tso.PSO
+	}
+	e, err := NewEngineOrdering(p, n, ord)
+	if err != nil {
+		t.Fatalf("NewEngineOrdering(%s): %v", name, err)
+	}
+	return e
+}
+
+func replayViolation(t *testing.T, name string, n int, pso bool, sched []tso.Decision) {
+	t.Helper()
+	e := buildEngine(t, name, n, pso)
+	st := e.Initial()
+	for i, d := range sched {
+		if err := e.Apply(st, d); err != nil {
+			t.Fatalf("%s: schedule step %d does not replay: %v", name, i, err)
+		}
+	}
+	if !e.Violated(st) {
+		t.Fatalf("%s: replayed schedule does not end in a violation", name)
+	}
+}
+
+// TestParallelMatchesSequential runs the parallel frontier engine at several
+// worker counts against the sequential DFS on unreduced engines: verdicts
+// must agree everywhere, counts must agree across worker counts always and
+// with the sequential engine on complete non-violating runs (where the
+// explored set is the full reachable space and thus order-independent), and
+// every parallel counterexample must replay on a fresh sequential engine.
+func TestParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range checkProgs {
+		seq, err := buildEngine(t, tc.name, tc.n, tc.pso).Check(ctx, 1<<21)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		var first *CheckResult
+		for _, workers := range []int{1, 2, 3} {
+			par, err := buildEngine(t, tc.name, tc.n, tc.pso).CheckParallel(ctx, ParallelOpts{Workers: workers, MaxStates: 1 << 21})
+			if err != nil {
+				t.Fatalf("%s w=%d: parallel: %v", tc.name, workers, err)
+			}
+			if par.Violation != seq.Violation || par.Complete != seq.Complete {
+				t.Fatalf("%s w=%d: verdict mismatch: parallel violation=%v complete=%v, sequential %v/%v",
+					tc.name, workers, par.Violation, par.Complete, seq.Violation, seq.Complete)
+			}
+			if par.Violation {
+				replayViolation(t, tc.name, tc.n, tc.pso, par.Schedule)
+			} else if par.Complete {
+				if par.States != seq.States || par.Transitions != seq.Transitions {
+					t.Fatalf("%s w=%d: counts diverge: parallel %d/%d, sequential %d/%d",
+						tc.name, workers, par.States, par.Transitions, seq.States, seq.Transitions)
+				}
+			}
+			if first == nil {
+				first = par
+				continue
+			}
+			if par.States != first.States || par.Transitions != first.Transitions ||
+				par.Violation != first.Violation || len(par.Schedule) != len(first.Schedule) {
+				t.Fatalf("%s: results differ across worker counts: w=%d got %d/%d, w=1 got %d/%d",
+					tc.name, workers, par.States, par.Transitions, first.States, first.Transitions)
+			}
+			for i := range par.Schedule {
+				if par.Schedule[i] != first.Schedule[i] {
+					t.Fatalf("%s: schedules differ across worker counts at step %d", tc.name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCrossShardRouting pins the hash-partitioned routing: with more
+// than one shard, successor states land on shards other than their parent's
+// (the cross-shard handoff every multi-worker run exercises), and the
+// crumbs reconstructed across that handoff still replay.
+func TestParallelCrossShardRouting(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{2, 3, 4} {
+		e := buildEngine(t, "peterson", 2, false)
+		res, err := e.CheckParallel(ctx, ParallelOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("w=%d: %v", workers, err)
+		}
+		if res.crossShard == 0 {
+			t.Fatalf("w=%d: no successor crossed shards; routing is not partitioning the hash space", workers)
+		}
+		t.Logf("w=%d: %d/%d successors handed off across shards", workers, res.crossShard, res.Transitions)
+	}
+	// One shard cannot hand off.
+	e := buildEngine(t, "peterson", 2, false)
+	res, err := e.CheckParallel(ctx, ParallelOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.crossShard != 0 {
+		t.Fatalf("w=1: %d successors crossed shards out of one shard", res.crossShard)
+	}
+}
+
+// TestParallelRecoverableMatchesSequential compares CheckRecoverableParallel
+// against the sequential CheckRecoverable on crash-enabled workloads:
+// verdicts agree, counts agree on complete runs (the crash exploration has
+// no ample reduction, so the explored graph is the full crash-bounded
+// space either way), and counterexample schedules replay.
+func TestParallelRecoverableMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	crash := CrashOpts{MaxCrashes: 2, MaxPerProc: 1}
+	for _, name := range []string{"rtas", "tas", "peterson", "anderson", "mcs"} {
+		p, err := Lookup(name, 2)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		mk := func() *Engine {
+			e, err := NewEngineOrdering(p, 2, tso.TSO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		seq, err := mk().CheckRecoverable(ctx, 1<<21, crash)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", name, err)
+		}
+		var first *RecovResult
+		for _, workers := range []int{1, 2, 3} {
+			par, err := mk().CheckRecoverableParallel(ctx, ParallelOpts{Workers: workers, MaxStates: 1 << 21}, crash)
+			if err != nil {
+				t.Fatalf("%s w=%d: parallel: %v", name, workers, err)
+			}
+			if par.Recoverable != seq.Recoverable || par.Complete != seq.Complete {
+				t.Fatalf("%s w=%d: verdict mismatch: parallel recoverable=%v complete=%v, sequential %v/%v",
+					name, workers, par.Recoverable, par.Complete, seq.Recoverable, seq.Complete)
+			}
+			if par.Complete && !par.Violation && !par.Fault && !seq.Violation && !seq.Fault {
+				if par.States != seq.States || par.Transitions != seq.Transitions {
+					t.Fatalf("%s w=%d: counts diverge: parallel %d/%d, sequential %d/%d",
+						name, workers, par.States, par.Transitions, seq.States, seq.Transitions)
+				}
+			}
+			replayRecovWitness(t, name, par)
+			if first == nil {
+				first = par
+				continue
+			}
+			if par.States != first.States || par.Transitions != first.Transitions ||
+				par.Violation != first.Violation || par.Stuck != first.Stuck || par.Fault != first.Fault {
+				t.Fatalf("%s: results differ across worker counts (w=%d vs w=1)", name, workers)
+			}
+			if !schedEqual(par.ViolationSchedule, first.ViolationSchedule) ||
+				!schedEqual(par.StuckSchedule, first.StuckSchedule) ||
+				!schedEqual(par.FaultSchedule, first.FaultSchedule) {
+				t.Fatalf("%s: witness schedules differ across worker counts (w=%d vs w=1)", name, workers)
+			}
+		}
+	}
+}
+
+func schedEqual(a, b []tso.Decision) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// replayRecovWitness replays whichever counterexample the result carries on
+// a fresh unreduced engine and asserts it demonstrates its class.
+func replayRecovWitness(t *testing.T, name string, res *RecovResult) {
+	t.Helper()
+	p, err := Lookup(name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngineOrdering(p, 2, tso.TSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch {
+	case res.Violation:
+		st := e.Initial()
+		for i, d := range res.ViolationSchedule {
+			if err := e.Apply(st, d); err != nil {
+				t.Fatalf("%s: violation schedule step %d: %v", name, i, err)
+			}
+		}
+		if !e.Violated(st) {
+			t.Fatalf("%s: violation schedule does not end in a violation", name)
+		}
+	case res.Fault:
+		st := e.Initial()
+		n := len(res.FaultSchedule)
+		for i, d := range res.FaultSchedule[:n-1] {
+			if err := e.Apply(st, d); err != nil {
+				t.Fatalf("%s: fault schedule step %d: %v", name, i, err)
+			}
+		}
+		if err := e.Apply(st, res.FaultSchedule[n-1]); err == nil {
+			t.Fatalf("%s: fault schedule's final decision applied cleanly", name)
+		}
+	case res.Stuck:
+		st := e.Initial()
+		for i, d := range res.StuckSchedule {
+			if err := e.Apply(st, d); err != nil {
+				t.Fatalf("%s: stuck schedule step %d: %v", name, i, err)
+			}
+		}
+		if e.AllDone(st) || e.Violated(st) {
+			t.Fatalf("%s: stuck schedule ends done=%v violated=%v", name, e.AllDone(st), e.Violated(st))
+		}
+	}
+}
+
+// TestBitstateProbabilistic pins the bitstate mode's contract: the result is
+// always flagged Probabilistic, a collision-free run (bit array far larger
+// than the state space) matches the exact engine's counts, and violations it
+// finds replay exactly.
+func TestBitstateProbabilistic(t *testing.T) {
+	ctx := context.Background()
+	exact, err := buildEngine(t, "peterson", 2, false).Check(ctx, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := buildEngine(t, "peterson", 2, false).CheckParallel(ctx, ParallelOpts{Workers: 1, BitstateBits: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Probabilistic {
+		t.Fatal("bitstate result not flagged Probabilistic")
+	}
+	if res.Violation {
+		t.Fatal("bitstate found a violation in peterson")
+	}
+	if res.States != exact.States || res.Transitions != exact.Transitions {
+		t.Fatalf("collision-free bitstate counts %d/%d differ from exact %d/%d",
+			res.States, res.Transitions, exact.States, exact.Transitions)
+	}
+	viol, err := buildEngine(t, "peterson-nofence", 2, false).CheckParallel(ctx, ParallelOpts{Workers: 2, BitstateBits: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viol.Violation {
+		t.Fatal("bitstate missed the peterson-nofence violation")
+	}
+	replayViolation(t, "peterson-nofence", 2, false, viol.Schedule)
+	if _, err := buildEngine(t, "rtas", 2, false).CheckRecoverableParallel(ctx,
+		ParallelOpts{Workers: 1, BitstateBits: 22}, CrashOpts{MaxCrashes: 1}); err == nil {
+		t.Fatal("bitstate recoverability was not rejected")
+	}
+}

@@ -129,7 +129,7 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 			sched := append([]tso.Decision(nil), sim.Execution().Schedule...)
 
 			// Replay on the fast engine.
-			eng, err := NewEngine(p, n, false)
+			eng, err := NewEngineOrdering(p, n, tso.TSO)
 			if err != nil {
 				sim.Kill()
 				t.Fatal(err)
@@ -178,7 +178,7 @@ func TestDifferentialEnginesAgree(t *testing.T) {
 
 func TestFastCheckVerifiesPetersonCompletely(t *testing.T) {
 	p := MustPeterson(true)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestFastCheckVerifiesPetersonCompletely(t *testing.T) {
 
 func TestFastCheckFindsPetersonNoFenceViolation(t *testing.T) {
 	p := MustPeterson(false)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestFastCheckFindsPetersonNoFenceViolation(t *testing.T) {
 // of issue order BEFORE the fence drains them, and exclusion breaks.
 func TestFastCheckBakeryTSOSafePSOUnsafe(t *testing.T) {
 	p := MustBakery(2, false)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestFastCheckBakeryTSOSafePSOUnsafe(t *testing.T) {
 	}
 	t.Logf("TSO: complete verification, %d states", res.States)
 
-	engP, err := NewEngine(p, 2, true)
+	engP, err := NewEngineOrdering(p, 2, tso.PSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestFastCheckBakeryTSOSafePSOUnsafe(t *testing.T) {
 // found it, and the schedule replays on the goroutine engine.
 func TestFastCheckWeakBakeryUnsafeEvenUnderTSO(t *testing.T) {
 	p := MustBakery(2, true)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,10 +324,10 @@ func TestFastCheckWeakBakeryUnsafeEvenUnderTSO(t *testing.T) {
 
 func TestEngineValidation(t *testing.T) {
 	p := MustTAS()
-	if _, err := NewEngine(p, 0, false); err == nil {
+	if _, err := NewEngineOrdering(p, 0, tso.TSO); err == nil {
 		t.Error("n=0 must be rejected")
 	}
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +342,7 @@ func TestEngineValidation(t *testing.T) {
 
 func TestStateCloneIndependence(t *testing.T) {
 	p := MustPeterson(false)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +365,7 @@ func TestStateCloneIndependence(t *testing.T) {
 func TestFastCheckDekker(t *testing.T) {
 	// Fenced Dekker: complete TSO verification. Note turn is initially 0,
 	// meaning p0 has priority in the contended backoff path.
-	eng, err := NewEngine(MustDekker(true), 2, false)
+	eng, err := NewEngineOrdering(MustDekker(true), 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestFastCheckDekker(t *testing.T) {
 	t.Logf("fenced Dekker: complete, %d states", res.States)
 
 	// Fence-free Dekker: TSO violation.
-	engNF, err := NewEngine(MustDekker(false), 2, false)
+	engNF, err := NewEngineOrdering(MustDekker(false), 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestFastCheckBakeryThreeProcesses(t *testing.T) {
 	// N=3 bakery: the state space grows but stays tractable for the fast
 	// engine; exclusion must hold exhaustively.
 	p := MustBakery(3, false)
-	eng, err := NewEngine(p, 3, false)
+	eng, err := NewEngineOrdering(p, 3, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +430,7 @@ func TestFastCheckBakeryThreeProcesses(t *testing.T) {
 func TestLamportFastVerification(t *testing.T) {
 	// N=2: complete TSO verification; the fast path makes the state space
 	// small.
-	eng, err := NewEngine(MustLamportFast(2), 2, false)
+	eng, err := NewEngineOrdering(MustLamportFast(2), 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +481,7 @@ func TestLamportFastSoloTakesFastPath(t *testing.T) {
 
 func TestFastMinimize(t *testing.T) {
 	p := MustPeterson(false)
-	eng, err := NewEngine(p, 2, false)
+	eng, err := NewEngineOrdering(p, 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -527,7 +527,7 @@ func TestFastMinimize(t *testing.T) {
 func TestAllDoneAndFullRun(t *testing.T) {
 	// Drive a full TAS run on the fast engine alone (no checker): both
 	// processes must complete and AllDone must flip.
-	eng, err := NewEngine(MustTAS(), 2, false)
+	eng, err := NewEngineOrdering(MustTAS(), 2, tso.TSO)
 	if err != nil {
 		t.Fatal(err)
 	}
